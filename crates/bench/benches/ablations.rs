@@ -1,0 +1,9 @@
+//! Set-Dueling shape ablations (dedicated sets, Csel width).
+
+use psa_experiments::{ablations, Settings};
+
+fn main() {
+    let settings = Settings::default();
+    psa_bench::banner("Ablations — Set-Dueling shape", &settings);
+    println!("{}", ablations::run(&settings));
+}

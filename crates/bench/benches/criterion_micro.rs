@@ -1,0 +1,78 @@
+//! Criterion microbenches of the hot paths: prefetcher training/issue and
+//! the composite PSA module, at both indexing grains.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psa_common::{PLine, PageSize, VAddr};
+use psa_core::ppm::PageSizeSource;
+use psa_core::{
+    AccessContext, IndexGrain, ModuleConfig, PageSizePolicy, PsaModule, SdConfig,
+};
+use psa_prefetchers::PrefetcherKind;
+use std::hint::black_box;
+
+fn ctx(line: u64) -> AccessContext {
+    AccessContext {
+        line: PLine::new(line),
+        pc: VAddr::new(0x400),
+        cache_hit: false,
+        page_size: PageSize::Size2M,
+    }
+}
+
+fn prefetcher_on_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefetcher_on_access");
+    for kind in PrefetcherKind::EVALUATED {
+        for grain in [IndexGrain::Page4K, IndexGrain::Page2M] {
+            let mut p = kind.build(grain);
+            let mut out = Vec::with_capacity(64);
+            let mut line = 0u64;
+            group.bench_function(format!("{kind}/{grain}"), |b| {
+                b.iter(|| {
+                    out.clear();
+                    line = line.wrapping_add(3) & 0xf_ffff;
+                    p.on_access(black_box(&ctx(line)), &mut out);
+                    black_box(out.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn module_on_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psa_module_on_access");
+    for policy in PageSizePolicy::ALL {
+        let mut module = PsaModule::new(
+            policy,
+            PageSizeSource::Ppm,
+            &|grain| PrefetcherKind::Spp.build(grain),
+            1024,
+            SdConfig::default(),
+            ModuleConfig::default(),
+        )
+        .expect("module shape");
+        let mut out = Vec::with_capacity(16);
+        let mut line = 0u64;
+        group.bench_function(format!("SPP{}", policy.suffix()), |b| {
+            b.iter(|| {
+                out.clear();
+                line = line.wrapping_add(1) & 0xf_ffff;
+                module.on_access(
+                    black_box(PLine::new(line)),
+                    VAddr::new(0x400),
+                    false,
+                    true,
+                    PageSize::Size2M,
+                    (line as usize) & 1023,
+                    &|_| false,
+                    &mut out,
+                );
+                black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, prefetcher_on_access, module_on_access);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Figure 2: probability a prefetch is discarded for crossing 4KB inside a
+//! 2MB page, for the original prefetchers.
+
+use psa_experiments::{fig02, Settings};
+
+fn main() {
+    let settings = Settings::default();
+    psa_bench::banner("Figure 2", &settings);
+    println!("{}", fig02::run(&settings));
+}

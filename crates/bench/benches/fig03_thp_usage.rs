@@ -1,0 +1,9 @@
+//! Figure 3: memory mapped in 2MB pages across execution.
+
+use psa_experiments::{fig03, Settings};
+
+fn main() {
+    let settings = Settings::default();
+    psa_bench::banner("Figure 3", &settings);
+    println!("{}", fig03::run(&settings));
+}

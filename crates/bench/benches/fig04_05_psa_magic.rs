@@ -1,0 +1,9 @@
+//! Figures 4 & 5: the motivation study (SPP vs magic page-size awareness).
+
+use psa_experiments::{fig0405, Settings};
+
+fn main() {
+    let settings = Settings::default();
+    psa_bench::banner("Figures 4 & 5", &settings);
+    println!("{}", fig0405::run(&settings));
+}

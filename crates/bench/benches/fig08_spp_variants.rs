@@ -1,0 +1,9 @@
+//! Figure 8: per-workload speedups of the SPP PSA variants.
+
+use psa_experiments::{fig08, Settings};
+
+fn main() {
+    let settings = Settings::default();
+    psa_bench::banner("Figure 8", &settings);
+    println!("{}", fig08::run(&settings));
+}

@@ -1,0 +1,9 @@
+//! Figure 9: per-suite geomeans for all four prefetchers.
+
+use psa_experiments::{fig09, Settings};
+
+fn main() {
+    let settings = Settings::default();
+    psa_bench::banner("Figure 9", &settings);
+    println!("{}", fig09::run(&settings));
+}

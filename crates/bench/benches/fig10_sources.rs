@@ -1,0 +1,9 @@
+//! Figure 10: sources of improvement (latency, coverage, accuracy).
+
+use psa_experiments::{fig10, Settings};
+
+fn main() {
+    let settings = Settings::default();
+    psa_bench::banner("Figure 10", &settings);
+    println!("{}", fig10::run(&settings));
+}

@@ -1,0 +1,9 @@
+//! Figure 11: selection-logic ablation + ISO storage.
+
+use psa_experiments::{fig11, Settings};
+
+fn main() {
+    let settings = Settings::default();
+    psa_bench::banner("Figure 11", &settings);
+    println!("{}", fig11::run(&settings));
+}

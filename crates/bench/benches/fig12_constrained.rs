@@ -1,0 +1,9 @@
+//! Figure 12: constrained evaluation (MSHR / LLC / DRAM sweeps).
+
+use psa_experiments::{fig12, Settings};
+
+fn main() {
+    let settings = Settings::default();
+    psa_bench::banner("Figure 12", &settings);
+    println!("{}", fig12::run(&settings));
+}

@@ -1,0 +1,9 @@
+//! Figure 13: comparison with state-of-the-art L1D prefetching.
+
+use psa_experiments::{fig13, Settings};
+
+fn main() {
+    let settings = Settings::default();
+    psa_bench::banner("Figure 13", &settings);
+    println!("{}", fig13::run(&settings));
+}

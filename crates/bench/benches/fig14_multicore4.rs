@@ -1,0 +1,10 @@
+//! Figure 14: 4-core weighted speedups over random mixes.
+
+use psa_experiments::{fig1415, Settings};
+
+fn main() {
+    let settings = Settings::default();
+    psa_bench::banner("Figure 14 (4-core)", &settings);
+    println!("mixes: {} (PSA_MIXES to scale; the paper uses 100)\n", settings.mixes());
+    println!("{}", fig1415::run(&settings, 4));
+}

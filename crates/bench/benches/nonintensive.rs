@@ -1,0 +1,9 @@
+//! §VI-B1: the non-intensive workload augmentation ("no harm" check).
+
+use psa_experiments::{nonintensive, Settings};
+
+fn main() {
+    let settings = Settings::default();
+    psa_bench::banner("§VI-B1 non-intensive augmentation", &settings);
+    println!("{}", nonintensive::run(&settings));
+}

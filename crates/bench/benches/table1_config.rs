@@ -1,0 +1,9 @@
+//! Table I: the simulated system configuration.
+
+use psa_experiments::Settings;
+
+fn main() {
+    let settings = Settings::default();
+    psa_bench::banner("Table I — system configuration", &settings);
+    println!("{}", settings.config.table1());
+}

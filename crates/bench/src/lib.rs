@@ -1,0 +1,33 @@
+//! Support crate for the `cargo bench` experiment harnesses.
+//!
+//! Every figure/table of the paper has a bench target (see `benches/`);
+//! each prints the regenerated rows. Scale with `PSA_INSTRUCTIONS`,
+//! `PSA_WARMUP`, `PSA_WORKLOAD_LIMIT` and `PSA_MIXES` — the defaults run
+//! laptop-scale, the paper-faithful scale is 250M+250M instructions over
+//! all 80 workloads and 100 mixes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use psa_experiments::Settings;
+
+/// Print the standard experiment banner: the Table I configuration and the
+/// scaling knobs in force.
+pub fn banner(title: &str, settings: &Settings) {
+    println!("=== {title} ===");
+    println!(
+        "budget: {} warmup + {} measured instructions/core (PSA_WARMUP / PSA_INSTRUCTIONS to scale)",
+        settings.config.warmup, settings.config.instructions
+    );
+    println!("workloads: {} (PSA_WORKLOAD_LIMIT to subsample)\n", settings.workloads().len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banner_prints() {
+        banner("smoke", &Settings::default());
+    }
+}

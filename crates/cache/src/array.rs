@@ -1,0 +1,477 @@
+//! Set-associative cache arrays with LRU replacement and prefetch metadata.
+//!
+//! All cache levels in the paper use LRU (Table I). Every block carries:
+//!
+//! * a `prefetched` flag plus the **source annotation** Pref-PSA-SD relies
+//!   on (§IV-B2) — which competing prefetcher issued the fill;
+//! * a `used` flag so a prefetched block is counted *useful* exactly once,
+//!   on its first demand hit (the event that updates `Csel`).
+
+use psa_common::geometry::checked_log2;
+use psa_common::{PLine, LINE_BYTES};
+
+/// Shape and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Human-readable level name for error messages and reports.
+    pub name: &'static str,
+    /// Capacity in bytes.
+    pub bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Access latency in cycles.
+    pub latency: u64,
+    /// MSHR entries for this level.
+    pub mshr_entries: usize,
+}
+
+impl CacheConfig {
+    /// Table I L1I: 32KB, 8-way, 4-cycle, 8 MSHRs.
+    pub fn l1i() -> Self {
+        Self { name: "L1I", bytes: 32 << 10, ways: 8, latency: 4, mshr_entries: 8 }
+    }
+
+    /// Table I L1D: 48KB, 12-way, 5-cycle, 16 MSHRs.
+    pub fn l1d() -> Self {
+        Self { name: "L1D", bytes: 48 << 10, ways: 12, latency: 5, mshr_entries: 16 }
+    }
+
+    /// Table I L2C: 512KB, 8-way, 10-cycle, 32 MSHRs.
+    pub fn l2c() -> Self {
+        Self { name: "L2C", bytes: 512 << 10, ways: 8, latency: 10, mshr_entries: 32 }
+    }
+
+    /// Table I LLC: 2MB/core, 16-way, 20-cycle, 64 MSHRs.
+    pub fn llc(cores: usize) -> Self {
+        Self {
+            name: "LLC",
+            bytes: (2 << 20) * cores as u64,
+            ways: 16,
+            latency: 20,
+            mshr_entries: 64 * cores.max(1),
+        }
+    }
+
+    /// Number of sets implied by the shape.
+    pub fn sets(&self) -> u64 {
+        self.bytes / (LINE_BYTES * self.ways as u64)
+    }
+}
+
+/// Error: unrealisable cache shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfigError(String);
+
+impl std::fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid cache shape: {}", self.0)
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
+
+/// How a fill entered the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillKind {
+    /// A demand miss fill.
+    Demand,
+    /// A prefetch fill issued by the identified prefetcher
+    /// (the Pref-PSA-SD annotation).
+    Prefetch {
+        /// Issuing-prefetcher id (0 = Pref-PSA, 1 = Pref-PSA-2MB by
+        /// convention in `psa-core`).
+        source: u8,
+    },
+}
+
+/// Result of a hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HitInfo {
+    /// The block had been brought in by a prefetch.
+    pub was_prefetched: bool,
+    /// Issuing prefetcher (meaningful when `was_prefetched`).
+    pub prefetch_source: u8,
+    /// This is the first demand touch of the prefetched block — the event
+    /// that counts it useful and trains `Csel`.
+    pub first_use: bool,
+}
+
+/// A block pushed out by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted line.
+    pub line: PLine,
+    /// It was dirty and must be written back.
+    pub dirty: bool,
+    /// It was a prefetched block that was never demanded — a useless
+    /// prefetch, for accuracy accounting.
+    pub unused_prefetch: bool,
+    /// Issuing prefetcher of an unused prefetched block.
+    pub prefetch_source: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    line: PLine,
+    valid: bool,
+    dirty: bool,
+    prefetched: bool,
+    source: u8,
+    used: bool,
+    last_use: u64,
+}
+
+const INVALID: Block = Block {
+    line: PLine::new(0),
+    valid: false,
+    dirty: false,
+    prefetched: false,
+    source: 0,
+    used: false,
+    last_use: 0,
+};
+
+/// Per-level hit/miss and prefetch-usefulness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand lookups that hit (including hits on prefetched blocks).
+    pub demand_hits: u64,
+    /// Demand lookups that missed the array.
+    pub demand_misses: u64,
+    /// Prefetch fills installed.
+    pub prefetch_fills: u64,
+    /// Prefetched blocks demanded at least once before eviction.
+    pub useful_prefetches: u64,
+    /// Prefetched blocks evicted without ever being demanded.
+    pub useless_prefetches: u64,
+    /// Dirty evictions (writebacks to the next level).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Demand accesses observed.
+    pub fn demand_accesses(&self) -> u64 {
+        self.demand_hits + self.demand_misses
+    }
+
+    /// Demand miss ratio in `[0, 1]`; 0 when unused.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.demand_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.demand_misses as f64 / total as f64
+        }
+    }
+}
+
+/// One set-associative cache level.
+#[derive(Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: usize,
+    blocks: Vec<Block>,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build a cache of the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the shape divides into a power-of-two number of sets.
+    pub fn new(config: CacheConfig) -> Result<Self, CacheConfigError> {
+        if config.ways == 0 || config.bytes == 0 {
+            return Err(CacheConfigError(format!("{}: zero ways or bytes", config.name)));
+        }
+        if config.bytes % (LINE_BYTES * config.ways as u64) != 0 {
+            return Err(CacheConfigError(format!(
+                "{}: {} bytes not divisible into {}-way 64B sets",
+                config.name, config.bytes, config.ways
+            )));
+        }
+        let sets = config.sets();
+        checked_log2(config.name, sets).map_err(|e| CacheConfigError(e.to_string()))?;
+        Ok(Self {
+            config,
+            sets: sets as usize,
+            blocks: vec![INVALID; sets as usize * config.ways],
+            stamp: 0,
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// The level's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The set this line maps to — exposed because Set Dueling dedicates
+    /// specific L2C sets to each competing prefetcher (§IV-B2).
+    #[inline]
+    pub fn set_of(&self, line: PLine) -> usize {
+        (line.raw() as usize) & (self.sets - 1)
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    fn set_range(&self, line: PLine) -> std::ops::Range<usize> {
+        let set = self.set_of(line);
+        set * self.config.ways..(set + 1) * self.config.ways
+    }
+
+    /// Demand lookup. Hits update LRU and prefetch-usefulness state.
+    pub fn probe(&mut self, line: PLine) -> Option<HitInfo> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let range = self.set_range(line);
+        let hit = self.blocks[range].iter_mut().find(|b| b.valid && b.line == line);
+        match hit {
+            Some(b) => {
+                b.last_use = stamp;
+                let first_use = b.prefetched && !b.used;
+                if first_use {
+                    b.used = true;
+                    self.stats.useful_prefetches += 1;
+                }
+                self.stats.demand_hits += 1;
+                Some(HitInfo {
+                    was_prefetched: b.prefetched,
+                    prefetch_source: b.source,
+                    first_use,
+                })
+            }
+            None => {
+                self.stats.demand_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Non-destructive presence check (no LRU or stats update) — used by
+    /// prefetch filtering.
+    pub fn contains(&self, line: PLine) -> bool {
+        let set = self.set_of(line);
+        self.blocks[set * self.config.ways..(set + 1) * self.config.ways]
+            .iter()
+            .any(|b| b.valid && b.line == line)
+    }
+
+    /// Mark a resident line dirty (store hit). No-op if absent.
+    pub fn mark_dirty(&mut self, line: PLine) {
+        let range = self.set_range(line);
+        if let Some(b) = self.blocks[range].iter_mut().find(|b| b.valid && b.line == line) {
+            b.dirty = true;
+        }
+    }
+
+    /// Install `line`, evicting the LRU block if the set is full.
+    ///
+    /// Re-filling a resident line refreshes it in place (this happens when
+    /// a prefetch and a demand race through different paths).
+    pub fn fill(&mut self, line: PLine, kind: FillKind, dirty: bool) -> Option<Evicted> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let FillKind::Prefetch { .. } = kind {
+            self.stats.prefetch_fills += 1;
+        }
+        let range = self.set_range(line);
+        let set = &mut self.blocks[range];
+        if let Some(b) = set.iter_mut().find(|b| b.valid && b.line == line) {
+            b.dirty |= dirty;
+            b.last_use = stamp;
+            return None;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|b| if b.valid { b.last_use } else { 0 })
+            .expect("non-empty set");
+        let evicted = if victim.valid {
+            let unused_prefetch = victim.prefetched && !victim.used;
+            Some(Evicted {
+                line: victim.line,
+                dirty: victim.dirty,
+                unused_prefetch,
+                prefetch_source: victim.source,
+            })
+        } else {
+            None
+        };
+        if let Some(e) = &evicted {
+            if e.unused_prefetch {
+                self.stats.useless_prefetches += 1;
+            }
+            if e.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        let (prefetched, source) = match kind {
+            FillKind::Demand => (false, 0),
+            FillKind::Prefetch { source } => (true, source),
+        };
+        *victim = Block { line, valid: true, dirty, prefetched, source, used: false, last_use: stamp };
+        evicted
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways.
+        Cache::new(CacheConfig {
+            name: "T",
+            bytes: 4 * LINE_BYTES,
+            ways: 2,
+            latency: 1,
+            mshr_entries: 4,
+        })
+        .unwrap()
+    }
+
+    fn line(n: u64) -> PLine {
+        PLine::new(n)
+    }
+
+    #[test]
+    fn paper_shapes_construct() {
+        for c in [CacheConfig::l1i(), CacheConfig::l1d(), CacheConfig::l2c(), CacheConfig::llc(1)]
+        {
+            let cache = Cache::new(c).unwrap();
+            assert_eq!(cache.config().sets() as usize, cache.num_sets());
+        }
+        // L1D: 48KB 12-way → 64 sets; L2C: 512KB 8-way → 1024 sets.
+        assert_eq!(CacheConfig::l1d().sets(), 64);
+        assert_eq!(CacheConfig::l2c().sets(), 1024);
+        assert_eq!(CacheConfig::llc(4).sets(), 8192);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(Cache::new(CacheConfig {
+            name: "bad",
+            bytes: 3 * LINE_BYTES,
+            ways: 2,
+            latency: 1,
+            mshr_entries: 1
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut c = tiny();
+        assert!(c.probe(line(4)).is_none());
+        c.fill(line(4), FillKind::Demand, false);
+        let hit = c.probe(line(4)).unwrap();
+        assert!(!hit.was_prefetched);
+        assert_eq!(c.stats().demand_hits, 1);
+        assert_eq!(c.stats().demand_misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 map to set 0 (even lines).
+        c.fill(line(0), FillKind::Demand, false);
+        c.fill(line(2), FillKind::Demand, false);
+        c.probe(line(0)); // refresh 0
+        let ev = c.fill(line(4), FillKind::Demand, false).unwrap();
+        assert_eq!(ev.line, line(2));
+        assert!(c.contains(line(0)));
+        assert!(c.contains(line(4)));
+    }
+
+    #[test]
+    fn prefetch_first_use_counts_once() {
+        let mut c = tiny();
+        c.fill(line(6), FillKind::Prefetch { source: 1 }, false);
+        let h1 = c.probe(line(6)).unwrap();
+        assert!(h1.was_prefetched && h1.first_use);
+        assert_eq!(h1.prefetch_source, 1);
+        let h2 = c.probe(line(6)).unwrap();
+        assert!(h2.was_prefetched && !h2.first_use);
+        assert_eq!(c.stats().useful_prefetches, 1);
+    }
+
+    #[test]
+    fn unused_prefetch_eviction_counts_useless() {
+        let mut c = tiny();
+        c.fill(line(0), FillKind::Prefetch { source: 0 }, false);
+        c.fill(line(2), FillKind::Demand, false);
+        c.probe(line(2));
+        let ev = c.fill(line(4), FillKind::Demand, false).unwrap();
+        assert!(ev.unused_prefetch);
+        assert_eq!(ev.prefetch_source, 0);
+        assert_eq!(c.stats().useless_prefetches, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_is_writeback() {
+        let mut c = tiny();
+        c.fill(line(0), FillKind::Demand, true);
+        c.fill(line(2), FillKind::Demand, false);
+        c.probe(line(2));
+        let ev = c.fill(line(4), FillKind::Demand, false).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn mark_dirty_on_store_hit() {
+        let mut c = tiny();
+        c.fill(line(0), FillKind::Demand, false);
+        c.mark_dirty(line(0));
+        c.fill(line(2), FillKind::Demand, false);
+        c.probe(line(2));
+        let ev = c.fill(line(4), FillKind::Demand, false).unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn refill_resident_line_does_not_evict() {
+        let mut c = tiny();
+        c.fill(line(0), FillKind::Demand, false);
+        c.fill(line(2), FillKind::Demand, false);
+        assert!(c.fill(line(0), FillKind::Prefetch { source: 0 }, false).is_none());
+        assert!(c.contains(line(0)) && c.contains(line(2)));
+    }
+
+    #[test]
+    fn set_mapping_uses_low_line_bits() {
+        let c = tiny();
+        assert_eq!(c.set_of(line(0)), 0);
+        assert_eq!(c.set_of(line(1)), 1);
+        assert_eq!(c.set_of(line(2)), 0);
+        assert_eq!(c.set_of(line(1025)), 1);
+    }
+
+    #[test]
+    fn contains_does_not_touch_lru_or_stats() {
+        let mut c = tiny();
+        c.fill(line(0), FillKind::Demand, false);
+        let before = c.stats();
+        assert!(c.contains(line(0)));
+        assert!(!c.contains(line(2)));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = tiny();
+        c.probe(line(0));
+        c.fill(line(0), FillKind::Demand, false);
+        c.probe(line(0));
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+}

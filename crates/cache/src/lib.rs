@@ -1,0 +1,34 @@
+//! Cache structures for the *Page Size Aware Cache Prefetching*
+//! reproduction.
+//!
+//! Two µarchitectural details from the paper live here:
+//!
+//! * each MSHR entry carries the **page-size bit** PPM adds (§IV-A): one
+//!   extra bit indicating whether the missed block resides in a 4KB or 2MB
+//!   page, filled from the address-translation metadata on the miss path;
+//! * each cache block carries the **annotation bit** Pref-PSA-SD adds
+//!   (§IV-B2): which of the two competing prefetchers issued the block, so
+//!   `Csel` can be updated on prefetch hits even when the prefetched block
+//!   landed in a different set than its trigger.
+//!
+//! # Example
+//!
+//! ```
+//! use psa_cache::{Cache, CacheConfig, FillKind};
+//! use psa_common::PLine;
+//!
+//! let mut l2 = Cache::new(CacheConfig::l2c()).unwrap();
+//! let line = PLine::new(0x40);
+//! assert!(l2.probe(line).is_none());
+//! l2.fill(line, FillKind::Demand, false);
+//! assert!(l2.probe(line).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod mshr;
+
+pub use array::{Cache, CacheConfig, CacheConfigError, CacheStats, Evicted, FillKind, HitInfo};
+pub use mshr::{Mshr, MshrEntry, MshrMeta, MshrStats};

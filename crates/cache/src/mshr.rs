@@ -1,0 +1,264 @@
+//! Miss Status Holding Registers.
+//!
+//! An MSHR entry tracks one in-flight line fill. PPM (§IV-A of the paper)
+//! augments each entry with **one page-size bit** copied from the address
+//! translation metadata on the L1D miss path; the bit rides along to the
+//! L2C prefetcher with the request stream. That bit is [`MshrMeta::huge`].
+
+use psa_common::PLine;
+
+/// Metadata attached to an in-flight miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrMeta {
+    /// True when the fill was initiated by a prefetcher (vs. a demand miss).
+    pub is_prefetch: bool,
+    /// Which prefetcher issued it — the Pref-PSA-SD annotation, forwarded
+    /// to the block on fill. Ignored for demand fills.
+    pub source: u8,
+    /// **The PPM bit**: does the missed block reside in a 2MB page?
+    pub huge: bool,
+    /// Whether the fill should mark the block dirty (store miss).
+    pub write: bool,
+}
+
+impl MshrMeta {
+    /// Metadata for a demand load miss.
+    pub fn demand(huge: bool) -> Self {
+        Self { is_prefetch: false, source: 0, huge, write: false }
+    }
+
+    /// Metadata for a prefetch issued by `source`.
+    pub fn prefetch(source: u8, huge: bool) -> Self {
+        Self { is_prefetch: true, source, huge, write: false }
+    }
+}
+
+/// One in-flight miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrEntry {
+    /// The physical line being fetched.
+    pub line: PLine,
+    /// Cycle at which the fill arrives.
+    pub fill_at: u64,
+    /// Fill metadata.
+    pub meta: MshrMeta,
+    /// Whether a demand access merged into this entry while pending (a
+    /// *late* prefetch when `meta.is_prefetch`).
+    pub demand_merged: bool,
+    /// Cycle of the first demand merge (meaningful when `demand_merged`).
+    pub merged_at: u64,
+}
+
+/// MSHR statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MshrStats {
+    /// Entries allocated.
+    pub allocations: u64,
+    /// Accesses merged into a pending entry.
+    pub merges: u64,
+    /// Allocation attempts rejected because the file was full.
+    pub full_rejections: u64,
+    /// Demand accesses that merged into a pending *prefetch* (late
+    /// prefetches — they still hide part of the miss latency).
+    pub late_prefetch_merges: u64,
+}
+
+/// A fixed-capacity MSHR file.
+///
+/// The file is intentionally a plain vector: entry counts are 8–128
+/// (Table I / Figure 12A), where linear scans beat hashing.
+#[derive(Debug)]
+pub struct Mshr {
+    entries: Vec<MshrEntry>,
+    capacity: usize,
+    stats: MshrStats,
+}
+
+impl Mshr {
+    /// A file with room for `capacity` in-flight misses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an MSHR file needs at least one entry");
+        Self { entries: Vec::with_capacity(capacity), capacity, stats: MshrStats::default() }
+    }
+
+    /// Number of in-flight misses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no miss is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the file is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Remove and return every entry whose fill has arrived by `now`.
+    pub fn drain_filled(&mut self, now: u64) -> Vec<MshrEntry> {
+        let mut filled = Vec::new();
+        self.entries.retain(|e| {
+            if e.fill_at <= now {
+                filled.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        filled
+    }
+
+    /// The pending entry for `line`, if any.
+    pub fn pending(&self, line: PLine) -> Option<&MshrEntry> {
+        self.entries.iter().find(|e| e.line == line)
+    }
+
+    /// Merge an access (arriving at cycle `now`) into the pending entry for
+    /// `line`. A demand merge into a prefetch entry is recorded as a late
+    /// prefetch, with the first merge time kept so the fill path can judge
+    /// how much latency the prefetch actually hid. Returns the fill cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry for `line` is pending.
+    pub fn merge(&mut self, line: PLine, demand: bool, write: bool, now: u64) -> u64 {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.line == line)
+            .expect("merge target must be pending");
+        self.stats.merges += 1;
+        if demand {
+            if e.meta.is_prefetch && !e.demand_merged {
+                self.stats.late_prefetch_merges += 1;
+                e.merged_at = now;
+            }
+            e.demand_merged = true;
+        }
+        e.meta.write |= write;
+        e.fill_at
+    }
+
+    /// Allocate an entry; `Err(())` when full (the caller must stall or
+    /// drop the request — prefetches are dropped, demands stall).
+    pub fn alloc(&mut self, line: PLine, fill_at: u64, meta: MshrMeta) -> Result<(), MshrFull> {
+        debug_assert!(self.pending(line).is_none(), "duplicate MSHR entry for {line}");
+        if self.is_full() {
+            self.stats.full_rejections += 1;
+            return Err(MshrFull);
+        }
+        self.stats.allocations += 1;
+        self.entries.push(MshrEntry { line, fill_at, meta, demand_merged: false, merged_at: 0 });
+        Ok(())
+    }
+
+    /// Earliest pending fill cycle — when a stalled demand can retry.
+    pub fn earliest_fill(&self) -> Option<u64> {
+        self.entries.iter().map(|e| e.fill_at).min()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MshrStats {
+        self.stats
+    }
+}
+
+/// Error: the MSHR file is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrFull;
+
+impl std::fmt::Display for MshrFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MSHR file full")
+    }
+}
+
+impl std::error::Error for MshrFull {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> PLine {
+        PLine::new(n)
+    }
+
+    #[test]
+    fn alloc_drain_cycle() {
+        let mut m = Mshr::new(4);
+        m.alloc(line(1), 100, MshrMeta::demand(false)).unwrap();
+        m.alloc(line(2), 50, MshrMeta::demand(true)).unwrap();
+        assert_eq!(m.len(), 2);
+        let filled = m.drain_filled(60);
+        assert_eq!(filled.len(), 1);
+        assert_eq!(filled[0].line, line(2));
+        assert!(filled[0].meta.huge, "PPM bit must survive the flight");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.drain_filled(100).len(), 1);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn full_file_rejects() {
+        let mut m = Mshr::new(2);
+        m.alloc(line(1), 10, MshrMeta::demand(false)).unwrap();
+        m.alloc(line(2), 10, MshrMeta::demand(false)).unwrap();
+        assert!(m.is_full());
+        assert_eq!(m.alloc(line(3), 10, MshrMeta::demand(false)), Err(MshrFull));
+        assert_eq!(m.stats().full_rejections, 1);
+        assert_eq!(m.earliest_fill(), Some(10));
+    }
+
+    #[test]
+    fn merge_returns_fill_time() {
+        let mut m = Mshr::new(2);
+        m.alloc(line(7), 99, MshrMeta::demand(false)).unwrap();
+        assert_eq!(m.merge(line(7), true, false, 0), 99);
+        assert_eq!(m.stats().merges, 1);
+        assert_eq!(m.stats().late_prefetch_merges, 0);
+    }
+
+    #[test]
+    fn demand_merge_into_prefetch_is_late_prefetch() {
+        let mut m = Mshr::new(2);
+        m.alloc(line(7), 99, MshrMeta::prefetch(1, true)).unwrap();
+        m.merge(line(7), true, false, 0);
+        m.merge(line(7), true, false, 0); // second merge doesn't double-count
+        assert_eq!(m.stats().late_prefetch_merges, 1);
+        let e = m.drain_filled(99).pop().unwrap();
+        assert!(e.demand_merged);
+        assert_eq!(e.meta.source, 1);
+    }
+
+    #[test]
+    fn write_merge_sets_dirty_intent() {
+        let mut m = Mshr::new(2);
+        m.alloc(line(3), 10, MshrMeta::demand(false)).unwrap();
+        m.merge(line(3), true, true, 0);
+        assert!(m.drain_filled(10)[0].meta.write);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = Mshr::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pending")]
+    fn merge_without_entry_panics() {
+        let mut m = Mshr::new(1);
+        m.merge(line(1), true, false, 0);
+    }
+}

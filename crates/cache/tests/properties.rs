@@ -1,0 +1,96 @@
+//! Property tests for the cache array and MSHR file.
+
+use proptest::prelude::*;
+use psa_cache::{Cache, CacheConfig, FillKind, Mshr, MshrMeta};
+use psa_common::PLine;
+use std::collections::HashSet;
+
+fn tiny_cache() -> Cache {
+    Cache::new(CacheConfig { name: "prop", bytes: 64 * 64, ways: 4, latency: 1, mshr_entries: 8 })
+        .expect("shape")
+}
+
+proptest! {
+    /// After any access sequence, a just-filled line is resident until at
+    /// least `ways` other fills hit its set.
+    #[test]
+    fn filled_line_survives_fewer_than_ways_conflicts(lines in proptest::collection::vec(0u64..4096, 1..200)) {
+        let mut c = tiny_cache();
+        for &l in &lines {
+            c.fill(PLine::new(l), FillKind::Demand, false);
+            prop_assert!(c.contains(PLine::new(l)), "line must be resident right after fill");
+        }
+    }
+
+    /// The cache never reports more residents per set than its ways.
+    #[test]
+    fn set_occupancy_bounded(lines in proptest::collection::vec(0u64..1024, 1..300)) {
+        let mut c = tiny_cache();
+        for &l in &lines {
+            c.fill(PLine::new(l), FillKind::Demand, false);
+        }
+        for set in 0..c.num_sets() {
+            let resident = (0..1024u64)
+                .filter(|&l| c.set_of(PLine::new(l)) == set && c.contains(PLine::new(l)))
+                .count();
+            prop_assert!(resident <= 4, "set {set} holds {resident} lines");
+        }
+    }
+
+    /// Hit/miss accounting always sums to the probe count.
+    #[test]
+    fn probe_accounting_balances(ops in proptest::collection::vec((0u64..512, any::<bool>()), 1..300)) {
+        let mut c = tiny_cache();
+        let mut probes = 0u64;
+        for (l, fill) in ops {
+            if fill {
+                c.fill(PLine::new(l), FillKind::Demand, false);
+            } else {
+                c.probe(PLine::new(l));
+                probes += 1;
+            }
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.demand_hits + s.demand_misses, probes);
+    }
+
+    /// Useful + useless prefetch counts never exceed prefetch fills.
+    #[test]
+    fn prefetch_accounting_bounded(ops in proptest::collection::vec((0u64..256, 0u8..3), 1..400)) {
+        let mut c = tiny_cache();
+        for (l, op) in ops {
+            match op {
+                0 => { c.fill(PLine::new(l), FillKind::Prefetch { source: 0 }, false); }
+                1 => { c.fill(PLine::new(l), FillKind::Demand, false); }
+                _ => { c.probe(PLine::new(l)); }
+            }
+        }
+        let s = c.stats();
+        prop_assert!(s.useful_prefetches + s.useless_prefetches <= s.prefetch_fills);
+    }
+
+    /// Every allocated MSHR entry drains exactly once, with its metadata
+    /// intact, and never before its fill time.
+    #[test]
+    fn mshr_drains_each_entry_once(
+        allocs in proptest::collection::vec((0u64..10_000, 1u64..500, any::<bool>()), 1..32),
+    ) {
+        let mut m = Mshr::new(64);
+        let mut expected = HashSet::new();
+        for (i, &(line, fill_at, huge)) in allocs.iter().enumerate() {
+            let line = line + i as u64 * 20_000; // unique lines
+            if m.alloc(PLine::new(line), fill_at, MshrMeta::demand(huge)).is_ok() {
+                expected.insert(line);
+            }
+        }
+        let mut drained = HashSet::new();
+        for now in [100u64, 250, 500] {
+            for e in m.drain_filled(now) {
+                prop_assert!(e.fill_at <= now, "drained before maturity");
+                prop_assert!(drained.insert(e.line.raw()), "double drain");
+            }
+        }
+        prop_assert_eq!(drained, expected);
+        prop_assert!(m.is_empty());
+    }
+}

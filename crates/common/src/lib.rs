@@ -1,0 +1,42 @@
+//! Shared foundation types for the *Page Size Aware Cache Prefetching*
+//! reproduction.
+//!
+//! This crate defines the vocabulary every other crate in the workspace
+//! speaks:
+//!
+//! * [`addr`] — virtual/physical address and cache-line newtypes plus the
+//!   [`PageSize`] enum that the whole paper revolves around.
+//! * [`geometry`] — power-of-two helpers used to validate cache shapes.
+//! * [`satcounter`] — n-bit saturating counters (`Csel`, SPP confidence, …).
+//! * [`stats`] — geometric means, weighted speedups and distribution
+//!   summaries used when reproducing the paper's figures.
+//! * [`rng`] — a deterministic, seedable random source so every simulation
+//!   is reproducible bit-for-bit.
+//! * [`table`] — minimal fixed-width text tables for experiment output.
+//!
+//! # Example
+//!
+//! ```
+//! use psa_common::{PAddr, PageSize};
+//!
+//! let addr = PAddr::new(0x20_0040);
+//! let line = addr.line();
+//! assert_eq!(line.page_number(PageSize::Size4K), 0x200);
+//! assert_eq!(addr.page_size_lines(PageSize::Size2M), 32_768);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod geometry;
+pub mod rng;
+pub mod satcounter;
+pub mod stats;
+pub mod table;
+
+pub use addr::{PAddr, PLine, PageSize, VAddr, VLine, LINE_BYTES, LINE_SHIFT};
+pub use rng::DetRng;
+pub use satcounter::SatCounter;
+pub use stats::{geomean, DistSummary};
+pub use table::Table;

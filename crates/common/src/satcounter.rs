@@ -1,0 +1,149 @@
+//! N-bit saturating counters.
+//!
+//! The paper uses these in two load-bearing places: the 3-bit `Csel`
+//! selection counter of Pref-PSA-SD (§IV-B2) and the confidence counters in
+//! SPP's pattern table. The type is deliberately tiny and branch-light since
+//! it sits on simulation hot paths.
+
+/// An unsigned saturating counter with a configurable bit width.
+///
+/// ```
+/// use psa_common::SatCounter;
+///
+/// let mut csel = SatCounter::centered(3);
+/// assert!(!csel.msb()); // starts just below the midpoint → selects Pref-PSA
+/// csel.inc();
+/// assert!(csel.msb()); // one useful PSA-2MB prefetch flips the choice
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SatCounter {
+    value: u32,
+    max: u32,
+    bits: u32,
+}
+
+impl SatCounter {
+    /// A `bits`-wide counter starting at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 31.
+    pub fn new(bits: u32) -> Self {
+        assert!(bits > 0 && bits < 32, "counter width out of range: {bits}");
+        Self { value: 0, max: (1u32 << bits) - 1, bits }
+    }
+
+    /// A `bits`-wide counter starting just below the midpoint, so the MSB is
+    /// clear until the first net increment — the neutral initial state Set
+    /// Dueling assumes.
+    pub fn centered(bits: u32) -> Self {
+        let mut c = Self::new(bits);
+        c.value = (c.max / 2).max(if c.bits > 1 { c.max / 2 } else { 0 });
+        c
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn value(self) -> u32 {
+        self.value
+    }
+
+    /// Saturating maximum (`2^bits - 1`).
+    #[inline]
+    pub fn max(self) -> u32 {
+        self.max
+    }
+
+    /// Bit width.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Whether the most-significant bit is set — the Set Dueling decision.
+    #[inline]
+    pub fn msb(self) -> bool {
+        self.value > self.max / 2
+    }
+
+    /// Saturating increment.
+    #[inline]
+    pub fn inc(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Saturating decrement.
+    #[inline]
+    pub fn dec(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Confidence as a fraction of the maximum, in `[0, 1]`.
+    #[inline]
+    pub fn fraction(self) -> f64 {
+        f64::from(self.value) / f64::from(self.max)
+    }
+
+    /// Reset to zero.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = SatCounter::new(2);
+        c.dec();
+        assert_eq!(c.value(), 0);
+        for _ in 0..10 {
+            c.inc();
+        }
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn msb_threshold_for_3_bits() {
+        // 3-bit counter: values 0..=3 → MSB clear, 4..=7 → MSB set.
+        let mut c = SatCounter::new(3);
+        for expected_msb in [false, false, false, false, true, true, true, true] {
+            assert_eq!(c.msb(), expected_msb, "value {}", c.value());
+            c.inc();
+        }
+    }
+
+    #[test]
+    fn centered_counter_flips_on_first_inc() {
+        let mut c = SatCounter::centered(3);
+        assert_eq!(c.value(), 3);
+        assert!(!c.msb());
+        c.inc();
+        assert!(c.msb());
+        c.dec();
+        assert!(!c.msb());
+    }
+
+    #[test]
+    fn fraction_spans_unit_interval() {
+        let mut c = SatCounter::new(4);
+        assert_eq!(c.fraction(), 0.0);
+        for _ in 0..15 {
+            c.inc();
+        }
+        assert_eq!(c.fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn zero_width_rejected() {
+        let _ = SatCounter::new(0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimal fixed-width text tables for experiment output.
+//!
+//! The benchmark harnesses print each paper figure/table as plain text; this
+//! keeps the output diff-able and dependency-free.
+
+use std::fmt::Write as _;
+
+/// A simple text table: a header row plus data rows, rendered with columns
+/// padded to their widest cell. The first column is left-aligned, the rest
+/// right-aligned (numbers).
+///
+/// ```
+/// use psa_common::Table;
+/// let mut t = Table::new(vec!["workload".into(), "speedup %".into()]);
+/// t.row(vec!["milc".into(), "12.3".into()]);
+/// let text = t.render();
+/// assert!(text.contains("milc"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Self { headers, rows: Vec::new() }
+    }
+
+    /// Append a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string with a separator line under the header.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+                } else {
+                    let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        emit(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a percentage with sign and one decimal, matching the paper's
+/// "+8.1" style.
+pub fn pct(v: f64) -> String {
+    format!("{v:+.1}")
+}
+
+/// Format a ratio with three decimals.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name".into(), "v".into()]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["longer".into(), "10.25".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert_eq!(lines[0].len(), lines[2].chars().count().max(lines[0].len()));
+        assert!(lines[3].starts_with("longer"));
+        assert!(lines[2].ends_with("1.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(8.06), "+8.1");
+        assert_eq!(pct(-1.34), "-1.3");
+        assert_eq!(ratio(1.0), "1.000");
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut t = Table::new(vec!["x".into()]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Physical page-boundary legality for prefetch candidates.
+//!
+//! A lower-level cache prefetcher operates on physical addresses. Crossing
+//! a 4KB physical page boundary is unsafe when the block resides in a 4KB
+//! page (physical contiguity is not guaranteed, and page-crossing
+//! prefetching opens a side channel — §II-C2). When the block resides in a
+//! **2MB page**, the whole 2MB physical range belongs to the same mapping,
+//! so crossing interior 4KB boundaries is safe. PPM tells the prefetcher
+//! which case it is in; this module enforces it and keeps the counters
+//! behind Figure 2 of the paper.
+
+use psa_common::{PLine, PageSize};
+
+/// Legality policy in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BoundaryPolicy {
+    /// Original prefetchers: stop at 4KB no matter the page size.
+    #[default]
+    Strict4K,
+    /// PPM-equipped prefetchers: stop at the trigger block's page boundary
+    /// (4KB or 2MB according to the propagated page-size bit).
+    PageAware,
+}
+
+/// Verdict for one candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Safe to issue.
+    Allowed,
+    /// Discarded: crosses a 4KB boundary while the trigger resides in a
+    /// 2MB page — the *missed opportunity* PPM recovers (Figure 2 counts
+    /// exactly these for original prefetchers).
+    DiscardedCross4KInHuge,
+    /// Discarded: leaves the trigger's page entirely (never safe).
+    DiscardedOutOfPage,
+}
+
+/// Counters behind Figure 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoundaryStats {
+    /// Candidates checked.
+    pub candidates: u64,
+    /// Candidates allowed.
+    pub allowed: u64,
+    /// Candidates discarded for crossing 4KB inside a 2MB page.
+    pub discarded_cross_4k_in_huge: u64,
+    /// Candidates discarded for leaving the page entirely.
+    pub discarded_out_of_page: u64,
+}
+
+impl BoundaryStats {
+    /// Figure 2's metric: the probability that a candidate prefetch is
+    /// discarded because it crosses a 4KB boundary while the block resides
+    /// in a large page. Zero when no candidates were seen.
+    pub fn discard_probability(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.discarded_cross_4k_in_huge as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// Stateless check + stats accumulation.
+#[derive(Debug, Clone, Default)]
+pub struct BoundaryChecker {
+    policy: BoundaryPolicy,
+    stats: BoundaryStats,
+}
+
+impl BoundaryChecker {
+    /// A checker enforcing `policy`.
+    pub fn new(policy: BoundaryPolicy) -> Self {
+        Self { policy, stats: BoundaryStats::default() }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> BoundaryPolicy {
+        self.policy
+    }
+
+    /// Judge `candidate` given the trigger line and the trigger's actual
+    /// page size (PPM's bit). Updates the Figure 2 counters.
+    pub fn check(&mut self, trigger: PLine, trigger_page: PageSize, candidate: PLine) -> Verdict {
+        self.stats.candidates += 1;
+        let verdict = self.classify(trigger, trigger_page, candidate);
+        match verdict {
+            Verdict::Allowed => self.stats.allowed += 1,
+            Verdict::DiscardedCross4KInHuge => self.stats.discarded_cross_4k_in_huge += 1,
+            Verdict::DiscardedOutOfPage => self.stats.discarded_out_of_page += 1,
+        }
+        verdict
+    }
+
+    fn classify(&self, trigger: PLine, trigger_page: PageSize, candidate: PLine) -> Verdict {
+        let same_4k = candidate.same_page(trigger, PageSize::Size4K);
+        if same_4k {
+            return Verdict::Allowed;
+        }
+        // The candidate crosses a 4KB boundary.
+        match trigger_page {
+            PageSize::Size4K => Verdict::DiscardedOutOfPage,
+            PageSize::Size2M => {
+                if candidate.same_page(trigger, PageSize::Size2M) {
+                    match self.policy {
+                        BoundaryPolicy::PageAware => Verdict::Allowed,
+                        BoundaryPolicy::Strict4K => Verdict::DiscardedCross4KInHuge,
+                    }
+                } else {
+                    Verdict::DiscardedOutOfPage
+                }
+            }
+        }
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> BoundaryStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_4k_always_allowed() {
+        for policy in [BoundaryPolicy::Strict4K, BoundaryPolicy::PageAware] {
+            let mut c = BoundaryChecker::new(policy);
+            assert_eq!(c.check(PLine::new(0), PageSize::Size4K, PLine::new(63)), Verdict::Allowed);
+            assert_eq!(c.check(PLine::new(0), PageSize::Size2M, PLine::new(63)), Verdict::Allowed);
+        }
+    }
+
+    #[test]
+    fn crossing_out_of_a_4k_page_never_allowed() {
+        for policy in [BoundaryPolicy::Strict4K, BoundaryPolicy::PageAware] {
+            let mut c = BoundaryChecker::new(policy);
+            assert_eq!(
+                c.check(PLine::new(63), PageSize::Size4K, PLine::new(64)),
+                Verdict::DiscardedOutOfPage
+            );
+        }
+    }
+
+    #[test]
+    fn huge_page_interior_crossing_depends_on_policy() {
+        let mut strict = BoundaryChecker::new(BoundaryPolicy::Strict4K);
+        let mut aware = BoundaryChecker::new(BoundaryPolicy::PageAware);
+        let trigger = PLine::new(63);
+        let next = PLine::new(64);
+        assert_eq!(
+            strict.check(trigger, PageSize::Size2M, next),
+            Verdict::DiscardedCross4KInHuge
+        );
+        assert_eq!(aware.check(trigger, PageSize::Size2M, next), Verdict::Allowed);
+    }
+
+    #[test]
+    fn leaving_the_2mb_page_never_allowed() {
+        let mut aware = BoundaryChecker::new(BoundaryPolicy::PageAware);
+        let trigger = PLine::new(32767); // last line of first 2MB page
+        let outside = PLine::new(32768);
+        assert_eq!(
+            aware.check(trigger, PageSize::Size2M, outside),
+            Verdict::DiscardedOutOfPage
+        );
+    }
+
+    #[test]
+    fn negative_direction_crossing_also_gated() {
+        let mut strict = BoundaryChecker::new(BoundaryPolicy::Strict4K);
+        let mut aware = BoundaryChecker::new(BoundaryPolicy::PageAware);
+        let trigger = PLine::new(64);
+        let prev = PLine::new(63);
+        assert_eq!(
+            strict.check(trigger, PageSize::Size2M, prev),
+            Verdict::DiscardedCross4KInHuge
+        );
+        assert_eq!(aware.check(trigger, PageSize::Size2M, prev), Verdict::Allowed);
+    }
+
+    #[test]
+    fn figure2_probability() {
+        let mut strict = BoundaryChecker::new(BoundaryPolicy::Strict4K);
+        let trigger = PLine::new(62);
+        // 2 in-page, 1 huge-crossing, 1 out of page (trigger in 4K page).
+        strict.check(trigger, PageSize::Size2M, PLine::new(63));
+        strict.check(trigger, PageSize::Size2M, PLine::new(10));
+        strict.check(trigger, PageSize::Size2M, PLine::new(100));
+        strict.check(PLine::new(62), PageSize::Size4K, PLine::new(100));
+        let s = strict.stats();
+        assert_eq!(s.candidates, 4);
+        assert_eq!(s.allowed, 2);
+        assert_eq!(s.discarded_cross_4k_in_huge, 1);
+        assert_eq!(s.discarded_out_of_page, 1);
+        assert!((s.discard_probability() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_probability_is_zero() {
+        assert_eq!(BoundaryStats::default().discard_probability(), 0.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Set-Dueling selection logic for Pref-PSA-SD (§IV-B2/B3).
+//!
+//! The L2C sets are clustered into three groups: sets dedicated to
+//! Pref-PSA, sets dedicated to Pref-PSA-2MB, and follower sets steered by
+//! the MSB of a single saturating counter `Csel`. A useful prefetch issued
+//! by Pref-PSA decrements `Csel`; one issued by Pref-PSA-2MB increments it
+//! (identified by the per-block annotation bit, because the prefetched
+//! block may land in a different set than its trigger — footnote 5).
+//!
+//! The module also implements the two ablation variants of Figure 11:
+//! *SD-Standard* (train only the selected prefetcher, as original Set
+//! Dueling would) and *SD-Page-Size* (no dueling; pick by the access's page
+//! size).
+
+use psa_common::{PageSize, SatCounter};
+
+/// Which competing prefetcher gets to issue for an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selected {
+    /// The 4KB-indexed page size aware prefetcher.
+    Psa,
+    /// The 2MB-indexed page size aware prefetcher.
+    Psa2m,
+}
+
+/// Classification of an L2C set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetClass {
+    /// Dedicated to Pref-PSA.
+    PsaSample,
+    /// Dedicated to Pref-PSA-2MB.
+    Psa2mSample,
+    /// Steered by `Csel`.
+    Follower,
+}
+
+/// Training policy (Figure 11 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrainPolicy {
+    /// SD-Proposed: both prefetchers train on **all** L2C accesses.
+    #[default]
+    Both,
+    /// SD-Standard: each prefetcher trains only when selected — the paper
+    /// shows this suffers "insufficient training and false pattern
+    /// observation".
+    SelectedOnly,
+}
+
+/// Follower-set selection policy (Figure 11 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectPolicy {
+    /// SD-Proposed / SD-Standard: Set Dueling via `Csel`.
+    #[default]
+    Dueling,
+    /// SD-Page-Size: blindly pick by the accessed block's page size.
+    PageSize,
+}
+
+/// Configuration of the selection logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdConfig {
+    /// Sets dedicated to each competitor (Table I: 32, "similar to prior
+    /// work").
+    pub dedicated_sets: usize,
+    /// Width of `Csel` (Table I: 3 bits).
+    pub csel_bits: u32,
+    /// Training policy.
+    pub train: TrainPolicy,
+    /// Follower selection policy.
+    pub select: SelectPolicy,
+}
+
+impl Default for SdConfig {
+    fn default() -> Self {
+        Self {
+            dedicated_sets: 32,
+            csel_bits: 3,
+            train: TrainPolicy::Both,
+            select: SelectPolicy::Dueling,
+        }
+    }
+}
+
+/// Error: dueling shape incompatible with the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdConfigError(String);
+
+impl std::fmt::Display for SdConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid set-dueling config: {}", self.0)
+    }
+}
+
+impl std::error::Error for SdConfigError {}
+
+/// The selection logic instance attached to one L2C.
+#[derive(Debug, Clone)]
+pub struct SetDueling {
+    config: SdConfig,
+    csel: SatCounter,
+    spacing: usize,
+    /// Useful prefetch hits credited to each competitor.
+    hits: [u64; 2],
+}
+
+impl SetDueling {
+    /// Attach selection logic to a cache with `num_sets` sets.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the dedicated sets don't fit (`2 × dedicated > num_sets`)
+    /// or the spacing cannot interleave both sample groups.
+    pub fn new(config: SdConfig, num_sets: usize) -> Result<Self, SdConfigError> {
+        if config.dedicated_sets == 0 {
+            return Err(SdConfigError("need at least one dedicated set per competitor".into()));
+        }
+        if config.dedicated_sets * 2 > num_sets {
+            return Err(SdConfigError(format!(
+                "2×{} dedicated sets exceed {} cache sets",
+                config.dedicated_sets, num_sets
+            )));
+        }
+        let spacing = num_sets / config.dedicated_sets;
+        if spacing < 2 || num_sets % config.dedicated_sets != 0 {
+            return Err(SdConfigError(format!(
+                "{} sets cannot interleave {} sample sets per competitor",
+                num_sets, config.dedicated_sets
+            )));
+        }
+        Ok(Self { config, csel: SatCounter::centered(config.csel_bits), spacing, hits: [0, 0] })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SdConfig {
+        &self.config
+    }
+
+    /// Classify a set (sample groups are interleaved through the cache).
+    pub fn class_of(&self, set: usize) -> SetClass {
+        let r = set % self.spacing;
+        if r == 0 {
+            SetClass::PsaSample
+        } else if r == self.spacing / 2 {
+            SetClass::Psa2mSample
+        } else {
+            SetClass::Follower
+        }
+    }
+
+    /// Pick the issuing prefetcher for an access to `set`, following the
+    /// pseudo-code of Figure 7(C).
+    pub fn select(&self, set: usize, page_size: PageSize) -> Selected {
+        match self.class_of(set) {
+            SetClass::PsaSample => Selected::Psa,
+            SetClass::Psa2mSample => Selected::Psa2m,
+            SetClass::Follower => match self.config.select {
+                SelectPolicy::Dueling => {
+                    if self.csel.msb() {
+                        Selected::Psa2m
+                    } else {
+                        Selected::Psa
+                    }
+                }
+                SelectPolicy::PageSize => match page_size {
+                    PageSize::Size4K => Selected::Psa,
+                    PageSize::Size2M => Selected::Psa2m,
+                },
+            },
+        }
+    }
+
+    /// A useful prefetch (first demand hit on a prefetched block) was
+    /// credited to `source` via the annotation bit: update `Csel`.
+    pub fn on_useful_prefetch(&mut self, source: Selected) {
+        match source {
+            Selected::Psa => {
+                self.hits[0] += 1;
+                self.csel.dec();
+            }
+            Selected::Psa2m => {
+                self.hits[1] += 1;
+                self.csel.inc();
+            }
+        }
+    }
+
+    /// Whether `which` should train on an access for which `selected` was
+    /// chosen, under the configured training policy.
+    pub fn should_train(&self, which: Selected, selected: Selected) -> bool {
+        match self.config.train {
+            TrainPolicy::Both => true,
+            TrainPolicy::SelectedOnly => which == selected,
+        }
+    }
+
+    /// Current `Csel` value (for reports and tests).
+    pub fn csel(&self) -> SatCounter {
+        self.csel
+    }
+
+    /// Useful-prefetch credits per competitor `[Psa, Psa2m]`.
+    pub fn credit(&self) -> [u64; 2] {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sd() -> SetDueling {
+        SetDueling::new(SdConfig::default(), 1024).unwrap()
+    }
+
+    #[test]
+    fn table1_shape_fits_the_l2c() {
+        let d = sd();
+        let mut psa = 0;
+        let mut psa2m = 0;
+        let mut followers = 0;
+        for s in 0..1024 {
+            match d.class_of(s) {
+                SetClass::PsaSample => psa += 1,
+                SetClass::Psa2mSample => psa2m += 1,
+                SetClass::Follower => followers += 1,
+            }
+        }
+        assert_eq!((psa, psa2m, followers), (32, 32, 960));
+    }
+
+    #[test]
+    fn sample_sets_always_use_their_prefetcher() {
+        let mut d = sd();
+        // Drive Csel all the way to PSA-2MB.
+        for _ in 0..8 {
+            d.on_useful_prefetch(Selected::Psa2m);
+        }
+        assert_eq!(d.select(0, PageSize::Size4K), Selected::Psa, "PSA sample set");
+        assert_eq!(d.select(16, PageSize::Size4K), Selected::Psa2m, "PSA-2MB sample set");
+    }
+
+    #[test]
+    fn followers_flip_with_csel() {
+        let mut d = sd();
+        let follower = 3;
+        assert_eq!(d.class_of(follower), SetClass::Follower);
+        assert_eq!(d.select(follower, PageSize::Size2M), Selected::Psa, "initial MSB clear");
+        d.on_useful_prefetch(Selected::Psa2m);
+        assert_eq!(d.select(follower, PageSize::Size2M), Selected::Psa2m);
+        d.on_useful_prefetch(Selected::Psa);
+        assert_eq!(d.select(follower, PageSize::Size2M), Selected::Psa);
+    }
+
+    #[test]
+    fn csel_saturates_and_recovers() {
+        let mut d = sd();
+        for _ in 0..100 {
+            d.on_useful_prefetch(Selected::Psa);
+        }
+        assert_eq!(d.csel().value(), 0);
+        // Phase change: 2MB prefetcher becomes useful. 3-bit counter needs
+        // 5 net increments to flip the MSB from zero.
+        for _ in 0..5 {
+            d.on_useful_prefetch(Selected::Psa2m);
+        }
+        assert_eq!(d.select(3, PageSize::Size4K), Selected::Psa2m);
+    }
+
+    #[test]
+    fn page_size_policy_ignores_csel() {
+        let cfg = SdConfig { select: SelectPolicy::PageSize, ..SdConfig::default() };
+        let mut d = SetDueling::new(cfg, 1024).unwrap();
+        for _ in 0..8 {
+            d.on_useful_prefetch(Selected::Psa2m);
+        }
+        let follower = 3;
+        assert_eq!(d.select(follower, PageSize::Size4K), Selected::Psa);
+        assert_eq!(d.select(follower, PageSize::Size2M), Selected::Psa2m);
+    }
+
+    #[test]
+    fn train_policies() {
+        let proposed = sd();
+        assert!(proposed.should_train(Selected::Psa, Selected::Psa2m));
+        assert!(proposed.should_train(Selected::Psa2m, Selected::Psa2m));
+        let standard = SetDueling::new(
+            SdConfig { train: TrainPolicy::SelectedOnly, ..SdConfig::default() },
+            1024,
+        )
+        .unwrap();
+        assert!(!standard.should_train(Selected::Psa, Selected::Psa2m));
+        assert!(standard.should_train(Selected::Psa2m, Selected::Psa2m));
+    }
+
+    #[test]
+    fn rejects_oversized_sample_groups() {
+        assert!(SetDueling::new(SdConfig::default(), 32).is_err());
+        assert!(SetDueling::new(
+            SdConfig { dedicated_sets: 0, ..SdConfig::default() },
+            1024
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn credit_tracks_sources() {
+        let mut d = sd();
+        d.on_useful_prefetch(Selected::Psa);
+        d.on_useful_prefetch(Selected::Psa2m);
+        d.on_useful_prefetch(Selected::Psa2m);
+        assert_eq!(d.credit(), [1, 2]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Indexing grain: the page size a prefetcher *assumes* for its internal
+//! structures.
+//!
+//! §IV-B1 of the paper: Pref-PSA-2MB is built by taking every prefetcher
+//! structure indexed with the physical page number and indexing it with the
+//! **2MB** page number instead, no matter the actual page size of the
+//! accessed block. Deltas then range ±32768 lines instead of ±64.
+//!
+//! This type is the single knob the prefetcher implementations take; the
+//! actual page size of the trigger block (PPM's bit) is a separate,
+//! orthogonal piece of information used only for boundary legality.
+
+use psa_common::{PLine, PageSize};
+
+/// The page size a prefetcher's page-indexed structures assume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IndexGrain {
+    /// Index by 4KB page number (original and Pref-PSA behaviour).
+    #[default]
+    Page4K,
+    /// Index by 2MB page number (Pref-PSA-2MB behaviour).
+    Page2M,
+}
+
+impl IndexGrain {
+    /// The page size this grain corresponds to.
+    #[inline]
+    pub const fn page_size(self) -> PageSize {
+        match self {
+            IndexGrain::Page4K => PageSize::Size4K,
+            IndexGrain::Page2M => PageSize::Size2M,
+        }
+    }
+
+    /// Page number of `line` at this grain — the structure index.
+    #[inline]
+    pub fn page_of(self, line: PLine) -> u64 {
+        line.page_number(self.page_size())
+    }
+
+    /// Line offset of `line` within its page at this grain.
+    #[inline]
+    pub fn offset_of(self, line: PLine) -> u64 {
+        line.page_offset(self.page_size())
+    }
+
+    /// Number of line offsets per page (64 or 32768).
+    #[inline]
+    pub const fn lines_per_page(self) -> u64 {
+        self.page_size().lines()
+    }
+
+    /// Maximum delta magnitude representable at this grain (±64 / ±32768),
+    /// per footnote 4 of the paper.
+    #[inline]
+    pub const fn max_delta(self) -> i64 {
+        self.page_size().max_delta()
+    }
+
+    /// Reconstruct an absolute line from a page number and an in-page
+    /// offset at this grain. Offsets outside the page are permitted and
+    /// yield lines in neighbouring pages — boundary legality is enforced
+    /// elsewhere, by [`crate::boundary::BoundaryChecker`].
+    #[inline]
+    pub fn line_at(self, page: u64, offset: i64) -> Option<PLine> {
+        let base = (page << self.page_size().line_shift()) as i64;
+        let raw = base.checked_add(offset)?;
+        if raw < 0 {
+            None
+        } else {
+            Some(PLine::new(raw as u64))
+        }
+    }
+}
+
+impl std::fmt::Display for IndexGrain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexGrain::Page4K => f.write_str("4KB-indexed"),
+            IndexGrain::Page2M => f.write_str("2MB-indexed"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grains_split_a_line_consistently() {
+        let line = PLine::new(0x12_3456);
+        for grain in [IndexGrain::Page4K, IndexGrain::Page2M] {
+            let page = grain.page_of(line);
+            let off = grain.offset_of(line);
+            assert_eq!(grain.line_at(page, off as i64), Some(line));
+        }
+    }
+
+    #[test]
+    fn delta_ranges_match_footnote_4() {
+        assert_eq!(IndexGrain::Page4K.max_delta(), 64);
+        assert_eq!(IndexGrain::Page2M.max_delta(), 32768);
+    }
+
+    #[test]
+    fn fine_grain_distinguishes_subpages_coarse_does_not() {
+        // Two lines in different 4KB pages of the same 2MB page: the 4KB
+        // grain indexes them separately (distinct patterns), the 2MB grain
+        // aliases them (pattern generalisation — the PSA-2MB trade-off).
+        let a = PLine::new(10);
+        let b = PLine::new(64 + 10);
+        assert_ne!(IndexGrain::Page4K.page_of(a), IndexGrain::Page4K.page_of(b));
+        assert_eq!(IndexGrain::Page2M.page_of(a), IndexGrain::Page2M.page_of(b));
+    }
+
+    #[test]
+    fn line_at_permits_out_of_page_offsets() {
+        // Offset 70 in a 4KB page reaches into the next page; the candidate
+        // exists, legality is the boundary checker's call.
+        let l = IndexGrain::Page4K.line_at(0, 70).unwrap();
+        assert_eq!(l.raw(), 70);
+        assert_eq!(IndexGrain::Page4K.line_at(0, -1), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IndexGrain::Page4K.to_string(), "4KB-indexed");
+        assert_eq!(IndexGrain::Page2M.to_string(), "2MB-indexed");
+    }
+}

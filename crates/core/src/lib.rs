@@ -1,0 +1,112 @@
+//! The paper's contribution: page-size-aware spatial cache prefetching.
+//!
+//! *Page Size Aware Cache Prefetching* (MICRO 2022) makes three proposals,
+//! each of which maps to a module here:
+//!
+//! 1. **PPM** ([`ppm`]) — propagate the page size of a missed block from
+//!    the address-translation metadata, through one extra bit per L1D MSHR
+//!    entry, to the L2C prefetcher. A prefetcher consuming the bit
+//!    (*Pref-PSA*) may safely cross 4KB physical page boundaries when the
+//!    trigger block resides in a 2MB page. No prefetcher design change.
+//! 2. **Pref-PSA-2MB** ([`grain`]) — re-index the prefetcher's
+//!    page-number-indexed structures by 2MB page number; deltas widen from
+//!    ±64 to ±32768 lines. Helps some workloads, hurts others.
+//! 3. **Pref-PSA-SD** ([`dueling`], [`module`]) — run both page size aware
+//!    variants side by side and pick per access with Set Dueling: 32
+//!    dedicated L2C sets each, a 3-bit `Csel`, one annotation bit per L2C
+//!    block, and — critically — *train both on all accesses*.
+//!
+//! The [`Prefetcher`] trait ([`prefetcher`]) is what SPP, VLDP, BOP, PPF
+//! (in `psa-prefetchers`) implement; [`boundary`] enforces the physical
+//! page-crossing legality that Figure 2 of the paper quantifies.
+//!
+//! # Example: boundary legality under PPM
+//!
+//! ```
+//! use psa_core::boundary::{BoundaryChecker, BoundaryPolicy, Verdict};
+//! use psa_common::{PLine, PageSize};
+//!
+//! let mut original = BoundaryChecker::new(BoundaryPolicy::Strict4K);
+//! let mut psa = BoundaryChecker::new(BoundaryPolicy::PageAware);
+//! let trigger = PLine::new(63);          // last line of the first 4KB page
+//! let next = PLine::new(64);             // first line of the next 4KB page
+//!
+//! // Block resides in a 2MB page: the original prefetcher still discards,
+//! // the PSA prefetcher may cross.
+//! assert_eq!(original.check(trigger, PageSize::Size2M, next), Verdict::DiscardedCross4KInHuge);
+//! assert_eq!(psa.check(trigger, PageSize::Size2M, next), Verdict::Allowed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boundary;
+pub mod dueling;
+pub mod grain;
+pub mod module;
+pub mod ppm;
+pub mod prefetcher;
+
+pub use boundary::{BoundaryChecker, BoundaryPolicy, BoundaryStats, Verdict};
+pub use dueling::{SdConfig, SelectPolicy, Selected, SetClass, SetDueling, TrainPolicy};
+pub use grain::IndexGrain;
+pub use module::{ModuleConfig, ModuleStats, PrefetchRequest, PsaModule, SOURCE_PSA, SOURCE_PSA_2MB};
+pub use ppm::{PageSizeSource, Ppm};
+pub use prefetcher::{AccessContext, Candidate, FillLevel, Prefetcher};
+
+/// Which page-size exploitation variant an experiment runs — the paper's
+/// naming for configurations of one underlying prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageSizePolicy {
+    /// The prefetcher's original implementation: no page-size knowledge,
+    /// never crosses 4KB physical page boundaries.
+    Original,
+    /// Pref-PSA: PPM-propagated page size; crosses 4KB boundaries inside
+    /// 2MB pages; 4KB-indexed structures.
+    Psa,
+    /// Pref-PSA-2MB: like PSA but structures indexed by 2MB page number.
+    Psa2m,
+    /// Pref-PSA-SD: Set-Dueling composite of PSA and PSA-2MB.
+    PsaSd,
+}
+
+impl PageSizePolicy {
+    /// All variants, in the order the paper's figures present them.
+    pub const ALL: [PageSizePolicy; 4] =
+        [PageSizePolicy::Original, PageSizePolicy::Psa, PageSizePolicy::Psa2m, PageSizePolicy::PsaSd];
+
+    /// The paper's suffix for this variant ("", "-PSA", …).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            PageSizePolicy::Original => "",
+            PageSizePolicy::Psa => "-PSA",
+            PageSizePolicy::Psa2m => "-PSA-2MB",
+            PageSizePolicy::PsaSd => "-PSA-SD",
+        }
+    }
+}
+
+impl std::fmt::Display for PageSizePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageSizePolicy::Original => f.write_str("original"),
+            PageSizePolicy::Psa => f.write_str("PSA"),
+            PageSizePolicy::Psa2m => f.write_str("PSA-2MB"),
+            PageSizePolicy::PsaSd => f.write_str("PSA-SD"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_suffixes_match_paper() {
+        assert_eq!(PageSizePolicy::Original.suffix(), "");
+        assert_eq!(PageSizePolicy::Psa.suffix(), "-PSA");
+        assert_eq!(PageSizePolicy::Psa2m.suffix(), "-PSA-2MB");
+        assert_eq!(PageSizePolicy::PsaSd.suffix(), "-PSA-SD");
+        assert_eq!(PageSizePolicy::ALL.len(), 4);
+    }
+}

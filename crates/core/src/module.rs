@@ -1,0 +1,509 @@
+//! The L2C prefetching module: one or two page size aware prefetchers plus
+//! PPM, boundary legality and (for Pref-PSA-SD) Set-Dueling selection.
+//!
+//! This is the composition point of the paper's Figure 7(A): the simulator
+//! hands every L2C demand access to [`PsaModule::on_access`] and receives
+//! the legal, deduplicated prefetch requests to inject; cache feedback
+//! (useful hits, useless evictions, fills) flows back through the
+//! `on_*` methods, routed to the issuing prefetcher via the annotation bit.
+
+use psa_common::{PLine, PageSize, VAddr};
+
+use crate::boundary::{BoundaryChecker, BoundaryPolicy, BoundaryStats, Verdict};
+use crate::dueling::{SdConfig, SdConfigError, Selected, SetDueling};
+use crate::grain::IndexGrain;
+use crate::ppm::{PageSizeSource, Ppm};
+use crate::prefetcher::{AccessContext, Candidate, FillLevel, Prefetcher};
+use crate::PageSizePolicy;
+
+/// Annotation value for Pref-PSA (the 4KB-indexed competitor).
+pub const SOURCE_PSA: u8 = 0;
+/// Annotation value for Pref-PSA-2MB (the 2MB-indexed competitor).
+pub const SOURCE_PSA_2MB: u8 = 1;
+
+/// A legal prefetch request ready for injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchRequest {
+    /// Physical line to prefetch.
+    pub line: PLine,
+    /// Placement (L2C or LLC), from the prefetcher's confidence.
+    pub fill_level: FillLevel,
+    /// Issuing prefetcher — stored as the block's annotation bit.
+    pub source: u8,
+}
+
+/// Module issue-path limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuleConfig {
+    /// Maximum prefetches injected per access.
+    pub max_per_access: usize,
+}
+
+impl Default for ModuleConfig {
+    fn default() -> Self {
+        Self { max_per_access: 4 }
+    }
+}
+
+/// Issue-path statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModuleStats {
+    /// L2C accesses observed.
+    pub accesses: u64,
+    /// Raw candidates emitted by the (selected) prefetcher.
+    pub candidates: u64,
+    /// Requests issued after legality, dedup and the per-access cap.
+    pub issued: u64,
+    /// Requests suppressed as recent duplicates.
+    pub deduped: u64,
+    /// Issued requests per competitor `[Psa, Psa2m]`.
+    pub issued_by: [u64; 2],
+    /// Accesses for which each competitor was selected `[Psa, Psa2m]`.
+    pub selected_by: [u64; 2],
+}
+
+/// The complete page size aware L2C prefetching module.
+pub struct PsaModule {
+    policy: PageSizePolicy,
+    ppm: Ppm,
+    psa: Box<dyn Prefetcher>,
+    psa_2mb: Option<Box<dyn Prefetcher>>,
+    boundary: BoundaryChecker,
+    dueling: Option<SetDueling>,
+    config: ModuleConfig,
+    scratch: Vec<Candidate>,
+    scratch_alt: Vec<Candidate>,
+    stats: ModuleStats,
+}
+
+impl std::fmt::Debug for PsaModule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PsaModule")
+            .field("policy", &self.policy)
+            .field("prefetcher", &self.psa.name())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PsaModule {
+    /// Build the module for `policy` around the prefetcher produced by
+    /// `factory` (called once per required indexing grain).
+    ///
+    /// * `source` — how page-size information reaches the module
+    ///   ([`PageSizeSource::Ppm`] for the realistic path,
+    ///   [`PageSizeSource::Magic`] for §III's oracle variants; forced to
+    ///   `None` for [`PageSizePolicy::Original`]).
+    /// * `l2c_sets` — number of L2C sets, needed to lay out the dueling
+    ///   sample sets.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `policy` is `PsaSd` and the dueling shape does not fit the
+    /// cache.
+    pub fn new(
+        policy: PageSizePolicy,
+        source: PageSizeSource,
+        factory: &dyn Fn(IndexGrain) -> Box<dyn Prefetcher>,
+        l2c_sets: usize,
+        sd: SdConfig,
+        config: ModuleConfig,
+    ) -> Result<Self, SdConfigError> {
+        let (grain_a, want_b, boundary, source) = match policy {
+            PageSizePolicy::Original => {
+                (IndexGrain::Page4K, false, BoundaryPolicy::Strict4K, PageSizeSource::None)
+            }
+            PageSizePolicy::Psa => (IndexGrain::Page4K, false, BoundaryPolicy::PageAware, source),
+            PageSizePolicy::Psa2m => (IndexGrain::Page2M, false, BoundaryPolicy::PageAware, source),
+            PageSizePolicy::PsaSd => (IndexGrain::Page4K, true, BoundaryPolicy::PageAware, source),
+        };
+        let psa = factory(grain_a);
+        // A prefetcher with no page-indexed structure (BOP) is identical at
+        // every indexing grain, so Pref-PSA-SD degenerates to Pref-PSA:
+        // §VI-B1 "all BOP versions provide the same speedups".
+        let want_b = want_b && psa.uses_page_indexing();
+        let dueling = if want_b { Some(SetDueling::new(sd, l2c_sets)?) } else { None };
+        Ok(Self {
+            policy,
+            ppm: Ppm::new(source),
+            psa,
+            psa_2mb: want_b.then(|| factory(IndexGrain::Page2M)),
+            boundary: BoundaryChecker::new(boundary),
+            dueling,
+            config,
+            scratch: Vec::with_capacity(32),
+            scratch_alt: Vec::with_capacity(32),
+            stats: ModuleStats::default(),
+        })
+    }
+
+    /// The variant this module implements.
+    pub fn policy(&self) -> PageSizePolicy {
+        self.policy
+    }
+
+    /// Underlying prefetcher name.
+    pub fn prefetcher_name(&self) -> &'static str {
+        self.psa.name()
+    }
+
+    /// Observe one L2C demand access and produce prefetch requests.
+    ///
+    /// * `mshr_bit` — the PPM page-size bit carried by the L1D MSHR entry;
+    /// * `oracle_size` — the true page size from the translation metadata
+    ///   (used by Magic variants and to audit the PPM bit);
+    /// * `set` — the L2C set of the accessed line (for Set Dueling);
+    /// * `present` — residency oracle (cache/MSHR probes): candidates that
+    ///   are already resident or in flight are skipped *without* consuming
+    ///   the per-access issue budget, exactly as a hardware prefetch queue
+    ///   drops them before issue.
+    pub fn on_access(
+        &mut self,
+        line: PLine,
+        pc: VAddr,
+        cache_hit: bool,
+        mshr_bit: bool,
+        oracle_size: PageSize,
+        set: usize,
+        present: &dyn Fn(&Candidate) -> bool,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        self.stats.accesses += 1;
+        let page_size = self.ppm.resolve(mshr_bit, oracle_size);
+        let ctx = AccessContext { line, pc, cache_hit, page_size };
+
+        self.scratch.clear();
+        self.scratch_alt.clear();
+        let source_id = match (&mut self.dueling, &mut self.psa_2mb) {
+            (Some(duel), Some(psa_2mb)) => {
+                let selected = duel.select(set, page_size);
+                // Train both competitors on all accesses (SD-Proposed) or
+                // only the selected one (SD-Standard); candidates are taken
+                // from the selected competitor only.
+                if duel.should_train(Selected::Psa, selected) {
+                    if selected == Selected::Psa {
+                        self.psa.on_access(&ctx, &mut self.scratch);
+                    } else {
+                        self.psa.on_access(&ctx, &mut self.scratch_alt);
+                        self.scratch_alt.clear();
+                    }
+                }
+                if duel.should_train(Selected::Psa2m, selected) {
+                    if selected == Selected::Psa2m {
+                        psa_2mb.on_access(&ctx, &mut self.scratch);
+                    } else {
+                        psa_2mb.on_access(&ctx, &mut self.scratch_alt);
+                        self.scratch_alt.clear();
+                    }
+                }
+                match selected {
+                    Selected::Psa => SOURCE_PSA,
+                    Selected::Psa2m => SOURCE_PSA_2MB,
+                }
+            }
+            _ => {
+                self.psa.on_access(&ctx, &mut self.scratch);
+                match self.policy {
+                    PageSizePolicy::Psa2m => SOURCE_PSA_2MB,
+                    _ => SOURCE_PSA,
+                }
+            }
+        };
+        self.stats.selected_by[source_id as usize] += 1;
+
+        self.stats.candidates += self.scratch.len() as u64;
+        let mut issued_now = 0;
+        for i in 0..self.scratch.len() {
+            if issued_now >= self.config.max_per_access {
+                break;
+            }
+            let cand = self.scratch[i];
+            if cand.line == line {
+                continue; // the demand itself fetches the trigger line
+            }
+            // Legality is classified against the *true* page size so that
+            // the Figure 2 counters ("discarded while in a huge page") are
+            // meaningful even for the Original module, whose prefetcher is
+            // oblivious to page sizes. For PSA variants the resolved and
+            // oracle sizes are identical (audited in `Ppm::resolve`), and
+            // the Strict4K policy never crosses regardless, so legality is
+            // unaffected.
+            if self.boundary.check(line, oracle_size, cand.line) != Verdict::Allowed {
+                continue;
+            }
+            if present(&cand) || out.iter().any(|r| r.line == cand.line) {
+                // Already resident, in flight, or requested earlier in this
+                // batch: a hardware prefetch queue drops these before issue.
+                self.stats.deduped += 1;
+                continue;
+            }
+            out.push(PrefetchRequest { line: cand.line, fill_level: cand.fill_level, source: source_id });
+            self.route(source_id).on_issue(cand.line);
+            self.stats.issued += 1;
+            self.stats.issued_by[source_id as usize] += 1;
+            issued_now += 1;
+        }
+    }
+
+    fn route(&mut self, source: u8) -> &mut dyn Prefetcher {
+        if source == SOURCE_PSA_2MB {
+            if let Some(b) = &mut self.psa_2mb {
+                return b.as_mut();
+            }
+        }
+        self.psa.as_mut()
+    }
+
+    /// A prefetched block (annotated with `source`) filled into the cache.
+    pub fn on_prefetch_fill(&mut self, line: PLine, source: u8) {
+        self.route(source).on_prefetch_fill(line);
+    }
+
+    /// First demand hit on a prefetched block: credit the issuing
+    /// prefetcher and update `Csel`.
+    ///
+    /// `timely` distinguishes a prefetch that completed before its demand
+    /// (a real cache hit) from a *late* one the demand merged with in the
+    /// MSHR. Both train the underlying prefetcher's accuracy (the block
+    /// was correctly predicted), but only timely hits move `Csel`: a
+    /// barely-ahead competitor must not out-vote a genuinely timely one.
+    pub fn on_useful(&mut self, line: PLine, pc: VAddr, source: u8, timely: bool) {
+        self.route(source).on_useful(line, pc);
+        if timely {
+            if let Some(duel) = &mut self.dueling {
+                duel.on_useful_prefetch(if source == SOURCE_PSA_2MB {
+                    Selected::Psa2m
+                } else {
+                    Selected::Psa
+                });
+            }
+        }
+    }
+
+    /// A prefetched block was evicted without use.
+    pub fn on_useless(&mut self, line: PLine, source: u8) {
+        self.route(source).on_useless(line);
+    }
+
+    /// Issue-path statistics.
+    pub fn stats(&self) -> ModuleStats {
+        self.stats
+    }
+
+    /// Boundary-legality counters (Figure 2).
+    pub fn boundary_stats(&self) -> BoundaryStats {
+        self.boundary.stats()
+    }
+
+    /// Fraction of accesses whose resolved page size was 2MB.
+    pub fn huge_fraction_seen(&self) -> f64 {
+        self.ppm.huge_fraction()
+    }
+
+    /// Current dueling state, if this is a Pref-PSA-SD module.
+    pub fn dueling(&self) -> Option<&SetDueling> {
+        self.dueling.as_ref()
+    }
+
+    /// Total metadata storage of the contained prefetchers in bytes, for
+    /// the ISO-storage comparison (Figure 11).
+    pub fn storage_bytes(&self) -> usize {
+        self.psa.storage_bytes() + self.psa_2mb.as_ref().map_or(0, |p| p.storage_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Emits the next `n` lines after the trigger, within the indexing
+    /// grain's addressing range.
+    struct FakePref {
+        grain: IndexGrain,
+        degree: i64,
+        accesses: u64,
+        fills: u64,
+        usefuls: u64,
+        useless: u64,
+    }
+
+    impl FakePref {
+        fn boxed(grain: IndexGrain, degree: i64) -> Box<dyn Prefetcher> {
+            Box::new(Self { grain, degree, accesses: 0, fills: 0, usefuls: 0, useless: 0 })
+        }
+    }
+
+    impl Prefetcher for FakePref {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn on_access(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>) {
+            self.accesses += 1;
+            let page = self.grain.page_of(ctx.line);
+            let off = self.grain.offset_of(ctx.line) as i64;
+            for d in 1..=self.degree {
+                if let Some(l) = self.grain.line_at(page, off + d) {
+                    out.push(Candidate::l2c(l));
+                }
+            }
+        }
+        fn on_prefetch_fill(&mut self, _line: PLine) {
+            self.fills += 1;
+        }
+        fn on_useful(&mut self, _line: PLine, _pc: VAddr) {
+            self.usefuls += 1;
+        }
+        fn on_useless(&mut self, _line: PLine) {
+            self.useless += 1;
+        }
+        fn storage_bytes(&self) -> usize {
+            100
+        }
+    }
+
+    fn module(policy: PageSizePolicy) -> PsaModule {
+        PsaModule::new(
+            policy,
+            PageSizeSource::Ppm,
+            &|grain| FakePref::boxed(grain, 4),
+            1024,
+            SdConfig::default(),
+            ModuleConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn run(
+        m: &mut PsaModule,
+        line: u64,
+        huge: bool,
+        set: usize,
+    ) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        let size = PageSize::from_bit(huge);
+        m.on_access(PLine::new(line), VAddr::new(0x400), false, huge, size, set, &|_| false, &mut out);
+        out
+    }
+
+    #[test]
+    fn original_stops_at_4k_even_in_huge_pages() {
+        let mut m = module(PageSizePolicy::Original);
+        // Trigger at line 62 of a huge page: candidates 63,64,65,66 — only
+        // 63 is legal for the original module.
+        let reqs = run(&mut m, 62, true, 3);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].line, PLine::new(63));
+        assert_eq!(m.boundary_stats().discarded_cross_4k_in_huge, 3);
+    }
+
+    #[test]
+    fn psa_crosses_4k_inside_huge_pages() {
+        let mut m = module(PageSizePolicy::Psa);
+        let reqs = run(&mut m, 62, true, 3);
+        assert_eq!(reqs.len(), 4, "all four candidates legal inside the 2MB page");
+        assert!(reqs.iter().all(|r| r.source == SOURCE_PSA));
+    }
+
+    #[test]
+    fn psa_still_respects_4k_pages() {
+        let mut m = module(PageSizePolicy::Psa);
+        let reqs = run(&mut m, 62, false, 3);
+        assert_eq!(reqs.len(), 1, "trigger in a 4KB page: only line 63 legal");
+        assert_eq!(m.boundary_stats().discarded_out_of_page, 3);
+    }
+
+    #[test]
+    fn psa2m_requests_carry_the_2mb_annotation() {
+        let mut m = module(PageSizePolicy::Psa2m);
+        let reqs = run(&mut m, 62, true, 3);
+        assert!(reqs.iter().all(|r| r.source == SOURCE_PSA_2MB));
+    }
+
+    #[test]
+    fn sd_sample_sets_route_to_their_competitor() {
+        let mut m = module(PageSizePolicy::PsaSd);
+        // Set 0 → PSA sample; set 16 → PSA-2MB sample (1024 sets / 32).
+        let a = run(&mut m, 62, true, 0);
+        assert!(a.iter().all(|r| r.source == SOURCE_PSA));
+        let b = run(&mut m, 62 + 128, true, 16);
+        assert!(b.iter().all(|r| r.source == SOURCE_PSA_2MB));
+        assert_eq!(m.stats().selected_by, [1, 1]);
+    }
+
+    #[test]
+    fn sd_useful_feedback_moves_csel_and_follower_choice() {
+        let mut m = module(PageSizePolicy::PsaSd);
+        let follower_set = 3;
+        let before = run(&mut m, 62, true, follower_set);
+        assert!(before.iter().all(|r| r.source == SOURCE_PSA), "MSB starts clear");
+        for _ in 0..5 {
+            m.on_useful(PLine::new(1), VAddr::new(0), SOURCE_PSA_2MB, true);
+        }
+        let after = run(&mut m, 1062, true, follower_set);
+        assert!(after.iter().all(|r| r.source == SOURCE_PSA_2MB));
+        assert_eq!(m.dueling().unwrap().credit(), [0, 5]);
+    }
+
+    #[test]
+    fn presence_oracle_dedupes() {
+        let mut m = module(PageSizePolicy::Psa);
+        let first = run(&mut m, 10, true, 3);
+        assert_eq!(first.len(), 4);
+        // Pretend everything the first batch requested is now in flight.
+        let inflight: Vec<PLine> = first.iter().map(|r| r.line).collect();
+        let mut out = Vec::new();
+        m.on_access(
+            PLine::new(10),
+            VAddr::new(0x400),
+            false,
+            true,
+            PageSize::Size2M,
+            3,
+            &|c| inflight.contains(&c.line),
+            &mut out,
+        );
+        assert!(out.is_empty(), "in-flight candidates suppressed: {out:?}");
+        assert_eq!(m.stats().deduped, 4);
+    }
+
+    #[test]
+    fn per_access_cap_enforced() {
+        let mut m = PsaModule::new(
+            PageSizePolicy::Psa,
+            PageSizeSource::Ppm,
+            &|grain| FakePref::boxed(grain, 32),
+            1024,
+            SdConfig::default(),
+            ModuleConfig { max_per_access: 8 },
+        )
+        .unwrap();
+        let reqs = run(&mut m, 0, true, 3);
+        assert_eq!(reqs.len(), 8);
+    }
+
+    #[test]
+    fn storage_doubles_for_sd() {
+        assert_eq!(module(PageSizePolicy::Psa).storage_bytes(), 100);
+        assert_eq!(module(PageSizePolicy::PsaSd).storage_bytes(), 200);
+    }
+
+    #[test]
+    fn magic_and_ppm_agree_on_requests() {
+        let mk = |src| {
+            PsaModule::new(
+                PageSizePolicy::Psa,
+                src,
+                &|grain| FakePref::boxed(grain, 4),
+                1024,
+                SdConfig::default(),
+                ModuleConfig::default(),
+            )
+            .unwrap()
+        };
+        let mut ppm = mk(PageSizeSource::Ppm);
+        let mut magic = mk(PageSizeSource::Magic);
+        for line in [0u64, 62, 63, 64, 4000, 32766] {
+            assert_eq!(run(&mut ppm, line, true, 3), run(&mut magic, line, true, 3));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The Page-size Propagation Module (PPM) itself.
+//!
+//! PPM's mechanism (§IV-A of the paper):
+//!
+//! 1. first-level caches are VIPT, so on an L1D miss the page size of the
+//!    missed block is available as address-translation metadata;
+//! 2. PPM stores that page size as **one extra bit** in the L1D MSHR entry
+//!    (`psa_cache::MshrMeta::huge` in this codebase);
+//! 3. L2C prefetchers engage on L2C accesses — i.e. L1 misses — so the bit
+//!    travels to the prefetcher with the request stream.
+//!
+//! Storage overhead: 1 bit per L1D MSHR entry for two concurrent page
+//! sizes; `ceil(log2(N))` bits for `N` page sizes ([`Ppm::bits_required`]).
+//!
+//! In this simulator the type tracks how page-size information reaches the
+//! prefetching module — through PPM's MSHR path or via the "Magic" oracle
+//! the paper's motivation sections (§III-B/III-C) assume — and verifies the
+//! two agree, which is the paper's observation that PPM loses nothing
+//! relative to magic propagation.
+
+use psa_common::PageSize;
+
+/// Where the prefetching module's page-size bit comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PageSizeSource {
+    /// No information: the module must assume 4KB (original prefetchers).
+    #[default]
+    None,
+    /// The realistic path: the bit stored in the L1D MSHR entry by PPM.
+    Ppm,
+    /// The idealised oracle used by §III's "PSA-Magic" variants: query the
+    /// page table directly.
+    Magic,
+}
+
+/// PPM bookkeeping: resolves the page size the prefetching module sees and
+/// audits that the MSHR bit always equals the oracle.
+#[derive(Debug, Clone, Default)]
+pub struct Ppm {
+    source: PageSizeSource,
+    /// Accesses where the resolved page size was 2MB.
+    huge_seen: u64,
+    /// Accesses resolved.
+    total_seen: u64,
+}
+
+impl Ppm {
+    /// A module reading page size from `source`.
+    pub fn new(source: PageSizeSource) -> Self {
+        Self { source, huge_seen: 0, total_seen: 0 }
+    }
+
+    /// The configured source.
+    pub fn source(&self) -> PageSizeSource {
+        self.source
+    }
+
+    /// Bits PPM must add to each L1D MSHR entry to distinguish `n`
+    /// concurrently supported page sizes (§IV-A1, "Additional Page Sizes").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn bits_required(n: u32) -> u32 {
+        assert!(n > 0, "at least one page size");
+        u32::BITS - (n - 1).leading_zeros()
+    }
+
+    /// Resolve the page size the prefetcher sees for one L2C access.
+    ///
+    /// `mshr_bit` is the page-size bit the L1D MSHR carried for this miss;
+    /// `oracle` is the true page size from the page table. With
+    /// [`PageSizeSource::None`] the result is always 4KB (original
+    /// prefetcher behaviour); with `Ppm` the MSHR bit is used; with `Magic`
+    /// the oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the PPM bit disagrees with the oracle — that would
+    /// mean the propagation path corrupted the metadata.
+    pub fn resolve(&mut self, mshr_bit: bool, oracle: PageSize) -> PageSize {
+        debug_assert_eq!(
+            PageSize::from_bit(mshr_bit),
+            oracle,
+            "PPM bit must match the translation metadata"
+        );
+        let size = match self.source {
+            PageSizeSource::None => PageSize::Size4K,
+            PageSizeSource::Ppm => PageSize::from_bit(mshr_bit),
+            PageSizeSource::Magic => oracle,
+        };
+        self.total_seen += 1;
+        if size == PageSize::Size2M {
+            self.huge_seen += 1;
+        }
+        size
+    }
+
+    /// Fraction of resolved accesses that saw a 2MB page.
+    pub fn huge_fraction(&self) -> f64 {
+        if self.total_seen == 0 {
+            0.0
+        } else {
+            self.huge_seen as f64 / self.total_seen as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_overhead_formula() {
+        // Two page sizes (4KB + 2MB): one bit, as the paper states.
+        assert_eq!(Ppm::bits_required(2), 1);
+        // 4KB + 2MB + 1GB: two bits.
+        assert_eq!(Ppm::bits_required(3), 2);
+        assert_eq!(Ppm::bits_required(4), 2);
+        assert_eq!(Ppm::bits_required(5), 3);
+        assert_eq!(Ppm::bits_required(1), 0);
+    }
+
+    #[test]
+    fn none_source_always_4k() {
+        let mut p = Ppm::new(PageSizeSource::None);
+        assert_eq!(p.resolve(true, PageSize::Size2M), PageSize::Size4K);
+        assert_eq!(p.resolve(false, PageSize::Size4K), PageSize::Size4K);
+    }
+
+    #[test]
+    fn ppm_and_magic_agree() {
+        let mut ppm = Ppm::new(PageSizeSource::Ppm);
+        let mut magic = Ppm::new(PageSizeSource::Magic);
+        for (bit, size) in [(false, PageSize::Size4K), (true, PageSize::Size2M)] {
+            assert_eq!(ppm.resolve(bit, size), magic.resolve(bit, size));
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "PPM bit must match")]
+    fn corrupted_bit_is_caught() {
+        let mut p = Ppm::new(PageSizeSource::Ppm);
+        p.resolve(false, PageSize::Size2M);
+    }
+
+    #[test]
+    fn huge_fraction_tracks() {
+        let mut p = Ppm::new(PageSizeSource::Ppm);
+        p.resolve(true, PageSize::Size2M);
+        p.resolve(true, PageSize::Size2M);
+        p.resolve(false, PageSize::Size4K);
+        p.resolve(true, PageSize::Size2M);
+        assert!((p.huge_fraction() - 0.75).abs() < 1e-12);
+    }
+}

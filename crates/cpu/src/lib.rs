@@ -1,0 +1,394 @@
+//! Approximate out-of-order core model.
+//!
+//! The paper evaluates on ChampSim's OoO model (Table I: 4GHz, 352-entry
+//! ROB, 4-wide). For a prefetching study the properties that matter are:
+//!
+//! * **Memory-level parallelism** — independent loads overlap up to the
+//!   ROB/MSHR limits, so shaving latency off *some* misses helps less than
+//!   shaving it off the critical path;
+//! * **Dependent loads serialise** — pointer-chasing code cannot overlap
+//!   its misses, making it latency-bound;
+//! * **Retire-width ceiling** — compute-bound phases cap at 4 IPC no matter
+//!   what the prefetcher does.
+//!
+//! This model keeps those three properties while abstracting away rename,
+//! issue queues and functional units: each instruction occupies a ROB slot
+//! from fetch to in-order 4-wide retirement, and loads complete when the
+//! memory hierarchy says so.
+//!
+//! # Example
+//!
+//! ```
+//! use psa_cpu::{Core, CoreConfig, Instr, MemoryPort};
+//! use psa_common::VAddr;
+//!
+//! struct FlatMemory;
+//! impl MemoryPort for FlatMemory {
+//!     fn load(&mut self, _pc: VAddr, _vaddr: VAddr, now: u64) -> u64 { now + 5 }
+//!     fn store(&mut self, _pc: VAddr, _vaddr: VAddr, _now: u64) {}
+//! }
+//!
+//! let mut core = Core::new(CoreConfig::default());
+//! let mut mem = FlatMemory;
+//! for i in 0..100 {
+//!     core.execute(&Instr::op(VAddr::new(i * 4)), &mut mem);
+//! }
+//! let done = core.drain();
+//! assert!(done >= 100 / 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use psa_common::VAddr;
+use std::collections::VecDeque;
+
+/// Core shape, defaulting to Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Reorder-buffer entries (352).
+    pub rob_entries: usize,
+    /// Fetch and retire width in instructions per cycle (4).
+    pub width: u32,
+    /// Execution latency of non-memory instructions in cycles.
+    pub alu_latency: u64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self { rob_entries: 352, width: 4, alu_latency: 1 }
+    }
+}
+
+/// What an instruction does to memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrKind {
+    /// Pure computation — occupies fetch/retire bandwidth and a ROB slot.
+    Op,
+    /// A load from `vaddr`.
+    Load {
+        /// Virtual address accessed.
+        vaddr: VAddr,
+        /// The load's address depends on the previous load's value
+        /// (pointer chasing) — it cannot issue before that load completes.
+        dependent: bool,
+    },
+    /// A store to `vaddr`. Retires through the store buffer without
+    /// stalling the core; the write still reaches the cache hierarchy.
+    Store {
+        /// Virtual address written.
+        vaddr: VAddr,
+    },
+}
+
+/// One traced instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr {
+    /// Program counter — prefetchers like IPCP and PPF key on it.
+    pub pc: VAddr,
+    /// Memory behaviour.
+    pub kind: InstrKind,
+}
+
+impl Instr {
+    /// A non-memory instruction.
+    pub fn op(pc: VAddr) -> Self {
+        Self { pc, kind: InstrKind::Op }
+    }
+
+    /// An independent load.
+    pub fn load(pc: VAddr, vaddr: VAddr) -> Self {
+        Self { pc, kind: InstrKind::Load { vaddr, dependent: false } }
+    }
+
+    /// A load whose address depends on the previous load.
+    pub fn dependent_load(pc: VAddr, vaddr: VAddr) -> Self {
+        Self { pc, kind: InstrKind::Load { vaddr, dependent: true } }
+    }
+
+    /// A store.
+    pub fn store(pc: VAddr, vaddr: VAddr) -> Self {
+        Self { pc, kind: InstrKind::Store { vaddr } }
+    }
+}
+
+/// The core's window into the memory hierarchy.
+///
+/// `load` returns the core cycle at which the value is available; `store`
+/// fires the access for cache/DRAM bookkeeping but the core does not wait.
+/// Implementations may be called with non-decreasing-ish `now` values as
+/// the core runs ahead of retirement.
+pub trait MemoryPort {
+    /// Perform a load issued at `now`; return its completion cycle.
+    fn load(&mut self, pc: VAddr, vaddr: VAddr, now: u64) -> u64;
+    /// Perform a store issued at `now`.
+    fn store(&mut self, pc: VAddr, vaddr: VAddr, now: u64);
+}
+
+/// Progress counters for one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+}
+
+/// The approximate OoO core.
+#[derive(Debug)]
+pub struct Core {
+    config: CoreConfig,
+    /// Completion cycles of in-flight instructions, in program order.
+    rob: VecDeque<u64>,
+    /// Cycle the next instruction is fetched at.
+    fetch_cycle: u64,
+    fetched_this_cycle: u32,
+    /// Earliest cycle the next retirement slot is available.
+    retire_cycle: u64,
+    retired_this_cycle: u32,
+    /// Completion cycle of the most recent load (dependency target).
+    last_load_done: u64,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// A fresh core at cycle zero.
+    pub fn new(config: CoreConfig) -> Self {
+        assert!(config.rob_entries > 0 && config.width > 0, "degenerate core shape");
+        Self {
+            config,
+            rob: VecDeque::with_capacity(config.rob_entries),
+            fetch_cycle: 0,
+            fetched_this_cycle: 0,
+            retire_cycle: 0,
+            retired_this_cycle: 0,
+            last_load_done: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// The cycle at which the next instruction will be fetched — used by
+    /// the multi-core scheduler to interleave cores in time order.
+    pub fn now(&self) -> u64 {
+        self.fetch_cycle
+    }
+
+    /// Executed-instruction counters.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    fn retire_one(&mut self) -> u64 {
+        let completion = self.rob.pop_front().expect("retire from empty ROB");
+        let t = completion.max(self.retire_cycle);
+        if t > self.retire_cycle {
+            self.retire_cycle = t;
+            self.retired_this_cycle = 0;
+        }
+        self.retired_this_cycle += 1;
+        if self.retired_this_cycle == self.config.width {
+            self.retire_cycle = t + 1;
+            self.retired_this_cycle = 0;
+        }
+        t
+    }
+
+    /// Feed one instruction through fetch → execute → ROB.
+    pub fn execute<M: MemoryPort>(&mut self, instr: &Instr, mem: &mut M) {
+        // Make room: a full ROB stalls fetch until the head retires.
+        if self.rob.len() == self.config.rob_entries {
+            let freed_at = self.retire_one();
+            if freed_at > self.fetch_cycle {
+                self.fetch_cycle = freed_at;
+                self.fetched_this_cycle = 0;
+            }
+        }
+        let now = self.fetch_cycle;
+        let completion = match instr.kind {
+            InstrKind::Op => now + self.config.alu_latency,
+            InstrKind::Load { vaddr, dependent } => {
+                self.stats.loads += 1;
+                let issue = if dependent { now.max(self.last_load_done) } else { now };
+                let done = mem.load(instr.pc, vaddr, issue);
+                debug_assert!(done >= issue, "time moves forward");
+                self.last_load_done = done;
+                done
+            }
+            InstrKind::Store { vaddr } => {
+                self.stats.stores += 1;
+                mem.store(instr.pc, vaddr, now);
+                now + self.config.alu_latency
+            }
+        };
+        self.rob.push_back(completion);
+        self.stats.instructions += 1;
+        // Consume fetch bandwidth.
+        self.fetched_this_cycle += 1;
+        if self.fetched_this_cycle == self.config.width {
+            self.fetch_cycle += 1;
+            self.fetched_this_cycle = 0;
+        }
+    }
+
+    /// Retire everything in flight; returns the cycle the last instruction
+    /// retired at (the program's finish time).
+    pub fn drain(&mut self) -> u64 {
+        let mut last = self.retire_cycle;
+        while !self.rob.is_empty() {
+            last = self.retire_one();
+        }
+        last.max(self.fetch_cycle)
+    }
+
+    /// Finish time if the program ended now, without disturbing state —
+    /// used to snapshot warmup boundaries.
+    pub fn projected_finish(&self) -> u64 {
+        let mut rob = self.rob.clone();
+        let mut retire_cycle = self.retire_cycle;
+        let mut retired = self.retired_this_cycle;
+        let mut last = retire_cycle;
+        while let Some(completion) = rob.pop_front() {
+            let t = completion.max(retire_cycle);
+            if t > retire_cycle {
+                retire_cycle = t;
+                retired = 0;
+            }
+            retired += 1;
+            if retired == self.config.width {
+                retire_cycle = t + 1;
+                retired = 0;
+            }
+            last = t;
+        }
+        last.max(self.fetch_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedLatency(u64);
+    impl MemoryPort for FixedLatency {
+        fn load(&mut self, _pc: VAddr, _vaddr: VAddr, now: u64) -> u64 {
+            now + self.0
+        }
+        fn store(&mut self, _pc: VAddr, _vaddr: VAddr, _now: u64) {}
+    }
+
+    fn run_ops(n: u64) -> u64 {
+        let mut core = Core::new(CoreConfig::default());
+        let mut mem = FixedLatency(0);
+        for i in 0..n {
+            core.execute(&Instr::op(VAddr::new(i)), &mut mem);
+        }
+        core.drain()
+    }
+
+    #[test]
+    fn compute_bound_ipc_caps_at_width() {
+        let cycles = run_ops(4000);
+        let ipc = 4000.0 / cycles as f64;
+        assert!((ipc - 4.0).abs() < 0.1, "ipc {ipc}");
+    }
+
+    #[test]
+    fn independent_loads_overlap() {
+        // 100 independent 200-cycle loads, ROB 352 → all overlap; total
+        // time ≈ 200 + fetch time, not 100×200.
+        let mut core = Core::new(CoreConfig::default());
+        let mut mem = FixedLatency(200);
+        for i in 0..100 {
+            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+        }
+        let cycles = core.drain();
+        assert!(cycles < 300, "got {cycles}");
+    }
+
+    #[test]
+    fn dependent_loads_serialise() {
+        let mut core = Core::new(CoreConfig::default());
+        let mut mem = FixedLatency(200);
+        for i in 0..100 {
+            core.execute(&Instr::dependent_load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+        }
+        let cycles = core.drain();
+        assert!(cycles >= 100 * 200, "got {cycles}");
+    }
+
+    #[test]
+    fn rob_limits_memory_parallelism() {
+        // With a 4-entry ROB, at most 4 loads are in flight.
+        let mut core = Core::new(CoreConfig { rob_entries: 4, width: 4, alu_latency: 1 });
+        let mut mem = FixedLatency(100);
+        for i in 0..64 {
+            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+        }
+        let cycles = core.drain();
+        assert!(cycles >= 64 / 4 * 100, "got {cycles}");
+    }
+
+    #[test]
+    fn stores_do_not_stall() {
+        let mut core = Core::new(CoreConfig::default());
+        let mut mem = FixedLatency(500);
+        for i in 0..100 {
+            core.execute(&Instr::store(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+        }
+        let cycles = core.drain();
+        assert!(cycles < 100, "stores must retire through the store buffer, got {cycles}");
+    }
+
+    #[test]
+    fn stats_count_kinds() {
+        let mut core = Core::new(CoreConfig::default());
+        let mut mem = FixedLatency(1);
+        core.execute(&Instr::op(VAddr::new(0)), &mut mem);
+        core.execute(&Instr::load(VAddr::new(1), VAddr::new(64)), &mut mem);
+        core.execute(&Instr::store(VAddr::new(2), VAddr::new(128)), &mut mem);
+        let s = core.stats();
+        assert_eq!((s.instructions, s.loads, s.stores), (3, 1, 1));
+    }
+
+    #[test]
+    fn projected_finish_matches_drain() {
+        let mut core = Core::new(CoreConfig::default());
+        let mut mem = FixedLatency(37);
+        for i in 0..500 {
+            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+        }
+        let projected = core.projected_finish();
+        let drained = core.drain();
+        assert_eq!(projected, drained);
+    }
+
+    #[test]
+    fn memory_latency_dominates_when_serial() {
+        // Halving dependent-load latency should roughly halve runtime — the
+        // effect prefetching has on latency-bound code.
+        let run = |lat| {
+            let mut core = Core::new(CoreConfig::default());
+            let mut mem = FixedLatency(lat);
+            for i in 0..200 {
+                core.execute(&Instr::dependent_load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+            }
+            core.drain() as f64
+        };
+        let slow = run(400);
+        let fast = run(200);
+        assert!((slow / fast - 2.0).abs() < 0.2, "ratio {}", slow / fast);
+    }
+
+    #[test]
+    fn now_advances_with_fetch() {
+        let mut core = Core::new(CoreConfig::default());
+        let mut mem = FixedLatency(0);
+        assert_eq!(core.now(), 0);
+        for i in 0..8 {
+            core.execute(&Instr::op(VAddr::new(i)), &mut mem);
+        }
+        assert_eq!(core.now(), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Design-choice ablations beyond the paper's Figure 11: the Set-Dueling
+//! shape parameters the paper fixes empirically (§IV-B2: "we find that 32
+//! sets are adequate for each prefetcher"; §IV-B3: "three bits for Csel
+//! are adequate"). Sweeping both shows the plateau the authors describe.
+
+use psa_common::{geomean, table::pct, Table};
+use psa_core::{PageSizePolicy, SdConfig};
+use psa_prefetchers::PrefetcherKind;
+use psa_sim::System;
+
+use crate::runner::{RunCache, Settings, Variant};
+
+/// Geomean speedup of SPP-PSA-SD over SPP original for one SD shape.
+#[derive(Debug, Clone, Copy)]
+pub struct AblationPoint {
+    /// Dedicated sets per competitor.
+    pub dedicated_sets: usize,
+    /// `Csel` width in bits.
+    pub csel_bits: u32,
+    /// Geomean speedup ratio.
+    pub speedup: f64,
+}
+
+/// The swept shapes: dedicated sets at the paper's Csel width, then Csel
+/// widths at the paper's set count.
+pub fn sweep_shapes() -> Vec<(usize, u32)> {
+    let mut v: Vec<(usize, u32)> = [8, 16, 32, 64].iter().map(|&s| (s, 3)).collect();
+    v.extend([1u32, 2, 4, 5].iter().map(|&b| (32usize, b)));
+    v
+}
+
+/// Run the sweep.
+pub fn collect(settings: &Settings) -> Vec<AblationPoint> {
+    let kind = PrefetcherKind::Spp;
+    let mut cache = RunCache::new();
+    let workloads = settings.workloads();
+    sweep_shapes()
+        .into_iter()
+        .map(|(dedicated_sets, csel_bits)| {
+            let per: Vec<f64> = workloads
+                .iter()
+                .map(|w| {
+                    let orig = cache
+                        .run(settings.config, w, Variant::Pref(kind, PageSizePolicy::Original))
+                        .ipc();
+                    let mut config = settings.config;
+                    config.sd = SdConfig { dedicated_sets, csel_bits, ..SdConfig::default() };
+                    let ipc = System::single_core(config, w, kind, PageSizePolicy::PsaSd)
+                        .run()
+                        .ipc();
+                    if orig > 0.0 {
+                        ipc / orig
+                    } else {
+                        1.0
+                    }
+                })
+                .collect();
+            AblationPoint { dedicated_sets, csel_bits, speedup: geomean(&per) }
+        })
+        .collect()
+}
+
+/// Render the ablation.
+pub fn run(settings: &Settings) -> String {
+    let points = collect(settings);
+    let mut t = Table::new(vec![
+        "dedicated sets".into(),
+        "Csel bits".into(),
+        "SPP-PSA-SD geomean %".into(),
+    ]);
+    for p in &points {
+        t.row(vec![
+            p.dedicated_sets.to_string(),
+            p.csel_bits.to_string(),
+            pct((p.speedup - 1.0) * 100.0),
+        ]);
+    }
+    format!(
+        "Ablation — Set-Dueling shape (paper fixes 32 sets / 3 bits empirically)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_sim::SimConfig;
+
+    #[test]
+    fn shapes_cover_both_axes() {
+        let shapes = sweep_shapes();
+        assert!(shapes.contains(&(32, 3)), "the paper's point must be swept");
+        assert_eq!(shapes.len(), 8);
+    }
+
+    #[test]
+    fn tiny_sweep_is_sane() {
+        std::env::set_var("PSA_WORKLOAD_LIMIT", "3");
+        let settings = Settings {
+            config: SimConfig::default().with_warmup(1_000).with_instructions(4_000),
+        };
+        let points = collect(&settings);
+        std::env::remove_var("PSA_WORKLOAD_LIMIT");
+        assert_eq!(points.len(), 8);
+        assert!(points.iter().all(|p| p.speedup > 0.2 && p.speedup < 5.0));
+    }
+}

@@ -1,0 +1,123 @@
+//! Figures 4 and 5: the motivation study. Speedups over a no-prefetch
+//! baseline for SPP, SPP-PSA-Magic (ideal page-size propagation) and
+//! SPP-PSA-Magic-2MB (ideal propagation + 2MB indexing) on the nine
+//! representative benchmarks.
+
+use psa_common::{geomean, table::pct, Table};
+use psa_core::PageSizePolicy;
+use psa_prefetchers::PrefetcherKind;
+use psa_traces::catalog;
+
+use crate::runner::{RunCache, Settings, Variant};
+
+/// One benchmark's speedups over the no-prefetch baseline.
+#[derive(Debug, Clone)]
+pub struct MotivationRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// SPP original.
+    pub spp: f64,
+    /// SPP-PSA-Magic.
+    pub psa_magic: f64,
+    /// SPP-PSA-Magic-2MB.
+    pub psa_magic_2mb: f64,
+}
+
+/// Run both figures' data in one sweep.
+pub fn collect(settings: &Settings) -> Vec<MotivationRow> {
+    let mut cache = RunCache::new();
+    let kind = PrefetcherKind::Spp;
+    catalog::MOTIVATION_SET
+        .iter()
+        .map(|name| {
+            let w = catalog::workload(name).expect("motivation workload");
+            let base = Variant::NoPrefetch;
+            MotivationRow {
+                name: w.name,
+                spp: cache.speedup(
+                    settings.config,
+                    w,
+                    Variant::Pref(kind, PageSizePolicy::Original),
+                    base,
+                ),
+                psa_magic: cache.speedup(
+                    settings.config,
+                    w,
+                    Variant::PrefMagic(kind, PageSizePolicy::Psa),
+                    base,
+                ),
+                psa_magic_2mb: cache.speedup(
+                    settings.config,
+                    w,
+                    Variant::PrefMagic(kind, PageSizePolicy::Psa2m),
+                    base,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Render both figures.
+pub fn run(settings: &Settings) -> String {
+    let rows = collect(settings);
+    let mut t = Table::new(vec![
+        "benchmark".into(),
+        "SPP %".into(),
+        "SPP-PSA-Magic %".into(),
+        "SPP-PSA-Magic-2MB %".into(),
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.name.into(),
+            pct((r.spp - 1.0) * 100.0),
+            pct((r.psa_magic - 1.0) * 100.0),
+            pct((r.psa_magic_2mb - 1.0) * 100.0),
+        ]);
+    }
+    let g = |f: fn(&MotivationRow) -> f64| {
+        let v: Vec<f64> = rows.iter().map(f).collect();
+        pct((geomean(&v) - 1.0) * 100.0)
+    };
+    t.row(vec![
+        "GeoMean".into(),
+        g(|r| r.spp),
+        g(|r| r.psa_magic),
+        g(|r| r.psa_magic_2mb),
+    ]);
+    format!(
+        "Figures 4 & 5 — speedup over no-prefetch baseline (motivation set)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_sim::SimConfig;
+
+    #[test]
+    fn magic_psa_does_not_trail_original_in_geomean() {
+        let settings = Settings {
+            config: SimConfig::default().with_warmup(4_000).with_instructions(20_000),
+        };
+        let rows = collect(&settings);
+        assert_eq!(rows.len(), 9);
+        let spp = geomean(&rows.iter().map(|r| r.spp).collect::<Vec<_>>());
+        let magic = geomean(&rows.iter().map(|r| r.psa_magic).collect::<Vec<_>>());
+        // At this test's tiny instruction budget the two are statistically
+        // close; the guard catches regressions where PSA collapses, not
+        // sub-point noise.
+        assert!(
+            magic >= spp * 0.95,
+            "PSA-Magic must not trail SPP in geomean: {magic:.3} vs {spp:.3}"
+        );
+        // milc's long strides need the 2MB grain (Figure 5's headline).
+        let milc = rows.iter().find(|r| r.name == "milc").unwrap();
+        assert!(
+            milc.psa_magic_2mb > milc.psa_magic,
+            "milc: 2MB {:.3} vs PSA {:.3}",
+            milc.psa_magic_2mb,
+            milc.psa_magic
+        );
+    }
+}

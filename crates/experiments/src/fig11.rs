@@ -1,0 +1,225 @@
+//! Figure 11: selection-logic implementations compared. For the PSA-SD
+//! versions of SPP, VLDP and PPF (BOP degenerates):
+//!
+//! * **SD-Standard** — original Set Dueling: train each competitor only
+//!   when selected;
+//! * **SD-Page-Size** — no dueling: pick the competitor matching the
+//!   accessed block's page size;
+//! * **SD-Proposed** — the paper's scheme (train both on all accesses);
+//! * **ISO Storage** — the original prefetcher with its storage budget
+//!   doubled, to show the SD gains are not just "more SRAM".
+
+use psa_common::{geomean, table::pct, Table};
+use psa_core::ppm::PageSizeSource;
+use psa_core::{
+    IndexGrain, ModuleConfig, PageSizePolicy, Prefetcher, PsaModule, SdConfig, SelectPolicy,
+    TrainPolicy,
+};
+use psa_prefetchers::{bop, ppf, spp, vldp, PrefetcherKind};
+use psa_sim::System;
+
+use crate::runner::{RunCache, Settings, Variant};
+
+/// The selection-logic alternatives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Logic {
+    /// Original Set Dueling (train selected only).
+    SdStandard,
+    /// Blind page-size-based selection.
+    SdPageSize,
+    /// The paper's proposal.
+    SdProposed,
+    /// Original prefetcher with a doubled storage budget.
+    IsoStorage,
+}
+
+impl Logic {
+    /// All alternatives, in the paper's bar order.
+    pub const ALL: [Logic; 4] =
+        [Logic::SdStandard, Logic::SdPageSize, Logic::SdProposed, Logic::IsoStorage];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Logic::SdStandard => "SD-Standard",
+            Logic::SdPageSize => "SD-Page-Size",
+            Logic::SdProposed => "SD-Proposed",
+            Logic::IsoStorage => "ISO Storage",
+        }
+    }
+}
+
+/// Build a prefetcher of `kind` with its structure sizes scaled ×2 — the
+/// ISO-storage comparison point.
+pub fn build_doubled(kind: PrefetcherKind, grain: IndexGrain) -> Box<dyn Prefetcher> {
+    match kind {
+        PrefetcherKind::Spp | PrefetcherKind::NextLine => {
+            let config = spp::SppConfig {
+                st_sets: 128,
+                pt_entries: 1024,
+                ..spp::SppConfig::default()
+            };
+            Box::new(spp::Spp::new(config, grain))
+        }
+        PrefetcherKind::Vldp => {
+            let config = vldp::VldpConfig {
+                dhb_entries: 32,
+                dpt_entries: 128,
+                opt_entries: 128,
+                ..vldp::VldpConfig::default()
+            };
+            Box::new(vldp::Vldp::new(config, grain))
+        }
+        PrefetcherKind::Ppf => {
+            let config = ppf::PpfConfig {
+                table_entries: 2048,
+                pt_entries: 2048,
+                rt_entries: 2048,
+                ..ppf::PpfConfig::default()
+            };
+            Box::new(ppf::Ppf::new(config, grain))
+        }
+        PrefetcherKind::Bop => {
+            let config = bop::BopConfig { rr_entries: 512, ..bop::BopConfig::default() };
+            Box::new(bop::Bop::new(config, grain))
+        }
+    }
+}
+
+fn sd_config(logic: Logic) -> SdConfig {
+    match logic {
+        Logic::SdStandard => {
+            SdConfig { train: TrainPolicy::SelectedOnly, ..SdConfig::default() }
+        }
+        Logic::SdPageSize => SdConfig { select: SelectPolicy::PageSize, ..SdConfig::default() },
+        Logic::SdProposed | Logic::IsoStorage => SdConfig::default(),
+    }
+}
+
+/// Geomean speedups over the original prefetcher for each logic.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// Prefetcher.
+    pub kind: PrefetcherKind,
+    /// Geomeans in [`Logic::ALL`] order.
+    pub speedups: [f64; 4],
+}
+
+/// Run the ablation.
+pub fn collect(settings: &Settings) -> Vec<Fig11Row> {
+    let kinds = [PrefetcherKind::Spp, PrefetcherKind::Vldp, PrefetcherKind::Ppf];
+    kinds
+        .into_iter()
+        .map(|kind| {
+            let mut cache = RunCache::new();
+            let mut speedups = [1.0f64; 4];
+            for (i, logic) in Logic::ALL.into_iter().enumerate() {
+                let per: Vec<f64> = settings
+                    .workloads()
+                    .into_iter()
+                    .map(|w| {
+                        let orig = cache
+                            .run(
+                                settings.config,
+                                w,
+                                Variant::Pref(kind, PageSizePolicy::Original),
+                            )
+                            .ipc();
+                        let ipc = match logic {
+                            Logic::IsoStorage => {
+                                let mut config = settings.config;
+                                config.sd = sd_config(logic);
+                                System::single_core_with_module(config, w, &|sets| {
+                                    PsaModule::new(
+                                        PageSizePolicy::Original,
+                                        PageSizeSource::Ppm,
+                                        &|grain| build_doubled(kind, grain),
+                                        sets,
+                                        sd_config(logic),
+                                        ModuleConfig::default(),
+                                    )
+                                    .expect("module shape")
+                                })
+                                .run()
+                                .ipc()
+                            }
+                            _ => {
+                                let mut config = settings.config;
+                                config.sd = sd_config(logic);
+                                System::single_core(config, w, kind, PageSizePolicy::PsaSd)
+                                    .run()
+                                    .ipc()
+                            }
+                        };
+                        if orig > 0.0 {
+                            ipc / orig
+                        } else {
+                            1.0
+                        }
+                    })
+                    .collect();
+                speedups[i] = geomean(&per);
+            }
+            Fig11Row { kind, speedups }
+        })
+        .collect()
+}
+
+/// Render the figure.
+pub fn run(settings: &Settings) -> String {
+    let rows = collect(settings);
+    let mut t = Table::new(vec![
+        "prefetcher".into(),
+        "SD-Standard %".into(),
+        "SD-Page-Size %".into(),
+        "SD-Proposed %".into(),
+        "ISO Storage %".into(),
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.kind.name().into(),
+            pct((r.speedups[0] - 1.0) * 100.0),
+            pct((r.speedups[1] - 1.0) * 100.0),
+            pct((r.speedups[2] - 1.0) * 100.0),
+            pct((r.speedups[3] - 1.0) * 100.0),
+        ]);
+    }
+    format!(
+        "Figure 11 — selection-logic ablation, geomean speedup over original (%)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_sim::SimConfig;
+
+    #[test]
+    fn doubled_prefetchers_really_double_storage() {
+        for kind in PrefetcherKind::EVALUATED {
+            let normal = kind.build(IndexGrain::Page4K).storage_bytes() as f64;
+            let doubled = build_doubled(kind, IndexGrain::Page4K).storage_bytes() as f64;
+            assert!(
+                doubled / normal > 1.5 && doubled / normal < 2.5,
+                "{kind}: {normal} vs {doubled}"
+            );
+        }
+    }
+
+    #[test]
+    fn ablation_runs_on_a_small_slice() {
+        std::env::set_var("PSA_WORKLOAD_LIMIT", "4");
+        let settings = Settings {
+            config: SimConfig::default().with_warmup(1_000).with_instructions(5_000),
+        };
+        let rows = collect(&settings);
+        std::env::remove_var("PSA_WORKLOAD_LIMIT");
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            for s in r.speedups {
+                assert!(s > 0.2 && s < 5.0, "{}: implausible speedup {s}", r.kind);
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 13: comparison with state-of-the-art L1D prefetching. Speedups
+//! over a no-prefetch baseline for: next-line (L1D), IPCP, IPCP++ (may
+//! cross 4KB when the target page is TLB resident), and the PSA / PSA-SD
+//! versions of the four L2C prefetchers.
+
+use psa_common::{geomean, Table};
+use psa_core::PageSizePolicy;
+use psa_prefetchers::PrefetcherKind;
+use psa_sim::{L1dPrefKind, System};
+
+use crate::runner::{RunCache, Settings, Variant};
+
+/// One bar of the figure.
+#[derive(Debug, Clone)]
+pub struct Fig13Bar {
+    /// Label as in the paper.
+    pub label: String,
+    /// Geomean speedup ratio over the no-prefetch baseline.
+    pub speedup: f64,
+}
+
+/// Run the comparison.
+pub fn collect(settings: &Settings) -> Vec<Fig13Bar> {
+    let mut cache = RunCache::new();
+    let workloads = settings.workloads();
+    let mut bars = Vec::new();
+
+    // L1D prefetchers: run with the dedicated sim configuration.
+    for l1d in [L1dPrefKind::NextLine, L1dPrefKind::Ipcp, L1dPrefKind::IpcpPlusPlus] {
+        let per: Vec<f64> = workloads
+            .iter()
+            .map(|w| {
+                let base = cache.run(settings.config, w, Variant::NoPrefetch).ipc();
+                let mut config = settings.config;
+                config.l1d_prefetcher = l1d;
+                let ipc = System::baseline(config, w).run().ipc();
+                if base > 0.0 {
+                    ipc / base
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        bars.push(Fig13Bar { label: l1d.to_string(), speedup: geomean(&per) });
+    }
+
+    // L2C prefetchers, PSA and PSA-SD versions.
+    for kind in PrefetcherKind::EVALUATED {
+        for policy in [PageSizePolicy::Psa, PageSizePolicy::PsaSd] {
+            if kind == PrefetcherKind::Bop && policy == PageSizePolicy::PsaSd {
+                continue; // identical to BOP-PSA (§VI-B1)
+            }
+            let per: Vec<f64> = workloads
+                .iter()
+                .map(|w| {
+                    cache.speedup(
+                        settings.config,
+                        w,
+                        Variant::Pref(kind, policy),
+                        Variant::NoPrefetch,
+                    )
+                })
+                .collect();
+            bars.push(Fig13Bar {
+                label: format!("{}{}", kind.name(), policy.suffix()),
+                speedup: geomean(&per),
+            });
+        }
+    }
+    bars
+}
+
+/// Render the figure.
+pub fn run(settings: &Settings) -> String {
+    let bars = collect(settings);
+    let mut t = Table::new(vec!["configuration".into(), "speedup ×".into()]);
+    for b in &bars {
+        t.row(vec![b.label.clone(), format!("{:.3}", b.speedup)]);
+    }
+    format!(
+        "Figure 13 — vs L1D prefetching, geomean speedup over no-prefetch baseline\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_sim::SimConfig;
+
+    #[test]
+    fn bars_cover_l1d_and_l2c_configurations() {
+        std::env::set_var("PSA_WORKLOAD_LIMIT", "4");
+        let settings = Settings {
+            config: SimConfig::default().with_warmup(1_000).with_instructions(5_000),
+        };
+        let bars = collect(&settings);
+        std::env::remove_var("PSA_WORKLOAD_LIMIT");
+        // 3 L1D bars + (3 prefetchers × 2 variants) + BOP-PSA = 10.
+        assert_eq!(bars.len(), 10);
+        assert!(bars.iter().any(|b| b.label == "IPCP++"));
+        assert!(bars.iter().any(|b| b.label == "SPP-PSA-SD"));
+        assert!(bars.iter().all(|b| b.speedup > 0.2 && b.speedup < 10.0));
+    }
+}

@@ -1,0 +1,139 @@
+//! Figures 14 and 15: multi-core evaluation. Weighted speedups (§V-B) of
+//! the PSA and PSA-SD versions over each prefetcher's original, across
+//! random 4-core and 8-core mixes.
+
+use psa_common::{geomean, stats::weighted_speedup, DistSummary, Table};
+use psa_core::PageSizePolicy;
+use psa_prefetchers::PrefetcherKind;
+use psa_sim::{SimConfig, System};
+use psa_traces::{mixes::random_mixes, WorkloadSpec};
+use std::collections::HashMap;
+
+use crate::runner::Settings;
+
+/// The distribution of per-mix weighted speedups for one configuration.
+#[derive(Debug, Clone)]
+pub struct MultiBar {
+    /// Label, e.g. "SPP-PSA-SD".
+    pub label: String,
+    /// Weighted speedup per mix.
+    pub per_mix: Vec<f64>,
+}
+
+/// Per-workload isolation IPC on the multi-core-spec machine, memoised.
+struct IsolationCache {
+    config: SimConfig,
+    ipc: HashMap<(&'static str, &'static str), f64>,
+}
+
+impl IsolationCache {
+    fn get(&mut self, w: &'static WorkloadSpec, kind: PrefetcherKind, policy: PageSizePolicy) -> f64 {
+        *self.ipc.entry((w.name, policy_label(kind, policy))).or_insert_with(|| {
+            let mut config = self.config;
+            config.cores = 1;
+            System::multi_core(config, &[w], kind, policy).run_multi().ipc[0]
+        })
+    }
+}
+
+fn policy_label(kind: PrefetcherKind, policy: PageSizePolicy) -> &'static str {
+    // A tiny interner so the cache key stays Copy; the label set is finite.
+    match (kind, policy) {
+        (PrefetcherKind::Spp, PageSizePolicy::Original) => "spp-o",
+        (PrefetcherKind::Spp, PageSizePolicy::Psa) => "spp-p",
+        (PrefetcherKind::Spp, PageSizePolicy::PsaSd) => "spp-s",
+        (PrefetcherKind::Vldp, PageSizePolicy::Original) => "vldp-o",
+        (PrefetcherKind::Vldp, PageSizePolicy::Psa) => "vldp-p",
+        (PrefetcherKind::Vldp, PageSizePolicy::PsaSd) => "vldp-s",
+        (PrefetcherKind::Ppf, PageSizePolicy::Original) => "ppf-o",
+        (PrefetcherKind::Ppf, PageSizePolicy::Psa) => "ppf-p",
+        (PrefetcherKind::Ppf, PageSizePolicy::PsaSd) => "ppf-s",
+        (PrefetcherKind::Bop, PageSizePolicy::Original) => "bop-o",
+        (PrefetcherKind::Bop, PageSizePolicy::Psa) => "bop-p",
+        _ => "other",
+    }
+}
+
+/// The seven bar configurations of Figures 14/15.
+pub fn bar_set() -> Vec<(PrefetcherKind, PageSizePolicy)> {
+    vec![
+        (PrefetcherKind::Spp, PageSizePolicy::Psa),
+        (PrefetcherKind::Spp, PageSizePolicy::PsaSd),
+        (PrefetcherKind::Vldp, PageSizePolicy::Psa),
+        (PrefetcherKind::Vldp, PageSizePolicy::PsaSd),
+        (PrefetcherKind::Ppf, PageSizePolicy::Psa),
+        (PrefetcherKind::Ppf, PageSizePolicy::PsaSd),
+        (PrefetcherKind::Bop, PageSizePolicy::Psa),
+    ]
+}
+
+/// Run the evaluation for `cores`-wide mixes.
+pub fn collect(settings: &Settings, cores: usize) -> Vec<MultiBar> {
+    let mut config = SimConfig::for_cores(cores);
+    config.warmup = settings.config.warmup;
+    config.instructions = settings.config.instructions;
+    config.seed = settings.config.seed;
+    let mixes = random_mixes(settings.mixes(), cores, config.seed);
+    let mut iso = IsolationCache { config, ipc: HashMap::new() };
+
+    bar_set()
+        .into_iter()
+        .map(|(kind, policy)| {
+            let per_mix: Vec<f64> = mixes
+                .iter()
+                .map(|mix| {
+                    let eval = System::multi_core(config, mix, kind, policy).run_multi();
+                    let base =
+                        System::multi_core(config, mix, kind, PageSizePolicy::Original)
+                            .run_multi();
+                    let isolation: Vec<f64> =
+                        mix.iter().map(|w| iso.get(w, kind, PageSizePolicy::Original)).collect();
+                    weighted_speedup(&eval.ipc, &base.ipc, &isolation)
+                })
+                .collect();
+            MultiBar { label: format!("{}{}", kind.name(), policy.suffix()), per_mix }
+        })
+        .collect()
+}
+
+/// Render one figure (4-core → Figure 14, 8-core → Figure 15).
+pub fn run(settings: &Settings, cores: usize) -> String {
+    let bars = collect(settings, cores);
+    let mut t = Table::new(vec![
+        "configuration".into(),
+        "geomean %".into(),
+        "distribution (weighted speedup %)".into(),
+    ]);
+    for b in &bars {
+        let pcts: Vec<f64> = b.per_mix.iter().map(|s| (s - 1.0) * 100.0).collect();
+        let g = (geomean(&b.per_mix) - 1.0) * 100.0;
+        t.row(vec![b.label.clone(), format!("{g:+.1}"), DistSummary::of(&pcts).to_string()]);
+    }
+    format!(
+        "Figure {} — {}-core weighted speedups over each original, {} mixes\n{}",
+        if cores == 4 { 14 } else { 15 },
+        cores,
+        bars.first().map_or(0, |b| b.per_mix.len()),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_core_smoke() {
+        std::env::set_var("PSA_MIXES", "2");
+        let settings = Settings {
+            config: SimConfig::default().with_warmup(500).with_instructions(2_500),
+        };
+        let bars = collect(&settings, 2);
+        std::env::remove_var("PSA_MIXES");
+        assert_eq!(bars.len(), 7);
+        for b in &bars {
+            assert_eq!(b.per_mix.len(), 2);
+            assert!(b.per_mix.iter().all(|&s| s > 0.2 && s < 5.0), "{}: {:?}", b.label, b.per_mix);
+        }
+    }
+}

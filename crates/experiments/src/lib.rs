@@ -1,0 +1,45 @@
+//! Experiment harness: one module per figure/table of *Page Size Aware
+//! Cache Prefetching* (MICRO 2022).
+//!
+//! Every module exposes a `run(settings) -> String` entry point that
+//! executes the experiment and renders the paper's rows as plain text;
+//! the `psa-bench` crate wraps each in a `cargo bench` target.
+//!
+//! | Module | Paper content |
+//! |---|---|
+//! | [`fig02`] | discard-probability distributions (Figure 2) |
+//! | [`fig03`] | 2MB-page usage over execution (Figure 3) |
+//! | [`fig0405`] | SPP vs SPP-PSA-Magic(-2MB) (Figures 4 & 5) |
+//! | [`fig08`] | per-workload SPP variant speedups (Figure 8) |
+//! | [`fig09`] | per-suite geomeans for all prefetchers (Figure 9) |
+//! | [`fig10`] | sources of improvement: latency/coverage/accuracy (Figure 10) |
+//! | [`fig11`] | selection-logic ablation + ISO storage (Figure 11) |
+//! | [`fig12`] | constrained sweeps: MSHR / LLC / DRAM (Figure 12) |
+//! | [`fig13`] | vs L1D prefetching: NL, IPCP, IPCP++ (Figure 13) |
+//! | [`fig1415`] | multi-core weighted speedups (Figures 14 & 15) |
+//! | [`nonintensive`] | §VI-B1's non-intensive augmentation |
+//! | [`ablations`] | Set-Dueling shape sweeps (sets/competitor, `Csel` width) |
+//!
+//! Scaling knobs (environment): `PSA_WARMUP`, `PSA_INSTRUCTIONS` override
+//! the per-run instruction budget; `PSA_WORKLOAD_LIMIT=n` subsamples the
+//! 80-workload set (stride-sampled so every suite stays represented);
+//! `PSA_MIXES=n` bounds the multi-core mix count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig02;
+pub mod fig03;
+pub mod fig0405;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig1415;
+pub mod nonintensive;
+pub mod runner;
+
+pub use runner::Settings;

@@ -1,0 +1,76 @@
+//! §VI-B1 "Non-Intensive Workloads": augment the 80-workload set with the
+//! non-intensive SPEC workloads and verify the page-size techniques still
+//! help overall and never harm the quiet workloads.
+
+use psa_common::{geomean, table::pct, Table};
+use psa_core::PageSizePolicy;
+use psa_prefetchers::PrefetcherKind;
+use psa_traces::{catalog, WorkloadSpec};
+
+use crate::fig09::{collect_over, Fig09Cell};
+use crate::runner::{RunCache, Settings, Variant};
+
+/// Run the augmented-set sweep.
+pub fn collect(settings: &Settings) -> Vec<Fig09Cell> {
+    let mut workloads: Vec<&'static WorkloadSpec> = settings.workloads();
+    workloads.extend(catalog::NON_INTENSIVE.iter());
+    collect_over(settings, &workloads)
+}
+
+/// Geomean speedups of the PSA-SD variants restricted to the non-intensive
+/// workloads only — the "no harm" check.
+pub fn non_intensive_only(settings: &Settings) -> Vec<(PrefetcherKind, f64)> {
+    PrefetcherKind::EVALUATED
+        .into_iter()
+        .map(|kind| {
+            let mut cache = RunCache::new();
+            let base = Variant::Pref(kind, PageSizePolicy::Original);
+            let per: Vec<f64> = catalog::NON_INTENSIVE
+                .iter()
+                .map(|w| {
+                    cache.speedup(
+                        settings.config,
+                        w,
+                        Variant::Pref(kind, PageSizePolicy::PsaSd),
+                        base,
+                    )
+                })
+                .collect();
+            (kind, geomean(&per))
+        })
+        .collect()
+}
+
+/// Render the section's numbers.
+pub fn run(settings: &Settings) -> String {
+    let cells = collect(settings);
+    let mut out = crate::fig09::render(
+        &cells,
+        "§VI-B1 — intensive + non-intensive set, geomean over each original (%)",
+    );
+    let mut t = Table::new(vec!["prefetcher".into(), "PSA-SD on non-intensive only %".into()]);
+    for (kind, g) in non_intensive_only(settings) {
+        t.row(vec![kind.name().into(), pct((g - 1.0) * 100.0)]);
+    }
+    out.push_str(&format!("\nNo-harm check (non-intensive workloads only)\n{}", t.render()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_sim::SimConfig;
+
+    #[test]
+    fn no_harm_on_quiet_workloads() {
+        let settings = Settings {
+            config: SimConfig::default().with_warmup(2_000).with_instructions(8_000),
+        };
+        for (kind, g) in non_intensive_only(&settings) {
+            assert!(
+                g > 0.93,
+                "{kind}: PSA-SD must not materially harm non-intensive workloads, got {g:.3}"
+            );
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Shared experiment plumbing: run settings, workload selection and a
+//! memoising run cache so baselines are simulated once per experiment.
+
+use psa_core::PageSizePolicy;
+use psa_prefetchers::PrefetcherKind;
+use psa_sim::{RunReport, SimConfig, System};
+use psa_traces::{catalog, WorkloadSpec};
+use std::collections::HashMap;
+
+/// Experiment-wide settings.
+#[derive(Debug, Clone, Copy)]
+pub struct Settings {
+    /// The machine/run configuration (Table I + instruction budget).
+    pub config: SimConfig,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        // Laptop-scale default budget; `PSA_WARMUP` / `PSA_INSTRUCTIONS`
+        // scale it up towards the paper's 250M+250M.
+        Self {
+            config: SimConfig::default()
+                .with_warmup(40_000)
+                .with_instructions(120_000)
+                .with_env_overrides(),
+        }
+    }
+}
+
+impl Settings {
+    /// The evaluated workload set, honouring `PSA_WORKLOAD_LIMIT` by
+    /// stride-sampling so each suite stays represented.
+    pub fn workloads(&self) -> Vec<&'static WorkloadSpec> {
+        let all: Vec<&WorkloadSpec> = catalog::all().iter().collect();
+        match std::env::var("PSA_WORKLOAD_LIMIT").ok().and_then(|v| v.parse::<usize>().ok()) {
+            Some(limit) if limit > 0 && limit < all.len() => {
+                let stride = all.len().div_ceil(limit);
+                all.into_iter().step_by(stride).collect()
+            }
+            _ => all,
+        }
+    }
+
+    /// Number of multi-core mixes, honouring `PSA_MIXES` (default 8;
+    /// the paper uses 100).
+    pub fn mixes(&self) -> usize {
+        std::env::var("PSA_MIXES").ok().and_then(|v| v.parse().ok()).unwrap_or(8)
+    }
+}
+
+/// What ran on the L2C prefetcher slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// No prefetching anywhere (the speedup baseline of Figures 4/5/13).
+    NoPrefetch,
+    /// A prefetcher at one of the paper's page-size policies.
+    Pref(PrefetcherKind, PageSizePolicy),
+    /// Like [`Variant::Pref`] but with the §III "Magic" page-size oracle
+    /// instead of PPM's MSHR bit.
+    PrefMagic(PrefetcherKind, PageSizePolicy),
+}
+
+/// A memoising single-core run cache: each (workload, variant) simulates
+/// once per experiment, no matter how many reductions consume it.
+#[derive(Default)]
+pub struct RunCache {
+    runs: HashMap<(&'static str, Variant), RunReport>,
+}
+
+impl RunCache {
+    /// Fresh cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulate (or recall) `workload` under `variant`.
+    pub fn run(
+        &mut self,
+        config: SimConfig,
+        workload: &'static WorkloadSpec,
+        variant: Variant,
+    ) -> &RunReport {
+        self.runs.entry((workload.name, variant)).or_insert_with(|| match variant {
+            Variant::NoPrefetch => System::baseline(config, workload).run(),
+            Variant::Pref(kind, policy) => {
+                System::single_core(config, workload, kind, policy).run()
+            }
+            Variant::PrefMagic(kind, policy) => {
+                let mut config = config;
+                config.page_size_source = psa_core::ppm::PageSizeSource::Magic;
+                System::single_core(config, workload, kind, policy).run()
+            }
+        })
+    }
+
+    /// IPC ratio of `num` over `den` for one workload.
+    pub fn speedup(
+        &mut self,
+        config: SimConfig,
+        workload: &'static WorkloadSpec,
+        num: Variant,
+        den: Variant,
+    ) -> f64 {
+        let n = self.run(config, workload, num).ipc();
+        let d = self.run(config, workload, den).ipc();
+        if d <= 0.0 {
+            1.0
+        } else {
+            n / d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SimConfig {
+        SimConfig::default().with_warmup(1_000).with_instructions(4_000)
+    }
+
+    #[test]
+    fn cache_memoises() {
+        let mut cache = RunCache::new();
+        let w = catalog::workload("lbm").unwrap();
+        let a = cache.run(quick(), w, Variant::NoPrefetch).ipc();
+        let b = cache.run(quick(), w, Variant::NoPrefetch).ipc();
+        assert_eq!(a, b);
+        assert_eq!(cache.runs.len(), 1);
+    }
+
+    #[test]
+    fn speedup_is_ratio() {
+        let mut cache = RunCache::new();
+        let w = catalog::workload("lbm").unwrap();
+        let s = cache.speedup(
+            quick(),
+            w,
+            Variant::Pref(PrefetcherKind::Spp, PageSizePolicy::Psa),
+            Variant::NoPrefetch,
+        );
+        assert!(s > 0.1 && s < 10.0, "speedup {s}");
+    }
+
+    #[test]
+    fn workload_selection_honours_limit() {
+        let settings = Settings::default();
+        let all = settings.workloads();
+        assert_eq!(all.len(), 80);
+        std::env::set_var("PSA_WORKLOAD_LIMIT", "10");
+        let some = settings.workloads();
+        std::env::remove_var("PSA_WORKLOAD_LIMIT");
+        assert!(some.len() <= 10 && some.len() >= 8, "got {}", some.len());
+    }
+}

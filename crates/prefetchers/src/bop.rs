@@ -1,0 +1,283 @@
+//! Best-Offset Prefetcher (Michaud — HPCA 2016).
+//!
+//! BOP learns a single best prefetch offset `D` by round-robin testing a
+//! fixed offset list against a Recent Requests (RR) table: offset `d`
+//! scores a point whenever the current access `X` finds `X − d` in the RR
+//! table, meaning a `d`-offset prefetch issued back then would have been
+//! timely. At the end of a learning round the best-scoring offset becomes
+//! `D`; a best score at or below the bad-score threshold turns prefetching
+//! off for the next round.
+//!
+//! BOP has **no structure indexed by the physical page number** — the RR
+//! table is indexed by line address — so re-indexing at the 2MB grain
+//! changes nothing: BOP-PSA-2MB ≡ BOP-PSA, exactly the degeneracy §VI-B1
+//! of the PSA paper reports ([`Prefetcher::uses_page_indexing`] returns
+//! `false`).
+
+use psa_common::geometry::xor_fold;
+use psa_common::PLine;
+use psa_core::{AccessContext, Candidate, FillLevel, IndexGrain, Prefetcher};
+
+/// BOP tuning, following the HPCA 2016 paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BopConfig {
+    /// RR table entries (256).
+    pub rr_entries: usize,
+    /// Saturating score cap (SCOREMAX = 31): reaching it ends the round.
+    pub score_max: u32,
+    /// Accesses per offset per round (ROUNDMAX = 100).
+    pub round_max: u32,
+    /// Best scores at or below this disable prefetching (BADSCORE = 1).
+    pub bad_score: u32,
+}
+
+impl Default for BopConfig {
+    fn default() -> Self {
+        Self { rr_entries: 256, score_max: 31, round_max: 100, bad_score: 1 }
+    }
+}
+
+/// The HPCA 2016 offset list: products 2^i·3^j·5^k up to 256.
+pub const OFFSET_LIST: [i64; 52] = [
+    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54,
+    60, 64, 72, 75, 80, 81, 90, 96, 100, 108, 120, 125, 128, 135, 144, 150, 160, 162, 180, 192,
+    200, 216, 225, 240, 243, 250, 256,
+];
+
+/// The Best-Offset Prefetcher.
+#[derive(Debug)]
+pub struct Bop {
+    config: BopConfig,
+    rr: Vec<u64>,
+    scores: [u32; OFFSET_LIST.len()],
+    /// Offset index currently under test.
+    test_idx: usize,
+    /// Accesses observed in the current round.
+    round_len: u32,
+    /// The active best offset, `None` while prefetching is off.
+    best: Option<i64>,
+}
+
+impl Bop {
+    /// Build BOP. The `grain` parameter exists so all prefetchers share a
+    /// constructor shape; BOP ignores it (no page-indexed structure).
+    pub fn new(config: BopConfig, grain: IndexGrain) -> Self {
+        let _ = grain;
+        Self {
+            config,
+            rr: vec![u64::MAX; config.rr_entries],
+            scores: [0; OFFSET_LIST.len()],
+            test_idx: 0,
+            round_len: 0,
+            best: Some(1),
+        }
+    }
+
+    /// The currently selected offset, if prefetching is enabled.
+    pub fn best_offset(&self) -> Option<i64> {
+        self.best
+    }
+
+    fn rr_slot(&self, line: u64) -> usize {
+        xor_fold(line, self.config.rr_entries.trailing_zeros()) as usize % self.rr.len()
+    }
+
+    fn rr_insert(&mut self, line: PLine) {
+        let slot = self.rr_slot(line.raw());
+        self.rr[slot] = line.raw();
+    }
+
+    fn rr_contains(&self, line: u64) -> bool {
+        self.rr[self.rr_slot(line)] == line
+    }
+
+    fn end_round(&mut self) {
+        let (best_idx, &best_score) = self
+            .scores
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .expect("non-empty scores");
+        self.best =
+            (best_score > self.config.bad_score).then_some(OFFSET_LIST[best_idx]);
+        self.scores = [0; OFFSET_LIST.len()];
+        self.test_idx = 0;
+        self.round_len = 0;
+    }
+}
+
+impl Prefetcher for Bop {
+    fn name(&self) -> &'static str {
+        "BOP"
+    }
+
+    fn on_access(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>) {
+        // Learning: test the next offset in the list against the RR table.
+        let d = OFFSET_LIST[self.test_idx];
+        if let Some(base) = ctx.line.checked_add(-d) {
+            if self.rr_contains(base.raw()) {
+                self.scores[self.test_idx] += 1;
+                if self.scores[self.test_idx] >= self.config.score_max {
+                    self.end_round();
+                }
+            }
+        }
+        self.test_idx = (self.test_idx + 1) % OFFSET_LIST.len();
+        if self.test_idx == 0 {
+            self.round_len += 1;
+            if self.round_len >= self.config.round_max {
+                self.end_round();
+            }
+        }
+
+        // Issue: prefetch X + D on demand misses (and prefetched hits).
+        if let Some(best) = self.best {
+            if let Some(line) = ctx.line.checked_add(best) {
+                out.push(Candidate { line, fill_level: FillLevel::L2C });
+            }
+        }
+
+        // Track the demand stream in the RR table. (The HPCA paper inserts
+        // `X − D` on prefetched fills and `X` on demand fills; inserting on
+        // the access stream approximates both with one table.)
+        if let Some(best) = self.best {
+            if let Some(base) = ctx.line.checked_add(-best) {
+                self.rr_insert(base);
+            }
+        }
+        self.rr_insert(ctx.line);
+    }
+
+    fn on_prefetch_fill(&mut self, line: PLine) {
+        // A completed prefetch of X+D records base X, crediting offsets
+        // that would have produced this fill in time.
+        if let Some(best) = self.best {
+            if let Some(base) = line.checked_add(-best) {
+                self.rr_insert(base);
+            }
+        }
+    }
+
+    fn uses_page_indexing(&self) -> bool {
+        false
+    }
+
+    fn storage_bytes(&self) -> usize {
+        // RR table of line addresses (~4B folded tags) + scores.
+        self.rr.len() * 4 + OFFSET_LIST.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_common::{PageSize, VAddr};
+
+    fn ctx(line: u64) -> AccessContext {
+        AccessContext {
+            line: PLine::new(line),
+            pc: VAddr::new(0x400),
+            cache_hit: false,
+            page_size: PageSize::Size2M,
+        }
+    }
+
+    fn bop() -> Bop {
+        Bop::new(BopConfig::default(), IndexGrain::Page4K)
+    }
+
+    #[test]
+    fn starts_with_next_line() {
+        let mut b = bop();
+        let mut out = Vec::new();
+        b.on_access(&ctx(100), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, PLine::new(101));
+    }
+
+    #[test]
+    fn learns_a_large_stride() {
+        let mut b = bop();
+        let mut out = Vec::new();
+        // Stream with stride 8: offset 8 should win the learning rounds.
+        for i in 0..6000u64 {
+            out.clear();
+            b.on_access(&ctx(i * 8), &mut out);
+        }
+        assert_eq!(b.best_offset(), Some(8), "best offset converges to the stride");
+        out.clear();
+        b.on_access(&ctx(100_000 * 8), &mut out);
+        assert_eq!(out[0].line, PLine::new(100_000 * 8 + 8));
+    }
+
+    #[test]
+    fn random_stream_disables_prefetching() {
+        let mut b = bop();
+        let mut out = Vec::new();
+        let mut x: u64 = 0x12345;
+        for _ in 0..12_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            out.clear();
+            b.on_access(&ctx(x % 1_000_000_007), &mut out);
+        }
+        assert_eq!(b.best_offset(), None, "no offset scores on random traffic");
+        out.clear();
+        b.on_access(&ctx(42), &mut out);
+        assert!(out.is_empty(), "prefetching off");
+    }
+
+    #[test]
+    fn recovers_after_phase_change() {
+        let mut b = bop();
+        let mut out = Vec::new();
+        let mut x: u64 = 99;
+        for _ in 0..12_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(12345);
+            out.clear();
+            b.on_access(&ctx(x % 1_000_000_007), &mut out);
+        }
+        assert_eq!(b.best_offset(), None);
+        for i in 0..12_000u64 {
+            out.clear();
+            b.on_access(&ctx(2_000_000 + i * 4), &mut out);
+        }
+        assert_eq!(b.best_offset(), Some(4), "re-enables on a new streaming phase");
+    }
+
+    #[test]
+    fn grain_is_irrelevant() {
+        // The paper's BOP degeneracy: identical behaviour at both grains.
+        let mut fine = Bop::new(BopConfig::default(), IndexGrain::Page4K);
+        let mut coarse = Bop::new(BopConfig::default(), IndexGrain::Page2M);
+        let mut out_f = Vec::new();
+        let mut out_c = Vec::new();
+        for i in 0..5000u64 {
+            out_f.clear();
+            out_c.clear();
+            fine.on_access(&ctx(i * 3), &mut out_f);
+            coarse.on_access(&ctx(i * 3), &mut out_c);
+            assert_eq!(out_f, out_c);
+        }
+        assert_eq!(fine.best_offset(), coarse.best_offset());
+    }
+
+    #[test]
+    fn offset_list_matches_hpca_shape() {
+        assert_eq!(OFFSET_LIST.len(), 52);
+        assert!(OFFSET_LIST.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+        for &o in &OFFSET_LIST {
+            let mut v = o;
+            for p in [2, 3, 5] {
+                while v % p == 0 {
+                    v /= p;
+                }
+            }
+            assert_eq!(v, 1, "offset {o} must be 2^i·3^j·5^k");
+        }
+    }
+
+    #[test]
+    fn storage_is_tiny() {
+        assert!(bop().storage_bytes() < 2048);
+    }
+}

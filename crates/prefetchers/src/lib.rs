@@ -1,0 +1,149 @@
+//! The spatial cache prefetchers the paper evaluates, implemented from
+//! their original publications:
+//!
+//! * [`spp`] — Signature Path Prefetcher (Kim et al., MICRO 2016): a
+//!   confidence-based look-ahead L2C prefetcher; the paper's primary
+//!   vehicle and the basis of PPF.
+//! * [`vldp`] — Variable Length Delta Prefetcher (Shevgoor et al., MICRO
+//!   2015): multiple delta-history prediction tables of increasing depth.
+//! * [`bop`] — Best-Offset Prefetcher (Michaud, HPCA 2016): offset
+//!   learning with recent-request matching. BOP keeps **no page-indexed
+//!   structure**, so its PSA-2MB variant degenerates to PSA, exactly as
+//!   §VI-B1 of the paper observes.
+//! * [`ppf`] — Perceptron-based Prefetch Filtering (Bhatia et al., ISCA
+//!   2019): an aggressive SPP filtered by a hashed perceptron.
+//! * [`ipcp`] — Instruction Pointer Classifier Prefetcher (Pakalapati &
+//!   Panda, ISCA 2020): the state-of-the-art **L1D** prefetcher used as
+//!   the comparison point in Figure 13, plus its page-crossing IPCP++
+//!   variant.
+//! * [`nextline`] — next-line prefetchers for both L1D and L2C baselines.
+//!
+//! All L2C prefetchers implement [`psa_core::Prefetcher`] and are
+//! constructed through [`PrefetcherKind::build`] with an
+//! [`IndexGrain`] — the only knob the paper's Pref-PSA-2MB transformation
+//! turns (§IV-B1).
+//!
+//! # Example
+//!
+//! ```
+//! use psa_prefetchers::PrefetcherKind;
+//! use psa_core::IndexGrain;
+//!
+//! let spp = PrefetcherKind::Spp.build(IndexGrain::Page4K);
+//! assert_eq!(spp.name(), "SPP");
+//! assert!(spp.uses_page_indexing());
+//!
+//! let bop = PrefetcherKind::Bop.build(IndexGrain::Page2M);
+//! assert!(!bop.uses_page_indexing(), "BOP has no page-indexed structure");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bop;
+pub mod ipcp;
+pub mod nextline;
+pub mod ppf;
+pub mod spp;
+pub mod vldp;
+
+use psa_core::{IndexGrain, Prefetcher};
+
+pub use ipcp::{Ipcp, IpcpConfig, L1dPrefetcher};
+pub use nextline::{NextLine, NextLineL1d};
+
+/// The L2C prefetchers evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetcherKind {
+    /// Signature Path Prefetcher.
+    Spp,
+    /// Variable Length Delta Prefetcher.
+    Vldp,
+    /// Perceptron-based Prefetch Filtering (SPP + perceptron).
+    Ppf,
+    /// Best-Offset Prefetcher.
+    Bop,
+    /// Next-line baseline.
+    NextLine,
+}
+
+impl PrefetcherKind {
+    /// The four prefetchers of the paper's headline evaluation, in figure
+    /// order.
+    pub const EVALUATED: [PrefetcherKind; 4] =
+        [PrefetcherKind::Spp, PrefetcherKind::Vldp, PrefetcherKind::Ppf, PrefetcherKind::Bop];
+
+    /// Construct the prefetcher with its structures indexed at `grain`.
+    pub fn build(self, grain: IndexGrain) -> Box<dyn Prefetcher> {
+        match self {
+            PrefetcherKind::Spp => Box::new(spp::Spp::new(spp::SppConfig::default(), grain)),
+            PrefetcherKind::Vldp => Box::new(vldp::Vldp::new(vldp::VldpConfig::default(), grain)),
+            PrefetcherKind::Ppf => Box::new(ppf::Ppf::new(ppf::PpfConfig::default(), grain)),
+            PrefetcherKind::Bop => Box::new(bop::Bop::new(bop::BopConfig::default(), grain)),
+            PrefetcherKind::NextLine => Box::new(NextLine::new(1)),
+        }
+    }
+
+    /// The paper's name for this prefetcher.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrefetcherKind::Spp => "SPP",
+            PrefetcherKind::Vldp => "VLDP",
+            PrefetcherKind::Ppf => "PPF",
+            PrefetcherKind::Bop => "BOP",
+            PrefetcherKind::NextLine => "NL",
+        }
+    }
+}
+
+impl std::fmt::Display for PrefetcherKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for PrefetcherKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "spp" => Ok(PrefetcherKind::Spp),
+            "vldp" => Ok(PrefetcherKind::Vldp),
+            "ppf" => Ok(PrefetcherKind::Ppf),
+            "bop" => Ok(PrefetcherKind::Bop),
+            "nl" | "nextline" | "next-line" => Ok(PrefetcherKind::NextLine),
+            other => Err(format!("unknown prefetcher '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip() {
+        for kind in PrefetcherKind::EVALUATED {
+            let parsed: PrefetcherKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("nonsense".parse::<PrefetcherKind>().is_err());
+    }
+
+    #[test]
+    fn build_produces_named_prefetchers() {
+        for kind in PrefetcherKind::EVALUATED {
+            let p = kind.build(IndexGrain::Page4K);
+            assert_eq!(p.name(), kind.name());
+            assert!(p.storage_bytes() > 0 || kind == PrefetcherKind::NextLine);
+        }
+    }
+
+    #[test]
+    fn only_bop_lacks_page_indexing() {
+        assert!(PrefetcherKind::Spp.build(IndexGrain::Page4K).uses_page_indexing());
+        assert!(PrefetcherKind::Vldp.build(IndexGrain::Page4K).uses_page_indexing());
+        assert!(PrefetcherKind::Ppf.build(IndexGrain::Page4K).uses_page_indexing());
+        assert!(!PrefetcherKind::Bop.build(IndexGrain::Page4K).uses_page_indexing());
+    }
+}

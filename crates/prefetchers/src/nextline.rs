@@ -1,0 +1,115 @@
+//! Next-line prefetchers (the reference baseline of Figure 13).
+
+use psa_common::VLine;
+use psa_core::{AccessContext, Candidate, Prefetcher};
+
+use crate::ipcp::L1dPrefetcher;
+
+/// A degree-`n` next-line L2C prefetcher: on every access to line `X`,
+/// prefetch `X+1 … X+n`.
+#[derive(Debug, Clone)]
+pub struct NextLine {
+    degree: u64,
+}
+
+impl NextLine {
+    /// A next-line prefetcher of the given degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn new(degree: u64) -> Self {
+        assert!(degree > 0, "a degree-0 prefetcher does nothing");
+        Self { degree }
+    }
+}
+
+impl Prefetcher for NextLine {
+    fn name(&self) -> &'static str {
+        "NL"
+    }
+
+    fn on_access(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>) {
+        for d in 1..=self.degree {
+            if let Some(line) = ctx.line.checked_add(d as i64) {
+                out.push(Candidate::l2c(line));
+            }
+        }
+    }
+
+    fn uses_page_indexing(&self) -> bool {
+        false
+    }
+
+    fn storage_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// A next-line L1D prefetcher operating on virtual lines — the "NL" bar of
+/// Figure 13.
+#[derive(Debug, Clone)]
+pub struct NextLineL1d {
+    degree: u64,
+}
+
+impl NextLineL1d {
+    /// A next-line L1D prefetcher of the given degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn new(degree: u64) -> Self {
+        assert!(degree > 0, "a degree-0 prefetcher does nothing");
+        Self { degree }
+    }
+}
+
+impl L1dPrefetcher for NextLineL1d {
+    fn name(&self) -> &'static str {
+        "NL-L1D"
+    }
+
+    fn on_l1d_access(&mut self, vline: VLine, _pc: psa_common::VAddr, _hit: bool, out: &mut Vec<VLine>) {
+        for d in 1..=self.degree {
+            if let Some(line) = vline.checked_add(d as i64) {
+                out.push(line);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_common::{PLine, PageSize, VAddr};
+
+    #[test]
+    fn emits_degree_candidates() {
+        let mut nl = NextLine::new(3);
+        let ctx = AccessContext {
+            line: PLine::new(10),
+            pc: VAddr::new(0),
+            cache_hit: true,
+            page_size: PageSize::Size4K,
+        };
+        let mut out = Vec::new();
+        nl.on_access(&ctx, &mut out);
+        let lines: Vec<u64> = out.iter().map(|c| c.line.raw()).collect();
+        assert_eq!(lines, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn l1d_variant_emits_virtual_lines() {
+        let mut nl = NextLineL1d::new(2);
+        let mut out = Vec::new();
+        nl.on_l1d_access(VLine::new(100), VAddr::new(0), false, &mut out);
+        assert_eq!(out, vec![VLine::new(101), VLine::new(102)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree-0")]
+    fn rejects_zero_degree() {
+        let _ = NextLine::new(0);
+    }
+}

@@ -1,0 +1,369 @@
+//! Perceptron-based Prefetch Filtering (Bhatia, Chacon, Pugsley, Teran,
+//! Gratz, Jiménez — ISCA 2019).
+//!
+//! PPF lets an underlying SPP speculate far more aggressively (well below
+//! SPP's native confidence cut-off) and interposes a hashed perceptron
+//! that accepts or rejects every suggested prefetch. Accepted prefetches
+//! are remembered in a Prefetch Table, rejected ones in a Reject Table;
+//! subsequent demand accesses train the perceptron *for* prefetches that
+//! proved useful (or rejections that proved wrong), and unused evictions
+//! train *against*.
+//!
+//! PPF inherits SPP's page-indexed Signature Table, so its Pref-PSA-2MB
+//! variant is meaningful (unlike BOP's).
+
+use psa_common::geometry::xor_fold;
+use psa_common::{PLine, VAddr};
+use psa_core::{AccessContext, Candidate, FillLevel, IndexGrain, Prefetcher};
+
+use crate::spp::{Spp, SppConfig, SppSuggestion};
+
+/// Number of perceptron feature tables.
+pub const NUM_FEATURES: usize = 7;
+
+/// PPF tuning, following the ISCA 2019 paper's structure (sizes rounded to
+/// powers of two).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PpfConfig {
+    /// Entries per feature weight table (1024).
+    pub table_entries: usize,
+    /// Weight clamp (±31, 6-bit weights).
+    pub weight_max: i32,
+    /// Perceptron sum at or above which a prefetch fills the L2C.
+    pub tau_l2: i32,
+    /// Perceptron sum at or above which a prefetch is issued at all
+    /// (below: rejected).
+    pub tau_issue: i32,
+    /// Training margin: train on correct outcomes only while `|sum|` is
+    /// below this.
+    pub theta: i32,
+    /// Prefetch Table entries (1024).
+    pub pt_entries: usize,
+    /// Reject Table entries (1024).
+    pub rt_entries: usize,
+    /// Underlying SPP configuration (aggressive: low native threshold).
+    pub spp: SppConfig,
+}
+
+impl Default for PpfConfig {
+    fn default() -> Self {
+        Self {
+            table_entries: 1024,
+            weight_max: 31,
+            tau_l2: 40,
+            tau_issue: -20,
+            theta: 60,
+            pt_entries: 1024,
+            rt_entries: 1024,
+            spp: SppConfig {
+                // The filter, not SPP's confidence, gates issue: let SPP
+                // suggest everything down to its floor.
+                conf_prefetch: 0.03,
+                suggest_floor: 0.03,
+                ..SppConfig::default()
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Recorded {
+    tag: u64,
+    features: [u16; NUM_FEATURES],
+    sum: i32,
+    valid: bool,
+}
+
+const EMPTY: Recorded = Recorded { tag: 0, features: [0; NUM_FEATURES], sum: 0, valid: false };
+
+/// The Perceptron-based Prefetch Filter around an SPP core.
+#[derive(Debug)]
+pub struct Ppf {
+    config: PpfConfig,
+    spp: Spp,
+    weights: [Vec<i32>; NUM_FEATURES],
+    prefetch_table: Vec<Recorded>,
+    reject_table: Vec<Recorded>,
+}
+
+impl Ppf {
+    /// Build PPF with its SPP core indexed at `grain`.
+    pub fn new(config: PpfConfig, grain: IndexGrain) -> Self {
+        Self {
+            config,
+            spp: Spp::new(config.spp, grain),
+            weights: std::array::from_fn(|_| vec![0i32; config.table_entries]),
+            prefetch_table: vec![EMPTY; config.pt_entries],
+            reject_table: vec![EMPTY; config.rt_entries],
+        }
+    }
+
+    fn index_bits(&self) -> u32 {
+        self.config.table_entries.trailing_zeros()
+    }
+
+    /// The hashed feature vector for one SPP suggestion in the context of
+    /// its triggering access.
+    fn features(&self, ctx: &AccessContext, s: &SppSuggestion) -> [u16; NUM_FEATURES] {
+        let bits = self.index_bits();
+        let pc = ctx.pc.raw();
+        let conf_bucket = (s.confidence * 15.0) as u64;
+        let f = |v: u64| xor_fold(v, bits) as u16;
+        [
+            f(pc),
+            f(pc ^ (u64::from(s.depth) << 7)),
+            f(pc ^ (s.delta as u64).rotate_left(13)),
+            f(s.line.raw()),
+            f(u64::from(s.sig)),
+            f(conf_bucket ^ (u64::from(s.depth) << 4)),
+            f((s.offset as u64) ^ pc.rotate_left(23)),
+        ]
+    }
+
+    fn sum(&self, features: &[u16; NUM_FEATURES]) -> i32 {
+        features
+            .iter()
+            .enumerate()
+            .map(|(t, &idx)| self.weights[t][idx as usize])
+            .sum()
+    }
+
+    fn train(&mut self, features: &[u16; NUM_FEATURES], positive: bool) {
+        let max = self.config.weight_max;
+        for (t, &idx) in features.iter().enumerate() {
+            let w = &mut self.weights[t][idx as usize];
+            *w = if positive { (*w + 1).min(max) } else { (*w - 1).max(-max) };
+        }
+    }
+
+    fn table_slot(len: usize, line: PLine) -> usize {
+        xor_fold(line.raw(), len.trailing_zeros()) as usize % len
+    }
+
+    fn record(table: &mut [Recorded], line: PLine, features: [u16; NUM_FEATURES], sum: i32) {
+        let slot = Self::table_slot(table.len(), line);
+        table[slot] = Recorded { tag: line.raw(), features, sum, valid: true };
+    }
+
+    fn take(table: &mut [Recorded], line: PLine) -> Option<Recorded> {
+        let slot = Self::table_slot(table.len(), line);
+        let e = table[slot];
+        if e.valid && e.tag == line.raw() {
+            table[slot].valid = false;
+            Some(e)
+        } else {
+            None
+        }
+    }
+}
+
+impl Prefetcher for Ppf {
+    fn name(&self) -> &'static str {
+        "PPF"
+    }
+
+    fn on_access(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>) {
+        // A demand access that matches a rejected candidate proves the
+        // rejection wrong: train toward acceptance.
+        if let Some(rej) = Self::take(&mut self.reject_table, ctx.line) {
+            if rej.sum.abs() < self.config.theta || rej.sum < self.config.tau_issue {
+                self.train(&rej.features.clone(), true);
+            }
+        }
+        // A demand access matching a still-recorded prefetch confirms it
+        // (the cache-level on_useful path may also fire; both are gated by
+        // the margin so weights stay bounded).
+        if let Some(hit) = Self::take(&mut self.prefetch_table, ctx.line) {
+            if hit.sum.abs() < self.config.theta {
+                self.train(&hit.features.clone(), true);
+            }
+        }
+
+        let suggestions: Vec<SppSuggestion> = self.spp.suggest(ctx).to_vec();
+        for s in &suggestions {
+            let features = self.features(ctx, s);
+            let sum = self.sum(&features);
+            if sum >= self.config.tau_issue {
+                let fill_level =
+                    if sum >= self.config.tau_l2 { FillLevel::L2C } else { FillLevel::Llc };
+                out.push(Candidate { line: s.line, fill_level });
+                Self::record(&mut self.prefetch_table, s.line, features, sum);
+            } else {
+                Self::record(&mut self.reject_table, s.line, features, sum);
+            }
+        }
+    }
+
+    fn on_issue(&mut self, line: PLine) {
+        self.spp.on_issue(line);
+    }
+
+    fn on_useful(&mut self, line: PLine, pc: VAddr) {
+        self.spp.on_useful(line, pc);
+        if let Some(hit) = Self::take(&mut self.prefetch_table, line) {
+            if hit.sum.abs() < self.config.theta {
+                self.train(&hit.features.clone(), true);
+            }
+        }
+    }
+
+    fn on_useless(&mut self, line: PLine) {
+        self.spp.on_useless(line);
+        if let Some(hit) = Self::take(&mut self.prefetch_table, line) {
+            self.train(&hit.features.clone(), false);
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        // 6-bit weights; recorded entries ≈ 12B each.
+        self.spp.storage_bytes()
+            + NUM_FEATURES * self.config.table_entries * 6 / 8
+            + (self.prefetch_table.len() + self.reject_table.len()) * 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_common::PageSize;
+
+    fn ctx(line: u64, pc: u64) -> AccessContext {
+        AccessContext {
+            line: PLine::new(line),
+            pc: VAddr::new(pc),
+            cache_hit: false,
+            page_size: PageSize::Size2M,
+        }
+    }
+
+    #[test]
+    fn fresh_filter_passes_spp_suggestions() {
+        // Weights start at zero → sum 0 ≥ tau_issue: permissive like
+        // aggressive SPP.
+        let mut ppf = Ppf::new(PpfConfig::default(), IndexGrain::Page4K);
+        let mut out = Vec::new();
+        for i in 0..12u64 {
+            out.clear();
+            ppf.on_access(&ctx(i, 0x400), &mut out);
+        }
+        assert!(!out.is_empty(), "trained stream must prefetch through the filter");
+        assert!(out.iter().any(|c| c.line == PLine::new(12)));
+    }
+
+    #[test]
+    fn useless_feedback_suppresses_issue_rate() {
+        // Two identical PPFs see the same stream; one has all its issued
+        // prefetches declared useless, the other useful. The punished
+        // filter must issue markedly fewer prefetches. (It need not reach
+        // zero: demands landing in the reject table legitimately train it
+        // back up — PPF's recovery mechanism.)
+        let mut punished = Ppf::new(PpfConfig::default(), IndexGrain::Page4K);
+        let mut rewarded = Ppf::new(PpfConfig::default(), IndexGrain::Page4K);
+        let pc = 0x666;
+        let mut out = Vec::new();
+        let mut counts = [0usize; 2];
+        for round in 0..80u64 {
+            for i in 0..12u64 {
+                let line = round * 256 + i;
+                out.clear();
+                punished.on_access(&ctx(line, pc), &mut out);
+                if round >= 70 {
+                    counts[0] += out.len();
+                }
+                for c in out.clone() {
+                    punished.on_useless(c.line);
+                }
+                out.clear();
+                rewarded.on_access(&ctx(line, pc), &mut out);
+                if round >= 70 {
+                    counts[1] += out.len();
+                }
+                for c in out.clone() {
+                    rewarded.on_useful(c.line, VAddr::new(pc));
+                }
+            }
+        }
+        assert!(
+            counts[0] * 2 < counts[1],
+            "punished filter should issue < half: punished {} vs rewarded {}",
+            counts[0],
+            counts[1]
+        );
+    }
+
+    #[test]
+    fn wrong_rejections_recover_via_reject_table() {
+        let mut ppf = Ppf::new(PpfConfig::default(), IndexGrain::Page4K);
+        let pc = 0x400;
+        let mut out = Vec::new();
+        // Suppress first (as above, briefly)…
+        for round in 0..60u64 {
+            for i in 0..12u64 {
+                out.clear();
+                ppf.on_access(&ctx(round * 256 + i, pc), &mut out);
+                for c in &out {
+                    ppf.on_useless(c.line);
+                }
+            }
+        }
+        // …then keep streaming without negative feedback: each demanded
+        // line that sits in the reject table trains the filter back up.
+        let mut reopened = false;
+        for round in 100..200u64 {
+            for i in 0..12u64 {
+                out.clear();
+                ppf.on_access(&ctx(round * 256 + i, pc), &mut out);
+                if !out.is_empty() {
+                    reopened = true;
+                }
+            }
+        }
+        assert!(reopened, "reject-table training must re-enable useful prefetching");
+    }
+
+    #[test]
+    fn useful_feedback_raises_confidence_to_l2() {
+        let mut ppf = Ppf::new(PpfConfig::default(), IndexGrain::Page4K);
+        let pc = 0x500;
+        let mut out = Vec::new();
+        for round in 0..40u64 {
+            for i in 0..12u64 {
+                out.clear();
+                ppf.on_access(&ctx(round * 256 + i, pc), &mut out);
+                for c in &out {
+                    ppf.on_useful(c.line, VAddr::new(pc));
+                }
+            }
+        }
+        // A fresh page needs one in-page delta before SPP speculates
+        // (cold pages without GHR history are silent by design).
+        out.clear();
+        ppf.on_access(&ctx(40 * 256, pc), &mut out);
+        out.clear();
+        ppf.on_access(&ctx(40 * 256 + 1, pc), &mut out);
+        assert!(
+            out.iter().any(|c| c.fill_level == FillLevel::L2C),
+            "well-reinforced prefetches go to L2C"
+        );
+    }
+
+    #[test]
+    fn grain_flows_through_to_spp() {
+        // At the 2MB grain PPF sees long strides, like SPP.
+        let mut coarse = Ppf::new(PpfConfig::default(), IndexGrain::Page2M);
+        let mut out = Vec::new();
+        for i in 0..20u64 {
+            out.clear();
+            coarse.on_access(&ctx(i * 100, 0x400), &mut out);
+        }
+        assert!(out.iter().any(|c| c.line == PLine::new(2000)));
+    }
+
+    #[test]
+    fn storage_accounts_filter_and_core() {
+        let ppf = Ppf::new(PpfConfig::default(), IndexGrain::Page4K);
+        let spp = Spp::new(SppConfig::default(), IndexGrain::Page4K);
+        assert!(ppf.storage_bytes() > spp.storage_bytes());
+        assert!(ppf.storage_bytes() < 64 * 1024, "still tens of KB");
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-prefetcher behavioural tests: invariants every implementation
+//! must share, and the differentiated behaviours the paper relies on.
+
+use psa_common::{PLine, PageSize, VAddr};
+use psa_core::{AccessContext, Candidate, IndexGrain, Prefetcher};
+use psa_prefetchers::PrefetcherKind;
+
+fn ctx(line: u64, pc: u64) -> AccessContext {
+    AccessContext {
+        line: PLine::new(line),
+        pc: VAddr::new(pc),
+        cache_hit: false,
+        page_size: PageSize::Size2M,
+    }
+}
+
+fn drive(p: &mut Box<dyn Prefetcher>, lines: &[u64]) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for &l in lines {
+        out.clear();
+        p.on_access(&ctx(l, 0x400), &mut out);
+    }
+    out
+}
+
+#[test]
+fn every_prefetcher_learns_a_unit_stride() {
+    let seq: Vec<u64> = (0..40).collect();
+    for kind in PrefetcherKind::EVALUATED {
+        let mut p = kind.build(IndexGrain::Page4K);
+        let out = drive(&mut p, &seq);
+        assert!(
+            out.iter().any(|c| c.line.raw() > 39),
+            "{kind} must prefetch ahead on a unit stride, got {out:?}"
+        );
+    }
+}
+
+#[test]
+fn no_prefetcher_suggests_the_trigger_or_garbage() {
+    // Candidates must be finite, non-trigger lines within a plausible
+    // neighbourhood (the module enforces legality, but ±2MB of slack is
+    // the largest any of these prefetchers can justify).
+    let seq: Vec<u64> = (1000..1050).collect();
+    for kind in PrefetcherKind::EVALUATED {
+        let mut p = kind.build(IndexGrain::Page4K);
+        let mut out = Vec::new();
+        for &l in &seq {
+            out.clear();
+            p.on_access(&ctx(l, 0x400), &mut out);
+            for c in &out {
+                let dist = c.line.raw() as i64 - l as i64;
+                assert!(
+                    dist.unsigned_abs() <= 2 * 32768,
+                    "{kind}: candidate {dist} lines away from trigger"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn feedback_hooks_accept_arbitrary_lines() {
+    // Robustness: the cache may report usefulness for lines the prefetcher
+    // has long forgotten (evicted metadata). No hook may panic.
+    for kind in PrefetcherKind::EVALUATED {
+        let mut p = kind.build(IndexGrain::Page2M);
+        drive(&mut p, &(0..16).collect::<Vec<_>>());
+        for l in [0u64, 1 << 20, u64::MAX >> 8] {
+            p.on_issue(PLine::new(l));
+            p.on_prefetch_fill(PLine::new(l));
+            p.on_useful(PLine::new(l), VAddr::new(0xdead));
+            p.on_useless(PLine::new(l));
+        }
+    }
+}
+
+#[test]
+fn page_indexed_prefetchers_differ_by_grain_on_long_strides() {
+    // The Pref-PSA-2MB mechanism: a 100-line stride is learnable only at
+    // the 2MB grain — for every prefetcher with page-indexed structures.
+    let seq: Vec<u64> = (0..60).map(|i| i * 100).collect();
+    for kind in [PrefetcherKind::Spp, PrefetcherKind::Vldp, PrefetcherKind::Ppf] {
+        let mut fine = kind.build(IndexGrain::Page4K);
+        let mut coarse = kind.build(IndexGrain::Page2M);
+        let out_fine = drive(&mut fine, &seq);
+        let out_coarse = drive(&mut coarse, &seq);
+        let next = 60 * 100;
+        assert!(
+            out_coarse.iter().any(|c| c.line.raw() == next),
+            "{kind}: 2MB grain must capture the 100-line stride, got {out_coarse:?}"
+        );
+        assert!(
+            !out_fine.iter().any(|c| c.line.raw() == next),
+            "{kind}: 4KB grain cannot represent a 100-line delta"
+        );
+    }
+}
+
+#[test]
+fn bop_is_grain_invariant_under_any_stream() {
+    let mut fine = PrefetcherKind::Bop.build(IndexGrain::Page4K);
+    let mut coarse = PrefetcherKind::Bop.build(IndexGrain::Page2M);
+    let mut out_f = Vec::new();
+    let mut out_c = Vec::new();
+    let mut x = 7u64;
+    for i in 0..4000u64 {
+        // Mixed traffic: stream + pseudo-random.
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let line = if i % 3 == 0 { x % 100_000 } else { i * 2 };
+        out_f.clear();
+        out_c.clear();
+        fine.on_access(&ctx(line, 0x40), &mut out_f);
+        coarse.on_access(&ctx(line, 0x40), &mut out_c);
+        assert_eq!(out_f, out_c, "BOP must be identical at both grains");
+    }
+}
+
+#[test]
+fn storage_budgets_are_hardware_plausible() {
+    for kind in PrefetcherKind::EVALUATED {
+        let p = kind.build(IndexGrain::Page4K);
+        assert!(
+            p.storage_bytes() < 128 * 1024,
+            "{kind}: {} bytes is not a plausible prefetcher budget",
+            p.storage_bytes()
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Simulation configuration — Table I of the paper as a value.
+
+use psa_cache::CacheConfig;
+use psa_core::ppm::PageSizeSource;
+use psa_core::{ModuleConfig, SdConfig};
+use psa_cpu::CoreConfig;
+use psa_dram::DramConfig;
+use psa_vmem::{MmuConfig, PhysMemConfig};
+
+/// Which L1D prefetcher (if any) runs alongside the L1D — the Figure 13
+/// comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum L1dPrefKind {
+    /// No L1D prefetching (the paper's default system).
+    #[default]
+    None,
+    /// Next-line at the L1D.
+    NextLine,
+    /// IPCP, confined to 4KB virtual pages.
+    Ipcp,
+    /// IPCP++: may cross a 4KB page when the target page is TLB resident.
+    IpcpPlusPlus,
+}
+
+impl std::fmt::Display for L1dPrefKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            L1dPrefKind::None => f.write_str("none"),
+            L1dPrefKind::NextLine => f.write_str("NL"),
+            L1dPrefKind::Ipcp => f.write_str("IPCP"),
+            L1dPrefKind::IpcpPlusPlus => f.write_str("IPCP++"),
+        }
+    }
+}
+
+/// Full machine + run configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Number of cores (1, 4 or 8 in the paper).
+    pub cores: usize,
+    /// Core shape (Table I: 352-entry ROB, 4-wide).
+    pub core: CoreConfig,
+    /// L1D shape (48KB, 12-way, 5-cycle, 16 MSHRs).
+    pub l1d: CacheConfig,
+    /// L2C shape (512KB, 8-way, 10-cycle, 32 MSHRs).
+    pub l2c: CacheConfig,
+    /// LLC shape (2MB/core, 16-way, 20-cycle, 64 MSHRs/core).
+    pub llc: CacheConfig,
+    /// DRAM shape (3200 MT/s default; Figure 12C sweeps it).
+    pub dram: DramConfig,
+    /// MMU shape (Table I TLBs).
+    pub mmu: MmuConfig,
+    /// Physical memory (8GB single-core, 32GB multi-core).
+    pub phys: PhysMemConfig,
+    /// Set-Dueling shape for Pref-PSA-SD (32+32 sets, 3-bit Csel).
+    pub sd: SdConfig,
+    /// Prefetch issue-path limits.
+    pub module: ModuleConfig,
+    /// How page-size information reaches the module (PPM vs Magic oracle).
+    pub page_size_source: PageSizeSource,
+    /// L1D prefetcher for Figure 13 configurations.
+    pub l1d_prefetcher: L1dPrefKind,
+    /// Warm-up instructions per core (µarch state settles; not measured).
+    pub warmup: u64,
+    /// Measured instructions per core.
+    pub instructions: u64,
+    /// Master seed (trace generation, frame placement, THP decisions).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::for_cores(1)
+    }
+}
+
+impl SimConfig {
+    /// Table I configuration for an `n`-core machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn for_cores(n: usize) -> Self {
+        assert!(n > 0, "at least one core");
+        Self {
+            cores: n,
+            core: CoreConfig::default(),
+            l1d: CacheConfig::l1d(),
+            l2c: CacheConfig::l2c(),
+            llc: CacheConfig::llc(n),
+            dram: DramConfig {
+                channels: if n > 4 { 2 } else { 1 },
+                ..DramConfig::default()
+            },
+            mmu: MmuConfig::default(),
+            phys: PhysMemConfig {
+                bytes: if n > 1 { 32 } else { 8 } * 1024 * 1024 * 1024,
+            },
+            sd: SdConfig::default(),
+            module: ModuleConfig::default(),
+            page_size_source: PageSizeSource::Ppm,
+            l1d_prefetcher: L1dPrefKind::None,
+            warmup: 100_000,
+            instructions: 300_000,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Override the measured instruction count.
+    pub fn with_instructions(mut self, n: u64) -> Self {
+        self.instructions = n;
+        self
+    }
+
+    /// Override the warm-up instruction count.
+    pub fn with_warmup(mut self, n: u64) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Apply `PSA_WARMUP` / `PSA_INSTRUCTIONS` environment overrides, so
+    /// the benchmark harnesses can be scaled up without recompiling.
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Some(v) = env_u64("PSA_WARMUP") {
+            self.warmup = v;
+        }
+        if let Some(v) = env_u64("PSA_INSTRUCTIONS") {
+            self.instructions = v;
+        }
+        self
+    }
+
+    /// Render the configuration as the paper's Table I.
+    pub fn table1(&self) -> String {
+        let mut t = psa_common::Table::new(vec!["Component".into(), "Configuration".into()]);
+        t.row(vec![
+            "CPU Core".into(),
+            format!(
+                "{} core(s), 4GHz, {}-entry ROB, {}-wide",
+                self.cores, self.core.rob_entries, self.core.width
+            ),
+        ]);
+        t.row(vec![
+            "L1 DTLB".into(),
+            format!("{}-entry, {}-way, {}-cycle", self.mmu.dtlb.entries_4k, self.mmu.dtlb.ways, self.mmu.dtlb_latency),
+        ]);
+        t.row(vec![
+            "L2 TLB".into(),
+            format!("{}-entry, {}-way, {}-cycle", self.mmu.stlb.entries_4k, self.mmu.stlb.ways, self.mmu.stlb_latency),
+        ]);
+        for (name, c) in [("L1 DCache", &self.l1d), ("L2 Cache", &self.l2c), ("LLC", &self.llc)] {
+            t.row(vec![
+                name.into(),
+                format!(
+                    "{}KB, {}-way, {}-cycle, {}-entry MSHR",
+                    c.bytes >> 10,
+                    c.ways,
+                    c.latency,
+                    c.mshr_entries
+                ),
+            ]);
+        }
+        t.row(vec![
+            "L2C dueling".into(),
+            format!("{} sets/competitor, {}-bit Csel", self.sd.dedicated_sets, self.sd.csel_bits),
+        ]);
+        t.row(vec![
+            "DRAM".into(),
+            format!(
+                "{}GB, {} MT/s, {} channel(s)",
+                self.phys.bytes >> 30,
+                self.dram.mts,
+                self.dram.channels
+            ),
+        ]);
+        t.render()
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let c = SimConfig::default();
+        assert_eq!(c.cores, 1);
+        assert_eq!(c.core.rob_entries, 352);
+        assert_eq!(c.l1d.bytes, 48 << 10);
+        assert_eq!(c.l2c.bytes, 512 << 10);
+        assert_eq!(c.llc.bytes, 2 << 20);
+        assert_eq!(c.dram.mts, 3200);
+        assert_eq!(c.phys.bytes, 8 << 30);
+        assert_eq!(c.sd.dedicated_sets, 32);
+    }
+
+    #[test]
+    fn multicore_scales_shared_resources() {
+        let c = SimConfig::for_cores(8);
+        assert_eq!(c.llc.bytes, 16 << 20);
+        assert_eq!(c.phys.bytes, 32 << 30);
+        assert_eq!(c.dram.channels, 2);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::default().with_warmup(5).with_instructions(10).with_seed(3);
+        assert_eq!((c.warmup, c.instructions, c.seed), (5, 10, 3));
+    }
+
+    #[test]
+    fn table1_renders_key_rows() {
+        let text = SimConfig::default().table1();
+        assert!(text.contains("352-entry ROB"));
+        assert!(text.contains("3200 MT/s"));
+        assert!(text.contains("L2C dueling"));
+    }
+}

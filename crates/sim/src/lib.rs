@@ -1,0 +1,41 @@
+//! The trace-driven system simulator.
+//!
+//! This crate assembles the substrates into the machine of Table I:
+//!
+//! * per core — an approximate OoO [`psa_cpu::Core`], an MMU (TLBs, MMU
+//!   caches, page walker), a VIPT L1D with PPM-augmented MSHRs, an L2C
+//!   whose prefetching module is any [`psa_core::PsaModule`] variant;
+//! * shared — a physically-indexed LLC, banked DRAM with row buffers and
+//!   a finite data bus, and the physical frame allocator.
+//!
+//! The paper's mechanism appears here as plumbing, not magic: the page
+//! size observed at translation time is written into the L1D MSHR entry
+//! (`MshrMeta::huge`) and handed to the L2C prefetching module with each
+//! demand access; page-walk PTE reads are charged through the L2C/LLC/DRAM
+//! path; prefetches contend for real MSHR slots and DRAM bandwidth.
+//!
+//! # Example
+//!
+//! ```
+//! use psa_sim::{SimConfig, System};
+//! use psa_traces::catalog;
+//! use psa_core::PageSizePolicy;
+//! use psa_prefetchers::PrefetcherKind;
+//!
+//! let config = SimConfig::default().with_warmup(2_000).with_instructions(8_000);
+//! let workload = catalog::workload("lbm").unwrap();
+//! let report =
+//!     System::single_core(config, workload, PrefetcherKind::Spp, PageSizePolicy::Psa).run();
+//! assert!(report.ipc() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod metrics;
+pub mod system;
+
+pub use config::{L1dPrefKind, SimConfig};
+pub use metrics::{MultiReport, RunReport};
+pub use system::System;

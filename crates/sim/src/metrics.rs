@@ -1,0 +1,175 @@
+//! Measured-window reports produced by simulation runs.
+
+use psa_cache::CacheStats;
+use psa_core::boundary::BoundaryStats;
+use psa_core::ModuleStats;
+use psa_dram::DramStats;
+
+/// Subtract cache counters (measured window = end − warmup snapshot).
+pub(crate) fn cache_diff(end: CacheStats, start: CacheStats) -> CacheStats {
+    CacheStats {
+        demand_hits: end.demand_hits - start.demand_hits,
+        demand_misses: end.demand_misses - start.demand_misses,
+        prefetch_fills: end.prefetch_fills - start.prefetch_fills,
+        useful_prefetches: end.useful_prefetches - start.useful_prefetches,
+        useless_prefetches: end.useless_prefetches - start.useless_prefetches,
+        writebacks: end.writebacks - start.writebacks,
+    }
+}
+
+pub(crate) fn dram_diff(end: DramStats, start: DramStats) -> DramStats {
+    DramStats {
+        reads: end.reads - start.reads,
+        writes: end.writes - start.writes,
+        row_hits: end.row_hits - start.row_hits,
+        row_opens: end.row_opens - start.row_opens,
+        row_conflicts: end.row_conflicts - start.row_conflicts,
+        bus_busy_cycles: end.bus_busy_cycles - start.bus_busy_cycles,
+        prefetch_drops: end.prefetch_drops - start.prefetch_drops,
+    }
+}
+
+/// The report of one single-core run, restricted to the measured window
+/// (post-warmup).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Instructions measured.
+    pub instructions: u64,
+    /// Cycles spent on the measured instructions.
+    pub cycles: u64,
+    /// L2C counters.
+    pub l2c: CacheStats,
+    /// LLC counters.
+    pub llc: CacheStats,
+    /// DRAM counters.
+    pub dram: DramStats,
+    /// Prefetching-module issue statistics (None for the no-prefetch
+    /// baseline).
+    pub module: Option<ModuleStats>,
+    /// Boundary-legality counters (Figure 2's discard probability).
+    pub boundary: Option<BoundaryStats>,
+    /// Mean L2C demand access latency in cycles.
+    pub l2c_avg_latency: f64,
+    /// Mean LLC demand access latency in cycles.
+    pub llc_avg_latency: f64,
+    /// Fraction of the address space's memory mapped with 2MB pages at the
+    /// end of the run.
+    pub huge_usage: f64,
+    /// Sampled (instruction count, 2MB usage fraction) series — Figure 3.
+    pub thp_series: Vec<(u64, f64)>,
+    /// Internal diagnostic counters: `[l1d-mshr stall cycles, clean L2C
+    /// demand misses, late-merged L2C demand misses, clean-miss latency
+    /// sum, merged-miss latency sum, unused, unused, non-demand L2C
+    /// accesses]`. Not part of the stable API.
+    pub debug: [u64; 8],
+}
+
+impl RunReport {
+    /// Instructions per cycle over the measured window.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L2C demand misses per kilo-instruction.
+    pub fn l2c_mpki(&self) -> f64 {
+        self.l2c.demand_misses as f64 * 1000.0 / self.instructions.max(1) as f64
+    }
+
+    /// LLC demand misses per kilo-instruction.
+    pub fn llc_mpki(&self) -> f64 {
+        self.llc.demand_misses as f64 * 1000.0 / self.instructions.max(1) as f64
+    }
+
+    /// Prefetch accuracy at `level` (useful / (useful + useless)); `None`
+    /// when no prefetch completed.
+    pub fn accuracy(&self, stats: CacheStats) -> Option<f64> {
+        let denom = stats.useful_prefetches + stats.useless_prefetches;
+        (denom > 0).then(|| stats.useful_prefetches as f64 / denom as f64)
+    }
+
+    /// Miss coverage relative to a baseline run: the fraction of the
+    /// baseline's misses this run eliminated. Positive is better.
+    pub fn coverage_vs(&self, baseline_misses: u64, own_misses: u64) -> f64 {
+        if baseline_misses == 0 {
+            0.0
+        } else {
+            (baseline_misses as f64 - own_misses as f64) / baseline_misses as f64
+        }
+    }
+}
+
+/// The report of one multi-core run.
+#[derive(Debug, Clone)]
+pub struct MultiReport {
+    /// Per-core workload names.
+    pub workloads: Vec<&'static str>,
+    /// Per-core IPC over each core's measured window.
+    pub ipc: Vec<f64>,
+    /// Shared-LLC counters over the fully-warm window.
+    pub llc: CacheStats,
+    /// DRAM counters over the fully-warm window.
+    pub dram: DramStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(instr: u64, cycles: u64) -> RunReport {
+        RunReport {
+            workload: "t",
+            instructions: instr,
+            cycles,
+            l2c: CacheStats::default(),
+            llc: CacheStats::default(),
+            dram: DramStats::default(),
+            module: None,
+            boundary: None,
+            l2c_avg_latency: 0.0,
+            llc_avg_latency: 0.0,
+            huge_usage: 0.0,
+            thp_series: Vec::new(),
+            debug: [0; 8],
+        }
+    }
+
+    #[test]
+    fn ipc_and_mpki() {
+        let mut r = report(1000, 500);
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+        r.llc.demand_misses = 5;
+        assert!((r.llc_mpki() - 5.0).abs() < 1e-12);
+        assert_eq!(report(10, 0).ipc(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_handling() {
+        let r = report(1, 1);
+        assert_eq!(r.accuracy(CacheStats::default()), None);
+        let s = CacheStats { useful_prefetches: 3, useless_prefetches: 1, ..Default::default() };
+        assert!((r.accuracy(s).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_signs() {
+        let r = report(1, 1);
+        assert!((r.coverage_vs(100, 40) - 0.6).abs() < 1e-12);
+        assert!(r.coverage_vs(100, 120) < 0.0);
+        assert_eq!(r.coverage_vs(0, 10), 0.0);
+    }
+
+    #[test]
+    fn diff_helpers_subtract() {
+        let end = CacheStats { demand_hits: 10, demand_misses: 6, ..Default::default() };
+        let start = CacheStats { demand_hits: 4, demand_misses: 1, ..Default::default() };
+        let d = cache_diff(end, start);
+        assert_eq!(d.demand_hits, 6);
+        assert_eq!(d.demand_misses, 5);
+    }
+}

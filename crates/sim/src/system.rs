@@ -1,0 +1,965 @@
+//! The simulated machine: cores, private L1D/L2C, shared LLC and DRAM.
+//!
+//! # Timing model
+//!
+//! Lazy-fill event handling: every access at cycle *t* first drains MSHR
+//! entries whose fills have matured (≤ *t*) into the arrays, then resolves
+//! against the array. Misses allocate MSHR entries whose fill time comes
+//! from the next level; a full MSHR stalls demands until the earliest fill
+//! and silently drops prefetches — giving prefetch traffic a real resource
+//! cost (Figure 12A sweeps exactly this).
+//!
+//! # PPM plumbing
+//!
+//! [`psa_vmem::Mmu::translate`] yields the page size with each
+//! translation; the L1D MSHR entry stores it as the one-bit
+//! [`psa_cache::MshrMeta::huge`] and every L2C demand access hands the bit
+//! to the [`PsaModule`]. Page-walk PTE reads are charged through the
+//! L2C→LLC→DRAM path.
+
+use psa_cache::{Cache, CacheStats, FillKind, Mshr, MshrMeta};
+use psa_common::{PLine, PageSize, VAddr, VLine};
+use psa_core::ppm::PageSizeSource;
+use psa_core::{FillLevel, PageSizePolicy, PrefetchRequest, PsaModule};
+use psa_cpu::{Core, Instr, MemoryPort};
+use psa_dram::Dram;
+use psa_prefetchers::{Ipcp, IpcpConfig, L1dPrefetcher, NextLineL1d, PrefetcherKind};
+use psa_traces::{TraceGenerator, WorkloadSpec};
+use psa_vmem::{AddressSpace, AspaceConfig, Mmu, PhysMem};
+
+use crate::config::{L1dPrefKind, SimConfig};
+use crate::metrics::{cache_diff, dram_diff, MultiReport, RunReport};
+
+/// A late (demand-merged) prefetch still earns timely credit when the
+/// demand's residual wait was below this, i.e. the prefetch hid almost the
+/// whole miss.
+const LATE_TIMELY_SLACK: u64 = 200;
+
+/// High bit of the block-source annotation: the fill is a pass-through
+/// copy (an L2C-destined prefetch parked in the LLC on its way up) whose
+/// usefulness is tracked at the L2C, not here.
+const PASS: u8 = 0x80;
+
+enum L1dPref {
+    NextLine(NextLineL1d),
+    Ipcp { pref: Ipcp, cross: bool },
+}
+
+struct CoreCtx {
+    id: u8,
+    aspace: AddressSpace,
+    mmu: Mmu,
+    l1d: Cache,
+    l1d_mshr: Mshr,
+    l2c: Cache,
+    l2c_mshr: Mshr,
+    module: Option<PsaModule>,
+    l1d_pref: Option<L1dPref>,
+    pf_buf: Vec<PrefetchRequest>,
+    l1d_pref_buf: Vec<VLine>,
+    l2c_lat_sum: u64,
+    l2c_lat_cnt: u64,
+    llc_lat_sum: u64,
+    llc_lat_cnt: u64,
+    /// Internal diagnostic counters (see `RunReport::debug`).
+    debug: [u64; 8],
+}
+
+struct Shared {
+    llc: Cache,
+    llc_mshr: Mshr,
+    dram: Dram,
+    phys: PhysMem,
+    /// Cross-core prefetch feedback discovered at the shared LLC,
+    /// dispatched to the owning core's module after each step.
+    feedback: Vec<Feedback>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Feedback {
+    Useful { source: u8, line: PLine },
+    UsefulLate { source: u8, line: PLine },
+    Useless { source: u8, line: PLine },
+    Fill { source: u8, line: PLine },
+}
+
+struct Lat {
+    l1d: u64,
+    l2c: u64,
+    llc: u64,
+}
+
+struct Port<'a> {
+    ctx: &'a mut CoreCtx,
+    shared: &'a mut Shared,
+    lat: Lat,
+}
+
+impl MemoryPort for Port<'_> {
+    fn load(&mut self, pc: VAddr, vaddr: VAddr, now: u64) -> u64 {
+        let done = self.access(pc, vaddr, now, false);
+        self.ctx.debug[5] += 1;
+        self.ctx.debug[6] += done - now;
+        self.ctx.debug[7] = self.ctx.debug[7].max(done - now);
+        done
+    }
+
+    fn store(&mut self, pc: VAddr, vaddr: VAddr, now: u64) {
+        let _ = self.access(pc, vaddr, now, true);
+    }
+}
+
+impl Port<'_> {
+    fn access(&mut self, pc: VAddr, vaddr: VAddr, now: u64, write: bool) -> u64 {
+        let out = self
+            .ctx
+            .mmu
+            .translate(&mut self.ctx.aspace, &mut self.shared.phys, vaddr)
+            .expect("physical memory exhausted: enlarge PhysMemConfig for this workload set");
+        let mut t = now + out.tlb_latency;
+        // Serial page walk: each PTE read goes through the L2C path.
+        for wl in out.walk_lines.clone() {
+            t = self.l2c_access(wl, pc, t, false, out.size, false).0;
+        }
+        self.l1d_prefetch(vaddr, pc, t);
+        let line = out.paddr.line();
+        self.drain_l1d(t);
+        if self.ctx.l1d.probe(line).is_some() {
+            if write {
+                self.ctx.l1d.mark_dirty(line);
+            }
+            return t + self.lat.l1d;
+        }
+        if self.ctx.l1d_mshr.pending(line).is_some() {
+            let fill = self.ctx.l1d_mshr.merge(line, true, write, t);
+            return fill.max(t + self.lat.l1d);
+        }
+        if self.ctx.l1d_mshr.is_full() {
+            let bumped = self.ctx.l1d_mshr.earliest_fill().expect("full implies non-empty");
+            if bumped > t {
+                self.ctx.debug[0] += bumped - t;
+            }
+            t = t.max(bumped);
+            self.drain_l1d(t);
+        }
+        let (completion, _) = self.l2c_access(line, pc, t + self.lat.l1d, write, out.size, true);
+        self.ctx
+            .l1d_mshr
+            .alloc(line, completion, MshrMeta { is_prefetch: false, source: 0, huge: out.size.bit(), write })
+            .expect("space ensured above");
+        completion
+    }
+
+    /// One L2C access. `trigger` is true only for genuine demand traffic
+    /// (loads/stores), which trains and fires the prefetching module and
+    /// counts toward access-latency metrics; page walks and L1D-prefetch
+    /// traffic pass `false`.
+    fn l2c_access(
+        &mut self,
+        line: PLine,
+        pc: VAddr,
+        t: u64,
+        write: bool,
+        size: PageSize,
+        trigger: bool,
+    ) -> (u64, bool) {
+        self.drain_l2c(t);
+        let set = self.ctx.l2c.set_of(line);
+        let probe = self.ctx.l2c.probe(line);
+        let was_hit = probe.is_some();
+        let completion = match probe {
+            Some(info) => {
+                if info.first_use {
+                    if let Some(m) = &mut self.ctx.module {
+                        m.on_useful(line, pc, info.prefetch_source & 1, true);
+                    }
+                }
+                if write {
+                    self.ctx.l2c.mark_dirty(line);
+                }
+                t + self.lat.l2c
+            }
+            None => {
+                if self.ctx.l2c_mshr.pending(line).is_some() {
+                    let done =
+                        self.ctx.l2c_mshr.merge(line, true, write, t).max(t + self.lat.l2c);
+                    if trigger {
+                        self.ctx.debug[2] += 1;
+                        self.ctx.debug[4] += done - t;
+                    }
+                    done
+                } else {
+                    let mut t2 = t;
+                    if self.ctx.l2c_mshr.is_full() {
+                        t2 = t2.max(self.ctx.l2c_mshr.earliest_fill().expect("non-empty"));
+                        self.drain_l2c(t2);
+                    }
+                    let done = self.llc_access(line, t2 + self.lat.l2c);
+                    self.ctx
+                        .l2c_mshr
+                        .alloc(
+                            line,
+                            done,
+                            MshrMeta { is_prefetch: false, source: 0, huge: size.bit(), write },
+                        )
+                        .expect("space ensured above");
+                    if trigger {
+                        self.ctx.debug[1] += 1;
+                        self.ctx.debug[3] += done - t;
+                    }
+                    done
+                }
+            }
+        };
+
+        if trigger {
+            self.ctx.l2c_lat_sum += completion - t;
+            self.ctx.l2c_lat_cnt += 1;
+            if let Some(mut module) = self.ctx.module.take() {
+                let mut buf = std::mem::take(&mut self.ctx.pf_buf);
+                buf.clear();
+                {
+                    let ctx = &*self.ctx;
+                    let shared = &*self.shared;
+                    let present = |c: &psa_core::Candidate| match c.fill_level {
+                        FillLevel::L2C => {
+                            ctx.l2c.contains(c.line) || ctx.l2c_mshr.pending(c.line).is_some()
+                        }
+                        FillLevel::Llc => {
+                            shared.llc.contains(c.line)
+                                || shared.llc_mshr.pending(c.line).is_some()
+                        }
+                    };
+                    module.on_access(line, pc, was_hit, size.bit(), size, set, &present, &mut buf);
+                }
+                for i in 0..buf.len() {
+                    self.issue_prefetch(buf[i], t);
+                }
+                self.ctx.pf_buf = buf;
+                self.ctx.module = Some(module);
+            }
+        }
+        (completion, was_hit)
+    }
+
+    /// Whether a prefetch may take an MSHR slot: prefetches never consume
+    /// the last quarter of the file, so demand misses keep making progress
+    /// (prefetches are droppable, demands are not).
+    fn prefetch_room(mshr: &Mshr) -> bool {
+        mshr.len() + mshr.capacity().div_ceil(4) <= mshr.capacity()
+    }
+
+    fn issue_prefetch(&mut self, req: PrefetchRequest, t: u64) {
+        let tagged = (self.ctx.id << 1) | (req.source & 1);
+        match req.fill_level {
+            FillLevel::L2C => {
+                if self.ctx.l2c.contains(req.line) || self.ctx.l2c_mshr.pending(req.line).is_some()
+                {
+                    return;
+                }
+                if !Self::prefetch_room(&self.ctx.l2c_mshr) {
+                    // No L2C slot: downgrade to an LLC fill rather than
+                    // dropping — the block still gets pulled on chip.
+                    let _ = self.llc_prefetch(req.line, t + self.lat.l2c, tagged, true);
+                    return;
+                }
+                let Some(done) = self.llc_prefetch(req.line, t + self.lat.l2c, tagged, false)
+                else {
+                    return; // dropped below: no phantom L2C fill
+                };
+                self.ctx
+                    .l2c_mshr
+                    .alloc(
+                        req.line,
+                        done,
+                        MshrMeta { is_prefetch: true, source: tagged, huge: false, write: false },
+                    )
+                    .expect("room checked above");
+            }
+            FillLevel::Llc => {
+                let _ = self.llc_prefetch(req.line, t + self.lat.l2c, tagged, true);
+            }
+        }
+    }
+
+    /// LLC side of a prefetch; `None` means the prefetch was dropped.
+    fn llc_prefetch(&mut self, line: PLine, t: u64, tagged: u8, track_here: bool) -> Option<u64> {
+        self.drain_llc(t);
+        if self.shared.llc.contains(line) {
+            return Some(t + self.lat.llc);
+        }
+        if self.shared.llc_mshr.pending(line).is_some() {
+            return Some(self.shared.llc_mshr.merge(line, false, false, t));
+        }
+        if !Self::prefetch_room(&self.shared.llc_mshr) {
+            return None;
+        }
+        let done = self.shared.dram.prefetch_access(line, t + self.lat.llc)?;
+        let source = if track_here { tagged } else { tagged | PASS };
+        self.shared
+            .llc_mshr
+            .alloc(line, done, MshrMeta { is_prefetch: true, source, huge: false, write: false })
+            .expect("room checked above");
+        Some(done)
+    }
+
+    fn llc_access(&mut self, line: PLine, t: u64) -> u64 {
+        self.drain_llc(t);
+        if let Some(info) = self.shared.llc.probe(line) {
+            if info.first_use && info.prefetch_source & PASS == 0 {
+                self.shared
+                    .feedback
+                    .push(Feedback::Useful { source: info.prefetch_source, line });
+            }
+            let done = t + self.lat.llc;
+            self.ctx.llc_lat_sum += done - t;
+            self.ctx.llc_lat_cnt += 1;
+            return done;
+        }
+        let done = if self.shared.llc_mshr.pending(line).is_some() {
+            self.shared.llc_mshr.merge(line, true, false, t).max(t + self.lat.llc)
+        } else {
+            let mut t2 = t;
+            if self.shared.llc_mshr.is_full() {
+                t2 = t2.max(self.shared.llc_mshr.earliest_fill().expect("non-empty"));
+                self.drain_llc(t2);
+            }
+            let done = self.shared.dram.access(line, t2 + self.lat.llc, false);
+            self.shared
+                .llc_mshr
+                .alloc(
+                    line,
+                    done,
+                    MshrMeta { is_prefetch: false, source: 0, huge: false, write: false },
+                )
+                .expect("space ensured above");
+            done
+        };
+        self.ctx.llc_lat_sum += done - t;
+        self.ctx.llc_lat_cnt += 1;
+        done
+    }
+
+    fn drain_l1d(&mut self, now: u64) {
+        for e in self.ctx.l1d_mshr.drain_filled(now) {
+            let kind = if e.meta.is_prefetch && !e.demand_merged {
+                FillKind::Prefetch { source: e.meta.source }
+            } else {
+                FillKind::Demand
+            };
+            if let Some(ev) = self.ctx.l1d.fill(e.line, kind, e.meta.write) {
+                if ev.dirty {
+                    self.fill_l2c_direct(ev.line, now);
+                }
+            }
+        }
+    }
+
+    /// Writeback path: install a dirty line into the L2C without timing
+    /// (store buffers and writeback queues are off the critical path), but
+    /// with full eviction bookkeeping.
+    fn fill_l2c_direct(&mut self, line: PLine, now: u64) {
+        if let Some(ev) = self.ctx.l2c.fill(line, FillKind::Demand, true) {
+            if ev.unused_prefetch {
+                if let Some(m) = &mut self.ctx.module {
+                    m.on_useless(ev.line, ev.prefetch_source & 1);
+                }
+            }
+            if ev.dirty {
+                self.fill_llc_direct(ev.line, now);
+            }
+        }
+    }
+
+    fn fill_llc_direct(&mut self, line: PLine, now: u64) {
+        if let Some(ev) = self.shared.llc.fill(line, FillKind::Demand, true) {
+            if ev.unused_prefetch && ev.prefetch_source & PASS == 0 {
+                self.shared
+                    .feedback
+                    .push(Feedback::Useless { source: ev.prefetch_source, line: ev.line });
+            }
+            if ev.dirty {
+                self.shared.dram.access(ev.line, now, true);
+            }
+        }
+    }
+
+    fn drain_l2c(&mut self, now: u64) {
+        for e in self.ctx.l2c_mshr.drain_filled(now) {
+            let (kind, late_credit) = if e.meta.is_prefetch {
+                if e.demand_merged {
+                    (FillKind::Demand, true)
+                } else {
+                    (FillKind::Prefetch { source: e.meta.source }, false)
+                }
+            } else {
+                (FillKind::Demand, false)
+            };
+            if let Some(m) = &mut self.ctx.module {
+                if late_credit {
+                    // Late prefetch: the demand merged mid-flight. Always
+                    // credit the prefetcher's accuracy; credit Set Dueling
+                    // only when the prefetch hid almost the whole miss.
+                    let timely = e.fill_at.saturating_sub(e.merged_at) <= LATE_TIMELY_SLACK;
+                    m.on_useful(e.line, VAddr::new(0), e.meta.source & 1, timely);
+                } else if e.meta.is_prefetch {
+                    m.on_prefetch_fill(e.line, e.meta.source & 1);
+                }
+            }
+            if let Some(ev) = self.ctx.l2c.fill(e.line, kind, e.meta.write) {
+                if ev.unused_prefetch {
+                    if let Some(m) = &mut self.ctx.module {
+                        m.on_useless(ev.line, ev.prefetch_source & 1);
+                    }
+                }
+                if ev.dirty {
+                    self.fill_llc_direct(ev.line, now);
+                }
+            }
+        }
+    }
+
+    fn drain_llc(&mut self, now: u64) {
+        for e in self.shared.llc_mshr.drain_filled(now) {
+            let tracked = e.meta.is_prefetch && e.meta.source & PASS == 0;
+            let (kind, late_credit) = if tracked {
+                if e.demand_merged {
+                    (FillKind::Demand, true)
+                } else {
+                    (FillKind::Prefetch { source: e.meta.source }, false)
+                }
+            } else {
+                (FillKind::Demand, false)
+            };
+            if late_credit {
+                if e.fill_at.saturating_sub(e.merged_at) <= LATE_TIMELY_SLACK {
+                    self.shared
+                        .feedback
+                        .push(Feedback::Useful { source: e.meta.source, line: e.line });
+                } else {
+                    self.shared
+                        .feedback
+                        .push(Feedback::UsefulLate { source: e.meta.source, line: e.line });
+                }
+            } else if tracked {
+                self.shared.feedback.push(Feedback::Fill { source: e.meta.source, line: e.line });
+            }
+            if let Some(ev) = self.shared.llc.fill(e.line, kind, e.meta.write) {
+                if ev.unused_prefetch && ev.prefetch_source & PASS == 0 {
+                    self.shared
+                        .feedback
+                        .push(Feedback::Useless { source: ev.prefetch_source, line: ev.line });
+                }
+                if ev.dirty {
+                    self.shared.dram.access(ev.line, now, true);
+                }
+            }
+        }
+    }
+
+    /// L1D prefetching (Figure 13): candidates are virtual; plain IPCP and
+    /// next-line stay within the 4KB virtual page, IPCP++ may cross when
+    /// the target page is TLB resident.
+    fn l1d_prefetch(&mut self, vaddr: VAddr, pc: VAddr, t: u64) {
+        let Some(pref) = &mut self.ctx.l1d_pref else { return };
+        let vline = vaddr.line();
+        let mut buf = std::mem::take(&mut self.ctx.l1d_pref_buf);
+        buf.clear();
+        let cross = match pref {
+            L1dPref::NextLine(p) => {
+                p.on_l1d_access(vline, pc, false, &mut buf);
+                false
+            }
+            L1dPref::Ipcp { pref: p, cross } => {
+                p.on_l1d_access(vline, pc, false, &mut buf);
+                *cross
+            }
+        };
+        for i in 0..buf.len() {
+            let cand = buf[i];
+            let cvaddr = cand.addr();
+            if !cand.same_page(vline, PageSize::Size4K)
+                && (!cross || !self.ctx.mmu.tlb_resident(cvaddr))
+            {
+                continue;
+            }
+            let tr = self
+                .ctx
+                .aspace
+                .translate_or_map(&mut self.shared.phys, cvaddr)
+                .expect("physical memory exhausted");
+            let pline = tr.apply(cvaddr).line();
+            if self.ctx.l1d.contains(pline)
+                || self.ctx.l1d_mshr.pending(pline).is_some()
+                || self.ctx.l1d_mshr.is_full()
+            {
+                continue;
+            }
+            let (done, _) = self.l2c_access(pline, pc, t + self.lat.l1d, false, tr.size, false);
+            self.ctx
+                .l1d_mshr
+                .alloc(
+                    pline,
+                    done,
+                    MshrMeta { is_prefetch: true, source: 0, huge: tr.size.bit(), write: false },
+                )
+                .expect("fullness checked above");
+        }
+        self.ctx.l1d_pref_buf = buf;
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct CoreSnap {
+    cycle: u64,
+    l2c: CacheStats,
+    l2c_lat: (u64, u64),
+    llc_lat: (u64, u64),
+    module: Option<psa_core::ModuleStats>,
+    boundary: Option<psa_core::BoundaryStats>,
+    debug: [u64; 8],
+}
+
+/// A fully-wired simulated machine, ready to run once.
+pub struct System {
+    config: SimConfig,
+    cores: Vec<Core>,
+    ctxs: Vec<CoreCtx>,
+    shared: Shared,
+    gens: Vec<TraceGenerator>,
+    names: Vec<&'static str>,
+}
+
+impl System {
+    /// A single-core Table I machine running `workload` with the given
+    /// prefetcher and page-size policy at the L2C.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (shapes that
+    /// cannot be built).
+    pub fn single_core(
+        config: SimConfig,
+        workload: &WorkloadSpec,
+        kind: PrefetcherKind,
+        policy: PageSizePolicy,
+    ) -> Self {
+        Self::build(config, &[workload], Some((kind, policy)))
+    }
+
+    /// A single-core machine with **no prefetching at any level** — the
+    /// speedup baseline of Figures 4, 5 and 13.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configuration.
+    pub fn baseline(config: SimConfig, workload: &WorkloadSpec) -> Self {
+        Self::build(config, &[workload], None)
+    }
+
+    /// A multi-core machine; `workloads[i]` runs on core `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configuration or an empty workload list.
+    pub fn multi_core(
+        config: SimConfig,
+        workloads: &[&WorkloadSpec],
+        kind: PrefetcherKind,
+        policy: PageSizePolicy,
+    ) -> Self {
+        Self::build(config, workloads, Some((kind, policy)))
+    }
+
+    /// A multi-core machine with no prefetching.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configuration or an empty workload list.
+    pub fn multi_core_baseline(config: SimConfig, workloads: &[&WorkloadSpec]) -> Self {
+        Self::build(config, workloads, None)
+    }
+
+    /// A single-core machine with a caller-built prefetching module —
+    /// used by the Figure 11 ablations (custom selection logic,
+    /// ISO-storage prefetchers). The closure receives the L2C set count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configuration.
+    pub fn single_core_with_module(
+        config: SimConfig,
+        workload: &WorkloadSpec,
+        make_module: &dyn Fn(usize) -> PsaModule,
+    ) -> Self {
+        let mut sys = Self::build(config, &[workload], None);
+        let sets = sys.ctxs[0].l2c.num_sets();
+        sys.ctxs[0].module = Some(make_module(sets));
+        sys
+    }
+
+    fn build(
+        mut config: SimConfig,
+        workloads: &[&WorkloadSpec],
+        pref: Option<(PrefetcherKind, PageSizePolicy)>,
+    ) -> Self {
+        assert!(!workloads.is_empty(), "at least one workload");
+        config.cores = workloads.len();
+        let shared = Shared {
+            llc: Cache::new(config.llc).expect("LLC shape"),
+            llc_mshr: Mshr::new(config.llc.mshr_entries),
+            dram: Dram::new(config.dram).expect("DRAM shape"),
+            phys: PhysMem::new(config.phys, config.seed).expect("physical memory shape"),
+            feedback: Vec::new(),
+        };
+        let mut cores = Vec::new();
+        let mut ctxs = Vec::new();
+        let mut gens = Vec::new();
+        let mut names = Vec::new();
+        for (i, w) in workloads.iter().enumerate() {
+            cores.push(Core::new(config.core));
+            let l2c = Cache::new(config.l2c).expect("L2C shape");
+            let module = pref.map(|(kind, policy)| {
+                let source = match config.page_size_source {
+                    PageSizeSource::None => PageSizeSource::Ppm,
+                    s => s,
+                };
+                PsaModule::new(
+                    policy,
+                    source,
+                    &|grain| kind.build(grain),
+                    l2c.num_sets(),
+                    config.sd,
+                    config.module,
+                )
+                .expect("set-dueling shape fits the L2C")
+            });
+            let l1d_pref = match config.l1d_prefetcher {
+                L1dPrefKind::None => None,
+                L1dPrefKind::NextLine => Some(L1dPref::NextLine(NextLineL1d::new(1))),
+                L1dPrefKind::Ipcp => {
+                    Some(L1dPref::Ipcp { pref: Ipcp::new(IpcpConfig::default()), cross: false })
+                }
+                L1dPrefKind::IpcpPlusPlus => {
+                    Some(L1dPref::Ipcp { pref: Ipcp::new(IpcpConfig::default()), cross: true })
+                }
+            };
+            ctxs.push(CoreCtx {
+                id: i as u8,
+                aspace: AddressSpace::new(AspaceConfig {
+                    huge_fraction: w.huge_fraction,
+                    seed: config.seed ^ (i as u64).wrapping_mul(0x9e37),
+                }),
+                mmu: Mmu::new(config.mmu).expect("MMU shape"),
+                l1d: Cache::new(config.l1d).expect("L1D shape"),
+                l1d_mshr: Mshr::new(config.l1d.mshr_entries),
+                l2c,
+                l2c_mshr: Mshr::new(config.l2c.mshr_entries),
+                module,
+                l1d_pref,
+                pf_buf: Vec::with_capacity(32),
+                l1d_pref_buf: Vec::with_capacity(8),
+                l2c_lat_sum: 0,
+                l2c_lat_cnt: 0,
+                llc_lat_sum: 0,
+                llc_lat_cnt: 0,
+                debug: [0; 8],
+            });
+            gens.push(TraceGenerator::new(w, config.seed.wrapping_add(7919 * i as u64)));
+            names.push(w.name);
+        }
+        Self { config, cores, ctxs, shared, gens, names }
+    }
+
+    fn snap_core(cores: &[Core], ctx: &CoreCtx, i: usize) -> CoreSnap {
+        CoreSnap {
+            cycle: cores[i].projected_finish(),
+            l2c: ctx.l2c.stats(),
+            l2c_lat: (ctx.l2c_lat_sum, ctx.l2c_lat_cnt),
+            llc_lat: (ctx.llc_lat_sum, ctx.llc_lat_cnt),
+            module: ctx.module.as_ref().map(|m| m.stats()),
+            boundary: ctx.module.as_ref().map(|m| m.boundary_stats()),
+            debug: ctx.debug,
+        }
+    }
+
+    fn run_all(&mut self) -> (Vec<CoreSnap>, Vec<u64>, CacheStats, psa_dram::DramStats, Vec<(u64, f64)>) {
+        let n = self.cores.len();
+        let total = self.config.warmup + self.config.instructions;
+        let mut executed = vec![0u64; n];
+        let mut snaps: Vec<CoreSnap> = vec![CoreSnap::default(); n];
+        let mut warm = vec![self.config.warmup == 0; n];
+        let mut shared_snap = (self.shared.llc.stats(), self.shared.dram.stats());
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut thp_series = Vec::new();
+        let sample_every = (total / 24).max(1);
+        while !active.is_empty() {
+            // Step the core that is earliest in simulated time.
+            let (pos, &i) = active
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &i)| self.cores[i].now())
+                .expect("non-empty active set");
+            let instr: Instr = self.gens[i].next().expect("generator is infinite");
+            {
+                let mut port = Port {
+                    ctx: &mut self.ctxs[i],
+                    shared: &mut self.shared,
+                    lat: Lat {
+                        l1d: self.config.l1d.latency,
+                        l2c: self.config.l2c.latency,
+                        llc: self.config.llc.latency,
+                    },
+                };
+                self.cores[i].execute(&instr, &mut port);
+            }
+            // Dispatch LLC-level prefetch feedback to the owning modules.
+            if !self.shared.feedback.is_empty() {
+                for fb in std::mem::take(&mut self.shared.feedback) {
+                    let (source, line, kind) = match fb {
+                        Feedback::Useful { source, line } => (source, line, 0u8),
+                        Feedback::UsefulLate { source, line } => (source, line, 1),
+                        Feedback::Useless { source, line } => (source, line, 2),
+                        Feedback::Fill { source, line } => (source, line, 3),
+                    };
+                    let core = usize::from((source & !PASS) >> 1);
+                    let competitor = source & 1;
+                    if let Some(m) = self.ctxs.get_mut(core).and_then(|c| c.module.as_mut()) {
+                        match kind {
+                            0 => m.on_useful(line, VAddr::new(0), competitor, true),
+                            1 => m.on_useful(line, VAddr::new(0), competitor, false),
+                            2 => m.on_useless(line, competitor),
+                            _ => m.on_prefetch_fill(line, competitor),
+                        }
+                    }
+                }
+            }
+            executed[i] += 1;
+            if i == 0 && executed[0] % sample_every == 0 {
+                thp_series.push((executed[0], self.ctxs[0].aspace.huge_usage_fraction()));
+            }
+            if !warm[i] && executed[i] == self.config.warmup {
+                warm[i] = true;
+                snaps[i] = Self::snap_core(&self.cores, &self.ctxs[i], i);
+                if warm.iter().all(|&w| w) {
+                    shared_snap = (self.shared.llc.stats(), self.shared.dram.stats());
+                }
+            }
+            if executed[i] == total {
+                active.swap_remove(pos);
+            }
+        }
+        let finish: Vec<u64> = self.cores.iter_mut().map(|c| c.drain()).collect();
+        let llc = cache_diff(self.shared.llc.stats(), shared_snap.0);
+        let dram = dram_diff(self.shared.dram.stats(), shared_snap.1);
+        (snaps, finish, llc, dram, thp_series)
+    }
+
+    /// Run a single-core system to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system was built with more than one core.
+    pub fn run(mut self) -> RunReport {
+        assert_eq!(self.cores.len(), 1, "use run_multi for multi-core systems");
+        let (snaps, finish, llc, dram, thp_series) = self.run_all();
+        let snap = &snaps[0];
+        let ctx = &self.ctxs[0];
+        let l2c = cache_diff(ctx.l2c.stats(), snap.l2c);
+        let lat = |sum: u64, cnt: u64, s: (u64, u64)| {
+            let (dsum, dcnt) = (sum - s.0, cnt - s.1);
+            if dcnt == 0 {
+                0.0
+            } else {
+                dsum as f64 / dcnt as f64
+            }
+        };
+        let module = match (ctx.module.as_ref().map(|m| m.stats()), snap.module) {
+            (Some(end), Some(start)) => Some(module_diff(end, start)),
+            (m, _) => m,
+        };
+        let boundary = match (ctx.module.as_ref().map(|m| m.boundary_stats()), snap.boundary) {
+            (Some(end), Some(start)) => Some(boundary_diff(end, start)),
+            (b, _) => b,
+        };
+        RunReport {
+            workload: self.names[0],
+            instructions: self.config.instructions,
+            cycles: finish[0].saturating_sub(snap.cycle).max(1),
+            l2c,
+            llc,
+            dram,
+            module,
+            boundary,
+            l2c_avg_latency: lat(ctx.l2c_lat_sum, ctx.l2c_lat_cnt, snap.l2c_lat),
+            llc_avg_latency: lat(ctx.llc_lat_sum, ctx.llc_lat_cnt, snap.llc_lat),
+            huge_usage: ctx.aspace.huge_usage_fraction(),
+            thp_series,
+            debug: {
+                // Windowed diagnostics (index 7 is a running max, kept
+                // as-is).
+                let mut d = [0u64; 8];
+                for i in 0..7 {
+                    d[i] = ctx.debug[i] - snap.debug[i];
+                }
+                d[7] = ctx.debug[7];
+                d
+            },
+        }
+    }
+
+    /// Run a multi-core system to completion.
+    pub fn run_multi(mut self) -> MultiReport {
+        let instructions = self.config.instructions;
+        let (snaps, finish, llc, dram, _) = self.run_all();
+        let ipc = snaps
+            .iter()
+            .zip(&finish)
+            .map(|(s, &f)| instructions as f64 / f.saturating_sub(s.cycle).max(1) as f64)
+            .collect();
+        MultiReport { workloads: self.names.clone(), ipc, llc, dram }
+    }
+}
+
+fn module_diff(end: psa_core::ModuleStats, start: psa_core::ModuleStats) -> psa_core::ModuleStats {
+    psa_core::ModuleStats {
+        accesses: end.accesses - start.accesses,
+        candidates: end.candidates - start.candidates,
+        issued: end.issued - start.issued,
+        deduped: end.deduped - start.deduped,
+        issued_by: [end.issued_by[0] - start.issued_by[0], end.issued_by[1] - start.issued_by[1]],
+        selected_by: [
+            end.selected_by[0] - start.selected_by[0],
+            end.selected_by[1] - start.selected_by[1],
+        ],
+    }
+}
+
+fn boundary_diff(
+    end: psa_core::BoundaryStats,
+    start: psa_core::BoundaryStats,
+) -> psa_core::BoundaryStats {
+    psa_core::BoundaryStats {
+        candidates: end.candidates - start.candidates,
+        allowed: end.allowed - start.allowed,
+        discarded_cross_4k_in_huge: end.discarded_cross_4k_in_huge
+            - start.discarded_cross_4k_in_huge,
+        discarded_out_of_page: end.discarded_out_of_page - start.discarded_out_of_page,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_traces::catalog;
+
+    fn quick() -> SimConfig {
+        SimConfig::default().with_warmup(2_000).with_instructions(10_000)
+    }
+
+    #[test]
+    fn baseline_runs_and_reports() {
+        let r = System::baseline(quick(), catalog::workload("lbm").unwrap()).run();
+        assert_eq!(r.instructions, 10_000);
+        assert!(r.cycles > 0);
+        assert!(r.ipc() > 0.0 && r.ipc() <= 4.0);
+        assert!(r.llc.demand_accesses() > 0, "lbm must stress the LLC");
+        assert!(r.module.is_none());
+    }
+
+    #[test]
+    fn prefetching_beats_baseline_on_a_stream() {
+        let base = System::baseline(quick(), catalog::workload("lbm").unwrap()).run();
+        let spp = System::single_core(
+            quick(),
+            catalog::workload("lbm").unwrap(),
+            PrefetcherKind::Spp,
+            PageSizePolicy::Original,
+        )
+        .run();
+        assert!(
+            spp.ipc() > base.ipc() * 1.02,
+            "SPP must speed up a stream: {} vs {}",
+            spp.ipc(),
+            base.ipc()
+        );
+        assert!(spp.module.unwrap().issued > 0);
+    }
+
+    #[test]
+    fn psa_beats_original_on_a_huge_page_stream() {
+        // Needs a long enough window for prefetch lead to build; small
+        // windows are cold-start noise.
+        let cfg = SimConfig::default().with_warmup(40_000).with_instructions(120_000);
+        let w = catalog::workload("lbm").unwrap();
+        let orig =
+            System::single_core(cfg, w, PrefetcherKind::Spp, PageSizePolicy::Original).run();
+        let psa = System::single_core(cfg, w, PrefetcherKind::Spp, PageSizePolicy::Psa).run();
+        // At laptop-scale budgets PSA and original trade a few percent on
+        // lbm (PSA shifts coverage from L2C fills to LLC fills); the guard
+        // is against collapse, not single-digit noise. The geomean-level
+        // claims are asserted in the experiments crate.
+        assert!(
+            psa.ipc() >= orig.ipc() * 0.90,
+            "PSA must not collapse on a streaming huge-page workload: {} vs {}",
+            psa.ipc(),
+            orig.ipc()
+        );
+        // The original discards crossing prefetches; PSA does not.
+        let ob = orig.boundary.unwrap();
+        let pb = psa.boundary.unwrap();
+        // And PSA must recover real coverage from the crossing freedom.
+        assert!(
+            psa.llc.demand_misses <= orig.llc.demand_misses,
+            "PSA LLC coverage must not regress: {} vs {}",
+            psa.llc.demand_misses,
+            orig.llc.demand_misses
+        );
+        assert!(ob.discarded_cross_4k_in_huge > 0, "Figure 2 counter must fire");
+        assert_eq!(pb.discarded_cross_4k_in_huge, 0, "PSA never discards for in-huge crossing");
+    }
+
+    #[test]
+    fn determinism() {
+        let w = catalog::workload("milc").unwrap();
+        let a = System::single_core(quick(), w, PrefetcherKind::Spp, PageSizePolicy::PsaSd).run();
+        let b = System::single_core(quick(), w, PrefetcherKind::Spp, PageSizePolicy::PsaSd).run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.l2c.demand_misses, b.l2c.demand_misses);
+        assert_eq!(a.module.unwrap().issued, b.module.unwrap().issued);
+    }
+
+    #[test]
+    fn multicore_runs_all_cores() {
+        let w1 = catalog::workload("lbm").unwrap();
+        let w2 = catalog::workload("mcf").unwrap();
+        let r = System::multi_core(
+            SimConfig::for_cores(2).with_warmup(1_000).with_instructions(5_000),
+            &[w1, w2],
+            PrefetcherKind::Spp,
+            PageSizePolicy::Psa,
+        )
+        .run_multi();
+        assert_eq!(r.ipc.len(), 2);
+        assert!(r.ipc.iter().all(|&x| x > 0.0));
+        assert_eq!(r.workloads, vec!["lbm", "mcf"]);
+    }
+
+    #[test]
+    fn thp_series_tracks_huge_usage() {
+        let r = System::baseline(quick(), catalog::workload("lbm").unwrap()).run();
+        assert!(!r.thp_series.is_empty());
+        let last = r.thp_series.last().unwrap().1;
+        assert!(last > 0.8, "lbm maps ~95% huge: {last}");
+        let r4k = System::baseline(quick(), catalog::workload("soplex").unwrap()).run();
+        assert!(r4k.huge_usage < 0.4, "soplex is 4KB-dominated: {}", r4k.huge_usage);
+    }
+
+    #[test]
+    fn l1d_prefetcher_config_runs() {
+        let mut cfg = quick();
+        cfg.l1d_prefetcher = L1dPrefKind::IpcpPlusPlus;
+        let r = System::baseline(cfg, catalog::workload("lbm").unwrap()).run();
+        assert!(r.ipc() > 0.0);
+    }
+}

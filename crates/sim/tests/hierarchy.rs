@@ -1,0 +1,107 @@
+//! System-level sanity: the machine must respond to resource knobs in the
+//! physically-required direction (the backbone of Figure 12's sweeps).
+
+use psa_core::PageSizePolicy;
+use psa_prefetchers::PrefetcherKind;
+use psa_sim::{SimConfig, System};
+use psa_traces::catalog;
+
+fn quick() -> SimConfig {
+    SimConfig::default().with_warmup(4_000).with_instructions(16_000)
+}
+
+#[test]
+fn faster_dram_never_hurts() {
+    let w = catalog::workload("lbm").unwrap();
+    let mut prev = 0.0;
+    for mts in [400, 1600, 6400] {
+        let mut cfg = quick();
+        cfg.dram.mts = mts;
+        let ipc = System::baseline(cfg, w).run().ipc();
+        assert!(
+            ipc >= prev * 0.98,
+            "IPC must not degrade with bandwidth: {ipc} at {mts} MT/s vs {prev}"
+        );
+        prev = ipc;
+    }
+}
+
+#[test]
+fn bigger_llc_never_misses_more() {
+    // A hot-set workload whose footprint straddles the smaller LLC sizes.
+    let w = catalog::workload("hmmer").unwrap();
+    let mut prev = u64::MAX;
+    for bytes in [256u64 << 10, 1 << 20, 2 << 20] {
+        let mut cfg = quick();
+        cfg.llc.bytes = bytes;
+        let misses = System::baseline(cfg, w).run().llc.demand_misses;
+        assert!(
+            prev == u64::MAX || misses <= prev + prev / 10,
+            "LLC misses should not grow with capacity: {misses} at {bytes}B vs {prev}"
+        );
+        prev = misses;
+    }
+}
+
+#[test]
+fn more_l1d_mshrs_do_not_reduce_throughput() {
+    let w = catalog::workload("bwaves").unwrap();
+    let mut cfg8 = quick();
+    cfg8.l1d.mshr_entries = 4;
+    let small = System::baseline(cfg8, w).run().ipc();
+    let mut cfg32 = quick();
+    cfg32.l1d.mshr_entries = 32;
+    let big = System::baseline(cfg32, w).run().ipc();
+    assert!(big >= small * 0.98, "MLP must not shrink with more MSHRs: {big} vs {small}");
+}
+
+#[test]
+fn memory_intensive_workloads_sit_below_the_width_ceiling() {
+    for name in ["lbm", "mcf", "milc"] {
+        let w = catalog::workload(name).unwrap();
+        let ipc = System::baseline(quick(), w).run().ipc();
+        assert!(ipc > 0.0 && ipc < 4.0, "{name}: IPC {ipc} out of range");
+    }
+}
+
+#[test]
+fn non_intensive_workloads_run_faster_than_intensive() {
+    let quiet = catalog::workload("povray").unwrap();
+    let heavy = catalog::workload("mcf").unwrap();
+    let q = System::baseline(quick(), quiet).run();
+    let h = System::baseline(quick(), heavy).run();
+    assert!(
+        q.ipc() > h.ipc(),
+        "a hot-set workload must out-run a pointer chase: {} vs {}",
+        q.ipc(),
+        h.ipc()
+    );
+    assert!(q.llc_mpki() < h.llc_mpki());
+}
+
+#[test]
+fn prefetcher_variants_all_run_for_every_kind() {
+    let w = catalog::workload("roms_s").unwrap();
+    for kind in PrefetcherKind::EVALUATED {
+        for policy in PageSizePolicy::ALL {
+            let r = System::single_core(quick(), w, kind, policy).run();
+            assert!(r.ipc() > 0.0, "{kind}{}: zero IPC", policy.suffix());
+        }
+    }
+}
+
+#[test]
+fn multicore_shares_the_llc() {
+    // Two copies of a streaming workload on a shared LLC must each run
+    // slower than the same workload alone on the same machine.
+    let w = catalog::workload("lbm").unwrap();
+    let cfg = SimConfig::for_cores(2).with_warmup(2_000).with_instructions(10_000);
+    let duo = System::multi_core_baseline(cfg, &[w, w]).run_multi();
+    let solo = System::multi_core_baseline(cfg, &[w]).run_multi();
+    assert!(
+        duo.ipc[0] <= solo.ipc[0] * 1.05,
+        "contention must not speed a core up: {} vs {}",
+        duo.ipc[0],
+        solo.ipc[0]
+    );
+}

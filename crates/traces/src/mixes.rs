@@ -1,0 +1,64 @@
+//! Random multi-core workload mixes (Figures 14 and 15).
+//!
+//! §V-B: "We randomly generate 100 mixes from our workload set for
+//! multi-core evaluation."
+
+use psa_common::DetRng;
+
+use crate::catalog::WORKLOADS;
+use crate::spec::WorkloadSpec;
+
+/// Generate `count` random `cores`-wide mixes from the 80-workload set,
+/// deterministically from `seed`.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+pub fn random_mixes(count: usize, cores: usize, seed: u64) -> Vec<Vec<&'static WorkloadSpec>> {
+    assert!(cores > 0, "a mix needs at least one core");
+    let mut rng = DetRng::new(seed ^ 0x6d69_7865_7321); // "mixes!"
+    (0..count)
+        .map(|_| (0..cores).map(|_| rng.pick(&WORKLOADS[..])).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = random_mixes(100, 4, 1);
+        let b = random_mixes(100, 4, 1);
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|m| m.len() == 4));
+        for (x, y) in a.iter().zip(&b) {
+            let xn: Vec<&str> = x.iter().map(|w| w.name).collect();
+            let yn: Vec<&str> = y.iter().map(|w| w.name).collect();
+            assert_eq!(xn, yn);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_mixes(20, 8, 1);
+        let b = random_mixes(20, 8, 2);
+        let an: Vec<&str> = a.iter().flatten().map(|w| w.name).collect();
+        let bn: Vec<&str> = b.iter().flatten().map(|w| w.name).collect();
+        assert_ne!(an, bn);
+    }
+
+    #[test]
+    fn mixes_draw_broadly_from_the_catalog() {
+        let mixes = random_mixes(100, 4, 3);
+        let names: HashSet<&str> = mixes.iter().flatten().map(|w| w.name).collect();
+        assert!(names.len() > 50, "400 draws should cover most of 80: {}", names.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = random_mixes(1, 0, 1);
+    }
+}

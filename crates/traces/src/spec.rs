@@ -1,0 +1,223 @@
+//! Workload specifications: the per-benchmark parameter vector.
+
+/// Benchmark suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU 2006.
+    Spec06,
+    /// SPEC CPU 2017.
+    Spec17,
+    /// GAP benchmark suite (road input graph).
+    Gap,
+    /// CloudSuite scale-out workloads.
+    Cloud,
+    /// Machine learning (mlpack).
+    Ml,
+    /// Qualcomm CVP-1 industrial traces.
+    Qmm,
+}
+
+/// The suite grouping Figure 9 reports geomeans over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteGroup {
+    /// SPEC CPU 2006 + 2017.
+    Spec,
+    /// GAP + ML + CloudSuite.
+    GapMlCloud,
+    /// Qualcomm workloads.
+    Qmm,
+}
+
+impl Suite {
+    /// The Figure 9 group this suite belongs to.
+    pub fn group(self) -> SuiteGroup {
+        match self {
+            Suite::Spec06 | Suite::Spec17 => SuiteGroup::Spec,
+            Suite::Gap | Suite::Cloud | Suite::Ml => SuiteGroup::GapMlCloud,
+            Suite::Qmm => SuiteGroup::Qmm,
+        }
+    }
+}
+
+impl std::fmt::Display for SuiteGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteGroup::Spec => f.write_str("SPEC"),
+            SuiteGroup::GapMlCloud => f.write_str("GAP+ML+CLOUD"),
+            SuiteGroup::Qmm => f.write_str("QMM"),
+        }
+    }
+}
+
+/// Relative weights of the access-pattern components a workload mixes.
+/// Weights need not sum to 1; they are normalised by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PatternMix {
+    /// Long unit-stride streams — cross 4KB boundaries every 64 lines; the
+    /// bread-and-butter PPM opportunity (lbm, bwaves, roms).
+    pub stream: f64,
+    /// Short strides (2–16 lines) within pages — learnable at any grain.
+    pub stride_small: f64,
+    /// Long strides (65–512 lines) — inexpressible as ±64-line deltas, so
+    /// only a 2MB-grain prefetcher captures them (milc, qmm_fp_67).
+    pub stride_large: f64,
+    /// Distinct per-4KB-sub-page patterns inside 2MB pages — 2MB-grain
+    /// indexing over-generalises and mispredicts (soplex, tc.road).
+    pub subpage_grain: f64,
+    /// Dependent pointer chasing — latency-bound, barely prefetchable
+    /// (mcf, omnetpp).
+    pub pointer_chase: f64,
+    /// Uniform random noise across the footprint.
+    pub random: f64,
+    /// A small hot set that mostly hits in the caches.
+    pub hot: f64,
+}
+
+impl PatternMix {
+    /// The weights as an array, in generator component order.
+    pub fn weights(&self) -> [f64; 7] {
+        [
+            self.stream,
+            self.stride_small,
+            self.stride_large,
+            self.subpage_grain,
+            self.pointer_chase,
+            self.random,
+            self.hot,
+        ]
+    }
+
+    /// Number of components with non-zero weight.
+    pub fn active_components(&self) -> usize {
+        self.weights().iter().filter(|&&w| w > 0.0).count()
+    }
+
+    /// Whether the mix is usable (at least one positive weight, none
+    /// negative).
+    pub fn is_valid(&self) -> bool {
+        let w = self.weights();
+        w.iter().all(|&x| x >= 0.0) && w.iter().sum::<f64>() > 0.0
+    }
+}
+
+/// Everything the generator needs to impersonate one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// The benchmark name as it appears in the paper's figures.
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Fraction of the working set the OS backs with 2MB pages
+    /// (the Figure 3 measurement, used as the THP policy's probability).
+    pub huge_fraction: f64,
+    /// Working-set size in bytes.
+    pub footprint: u64,
+    /// Fraction of instructions that access memory.
+    pub mem_ratio: f64,
+    /// Fraction of memory accesses that are stores.
+    pub store_ratio: f64,
+    /// Fraction of loads that are address-dependent on the previous load.
+    pub dependent_fraction: f64,
+    /// The pattern mixture.
+    pub mix: PatternMix,
+    /// Whether the workload counts as memory-intensive (LLC MPKI ≥ 1 in
+    /// the paper's terms); §VI-B1's non-intensive augmentation uses false.
+    pub intensive: bool,
+}
+
+impl WorkloadSpec {
+    /// Working-set size in cache lines.
+    pub fn footprint_lines(&self) -> u64 {
+        self.footprint / 64
+    }
+
+    /// Validate the parameter vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("empty name".into());
+        }
+        if !(0.0..=1.0).contains(&self.huge_fraction) {
+            return Err(format!("{}: huge_fraction out of [0,1]", self.name));
+        }
+        if !(0.0..1.0).contains(&self.mem_ratio) || self.mem_ratio <= 0.0 {
+            return Err(format!("{}: mem_ratio must be in (0,1)", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.store_ratio) {
+            return Err(format!("{}: store_ratio out of [0,1]", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.dependent_fraction) {
+            return Err(format!("{}: dependent_fraction out of [0,1]", self.name));
+        }
+        if self.footprint < 1 << 20 {
+            return Err(format!("{}: footprint under 1MB is not a cache study", self.name));
+        }
+        if !self.mix.is_valid() {
+            return Err(format!("{}: invalid pattern mix", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test",
+            suite: Suite::Spec06,
+            huge_fraction: 0.9,
+            footprint: 64 << 20,
+            mem_ratio: 0.3,
+            store_ratio: 0.1,
+            dependent_fraction: 0.0,
+            mix: PatternMix { stream: 1.0, ..PatternMix::default() },
+            intensive: true,
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        base().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_specs_fail_with_names() {
+        let mut s = base();
+        s.huge_fraction = 1.5;
+        assert!(s.validate().unwrap_err().contains("test"));
+        let mut s = base();
+        s.mem_ratio = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = base();
+        s.mix = PatternMix::default();
+        assert!(s.validate().is_err());
+        let mut s = base();
+        s.footprint = 1024;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn suite_groups_match_figure9() {
+        assert_eq!(Suite::Spec06.group(), SuiteGroup::Spec);
+        assert_eq!(Suite::Spec17.group(), SuiteGroup::Spec);
+        assert_eq!(Suite::Gap.group(), SuiteGroup::GapMlCloud);
+        assert_eq!(Suite::Cloud.group(), SuiteGroup::GapMlCloud);
+        assert_eq!(Suite::Ml.group(), SuiteGroup::GapMlCloud);
+        assert_eq!(Suite::Qmm.group(), SuiteGroup::Qmm);
+        assert_eq!(SuiteGroup::GapMlCloud.to_string(), "GAP+ML+CLOUD");
+    }
+
+    #[test]
+    fn mix_weight_accounting() {
+        let mix = PatternMix { stream: 0.5, pointer_chase: 0.5, ..PatternMix::default() };
+        assert_eq!(mix.active_components(), 2);
+        assert!(mix.is_valid());
+        let bad = PatternMix { stream: -0.1, ..PatternMix::default() };
+        assert!(!bad.is_valid());
+    }
+}

@@ -1,0 +1,269 @@
+//! Demand-paged address spaces with a THP-style large-page policy.
+//!
+//! On the first touch of a 2MB virtual region the policy decides — in the
+//! spirit of Linux Transparent Huge Pages — whether to back the whole
+//! region with one 2MB frame or fault its 4KB pages in individually. The
+//! decision is a deterministic hash of the region number, so a workload's
+//! `huge_fraction` directly controls the fraction of its memory in 2MB
+//! pages (what Figure 3 of the paper measures on real hardware).
+
+use psa_common::rng::fnv1a;
+use psa_common::{PageSize, VAddr};
+use std::collections::HashMap;
+
+use crate::frames::PhysMem;
+use crate::page_table::{MapError, PageTable, Translation, Walk};
+
+/// Policy knobs for one address space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AspaceConfig {
+    /// Probability that a 2MB virtual region is backed by a huge page.
+    /// 1.0 ≈ `THP=always` on a lightly fragmented machine; 0.0 ≈ `THP=never`.
+    pub huge_fraction: f64,
+    /// Seed for the per-region backing decisions.
+    pub seed: u64,
+}
+
+impl Default for AspaceConfig {
+    fn default() -> Self {
+        // The paper measures ~85% of allocated memory in 2MB pages across
+        // its workloads on a real THP-enabled system (§V-A).
+        Self { huge_fraction: 0.85, seed: 0 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RegionBacking {
+    Huge(Translation),
+    /// Region faulted as individual 4KB pages.
+    Small,
+}
+
+/// One process's virtual address space.
+#[derive(Debug)]
+pub struct AddressSpace {
+    config: AspaceConfig,
+    page_table: Option<PageTable>,
+    regions: HashMap<u64, RegionBacking>,
+    /// Fast-path mapping cache for 4KB pages (region → vpage → translation).
+    small_pages: HashMap<u64, Translation>,
+    /// Distinct 4KB-page-sized chunks touched inside huge-backed regions —
+    /// the touch-weighted usage metric (see [`Self::huge_usage_fraction`]).
+    touched_in_huge: std::collections::HashSet<u64>,
+    bytes_4k: u64,
+    bytes_2m: u64,
+}
+
+impl AddressSpace {
+    /// Create an empty address space.
+    pub fn new(config: AspaceConfig) -> Self {
+        Self {
+            config,
+            page_table: None,
+            regions: HashMap::new(),
+            small_pages: HashMap::new(),
+            touched_in_huge: std::collections::HashSet::new(),
+            bytes_4k: 0,
+            bytes_2m: 0,
+        }
+    }
+
+    fn decide_huge(&self, region: u64) -> bool {
+        let h = fnv1a(&[self.config.seed.to_le_bytes(), region.to_le_bytes()].concat());
+        (h >> 11) as f64 / (1u64 << 53) as f64 <= self.config.huge_fraction
+    }
+
+    fn table(&mut self, phys: &mut PhysMem) -> Result<&mut PageTable, MapError> {
+        if self.page_table.is_none() {
+            self.page_table = Some(PageTable::new(phys)?);
+        }
+        Ok(self.page_table.as_mut().expect("just created"))
+    }
+
+    /// Translate `vaddr`, demand-mapping the page on first touch.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when physical memory is exhausted.
+    pub fn translate_or_map(
+        &mut self,
+        phys: &mut PhysMem,
+        vaddr: VAddr,
+    ) -> Result<Translation, MapError> {
+        let region = vaddr.page_number(PageSize::Size2M);
+        match self.regions.get(&region) {
+            Some(RegionBacking::Huge(t)) => {
+                self.touched_in_huge.insert(vaddr.page_number(PageSize::Size4K));
+                return Ok(*t);
+            }
+            Some(RegionBacking::Small) => {
+                let vpage = vaddr.page_number(PageSize::Size4K);
+                if let Some(t) = self.small_pages.get(&vpage) {
+                    return Ok(*t);
+                }
+                return self.map_small(phys, vaddr);
+            }
+            None => {}
+        }
+        if self.decide_huge(region) {
+            let pbase = phys.alloc(PageSize::Size2M)?;
+            let vbase = vaddr.page_base(PageSize::Size2M);
+            let t = Translation { vbase, pbase, size: PageSize::Size2M };
+            self.table(phys)?.map(phys, vbase, pbase, PageSize::Size2M)?;
+            self.regions.insert(region, RegionBacking::Huge(t));
+            self.bytes_2m += PageSize::Size2M.bytes();
+            self.touched_in_huge.insert(vaddr.page_number(PageSize::Size4K));
+            Ok(t)
+        } else {
+            self.regions.insert(region, RegionBacking::Small);
+            self.map_small(phys, vaddr)
+        }
+    }
+
+    fn map_small(&mut self, phys: &mut PhysMem, vaddr: VAddr) -> Result<Translation, MapError> {
+        let pbase = phys.alloc(PageSize::Size4K)?;
+        let vbase = vaddr.page_base(PageSize::Size4K);
+        let t = Translation { vbase, pbase, size: PageSize::Size4K };
+        self.table(phys)?.map(phys, vbase, pbase, PageSize::Size4K)?;
+        self.small_pages.insert(vaddr.page_number(PageSize::Size4K), t);
+        self.bytes_4k += PageSize::Size4K.bytes();
+        Ok(t)
+    }
+
+    /// Walk the page table for `vaddr`, optionally skipping levels resolved
+    /// by the MMU caches. The page must already be mapped.
+    pub(crate) fn walk(&self, vaddr: VAddr, skip_levels: u8, start_node: u32) -> Option<Walk> {
+        self.page_table.as_ref().map(|pt| pt.walk_from(vaddr, skip_levels, start_node))
+    }
+
+    /// Interior node reached after `levels` levels, for MMU-cache fills.
+    pub(crate) fn node_at(&self, vaddr: VAddr, levels: u8) -> Option<u32> {
+        self.page_table.as_ref().and_then(|pt| pt.node_at(vaddr, levels))
+    }
+
+    /// Bytes currently mapped via 4KB pages.
+    pub fn bytes_4k(&self) -> u64 {
+        self.bytes_4k
+    }
+
+    /// Bytes currently mapped via 2MB pages.
+    pub fn bytes_2m(&self) -> u64 {
+        self.bytes_2m
+    }
+
+    /// Fraction of the *touched* working set backed by 2MB pages — the
+    /// Figure 3 metric. Touch-weighted (distinct 4KB chunks actually
+    /// accessed) rather than allocation-weighted, because one sparse touch
+    /// allocates a whole 2MB frame and would otherwise drown the 4KB side
+    /// of the ratio; the touch-weighted form is also what matters to the
+    /// prefetcher (the probability that an accessed block sits in a huge
+    /// page). Zero when nothing is mapped yet.
+    pub fn huge_usage_fraction(&self) -> f64 {
+        let huge = self.touched_in_huge.len() as u64 * PageSize::Size4K.bytes();
+        let total = self.bytes_4k + huge;
+        if total == 0 {
+            0.0
+        } else {
+            huge as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frames::PhysMemConfig;
+    use psa_common::PAddr;
+
+    fn phys() -> PhysMem {
+        PhysMem::new(PhysMemConfig { bytes: 512 * 1024 * 1024 }, 3).unwrap()
+    }
+
+    #[test]
+    fn always_huge_maps_2mb() {
+        let mut pm = phys();
+        let mut a = AddressSpace::new(AspaceConfig { huge_fraction: 1.0, seed: 1 });
+        let t = a.translate_or_map(&mut pm, VAddr::new(0x1234_5678)).unwrap();
+        assert_eq!(t.size, PageSize::Size2M);
+        assert_eq!(a.huge_usage_fraction(), 1.0);
+    }
+
+    #[test]
+    fn never_huge_maps_4kb() {
+        let mut pm = phys();
+        let mut a = AddressSpace::new(AspaceConfig { huge_fraction: 0.0, seed: 1 });
+        let t = a.translate_or_map(&mut pm, VAddr::new(0x1234_5678)).unwrap();
+        assert_eq!(t.size, PageSize::Size4K);
+        assert_eq!(a.huge_usage_fraction(), 0.0);
+    }
+
+    #[test]
+    fn translation_is_stable_across_touches() {
+        let mut pm = phys();
+        let mut a = AddressSpace::new(AspaceConfig { huge_fraction: 0.5, seed: 9 });
+        let v = VAddr::new(0xdead_b000);
+        let t1 = a.translate_or_map(&mut pm, v).unwrap();
+        let t2 = a.translate_or_map(&mut pm, VAddr::new(0xdead_b040)).unwrap();
+        assert_eq!(t1.pbase, t2.pbase);
+        assert_eq!(t1.apply(v), t2.apply(v));
+    }
+
+    #[test]
+    fn huge_fraction_controls_usage() {
+        let mut pm = phys();
+        let mut a = AddressSpace::new(AspaceConfig { huge_fraction: 0.5, seed: 42 });
+        // Touch 128 distinct 2MB regions sparsely (one 4KB touch each, so
+        // small-backed regions contribute one 4KB page).
+        for r in 0..128u64 {
+            a.translate_or_map(&mut pm, VAddr::new(r << 21)).unwrap();
+        }
+        let huge_regions = a.bytes_2m() / PageSize::Size2M.bytes();
+        assert!((40..=90).contains(&huge_regions), "got {huge_regions}");
+    }
+
+    #[test]
+    fn adjacent_virtual_4k_pages_not_physically_adjacent() {
+        let mut pm = phys();
+        let mut a = AddressSpace::new(AspaceConfig { huge_fraction: 0.0, seed: 7 });
+        let mut adjacent = 0;
+        let mut prev: Option<PAddr> = None;
+        for page in 0..512u64 {
+            let t = a.translate_or_map(&mut pm, VAddr::new(page * 4096)).unwrap();
+            if let Some(p) = prev {
+                if t.pbase.raw() == p.raw() + 4096 {
+                    adjacent += 1;
+                }
+            }
+            prev = Some(t.pbase);
+        }
+        assert!(adjacent < 8, "physical layout too contiguous: {adjacent}");
+    }
+
+    #[test]
+    fn huge_page_preserves_virtual_contiguity_physically() {
+        // Inside a 2MB page, virtual adjacency IS physical adjacency — the
+        // property that makes page-crossing prefetching safe there.
+        let mut pm = phys();
+        let mut a = AddressSpace::new(AspaceConfig { huge_fraction: 1.0, seed: 7 });
+        let base = 0x4000_0000u64;
+        let t0 = a.translate_or_map(&mut pm, VAddr::new(base)).unwrap();
+        for off in (0..PageSize::Size2M.bytes()).step_by(4096) {
+            let t = a.translate_or_map(&mut pm, VAddr::new(base + off)).unwrap();
+            assert_eq!(t.apply(VAddr::new(base + off)).raw(), t0.pbase.raw() + off);
+        }
+    }
+
+    #[test]
+    fn decision_is_deterministic_per_seed() {
+        let mut pm1 = phys();
+        let mut pm2 = phys();
+        let mut a = AddressSpace::new(AspaceConfig { huge_fraction: 0.5, seed: 11 });
+        let mut b = AddressSpace::new(AspaceConfig { huge_fraction: 0.5, seed: 11 });
+        for r in 0..64u64 {
+            let v = VAddr::new(r << 21);
+            let ta = a.translate_or_map(&mut pm1, v).unwrap();
+            let tb = b.translate_or_map(&mut pm2, v).unwrap();
+            assert_eq!(ta.size, tb.size);
+        }
+    }
+}

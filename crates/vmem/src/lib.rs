@@ -1,0 +1,50 @@
+//! Virtual-memory substrate for the *Page Size Aware Cache Prefetching*
+//! reproduction.
+//!
+//! The paper's mechanism (PPM) exists because lower-level cache prefetchers
+//! see only **physical** addresses and cannot assume physical contiguity
+//! beyond a 4KB frame. This crate makes that premise *true inside the
+//! simulator* rather than assuming it:
+//!
+//! * [`frames`] — a physical memory allocator that hands out 4KB frames at
+//!   **randomised** physical locations (so virtually-adjacent 4KB pages are
+//!   almost never physically adjacent) and 2MB-aligned huge frames.
+//! * [`aspace`] — per-process demand-paged address spaces with a Linux
+//!   THP-style policy deciding which 2MB virtual regions get huge pages.
+//! * [`page_table`] — a genuine 4-level x86-64-style radix page table whose
+//!   interior nodes occupy simulated physical frames (so page walks cost
+//!   real memory accesses).
+//! * [`tlb`] — set-associative TLBs supporting both page sizes (split L1
+//!   DTLB arrays, unified L2 STLB), per Table I of the paper.
+//! * [`mmu_cache`] — page-structure caches that skip upper walk levels.
+//! * [`mmu`] — the per-core MMU façade combining the above; it returns the
+//!   translation **metadata including the page size**, which is exactly
+//!   what PPM snoops on the L1D miss path.
+//!
+//! # Example
+//!
+//! ```
+//! use psa_vmem::{AddressSpace, AspaceConfig, PhysMem, PhysMemConfig};
+//! use psa_common::{PageSize, VAddr};
+//!
+//! let mut phys = PhysMem::new(PhysMemConfig::default(), 1).unwrap();
+//! let mut aspace = AddressSpace::new(AspaceConfig { huge_fraction: 1.0, seed: 7 });
+//! let t = aspace.translate_or_map(&mut phys, VAddr::new(0x4000_0000)).unwrap();
+//! assert_eq!(t.size, PageSize::Size2M);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aspace;
+pub mod frames;
+pub mod mmu;
+pub mod mmu_cache;
+pub mod page_table;
+pub mod tlb;
+
+pub use aspace::{AddressSpace, AspaceConfig};
+pub use frames::{PhysMem, PhysMemConfig, PhysMemError};
+pub use mmu::{Mmu, MmuConfig, TlbHitLevel, TranslationOutcome};
+pub use page_table::{MapError, Translation, Walk};
+pub use tlb::{Tlb, TlbConfig};

@@ -1,0 +1,321 @@
+//! Set-associative TLBs with concurrent 4KB/2MB support.
+//!
+//! x86 L1 DTLBs keep separate arrays per page size; L2 STLBs are unified
+//! but still index by the page number of the entry's own size. Both shapes
+//! reduce to "one set-associative array per page size", which is what this
+//! type implements. True-LRU replacement within a set, matching Table I.
+
+use psa_common::geometry::checked_log2;
+use psa_common::{PageSize, VAddr};
+
+/// Shape of one TLB level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Entries in the 4KB array.
+    pub entries_4k: usize,
+    /// Entries in the 2MB array.
+    pub entries_2m: usize,
+    /// Associativity (shared by both arrays).
+    pub ways: usize,
+}
+
+impl TlbConfig {
+    /// The paper's L1 DTLB: 64-entry, 4-way (2MB array sized 32).
+    pub fn l1_dtlb() -> Self {
+        Self { entries_4k: 64, entries_2m: 32, ways: 4 }
+    }
+
+    /// The paper's unified L2 TLB: 1536-entry, 12-way.
+    pub fn l2_stlb() -> Self {
+        Self { entries_4k: 1536, entries_2m: 1536, ways: 12 }
+    }
+}
+
+/// Error constructing a TLB with an unrealisable shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlbConfigError(String);
+
+impl std::fmt::Display for TlbConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid TLB shape: {}", self.0)
+    }
+}
+
+impl std::error::Error for TlbConfigError {}
+
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    vpage: u64,
+    last_use: u64,
+    valid: bool,
+}
+
+#[derive(Debug)]
+struct SizeArray {
+    sets: usize,
+    ways: usize,
+    entries: Vec<TlbEntry>,
+}
+
+impl SizeArray {
+    fn new(total: usize, ways: usize) -> Result<Self, TlbConfigError> {
+        if total == 0 || ways == 0 || total % ways != 0 {
+            return Err(TlbConfigError(format!("{total} entries / {ways} ways")));
+        }
+        let sets = total / ways;
+        checked_log2("tlb sets", sets as u64).map_err(|e| TlbConfigError(e.to_string()))?;
+        Ok(Self {
+            sets,
+            ways,
+            entries: vec![TlbEntry { vpage: 0, last_use: 0, valid: false }; total],
+        })
+    }
+
+    fn set_range(&self, vpage: u64) -> std::ops::Range<usize> {
+        let set = (vpage as usize) & (self.sets - 1);
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    fn lookup(&mut self, vpage: u64, stamp: u64) -> bool {
+        let range = self.set_range(vpage);
+        for e in &mut self.entries[range] {
+            if e.valid && e.vpage == vpage {
+                e.last_use = stamp;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn fill(&mut self, vpage: u64, stamp: u64) {
+        let range = self.set_range(vpage);
+        let set = &mut self.entries[range];
+        if let Some(e) = set.iter_mut().find(|e| e.valid && e.vpage == vpage) {
+            e.last_use = stamp;
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.last_use } else { 0 })
+            .expect("non-empty set");
+        *victim = TlbEntry { vpage, last_use: stamp, valid: true };
+    }
+}
+
+/// Statistics for one TLB level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Hit fraction in `[0, 1]`; 0 when unused.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One TLB level holding translations for both page sizes.
+#[derive(Debug)]
+pub struct Tlb {
+    arrays: [SizeArray; 2],
+    stamp: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Build a TLB of the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless each array divides into a power-of-two number of sets.
+    pub fn new(config: TlbConfig) -> Result<Self, TlbConfigError> {
+        Ok(Self {
+            arrays: [
+                SizeArray::new(config.entries_4k, config.ways.min(config.entries_4k))?,
+                SizeArray::new(config.entries_2m, config.ways.min(config.entries_2m))?,
+            ],
+            stamp: 0,
+            stats: TlbStats::default(),
+        })
+    }
+
+    fn array(&mut self, size: PageSize) -> &mut SizeArray {
+        &mut self.arrays[match size {
+            PageSize::Size4K => 0,
+            PageSize::Size2M => 1,
+        }]
+    }
+
+    /// Probe for the page of `size` containing `vaddr`. Updates LRU and
+    /// stats.
+    pub fn lookup(&mut self, vaddr: VAddr, size: PageSize) -> bool {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let vpage = vaddr.page_number(size);
+        let hit = self.array(size).lookup(vpage, stamp);
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        hit
+    }
+
+    /// Probe without knowing the page size (checks both arrays), as a real
+    /// lookup must before the walk reveals the size. Returns the hitting
+    /// size.
+    pub fn lookup_any(&mut self, vaddr: VAddr) -> Option<PageSize> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        for size in [PageSize::Size4K, PageSize::Size2M] {
+            let vpage = vaddr.page_number(size);
+            if self.array(size).lookup(vpage, stamp) {
+                self.stats.hits += 1;
+                return Some(size);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Non-mutating residency check (no LRU or statistics update) — used
+    /// by IPCP++-style "prefetch across 4KB only if the target page is TLB
+    /// resident" policies.
+    pub fn peek(&self, vaddr: VAddr) -> Option<PageSize> {
+        for (i, size) in [PageSize::Size4K, PageSize::Size2M].into_iter().enumerate() {
+            let vpage = vaddr.page_number(size);
+            let array = &self.arrays[i];
+            let set = (vpage as usize) & (array.sets - 1);
+            if array.entries[set * array.ways..(set + 1) * array.ways]
+                .iter()
+                .any(|e| e.valid && e.vpage == vpage)
+            {
+                return Some(size);
+            }
+        }
+        None
+    }
+
+    /// Install the translation for the page of `size` containing `vaddr`.
+    pub fn fill(&mut self, vaddr: VAddr, size: PageSize) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let vpage = vaddr.page_number(size);
+        self.array(size).fill(vpage, stamp);
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig { entries_4k: 8, entries_2m: 4, ways: 2 }).unwrap()
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut t = tiny();
+        let a = VAddr::new(0x1234_5000);
+        assert!(!t.lookup(a, PageSize::Size4K));
+        t.fill(a, PageSize::Size4K);
+        assert!(t.lookup(a, PageSize::Size4K));
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn sizes_are_separate_arrays() {
+        let mut t = tiny();
+        let a = VAddr::new(0x0060_0000);
+        t.fill(a, PageSize::Size2M);
+        assert!(!t.lookup(a, PageSize::Size4K));
+        assert!(t.lookup(a, PageSize::Size2M));
+    }
+
+    #[test]
+    fn one_2m_entry_covers_512_4k_pages_worth() {
+        let mut t = tiny();
+        let base = VAddr::new(0x4000_0000);
+        t.fill(base, PageSize::Size2M);
+        // Any address in the 2MB page hits the same entry — the TLB-reach
+        // argument for large pages.
+        for off in [0u64, 0x1000, 0x12_3456, 0x1f_ffff] {
+            assert!(t.lookup(VAddr::new(base.raw() + off), PageSize::Size2M));
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_set() {
+        // 8 entries, 2 ways → 4 sets for 4K. Pages mapping to the same set
+        // differ by a multiple of 4 pages.
+        let mut t = tiny();
+        let page = |n: u64| VAddr::new(n * 4096);
+        t.fill(page(0), PageSize::Size4K);
+        t.fill(page(4), PageSize::Size4K);
+        assert!(t.lookup(page(0), PageSize::Size4K)); // refresh 0
+        t.fill(page(8), PageSize::Size4K); // evicts 4
+        assert!(t.lookup(page(0), PageSize::Size4K));
+        assert!(!t.lookup(page(4), PageSize::Size4K));
+        assert!(t.lookup(page(8), PageSize::Size4K));
+    }
+
+    #[test]
+    fn lookup_any_reports_size() {
+        let mut t = tiny();
+        let a = VAddr::new(0x4000_0000);
+        assert_eq!(t.lookup_any(a), None);
+        t.fill(a, PageSize::Size2M);
+        assert_eq!(t.lookup_any(a), Some(PageSize::Size2M));
+    }
+
+    #[test]
+    fn refill_same_page_does_not_duplicate() {
+        let mut t = tiny();
+        let a = VAddr::new(0x1000);
+        t.fill(a, PageSize::Size4K);
+        t.fill(a, PageSize::Size4K);
+        // Another page in the same set must still fit in the second way.
+        t.fill(VAddr::new(0x5000), PageSize::Size4K);
+        assert!(t.lookup(a, PageSize::Size4K));
+        assert!(t.lookup(VAddr::new(0x5000), PageSize::Size4K));
+    }
+
+    #[test]
+    fn paper_shapes_construct() {
+        Tlb::new(TlbConfig::l1_dtlb()).unwrap();
+        Tlb::new(TlbConfig::l2_stlb()).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(Tlb::new(TlbConfig { entries_4k: 0, entries_2m: 4, ways: 2 }).is_err());
+        assert!(Tlb::new(TlbConfig { entries_4k: 6, entries_2m: 4, ways: 2 }).is_err());
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let mut t = tiny();
+        let a = VAddr::new(0x9000);
+        t.fill(a, PageSize::Size4K);
+        for _ in 0..3 {
+            t.lookup(a, PageSize::Size4K);
+        }
+        t.lookup(VAddr::new(0xdead_0000), PageSize::Size4K);
+        assert!((t.stats().hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

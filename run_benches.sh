@@ -1,0 +1,25 @@
+#!/bin/bash
+# Regenerates every table/figure. Per-figure scaling keeps the full suite
+# tractable; raise the knobs for higher fidelity.
+set -u
+cd /root/repo
+run() {
+  name=$1; shift
+  echo "############ $name ############"
+  env "$@" cargo bench -q -p psa-bench --bench "$name" 2>&1 | grep -v "^warning\|Compiling\|Finished\|Running"
+  echo
+}
+run table1_config
+run fig03_thp_usage
+run fig04_05_psa_magic
+run fig02_discard_probability
+run fig08_spp_variants
+run fig10_sources
+run fig09_all_prefetchers
+run fig13_l1d_comparison PSA_WORKLOAD_LIMIT=40
+run fig11_selection_logic PSA_WORKLOAD_LIMIT=24
+run fig12_constrained PSA_WORKLOAD_LIMIT=10
+run fig14_multicore4 PSA_MIXES=6
+run fig15_multicore8 PSA_MIXES=4
+run nonintensive PSA_WORKLOAD_LIMIT=40
+run ablations PSA_WORKLOAD_LIMIT=10

@@ -1,0 +1,150 @@
+//! Property-based tests over the core data structures and invariants.
+
+use page_size_aware_prefetching::common::geometry::xor_fold;
+use page_size_aware_prefetching::common::{geomean, DistSummary, PAddr, PageSize, SatCounter};
+use page_size_aware_prefetching::core::boundary::{BoundaryChecker, BoundaryPolicy, Verdict};
+use page_size_aware_prefetching::cpu::{Core, CoreConfig, Instr, MemoryPort};
+use page_size_aware_prefetching::dram::{Dram, DramConfig};
+use page_size_aware_prefetching::traces::{gen::TraceGenerator, PatternMix, Suite, WorkloadSpec};
+use proptest::prelude::*;
+use psa_common::{PLine, VAddr};
+
+proptest! {
+    #[test]
+    fn page_number_and_offset_reassemble(addr in 0u64..(1 << 48)) {
+        for size in [PageSize::Size4K, PageSize::Size2M] {
+            let a = PAddr::new(addr);
+            let rebuilt = a.page_number(size) * size.bytes() + a.page_offset(size);
+            prop_assert_eq!(rebuilt, addr);
+        }
+    }
+
+    #[test]
+    fn boundary_checker_matches_reference_model(
+        trigger in 0u64..100_000,
+        delta in -40_000i64..40_000,
+        huge in any::<bool>(),
+        aware in any::<bool>(),
+    ) {
+        let policy = if aware { BoundaryPolicy::PageAware } else { BoundaryPolicy::Strict4K };
+        let mut checker = BoundaryChecker::new(policy);
+        let t = PLine::new(trigger);
+        let Some(c) = t.checked_add(delta) else { return Ok(()) };
+        let size = PageSize::from_bit(huge);
+        let verdict = checker.check(t, size, c);
+        // Reference model, written independently of the implementation.
+        let same_4k = trigger >> 6 == c.raw() >> 6;
+        let same_2m = trigger >> 15 == c.raw() >> 15;
+        let expected = if same_4k {
+            Verdict::Allowed
+        } else if !huge || !same_2m {
+            Verdict::DiscardedOutOfPage
+        } else if aware {
+            Verdict::Allowed
+        } else {
+            Verdict::DiscardedCross4KInHuge
+        };
+        prop_assert_eq!(verdict, expected);
+        // Safety invariant: an allowed candidate is always within the
+        // trigger's physical page.
+        if verdict == Verdict::Allowed {
+            prop_assert!(c.same_page(t, size));
+        }
+    }
+
+    #[test]
+    fn sat_counter_stays_in_range(bits in 1u32..16, ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let mut c = SatCounter::new(bits);
+        for up in ops {
+            if up { c.inc() } else { c.dec() }
+            prop_assert!(c.value() <= c.max());
+            prop_assert_eq!(c.msb(), c.value() > c.max() / 2);
+        }
+    }
+
+    #[test]
+    fn dist_summary_is_ordered(samples in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let s = DistSummary::of(&samples);
+        prop_assert!(s.min <= s.p25 + 1e-9);
+        prop_assert!(s.p25 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p75 + 1e-9);
+        prop_assert!(s.p75 <= s.max + 1e-9);
+        prop_assert!(s.min - 1e-9 <= s.mean && s.mean <= s.max + 1e-9);
+    }
+
+    #[test]
+    fn geomean_is_bounded_by_extremes(samples in proptest::collection::vec(0.01f64..100.0, 1..50)) {
+        let g = geomean(&samples);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= min * 0.999 && g <= max * 1.001);
+    }
+
+    #[test]
+    fn xor_fold_stays_in_width(v in any::<u64>(), bits in 1u32..32) {
+        prop_assert!(xor_fold(v, bits) < (1u64 << bits));
+    }
+
+    #[test]
+    fn dram_time_is_causal(lines in proptest::collection::vec(0u64..1_000_000, 1..64), start in 0u64..10_000) {
+        let mut dram = Dram::new(DramConfig::default()).unwrap();
+        for &l in &lines {
+            let done = dram.access(PLine::new(l), start, false);
+            prop_assert!(done > start, "completion must be after issue");
+        }
+    }
+
+    #[test]
+    fn generated_workloads_are_well_formed(
+        stream in 0.0f64..1.0,
+        chase in 0.0f64..1.0,
+        sub in 0.0f64..1.0,
+        mem in 0.05f64..0.6,
+        huge in 0.0f64..1.0,
+    ) {
+        let spec = WorkloadSpec {
+            name: "prop",
+            suite: Suite::Spec06,
+            huge_fraction: huge,
+            footprint: 32 << 20,
+            mem_ratio: mem,
+            store_ratio: 0.1,
+            dependent_fraction: 0.5,
+            mix: PatternMix {
+                stream,
+                pointer_chase: chase,
+                subpage_grain: sub,
+                hot: 0.1,
+                ..PatternMix::default()
+            },
+            intensive: true,
+        };
+        if spec.validate().is_err() {
+            return Ok(());
+        }
+        let a: Vec<Instr> = TraceGenerator::new(&spec, 9).take(2_000).collect();
+        let b: Vec<Instr> = TraceGenerator::new(&spec, 9).take(2_000).collect();
+        prop_assert_eq!(&a, &b, "generator must be deterministic");
+    }
+
+    #[test]
+    fn core_retires_everything_it_fetches(n in 1u64..2_000, latency in 0u64..300) {
+        struct Fixed(u64);
+        impl MemoryPort for Fixed {
+            fn load(&mut self, _: VAddr, _: VAddr, now: u64) -> u64 { now + self.0 }
+            fn store(&mut self, _: VAddr, _: VAddr, _: u64) {}
+        }
+        let mut core = Core::new(CoreConfig::default());
+        let mut mem = Fixed(latency);
+        for i in 0..n {
+            if i % 3 == 0 {
+                core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+            } else {
+                core.execute(&Instr::op(VAddr::new(i)), &mut mem);
+            }
+        }
+        let finish = core.drain();
+        prop_assert!(finish >= n / 4, "4-wide core cannot beat width");
+        prop_assert_eq!(core.stats().instructions, n);
+    }
+}
