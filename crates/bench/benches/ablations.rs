@@ -5,5 +5,7 @@ use psa_experiments::{ablations, Settings};
 fn main() {
     let settings = Settings::default();
     psa_bench::banner("Ablations — Set-Dueling shape", &settings);
-    println!("{}", ablations::run(&settings));
+    let (text, doc) = ablations::report(&settings);
+    println!("{text}");
+    psa_bench::emit_json("ablations", &doc);
 }

@@ -1,14 +1,43 @@
-//! Criterion microbenches of the hot paths: prefetcher training/issue and
-//! the composite PSA module, at both indexing grains.
+//! Microbenches of the hot paths: prefetcher training/issue and the
+//! composite PSA module, at both indexing grains.
+//!
+//! Hand-rolled timing (median of repeated batches over a monotonic clock)
+//! so the workspace needs no external bench framework and builds with no
+//! registry access. Throughput numbers are indicative, not
+//! statistically rigorous — use them to compare hot paths, not machines.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use psa_common::{PLine, PageSize, VAddr};
 use psa_core::ppm::PageSizeSource;
-use psa_core::{
-    AccessContext, IndexGrain, ModuleConfig, PageSizePolicy, PsaModule, SdConfig,
-};
+use psa_core::{AccessContext, IndexGrain, ModuleConfig, PageSizePolicy, PsaModule, SdConfig};
 use psa_prefetchers::PrefetcherKind;
 use std::hint::black_box;
+use std::time::Instant;
+
+const BATCH: u64 = 10_000;
+const SAMPLES: usize = 15;
+
+/// Time `f` over [`SAMPLES`] batches of [`BATCH`] calls and report the
+/// median per-call latency and derived throughput.
+fn bench(label: &str, mut f: impl FnMut()) {
+    // One warm-up batch so table fills and allocator noise stay out of the
+    // measured window.
+    for _ in 0..BATCH {
+        f();
+    }
+    let mut nanos_per_call: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..BATCH {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / BATCH as f64
+        })
+        .collect();
+    nanos_per_call.sort_by(|a, b| a.total_cmp(b));
+    let median = nanos_per_call[SAMPLES / 2];
+    let mops = 1_000.0 / median.max(1e-9);
+    println!("{label:<32} {median:>9.1} ns/call  {mops:>8.2} Mops/s");
+}
 
 fn ctx(line: u64) -> AccessContext {
     AccessContext {
@@ -19,28 +48,25 @@ fn ctx(line: u64) -> AccessContext {
     }
 }
 
-fn prefetcher_on_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("prefetcher_on_access");
+fn prefetcher_on_access() {
+    println!("-- prefetcher on_access --");
     for kind in PrefetcherKind::EVALUATED {
         for grain in [IndexGrain::Page4K, IndexGrain::Page2M] {
             let mut p = kind.build(grain);
             let mut out = Vec::with_capacity(64);
             let mut line = 0u64;
-            group.bench_function(format!("{kind}/{grain}"), |b| {
-                b.iter(|| {
-                    out.clear();
-                    line = line.wrapping_add(3) & 0xf_ffff;
-                    p.on_access(black_box(&ctx(line)), &mut out);
-                    black_box(out.len())
-                })
+            bench(&format!("{kind}/{grain}"), || {
+                out.clear();
+                line = line.wrapping_add(3) & 0xf_ffff;
+                p.on_access(black_box(&ctx(line)), &mut out);
+                black_box(out.len());
             });
         }
     }
-    group.finish();
 }
 
-fn module_on_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("psa_module_on_access");
+fn module_on_access() {
+    println!("-- PSA module on_access (SPP) --");
     for policy in PageSizePolicy::ALL {
         let mut module = PsaModule::new(
             policy,
@@ -53,26 +79,25 @@ fn module_on_access(c: &mut Criterion) {
         .expect("module shape");
         let mut out = Vec::with_capacity(16);
         let mut line = 0u64;
-        group.bench_function(format!("SPP{}", policy.suffix()), |b| {
-            b.iter(|| {
-                out.clear();
-                line = line.wrapping_add(1) & 0xf_ffff;
-                module.on_access(
-                    black_box(PLine::new(line)),
-                    VAddr::new(0x400),
-                    false,
-                    true,
-                    PageSize::Size2M,
-                    (line as usize) & 1023,
-                    &|_| false,
-                    &mut out,
-                );
-                black_box(out.len())
-            })
+        bench(&format!("SPP{}", policy.suffix()), || {
+            out.clear();
+            line = line.wrapping_add(1) & 0xf_ffff;
+            module.on_access(
+                black_box(PLine::new(line)),
+                VAddr::new(0x400),
+                false,
+                true,
+                PageSize::Size2M,
+                (line as usize) & 1023,
+                &|_| false,
+                &mut out,
+            );
+            black_box(out.len());
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, prefetcher_on_access, module_on_access);
-criterion_main!(benches);
+fn main() {
+    prefetcher_on_access();
+    module_on_access();
+}

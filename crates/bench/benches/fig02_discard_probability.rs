@@ -6,5 +6,7 @@ use psa_experiments::{fig02, Settings};
 fn main() {
     let settings = Settings::default();
     psa_bench::banner("Figure 2", &settings);
-    println!("{}", fig02::run(&settings));
+    let (text, doc) = fig02::report(&settings);
+    println!("{text}");
+    psa_bench::emit_json("fig02", &doc);
 }

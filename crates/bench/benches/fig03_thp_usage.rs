@@ -5,5 +5,7 @@ use psa_experiments::{fig03, Settings};
 fn main() {
     let settings = Settings::default();
     psa_bench::banner("Figure 3", &settings);
-    println!("{}", fig03::run(&settings));
+    let (text, doc) = fig03::report(&settings);
+    println!("{text}");
+    psa_bench::emit_json("fig03", &doc);
 }

@@ -5,5 +5,7 @@ use psa_experiments::{fig0405, Settings};
 fn main() {
     let settings = Settings::default();
     psa_bench::banner("Figures 4 & 5", &settings);
-    println!("{}", fig0405::run(&settings));
+    let (text, doc) = fig0405::report(&settings);
+    println!("{text}");
+    psa_bench::emit_json("fig0405", &doc);
 }

@@ -5,5 +5,7 @@ use psa_experiments::{fig08, Settings};
 fn main() {
     let settings = Settings::default();
     psa_bench::banner("Figure 8", &settings);
-    println!("{}", fig08::run(&settings));
+    let (text, doc) = fig08::report(&settings);
+    println!("{text}");
+    psa_bench::emit_json("fig08", &doc);
 }

@@ -5,5 +5,7 @@ use psa_experiments::{fig09, Settings};
 fn main() {
     let settings = Settings::default();
     psa_bench::banner("Figure 9", &settings);
-    println!("{}", fig09::run(&settings));
+    let (text, doc) = fig09::report(&settings);
+    println!("{text}");
+    psa_bench::emit_json("fig09", &doc);
 }

@@ -5,5 +5,7 @@ use psa_experiments::{fig10, Settings};
 fn main() {
     let settings = Settings::default();
     psa_bench::banner("Figure 10", &settings);
-    println!("{}", fig10::run(&settings));
+    let (text, doc) = fig10::report(&settings);
+    println!("{text}");
+    psa_bench::emit_json("fig10", &doc);
 }

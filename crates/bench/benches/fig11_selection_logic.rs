@@ -5,5 +5,7 @@ use psa_experiments::{fig11, Settings};
 fn main() {
     let settings = Settings::default();
     psa_bench::banner("Figure 11", &settings);
-    println!("{}", fig11::run(&settings));
+    let (text, doc) = fig11::report(&settings);
+    println!("{text}");
+    psa_bench::emit_json("fig11", &doc);
 }

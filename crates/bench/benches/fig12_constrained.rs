@@ -5,5 +5,7 @@ use psa_experiments::{fig12, Settings};
 fn main() {
     let settings = Settings::default();
     psa_bench::banner("Figure 12", &settings);
-    println!("{}", fig12::run(&settings));
+    let (text, doc) = fig12::report(&settings);
+    println!("{text}");
+    psa_bench::emit_json("fig12", &doc);
 }

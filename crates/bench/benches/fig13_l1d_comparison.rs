@@ -5,5 +5,7 @@ use psa_experiments::{fig13, Settings};
 fn main() {
     let settings = Settings::default();
     psa_bench::banner("Figure 13", &settings);
-    println!("{}", fig13::run(&settings));
+    let (text, doc) = fig13::report(&settings);
+    println!("{text}");
+    psa_bench::emit_json("fig13", &doc);
 }

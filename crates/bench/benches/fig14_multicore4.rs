@@ -5,6 +5,11 @@ use psa_experiments::{fig1415, Settings};
 fn main() {
     let settings = Settings::default();
     psa_bench::banner("Figure 14 (4-core)", &settings);
-    println!("mixes: {} (PSA_MIXES to scale; the paper uses 100)\n", settings.mixes());
-    println!("{}", fig1415::run(&settings, 4));
+    println!(
+        "mixes: {} (PSA_MIXES to scale; the paper uses 100)\n",
+        settings.mixes()
+    );
+    let (text, doc) = fig1415::report(&settings, 4);
+    println!("{text}");
+    psa_bench::emit_json("fig14", &doc);
 }

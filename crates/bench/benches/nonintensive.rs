@@ -5,5 +5,7 @@ use psa_experiments::{nonintensive, Settings};
 fn main() {
     let settings = Settings::default();
     psa_bench::banner("§VI-B1 non-intensive augmentation", &settings);
-    println!("{}", nonintensive::run(&settings));
+    let (text, doc) = nonintensive::report(&settings);
+    println!("{text}");
+    psa_bench::emit_json("nonintensive", &doc);
 }

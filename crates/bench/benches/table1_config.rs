@@ -1,9 +1,17 @@
 //! Table I: the simulated system configuration.
 
-use psa_experiments::Settings;
+use psa_experiments::{runner, Settings};
+use psa_sim::Json;
 
 fn main() {
     let settings = Settings::default();
     psa_bench::banner("Table I — system configuration", &settings);
     println!("{}", settings.config.table1());
+    let doc = runner::doc(
+        "table1",
+        "system configuration",
+        &settings,
+        Json::Arr(vec![]),
+    );
+    psa_bench::emit_json("table1", &doc);
 }

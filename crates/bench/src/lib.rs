@@ -1,15 +1,21 @@
 //! Support crate for the `cargo bench` experiment harnesses.
 //!
 //! Every figure/table of the paper has a bench target (see `benches/`);
-//! each prints the regenerated rows. Scale with `PSA_INSTRUCTIONS`,
-//! `PSA_WARMUP`, `PSA_WORKLOAD_LIMIT` and `PSA_MIXES` — the defaults run
-//! laptop-scale, the paper-faithful scale is 250M+250M instructions over
-//! all 80 workloads and 100 mixes.
+//! each prints the regenerated rows as text and writes the same data as
+//! a `BENCH_<figure>.json` document (schema in `docs/METRICS.md`) into
+//! `PSA_BENCH_JSON_DIR` (default: the working directory). Scale with
+//! `PSA_INSTRUCTIONS`, `PSA_WARMUP`, `PSA_WORKLOAD_LIMIT` and
+//! `PSA_MIXES`; cap the parallel executor with `PSA_THREADS` — the
+//! defaults run laptop-scale, the paper-faithful scale is 250M+250M
+//! instructions over all 80 workloads and 100 mixes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use psa_experiments::runner;
 use psa_experiments::Settings;
+use psa_sim::Json;
+use std::path::PathBuf;
 
 /// Print the standard experiment banner: the Table I configuration and the
 /// scaling knobs in force.
@@ -19,7 +25,32 @@ pub fn banner(title: &str, settings: &Settings) {
         "budget: {} warmup + {} measured instructions/core (PSA_WARMUP / PSA_INSTRUCTIONS to scale)",
         settings.config.warmup, settings.config.instructions
     );
-    println!("workloads: {} (PSA_WORKLOAD_LIMIT to subsample)\n", settings.workloads().len());
+    println!(
+        "workloads: {} (PSA_WORKLOAD_LIMIT to subsample), threads: {} (PSA_THREADS to cap)\n",
+        settings.workloads().len(),
+        runner::threads()
+    );
+}
+
+/// Where emitted JSON documents go: `PSA_BENCH_JSON_DIR`, default the
+/// working directory.
+pub fn json_dir() -> PathBuf {
+    std::env::var_os("PSA_BENCH_JSON_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+/// Write `doc` as `BENCH_<figure>.json` into [`json_dir`] and print the
+/// path and the process-wide executor summary.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — a bench run whose results are
+/// silently lost is worse than a loud failure.
+pub fn emit_json(figure: &str, doc: &Json) {
+    let path = json_dir().join(format!("BENCH_{figure}.json"));
+    psa_sim::report::write_json_file(&path, doc)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("\nwrote {}", path.display());
+    println!("executor: {}", runner::global_stats().summary());
 }
 
 #[cfg(test)]

@@ -28,17 +28,35 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Table I L1I: 32KB, 8-way, 4-cycle, 8 MSHRs.
     pub fn l1i() -> Self {
-        Self { name: "L1I", bytes: 32 << 10, ways: 8, latency: 4, mshr_entries: 8 }
+        Self {
+            name: "L1I",
+            bytes: 32 << 10,
+            ways: 8,
+            latency: 4,
+            mshr_entries: 8,
+        }
     }
 
     /// Table I L1D: 48KB, 12-way, 5-cycle, 16 MSHRs.
     pub fn l1d() -> Self {
-        Self { name: "L1D", bytes: 48 << 10, ways: 12, latency: 5, mshr_entries: 16 }
+        Self {
+            name: "L1D",
+            bytes: 48 << 10,
+            ways: 12,
+            latency: 5,
+            mshr_entries: 16,
+        }
     }
 
     /// Table I L2C: 512KB, 8-way, 10-cycle, 32 MSHRs.
     pub fn l2c() -> Self {
-        Self { name: "L2C", bytes: 512 << 10, ways: 8, latency: 10, mshr_entries: 32 }
+        Self {
+            name: "L2C",
+            bytes: 512 << 10,
+            ways: 8,
+            latency: 10,
+            mshr_entries: 32,
+        }
     }
 
     /// Table I LLC: 2MB/core, 16-way, 20-cycle, 64 MSHRs.
@@ -183,9 +201,12 @@ impl Cache {
     /// Fails unless the shape divides into a power-of-two number of sets.
     pub fn new(config: CacheConfig) -> Result<Self, CacheConfigError> {
         if config.ways == 0 || config.bytes == 0 {
-            return Err(CacheConfigError(format!("{}: zero ways or bytes", config.name)));
+            return Err(CacheConfigError(format!(
+                "{}: zero ways or bytes",
+                config.name
+            )));
         }
-        if config.bytes % (LINE_BYTES * config.ways as u64) != 0 {
+        if !config.bytes.is_multiple_of(LINE_BYTES * config.ways as u64) {
             return Err(CacheConfigError(format!(
                 "{}: {} bytes not divisible into {}-way 64B sets",
                 config.name, config.bytes, config.ways
@@ -229,7 +250,9 @@ impl Cache {
         self.stamp += 1;
         let stamp = self.stamp;
         let range = self.set_range(line);
-        let hit = self.blocks[range].iter_mut().find(|b| b.valid && b.line == line);
+        let hit = self.blocks[range]
+            .iter_mut()
+            .find(|b| b.valid && b.line == line);
         match hit {
             Some(b) => {
                 b.last_use = stamp;
@@ -264,7 +287,10 @@ impl Cache {
     /// Mark a resident line dirty (store hit). No-op if absent.
     pub fn mark_dirty(&mut self, line: PLine) {
         let range = self.set_range(line);
-        if let Some(b) = self.blocks[range].iter_mut().find(|b| b.valid && b.line == line) {
+        if let Some(b) = self.blocks[range]
+            .iter_mut()
+            .find(|b| b.valid && b.line == line)
+        {
             b.dirty = true;
         }
     }
@@ -313,7 +339,15 @@ impl Cache {
             FillKind::Demand => (false, 0),
             FillKind::Prefetch { source } => (true, source),
         };
-        *victim = Block { line, valid: true, dirty, prefetched, source, used: false, last_use: stamp };
+        *victim = Block {
+            line,
+            valid: true,
+            dirty,
+            prefetched,
+            source,
+            used: false,
+            last_use: stamp,
+        };
         evicted
     }
 
@@ -345,8 +379,12 @@ mod tests {
 
     #[test]
     fn paper_shapes_construct() {
-        for c in [CacheConfig::l1i(), CacheConfig::l1d(), CacheConfig::l2c(), CacheConfig::llc(1)]
-        {
+        for c in [
+            CacheConfig::l1i(),
+            CacheConfig::l1d(),
+            CacheConfig::l2c(),
+            CacheConfig::llc(1),
+        ] {
             let cache = Cache::new(c).unwrap();
             assert_eq!(cache.config().sets() as usize, cache.num_sets());
         }
@@ -443,7 +481,9 @@ mod tests {
         let mut c = tiny();
         c.fill(line(0), FillKind::Demand, false);
         c.fill(line(2), FillKind::Demand, false);
-        assert!(c.fill(line(0), FillKind::Prefetch { source: 0 }, false).is_none());
+        assert!(c
+            .fill(line(0), FillKind::Prefetch { source: 0 }, false)
+            .is_none());
         assert!(c.contains(line(0)) && c.contains(line(2)));
     }
 

@@ -24,12 +24,22 @@ pub struct MshrMeta {
 impl MshrMeta {
     /// Metadata for a demand load miss.
     pub fn demand(huge: bool) -> Self {
-        Self { is_prefetch: false, source: 0, huge, write: false }
+        Self {
+            is_prefetch: false,
+            source: 0,
+            huge,
+            write: false,
+        }
     }
 
     /// Metadata for a prefetch issued by `source`.
     pub fn prefetch(source: u8, huge: bool) -> Self {
-        Self { is_prefetch: true, source, huge, write: false }
+        Self {
+            is_prefetch: true,
+            source,
+            huge,
+            write: false,
+        }
     }
 }
 
@@ -82,7 +92,11 @@ impl Mshr {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "an MSHR file needs at least one entry");
-        Self { entries: Vec::with_capacity(capacity), capacity, stats: MshrStats::default() }
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            stats: MshrStats::default(),
+        }
     }
 
     /// Number of in-flight misses.
@@ -153,13 +167,22 @@ impl Mshr {
     /// Allocate an entry; `Err(())` when full (the caller must stall or
     /// drop the request — prefetches are dropped, demands stall).
     pub fn alloc(&mut self, line: PLine, fill_at: u64, meta: MshrMeta) -> Result<(), MshrFull> {
-        debug_assert!(self.pending(line).is_none(), "duplicate MSHR entry for {line}");
+        debug_assert!(
+            self.pending(line).is_none(),
+            "duplicate MSHR entry for {line}"
+        );
         if self.is_full() {
             self.stats.full_rejections += 1;
             return Err(MshrFull);
         }
         self.stats.allocations += 1;
-        self.entries.push(MshrEntry { line, fill_at, meta, demand_merged: false, merged_at: 0 });
+        self.entries.push(MshrEntry {
+            line,
+            fill_at,
+            meta,
+            demand_merged: false,
+            merged_at: 0,
+        });
         Ok(())
     }
 

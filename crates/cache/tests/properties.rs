@@ -1,49 +1,67 @@
-//! Property tests for the cache array and MSHR file.
+//! Randomized property tests for the cache array and MSHR file, driven by
+//! the workspace's deterministic [`DetRng`] (no external framework).
 
-use proptest::prelude::*;
 use psa_cache::{Cache, CacheConfig, FillKind, Mshr, MshrMeta};
-use psa_common::PLine;
+use psa_common::{DetRng, PLine};
 use std::collections::HashSet;
 
 fn tiny_cache() -> Cache {
-    Cache::new(CacheConfig { name: "prop", bytes: 64 * 64, ways: 4, latency: 1, mshr_entries: 8 })
-        .expect("shape")
+    Cache::new(CacheConfig {
+        name: "prop",
+        bytes: 64 * 64,
+        ways: 4,
+        latency: 1,
+        mshr_entries: 8,
+    })
+    .expect("shape")
 }
 
-proptest! {
-    /// After any access sequence, a just-filled line is resident until at
-    /// least `ways` other fills hit its set.
-    #[test]
-    fn filled_line_survives_fewer_than_ways_conflicts(lines in proptest::collection::vec(0u64..4096, 1..200)) {
+/// After any access sequence, a just-filled line is resident until at
+/// least `ways` other fills hit its set.
+#[test]
+fn filled_line_survives_fewer_than_ways_conflicts() {
+    let mut rng = DetRng::new(0xF111);
+    for _ in 0..64 {
         let mut c = tiny_cache();
-        for &l in &lines {
+        for _ in 0..1 + rng.index(199) {
+            let l = rng.below(4096);
             c.fill(PLine::new(l), FillKind::Demand, false);
-            prop_assert!(c.contains(PLine::new(l)), "line must be resident right after fill");
+            assert!(
+                c.contains(PLine::new(l)),
+                "line must be resident right after fill"
+            );
         }
     }
+}
 
-    /// The cache never reports more residents per set than its ways.
-    #[test]
-    fn set_occupancy_bounded(lines in proptest::collection::vec(0u64..1024, 1..300)) {
+/// The cache never reports more residents per set than its ways.
+#[test]
+fn set_occupancy_bounded() {
+    let mut rng = DetRng::new(0x0CC);
+    for _ in 0..32 {
         let mut c = tiny_cache();
-        for &l in &lines {
-            c.fill(PLine::new(l), FillKind::Demand, false);
+        for _ in 0..1 + rng.index(299) {
+            c.fill(PLine::new(rng.below(1024)), FillKind::Demand, false);
         }
         for set in 0..c.num_sets() {
             let resident = (0..1024u64)
                 .filter(|&l| c.set_of(PLine::new(l)) == set && c.contains(PLine::new(l)))
                 .count();
-            prop_assert!(resident <= 4, "set {set} holds {resident} lines");
+            assert!(resident <= 4, "set {set} holds {resident} lines");
         }
     }
+}
 
-    /// Hit/miss accounting always sums to the probe count.
-    #[test]
-    fn probe_accounting_balances(ops in proptest::collection::vec((0u64..512, any::<bool>()), 1..300)) {
+/// Hit/miss accounting always sums to the probe count.
+#[test]
+fn probe_accounting_balances() {
+    let mut rng = DetRng::new(0xACC0);
+    for _ in 0..64 {
         let mut c = tiny_cache();
         let mut probes = 0u64;
-        for (l, fill) in ops {
-            if fill {
+        for _ in 0..1 + rng.index(299) {
+            let l = rng.below(512);
+            if rng.chance(0.5) {
                 c.fill(PLine::new(l), FillKind::Demand, false);
             } else {
                 c.probe(PLine::new(l));
@@ -51,46 +69,61 @@ proptest! {
             }
         }
         let s = c.stats();
-        prop_assert_eq!(s.demand_hits + s.demand_misses, probes);
+        assert_eq!(s.demand_hits + s.demand_misses, probes);
     }
+}
 
-    /// Useful + useless prefetch counts never exceed prefetch fills.
-    #[test]
-    fn prefetch_accounting_bounded(ops in proptest::collection::vec((0u64..256, 0u8..3), 1..400)) {
+/// Useful + useless prefetch counts never exceed prefetch fills.
+#[test]
+fn prefetch_accounting_bounded() {
+    let mut rng = DetRng::new(0x9F);
+    for _ in 0..64 {
         let mut c = tiny_cache();
-        for (l, op) in ops {
-            match op {
-                0 => { c.fill(PLine::new(l), FillKind::Prefetch { source: 0 }, false); }
-                1 => { c.fill(PLine::new(l), FillKind::Demand, false); }
-                _ => { c.probe(PLine::new(l)); }
+        for _ in 0..1 + rng.index(399) {
+            let l = rng.below(256);
+            match rng.index(3) {
+                0 => {
+                    c.fill(PLine::new(l), FillKind::Prefetch { source: 0 }, false);
+                }
+                1 => {
+                    c.fill(PLine::new(l), FillKind::Demand, false);
+                }
+                _ => {
+                    c.probe(PLine::new(l));
+                }
             }
         }
         let s = c.stats();
-        prop_assert!(s.useful_prefetches + s.useless_prefetches <= s.prefetch_fills);
+        assert!(s.useful_prefetches + s.useless_prefetches <= s.prefetch_fills);
     }
+}
 
-    /// Every allocated MSHR entry drains exactly once, with its metadata
-    /// intact, and never before its fill time.
-    #[test]
-    fn mshr_drains_each_entry_once(
-        allocs in proptest::collection::vec((0u64..10_000, 1u64..500, any::<bool>()), 1..32),
-    ) {
+/// Every allocated MSHR entry drains exactly once, with its metadata
+/// intact, and never before its fill time.
+#[test]
+fn mshr_drains_each_entry_once() {
+    let mut rng = DetRng::new(0x351);
+    for _ in 0..64 {
         let mut m = Mshr::new(64);
         let mut expected = HashSet::new();
-        for (i, &(line, fill_at, huge)) in allocs.iter().enumerate() {
-            let line = line + i as u64 * 20_000; // unique lines
-            if m.alloc(PLine::new(line), fill_at, MshrMeta::demand(huge)).is_ok() {
+        for i in 0..1 + rng.index(31) {
+            let line = rng.below(10_000) + i as u64 * 20_000; // unique lines
+            let fill_at = 1 + rng.below(499);
+            let huge = rng.chance(0.5);
+            if m.alloc(PLine::new(line), fill_at, MshrMeta::demand(huge))
+                .is_ok()
+            {
                 expected.insert(line);
             }
         }
         let mut drained = HashSet::new();
         for now in [100u64, 250, 500] {
             for e in m.drain_filled(now) {
-                prop_assert!(e.fill_at <= now, "drained before maturity");
-                prop_assert!(drained.insert(e.line.raw()), "double drain");
+                assert!(e.fill_at <= now, "drained before maturity");
+                assert!(drained.insert(e.line.raw()), "double drain");
             }
         }
-        prop_assert_eq!(drained, expected);
-        prop_assert!(m.is_empty());
+        assert_eq!(drained, expected);
+        assert!(m.is_empty());
     }
 }

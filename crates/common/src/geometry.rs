@@ -15,7 +15,11 @@ impl GeometryError {
 
 impl std::fmt::Display for GeometryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} must be a non-zero power of two, got {}", self.what, self.value)
+        write!(
+            f,
+            "{} must be a non-zero power of two, got {}",
+            self.what, self.value
+        )
     }
 }
 

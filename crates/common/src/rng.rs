@@ -5,9 +5,11 @@
 //! explicit `u64` (optionally combined with a name). Two runs with the same
 //! configuration are therefore bit-identical, which the integration tests
 //! assert.
-
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+//!
+//! The generator is a hand-rolled xoshiro256++ (seeded through SplitMix64)
+//! so the workspace carries no external RNG dependency and builds with no
+//! registry access. It is a statistical PRNG, not a cryptographic one —
+//! exactly what a simulator needs.
 
 /// FNV-1a hash of a byte string; used to derive per-workload seeds from
 /// names without pulling in a hashing crate.
@@ -20,6 +22,16 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// One step of SplitMix64 — used to expand a `u64` seed into the
+/// xoshiro256++ state so that similar seeds still yield unrelated streams.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// A deterministic random source.
 ///
 /// ```
@@ -30,13 +42,16 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// A generator seeded from `seed`.
     pub fn new(seed: u64) -> Self {
-        Self { inner: SmallRng::seed_from_u64(seed) }
+        let mut sm = seed;
+        Self {
+            state: [0; 4].map(|_| splitmix64(&mut sm)),
+        }
     }
 
     /// A generator whose stream depends on both `seed` and `name`, so each
@@ -45,13 +60,23 @@ impl DetRng {
         Self::new(seed ^ fnv1a(name.as_bytes()).rotate_left(17))
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
-    /// Uniform value in `[0, bound)`.
+    /// Uniform value in `[0, bound)`, bias-free (Lemire's widening
+    /// multiply with rejection).
     ///
     /// # Panics
     ///
@@ -59,7 +84,16 @@ impl DetRng {
     #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
-        self.inner.random_range(0..bound)
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            // Rejection zone is < 2^64 mod bound; `wrapping_neg % bound`
+            // computes it without 128-bit division.
+            if low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform index in `[0, len)`.
@@ -70,13 +104,13 @@ impl DetRng {
     #[inline]
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "index into empty range");
-        self.inner.random_range(0..len)
+        self.below(len as u64) as usize
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.random()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).

@@ -30,7 +30,11 @@ impl SatCounter {
     /// Panics if `bits` is 0 or greater than 31.
     pub fn new(bits: u32) -> Self {
         assert!(bits > 0 && bits < 32, "counter width out of range: {bits}");
-        Self { value: 0, max: (1u32 << bits) - 1, bits }
+        Self {
+            value: 0,
+            max: (1u32 << bits) - 1,
+            bits,
+        }
     }
 
     /// A `bits`-wide counter starting just below the midpoint, so the MSB is

@@ -25,7 +25,10 @@ pub fn geomean(samples: &[f64]) -> f64 {
     let log_sum: f64 = samples
         .iter()
         .map(|&s| {
-            assert!(s.is_finite() && s > 0.0, "geomean sample must be positive, got {s}");
+            assert!(
+                s.is_finite() && s > 0.0,
+                "geomean sample must be positive, got {s}"
+            );
             s.ln()
         })
         .sum();

@@ -25,7 +25,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(headers: Vec<String>) -> Self {
-        Self { headers, rows: Vec::new() }
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Append a data row.

@@ -71,7 +71,10 @@ pub struct BoundaryChecker {
 impl BoundaryChecker {
     /// A checker enforcing `policy`.
     pub fn new(policy: BoundaryPolicy) -> Self {
-        Self { policy, stats: BoundaryStats::default() }
+        Self {
+            policy,
+            stats: BoundaryStats::default(),
+        }
     }
 
     /// The policy in force.
@@ -127,8 +130,14 @@ mod tests {
     fn within_4k_always_allowed() {
         for policy in [BoundaryPolicy::Strict4K, BoundaryPolicy::PageAware] {
             let mut c = BoundaryChecker::new(policy);
-            assert_eq!(c.check(PLine::new(0), PageSize::Size4K, PLine::new(63)), Verdict::Allowed);
-            assert_eq!(c.check(PLine::new(0), PageSize::Size2M, PLine::new(63)), Verdict::Allowed);
+            assert_eq!(
+                c.check(PLine::new(0), PageSize::Size4K, PLine::new(63)),
+                Verdict::Allowed
+            );
+            assert_eq!(
+                c.check(PLine::new(0), PageSize::Size2M, PLine::new(63)),
+                Verdict::Allowed
+            );
         }
     }
 
@@ -153,7 +162,10 @@ mod tests {
             strict.check(trigger, PageSize::Size2M, next),
             Verdict::DiscardedCross4KInHuge
         );
-        assert_eq!(aware.check(trigger, PageSize::Size2M, next), Verdict::Allowed);
+        assert_eq!(
+            aware.check(trigger, PageSize::Size2M, next),
+            Verdict::Allowed
+        );
     }
 
     #[test]
@@ -177,7 +189,10 @@ mod tests {
             strict.check(trigger, PageSize::Size2M, prev),
             Verdict::DiscardedCross4KInHuge
         );
-        assert_eq!(aware.check(trigger, PageSize::Size2M, prev), Verdict::Allowed);
+        assert_eq!(
+            aware.check(trigger, PageSize::Size2M, prev),
+            Verdict::Allowed
+        );
     }
 
     #[test]

@@ -112,7 +112,9 @@ impl SetDueling {
     /// or the spacing cannot interleave both sample groups.
     pub fn new(config: SdConfig, num_sets: usize) -> Result<Self, SdConfigError> {
         if config.dedicated_sets == 0 {
-            return Err(SdConfigError("need at least one dedicated set per competitor".into()));
+            return Err(SdConfigError(
+                "need at least one dedicated set per competitor".into(),
+            ));
         }
         if config.dedicated_sets * 2 > num_sets {
             return Err(SdConfigError(format!(
@@ -121,13 +123,18 @@ impl SetDueling {
             )));
         }
         let spacing = num_sets / config.dedicated_sets;
-        if spacing < 2 || num_sets % config.dedicated_sets != 0 {
+        if spacing < 2 || !num_sets.is_multiple_of(config.dedicated_sets) {
             return Err(SdConfigError(format!(
                 "{} sets cannot interleave {} sample sets per competitor",
                 num_sets, config.dedicated_sets
             )));
         }
-        Ok(Self { config, csel: SatCounter::centered(config.csel_bits), spacing, hits: [0, 0] })
+        Ok(Self {
+            config,
+            csel: SatCounter::centered(config.csel_bits),
+            spacing,
+            hits: [0, 0],
+        })
     }
 
     /// The configuration in force.
@@ -235,8 +242,16 @@ mod tests {
         for _ in 0..8 {
             d.on_useful_prefetch(Selected::Psa2m);
         }
-        assert_eq!(d.select(0, PageSize::Size4K), Selected::Psa, "PSA sample set");
-        assert_eq!(d.select(16, PageSize::Size4K), Selected::Psa2m, "PSA-2MB sample set");
+        assert_eq!(
+            d.select(0, PageSize::Size4K),
+            Selected::Psa,
+            "PSA sample set"
+        );
+        assert_eq!(
+            d.select(16, PageSize::Size4K),
+            Selected::Psa2m,
+            "PSA-2MB sample set"
+        );
     }
 
     #[test]
@@ -244,7 +259,11 @@ mod tests {
         let mut d = sd();
         let follower = 3;
         assert_eq!(d.class_of(follower), SetClass::Follower);
-        assert_eq!(d.select(follower, PageSize::Size2M), Selected::Psa, "initial MSB clear");
+        assert_eq!(
+            d.select(follower, PageSize::Size2M),
+            Selected::Psa,
+            "initial MSB clear"
+        );
         d.on_useful_prefetch(Selected::Psa2m);
         assert_eq!(d.select(follower, PageSize::Size2M), Selected::Psa2m);
         d.on_useful_prefetch(Selected::Psa);
@@ -268,7 +287,10 @@ mod tests {
 
     #[test]
     fn page_size_policy_ignores_csel() {
-        let cfg = SdConfig { select: SelectPolicy::PageSize, ..SdConfig::default() };
+        let cfg = SdConfig {
+            select: SelectPolicy::PageSize,
+            ..SdConfig::default()
+        };
         let mut d = SetDueling::new(cfg, 1024).unwrap();
         for _ in 0..8 {
             d.on_useful_prefetch(Selected::Psa2m);
@@ -284,7 +306,10 @@ mod tests {
         assert!(proposed.should_train(Selected::Psa, Selected::Psa2m));
         assert!(proposed.should_train(Selected::Psa2m, Selected::Psa2m));
         let standard = SetDueling::new(
-            SdConfig { train: TrainPolicy::SelectedOnly, ..SdConfig::default() },
+            SdConfig {
+                train: TrainPolicy::SelectedOnly,
+                ..SdConfig::default()
+            },
             1024,
         )
         .unwrap();
@@ -296,7 +321,10 @@ mod tests {
     fn rejects_oversized_sample_groups() {
         assert!(SetDueling::new(SdConfig::default(), 32).is_err());
         assert!(SetDueling::new(
-            SdConfig { dedicated_sets: 0, ..SdConfig::default() },
+            SdConfig {
+                dedicated_sets: 0,
+                ..SdConfig::default()
+            },
             1024
         )
         .is_err());

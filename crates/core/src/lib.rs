@@ -50,7 +50,9 @@ pub mod prefetcher;
 pub use boundary::{BoundaryChecker, BoundaryPolicy, BoundaryStats, Verdict};
 pub use dueling::{SdConfig, SelectPolicy, Selected, SetClass, SetDueling, TrainPolicy};
 pub use grain::IndexGrain;
-pub use module::{ModuleConfig, ModuleStats, PrefetchRequest, PsaModule, SOURCE_PSA, SOURCE_PSA_2MB};
+pub use module::{
+    ModuleConfig, ModuleStats, PrefetchRequest, PsaModule, SOURCE_PSA, SOURCE_PSA_2MB,
+};
 pub use ppm::{PageSizeSource, Ppm};
 pub use prefetcher::{AccessContext, Candidate, FillLevel, Prefetcher};
 
@@ -72,8 +74,12 @@ pub enum PageSizePolicy {
 
 impl PageSizePolicy {
     /// All variants, in the order the paper's figures present them.
-    pub const ALL: [PageSizePolicy; 4] =
-        [PageSizePolicy::Original, PageSizePolicy::Psa, PageSizePolicy::Psa2m, PageSizePolicy::PsaSd];
+    pub const ALL: [PageSizePolicy; 4] = [
+        PageSizePolicy::Original,
+        PageSizePolicy::Psa,
+        PageSizePolicy::Psa2m,
+        PageSizePolicy::PsaSd,
+    ];
 
     /// The paper's suffix for this variant ("", "-PSA", …).
     pub fn suffix(self) -> &'static str {

@@ -110,9 +110,12 @@ impl PsaModule {
         config: ModuleConfig,
     ) -> Result<Self, SdConfigError> {
         let (grain_a, want_b, boundary, source) = match policy {
-            PageSizePolicy::Original => {
-                (IndexGrain::Page4K, false, BoundaryPolicy::Strict4K, PageSizeSource::None)
-            }
+            PageSizePolicy::Original => (
+                IndexGrain::Page4K,
+                false,
+                BoundaryPolicy::Strict4K,
+                PageSizeSource::None,
+            ),
             PageSizePolicy::Psa => (IndexGrain::Page4K, false, BoundaryPolicy::PageAware, source),
             PageSizePolicy::Psa2m => (IndexGrain::Page2M, false, BoundaryPolicy::PageAware, source),
             PageSizePolicy::PsaSd => (IndexGrain::Page4K, true, BoundaryPolicy::PageAware, source),
@@ -122,7 +125,11 @@ impl PsaModule {
         // every indexing grain, so Pref-PSA-SD degenerates to Pref-PSA:
         // §VI-B1 "all BOP versions provide the same speedups".
         let want_b = want_b && psa.uses_page_indexing();
-        let dueling = if want_b { Some(SetDueling::new(sd, l2c_sets)?) } else { None };
+        let dueling = if want_b {
+            Some(SetDueling::new(sd, l2c_sets)?)
+        } else {
+            None
+        };
         Ok(Self {
             policy,
             ppm: Ppm::new(source),
@@ -157,6 +164,7 @@ impl PsaModule {
     ///   are already resident or in flight are skipped *without* consuming
     ///   the per-access issue budget, exactly as a hardware prefetch queue
     ///   drops them before issue.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_access(
         &mut self,
         line: PLine,
@@ -170,7 +178,12 @@ impl PsaModule {
     ) {
         self.stats.accesses += 1;
         let page_size = self.ppm.resolve(mshr_bit, oracle_size);
-        let ctx = AccessContext { line, pc, cache_hit, page_size };
+        let ctx = AccessContext {
+            line,
+            pc,
+            cache_hit,
+            page_size,
+        };
 
         self.scratch.clear();
         self.scratch_alt.clear();
@@ -237,7 +250,11 @@ impl PsaModule {
                 self.stats.deduped += 1;
                 continue;
             }
-            out.push(PrefetchRequest { line: cand.line, fill_level: cand.fill_level, source: source_id });
+            out.push(PrefetchRequest {
+                line: cand.line,
+                fill_level: cand.fill_level,
+                source: source_id,
+            });
             self.route(source_id).on_issue(cand.line);
             self.stats.issued += 1;
             self.stats.issued_by[source_id as usize] += 1;
@@ -329,7 +346,14 @@ mod tests {
 
     impl FakePref {
         fn boxed(grain: IndexGrain, degree: i64) -> Box<dyn Prefetcher> {
-            Box::new(Self { grain, degree, accesses: 0, fills: 0, usefuls: 0, useless: 0 })
+            Box::new(Self {
+                grain,
+                degree,
+                accesses: 0,
+                fills: 0,
+                usefuls: 0,
+                useless: 0,
+            })
         }
     }
 
@@ -373,15 +397,19 @@ mod tests {
         .unwrap()
     }
 
-    fn run(
-        m: &mut PsaModule,
-        line: u64,
-        huge: bool,
-        set: usize,
-    ) -> Vec<PrefetchRequest> {
+    fn run(m: &mut PsaModule, line: u64, huge: bool, set: usize) -> Vec<PrefetchRequest> {
         let mut out = Vec::new();
         let size = PageSize::from_bit(huge);
-        m.on_access(PLine::new(line), VAddr::new(0x400), false, huge, size, set, &|_| false, &mut out);
+        m.on_access(
+            PLine::new(line),
+            VAddr::new(0x400),
+            false,
+            huge,
+            size,
+            set,
+            &|_| false,
+            &mut out,
+        );
         out
     }
 
@@ -400,7 +428,11 @@ mod tests {
     fn psa_crosses_4k_inside_huge_pages() {
         let mut m = module(PageSizePolicy::Psa);
         let reqs = run(&mut m, 62, true, 3);
-        assert_eq!(reqs.len(), 4, "all four candidates legal inside the 2MB page");
+        assert_eq!(
+            reqs.len(),
+            4,
+            "all four candidates legal inside the 2MB page"
+        );
         assert!(reqs.iter().all(|r| r.source == SOURCE_PSA));
     }
 
@@ -435,7 +467,10 @@ mod tests {
         let mut m = module(PageSizePolicy::PsaSd);
         let follower_set = 3;
         let before = run(&mut m, 62, true, follower_set);
-        assert!(before.iter().all(|r| r.source == SOURCE_PSA), "MSB starts clear");
+        assert!(
+            before.iter().all(|r| r.source == SOURCE_PSA),
+            "MSB starts clear"
+        );
         for _ in 0..5 {
             m.on_useful(PLine::new(1), VAddr::new(0), SOURCE_PSA_2MB, true);
         }

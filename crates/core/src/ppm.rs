@@ -47,7 +47,11 @@ pub struct Ppm {
 impl Ppm {
     /// A module reading page size from `source`.
     pub fn new(source: PageSizeSource) -> Self {
-        Self { source, huge_seen: 0, total_seen: 0 }
+        Self {
+            source,
+            huge_seen: 0,
+            total_seen: 0,
+        }
     }
 
     /// The configured source.

@@ -53,12 +53,18 @@ pub struct Candidate {
 impl Candidate {
     /// A candidate destined for the L2C.
     pub fn l2c(line: PLine) -> Self {
-        Self { line, fill_level: FillLevel::L2C }
+        Self {
+            line,
+            fill_level: FillLevel::L2C,
+        }
     }
 
     /// A candidate destined for the LLC.
     pub fn llc(line: PLine) -> Self {
-        Self { line, fill_level: FillLevel::Llc }
+        Self {
+            line,
+            fill_level: FillLevel::Llc,
+        }
     }
 }
 

@@ -36,10 +36,7 @@ impl Prefetcher for Scripted {
     }
 }
 
-fn module_with(
-    policy: PageSizePolicy,
-    sd: SdConfig,
-) -> (PsaModule, Rc<Cell<u32>>, Rc<Cell<u32>>) {
+fn module_with(policy: PageSizePolicy, sd: SdConfig) -> (PsaModule, Rc<Cell<u32>>, Rc<Cell<u32>>) {
     let fine = Rc::new(Cell::new(0));
     let coarse = Rc::new(Cell::new(0));
     let (f, c) = (fine.clone(), coarse.clone());
@@ -48,7 +45,11 @@ fn module_with(
         PageSizeSource::Ppm,
         &move |grain| {
             Box::new(Scripted {
-                trained: if grain == IndexGrain::Page4K { f.clone() } else { c.clone() },
+                trained: if grain == IndexGrain::Page4K {
+                    f.clone()
+                } else {
+                    c.clone()
+                },
                 degree: 3,
             })
         },
@@ -81,13 +82,24 @@ fn sd_proposed_trains_both_on_every_access() {
     for i in 0..100 {
         access(&mut m, i * 7, (i as usize) % 1024);
     }
-    assert_eq!(fine.get(), 100, "SD-Proposed trains Pref-PSA on all accesses");
-    assert_eq!(coarse.get(), 100, "SD-Proposed trains Pref-PSA-2MB on all accesses");
+    assert_eq!(
+        fine.get(),
+        100,
+        "SD-Proposed trains Pref-PSA on all accesses"
+    );
+    assert_eq!(
+        coarse.get(),
+        100,
+        "SD-Proposed trains Pref-PSA-2MB on all accesses"
+    );
 }
 
 #[test]
 fn sd_standard_trains_only_the_selected_competitor() {
-    let sd = SdConfig { train: TrainPolicy::SelectedOnly, ..SdConfig::default() };
+    let sd = SdConfig {
+        train: TrainPolicy::SelectedOnly,
+        ..SdConfig::default()
+    };
     let (mut m, fine, coarse) = module_with(PageSizePolicy::PsaSd, sd);
     for i in 0..100 {
         access(&mut m, i * 7, (i as usize) % 1024);
@@ -103,7 +115,10 @@ fn sd_standard_trains_only_the_selected_competitor() {
 
 #[test]
 fn page_size_selection_routes_by_the_ppm_bit() {
-    let sd = SdConfig { select: SelectPolicy::PageSize, ..SdConfig::default() };
+    let sd = SdConfig {
+        select: SelectPolicy::PageSize,
+        ..SdConfig::default()
+    };
     let (mut m, _, _) = module_with(PageSizePolicy::PsaSd, sd);
     let follower = 3;
     // 2MB access on a follower set → PSA-2MB issues.
@@ -132,7 +147,12 @@ fn untimely_useful_hits_do_not_move_csel() {
     assert!(before.iter().all(|r| r.source == psa_core::SOURCE_PSA));
     // Five *late* useful notifications for PSA-2MB must not flip Csel…
     for i in 0..5 {
-        m.on_useful(PLine::new(i), VAddr::new(0), psa_core::SOURCE_PSA_2MB, false);
+        m.on_useful(
+            PLine::new(i),
+            VAddr::new(0),
+            psa_core::SOURCE_PSA_2MB,
+            false,
+        );
     }
     let still = access(&mut m, 500, follower);
     assert!(still.iter().all(|r| r.source == psa_core::SOURCE_PSA));
@@ -175,7 +195,12 @@ fn per_access_budget_applies_after_presence_filtering() {
     let mut m = PsaModule::new(
         PageSizePolicy::Psa,
         PageSizeSource::Ppm,
-        &move |_grain| Box::new(Scripted { trained: f.clone(), degree: 12 }),
+        &move |_grain| {
+            Box::new(Scripted {
+                trained: f.clone(),
+                degree: 12,
+            })
+        },
         1024,
         SdConfig::default(),
         ModuleConfig { max_per_access: 4 },

@@ -56,7 +56,11 @@ pub struct CoreConfig {
 
 impl Default for CoreConfig {
     fn default() -> Self {
-        Self { rob_entries: 352, width: 4, alu_latency: 1 }
+        Self {
+            rob_entries: 352,
+            width: 4,
+            alu_latency: 1,
+        }
     }
 }
 
@@ -93,22 +97,40 @@ pub struct Instr {
 impl Instr {
     /// A non-memory instruction.
     pub fn op(pc: VAddr) -> Self {
-        Self { pc, kind: InstrKind::Op }
+        Self {
+            pc,
+            kind: InstrKind::Op,
+        }
     }
 
     /// An independent load.
     pub fn load(pc: VAddr, vaddr: VAddr) -> Self {
-        Self { pc, kind: InstrKind::Load { vaddr, dependent: false } }
+        Self {
+            pc,
+            kind: InstrKind::Load {
+                vaddr,
+                dependent: false,
+            },
+        }
     }
 
     /// A load whose address depends on the previous load.
     pub fn dependent_load(pc: VAddr, vaddr: VAddr) -> Self {
-        Self { pc, kind: InstrKind::Load { vaddr, dependent: true } }
+        Self {
+            pc,
+            kind: InstrKind::Load {
+                vaddr,
+                dependent: true,
+            },
+        }
     }
 
     /// A store.
     pub fn store(pc: VAddr, vaddr: VAddr) -> Self {
-        Self { pc, kind: InstrKind::Store { vaddr } }
+        Self {
+            pc,
+            kind: InstrKind::Store { vaddr },
+        }
     }
 }
 
@@ -156,7 +178,10 @@ pub struct Core {
 impl Core {
     /// A fresh core at cycle zero.
     pub fn new(config: CoreConfig) -> Self {
-        assert!(config.rob_entries > 0 && config.width > 0, "degenerate core shape");
+        assert!(
+            config.rob_entries > 0 && config.width > 0,
+            "degenerate core shape"
+        );
         Self {
             config,
             rob: VecDeque::with_capacity(config.rob_entries),
@@ -210,7 +235,11 @@ impl Core {
             InstrKind::Op => now + self.config.alu_latency,
             InstrKind::Load { vaddr, dependent } => {
                 self.stats.loads += 1;
-                let issue = if dependent { now.max(self.last_load_done) } else { now };
+                let issue = if dependent {
+                    now.max(self.last_load_done)
+                } else {
+                    now
+                };
                 let done = mem.load(instr.pc, vaddr, issue);
                 debug_assert!(done >= issue, "time moves forward");
                 self.last_load_done = done;
@@ -312,7 +341,10 @@ mod tests {
         let mut core = Core::new(CoreConfig::default());
         let mut mem = FixedLatency(200);
         for i in 0..100 {
-            core.execute(&Instr::dependent_load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+            core.execute(
+                &Instr::dependent_load(VAddr::new(i), VAddr::new(i * 64)),
+                &mut mem,
+            );
         }
         let cycles = core.drain();
         assert!(cycles >= 100 * 200, "got {cycles}");
@@ -321,7 +353,11 @@ mod tests {
     #[test]
     fn rob_limits_memory_parallelism() {
         // With a 4-entry ROB, at most 4 loads are in flight.
-        let mut core = Core::new(CoreConfig { rob_entries: 4, width: 4, alu_latency: 1 });
+        let mut core = Core::new(CoreConfig {
+            rob_entries: 4,
+            width: 4,
+            alu_latency: 1,
+        });
         let mut mem = FixedLatency(100);
         for i in 0..64 {
             core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
@@ -338,7 +374,10 @@ mod tests {
             core.execute(&Instr::store(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
         }
         let cycles = core.drain();
-        assert!(cycles < 100, "stores must retire through the store buffer, got {cycles}");
+        assert!(
+            cycles < 100,
+            "stores must retire through the store buffer, got {cycles}"
+        );
     }
 
     #[test]
@@ -372,7 +411,10 @@ mod tests {
             let mut core = Core::new(CoreConfig::default());
             let mut mem = FixedLatency(lat);
             for i in 0..200 {
-                core.execute(&Instr::dependent_load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+                core.execute(
+                    &Instr::dependent_load(VAddr::new(i), VAddr::new(i * 64)),
+                    &mut mem,
+                );
             }
             core.drain() as f64
         };

@@ -166,7 +166,10 @@ impl Dram {
         Ok(Self {
             config,
             banks: vec![
-                Bank { open_row: None, busy_until: 0 };
+                Bank {
+                    open_row: None,
+                    busy_until: 0
+                };
                 config.channels * config.banks_per_channel
             ],
             bus_free: vec![0; config.channels],
@@ -196,8 +199,9 @@ impl Dram {
         let channel = ((raw >> self.row_line_shift) & ((1 << self.channel_bits) - 1)) as usize;
         let row = raw >> (self.channel_bits + self.bank_bits + self.row_line_shift);
         let bank_mask = (1u64 << self.bank_bits) - 1;
-        let bank = (((raw >> (self.row_line_shift + self.channel_bits)) ^ row) & bank_mask) as usize;
-        (channel, bank, row as u64)
+        let bank =
+            (((raw >> (self.row_line_shift + self.channel_bits)) ^ row) & bank_mask) as usize;
+        (channel, bank, row)
     }
 
     /// Perform one 64-byte access beginning no earlier than `now`; returns
@@ -230,7 +234,11 @@ impl Dram {
         // Column reads to an open row pipeline (successive CAS commands gate
         // on the data bus, not on each other); activations occupy the bank
         // until the array delivers.
-        bank.busy_until = if was_hit { start + self.transfer } else { data_ready };
+        bank.busy_until = if was_hit {
+            start + self.transfer
+        } else {
+            data_ready
+        };
         self.stats.bus_busy_cycles += self.transfer;
         if is_write {
             self.stats.writes += 1;
@@ -267,14 +275,39 @@ mod tests {
     use super::*;
 
     fn dram(mts: u64) -> Dram {
-        Dram::new(DramConfig { mts, ..DramConfig::default() }).unwrap()
+        Dram::new(DramConfig {
+            mts,
+            ..DramConfig::default()
+        })
+        .unwrap()
     }
 
     #[test]
     fn transfer_cycles_scale_with_rate() {
-        assert_eq!(DramConfig { mts: 3200, ..DramConfig::default() }.transfer_cycles(), 10);
-        assert_eq!(DramConfig { mts: 400, ..DramConfig::default() }.transfer_cycles(), 80);
-        assert_eq!(DramConfig { mts: 6400, ..DramConfig::default() }.transfer_cycles(), 5);
+        assert_eq!(
+            DramConfig {
+                mts: 3200,
+                ..DramConfig::default()
+            }
+            .transfer_cycles(),
+            10
+        );
+        assert_eq!(
+            DramConfig {
+                mts: 400,
+                ..DramConfig::default()
+            }
+            .transfer_cycles(),
+            80
+        );
+        assert_eq!(
+            DramConfig {
+                mts: 6400,
+                ..DramConfig::default()
+            }
+            .transfer_cycles(),
+            5
+        );
     }
 
     #[test]
@@ -283,7 +316,7 @@ mod tests {
         // First access opens the row.
         let t0 = d.access(PLine::new(0), 0, false);
         assert_eq!(t0, 50 + 50 + 10); // tRCD + tCAS + transfer
-        // Same row, sequential line: row hit (start gated by bank busy).
+                                      // Same row, sequential line: row hit (start gated by bank busy).
         let t1 = d.access(PLine::new(16), t0, false);
         assert_eq!(t1, t0 + 50 + 10);
         // Different row, same bank: conflict.
@@ -361,7 +394,11 @@ mod tests {
 
     #[test]
     fn multi_channel_buses_are_independent() {
-        let mut d = Dram::new(DramConfig { channels: 2, ..DramConfig::default() }).unwrap();
+        let mut d = Dram::new(DramConfig {
+            channels: 2,
+            ..DramConfig::default()
+        })
+        .unwrap();
         let a = d.access(PLine::new(0), 0, false); // channel 0
         let b = d.access(PLine::new(128), 0, false); // channel 1
         assert_eq!(a, b, "independent channels should not serialise");
@@ -369,8 +406,16 @@ mod tests {
 
     #[test]
     fn rejects_bad_config() {
-        assert!(Dram::new(DramConfig { channels: 3, ..DramConfig::default() }).is_err());
-        assert!(Dram::new(DramConfig { mts: 0, ..DramConfig::default() }).is_err());
+        assert!(Dram::new(DramConfig {
+            channels: 3,
+            ..DramConfig::default()
+        })
+        .is_err());
+        assert!(Dram::new(DramConfig {
+            mts: 0,
+            ..DramConfig::default()
+        })
+        .is_err());
     }
 
     #[test]

@@ -6,9 +6,9 @@
 use psa_common::{geomean, table::pct, Table};
 use psa_core::{PageSizePolicy, SdConfig};
 use psa_prefetchers::PrefetcherKind;
-use psa_sim::System;
+use psa_sim::{Json, System};
 
-use crate::runner::{RunCache, Settings, Variant};
+use crate::runner::{self, RunCache, Settings, Variant};
 
 /// Geomean speedup of SPP-PSA-SD over SPP original for one SD shape.
 #[derive(Debug, Clone, Copy)]
@@ -34,19 +34,35 @@ pub fn collect(settings: &Settings) -> Vec<AblationPoint> {
     let kind = PrefetcherKind::Spp;
     let mut cache = RunCache::new();
     let workloads = settings.workloads();
+    let base_jobs: Vec<_> = workloads
+        .iter()
+        .map(|&w| (w, Variant::Pref(kind, PageSizePolicy::Original)))
+        .collect();
+    cache.run_batch(settings.config, &base_jobs);
     sweep_shapes()
         .into_iter()
         .map(|(dedicated_sets, csel_bits)| {
+            let ipcs = runner::parallel_map(&workloads, |&w| {
+                let mut config = settings.config;
+                config.sd = SdConfig {
+                    dedicated_sets,
+                    csel_bits,
+                    ..SdConfig::default()
+                };
+                System::single_core(config, w, kind, PageSizePolicy::PsaSd)
+                    .run()
+                    .ipc()
+            });
             let per: Vec<f64> = workloads
                 .iter()
-                .map(|w| {
+                .zip(ipcs)
+                .map(|(&w, ipc)| {
                     let orig = cache
-                        .run(settings.config, w, Variant::Pref(kind, PageSizePolicy::Original))
-                        .ipc();
-                    let mut config = settings.config;
-                    config.sd = SdConfig { dedicated_sets, csel_bits, ..SdConfig::default() };
-                    let ipc = System::single_core(config, w, kind, PageSizePolicy::PsaSd)
-                        .run()
+                        .run(
+                            settings.config,
+                            w,
+                            Variant::Pref(kind, PageSizePolicy::Original),
+                        )
                         .ipc();
                     if orig > 0.0 {
                         ipc / orig
@@ -55,14 +71,41 @@ pub fn collect(settings: &Settings) -> Vec<AblationPoint> {
                     }
                 })
                 .collect();
-            AblationPoint { dedicated_sets, csel_bits, speedup: geomean(&per) }
+            AblationPoint {
+                dedicated_sets,
+                csel_bits,
+                speedup: geomean(&per),
+            }
         })
         .collect()
 }
 
 /// Render the ablation.
 pub fn run(settings: &Settings) -> String {
+    report(settings).0
+}
+
+/// Text rendering plus the `BENCH_ablations.json` document.
+pub fn report(settings: &Settings) -> (String, Json) {
     let points = collect(settings);
+    let json_rows = Json::Arr(
+        points
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("dedicated_sets", Json::uint(p.dedicated_sets as u64)),
+                    ("csel_bits", Json::uint(p.csel_bits as u64)),
+                    ("spp_psa_sd_geomean", Json::Num(p.speedup)),
+                ])
+            })
+            .collect(),
+    );
+    let doc = runner::doc(
+        "ablations",
+        "Set-Dueling shape sweep (paper fixes 32 sets / 3 bits empirically)",
+        settings,
+        json_rows,
+    );
     let mut t = Table::new(vec![
         "dedicated sets".into(),
         "Csel bits".into(),
@@ -75,10 +118,11 @@ pub fn run(settings: &Settings) -> String {
             pct((p.speedup - 1.0) * 100.0),
         ]);
     }
-    format!(
+    let text = format!(
         "Ablation — Set-Dueling shape (paper fixes 32 sets / 3 bits empirically)\n{}",
         t.render()
-    )
+    );
+    (text, doc)
 }
 
 #[cfg(test)]
@@ -95,9 +139,12 @@ mod tests {
 
     #[test]
     fn tiny_sweep_is_sane() {
+        let _guard = crate::runner::test_env_lock();
         std::env::set_var("PSA_WORKLOAD_LIMIT", "3");
         let settings = Settings {
-            config: SimConfig::default().with_warmup(1_000).with_instructions(4_000),
+            config: SimConfig::default()
+                .with_warmup(1_000)
+                .with_instructions(4_000),
         };
         let points = collect(&settings);
         std::env::remove_var("PSA_WORKLOAD_LIMIT");

@@ -7,8 +7,9 @@
 use psa_common::{DistSummary, Table};
 use psa_core::PageSizePolicy;
 use psa_prefetchers::PrefetcherKind;
+use psa_sim::Json;
 
-use crate::runner::{RunCache, Settings, Variant};
+use crate::runner::{self, RunCache, Settings, Variant};
 
 /// Distribution of discard probabilities for one prefetcher.
 #[derive(Debug, Clone)]
@@ -22,6 +23,16 @@ pub struct Fig02Row {
 /// Run the experiment.
 pub fn collect(settings: &Settings) -> Vec<Fig02Row> {
     let mut cache = RunCache::new();
+    let workloads = settings.workloads();
+    let jobs: Vec<_> = PrefetcherKind::EVALUATED
+        .into_iter()
+        .flat_map(|kind| {
+            workloads
+                .iter()
+                .map(move |&w| (w, Variant::Pref(kind, PageSizePolicy::Original)))
+        })
+        .collect();
+    cache.run_batch(settings.config, &jobs);
     PrefetcherKind::EVALUATED
         .into_iter()
         .map(|kind| {
@@ -30,20 +41,70 @@ pub fn collect(settings: &Settings) -> Vec<Fig02Row> {
                 .into_iter()
                 .map(|w| {
                     cache
-                        .run(settings.config, w, Variant::Pref(kind, PageSizePolicy::Original))
+                        .run(
+                            settings.config,
+                            w,
+                            Variant::Pref(kind, PageSizePolicy::Original),
+                        )
                         .boundary
                         .expect("prefetching run has boundary stats")
                         .discard_probability()
                 })
                 .collect();
-            Fig02Row { kind, probabilities }
+            Fig02Row {
+                kind,
+                probabilities,
+            }
         })
         .collect()
 }
 
 /// Render as the paper's figure (distribution summaries).
 pub fn run(settings: &Settings) -> String {
+    report(settings).0
+}
+
+/// Text rendering plus the `BENCH_fig02.json` document.
+pub fn report(settings: &Settings) -> (String, Json) {
     let rows = collect(settings);
+    let workloads: Vec<Json> = settings
+        .workloads()
+        .iter()
+        .map(|w| Json::str(w.name))
+        .collect();
+    let json_rows = Json::Arr(
+        rows.iter()
+            .map(|row| {
+                let s = DistSummary::of(&row.probabilities);
+                Json::obj([
+                    ("prefetcher", Json::str(row.kind.name())),
+                    (
+                        "discard_probability",
+                        Json::obj([
+                            ("min", Json::Num(s.min)),
+                            ("p25", Json::Num(s.p25)),
+                            ("median", Json::Num(s.median)),
+                            ("p75", Json::Num(s.p75)),
+                            ("max", Json::Num(s.max)),
+                            ("mean", Json::Num(s.mean)),
+                        ]),
+                    ),
+                    (
+                        "per_workload",
+                        Json::Arr(row.probabilities.iter().map(|&p| Json::Num(p)).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let mut doc = runner::doc(
+        "fig02",
+        "P(prefetch discarded for crossing 4KB inside a 2MB page), original prefetchers",
+        settings,
+        json_rows,
+    );
+    doc.push("workloads", Json::Arr(workloads));
+
     let mut t = Table::new(vec![
         "prefetcher".into(),
         "min".into(),
@@ -65,10 +126,11 @@ pub fn run(settings: &Settings) -> String {
             format!("{:.3}", s.mean),
         ]);
     }
-    format!(
+    let text = format!(
         "Figure 2 — P(prefetch discarded for crossing 4KB inside a 2MB page), original prefetchers\n{}",
         t.render()
-    )
+    );
+    (text, doc)
 }
 
 #[cfg(test)]
@@ -78,9 +140,12 @@ mod tests {
 
     #[test]
     fn probabilities_are_valid_and_nonzero_somewhere() {
+        let _guard = crate::runner::test_env_lock();
         std::env::set_var("PSA_WORKLOAD_LIMIT", "6");
         let settings = Settings {
-            config: SimConfig::default().with_warmup(1_000).with_instructions(6_000),
+            config: SimConfig::default()
+                .with_warmup(1_000)
+                .with_instructions(6_000),
         };
         let rows = collect(&settings);
         std::env::remove_var("PSA_WORKLOAD_LIMIT");

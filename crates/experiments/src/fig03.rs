@@ -4,9 +4,10 @@
 //! virtual-memory substrate.
 
 use psa_common::Table;
+use psa_sim::Json;
 use psa_traces::catalog;
 
-use crate::runner::{RunCache, Settings, Variant};
+use crate::runner::{self, RunCache, Settings, Variant};
 
 /// One benchmark's usage series.
 #[derive(Debug, Clone)]
@@ -20,19 +21,61 @@ pub struct Fig03Row {
 /// Run the experiment.
 pub fn collect(settings: &Settings) -> Vec<Fig03Row> {
     let mut cache = RunCache::new();
-    catalog::MOTIVATION_SET
+    let jobs: Vec<_> = catalog::MOTIVATION_SET
         .iter()
         .map(|name| {
-            let w = catalog::workload(name).expect("motivation workload in catalog");
-            let report = cache.run(settings.config, w, Variant::NoPrefetch);
-            Fig03Row { name: w.name, series: report.thp_series.clone() }
+            (
+                catalog::workload(name).expect("motivation workload in catalog"),
+                Variant::NoPrefetch,
+            )
+        })
+        .collect();
+    cache.run_batch(settings.config, &jobs);
+    jobs.iter()
+        .map(|&(w, v)| {
+            let report = cache.run(settings.config, w, v);
+            Fig03Row {
+                name: w.name,
+                series: report.thp_series.clone(),
+            }
         })
         .collect()
 }
 
 /// Render: 2MB usage at 25/50/75/100% of execution.
 pub fn run(settings: &Settings) -> String {
+    report(settings).0
+}
+
+/// Text rendering plus the `BENCH_fig03.json` document.
+pub fn report(settings: &Settings) -> (String, Json) {
     let rows = collect(settings);
+    let json_rows = Json::Arr(
+        rows.iter()
+            .map(|row| {
+                Json::obj([
+                    ("benchmark", Json::str(row.name)),
+                    (
+                        "thp_series",
+                        Json::Arr(
+                            row.series
+                                .iter()
+                                .map(|&(instr, frac)| {
+                                    Json::Arr(vec![Json::uint(instr), Json::Num(frac)])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let doc = runner::doc(
+        "fig03",
+        "memory mapped in 2MB pages across execution",
+        settings,
+        json_rows,
+    );
     let mut t = Table::new(vec![
         "benchmark".into(),
         "25%".into(),
@@ -50,7 +93,11 @@ pub fn run(settings: &Settings) -> String {
         };
         t.row(vec![row.name.into(), at(0.25), at(0.5), at(0.75), at(1.0)]);
     }
-    format!("Figure 3 — memory mapped in 2MB pages across execution\n{}", t.render())
+    let text = format!(
+        "Figure 3 — memory mapped in 2MB pages across execution\n{}",
+        t.render()
+    );
+    (text, doc)
 }
 
 #[cfg(test)]
@@ -61,7 +108,9 @@ mod tests {
     #[test]
     fn usage_matches_each_workloads_thp_parameter() {
         let settings = Settings {
-            config: SimConfig::default().with_warmup(1_000).with_instructions(8_000),
+            config: SimConfig::default()
+                .with_warmup(1_000)
+                .with_instructions(8_000),
         };
         let rows = collect(&settings);
         assert_eq!(rows.len(), 9);

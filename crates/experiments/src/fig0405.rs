@@ -6,9 +6,10 @@
 use psa_common::{geomean, table::pct, Table};
 use psa_core::PageSizePolicy;
 use psa_prefetchers::PrefetcherKind;
+use psa_sim::Json;
 use psa_traces::catalog;
 
-use crate::runner::{RunCache, Settings, Variant};
+use crate::runner::{self, RunCache, Settings, Variant};
 
 /// One benchmark's speedups over the no-prefetch baseline.
 #[derive(Debug, Clone)]
@@ -27,6 +28,20 @@ pub struct MotivationRow {
 pub fn collect(settings: &Settings) -> Vec<MotivationRow> {
     let mut cache = RunCache::new();
     let kind = PrefetcherKind::Spp;
+    let variants = [
+        Variant::NoPrefetch,
+        Variant::Pref(kind, PageSizePolicy::Original),
+        Variant::PrefMagic(kind, PageSizePolicy::Psa),
+        Variant::PrefMagic(kind, PageSizePolicy::Psa2m),
+    ];
+    let jobs: Vec<_> = catalog::MOTIVATION_SET
+        .iter()
+        .flat_map(|name| {
+            let w = catalog::workload(name).expect("motivation workload");
+            variants.iter().map(move |&v| (w, v))
+        })
+        .collect();
+    cache.run_batch(settings.config, &jobs);
     catalog::MOTIVATION_SET
         .iter()
         .map(|name| {
@@ -59,7 +74,39 @@ pub fn collect(settings: &Settings) -> Vec<MotivationRow> {
 
 /// Render both figures.
 pub fn run(settings: &Settings) -> String {
+    report(settings).0
+}
+
+/// Text rendering plus the `BENCH_fig0405.json` document.
+pub fn report(settings: &Settings) -> (String, Json) {
     let rows = collect(settings);
+    let json_rows = Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("benchmark", Json::str(r.name)),
+                    ("spp_speedup", Json::Num(r.spp)),
+                    ("spp_psa_magic_speedup", Json::Num(r.psa_magic)),
+                    ("spp_psa_magic_2mb_speedup", Json::Num(r.psa_magic_2mb)),
+                ])
+            })
+            .collect(),
+    );
+    let mut doc = runner::doc(
+        "fig0405",
+        "speedup over no-prefetch baseline (motivation set)",
+        settings,
+        json_rows,
+    );
+    let geo = |f: fn(&MotivationRow) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
+    doc.push(
+        "geomean",
+        Json::obj([
+            ("spp", Json::Num(geo(|r| r.spp))),
+            ("spp_psa_magic", Json::Num(geo(|r| r.psa_magic))),
+            ("spp_psa_magic_2mb", Json::Num(geo(|r| r.psa_magic_2mb))),
+        ]),
+    );
     let mut t = Table::new(vec![
         "benchmark".into(),
         "SPP %".into(),
@@ -84,10 +131,11 @@ pub fn run(settings: &Settings) -> String {
         g(|r| r.psa_magic),
         g(|r| r.psa_magic_2mb),
     ]);
-    format!(
+    let text = format!(
         "Figures 4 & 5 — speedup over no-prefetch baseline (motivation set)\n{}",
         t.render()
-    )
+    );
+    (text, doc)
 }
 
 #[cfg(test)]
@@ -98,7 +146,9 @@ mod tests {
     #[test]
     fn magic_psa_does_not_trail_original_in_geomean() {
         let settings = Settings {
-            config: SimConfig::default().with_warmup(4_000).with_instructions(20_000),
+            config: SimConfig::default()
+                .with_warmup(4_000)
+                .with_instructions(20_000),
         };
         let rows = collect(&settings);
         assert_eq!(rows.len(), 9);

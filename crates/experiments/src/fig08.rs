@@ -4,9 +4,10 @@
 use psa_common::{geomean, table::pct, Table};
 use psa_core::PageSizePolicy;
 use psa_prefetchers::PrefetcherKind;
+use psa_sim::Json;
 use psa_traces::WorkloadSpec;
 
-use crate::runner::{RunCache, Settings, Variant};
+use crate::runner::{self, RunCache, Settings, Variant};
 
 /// One workload's variant speedups over SPP original.
 #[derive(Debug, Clone)]
@@ -25,12 +26,31 @@ pub struct Fig08Row {
 pub fn collect(settings: &Settings, kind: PrefetcherKind) -> Vec<Fig08Row> {
     let mut cache = RunCache::new();
     let base = Variant::Pref(kind, PageSizePolicy::Original);
-    settings
-        .workloads()
+    let workloads = settings.workloads();
+    let jobs: Vec<_> = workloads
+        .iter()
+        .flat_map(|&w| {
+            [
+                PageSizePolicy::Original,
+                PageSizePolicy::Psa,
+                PageSizePolicy::Psa2m,
+                PageSizePolicy::PsaSd,
+            ]
+            .into_iter()
+            .map(move |policy| (w, Variant::Pref(kind, policy)))
+        })
+        .collect();
+    cache.run_batch(settings.config, &jobs);
+    workloads
         .into_iter()
         .map(|w: &'static WorkloadSpec| Fig08Row {
             name: w.name,
-            psa: cache.speedup(settings.config, w, Variant::Pref(kind, PageSizePolicy::Psa), base),
+            psa: cache.speedup(
+                settings.config,
+                w,
+                Variant::Pref(kind, PageSizePolicy::Psa),
+                base,
+            ),
             psa_2mb: cache.speedup(
                 settings.config,
                 w,
@@ -58,7 +78,39 @@ pub fn geomeans(rows: &[Fig08Row]) -> (f64, f64, f64) {
 
 /// Render the figure.
 pub fn run(settings: &Settings) -> String {
+    report(settings).0
+}
+
+/// Text rendering plus the `BENCH_fig08.json` document.
+pub fn report(settings: &Settings) -> (String, Json) {
     let rows = collect(settings, PrefetcherKind::Spp);
+    let json_rows = Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("workload", Json::str(r.name)),
+                    ("psa_speedup", Json::Num(r.psa)),
+                    ("psa_2mb_speedup", Json::Num(r.psa_2mb)),
+                    ("psa_sd_speedup", Json::Num(r.psa_sd)),
+                ])
+            })
+            .collect(),
+    );
+    let mut doc = runner::doc(
+        "fig08",
+        "SPP variant speedups over SPP original",
+        settings,
+        json_rows,
+    );
+    let (ga, gb, gc) = geomeans(&rows);
+    doc.push(
+        "geomean",
+        Json::obj([
+            ("psa", Json::Num(ga)),
+            ("psa_2mb", Json::Num(gb)),
+            ("psa_sd", Json::Num(gc)),
+        ]),
+    );
     let mut t = Table::new(vec![
         "workload".into(),
         "SPP-PSA %".into(),
@@ -80,7 +132,11 @@ pub fn run(settings: &Settings) -> String {
         pct((b - 1.0) * 100.0),
         pct((c - 1.0) * 100.0),
     ]);
-    format!("Figure 8 — SPP variant speedups over SPP original\n{}", t.render())
+    let text = format!(
+        "Figure 8 — SPP variant speedups over SPP original\n{}",
+        t.render()
+    );
+    (text, doc)
 }
 
 #[cfg(test)]
@@ -90,9 +146,12 @@ mod tests {
 
     #[test]
     fn sd_tracks_or_beats_the_better_competitor_in_geomean() {
+        let _guard = crate::runner::test_env_lock();
         std::env::set_var("PSA_WORKLOAD_LIMIT", "8");
         let settings = Settings {
-            config: SimConfig::default().with_warmup(4_000).with_instructions(20_000),
+            config: SimConfig::default()
+                .with_warmup(4_000)
+                .with_instructions(20_000),
         };
         let rows = collect(&settings, PrefetcherKind::Spp);
         std::env::remove_var("PSA_WORKLOAD_LIMIT");

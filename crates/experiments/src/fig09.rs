@@ -5,9 +5,10 @@
 use psa_common::{geomean, table::pct, Table};
 use psa_core::PageSizePolicy;
 use psa_prefetchers::PrefetcherKind;
+use psa_sim::Json;
 use psa_traces::{SuiteGroup, WorkloadSpec};
 
-use crate::runner::{RunCache, Settings, Variant};
+use crate::runner::{self, RunCache, Settings, Variant};
 
 /// Geomean speedups for one (prefetcher, variant) cell.
 #[derive(Debug, Clone)]
@@ -26,15 +27,25 @@ const GROUPS: [SuiteGroup; 3] = [SuiteGroup::Spec, SuiteGroup::GapMlCloud, Suite
 
 /// Run the full sweep over the given workloads (injectable so the
 /// non-intensive experiment can reuse it).
-pub fn collect_over(
-    settings: &Settings,
-    workloads: &[&'static WorkloadSpec],
-) -> Vec<Fig09Cell> {
+pub fn collect_over(settings: &Settings, workloads: &[&'static WorkloadSpec]) -> Vec<Fig09Cell> {
     let mut out = Vec::new();
     for kind in PrefetcherKind::EVALUATED {
         let mut cache = RunCache::new();
         let base = Variant::Pref(kind, PageSizePolicy::Original);
-        for policy in [PageSizePolicy::Psa, PageSizePolicy::Psa2m, PageSizePolicy::PsaSd] {
+        let jobs: Vec<_> = workloads
+            .iter()
+            .flat_map(|&w| {
+                PageSizePolicy::ALL
+                    .into_iter()
+                    .map(move |policy| (w, Variant::Pref(kind, policy)))
+            })
+            .collect();
+        cache.run_batch(settings.config, &jobs);
+        for policy in [
+            PageSizePolicy::Psa,
+            PageSizePolicy::Psa2m,
+            PageSizePolicy::PsaSd,
+        ] {
             let speedups: Vec<(SuiteGroup, f64)> = workloads
                 .iter()
                 .map(|w| {
@@ -46,11 +57,20 @@ pub fn collect_over(
                 .collect();
             let per_group = GROUPS.map(|g| {
                 geomean(
-                    &speedups.iter().filter(|(sg, _)| *sg == g).map(|(_, s)| *s).collect::<Vec<_>>(),
+                    &speedups
+                        .iter()
+                        .filter(|(sg, _)| *sg == g)
+                        .map(|(_, s)| *s)
+                        .collect::<Vec<_>>(),
                 )
             });
             let all = geomean(&speedups.iter().map(|(_, s)| *s).collect::<Vec<_>>());
-            out.push(Fig09Cell { kind, policy, per_group, all });
+            out.push(Fig09Cell {
+                kind,
+                policy,
+                per_group,
+                all,
+            });
         }
     }
     out
@@ -63,7 +83,45 @@ pub fn collect(settings: &Settings) -> Vec<Fig09Cell> {
 
 /// Render the figure.
 pub fn run(settings: &Settings) -> String {
-    render(&collect(settings), "Figure 9 — geomean speedup over each prefetcher's original (%)")
+    render(
+        &collect(settings),
+        "Figure 9 — geomean speedup over each prefetcher's original (%)",
+    )
+}
+
+/// Text rendering plus the `BENCH_fig09.json` document.
+pub fn report(settings: &Settings) -> (String, Json) {
+    let cells = collect(settings);
+    let text = render(
+        &cells,
+        "Figure 9 — geomean speedup over each prefetcher's original (%)",
+    );
+    let doc = runner::doc(
+        "fig09",
+        "geomean speedup over each prefetcher's original",
+        settings,
+        cells_json(&cells),
+    );
+    (text, doc)
+}
+
+/// Cells as JSON rows (shared with the non-intensive experiment).
+pub fn cells_json(cells: &[Fig09Cell]) -> Json {
+    Json::Arr(
+        cells
+            .iter()
+            .map(|c| {
+                Json::obj([
+                    ("prefetcher", Json::str(c.kind.name())),
+                    ("variant", Json::str(c.policy.to_string())),
+                    ("spec_geomean", Json::Num(c.per_group[0])),
+                    ("gap_ml_cloud_geomean", Json::Num(c.per_group[1])),
+                    ("qmm_geomean", Json::Num(c.per_group[2])),
+                    ("all_geomean", Json::Num(c.all)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Render a cell list under a title.
@@ -96,17 +154,22 @@ mod tests {
 
     #[test]
     fn bop_variants_are_identical() {
+        let _guard = crate::runner::test_env_lock();
         std::env::set_var("PSA_WORKLOAD_LIMIT", "6");
         let settings = Settings {
-            config: SimConfig::default().with_warmup(2_000).with_instructions(8_000),
+            config: SimConfig::default()
+                .with_warmup(2_000)
+                .with_instructions(8_000),
         };
         let cells = collect(&settings);
         std::env::remove_var("PSA_WORKLOAD_LIMIT");
         assert_eq!(cells.len(), 12);
         // §VI-B1: BOP has no page-indexed structure, so PSA == PSA-2MB ==
         // PSA-SD exactly.
-        let bop: Vec<&Fig09Cell> =
-            cells.iter().filter(|c| c.kind == PrefetcherKind::Bop).collect();
+        let bop: Vec<&Fig09Cell> = cells
+            .iter()
+            .filter(|c| c.kind == PrefetcherKind::Bop)
+            .collect();
         assert_eq!(bop.len(), 3);
         for c in &bop[1..] {
             assert!(

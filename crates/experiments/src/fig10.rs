@@ -6,10 +6,10 @@
 use psa_common::{stats::mean, table::pct, Table};
 use psa_core::PageSizePolicy;
 use psa_prefetchers::PrefetcherKind;
-use psa_sim::RunReport;
+use psa_sim::{Json, RunReport};
 use psa_traces::catalog;
 
-use crate::runner::{RunCache, Settings, Variant};
+use crate::runner::{self, RunCache, Settings, Variant};
 
 /// The per-workload metric deltas of one PSA variant vs SPP original.
 #[derive(Debug, Clone)]
@@ -49,16 +49,40 @@ fn latency_reduction(base: f64, new: f64) -> f64 {
 pub fn collect(settings: &Settings, policy: PageSizePolicy) -> Vec<Fig10Row> {
     let mut cache = RunCache::new();
     let kind = PrefetcherKind::Spp;
+    let jobs: Vec<_> = catalog::FIG10_SET
+        .iter()
+        .flat_map(|name| {
+            let w = catalog::workload(name).expect("fig10 workload");
+            [
+                Variant::Pref(kind, PageSizePolicy::Original),
+                Variant::Pref(kind, policy),
+            ]
+            .into_iter()
+            .map(move |v| (w, v))
+        })
+        .collect();
+    cache.run_batch(settings.config, &jobs);
     catalog::FIG10_SET
         .iter()
         .map(|name| {
             let w = catalog::workload(name).expect("fig10 workload");
-            let orig =
-                cache.run(settings.config, w, Variant::Pref(kind, PageSizePolicy::Original)).clone();
-            let new = cache.run(settings.config, w, Variant::Pref(kind, policy)).clone();
+            let orig = cache
+                .run(
+                    settings.config,
+                    w,
+                    Variant::Pref(kind, PageSizePolicy::Original),
+                )
+                .clone();
+            let new = cache
+                .run(settings.config, w, Variant::Pref(kind, policy))
+                .clone();
             Fig10Row {
                 name: w.name,
-                speedup: if orig.ipc() > 0.0 { new.ipc() / orig.ipc() } else { 1.0 },
+                speedup: if orig.ipc() > 0.0 {
+                    new.ipc() / orig.ipc()
+                } else {
+                    1.0
+                },
                 l2c_latency_reduction: latency_reduction(orig.l2c_avg_latency, new.l2c_avg_latency),
                 llc_latency_reduction: latency_reduction(orig.llc_avg_latency, new.llc_avg_latency),
                 l2c_coverage: new.coverage_vs(orig.l2c.demand_misses, new.l2c.demand_misses)
@@ -74,9 +98,38 @@ pub fn collect(settings: &Settings, policy: PageSizePolicy) -> Vec<Fig10Row> {
 
 /// Render the figure for both variants.
 pub fn run(settings: &Settings) -> String {
+    report(settings).0
+}
+
+fn row_json(r: &Fig10Row) -> Json {
+    Json::obj([
+        ("workload", Json::str(r.name)),
+        ("speedup", Json::Num(r.speedup)),
+        (
+            "l2c_latency_reduction_pct",
+            Json::Num(r.l2c_latency_reduction),
+        ),
+        (
+            "llc_latency_reduction_pct",
+            Json::Num(r.llc_latency_reduction),
+        ),
+        ("l2c_coverage_pct", Json::Num(r.l2c_coverage)),
+        ("llc_coverage_pct", Json::Num(r.llc_coverage)),
+        ("l2c_accuracy_delta_pp", Json::Num(r.l2c_accuracy_delta)),
+        ("llc_accuracy_delta_pp", Json::Num(r.llc_accuracy_delta)),
+    ])
+}
+
+/// Text rendering plus the `BENCH_fig10.json` document.
+pub fn report(settings: &Settings) -> (String, Json) {
     let mut out = String::from("Figure 10 — sources of improvement (vs SPP original)\n");
+    let mut variants = Vec::new();
     for policy in [PageSizePolicy::Psa, PageSizePolicy::PsaSd] {
         let rows = collect(settings, policy);
+        variants.push(Json::obj([
+            ("variant", Json::str(format!("SPP{}", policy.suffix()))),
+            ("rows", Json::Arr(rows.iter().map(row_json).collect())),
+        ]));
         let mut t = Table::new(vec![
             "workload".into(),
             "speedup %".into(),
@@ -112,7 +165,13 @@ pub fn run(settings: &Settings) -> String {
         ]);
         out.push_str(&format!("\nSPP{}\n{}", policy.suffix(), t.render()));
     }
-    out
+    let doc = runner::doc(
+        "fig10",
+        "sources of improvement (vs SPP original)",
+        settings,
+        Json::Arr(variants),
+    );
+    (out, doc)
 }
 
 #[cfg(test)]
@@ -123,7 +182,9 @@ mod tests {
     #[test]
     fn metrics_are_finite_and_cover_the_set() {
         let settings = Settings {
-            config: SimConfig::default().with_warmup(2_000).with_instructions(8_000),
+            config: SimConfig::default()
+                .with_warmup(2_000)
+                .with_instructions(8_000),
         };
         let rows = collect(&settings, PageSizePolicy::Psa);
         assert_eq!(rows.len(), 14);

@@ -16,9 +16,9 @@ use psa_core::{
     TrainPolicy,
 };
 use psa_prefetchers::{bop, ppf, spp, vldp, PrefetcherKind};
-use psa_sim::System;
+use psa_sim::{Json, System};
 
-use crate::runner::{RunCache, Settings, Variant};
+use crate::runner::{self, RunCache, Settings, Variant};
 
 /// The selection-logic alternatives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,8 +35,12 @@ pub enum Logic {
 
 impl Logic {
     /// All alternatives, in the paper's bar order.
-    pub const ALL: [Logic; 4] =
-        [Logic::SdStandard, Logic::SdPageSize, Logic::SdProposed, Logic::IsoStorage];
+    pub const ALL: [Logic; 4] = [
+        Logic::SdStandard,
+        Logic::SdPageSize,
+        Logic::SdProposed,
+        Logic::IsoStorage,
+    ];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -80,7 +84,10 @@ pub fn build_doubled(kind: PrefetcherKind, grain: IndexGrain) -> Box<dyn Prefetc
             Box::new(ppf::Ppf::new(config, grain))
         }
         PrefetcherKind::Bop => {
-            let config = bop::BopConfig { rr_entries: 512, ..bop::BopConfig::default() };
+            let config = bop::BopConfig {
+                rr_entries: 512,
+                ..bop::BopConfig::default()
+            };
             Box::new(bop::Bop::new(config, grain))
         }
     }
@@ -88,10 +95,14 @@ pub fn build_doubled(kind: PrefetcherKind, grain: IndexGrain) -> Box<dyn Prefetc
 
 fn sd_config(logic: Logic) -> SdConfig {
     match logic {
-        Logic::SdStandard => {
-            SdConfig { train: TrainPolicy::SelectedOnly, ..SdConfig::default() }
-        }
-        Logic::SdPageSize => SdConfig { select: SelectPolicy::PageSize, ..SdConfig::default() },
+        Logic::SdStandard => SdConfig {
+            train: TrainPolicy::SelectedOnly,
+            ..SdConfig::default()
+        },
+        Logic::SdPageSize => SdConfig {
+            select: SelectPolicy::PageSize,
+            ..SdConfig::default()
+        },
         Logic::SdProposed | Logic::IsoStorage => SdConfig::default(),
     }
 }
@@ -105,19 +116,69 @@ pub struct Fig11Row {
     pub speedups: [f64; 4],
 }
 
-/// Run the ablation.
+/// Simulate one (kind, logic, workload) cell — a custom-configured run
+/// outside the `(workload, variant)` memo key space.
+fn logic_ipc(
+    settings: &Settings,
+    kind: PrefetcherKind,
+    logic: Logic,
+    w: &'static psa_traces::WorkloadSpec,
+) -> f64 {
+    match logic {
+        Logic::IsoStorage => {
+            let mut config = settings.config;
+            config.sd = sd_config(logic);
+            System::single_core_with_module(config, w, &|sets| {
+                PsaModule::new(
+                    PageSizePolicy::Original,
+                    PageSizeSource::Ppm,
+                    &|grain| build_doubled(kind, grain),
+                    sets,
+                    sd_config(logic),
+                    ModuleConfig::default(),
+                )
+                .expect("module shape")
+            })
+            .run()
+            .ipc()
+        }
+        _ => {
+            let mut config = settings.config;
+            config.sd = sd_config(logic);
+            System::single_core(config, w, kind, PageSizePolicy::PsaSd)
+                .run()
+                .ipc()
+        }
+    }
+}
+
+/// Run the ablation. The Original baselines prewarm through the parallel
+/// batch executor; each logic's custom-configured runs fan out with
+/// [`runner::parallel_map`].
 pub fn collect(settings: &Settings) -> Vec<Fig11Row> {
-    let kinds = [PrefetcherKind::Spp, PrefetcherKind::Vldp, PrefetcherKind::Ppf];
+    let kinds = [
+        PrefetcherKind::Spp,
+        PrefetcherKind::Vldp,
+        PrefetcherKind::Ppf,
+    ];
+    let workloads = settings.workloads();
     kinds
         .into_iter()
         .map(|kind| {
             let mut cache = RunCache::new();
+            let base_jobs: Vec<_> = workloads
+                .iter()
+                .map(|&w| (w, Variant::Pref(kind, PageSizePolicy::Original)))
+                .collect();
+            cache.run_batch(settings.config, &base_jobs);
             let mut speedups = [1.0f64; 4];
             for (i, logic) in Logic::ALL.into_iter().enumerate() {
-                let per: Vec<f64> = settings
-                    .workloads()
-                    .into_iter()
-                    .map(|w| {
+                let ipcs =
+                    runner::parallel_map(&workloads, |&w| logic_ipc(settings, kind, logic, w));
+                let per: Vec<f64> = workloads
+                    .iter()
+                    .zip(ipcs)
+                    .map(|(&w, ipc)| {
                         let orig = cache
                             .run(
                                 settings.config,
@@ -125,32 +186,6 @@ pub fn collect(settings: &Settings) -> Vec<Fig11Row> {
                                 Variant::Pref(kind, PageSizePolicy::Original),
                             )
                             .ipc();
-                        let ipc = match logic {
-                            Logic::IsoStorage => {
-                                let mut config = settings.config;
-                                config.sd = sd_config(logic);
-                                System::single_core_with_module(config, w, &|sets| {
-                                    PsaModule::new(
-                                        PageSizePolicy::Original,
-                                        PageSizeSource::Ppm,
-                                        &|grain| build_doubled(kind, grain),
-                                        sets,
-                                        sd_config(logic),
-                                        ModuleConfig::default(),
-                                    )
-                                    .expect("module shape")
-                                })
-                                .run()
-                                .ipc()
-                            }
-                            _ => {
-                                let mut config = settings.config;
-                                config.sd = sd_config(logic);
-                                System::single_core(config, w, kind, PageSizePolicy::PsaSd)
-                                    .run()
-                                    .ipc()
-                            }
-                        };
                         if orig > 0.0 {
                             ipc / orig
                         } else {
@@ -167,7 +202,32 @@ pub fn collect(settings: &Settings) -> Vec<Fig11Row> {
 
 /// Render the figure.
 pub fn run(settings: &Settings) -> String {
+    report(settings).0
+}
+
+/// Text rendering plus the `BENCH_fig11.json` document.
+pub fn report(settings: &Settings) -> (String, Json) {
     let rows = collect(settings);
+    let json_rows = Json::Arr(
+        rows.iter()
+            .map(|r| {
+                let mut obj = Json::obj([("prefetcher", Json::str(r.kind.name()))]);
+                for (logic, &s) in Logic::ALL.iter().zip(&r.speedups) {
+                    obj.push(
+                        logic.label().to_lowercase().replace([' ', '-'], "_"),
+                        Json::Num(s),
+                    );
+                }
+                obj
+            })
+            .collect(),
+    );
+    let doc = runner::doc(
+        "fig11",
+        "selection-logic ablation, geomean speedup over original",
+        settings,
+        json_rows,
+    );
     let mut t = Table::new(vec![
         "prefetcher".into(),
         "SD-Standard %".into(),
@@ -184,10 +244,11 @@ pub fn run(settings: &Settings) -> String {
             pct((r.speedups[3] - 1.0) * 100.0),
         ]);
     }
-    format!(
+    let text = format!(
         "Figure 11 — selection-logic ablation, geomean speedup over original (%)\n{}",
         t.render()
-    )
+    );
+    (text, doc)
 }
 
 #[cfg(test)]
@@ -209,9 +270,12 @@ mod tests {
 
     #[test]
     fn ablation_runs_on_a_small_slice() {
+        let _guard = crate::runner::test_env_lock();
         std::env::set_var("PSA_WORKLOAD_LIMIT", "4");
         let settings = Settings {
-            config: SimConfig::default().with_warmup(1_000).with_instructions(5_000),
+            config: SimConfig::default()
+                .with_warmup(1_000)
+                .with_instructions(5_000),
         };
         let rows = collect(&settings);
         std::env::remove_var("PSA_WORKLOAD_LIMIT");

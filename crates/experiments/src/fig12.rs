@@ -5,9 +5,9 @@
 use psa_common::{geomean, table::pct, Table};
 use psa_core::PageSizePolicy;
 use psa_prefetchers::PrefetcherKind;
-use psa_sim::SimConfig;
+use psa_sim::{Json, SimConfig};
 
-use crate::runner::{RunCache, Settings, Variant};
+use crate::runner::{self, RunCache, Settings, Variant};
 
 /// Which knob a sweep turns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +44,10 @@ pub fn sweep_points() -> Vec<(&'static str, Vec<Knob>)> {
     vec![
         (
             "A: L2C MSHR",
-            vec![8, 16, 32, 64, 128].into_iter().map(Knob::L2cMshr).collect(),
+            vec![8, 16, 32, 64, 128]
+                .into_iter()
+                .map(Knob::L2cMshr)
+                .collect(),
         ),
         (
             "B: LLC size",
@@ -55,7 +58,10 @@ pub fn sweep_points() -> Vec<(&'static str, Vec<Knob>)> {
         ),
         (
             "C: DRAM rate",
-            vec![400, 800, 1600, 3200, 6400].into_iter().map(Knob::DramMts).collect(),
+            vec![400, 800, 1600, 3200, 6400]
+                .into_iter()
+                .map(Knob::DramMts)
+                .collect(),
         ),
     ]
 }
@@ -74,24 +80,39 @@ pub struct Fig12Cell {
 }
 
 /// Run one panel's sweep for the given prefetchers.
-pub fn collect(
-    settings: &Settings,
-    kinds: &[PrefetcherKind],
-    knobs: &[Knob],
-) -> Vec<Fig12Cell> {
+pub fn collect(settings: &Settings, kinds: &[PrefetcherKind], knobs: &[Knob]) -> Vec<Fig12Cell> {
     let mut out = Vec::new();
+    let workloads = settings.workloads();
     for &knob in knobs {
         let config = knob.apply(settings.config);
         for &kind in kinds {
             let mut cache = RunCache::new();
             let base = Variant::Pref(kind, PageSizePolicy::Original);
+            let jobs: Vec<_> = workloads
+                .iter()
+                .flat_map(|&w| {
+                    [
+                        PageSizePolicy::Original,
+                        PageSizePolicy::Psa,
+                        PageSizePolicy::PsaSd,
+                    ]
+                    .into_iter()
+                    .map(move |policy| (w, Variant::Pref(kind, policy)))
+                })
+                .collect();
+            cache.run_batch(config, &jobs);
             let mut psa = Vec::new();
             let mut sd = Vec::new();
-            for w in settings.workloads() {
+            for &w in &workloads {
                 psa.push(cache.speedup(config, w, Variant::Pref(kind, PageSizePolicy::Psa), base));
                 sd.push(cache.speedup(config, w, Variant::Pref(kind, PageSizePolicy::PsaSd), base));
             }
-            out.push(Fig12Cell { kind, knob, psa: geomean(&psa), psa_sd: geomean(&sd) });
+            out.push(Fig12Cell {
+                kind,
+                knob,
+                psa: geomean(&psa),
+                psa_sd: geomean(&sd),
+            });
         }
     }
     out
@@ -100,9 +121,34 @@ pub fn collect(
 /// Render all three panels. `kinds` defaults to all four in the bench;
 /// tests pass a subset.
 pub fn run_with(settings: &Settings, kinds: &[PrefetcherKind]) -> String {
+    report_with(settings, kinds).0
+}
+
+/// Text rendering plus the `BENCH_fig12.json` document.
+pub fn report_with(settings: &Settings, kinds: &[PrefetcherKind]) -> (String, Json) {
     let mut out = String::from("Figure 12 — constrained evaluation, geomean over original (%)\n");
+    let mut panels = Vec::new();
     for (panel, knobs) in sweep_points() {
         let cells = collect(settings, kinds, &knobs);
+        panels.push(Json::obj([
+            ("panel", Json::str(panel)),
+            (
+                "cells",
+                Json::Arr(
+                    cells
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("setting", Json::str(c.knob.label())),
+                                ("prefetcher", Json::str(c.kind.name())),
+                                ("psa_geomean", Json::Num(c.psa)),
+                                ("psa_sd_geomean", Json::Num(c.psa_sd)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
         let mut t = Table::new(vec![
             "setting".into(),
             "prefetcher".into(),
@@ -119,12 +165,23 @@ pub fn run_with(settings: &Settings, kinds: &[PrefetcherKind]) -> String {
         }
         out.push_str(&format!("\nPanel {panel}\n{}", t.render()));
     }
-    out
+    let doc = runner::doc(
+        "fig12",
+        "constrained evaluation, geomean over original",
+        settings,
+        Json::Arr(panels),
+    );
+    (out, doc)
 }
 
 /// Render with all four evaluated prefetchers.
 pub fn run(settings: &Settings) -> String {
     run_with(settings, &PrefetcherKind::EVALUATED)
+}
+
+/// JSON report with all four evaluated prefetchers.
+pub fn report(settings: &Settings) -> (String, Json) {
+    report_with(settings, &PrefetcherKind::EVALUATED)
 }
 
 #[cfg(test)]
@@ -149,9 +206,12 @@ mod tests {
 
     #[test]
     fn tiny_sweep_runs() {
+        let _guard = crate::runner::test_env_lock();
         std::env::set_var("PSA_WORKLOAD_LIMIT", "3");
         let settings = Settings {
-            config: SimConfig::default().with_warmup(1_000).with_instructions(4_000),
+            config: SimConfig::default()
+                .with_warmup(1_000)
+                .with_instructions(4_000),
         };
         let cells = collect(
             &settings,

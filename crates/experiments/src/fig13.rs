@@ -6,9 +6,9 @@
 use psa_common::{geomean, Table};
 use psa_core::PageSizePolicy;
 use psa_prefetchers::PrefetcherKind;
-use psa_sim::{L1dPrefKind, System};
+use psa_sim::{Json, L1dPrefKind};
 
-use crate::runner::{RunCache, Settings, Variant};
+use crate::runner::{self, RunCache, Settings, Variant};
 
 /// One bar of the figure.
 #[derive(Debug, Clone)]
@@ -19,68 +19,93 @@ pub struct Fig13Bar {
     pub speedup: f64,
 }
 
-/// Run the comparison.
-pub fn collect(settings: &Settings) -> Vec<Fig13Bar> {
-    let mut cache = RunCache::new();
-    let workloads = settings.workloads();
-    let mut bars = Vec::new();
+const L1D_KINDS: [L1dPrefKind; 3] = [
+    L1dPrefKind::NextLine,
+    L1dPrefKind::Ipcp,
+    L1dPrefKind::IpcpPlusPlus,
+];
 
-    // L1D prefetchers: run with the dedicated sim configuration.
-    for l1d in [L1dPrefKind::NextLine, L1dPrefKind::Ipcp, L1dPrefKind::IpcpPlusPlus] {
-        let per: Vec<f64> = workloads
-            .iter()
-            .map(|w| {
-                let base = cache.run(settings.config, w, Variant::NoPrefetch).ipc();
-                let mut config = settings.config;
-                config.l1d_prefetcher = l1d;
-                let ipc = System::baseline(config, w).run().ipc();
-                if base > 0.0 {
-                    ipc / base
-                } else {
-                    1.0
-                }
-            })
-            .collect();
-        bars.push(Fig13Bar { label: l1d.to_string(), speedup: geomean(&per) });
-    }
-
-    // L2C prefetchers, PSA and PSA-SD versions.
+/// The figure's (label, variant) bar list, in the paper's order.
+fn bar_variants() -> Vec<(String, Variant)> {
+    let mut out: Vec<(String, Variant)> = L1D_KINDS
+        .into_iter()
+        .map(|l1d| (l1d.to_string(), Variant::L1d(l1d)))
+        .collect();
     for kind in PrefetcherKind::EVALUATED {
         for policy in [PageSizePolicy::Psa, PageSizePolicy::PsaSd] {
             if kind == PrefetcherKind::Bop && policy == PageSizePolicy::PsaSd {
                 continue; // identical to BOP-PSA (§VI-B1)
             }
-            let per: Vec<f64> = workloads
-                .iter()
-                .map(|w| {
-                    cache.speedup(
-                        settings.config,
-                        w,
-                        Variant::Pref(kind, policy),
-                        Variant::NoPrefetch,
-                    )
-                })
-                .collect();
-            bars.push(Fig13Bar {
-                label: format!("{}{}", kind.name(), policy.suffix()),
-                speedup: geomean(&per),
-            });
+            out.push((
+                format!("{}{}", kind.name(), policy.suffix()),
+                Variant::Pref(kind, policy),
+            ));
         }
     }
-    bars
+    out
+}
+
+/// Run the comparison.
+pub fn collect(settings: &Settings) -> Vec<Fig13Bar> {
+    let mut cache = RunCache::new();
+    let workloads = settings.workloads();
+    let variants = bar_variants();
+    let jobs: Vec<_> = workloads
+        .iter()
+        .flat_map(|&w| {
+            std::iter::once((w, Variant::NoPrefetch))
+                .chain(variants.iter().map(move |&(_, v)| (w, v)))
+        })
+        .collect();
+    cache.run_batch(settings.config, &jobs);
+    variants
+        .into_iter()
+        .map(|(label, variant)| {
+            let per: Vec<f64> = workloads
+                .iter()
+                .map(|w| cache.speedup(settings.config, w, variant, Variant::NoPrefetch))
+                .collect();
+            Fig13Bar {
+                label,
+                speedup: geomean(&per),
+            }
+        })
+        .collect()
 }
 
 /// Render the figure.
 pub fn run(settings: &Settings) -> String {
+    report(settings).0
+}
+
+/// Text rendering plus the `BENCH_fig13.json` document.
+pub fn report(settings: &Settings) -> (String, Json) {
     let bars = collect(settings);
     let mut t = Table::new(vec!["configuration".into(), "speedup ×".into()]);
     for b in &bars {
         t.row(vec![b.label.clone(), format!("{:.3}", b.speedup)]);
     }
-    format!(
+    let text = format!(
         "Figure 13 — vs L1D prefetching, geomean speedup over no-prefetch baseline\n{}",
         t.render()
-    )
+    );
+    let json_rows = Json::Arr(
+        bars.iter()
+            .map(|b| {
+                Json::obj([
+                    ("configuration", Json::str(&b.label)),
+                    ("geomean_speedup", Json::Num(b.speedup)),
+                ])
+            })
+            .collect(),
+    );
+    let doc = runner::doc(
+        "fig13",
+        "vs L1D prefetching, geomean speedup over no-prefetch baseline",
+        settings,
+        json_rows,
+    );
+    (text, doc)
 }
 
 #[cfg(test)]
@@ -90,9 +115,12 @@ mod tests {
 
     #[test]
     fn bars_cover_l1d_and_l2c_configurations() {
+        let _guard = crate::runner::test_env_lock();
         std::env::set_var("PSA_WORKLOAD_LIMIT", "4");
         let settings = Settings {
-            config: SimConfig::default().with_warmup(1_000).with_instructions(5_000),
+            config: SimConfig::default()
+                .with_warmup(1_000)
+                .with_instructions(5_000),
         };
         let bars = collect(&settings);
         std::env::remove_var("PSA_WORKLOAD_LIMIT");

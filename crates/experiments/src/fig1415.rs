@@ -5,11 +5,11 @@
 use psa_common::{geomean, stats::weighted_speedup, DistSummary, Table};
 use psa_core::PageSizePolicy;
 use psa_prefetchers::PrefetcherKind;
-use psa_sim::{SimConfig, System};
+use psa_sim::{Json, MultiReport, SimConfig, System};
 use psa_traces::{mixes::random_mixes, WorkloadSpec};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use crate::runner::Settings;
+use crate::runner::{self, Settings};
 
 /// The distribution of per-mix weighted speedups for one configuration.
 #[derive(Debug, Clone)]
@@ -18,22 +18,6 @@ pub struct MultiBar {
     pub label: String,
     /// Weighted speedup per mix.
     pub per_mix: Vec<f64>,
-}
-
-/// Per-workload isolation IPC on the multi-core-spec machine, memoised.
-struct IsolationCache {
-    config: SimConfig,
-    ipc: HashMap<(&'static str, &'static str), f64>,
-}
-
-impl IsolationCache {
-    fn get(&mut self, w: &'static WorkloadSpec, kind: PrefetcherKind, policy: PageSizePolicy) -> f64 {
-        *self.ipc.entry((w.name, policy_label(kind, policy))).or_insert_with(|| {
-            let mut config = self.config;
-            config.cores = 1;
-            System::multi_core(config, &[w], kind, policy).run_multi().ipc[0]
-        })
-    }
 }
 
 fn policy_label(kind: PrefetcherKind, policy: PageSizePolicy) -> &'static str {
@@ -68,37 +52,128 @@ pub fn bar_set() -> Vec<(PrefetcherKind, PageSizePolicy)> {
 }
 
 /// Run the evaluation for `cores`-wide mixes.
+///
+/// The expensive multi-core simulations fan out with
+/// [`runner::parallel_map`]: isolation IPCs and Original baselines are
+/// deduplicated to one run per `(prefetcher, workload)` /
+/// `(prefetcher, mix)` pair, then each bar's evaluated mixes run
+/// concurrently. Every simulation is seed-deterministic, so the output
+/// matches the serial order exactly.
 pub fn collect(settings: &Settings, cores: usize) -> Vec<MultiBar> {
     let mut config = SimConfig::for_cores(cores);
     config.warmup = settings.config.warmup;
     config.instructions = settings.config.instructions;
     config.seed = settings.config.seed;
     let mixes = random_mixes(settings.mixes(), cores, config.seed);
-    let mut iso = IsolationCache { config, ipc: HashMap::new() };
+    let bars = bar_set();
 
-    bar_set()
-        .into_iter()
+    // Unique prefetcher kinds, in bar order.
+    let mut kinds: Vec<PrefetcherKind> = Vec::new();
+    for &(kind, _) in &bars {
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+
+    // Isolation IPCs: one single-core run per (prefetcher, workload) pair.
+    let mut iso_jobs: Vec<(PrefetcherKind, &'static WorkloadSpec)> = Vec::new();
+    let mut seen: HashSet<(&'static str, &'static str)> = HashSet::new();
+    for &kind in &kinds {
+        let label = policy_label(kind, PageSizePolicy::Original);
+        for mix in &mixes {
+            for &w in mix {
+                if seen.insert((w.name, label)) {
+                    iso_jobs.push((kind, w));
+                }
+            }
+        }
+    }
+    let iso_vals = runner::parallel_map(&iso_jobs, |&(kind, w)| {
+        let mut solo = config;
+        solo.cores = 1;
+        System::multi_core(solo, &[w], kind, PageSizePolicy::Original)
+            .run_multi()
+            .ipc[0]
+    });
+    let iso: HashMap<(&'static str, &'static str), f64> = iso_jobs
+        .iter()
+        .zip(iso_vals)
+        .map(|(&(kind, w), v)| ((w.name, policy_label(kind, PageSizePolicy::Original)), v))
+        .collect();
+
+    // Original-baseline multi-core runs: one per (prefetcher, mix).
+    let base_jobs: Vec<(PrefetcherKind, usize)> = kinds
+        .iter()
+        .flat_map(|&k| (0..mixes.len()).map(move |i| (k, i)))
+        .collect();
+    let base_vals = runner::parallel_map(&base_jobs, |&(kind, i)| {
+        System::multi_core(config, &mixes[i], kind, PageSizePolicy::Original).run_multi()
+    });
+    let base: HashMap<(&'static str, usize), MultiReport> = base_jobs
+        .iter()
+        .zip(base_vals)
+        .map(|(&(kind, i), r)| ((policy_label(kind, PageSizePolicy::Original), i), r))
+        .collect();
+
+    let mix_indices: Vec<usize> = (0..mixes.len()).collect();
+    bars.into_iter()
         .map(|(kind, policy)| {
-            let per_mix: Vec<f64> = mixes
+            let evals = runner::parallel_map(&mix_indices, |&i| {
+                System::multi_core(config, &mixes[i], kind, policy).run_multi()
+            });
+            let per_mix: Vec<f64> = evals
                 .iter()
-                .map(|mix| {
-                    let eval = System::multi_core(config, mix, kind, policy).run_multi();
-                    let base =
-                        System::multi_core(config, mix, kind, PageSizePolicy::Original)
-                            .run_multi();
+                .enumerate()
+                .map(|(i, eval)| {
+                    let label = policy_label(kind, PageSizePolicy::Original);
                     let isolation: Vec<f64> =
-                        mix.iter().map(|w| iso.get(w, kind, PageSizePolicy::Original)).collect();
-                    weighted_speedup(&eval.ipc, &base.ipc, &isolation)
+                        mixes[i].iter().map(|w| iso[&(w.name, label)]).collect();
+                    weighted_speedup(&eval.ipc, &base[&(label, i)].ipc, &isolation)
                 })
                 .collect();
-            MultiBar { label: format!("{}{}", kind.name(), policy.suffix()), per_mix }
+            MultiBar {
+                label: format!("{}{}", kind.name(), policy.suffix()),
+                per_mix,
+            }
         })
         .collect()
 }
 
 /// Render one figure (4-core → Figure 14, 8-core → Figure 15).
 pub fn run(settings: &Settings, cores: usize) -> String {
+    report(settings, cores).0
+}
+
+/// Text rendering plus the `BENCH_fig14.json` / `BENCH_fig15.json`
+/// document.
+pub fn report(settings: &Settings, cores: usize) -> (String, Json) {
     let bars = collect(settings, cores);
+    let figure = if cores == 4 { "fig14" } else { "fig15" };
+    let json_rows = Json::Arr(
+        bars.iter()
+            .map(|b| {
+                Json::obj([
+                    ("configuration", Json::str(&b.label)),
+                    ("geomean_weighted_speedup", Json::Num(geomean(&b.per_mix))),
+                    (
+                        "per_mix_weighted_speedup",
+                        Json::Arr(b.per_mix.iter().map(|&s| Json::Num(s)).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let mut doc = runner::doc(
+        figure,
+        "multi-core weighted speedups over each original",
+        settings,
+        json_rows,
+    );
+    doc.push("cores", Json::uint(cores as u64));
+    doc.push(
+        "mixes",
+        Json::uint(bars.first().map_or(0, |b| b.per_mix.len()) as u64),
+    );
     let mut t = Table::new(vec![
         "configuration".into(),
         "geomean %".into(),
@@ -107,15 +182,20 @@ pub fn run(settings: &Settings, cores: usize) -> String {
     for b in &bars {
         let pcts: Vec<f64> = b.per_mix.iter().map(|s| (s - 1.0) * 100.0).collect();
         let g = (geomean(&b.per_mix) - 1.0) * 100.0;
-        t.row(vec![b.label.clone(), format!("{g:+.1}"), DistSummary::of(&pcts).to_string()]);
+        t.row(vec![
+            b.label.clone(),
+            format!("{g:+.1}"),
+            DistSummary::of(&pcts).to_string(),
+        ]);
     }
-    format!(
+    let text = format!(
         "Figure {} — {}-core weighted speedups over each original, {} mixes\n{}",
         if cores == 4 { 14 } else { 15 },
         cores,
         bars.first().map_or(0, |b| b.per_mix.len()),
         t.render()
-    )
+    );
+    (text, doc)
 }
 
 #[cfg(test)]
@@ -124,16 +204,24 @@ mod tests {
 
     #[test]
     fn two_core_smoke() {
+        let _guard = crate::runner::test_env_lock();
         std::env::set_var("PSA_MIXES", "2");
         let settings = Settings {
-            config: SimConfig::default().with_warmup(500).with_instructions(2_500),
+            config: SimConfig::default()
+                .with_warmup(500)
+                .with_instructions(2_500),
         };
         let bars = collect(&settings, 2);
         std::env::remove_var("PSA_MIXES");
         assert_eq!(bars.len(), 7);
         for b in &bars {
             assert_eq!(b.per_mix.len(), 2);
-            assert!(b.per_mix.iter().all(|&s| s > 0.2 && s < 5.0), "{}: {:?}", b.label, b.per_mix);
+            assert!(
+                b.per_mix.iter().all(|&s| s > 0.2 && s < 5.0),
+                "{}: {:?}",
+                b.label,
+                b.per_mix
+            );
         }
     }
 }

@@ -2,8 +2,13 @@
 //! Cache Prefetching* (MICRO 2022).
 //!
 //! Every module exposes a `run(settings) -> String` entry point that
-//! executes the experiment and renders the paper's rows as plain text;
-//! the `psa-bench` crate wraps each in a `cargo bench` target.
+//! executes the experiment and renders the paper's rows as plain text,
+//! plus a `report(settings) -> (String, Json)` variant that additionally
+//! assembles the machine-readable `BENCH_<figure>.json` document (see
+//! `docs/METRICS.md`); the `psa-bench` crate wraps each in a `cargo
+//! bench` target. Independent simulations fan out across cores through
+//! [`runner::RunCache::run_batch`] and [`runner::parallel_map`] —
+//! bit-identical to serial execution (see [`runner`]).
 //!
 //! | Module | Paper content |
 //! |---|---|
@@ -23,7 +28,9 @@
 //! Scaling knobs (environment): `PSA_WARMUP`, `PSA_INSTRUCTIONS` override
 //! the per-run instruction budget; `PSA_WORKLOAD_LIMIT=n` subsamples the
 //! 80-workload set (stride-sampled so every suite stays represented);
-//! `PSA_MIXES=n` bounds the multi-core mix count.
+//! `PSA_MIXES=n` bounds the multi-core mix count; `PSA_THREADS=n` caps
+//! the parallel executor's worker count (default: all cores);
+//! `PSA_JSON_RUNS=1` embeds raw per-run reports in emitted JSON.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

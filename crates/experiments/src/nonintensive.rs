@@ -5,10 +5,11 @@
 use psa_common::{geomean, table::pct, Table};
 use psa_core::PageSizePolicy;
 use psa_prefetchers::PrefetcherKind;
+use psa_sim::Json;
 use psa_traces::{catalog, WorkloadSpec};
 
-use crate::fig09::{collect_over, Fig09Cell};
-use crate::runner::{RunCache, Settings, Variant};
+use crate::fig09::{cells_json, collect_over, Fig09Cell};
+use crate::runner::{self, RunCache, Settings, Variant};
 
 /// Run the augmented-set sweep.
 pub fn collect(settings: &Settings) -> Vec<Fig09Cell> {
@@ -25,6 +26,15 @@ pub fn non_intensive_only(settings: &Settings) -> Vec<(PrefetcherKind, f64)> {
         .map(|kind| {
             let mut cache = RunCache::new();
             let base = Variant::Pref(kind, PageSizePolicy::Original);
+            let jobs: Vec<_> = catalog::NON_INTENSIVE
+                .iter()
+                .flat_map(|w| {
+                    [base, Variant::Pref(kind, PageSizePolicy::PsaSd)]
+                        .into_iter()
+                        .map(move |v| (w, v))
+                })
+                .collect();
+            cache.run_batch(settings.config, &jobs);
             let per: Vec<f64> = catalog::NON_INTENSIVE
                 .iter()
                 .map(|w| {
@@ -43,17 +53,49 @@ pub fn non_intensive_only(settings: &Settings) -> Vec<(PrefetcherKind, f64)> {
 
 /// Render the section's numbers.
 pub fn run(settings: &Settings) -> String {
+    report(settings).0
+}
+
+/// Text rendering plus the `BENCH_nonintensive.json` document.
+pub fn report(settings: &Settings) -> (String, Json) {
     let cells = collect(settings);
     let mut out = crate::fig09::render(
         &cells,
         "§VI-B1 — intensive + non-intensive set, geomean over each original (%)",
     );
-    let mut t = Table::new(vec!["prefetcher".into(), "PSA-SD on non-intensive only %".into()]);
-    for (kind, g) in non_intensive_only(settings) {
+    let no_harm = non_intensive_only(settings);
+    let mut t = Table::new(vec![
+        "prefetcher".into(),
+        "PSA-SD on non-intensive only %".into(),
+    ]);
+    for (kind, g) in &no_harm {
         t.row(vec![kind.name().into(), pct((g - 1.0) * 100.0)]);
     }
-    out.push_str(&format!("\nNo-harm check (non-intensive workloads only)\n{}", t.render()));
-    out
+    out.push_str(&format!(
+        "\nNo-harm check (non-intensive workloads only)\n{}",
+        t.render()
+    ));
+    let mut doc = runner::doc(
+        "nonintensive",
+        "intensive + non-intensive set, geomean over each original",
+        settings,
+        cells_json(&cells),
+    );
+    doc.push(
+        "no_harm_geomeans",
+        Json::Arr(
+            no_harm
+                .iter()
+                .map(|(kind, g)| {
+                    Json::obj([
+                        ("prefetcher", Json::str(kind.name())),
+                        ("psa_sd_geomean", Json::Num(*g)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    (out, doc)
 }
 
 #[cfg(test)]
@@ -64,7 +106,9 @@ mod tests {
     #[test]
     fn no_harm_on_quiet_workloads() {
         let settings = Settings {
-            config: SimConfig::default().with_warmup(2_000).with_instructions(8_000),
+            config: SimConfig::default()
+                .with_warmup(2_000)
+                .with_instructions(8_000),
         };
         for (kind, g) in non_intensive_only(&settings) {
             assert!(

@@ -1,11 +1,35 @@
-//! Shared experiment plumbing: run settings, workload selection and a
-//! memoising run cache so baselines are simulated once per experiment.
+//! Shared experiment plumbing: run settings, workload selection, a
+//! memoising run cache, and the parallel experiment executor.
+//!
+//! # Parallel execution
+//!
+//! Every `(workload, variant)` simulation is independent — each owns its
+//! [`System`], and every stochastic choice flows from the run's own seeded
+//! RNG — so experiments fan them out across cores with [`RunCache::run_batch`]
+//! (a work-queue over `std::thread::scope`, no external dependencies).
+//! Results are **bit-identical** to the serial order regardless of thread
+//! count or scheduling; the `parallel_matches_serial` test asserts it.
+//!
+//! The thread count comes from `PSA_THREADS` (default: all available
+//! cores). `PSA_THREADS=1` forces the serial path.
+//!
+//! # Observability
+//!
+//! Each [`RunCache`] tracks an [`ExecStats`]: simulations executed, memo
+//! hits, per-run wall-clock, simulated cycles (and the derived
+//! cycles/second throughput), peak queue depth and per-thread run counts.
+//! The same counters are aggregated process-wide and embedded in every
+//! emitted `BENCH_*.json` under `"executor"` (see [`global_stats`]).
 
 use psa_core::PageSizePolicy;
 use psa_prefetchers::PrefetcherKind;
-use psa_sim::{RunReport, SimConfig, System};
+use psa_sim::report::{self, Json};
+use psa_sim::{L1dPrefKind, RunReport, SimConfig, System};
 use psa_traces::{catalog, WorkloadSpec};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Experiment-wide settings.
 #[derive(Debug, Clone, Copy)]
@@ -32,7 +56,10 @@ impl Settings {
     /// stride-sampling so each suite stays represented.
     pub fn workloads(&self) -> Vec<&'static WorkloadSpec> {
         let all: Vec<&WorkloadSpec> = catalog::all().iter().collect();
-        match std::env::var("PSA_WORKLOAD_LIMIT").ok().and_then(|v| v.parse::<usize>().ok()) {
+        match std::env::var("PSA_WORKLOAD_LIMIT")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
             Some(limit) if limit > 0 && limit < all.len() => {
                 let stride = all.len().div_ceil(limit);
                 all.into_iter().step_by(stride).collect()
@@ -44,11 +71,27 @@ impl Settings {
     /// Number of multi-core mixes, honouring `PSA_MIXES` (default 8;
     /// the paper uses 100).
     pub fn mixes(&self) -> usize {
-        std::env::var("PSA_MIXES").ok().and_then(|v| v.parse().ok()).unwrap_or(8)
+        std::env::var("PSA_MIXES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8)
     }
 }
 
-/// What ran on the L2C prefetcher slot.
+/// Worker-thread count for parallel experiment execution: `PSA_THREADS`
+/// when set to a positive integer, else every available core.
+pub fn threads() -> usize {
+    match std::env::var("PSA_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// What ran on the L2C prefetcher slot (or, for [`Variant::L1d`], which
+/// L1D prefetcher ran with the L2C slot empty).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// No prefetching anywhere (the speedup baseline of Figures 4/5/13).
@@ -58,6 +101,253 @@ pub enum Variant {
     /// Like [`Variant::Pref`] but with the §III "Magic" page-size oracle
     /// instead of PPM's MSHR bit.
     PrefMagic(PrefetcherKind, PageSizePolicy),
+    /// An L1D prefetcher with no L2C prefetching (Figure 13's comparison
+    /// points).
+    L1d(L1dPrefKind),
+}
+
+impl Variant {
+    /// Stable label used in JSON exports and summaries.
+    pub fn label(&self) -> String {
+        match self {
+            Variant::NoPrefetch => "no-prefetch".into(),
+            Variant::Pref(kind, policy) => format!("{}{}", kind.name(), policy.suffix()),
+            Variant::PrefMagic(kind, policy) => {
+                format!("{}-Magic{}", kind.name(), policy.suffix())
+            }
+            Variant::L1d(kind) => format!("L1D-{kind}"),
+        }
+    }
+}
+
+/// Simulate one `(workload, variant)` pair from scratch. Pure: the run
+/// owns its [`System`] and seeded RNG, so the result depends only on the
+/// arguments — this is what makes parallel execution bit-identical to
+/// serial.
+fn simulate(config: SimConfig, workload: &'static WorkloadSpec, variant: Variant) -> RunReport {
+    match variant {
+        Variant::NoPrefetch => System::baseline(config, workload).run(),
+        Variant::Pref(kind, policy) => System::single_core(config, workload, kind, policy).run(),
+        Variant::PrefMagic(kind, policy) => {
+            let mut config = config;
+            config.page_size_source = psa_core::ppm::PageSizeSource::Magic;
+            System::single_core(config, workload, kind, policy).run()
+        }
+        Variant::L1d(kind) => {
+            let mut config = config;
+            config.l1d_prefetcher = kind;
+            System::baseline(config, workload).run()
+        }
+    }
+}
+
+// Process-wide executor counters, aggregated across every RunCache and
+// parallel_map so a bench binary can report one summary.
+static G_SIMULATED: AtomicU64 = AtomicU64::new(0);
+static G_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static G_BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+static G_WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+static G_SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
+static G_QUEUE_PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn record_global(simulated: u64, memo_hits: u64, busy: Duration, wall: Duration, cycles: u64) {
+    G_SIMULATED.fetch_add(simulated, Ordering::Relaxed);
+    G_MEMO_HITS.fetch_add(memo_hits, Ordering::Relaxed);
+    G_BUSY_NANOS.fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    G_WALL_NANOS.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+    G_SIM_CYCLES.fetch_add(cycles, Ordering::Relaxed);
+}
+
+// Process-wide run journal: every simulation a RunCache executes is
+// recorded here when `PSA_JSON_RUNS=1`, so [`doc`] can embed the raw
+// reports even when the cache lives inside a `collect()` call.
+static G_RUNS: Mutex<Vec<((&'static str, Variant), RunReport)>> = Mutex::new(Vec::new());
+
+fn json_runs_enabled() -> bool {
+    std::env::var("PSA_JSON_RUNS").is_ok_and(|v| v == "1")
+}
+
+fn journal_run(workload: &'static str, variant: Variant, report: &RunReport) {
+    if json_runs_enabled() {
+        G_RUNS
+            .lock()
+            .expect("unpoisoned journal")
+            .push(((workload, variant), report.clone()));
+    }
+}
+
+/// The process-wide run journal as a JSON array of
+/// `{workload, variant, report}`, deduplicated (a pair re-simulated by a
+/// later cache yields the identical report) and sorted by
+/// (workload, variant label). Empty unless `PSA_JSON_RUNS=1` was set
+/// while the runs executed.
+pub fn journal_json() -> Json {
+    let journal = G_RUNS.lock().expect("unpoisoned journal");
+    let mut entries: std::collections::BTreeMap<(&'static str, String), &RunReport> =
+        std::collections::BTreeMap::new();
+    for ((w, v), r) in journal.iter() {
+        entries.insert((w, v.label()), r);
+    }
+    Json::Arr(
+        entries
+            .into_iter()
+            .map(|((w, label), r)| {
+                Json::obj([
+                    ("workload", Json::str(w)),
+                    ("variant", Json::str(label)),
+                    ("report", report::run_report(r)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Execution statistics of one [`RunCache`] (or, via [`global_stats`], the
+/// whole process).
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Simulations actually executed.
+    pub simulated: u64,
+    /// `run()`/`speedup()` calls served from the memo instead.
+    pub memo_hits: u64,
+    /// Summed per-run wall-clock (CPU-side work across all threads).
+    pub busy: Duration,
+    /// Wall-clock spent inside `run()`/`run_batch()` (elapsed time).
+    pub wall: Duration,
+    /// Simulated cycles across executed runs.
+    pub sim_cycles: u64,
+    /// Deepest work queue handed to the executor at once.
+    pub queue_peak: u64,
+    /// Runs executed by each worker thread of the largest pool used.
+    pub per_thread: Vec<u64>,
+}
+
+impl ExecStats {
+    /// Simulated cycles per wall-clock second; 0 when nothing ran.
+    pub fn cycles_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.sim_cycles as f64 / secs
+        }
+    }
+
+    /// One-line human summary for experiment banners.
+    pub fn summary(&self) -> String {
+        let per_thread = if self.per_thread.is_empty() {
+            String::new()
+        } else {
+            format!(", per-thread runs {:?}", self.per_thread)
+        };
+        format!(
+            "{} simulated, {} memo hits, {:.2}s wall / {:.2}s busy, {:.1} Mcycles/s, queue peak {}{}",
+            self.simulated,
+            self.memo_hits,
+            self.wall.as_secs_f64(),
+            self.busy.as_secs_f64(),
+            self.cycles_per_sec() / 1e6,
+            self.queue_peak,
+            per_thread,
+        )
+    }
+
+    /// The stats as a JSON object (the `"executor"` section of emitted
+    /// documents).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("threads", Json::uint(threads() as u64)),
+            ("simulated_runs", Json::uint(self.simulated)),
+            ("memo_hits", Json::uint(self.memo_hits)),
+            ("wall_seconds", Json::Num(self.wall.as_secs_f64())),
+            ("busy_seconds", Json::Num(self.busy.as_secs_f64())),
+            ("sim_cycles", Json::uint(self.sim_cycles)),
+            ("sim_cycles_per_sec", Json::Num(self.cycles_per_sec())),
+            ("queue_peak", Json::uint(self.queue_peak)),
+            (
+                "per_thread_runs",
+                Json::Arr(self.per_thread.iter().map(|&n| Json::uint(n)).collect()),
+            ),
+        ])
+    }
+}
+
+/// Snapshot of the process-wide executor counters (every [`RunCache`] and
+/// [`parallel_map`] contributes).
+pub fn global_stats() -> ExecStats {
+    ExecStats {
+        simulated: G_SIMULATED.load(Ordering::Relaxed),
+        memo_hits: G_MEMO_HITS.load(Ordering::Relaxed),
+        busy: Duration::from_nanos(G_BUSY_NANOS.load(Ordering::Relaxed)),
+        wall: Duration::from_nanos(G_WALL_NANOS.load(Ordering::Relaxed)),
+        sim_cycles: G_SIM_CYCLES.load(Ordering::Relaxed),
+        queue_peak: G_QUEUE_PEAK.load(Ordering::Relaxed),
+        per_thread: Vec::new(),
+    }
+}
+
+/// Map `f` over `items` on the experiment thread pool, preserving input
+/// order in the results (and therefore producing output identical to a
+/// serial `items.iter().map(f)`).
+///
+/// Used by experiments whose runs don't fit the `(workload, variant)` memo
+/// key — custom Set-Dueling shapes, doubled-storage modules, multi-core
+/// mixes. `f` must be pure for the order-independence to hold.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads().min(items.len());
+    let started = Instant::now();
+    let busy = AtomicU64::new(0);
+    let out = if workers <= 1 {
+        items
+            .iter()
+            .map(|item| {
+                let t0 = Instant::now();
+                let r = f(item);
+                busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                r
+            })
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let t0 = Instant::now();
+                    let r = f(item);
+                    busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    *slots[i].lock().expect("unpoisoned slot") = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("unpoisoned slot")
+                    .expect("slot filled")
+            })
+            .collect()
+    };
+    G_QUEUE_PEAK.fetch_max(items.len() as u64, Ordering::Relaxed);
+    // Simulated cycles stay 0 here: `R` is opaque, so only the memoising
+    // cache can attribute cycles. The job count still counts as executed
+    // simulations in every experiment that uses this helper.
+    record_global(
+        items.len() as u64,
+        0,
+        Duration::from_nanos(busy.load(Ordering::Relaxed)),
+        started.elapsed(),
+        0,
+    );
+    out
 }
 
 /// A memoising single-core run cache: each (workload, variant) simulates
@@ -65,12 +355,119 @@ pub enum Variant {
 #[derive(Default)]
 pub struct RunCache {
     runs: HashMap<(&'static str, Variant), RunReport>,
+    stats: ExecStats,
 }
 
 impl RunCache {
     /// Fresh cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Execution statistics accumulated by this cache.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    fn record(&mut self, simulated: u64, busy: Duration, wall: Duration, cycles: u64) {
+        self.stats.simulated += simulated;
+        self.stats.busy += busy;
+        self.stats.wall += wall;
+        self.stats.sim_cycles += cycles;
+        record_global(simulated, 0, busy, wall, cycles);
+    }
+
+    /// Simulate every not-yet-cached `(workload, variant)` pair of `jobs`
+    /// in parallel (work-queue over `PSA_THREADS` workers), then serve all
+    /// of them from the memo. Results are bit-identical to running the
+    /// same jobs serially, in any order: each run is independent and owns
+    /// its seeded RNG.
+    pub fn run_batch(
+        &mut self,
+        config: SimConfig,
+        jobs: &[(&'static WorkloadSpec, Variant)],
+    ) -> usize {
+        let mut todo: Vec<(&'static WorkloadSpec, Variant)> = Vec::new();
+        let mut queued: std::collections::HashSet<(&'static str, Variant)> =
+            std::collections::HashSet::new();
+        for &(w, v) in jobs {
+            if !self.runs.contains_key(&(w.name, v)) && queued.insert((w.name, v)) {
+                todo.push((w, v));
+            }
+        }
+        if todo.is_empty() {
+            return 0;
+        }
+        self.stats.queue_peak = self.stats.queue_peak.max(todo.len() as u64);
+        G_QUEUE_PEAK.fetch_max(todo.len() as u64, Ordering::Relaxed);
+
+        let workers = threads().min(todo.len());
+        let started = Instant::now();
+        if workers <= 1 {
+            let mut busy = Duration::ZERO;
+            let mut cycles = 0;
+            for &(w, v) in &todo {
+                let t0 = Instant::now();
+                let report = simulate(config, w, v);
+                busy += t0.elapsed();
+                cycles += report.cycles;
+                journal_run(w.name, v, &report);
+                self.runs.insert((w.name, v), report);
+            }
+            if self.stats.per_thread.is_empty() {
+                self.stats.per_thread = vec![0];
+            }
+            self.stats.per_thread[0] += todo.len() as u64;
+            self.record(todo.len() as u64, busy, started.elapsed(), cycles);
+            return todo.len();
+        }
+
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, RunReport, Duration)>> = Mutex::new(Vec::new());
+        let mut thread_runs = vec![0u64; workers];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, RunReport, Duration)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(w, v)) = todo.get(i) else { break };
+                            let t0 = Instant::now();
+                            let report = simulate(config, w, v);
+                            local.push((i, report, t0.elapsed()));
+                        }
+                        let count = local.len() as u64;
+                        done.lock().expect("unpoisoned results").extend(local);
+                        count
+                    })
+                })
+                .collect();
+            for (t, handle) in handles.into_iter().enumerate() {
+                thread_runs[t] = handle.join().expect("worker panicked");
+            }
+        });
+
+        let mut results = done.into_inner().expect("unpoisoned results");
+        results.sort_by_key(|&(i, _, _)| i);
+        let mut busy = Duration::ZERO;
+        let mut cycles = 0;
+        let n = results.len();
+        for (i, report, dur) in results {
+            busy += dur;
+            cycles += report.cycles;
+            let (w, v) = todo[i];
+            journal_run(w.name, v, &report);
+            self.runs.insert((w.name, v), report);
+        }
+        if self.stats.per_thread.len() < workers {
+            self.stats.per_thread.resize(workers, 0);
+        }
+        for (t, &count) in thread_runs.iter().enumerate() {
+            self.stats.per_thread[t] += count;
+        }
+        self.record(n as u64, busy, started.elapsed(), cycles);
+        n
     }
 
     /// Simulate (or recall) `workload` under `variant`.
@@ -80,17 +477,26 @@ impl RunCache {
         workload: &'static WorkloadSpec,
         variant: Variant,
     ) -> &RunReport {
-        self.runs.entry((workload.name, variant)).or_insert_with(|| match variant {
-            Variant::NoPrefetch => System::baseline(config, workload).run(),
-            Variant::Pref(kind, policy) => {
-                System::single_core(config, workload, kind, policy).run()
+        match self.runs.entry((workload.name, variant)) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let t0 = Instant::now();
+                let report = simulate(config, workload, variant);
+                let dur = t0.elapsed();
+                let cycles = report.cycles;
+                journal_run(workload.name, variant, &report);
+                slot.insert(report);
+                if self.stats.per_thread.is_empty() {
+                    self.stats.per_thread = vec![0];
+                }
+                self.stats.per_thread[0] += 1;
+                self.record(1, dur, dur, cycles);
             }
-            Variant::PrefMagic(kind, policy) => {
-                let mut config = config;
-                config.page_size_source = psa_core::ppm::PageSizeSource::Magic;
-                System::single_core(config, workload, kind, policy).run()
+            std::collections::hash_map::Entry::Occupied(_) => {
+                self.stats.memo_hits += 1;
+                G_MEMO_HITS.fetch_add(1, Ordering::Relaxed);
             }
-        })
+        }
+        &self.runs[&(workload.name, variant)]
     }
 
     /// IPC ratio of `num` over `den` for one workload.
@@ -109,24 +515,145 @@ impl RunCache {
             n / d
         }
     }
+
+    /// Every cached run as a JSON array of `{workload, variant, report}`,
+    /// sorted by (workload, variant label) for stable output.
+    pub fn runs_json(&self) -> Json {
+        let mut entries: Vec<(&'static str, String, &RunReport)> = self
+            .runs
+            .iter()
+            .map(|(&(w, v), r)| (w, v.label(), r))
+            .collect();
+        entries.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        Json::Arr(
+            entries
+                .into_iter()
+                .map(|(w, label, r)| {
+                    Json::obj([
+                        ("workload", Json::str(w)),
+                        ("variant", Json::str(label)),
+                        ("report", report::run_report(r)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Assemble the standard `BENCH_<figure>.json` document: schema version,
+/// figure id and title, the run configuration, the figure-specific `rows`,
+/// and the process-wide executor statistics. With `PSA_JSON_RUNS=1` the
+/// raw per-run reports executed so far ride along under `"runs"` (see
+/// [`journal_json`]).
+pub fn doc(figure: &str, title: &str, settings: &Settings, rows: Json) -> Json {
+    let mut doc = Json::obj([
+        ("schema_version", Json::uint(1)),
+        ("figure", Json::str(figure)),
+        ("title", Json::str(title)),
+        ("config", report::sim_config(&settings.config)),
+        ("rows", rows),
+        ("executor", global_stats().to_json()),
+    ]);
+    if json_runs_enabled() {
+        doc.push("runs", journal_json());
+    }
+    doc
+}
+
+/// Serialises tests (across the whole crate) that mutate process-global
+/// environment variables such as `PSA_WORKLOAD_LIMIT` or `PSA_THREADS`.
+#[cfg(test)]
+pub(crate) fn test_env_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]
 mod tests {
+    use super::test_env_lock as env_lock;
     use super::*;
 
     fn quick() -> SimConfig {
-        SimConfig::default().with_warmup(1_000).with_instructions(4_000)
+        SimConfig::default()
+            .with_warmup(1_000)
+            .with_instructions(4_000)
     }
 
     #[test]
-    fn cache_memoises() {
+    fn cache_memoises_and_counts() {
         let mut cache = RunCache::new();
         let w = catalog::workload("lbm").unwrap();
         let a = cache.run(quick(), w, Variant::NoPrefetch).ipc();
         let b = cache.run(quick(), w, Variant::NoPrefetch).ipc();
         assert_eq!(a, b);
         assert_eq!(cache.runs.len(), 1);
+        // The second run() must be a memo hit, not a re-simulation.
+        assert_eq!(cache.stats().simulated, 1);
+        assert_eq!(cache.stats().memo_hits, 1);
+    }
+
+    #[test]
+    fn batch_skips_cached_and_duplicate_jobs() {
+        let mut cache = RunCache::new();
+        let w = catalog::workload("lbm").unwrap();
+        cache.run(quick(), w, Variant::NoPrefetch);
+        let jobs = vec![
+            (w, Variant::NoPrefetch), // already cached
+            (w, Variant::Pref(PrefetcherKind::Spp, PageSizePolicy::Psa)),
+            (w, Variant::Pref(PrefetcherKind::Spp, PageSizePolicy::Psa)), // duplicate
+        ];
+        assert_eq!(cache.run_batch(quick(), &jobs), 1);
+        assert_eq!(cache.stats().simulated, 2);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let workloads: Vec<&'static WorkloadSpec> = ["lbm", "milc", "soplex"]
+            .iter()
+            .map(|n| catalog::workload(n).unwrap())
+            .collect();
+        let variants = [
+            Variant::NoPrefetch,
+            Variant::Pref(PrefetcherKind::Spp, PageSizePolicy::Psa),
+            Variant::L1d(L1dPrefKind::NextLine),
+        ];
+        let jobs: Vec<(&'static WorkloadSpec, Variant)> = workloads
+            .iter()
+            .flat_map(|&w| variants.iter().map(move |&v| (w, v)))
+            .collect();
+
+        let _guard = env_lock();
+        // Serial reference.
+        let mut serial = RunCache::new();
+        std::env::set_var("PSA_THREADS", "1");
+        serial.run_batch(quick(), &jobs);
+        // Parallel (work-queue over at least 3 workers).
+        std::env::set_var("PSA_THREADS", "3");
+        let mut parallel = RunCache::new();
+        parallel.run_batch(quick(), &jobs);
+        std::env::remove_var("PSA_THREADS");
+
+        for &(w, v) in &jobs {
+            let a = serial.run(quick(), w, v).clone();
+            let b = parallel.run(quick(), w, v).clone();
+            assert_eq!(
+                a,
+                b,
+                "{}/{} diverged between serial and parallel",
+                w.name,
+                v.label()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let _guard = env_lock();
+        let items: Vec<u64> = (0..37).collect();
+        std::env::set_var("PSA_THREADS", "4");
+        let out = parallel_map(&items, |&x| x * x);
+        std::env::remove_var("PSA_THREADS");
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
     }
 
     #[test]
@@ -144,6 +671,7 @@ mod tests {
 
     #[test]
     fn workload_selection_honours_limit() {
+        let _guard = env_lock();
         let settings = Settings::default();
         let all = settings.workloads();
         assert_eq!(all.len(), 80);
@@ -151,5 +679,53 @@ mod tests {
         let some = settings.workloads();
         std::env::remove_var("PSA_WORKLOAD_LIMIT");
         assert!(some.len() <= 10 && some.len() >= 8, "got {}", some.len());
+    }
+
+    #[test]
+    fn runs_json_and_doc_are_well_formed() {
+        let mut cache = RunCache::new();
+        let w = catalog::workload("lbm").unwrap();
+        cache.run(
+            quick(),
+            w,
+            Variant::Pref(PrefetcherKind::Spp, PageSizePolicy::PsaSd),
+        );
+        let runs = cache.runs_json();
+        let entry = &runs.as_arr().unwrap()[0];
+        assert_eq!(entry.get("workload").unwrap().as_str(), Some("lbm"));
+        assert_eq!(entry.get("variant").unwrap().as_str(), Some("SPP-PSA-SD"));
+        assert!(entry.get("report").unwrap().get("ipc").is_some());
+
+        let settings = Settings { config: quick() };
+        let doc = doc("figXX", "smoke", &settings, Json::Arr(vec![]));
+        for field in [
+            "schema_version",
+            "figure",
+            "title",
+            "config",
+            "rows",
+            "executor",
+        ] {
+            assert!(doc.get(field).is_some(), "missing {field}");
+        }
+        // Round-trips through the hand-rolled parser.
+        assert_eq!(Json::parse(&doc.pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn variant_labels_are_stable() {
+        assert_eq!(Variant::NoPrefetch.label(), "no-prefetch");
+        assert_eq!(
+            Variant::Pref(PrefetcherKind::Spp, PageSizePolicy::PsaSd).label(),
+            "SPP-PSA-SD"
+        );
+        assert_eq!(
+            Variant::PrefMagic(PrefetcherKind::Spp, PageSizePolicy::Psa).label(),
+            "SPP-Magic-PSA"
+        );
+        assert_eq!(
+            Variant::L1d(L1dPrefKind::IpcpPlusPlus).label(),
+            "L1D-IPCP++"
+        );
     }
 }

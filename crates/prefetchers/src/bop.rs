@@ -33,15 +33,20 @@ pub struct BopConfig {
 
 impl Default for BopConfig {
     fn default() -> Self {
-        Self { rr_entries: 256, score_max: 31, round_max: 100, bad_score: 1 }
+        Self {
+            rr_entries: 256,
+            score_max: 31,
+            round_max: 100,
+            bad_score: 1,
+        }
     }
 }
 
 /// The HPCA 2016 offset list: products 2^i·3^j·5^k up to 256.
 pub const OFFSET_LIST: [i64; 52] = [
-    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54,
-    60, 64, 72, 75, 80, 81, 90, 96, 100, 108, 120, 125, 128, 135, 144, 150, 160, 162, 180, 192,
-    200, 216, 225, 240, 243, 250, 256,
+    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54, 60,
+    64, 72, 75, 80, 81, 90, 96, 100, 108, 120, 125, 128, 135, 144, 150, 160, 162, 180, 192, 200,
+    216, 225, 240, 243, 250, 256,
 ];
 
 /// The Best-Offset Prefetcher.
@@ -98,8 +103,7 @@ impl Bop {
             .enumerate()
             .max_by_key(|(_, &s)| s)
             .expect("non-empty scores");
-        self.best =
-            (best_score > self.config.bad_score).then_some(OFFSET_LIST[best_idx]);
+        self.best = (best_score > self.config.bad_score).then_some(OFFSET_LIST[best_idx]);
         self.scores = [0; OFFSET_LIST.len()];
         self.test_idx = 0;
         self.round_len = 0;
@@ -133,7 +137,10 @@ impl Prefetcher for Bop {
         // Issue: prefetch X + D on demand misses (and prefetched hits).
         if let Some(best) = self.best {
             if let Some(line) = ctx.line.checked_add(best) {
-                out.push(Candidate { line, fill_level: FillLevel::L2C });
+                out.push(Candidate {
+                    line,
+                    fill_level: FillLevel::L2C,
+                });
             }
         }
 
@@ -204,7 +211,11 @@ mod tests {
             out.clear();
             b.on_access(&ctx(i * 8), &mut out);
         }
-        assert_eq!(b.best_offset(), Some(8), "best offset converges to the stride");
+        assert_eq!(
+            b.best_offset(),
+            Some(8),
+            "best offset converges to the stride"
+        );
         out.clear();
         b.on_access(&ctx(100_000 * 8), &mut out);
         assert_eq!(out[0].line, PLine::new(100_000 * 8 + 8));
@@ -216,7 +227,9 @@ mod tests {
         let mut out = Vec::new();
         let mut x: u64 = 0x12345;
         for _ in 0..12_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             out.clear();
             b.on_access(&ctx(x % 1_000_000_007), &mut out);
         }
@@ -241,7 +254,11 @@ mod tests {
             out.clear();
             b.on_access(&ctx(2_000_000 + i * 4), &mut out);
         }
-        assert_eq!(b.best_offset(), Some(4), "re-enables on a new streaming phase");
+        assert_eq!(
+            b.best_offset(),
+            Some(4),
+            "re-enables on a new streaming phase"
+        );
     }
 
     #[test]
@@ -264,7 +281,10 @@ mod tests {
     #[test]
     fn offset_list_matches_hpca_shape() {
         assert_eq!(OFFSET_LIST.len(), 52);
-        assert!(OFFSET_LIST.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+        assert!(
+            OFFSET_LIST.windows(2).all(|w| w[0] < w[1]),
+            "sorted, unique"
+        );
         for &o in &OFFSET_LIST {
             let mut v = o;
             for p in [2, 3, 5] {

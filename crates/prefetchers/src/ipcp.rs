@@ -116,10 +116,22 @@ impl Ipcp {
                 config.ip_entries
             ],
             cspt: vec![
-                CsptEntry { stride: 0, conf: SatCounter::new(2), valid: false };
+                CsptEntry {
+                    stride: 0,
+                    conf: SatCounter::new(2),
+                    valid: false
+                };
                 config.cspt_entries
             ],
-            regions: vec![Region { id: 0, touches: 0, lru: 0, valid: false }; config.regions],
+            regions: vec![
+                Region {
+                    id: 0,
+                    touches: 0,
+                    lru: 0,
+                    valid: false
+                };
+                config.regions
+            ],
             stamp: 0,
         }
     }
@@ -134,8 +146,7 @@ impl Ipcp {
     }
 
     fn next_sig(sig: u16, stride: i64) -> u16 {
-        (((sig << 1) ^ (xor_fold(stride.unsigned_abs(), 6) as u16
-            | (u16::from(stride < 0) << 6)))
+        (((sig << 1) ^ (xor_fold(stride.unsigned_abs(), 6) as u16 | (u16::from(stride < 0) << 6)))
             & 0x7f) as u16
     }
 
@@ -155,7 +166,12 @@ impl Ipcp {
             .iter_mut()
             .min_by_key(|r| if r.valid { r.lru } else { 0 })
             .expect("non-empty region table");
-        *victim = Region { id, touches: 1, lru: stamp, valid: true };
+        *victim = Region {
+            id,
+            touches: 1,
+            lru: stamp,
+            valid: true,
+        };
         false
     }
 }
@@ -219,7 +235,11 @@ impl L1dPrefetcher for Ipcp {
                 }
             }
         } else {
-            *c = CsptEntry { stride: delta, conf: SatCounter::new(2), valid: true };
+            *c = CsptEntry {
+                stride: delta,
+                conf: SatCounter::new(2),
+                valid: true,
+            };
         }
         e.sig = Self::next_sig(e.sig, delta);
         e.last_line = line;
@@ -300,9 +320,18 @@ mod tests {
         let mut out = Vec::new();
         for i in 0..28u64 {
             out.clear();
-            p.on_l1d_access(VLine::new(64 + i), VAddr::new(0x400 + (i % 3) * 4), false, &mut out);
+            p.on_l1d_access(
+                VLine::new(64 + i),
+                VAddr::new(0x400 + (i % 3) * 4),
+                false,
+                &mut out,
+            );
         }
-        assert!(out.len() >= 6, "GS class streams aggressively: {}", out.len());
+        assert!(
+            out.len() >= 6,
+            "GS class streams aggressively: {}",
+            out.len()
+        );
         assert!(out.contains(&VLine::new(64 + 27 + 1)));
     }
 
@@ -334,6 +363,9 @@ mod tests {
         let mut p = Ipcp::new(IpcpConfig::default());
         let seq: Vec<u64> = (0..8).map(|i| 60 + i).collect(); // approaching line 64
         let preds = drive(&mut p, 0x410, &seq);
-        assert!(preds.iter().any(|&l| l >= 64), "raw candidates cross: {preds:?}");
+        assert!(
+            preds.iter().any(|&l| l >= 64),
+            "raw candidates cross: {preds:?}"
+        );
     }
 }

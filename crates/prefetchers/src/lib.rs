@@ -70,8 +70,12 @@ pub enum PrefetcherKind {
 impl PrefetcherKind {
     /// The four prefetchers of the paper's headline evaluation, in figure
     /// order.
-    pub const EVALUATED: [PrefetcherKind; 4] =
-        [PrefetcherKind::Spp, PrefetcherKind::Vldp, PrefetcherKind::Ppf, PrefetcherKind::Bop];
+    pub const EVALUATED: [PrefetcherKind; 4] = [
+        PrefetcherKind::Spp,
+        PrefetcherKind::Vldp,
+        PrefetcherKind::Ppf,
+        PrefetcherKind::Bop,
+    ];
 
     /// Construct the prefetcher with its structures indexed at `grain`.
     pub fn build(self, grain: IndexGrain) -> Box<dyn Prefetcher> {
@@ -141,9 +145,17 @@ mod tests {
 
     #[test]
     fn only_bop_lacks_page_indexing() {
-        assert!(PrefetcherKind::Spp.build(IndexGrain::Page4K).uses_page_indexing());
-        assert!(PrefetcherKind::Vldp.build(IndexGrain::Page4K).uses_page_indexing());
-        assert!(PrefetcherKind::Ppf.build(IndexGrain::Page4K).uses_page_indexing());
-        assert!(!PrefetcherKind::Bop.build(IndexGrain::Page4K).uses_page_indexing());
+        assert!(PrefetcherKind::Spp
+            .build(IndexGrain::Page4K)
+            .uses_page_indexing());
+        assert!(PrefetcherKind::Vldp
+            .build(IndexGrain::Page4K)
+            .uses_page_indexing());
+        assert!(PrefetcherKind::Ppf
+            .build(IndexGrain::Page4K)
+            .uses_page_indexing());
+        assert!(!PrefetcherKind::Bop
+            .build(IndexGrain::Page4K)
+            .uses_page_indexing());
     }
 }

@@ -70,7 +70,13 @@ impl L1dPrefetcher for NextLineL1d {
         "NL-L1D"
     }
 
-    fn on_l1d_access(&mut self, vline: VLine, _pc: psa_common::VAddr, _hit: bool, out: &mut Vec<VLine>) {
+    fn on_l1d_access(
+        &mut self,
+        vline: VLine,
+        _pc: psa_common::VAddr,
+        _hit: bool,
+        out: &mut Vec<VLine>,
+    ) {
         for d in 1..=self.degree {
             if let Some(line) = vline.checked_add(d as i64) {
                 out.push(line);

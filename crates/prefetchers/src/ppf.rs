@@ -74,7 +74,12 @@ struct Recorded {
     valid: bool,
 }
 
-const EMPTY: Recorded = Recorded { tag: 0, features: [0; NUM_FEATURES], sum: 0, valid: false };
+const EMPTY: Recorded = Recorded {
+    tag: 0,
+    features: [0; NUM_FEATURES],
+    sum: 0,
+    valid: false,
+};
 
 /// The Perceptron-based Prefetch Filter around an SPP core.
 #[derive(Debug)]
@@ -132,7 +137,11 @@ impl Ppf {
         let max = self.config.weight_max;
         for (t, &idx) in features.iter().enumerate() {
             let w = &mut self.weights[t][idx as usize];
-            *w = if positive { (*w + 1).min(max) } else { (*w - 1).max(-max) };
+            *w = if positive {
+                (*w + 1).min(max)
+            } else {
+                (*w - 1).max(-max)
+            };
         }
     }
 
@@ -142,7 +151,12 @@ impl Ppf {
 
     fn record(table: &mut [Recorded], line: PLine, features: [u16; NUM_FEATURES], sum: i32) {
         let slot = Self::table_slot(table.len(), line);
-        table[slot] = Recorded { tag: line.raw(), features, sum, valid: true };
+        table[slot] = Recorded {
+            tag: line.raw(),
+            features,
+            sum,
+            valid: true,
+        };
     }
 
     fn take(table: &mut [Recorded], line: PLine) -> Option<Recorded> {
@@ -184,9 +198,15 @@ impl Prefetcher for Ppf {
             let features = self.features(ctx, s);
             let sum = self.sum(&features);
             if sum >= self.config.tau_issue {
-                let fill_level =
-                    if sum >= self.config.tau_l2 { FillLevel::L2C } else { FillLevel::Llc };
-                out.push(Candidate { line: s.line, fill_level });
+                let fill_level = if sum >= self.config.tau_l2 {
+                    FillLevel::L2C
+                } else {
+                    FillLevel::Llc
+                };
+                out.push(Candidate {
+                    line: s.line,
+                    fill_level,
+                });
                 Self::record(&mut self.prefetch_table, s.line, features, sum);
             } else {
                 Self::record(&mut self.reject_table, s.line, features, sum);
@@ -246,7 +266,10 @@ mod tests {
             out.clear();
             ppf.on_access(&ctx(i, 0x400), &mut out);
         }
-        assert!(!out.is_empty(), "trained stream must prefetch through the filter");
+        assert!(
+            !out.is_empty(),
+            "trained stream must prefetch through the filter"
+        );
         assert!(out.iter().any(|c| c.line == PLine::new(12)));
     }
 
@@ -318,7 +341,10 @@ mod tests {
                 }
             }
         }
-        assert!(reopened, "reject-table training must re-enable useful prefetching");
+        assert!(
+            reopened,
+            "reject-table training must re-enable useful prefetching"
+        );
     }
 
     #[test]

@@ -144,7 +144,13 @@ impl Spp {
             config,
             grain,
             st: vec![
-                StEntry { tag: 0, last_offset: 0, sig: 0, valid: false, lru: 0 };
+                StEntry {
+                    tag: 0,
+                    last_offset: 0,
+                    sig: 0,
+                    valid: false,
+                    lru: 0
+                };
                 config.st_sets * config.st_ways
             ],
             pt,
@@ -260,7 +266,9 @@ impl Spp {
         let set = (page as usize) & (self.config.st_sets - 1);
         let ways = self.config.st_ways;
         let range = set * ways..(set + 1) * ways;
-        let slot = self.st[range.clone()].iter().position(|e| e.valid && e.tag == page);
+        let slot = self.st[range.clone()]
+            .iter()
+            .position(|e| e.valid && e.tag == page);
         let current_sig = match slot {
             Some(w) => {
                 let idx = set * ways + w;
@@ -294,9 +302,7 @@ impl Spp {
                     .ghr
                     .iter()
                     .find(|g| {
-                        g.valid
-                            && g.page + 1 == page
-                            && (g.last_offset + g.delta) - lines == offset
+                        g.valid && g.page + 1 == page && (g.last_offset + g.delta) - lines == offset
                     })
                     .map(|g| self.next_sig(g.sig, g.delta));
                 bootstrap = inherited.is_some();
@@ -308,8 +314,13 @@ impl Spp {
                     .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
                     .map(|(w, _)| w)
                     .expect("non-empty set");
-                self.st[set * ways + victim] =
-                    StEntry { tag: page, last_offset: offset, sig, valid: true, lru: stamp };
+                self.st[set * ways + victim] = StEntry {
+                    tag: page,
+                    last_offset: offset,
+                    sig,
+                    valid: true,
+                    lru: stamp,
+                };
                 sig
             }
         };
@@ -421,12 +432,19 @@ impl Prefetcher for Spp {
         let conf_prefetch = self.config.conf_prefetch;
         let conf_l2 = self.config.conf_l2;
         let suggestions = self.suggest(ctx);
-        out.extend(suggestions.iter().filter(|s| s.confidence >= conf_prefetch).map(|s| {
-            Candidate {
-                line: s.line,
-                fill_level: if s.confidence >= conf_l2 { FillLevel::L2C } else { FillLevel::Llc },
-            }
-        }));
+        out.extend(
+            suggestions
+                .iter()
+                .filter(|s| s.confidence >= conf_prefetch)
+                .map(|s| Candidate {
+                    line: s.line,
+                    fill_level: if s.confidence >= conf_l2 {
+                        FillLevel::L2C
+                    } else {
+                        FillLevel::Llc
+                    },
+                }),
+        );
     }
 
     fn on_issue(&mut self, _line: PLine) {
@@ -477,7 +495,10 @@ mod tests {
         let mut out = Vec::new();
         spp.on_access(&ctx(12), &mut out);
         assert!(!out.is_empty(), "a trained stream must prefetch");
-        assert!(out.iter().any(|c| c.line == PLine::new(13)), "next line predicted");
+        assert!(
+            out.iter().any(|c| c.line == PLine::new(13)),
+            "next line predicted"
+        );
         // Lookahead goes deeper than one step on a saturated pattern.
         assert!(out.iter().any(|c| c.line.raw() > 13), "lookahead depth > 1");
     }
@@ -509,7 +530,10 @@ mod tests {
         let mut out = Vec::new();
         spp.on_access(&ctx(20), &mut out);
         // First step of a saturated path: L2C; deep steps decay toward LLC.
-        let first = out.iter().find(|c| c.line == PLine::new(21)).expect("step 1");
+        let first = out
+            .iter()
+            .find(|c| c.line == PLine::new(21))
+            .expect("step 1");
         assert_eq!(first.fill_level, FillLevel::L2C);
     }
 
@@ -529,8 +553,8 @@ mod tests {
     fn ghr_carries_stream_into_next_page() {
         let mut spp = Spp::new(SppConfig::default(), IndexGrain::Page4K);
         train_stride(&mut spp, 40, 1, 24); // runs through line 63
-        // First touch of the next page at offset 0 (line 64): inherited
-        // signature should immediately predict the continuation.
+                                           // First touch of the next page at offset 0 (line 64): inherited
+                                           // signature should immediately predict the continuation.
         let s = spp.suggest(&ctx(64)).to_vec();
         assert!(
             s.iter().any(|c| c.line == PLine::new(65)),
@@ -552,7 +576,10 @@ mod tests {
         let mut out_coarse = Vec::new();
         fine.on_access(&ctx(2000), &mut out_fine);
         coarse.on_access(&ctx(2000), &mut out_coarse);
-        assert!(out_coarse.iter().any(|c| c.line == PLine::new(2100)), "coarse sees the stride");
+        assert!(
+            out_coarse.iter().any(|c| c.line == PLine::new(2100)),
+            "coarse sees the stride"
+        );
         assert!(
             !out_fine.iter().any(|c| c.line == PLine::new(2100)),
             "fine grain cannot represent a 100-line delta"
@@ -588,7 +615,10 @@ mod tests {
         out.clear();
         fine.on_access(&ctx(8), &mut out);
         let fine_next = out.iter().any(|c| c.line == PLine::new(9));
-        assert!(fine_next, "fine grain learns the +1 stride despite interleaving");
+        assert!(
+            fine_next,
+            "fine grain learns the +1 stride despite interleaving"
+        );
         let _ = clean_next; // coarse may or may not recover; fine must.
     }
 
@@ -598,7 +628,10 @@ mod tests {
         for i in 0..200 {
             spp.on_issue(PLine::new(i));
         }
-        assert!((spp.alpha() - 0.1).abs() < 1e-12, "all-useless history → floor");
+        assert!(
+            (spp.alpha() - 0.1).abs() < 1e-12,
+            "all-useless history → floor"
+        );
         for i in 0..200 {
             spp.on_useful(PLine::new(i), VAddr::new(0));
         }

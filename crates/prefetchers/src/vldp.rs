@@ -30,7 +30,12 @@ pub struct VldpConfig {
 
 impl Default for VldpConfig {
     fn default() -> Self {
-        Self { dhb_entries: 16, dpt_entries: 64, opt_entries: 64, degree: 4 }
+        Self {
+            dhb_entries: 16,
+            dpt_entries: 64,
+            opt_entries: 64,
+            degree: 4,
+        }
     }
 }
 
@@ -78,7 +83,15 @@ pub struct Vldp {
 impl Vldp {
     /// Build VLDP with its page-indexed DHB at `grain`.
     pub fn new(config: VldpConfig, grain: IndexGrain) -> Self {
-        let dpt = vec![DptEntry { key: 0, predicted: 0, accurate: false, valid: false }; config.dpt_entries];
+        let dpt = vec![
+            DptEntry {
+                key: 0,
+                predicted: 0,
+                accurate: false,
+                valid: false
+            };
+            config.dpt_entries
+        ];
         Self {
             config,
             grain,
@@ -95,7 +108,14 @@ impl Vldp {
                 config.dhb_entries
             ],
             dpts: [dpt.clone(), dpt.clone(), dpt],
-            opt: vec![OptEntry { predicted: 0, accurate: false, valid: false }; config.opt_entries],
+            opt: vec![
+                OptEntry {
+                    predicted: 0,
+                    accurate: false,
+                    valid: false
+                };
+                config.opt_entries
+            ],
             stamp: 0,
         }
     }
@@ -110,8 +130,7 @@ impl Vldp {
     }
 
     fn dpt_slot(&self, len: usize, key: u64) -> usize {
-        xor_fold(key, self.config.dpt_entries.trailing_zeros()) as usize
-            % self.dpts[len - 1].len()
+        xor_fold(key, self.config.dpt_entries.trailing_zeros()) as usize % self.dpts[len - 1].len()
     }
 
     fn dpt_update(&mut self, history: &[i64], actual: i64) {
@@ -128,7 +147,12 @@ impl Vldp {
                     e.predicted = actual;
                 }
             } else {
-                *e = DptEntry { key, predicted: actual, accurate: false, valid: true };
+                *e = DptEntry {
+                    key,
+                    predicted: actual,
+                    accurate: false,
+                    valid: true,
+                };
             }
         }
     }
@@ -148,8 +172,7 @@ impl Vldp {
     }
 
     fn opt_slot(&self, offset: i64) -> usize {
-        xor_fold(offset as u64, self.config.opt_entries.trailing_zeros()) as usize
-            % self.opt.len()
+        xor_fold(offset as u64, self.config.opt_entries.trailing_zeros()) as usize % self.opt.len()
     }
 }
 
@@ -189,7 +212,11 @@ impl Prefetcher for Vldp {
                             o.predicted = delta;
                         }
                     } else {
-                        *o = OptEntry { predicted: delta, accurate: false, valid: true };
+                        *o = OptEntry {
+                            predicted: delta,
+                            accurate: false,
+                            valid: true,
+                        };
                     }
                 }
                 // Shift the new delta into the history.
@@ -204,12 +231,18 @@ impl Prefetcher for Vldp {
                 let mut history: Vec<i64> = e.deltas[..e.num_deltas].to_vec();
                 let mut cursor = offset;
                 for depth in 0..self.config.degree {
-                    let Some(pred) = self.dpt_predict(&history) else { break };
+                    let Some(pred) = self.dpt_predict(&history) else {
+                        break;
+                    };
                     cursor += pred;
                     if let Some(line) = self.grain.line_at(page, cursor) {
                         out.push(Candidate {
                             line,
-                            fill_level: if depth == 0 { FillLevel::L2C } else { FillLevel::Llc },
+                            fill_level: if depth == 0 {
+                                FillLevel::L2C
+                            } else {
+                                FillLevel::Llc
+                            },
                         });
                     }
                     history.rotate_right(1);
@@ -237,7 +270,10 @@ impl Prefetcher for Vldp {
                 let o = self.opt[self.opt_slot(offset)];
                 if o.valid && o.accurate {
                     if let Some(line) = self.grain.line_at(page, offset + o.predicted) {
-                        out.push(Candidate { line, fill_level: FillLevel::L2C });
+                        out.push(Candidate {
+                            line,
+                            fill_level: FillLevel::L2C,
+                        });
                     }
                 }
             }
@@ -296,7 +332,10 @@ mod tests {
         let preds = drive(&mut v, &seq);
         let last = *seq.last().unwrap();
         let expected = last + if (seq.len() - 1) % 2 == 0 { 1 } else { 3 };
-        assert!(preds.contains(&expected), "expected {expected} in {preds:?} (seq ends {last})");
+        assert!(
+            preds.contains(&expected),
+            "expected {expected} in {preds:?} (seq ends {last})"
+        );
     }
 
     #[test]
@@ -335,7 +374,10 @@ mod tests {
         let mut coarse = Vldp::new(VldpConfig::default(), IndexGrain::Page2M);
         let seq: Vec<u64> = (0..10).map(|i| i * 100).collect();
         let preds = drive(&mut coarse, &seq);
-        assert!(preds.contains(&1000), "100-line stride learnable at 2MB grain: {preds:?}");
+        assert!(
+            preds.contains(&1000),
+            "100-line stride learnable at 2MB grain: {preds:?}"
+        );
     }
 
     #[test]
@@ -351,15 +393,24 @@ mod tests {
 
     #[test]
     fn dhb_capacity_evicts_lru_page() {
-        let mut v = Vldp::new(VldpConfig { dhb_entries: 2, ..VldpConfig::default() }, IndexGrain::Page4K);
+        let mut v = Vldp::new(
+            VldpConfig {
+                dhb_entries: 2,
+                ..VldpConfig::default()
+            },
+            IndexGrain::Page4K,
+        );
         drive(&mut v, &[0, 1]); // page 0
         drive(&mut v, &[64, 65]); // page 1
         drive(&mut v, &[128, 129]); // page 2 evicts page 0
-        // Returning to page 0 must behave like a fresh page (no stale
-        // last_offset), i.e. not crash and not emit garbage deltas.
+                                    // Returning to page 0 must behave like a fresh page (no stale
+                                    // last_offset), i.e. not crash and not emit garbage deltas.
         let mut out = Vec::new();
         v.on_access(&ctx(5), &mut out);
-        assert!(out.iter().all(|c| c.line.raw() < 64), "candidates stay near page 0");
+        assert!(
+            out.iter().all(|c| c.line.raw() < 64),
+            "candidates stay near page 0"
+        );
     }
 
     #[test]

@@ -80,7 +80,11 @@ fn page_indexed_prefetchers_differ_by_grain_on_long_strides() {
     // The Pref-PSA-2MB mechanism: a 100-line stride is learnable only at
     // the 2MB grain — for every prefetcher with page-indexed structures.
     let seq: Vec<u64> = (0..60).map(|i| i * 100).collect();
-    for kind in [PrefetcherKind::Spp, PrefetcherKind::Vldp, PrefetcherKind::Ppf] {
+    for kind in [
+        PrefetcherKind::Spp,
+        PrefetcherKind::Vldp,
+        PrefetcherKind::Ppf,
+    ] {
         let mut fine = kind.build(IndexGrain::Page4K);
         let mut coarse = kind.build(IndexGrain::Page2M);
         let out_fine = drive(&mut fine, &seq);

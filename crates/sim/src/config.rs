@@ -9,7 +9,7 @@ use psa_vmem::{MmuConfig, PhysMemConfig};
 
 /// Which L1D prefetcher (if any) runs alongside the L1D — the Figure 13
 /// comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum L1dPrefKind {
     /// No L1D prefetching (the paper's default system).
     #[default]
@@ -148,13 +148,23 @@ impl SimConfig {
         ]);
         t.row(vec![
             "L1 DTLB".into(),
-            format!("{}-entry, {}-way, {}-cycle", self.mmu.dtlb.entries_4k, self.mmu.dtlb.ways, self.mmu.dtlb_latency),
+            format!(
+                "{}-entry, {}-way, {}-cycle",
+                self.mmu.dtlb.entries_4k, self.mmu.dtlb.ways, self.mmu.dtlb_latency
+            ),
         ]);
         t.row(vec![
             "L2 TLB".into(),
-            format!("{}-entry, {}-way, {}-cycle", self.mmu.stlb.entries_4k, self.mmu.stlb.ways, self.mmu.stlb_latency),
+            format!(
+                "{}-entry, {}-way, {}-cycle",
+                self.mmu.stlb.entries_4k, self.mmu.stlb.ways, self.mmu.stlb_latency
+            ),
         ]);
-        for (name, c) in [("L1 DCache", &self.l1d), ("L2 Cache", &self.l2c), ("LLC", &self.llc)] {
+        for (name, c) in [
+            ("L1 DCache", &self.l1d),
+            ("L2 Cache", &self.l2c),
+            ("LLC", &self.llc),
+        ] {
             t.row(vec![
                 name.into(),
                 format!(
@@ -168,7 +178,10 @@ impl SimConfig {
         }
         t.row(vec![
             "L2C dueling".into(),
-            format!("{} sets/competitor, {}-bit Csel", self.sd.dedicated_sets, self.sd.csel_bits),
+            format!(
+                "{} sets/competitor, {}-bit Csel",
+                self.sd.dedicated_sets, self.sd.csel_bits
+            ),
         ]);
         t.row(vec![
             "DRAM".into(),
@@ -214,7 +227,10 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = SimConfig::default().with_warmup(5).with_instructions(10).with_seed(3);
+        let c = SimConfig::default()
+            .with_warmup(5)
+            .with_instructions(10)
+            .with_seed(3);
         assert_eq!((c.warmup, c.instructions, c.seed), (5, 10, 3));
     }
 

@@ -34,8 +34,10 @@
 
 pub mod config;
 pub mod metrics;
+pub mod report;
 pub mod system;
 
 pub use config::{L1dPrefKind, SimConfig};
 pub use metrics::{MultiReport, RunReport};
+pub use report::Json;
 pub use system::System;

@@ -31,7 +31,7 @@ pub(crate) fn dram_diff(end: DramStats, start: DramStats) -> DramStats {
 
 /// The report of one single-core run, restricted to the measured window
 /// (post-warmup).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Workload name.
     pub workload: &'static str,
@@ -105,7 +105,7 @@ impl RunReport {
 }
 
 /// The report of one multi-core run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiReport {
     /// Per-core workload names.
     pub workloads: Vec<&'static str>,
@@ -152,7 +152,11 @@ mod tests {
     fn accuracy_handling() {
         let r = report(1, 1);
         assert_eq!(r.accuracy(CacheStats::default()), None);
-        let s = CacheStats { useful_prefetches: 3, useless_prefetches: 1, ..Default::default() };
+        let s = CacheStats {
+            useful_prefetches: 3,
+            useless_prefetches: 1,
+            ..Default::default()
+        };
         assert!((r.accuracy(s).unwrap() - 0.75).abs() < 1e-12);
     }
 
@@ -166,8 +170,16 @@ mod tests {
 
     #[test]
     fn diff_helpers_subtract() {
-        let end = CacheStats { demand_hits: 10, demand_misses: 6, ..Default::default() };
-        let start = CacheStats { demand_hits: 4, demand_misses: 1, ..Default::default() };
+        let end = CacheStats {
+            demand_hits: 10,
+            demand_misses: 6,
+            ..Default::default()
+        };
+        let start = CacheStats {
+            demand_hits: 4,
+            demand_misses: 1,
+            ..Default::default()
+        };
         let d = cache_diff(end, start);
         assert_eq!(d.demand_hits, 6);
         assert_eq!(d.demand_misses, 5);

@@ -135,7 +135,11 @@ impl Port<'_> {
             return fill.max(t + self.lat.l1d);
         }
         if self.ctx.l1d_mshr.is_full() {
-            let bumped = self.ctx.l1d_mshr.earliest_fill().expect("full implies non-empty");
+            let bumped = self
+                .ctx
+                .l1d_mshr
+                .earliest_fill()
+                .expect("full implies non-empty");
             if bumped > t {
                 self.ctx.debug[0] += bumped - t;
             }
@@ -145,7 +149,16 @@ impl Port<'_> {
         let (completion, _) = self.l2c_access(line, pc, t + self.lat.l1d, write, out.size, true);
         self.ctx
             .l1d_mshr
-            .alloc(line, completion, MshrMeta { is_prefetch: false, source: 0, huge: out.size.bit(), write })
+            .alloc(
+                line,
+                completion,
+                MshrMeta {
+                    is_prefetch: false,
+                    source: 0,
+                    huge: out.size.bit(),
+                    write,
+                },
+            )
             .expect("space ensured above");
         completion
     }
@@ -181,8 +194,11 @@ impl Port<'_> {
             }
             None => {
                 if self.ctx.l2c_mshr.pending(line).is_some() {
-                    let done =
-                        self.ctx.l2c_mshr.merge(line, true, write, t).max(t + self.lat.l2c);
+                    let done = self
+                        .ctx
+                        .l2c_mshr
+                        .merge(line, true, write, t)
+                        .max(t + self.lat.l2c);
                     if trigger {
                         self.ctx.debug[2] += 1;
                         self.ctx.debug[4] += done - t;
@@ -200,7 +216,12 @@ impl Port<'_> {
                         .alloc(
                             line,
                             done,
-                            MshrMeta { is_prefetch: false, source: 0, huge: size.bit(), write },
+                            MshrMeta {
+                                is_prefetch: false,
+                                source: 0,
+                                huge: size.bit(),
+                                write,
+                            },
                         )
                         .expect("space ensured above");
                     if trigger {
@@ -226,14 +247,13 @@ impl Port<'_> {
                             ctx.l2c.contains(c.line) || ctx.l2c_mshr.pending(c.line).is_some()
                         }
                         FillLevel::Llc => {
-                            shared.llc.contains(c.line)
-                                || shared.llc_mshr.pending(c.line).is_some()
+                            shared.llc.contains(c.line) || shared.llc_mshr.pending(c.line).is_some()
                         }
                     };
                     module.on_access(line, pc, was_hit, size.bit(), size, set, &present, &mut buf);
                 }
-                for i in 0..buf.len() {
-                    self.issue_prefetch(buf[i], t);
+                for &req in &buf {
+                    self.issue_prefetch(req, t);
                 }
                 self.ctx.pf_buf = buf;
                 self.ctx.module = Some(module);
@@ -272,7 +292,12 @@ impl Port<'_> {
                     .alloc(
                         req.line,
                         done,
-                        MshrMeta { is_prefetch: true, source: tagged, huge: false, write: false },
+                        MshrMeta {
+                            is_prefetch: true,
+                            source: tagged,
+                            huge: false,
+                            write: false,
+                        },
                     )
                     .expect("room checked above");
             }
@@ -298,7 +323,16 @@ impl Port<'_> {
         let source = if track_here { tagged } else { tagged | PASS };
         self.shared
             .llc_mshr
-            .alloc(line, done, MshrMeta { is_prefetch: true, source, huge: false, write: false })
+            .alloc(
+                line,
+                done,
+                MshrMeta {
+                    is_prefetch: true,
+                    source,
+                    huge: false,
+                    write: false,
+                },
+            )
             .expect("room checked above");
         Some(done)
     }
@@ -307,9 +341,10 @@ impl Port<'_> {
         self.drain_llc(t);
         if let Some(info) = self.shared.llc.probe(line) {
             if info.first_use && info.prefetch_source & PASS == 0 {
-                self.shared
-                    .feedback
-                    .push(Feedback::Useful { source: info.prefetch_source, line });
+                self.shared.feedback.push(Feedback::Useful {
+                    source: info.prefetch_source,
+                    line,
+                });
             }
             let done = t + self.lat.llc;
             self.ctx.llc_lat_sum += done - t;
@@ -317,7 +352,10 @@ impl Port<'_> {
             return done;
         }
         let done = if self.shared.llc_mshr.pending(line).is_some() {
-            self.shared.llc_mshr.merge(line, true, false, t).max(t + self.lat.llc)
+            self.shared
+                .llc_mshr
+                .merge(line, true, false, t)
+                .max(t + self.lat.llc)
         } else {
             let mut t2 = t;
             if self.shared.llc_mshr.is_full() {
@@ -330,7 +368,12 @@ impl Port<'_> {
                 .alloc(
                     line,
                     done,
-                    MshrMeta { is_prefetch: false, source: 0, huge: false, write: false },
+                    MshrMeta {
+                        is_prefetch: false,
+                        source: 0,
+                        huge: false,
+                        write: false,
+                    },
                 )
                 .expect("space ensured above");
             done
@@ -343,7 +386,9 @@ impl Port<'_> {
     fn drain_l1d(&mut self, now: u64) {
         for e in self.ctx.l1d_mshr.drain_filled(now) {
             let kind = if e.meta.is_prefetch && !e.demand_merged {
-                FillKind::Prefetch { source: e.meta.source }
+                FillKind::Prefetch {
+                    source: e.meta.source,
+                }
             } else {
                 FillKind::Demand
             };
@@ -374,9 +419,10 @@ impl Port<'_> {
     fn fill_llc_direct(&mut self, line: PLine, now: u64) {
         if let Some(ev) = self.shared.llc.fill(line, FillKind::Demand, true) {
             if ev.unused_prefetch && ev.prefetch_source & PASS == 0 {
-                self.shared
-                    .feedback
-                    .push(Feedback::Useless { source: ev.prefetch_source, line: ev.line });
+                self.shared.feedback.push(Feedback::Useless {
+                    source: ev.prefetch_source,
+                    line: ev.line,
+                });
             }
             if ev.dirty {
                 self.shared.dram.access(ev.line, now, true);
@@ -390,7 +436,12 @@ impl Port<'_> {
                 if e.demand_merged {
                     (FillKind::Demand, true)
                 } else {
-                    (FillKind::Prefetch { source: e.meta.source }, false)
+                    (
+                        FillKind::Prefetch {
+                            source: e.meta.source,
+                        },
+                        false,
+                    )
                 }
             } else {
                 (FillKind::Demand, false)
@@ -426,29 +477,40 @@ impl Port<'_> {
                 if e.demand_merged {
                     (FillKind::Demand, true)
                 } else {
-                    (FillKind::Prefetch { source: e.meta.source }, false)
+                    (
+                        FillKind::Prefetch {
+                            source: e.meta.source,
+                        },
+                        false,
+                    )
                 }
             } else {
                 (FillKind::Demand, false)
             };
             if late_credit {
                 if e.fill_at.saturating_sub(e.merged_at) <= LATE_TIMELY_SLACK {
-                    self.shared
-                        .feedback
-                        .push(Feedback::Useful { source: e.meta.source, line: e.line });
+                    self.shared.feedback.push(Feedback::Useful {
+                        source: e.meta.source,
+                        line: e.line,
+                    });
                 } else {
-                    self.shared
-                        .feedback
-                        .push(Feedback::UsefulLate { source: e.meta.source, line: e.line });
+                    self.shared.feedback.push(Feedback::UsefulLate {
+                        source: e.meta.source,
+                        line: e.line,
+                    });
                 }
             } else if tracked {
-                self.shared.feedback.push(Feedback::Fill { source: e.meta.source, line: e.line });
+                self.shared.feedback.push(Feedback::Fill {
+                    source: e.meta.source,
+                    line: e.line,
+                });
             }
             if let Some(ev) = self.shared.llc.fill(e.line, kind, e.meta.write) {
                 if ev.unused_prefetch && ev.prefetch_source & PASS == 0 {
-                    self.shared
-                        .feedback
-                        .push(Feedback::Useless { source: ev.prefetch_source, line: ev.line });
+                    self.shared.feedback.push(Feedback::Useless {
+                        source: ev.prefetch_source,
+                        line: ev.line,
+                    });
                 }
                 if ev.dirty {
                     self.shared.dram.access(ev.line, now, true);
@@ -461,7 +523,9 @@ impl Port<'_> {
     /// next-line stay within the 4KB virtual page, IPCP++ may cross when
     /// the target page is TLB resident.
     fn l1d_prefetch(&mut self, vaddr: VAddr, pc: VAddr, t: u64) {
-        let Some(pref) = &mut self.ctx.l1d_pref else { return };
+        let Some(pref) = &mut self.ctx.l1d_pref else {
+            return;
+        };
         let vline = vaddr.line();
         let mut buf = std::mem::take(&mut self.ctx.l1d_pref_buf);
         buf.clear();
@@ -475,8 +539,7 @@ impl Port<'_> {
                 *cross
             }
         };
-        for i in 0..buf.len() {
-            let cand = buf[i];
+        for &cand in &buf {
             let cvaddr = cand.addr();
             if !cand.same_page(vline, PageSize::Size4K)
                 && (!cross || !self.ctx.mmu.tlb_resident(cvaddr))
@@ -501,13 +564,28 @@ impl Port<'_> {
                 .alloc(
                     pline,
                     done,
-                    MshrMeta { is_prefetch: true, source: 0, huge: tr.size.bit(), write: false },
+                    MshrMeta {
+                        is_prefetch: true,
+                        source: 0,
+                        huge: tr.size.bit(),
+                        write: false,
+                    },
                 )
                 .expect("fullness checked above");
         }
         self.ctx.l1d_pref_buf = buf;
     }
 }
+
+/// Everything `run_all` hands back: per-core snapshots at warm-up, finish
+/// cycles, the shared LLC/DRAM warm-up snapshots, and the THP series.
+type RunAllOut = (
+    Vec<CoreSnap>,
+    Vec<u64>,
+    CacheStats,
+    psa_dram::DramStats,
+    Vec<(u64, f64)>,
+);
 
 #[derive(Debug, Clone, Default)]
 struct CoreSnap {
@@ -637,12 +715,14 @@ impl System {
             let l1d_pref = match config.l1d_prefetcher {
                 L1dPrefKind::None => None,
                 L1dPrefKind::NextLine => Some(L1dPref::NextLine(NextLineL1d::new(1))),
-                L1dPrefKind::Ipcp => {
-                    Some(L1dPref::Ipcp { pref: Ipcp::new(IpcpConfig::default()), cross: false })
-                }
-                L1dPrefKind::IpcpPlusPlus => {
-                    Some(L1dPref::Ipcp { pref: Ipcp::new(IpcpConfig::default()), cross: true })
-                }
+                L1dPrefKind::Ipcp => Some(L1dPref::Ipcp {
+                    pref: Ipcp::new(IpcpConfig::default()),
+                    cross: false,
+                }),
+                L1dPrefKind::IpcpPlusPlus => Some(L1dPref::Ipcp {
+                    pref: Ipcp::new(IpcpConfig::default()),
+                    cross: true,
+                }),
             };
             ctxs.push(CoreCtx {
                 id: i as u8,
@@ -665,10 +745,20 @@ impl System {
                 llc_lat_cnt: 0,
                 debug: [0; 8],
             });
-            gens.push(TraceGenerator::new(w, config.seed.wrapping_add(7919 * i as u64)));
+            gens.push(TraceGenerator::new(
+                w,
+                config.seed.wrapping_add(7919 * i as u64),
+            ));
             names.push(w.name);
         }
-        Self { config, cores, ctxs, shared, gens, names }
+        Self {
+            config,
+            cores,
+            ctxs,
+            shared,
+            gens,
+            names,
+        }
     }
 
     fn snap_core(cores: &[Core], ctx: &CoreCtx, i: usize) -> CoreSnap {
@@ -683,7 +773,7 @@ impl System {
         }
     }
 
-    fn run_all(&mut self) -> (Vec<CoreSnap>, Vec<u64>, CacheStats, psa_dram::DramStats, Vec<(u64, f64)>) {
+    fn run_all(&mut self) -> RunAllOut {
         let n = self.cores.len();
         let total = self.config.warmup + self.config.instructions;
         let mut executed = vec![0u64; n];
@@ -735,7 +825,7 @@ impl System {
                 }
             }
             executed[i] += 1;
-            if i == 0 && executed[0] % sample_every == 0 {
+            if i == 0 && executed[0].is_multiple_of(sample_every) {
                 thp_series.push((executed[0], self.ctxs[0].aspace.huge_usage_fraction()));
             }
             if !warm[i] && executed[i] == self.config.warmup {
@@ -778,7 +868,10 @@ impl System {
             (Some(end), Some(start)) => Some(module_diff(end, start)),
             (m, _) => m,
         };
-        let boundary = match (ctx.module.as_ref().map(|m| m.boundary_stats()), snap.boundary) {
+        let boundary = match (
+            ctx.module.as_ref().map(|m| m.boundary_stats()),
+            snap.boundary,
+        ) {
             (Some(end), Some(start)) => Some(boundary_diff(end, start)),
             (b, _) => b,
         };
@@ -799,8 +892,10 @@ impl System {
                 // Windowed diagnostics (index 7 is a running max, kept
                 // as-is).
                 let mut d = [0u64; 8];
-                for i in 0..7 {
-                    d[i] = ctx.debug[i] - snap.debug[i];
+                for (slot, (cur, old)) in
+                    d.iter_mut().zip(ctx.debug.iter().zip(&snap.debug)).take(7)
+                {
+                    *slot = cur - old;
                 }
                 d[7] = ctx.debug[7];
                 d
@@ -817,7 +912,12 @@ impl System {
             .zip(&finish)
             .map(|(s, &f)| instructions as f64 / f.saturating_sub(s.cycle).max(1) as f64)
             .collect();
-        MultiReport { workloads: self.names.clone(), ipc, llc, dram }
+        MultiReport {
+            workloads: self.names.clone(),
+            ipc,
+            llc,
+            dram,
+        }
     }
 }
 
@@ -827,7 +927,10 @@ fn module_diff(end: psa_core::ModuleStats, start: psa_core::ModuleStats) -> psa_
         candidates: end.candidates - start.candidates,
         issued: end.issued - start.issued,
         deduped: end.deduped - start.deduped,
-        issued_by: [end.issued_by[0] - start.issued_by[0], end.issued_by[1] - start.issued_by[1]],
+        issued_by: [
+            end.issued_by[0] - start.issued_by[0],
+            end.issued_by[1] - start.issued_by[1],
+        ],
         selected_by: [
             end.selected_by[0] - start.selected_by[0],
             end.selected_by[1] - start.selected_by[1],
@@ -854,7 +957,9 @@ mod tests {
     use psa_traces::catalog;
 
     fn quick() -> SimConfig {
-        SimConfig::default().with_warmup(2_000).with_instructions(10_000)
+        SimConfig::default()
+            .with_warmup(2_000)
+            .with_instructions(10_000)
     }
 
     #[test]
@@ -890,10 +995,11 @@ mod tests {
     fn psa_beats_original_on_a_huge_page_stream() {
         // Needs a long enough window for prefetch lead to build; small
         // windows are cold-start noise.
-        let cfg = SimConfig::default().with_warmup(40_000).with_instructions(120_000);
+        let cfg = SimConfig::default()
+            .with_warmup(40_000)
+            .with_instructions(120_000);
         let w = catalog::workload("lbm").unwrap();
-        let orig =
-            System::single_core(cfg, w, PrefetcherKind::Spp, PageSizePolicy::Original).run();
+        let orig = System::single_core(cfg, w, PrefetcherKind::Spp, PageSizePolicy::Original).run();
         let psa = System::single_core(cfg, w, PrefetcherKind::Spp, PageSizePolicy::Psa).run();
         // At laptop-scale budgets PSA and original trade a few percent on
         // lbm (PSA shifts coverage from L2C fills to LLC fills); the guard
@@ -915,8 +1021,14 @@ mod tests {
             psa.llc.demand_misses,
             orig.llc.demand_misses
         );
-        assert!(ob.discarded_cross_4k_in_huge > 0, "Figure 2 counter must fire");
-        assert_eq!(pb.discarded_cross_4k_in_huge, 0, "PSA never discards for in-huge crossing");
+        assert!(
+            ob.discarded_cross_4k_in_huge > 0,
+            "Figure 2 counter must fire"
+        );
+        assert_eq!(
+            pb.discarded_cross_4k_in_huge, 0,
+            "PSA never discards for in-huge crossing"
+        );
     }
 
     #[test]
@@ -934,7 +1046,9 @@ mod tests {
         let w1 = catalog::workload("lbm").unwrap();
         let w2 = catalog::workload("mcf").unwrap();
         let r = System::multi_core(
-            SimConfig::for_cores(2).with_warmup(1_000).with_instructions(5_000),
+            SimConfig::for_cores(2)
+                .with_warmup(1_000)
+                .with_instructions(5_000),
             &[w1, w2],
             PrefetcherKind::Spp,
             PageSizePolicy::Psa,
@@ -952,7 +1066,11 @@ mod tests {
         let last = r.thp_series.last().unwrap().1;
         assert!(last > 0.8, "lbm maps ~95% huge: {last}");
         let r4k = System::baseline(quick(), catalog::workload("soplex").unwrap()).run();
-        assert!(r4k.huge_usage < 0.4, "soplex is 4KB-dominated: {}", r4k.huge_usage);
+        assert!(
+            r4k.huge_usage < 0.4,
+            "soplex is 4KB-dominated: {}",
+            r4k.huge_usage
+        );
     }
 
     #[test]

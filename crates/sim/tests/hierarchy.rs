@@ -7,7 +7,9 @@ use psa_sim::{SimConfig, System};
 use psa_traces::catalog;
 
 fn quick() -> SimConfig {
-    SimConfig::default().with_warmup(4_000).with_instructions(16_000)
+    SimConfig::default()
+        .with_warmup(4_000)
+        .with_instructions(16_000)
 }
 
 #[test]
@@ -52,7 +54,10 @@ fn more_l1d_mshrs_do_not_reduce_throughput() {
     let mut cfg32 = quick();
     cfg32.l1d.mshr_entries = 32;
     let big = System::baseline(cfg32, w).run().ipc();
-    assert!(big >= small * 0.98, "MLP must not shrink with more MSHRs: {big} vs {small}");
+    assert!(
+        big >= small * 0.98,
+        "MLP must not shrink with more MSHRs: {big} vs {small}"
+    );
 }
 
 #[test]
@@ -95,7 +100,9 @@ fn multicore_shares_the_llc() {
     // Two copies of a streaming workload on a shared LLC must each run
     // slower than the same workload alone on the same machine.
     let w = catalog::workload("lbm").unwrap();
-    let cfg = SimConfig::for_cores(2).with_warmup(2_000).with_instructions(10_000);
+    let cfg = SimConfig::for_cores(2)
+        .with_warmup(2_000)
+        .with_instructions(10_000);
     let duo = System::multi_core_baseline(cfg, &[w, w]).run_multi();
     let solo = System::multi_core_baseline(cfg, &[w]).run_multi();
     assert!(

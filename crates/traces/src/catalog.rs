@@ -45,7 +45,15 @@ const fn mix(
     random: f64,
     hot: f64,
 ) -> PatternMix {
-    PatternMix { stream, stride_small, stride_large, subpage_grain, pointer_chase, random, hot }
+    PatternMix {
+        stream,
+        stride_small,
+        stride_large,
+        subpage_grain,
+        pointer_chase,
+        random,
+        hot,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -99,103 +107,879 @@ use Suite::{Cloud, Gap, Ml, Qmm, Spec06, Spec17};
 /// The 80 memory-intensive workloads of Figure 8, in figure order.
 pub const WORKLOADS: [WorkloadSpec; 80] = [
     // ---- SPEC CPU 2006 ----
-    wl("gcc", Spec06, 0.60, 96, 0.28, 0.15, 0.2, mix(0.2, 0.2, 0.0, 0.3, 0.2, 0.2, 0.6)),
-    wl("bwaves", Spec06, 0.93, 192, 0.38, 0.08, 0.0, mix(1.0, 0.3, 0.0, 0.0, 0.0, 0.05, 0.2)),
-    wl("mcf", Spec06, 0.90, 256, 0.35, 0.10, 0.6, mix(0.1, 0.1, 0.0, 0.0, 0.8, 0.3, 0.2)),
-    wl("milc", Spec06, 0.94, 192, 0.36, 0.12, 0.0, mix(0.15, 0.05, 1.0, 0.0, 0.0, 0.05, 0.1)),
-    wl("cactus", Spec06, 0.92, 128, 0.32, 0.12, 0.0, mix(0.25, 0.2, 0.0, 0.8, 0.0, 0.05, 0.2)),
-    wl("leslie3d", Spec06, 0.91, 128, 0.36, 0.10, 0.0, mix(0.9, 0.35, 0.0, 0.0, 0.0, 0.05, 0.2)),
-    wl("gobmk", Spec06, 0.55, 48, 0.26, 0.12, 0.3, mix(0.1, 0.15, 0.0, 0.2, 0.3, 0.25, 0.8)),
-    wl("soplex", Spec06, 0.10, 128, 0.34, 0.10, 0.1, mix(0.3, 0.25, 0.0, 0.7, 0.1, 0.1, 0.2)),
-    wl("hmmer", Spec06, 0.25, 48, 0.30, 0.12, 0.0, mix(0.2, 0.3, 0.0, 0.1, 0.0, 0.1, 0.9)),
-    wl("GemsFDTD", Spec06, 0.93, 192, 0.38, 0.10, 0.0, mix(1.0, 0.4, 0.0, 0.0, 0.0, 0.05, 0.1)),
-    wl("libquantum", Spec06, 0.92, 128, 0.34, 0.08, 0.0, mix(1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1)),
-    wl("lbm", Spec06, 0.95, 256, 0.40, 0.18, 0.0, mix(1.0, 0.2, 0.0, 0.0, 0.0, 0.02, 0.1)),
-    wl("omnetpp", Spec06, 0.30, 96, 0.32, 0.12, 0.5, mix(0.1, 0.1, 0.0, 0.1, 0.7, 0.3, 0.3)),
-    wl("astar", Spec06, 0.70, 96, 0.30, 0.10, 0.5, mix(0.1, 0.2, 0.0, 0.1, 0.6, 0.2, 0.3)),
-    wl("wrf", Spec06, 0.90, 128, 0.33, 0.10, 0.0, mix(0.8, 0.4, 0.0, 0.1, 0.0, 0.05, 0.3)),
-    wl("sphinx3", Spec06, 0.85, 64, 0.31, 0.06, 0.1, mix(0.6, 0.4, 0.0, 0.15, 0.1, 0.1, 0.3)),
+    wl(
+        "gcc",
+        Spec06,
+        0.60,
+        96,
+        0.28,
+        0.15,
+        0.2,
+        mix(0.2, 0.2, 0.0, 0.3, 0.2, 0.2, 0.6),
+    ),
+    wl(
+        "bwaves",
+        Spec06,
+        0.93,
+        192,
+        0.38,
+        0.08,
+        0.0,
+        mix(1.0, 0.3, 0.0, 0.0, 0.0, 0.05, 0.2),
+    ),
+    wl(
+        "mcf",
+        Spec06,
+        0.90,
+        256,
+        0.35,
+        0.10,
+        0.6,
+        mix(0.1, 0.1, 0.0, 0.0, 0.8, 0.3, 0.2),
+    ),
+    wl(
+        "milc",
+        Spec06,
+        0.94,
+        192,
+        0.36,
+        0.12,
+        0.0,
+        mix(0.15, 0.05, 1.0, 0.0, 0.0, 0.05, 0.1),
+    ),
+    wl(
+        "cactus",
+        Spec06,
+        0.92,
+        128,
+        0.32,
+        0.12,
+        0.0,
+        mix(0.25, 0.2, 0.0, 0.8, 0.0, 0.05, 0.2),
+    ),
+    wl(
+        "leslie3d",
+        Spec06,
+        0.91,
+        128,
+        0.36,
+        0.10,
+        0.0,
+        mix(0.9, 0.35, 0.0, 0.0, 0.0, 0.05, 0.2),
+    ),
+    wl(
+        "gobmk",
+        Spec06,
+        0.55,
+        48,
+        0.26,
+        0.12,
+        0.3,
+        mix(0.1, 0.15, 0.0, 0.2, 0.3, 0.25, 0.8),
+    ),
+    wl(
+        "soplex",
+        Spec06,
+        0.10,
+        128,
+        0.34,
+        0.10,
+        0.1,
+        mix(0.3, 0.25, 0.0, 0.7, 0.1, 0.1, 0.2),
+    ),
+    wl(
+        "hmmer",
+        Spec06,
+        0.25,
+        48,
+        0.30,
+        0.12,
+        0.0,
+        mix(0.2, 0.3, 0.0, 0.1, 0.0, 0.1, 0.9),
+    ),
+    wl(
+        "GemsFDTD",
+        Spec06,
+        0.93,
+        192,
+        0.38,
+        0.10,
+        0.0,
+        mix(1.0, 0.4, 0.0, 0.0, 0.0, 0.05, 0.1),
+    ),
+    wl(
+        "libquantum",
+        Spec06,
+        0.92,
+        128,
+        0.34,
+        0.08,
+        0.0,
+        mix(1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1),
+    ),
+    wl(
+        "lbm",
+        Spec06,
+        0.95,
+        256,
+        0.40,
+        0.18,
+        0.0,
+        mix(1.0, 0.2, 0.0, 0.0, 0.0, 0.02, 0.1),
+    ),
+    wl(
+        "omnetpp",
+        Spec06,
+        0.30,
+        96,
+        0.32,
+        0.12,
+        0.5,
+        mix(0.1, 0.1, 0.0, 0.1, 0.7, 0.3, 0.3),
+    ),
+    wl(
+        "astar",
+        Spec06,
+        0.70,
+        96,
+        0.30,
+        0.10,
+        0.5,
+        mix(0.1, 0.2, 0.0, 0.1, 0.6, 0.2, 0.3),
+    ),
+    wl(
+        "wrf",
+        Spec06,
+        0.90,
+        128,
+        0.33,
+        0.10,
+        0.0,
+        mix(0.8, 0.4, 0.0, 0.1, 0.0, 0.05, 0.3),
+    ),
+    wl(
+        "sphinx3",
+        Spec06,
+        0.85,
+        64,
+        0.31,
+        0.06,
+        0.1,
+        mix(0.6, 0.4, 0.0, 0.15, 0.1, 0.1, 0.3),
+    ),
     // ---- SPEC CPU 2017 ----
-    wl("gcc_s", Spec17, 0.20, 96, 0.28, 0.15, 0.2, mix(0.2, 0.2, 0.0, 0.35, 0.2, 0.2, 0.6)),
-    wl("bwaves_s", Spec17, 0.93, 224, 0.38, 0.08, 0.0, mix(1.0, 0.3, 0.0, 0.0, 0.0, 0.05, 0.2)),
-    wl("mcf_s", Spec17, 0.90, 256, 0.35, 0.10, 0.6, mix(0.15, 0.1, 0.0, 0.0, 0.8, 0.3, 0.2)),
-    wl("cactuBSSN_s", Spec17, 0.92, 160, 0.34, 0.12, 0.0, mix(0.35, 0.2, 0.25, 0.6, 0.0, 0.05, 0.2)),
-    wl("lbm_s", Spec17, 0.95, 256, 0.40, 0.18, 0.0, mix(1.0, 0.2, 0.0, 0.0, 0.0, 0.02, 0.1)),
-    wl("omnetpp_s", Spec17, 0.30, 96, 0.32, 0.12, 0.5, mix(0.1, 0.1, 0.0, 0.1, 0.7, 0.3, 0.3)),
-    wl("wrf_s", Spec17, 0.90, 128, 0.33, 0.10, 0.0, mix(0.8, 0.4, 0.0, 0.1, 0.0, 0.05, 0.3)),
-    wl("xalancbmk_s", Spec17, 0.60, 96, 0.31, 0.10, 0.5, mix(0.15, 0.2, 0.0, 0.1, 0.6, 0.2, 0.4)),
-    wl("x264_s", Spec17, 0.80, 64, 0.27, 0.15, 0.1, mix(0.5, 0.4, 0.0, 0.1, 0.0, 0.1, 0.7)),
-    wl("cam4_s", Spec17, 0.88, 128, 0.32, 0.10, 0.0, mix(0.6, 0.4, 0.1, 0.2, 0.0, 0.1, 0.3)),
-    wl("pop2_s", Spec17, 0.88, 128, 0.32, 0.10, 0.0, mix(0.6, 0.35, 0.1, 0.2, 0.0, 0.1, 0.3)),
-    wl("leela_s", Spec17, 0.50, 32, 0.25, 0.10, 0.3, mix(0.1, 0.15, 0.0, 0.1, 0.3, 0.2, 0.9)),
-    wl("fotonik3d_s", Spec17, 0.93, 192, 0.38, 0.08, 0.0, mix(1.0, 0.3, 0.0, 0.0, 0.0, 0.03, 0.1)),
-    wl("roms_s", Spec17, 0.91, 192, 0.36, 0.10, 0.0, mix(0.9, 0.45, 0.0, 0.05, 0.0, 0.05, 0.15)),
-    wl("xz_s", Spec17, 0.75, 96, 0.30, 0.15, 0.3, mix(0.3, 0.2, 0.0, 0.2, 0.3, 0.25, 0.4)),
+    wl(
+        "gcc_s",
+        Spec17,
+        0.20,
+        96,
+        0.28,
+        0.15,
+        0.2,
+        mix(0.2, 0.2, 0.0, 0.35, 0.2, 0.2, 0.6),
+    ),
+    wl(
+        "bwaves_s",
+        Spec17,
+        0.93,
+        224,
+        0.38,
+        0.08,
+        0.0,
+        mix(1.0, 0.3, 0.0, 0.0, 0.0, 0.05, 0.2),
+    ),
+    wl(
+        "mcf_s",
+        Spec17,
+        0.90,
+        256,
+        0.35,
+        0.10,
+        0.6,
+        mix(0.15, 0.1, 0.0, 0.0, 0.8, 0.3, 0.2),
+    ),
+    wl(
+        "cactuBSSN_s",
+        Spec17,
+        0.92,
+        160,
+        0.34,
+        0.12,
+        0.0,
+        mix(0.35, 0.2, 0.25, 0.6, 0.0, 0.05, 0.2),
+    ),
+    wl(
+        "lbm_s",
+        Spec17,
+        0.95,
+        256,
+        0.40,
+        0.18,
+        0.0,
+        mix(1.0, 0.2, 0.0, 0.0, 0.0, 0.02, 0.1),
+    ),
+    wl(
+        "omnetpp_s",
+        Spec17,
+        0.30,
+        96,
+        0.32,
+        0.12,
+        0.5,
+        mix(0.1, 0.1, 0.0, 0.1, 0.7, 0.3, 0.3),
+    ),
+    wl(
+        "wrf_s",
+        Spec17,
+        0.90,
+        128,
+        0.33,
+        0.10,
+        0.0,
+        mix(0.8, 0.4, 0.0, 0.1, 0.0, 0.05, 0.3),
+    ),
+    wl(
+        "xalancbmk_s",
+        Spec17,
+        0.60,
+        96,
+        0.31,
+        0.10,
+        0.5,
+        mix(0.15, 0.2, 0.0, 0.1, 0.6, 0.2, 0.4),
+    ),
+    wl(
+        "x264_s",
+        Spec17,
+        0.80,
+        64,
+        0.27,
+        0.15,
+        0.1,
+        mix(0.5, 0.4, 0.0, 0.1, 0.0, 0.1, 0.7),
+    ),
+    wl(
+        "cam4_s",
+        Spec17,
+        0.88,
+        128,
+        0.32,
+        0.10,
+        0.0,
+        mix(0.6, 0.4, 0.1, 0.2, 0.0, 0.1, 0.3),
+    ),
+    wl(
+        "pop2_s",
+        Spec17,
+        0.88,
+        128,
+        0.32,
+        0.10,
+        0.0,
+        mix(0.6, 0.35, 0.1, 0.2, 0.0, 0.1, 0.3),
+    ),
+    wl(
+        "leela_s",
+        Spec17,
+        0.50,
+        32,
+        0.25,
+        0.10,
+        0.3,
+        mix(0.1, 0.15, 0.0, 0.1, 0.3, 0.2, 0.9),
+    ),
+    wl(
+        "fotonik3d_s",
+        Spec17,
+        0.93,
+        192,
+        0.38,
+        0.08,
+        0.0,
+        mix(1.0, 0.3, 0.0, 0.0, 0.0, 0.03, 0.1),
+    ),
+    wl(
+        "roms_s",
+        Spec17,
+        0.91,
+        192,
+        0.36,
+        0.10,
+        0.0,
+        mix(0.9, 0.45, 0.0, 0.05, 0.0, 0.05, 0.15),
+    ),
+    wl(
+        "xz_s",
+        Spec17,
+        0.75,
+        96,
+        0.30,
+        0.15,
+        0.3,
+        mix(0.3, 0.2, 0.0, 0.2, 0.3, 0.25, 0.4),
+    ),
     // ---- GAP (road graph) ----
-    wl("bfs.road", Gap, 0.90, 192, 0.34, 0.08, 0.4, mix(0.4, 0.15, 0.0, 0.25, 0.45, 0.2, 0.2)),
-    wl("cc.road", Gap, 0.90, 192, 0.34, 0.08, 0.4, mix(0.35, 0.15, 0.0, 0.3, 0.45, 0.2, 0.2)),
-    wl("bc.road", Gap, 0.90, 192, 0.35, 0.10, 0.4, mix(0.3, 0.15, 0.0, 0.35, 0.5, 0.2, 0.2)),
-    wl("sssp.road", Gap, 0.90, 192, 0.35, 0.10, 0.4, mix(0.3, 0.15, 0.0, 0.35, 0.5, 0.2, 0.2)),
-    wl("tc.road", Gap, 0.92, 192, 0.36, 0.08, 0.3, mix(0.2, 0.1, 0.0, 0.9, 0.3, 0.15, 0.15)),
-    wl("pr.road", Gap, 0.92, 224, 0.37, 0.10, 0.2, mix(0.35, 0.2, 0.0, 1.0, 0.2, 0.1, 0.15)),
+    wl(
+        "bfs.road",
+        Gap,
+        0.90,
+        192,
+        0.34,
+        0.08,
+        0.4,
+        mix(0.4, 0.15, 0.0, 0.25, 0.45, 0.2, 0.2),
+    ),
+    wl(
+        "cc.road",
+        Gap,
+        0.90,
+        192,
+        0.34,
+        0.08,
+        0.4,
+        mix(0.35, 0.15, 0.0, 0.3, 0.45, 0.2, 0.2),
+    ),
+    wl(
+        "bc.road",
+        Gap,
+        0.90,
+        192,
+        0.35,
+        0.10,
+        0.4,
+        mix(0.3, 0.15, 0.0, 0.35, 0.5, 0.2, 0.2),
+    ),
+    wl(
+        "sssp.road",
+        Gap,
+        0.90,
+        192,
+        0.35,
+        0.10,
+        0.4,
+        mix(0.3, 0.15, 0.0, 0.35, 0.5, 0.2, 0.2),
+    ),
+    wl(
+        "tc.road",
+        Gap,
+        0.92,
+        192,
+        0.36,
+        0.08,
+        0.3,
+        mix(0.2, 0.1, 0.0, 0.9, 0.3, 0.15, 0.15),
+    ),
+    wl(
+        "pr.road",
+        Gap,
+        0.92,
+        224,
+        0.37,
+        0.10,
+        0.2,
+        mix(0.35, 0.2, 0.0, 1.0, 0.2, 0.1, 0.15),
+    ),
     // ---- CloudSuite / ML / misc ----
-    wl("data_caching", Cloud, 0.70, 128, 0.30, 0.20, 0.4, mix(0.25, 0.15, 0.0, 0.2, 0.5, 0.35, 0.5)),
-    wl("graph_analytics", Cloud, 0.25, 160, 0.33, 0.10, 0.4, mix(0.25, 0.1, 0.0, 0.3, 0.5, 0.3, 0.3)),
-    wl("mlpack_cf", Ml, 0.88, 160, 0.35, 0.10, 0.1, mix(0.7, 0.4, 0.15, 0.1, 0.1, 0.1, 0.2)),
-    wl("sat_solver", Cloud, 0.75, 128, 0.33, 0.10, 0.5, mix(0.15, 0.15, 0.0, 0.2, 0.6, 0.3, 0.3)),
+    wl(
+        "data_caching",
+        Cloud,
+        0.70,
+        128,
+        0.30,
+        0.20,
+        0.4,
+        mix(0.25, 0.15, 0.0, 0.2, 0.5, 0.35, 0.5),
+    ),
+    wl(
+        "graph_analytics",
+        Cloud,
+        0.25,
+        160,
+        0.33,
+        0.10,
+        0.4,
+        mix(0.25, 0.1, 0.0, 0.3, 0.5, 0.3, 0.3),
+    ),
+    wl(
+        "mlpack_cf",
+        Ml,
+        0.88,
+        160,
+        0.35,
+        0.10,
+        0.1,
+        mix(0.7, 0.4, 0.15, 0.1, 0.1, 0.1, 0.2),
+    ),
+    wl(
+        "sat_solver",
+        Cloud,
+        0.75,
+        128,
+        0.33,
+        0.10,
+        0.5,
+        mix(0.15, 0.15, 0.0, 0.2, 0.6, 0.3, 0.3),
+    ),
     // ---- Qualcomm CVP-1 ----
-    wl("qmm_int_315", Qmm, 0.80, 96, 0.31, 0.12, 0.3, mix(0.35, 0.3, 0.0, 0.25, 0.3, 0.2, 0.4)),
-    wl("qmm_fp_12", Qmm, 0.85, 128, 0.34, 0.10, 0.1, mix(0.8, 0.35, 0.0, 0.3, 0.05, 0.1, 0.2)),
-    wl("qmm_int_345", Qmm, 0.78, 96, 0.30, 0.12, 0.35, mix(0.3, 0.3, 0.0, 0.25, 0.35, 0.2, 0.4)),
-    wl("qmm_int_398", Qmm, 0.78, 96, 0.31, 0.12, 0.3, mix(0.35, 0.25, 0.0, 0.2, 0.35, 0.2, 0.4)),
-    wl("qmm_fp_87", Qmm, 0.88, 128, 0.35, 0.10, 0.1, mix(0.7, 0.3, 0.2, 0.25, 0.05, 0.1, 0.2)),
-    wl("qmm_int_763", Qmm, 0.76, 96, 0.30, 0.12, 0.35, mix(0.3, 0.25, 0.0, 0.2, 0.4, 0.25, 0.4)),
-    wl("qmm_fp_4", Qmm, 0.90, 128, 0.35, 0.10, 0.0, mix(0.9, 0.4, 0.0, 0.1, 0.0, 0.08, 0.2)),
-    wl("qmm_fp_8", Qmm, 0.90, 128, 0.35, 0.10, 0.0, mix(0.85, 0.45, 0.0, 0.1, 0.0, 0.08, 0.2)),
-    wl("qmm_fp_96", Qmm, 0.89, 128, 0.34, 0.10, 0.0, mix(0.8, 0.4, 0.1, 0.1, 0.0, 0.1, 0.2)),
-    wl("qmm_fp_1", Qmm, 0.90, 128, 0.35, 0.10, 0.0, mix(0.9, 0.35, 0.0, 0.1, 0.0, 0.08, 0.2)),
-    wl("qmm_fp_65", Qmm, 0.89, 128, 0.34, 0.10, 0.0, mix(0.8, 0.45, 0.05, 0.1, 0.0, 0.1, 0.2)),
-    wl("qmm_int_906", Qmm, 0.90, 160, 0.34, 0.10, 0.15, mix(0.2, 0.15, 0.9, 0.1, 0.15, 0.1, 0.2)),
-    wl("qmm_fp_95", Qmm, 0.92, 160, 0.36, 0.10, 0.0, mix(0.6, 0.2, 0.6, 0.05, 0.0, 0.05, 0.15)),
-    wl("qmm_fp_67", Qmm, 0.93, 160, 0.36, 0.10, 0.0, mix(0.2, 0.1, 1.0, 0.05, 0.0, 0.05, 0.1)),
-    wl("qmm_fp_133", Qmm, 0.91, 160, 0.35, 0.10, 0.0, mix(0.5, 0.2, 0.5, 0.05, 0.0, 0.08, 0.15)),
-    wl("qmm_fp_15", Qmm, 0.92, 160, 0.36, 0.10, 0.0, mix(0.55, 0.25, 0.5, 0.05, 0.0, 0.05, 0.15)),
-    wl("qmm_fp_14", Qmm, 0.90, 128, 0.35, 0.10, 0.0, mix(0.85, 0.4, 0.05, 0.1, 0.0, 0.08, 0.2)),
-    wl("qmm_fp_136", Qmm, 0.89, 128, 0.34, 0.10, 0.0, mix(0.8, 0.4, 0.05, 0.15, 0.0, 0.1, 0.2)),
-    wl("qmm_fp_48", Qmm, 0.89, 128, 0.34, 0.10, 0.05, mix(0.75, 0.4, 0.1, 0.15, 0.05, 0.1, 0.2)),
-    wl("qmm_fp_5", Qmm, 0.90, 128, 0.35, 0.10, 0.0, mix(0.9, 0.35, 0.0, 0.1, 0.0, 0.08, 0.2)),
-    wl("qmm_fp_7", Qmm, 0.90, 128, 0.35, 0.10, 0.0, mix(0.88, 0.38, 0.0, 0.1, 0.0, 0.08, 0.2)),
-    wl("qmm_fp_101", Qmm, 0.88, 128, 0.34, 0.10, 0.05, mix(0.75, 0.4, 0.1, 0.15, 0.05, 0.1, 0.25)),
-    wl("qmm_fp_45", Qmm, 0.88, 128, 0.34, 0.10, 0.05, mix(0.7, 0.45, 0.1, 0.15, 0.05, 0.1, 0.25)),
-    wl("qmm_fp_30", Qmm, 0.88, 128, 0.34, 0.10, 0.05, mix(0.7, 0.4, 0.15, 0.15, 0.05, 0.1, 0.25)),
-    wl("qmm_fp_139", Qmm, 0.89, 128, 0.34, 0.10, 0.0, mix(0.75, 0.4, 0.1, 0.1, 0.0, 0.1, 0.2)),
-    wl("qmm_fp_105", Qmm, 0.89, 128, 0.34, 0.10, 0.0, mix(0.75, 0.4, 0.1, 0.1, 0.0, 0.1, 0.2)),
-    wl("qmm_fp_128", Qmm, 0.89, 128, 0.34, 0.10, 0.0, mix(0.72, 0.42, 0.1, 0.12, 0.0, 0.1, 0.2)),
-    wl("qmm_fp_71", Qmm, 0.88, 128, 0.33, 0.10, 0.05, mix(0.7, 0.4, 0.1, 0.15, 0.05, 0.1, 0.25)),
-    wl("qmm_fp_51", Qmm, 0.88, 128, 0.33, 0.10, 0.05, mix(0.7, 0.4, 0.1, 0.15, 0.05, 0.1, 0.25)),
-    wl("qmm_fp_111", Qmm, 0.88, 128, 0.33, 0.10, 0.05, mix(0.68, 0.42, 0.1, 0.15, 0.05, 0.1, 0.25)),
-    wl("qmm_fp_110", Qmm, 0.88, 128, 0.33, 0.10, 0.05, mix(0.68, 0.4, 0.12, 0.15, 0.05, 0.1, 0.25)),
-    wl("qmm_fp_6", Qmm, 0.90, 128, 0.35, 0.10, 0.0, mix(0.86, 0.38, 0.0, 0.1, 0.0, 0.08, 0.2)),
-    wl("qmm_fp_134", Qmm, 0.89, 128, 0.34, 0.10, 0.0, mix(0.74, 0.4, 0.1, 0.12, 0.0, 0.1, 0.2)),
-    wl("qmm_int_859", Qmm, 0.78, 96, 0.30, 0.12, 0.35, mix(0.3, 0.28, 0.0, 0.22, 0.35, 0.22, 0.4)),
-    wl("qmm_fp_130", Qmm, 0.89, 128, 0.34, 0.10, 0.0, mix(0.74, 0.4, 0.1, 0.12, 0.0, 0.1, 0.2)),
-    wl("qmm_fp_116", Qmm, 0.89, 128, 0.34, 0.10, 0.0, mix(0.72, 0.4, 0.12, 0.12, 0.0, 0.1, 0.2)),
-    wl("qmm_fp_112", Qmm, 0.92, 160, 0.36, 0.10, 0.0, mix(0.5, 0.2, 0.6, 0.05, 0.0, 0.05, 0.15)),
-    wl("qmm_fp_127", Qmm, 0.89, 128, 0.34, 0.10, 0.0, mix(0.74, 0.4, 0.1, 0.12, 0.0, 0.1, 0.2)),
-    wl("qmm_int_21", Qmm, 0.77, 96, 0.30, 0.12, 0.35, mix(0.3, 0.26, 0.0, 0.22, 0.36, 0.22, 0.4)),
+    wl(
+        "qmm_int_315",
+        Qmm,
+        0.80,
+        96,
+        0.31,
+        0.12,
+        0.3,
+        mix(0.35, 0.3, 0.0, 0.25, 0.3, 0.2, 0.4),
+    ),
+    wl(
+        "qmm_fp_12",
+        Qmm,
+        0.85,
+        128,
+        0.34,
+        0.10,
+        0.1,
+        mix(0.8, 0.35, 0.0, 0.3, 0.05, 0.1, 0.2),
+    ),
+    wl(
+        "qmm_int_345",
+        Qmm,
+        0.78,
+        96,
+        0.30,
+        0.12,
+        0.35,
+        mix(0.3, 0.3, 0.0, 0.25, 0.35, 0.2, 0.4),
+    ),
+    wl(
+        "qmm_int_398",
+        Qmm,
+        0.78,
+        96,
+        0.31,
+        0.12,
+        0.3,
+        mix(0.35, 0.25, 0.0, 0.2, 0.35, 0.2, 0.4),
+    ),
+    wl(
+        "qmm_fp_87",
+        Qmm,
+        0.88,
+        128,
+        0.35,
+        0.10,
+        0.1,
+        mix(0.7, 0.3, 0.2, 0.25, 0.05, 0.1, 0.2),
+    ),
+    wl(
+        "qmm_int_763",
+        Qmm,
+        0.76,
+        96,
+        0.30,
+        0.12,
+        0.35,
+        mix(0.3, 0.25, 0.0, 0.2, 0.4, 0.25, 0.4),
+    ),
+    wl(
+        "qmm_fp_4",
+        Qmm,
+        0.90,
+        128,
+        0.35,
+        0.10,
+        0.0,
+        mix(0.9, 0.4, 0.0, 0.1, 0.0, 0.08, 0.2),
+    ),
+    wl(
+        "qmm_fp_8",
+        Qmm,
+        0.90,
+        128,
+        0.35,
+        0.10,
+        0.0,
+        mix(0.85, 0.45, 0.0, 0.1, 0.0, 0.08, 0.2),
+    ),
+    wl(
+        "qmm_fp_96",
+        Qmm,
+        0.89,
+        128,
+        0.34,
+        0.10,
+        0.0,
+        mix(0.8, 0.4, 0.1, 0.1, 0.0, 0.1, 0.2),
+    ),
+    wl(
+        "qmm_fp_1",
+        Qmm,
+        0.90,
+        128,
+        0.35,
+        0.10,
+        0.0,
+        mix(0.9, 0.35, 0.0, 0.1, 0.0, 0.08, 0.2),
+    ),
+    wl(
+        "qmm_fp_65",
+        Qmm,
+        0.89,
+        128,
+        0.34,
+        0.10,
+        0.0,
+        mix(0.8, 0.45, 0.05, 0.1, 0.0, 0.1, 0.2),
+    ),
+    wl(
+        "qmm_int_906",
+        Qmm,
+        0.90,
+        160,
+        0.34,
+        0.10,
+        0.15,
+        mix(0.2, 0.15, 0.9, 0.1, 0.15, 0.1, 0.2),
+    ),
+    wl(
+        "qmm_fp_95",
+        Qmm,
+        0.92,
+        160,
+        0.36,
+        0.10,
+        0.0,
+        mix(0.6, 0.2, 0.6, 0.05, 0.0, 0.05, 0.15),
+    ),
+    wl(
+        "qmm_fp_67",
+        Qmm,
+        0.93,
+        160,
+        0.36,
+        0.10,
+        0.0,
+        mix(0.2, 0.1, 1.0, 0.05, 0.0, 0.05, 0.1),
+    ),
+    wl(
+        "qmm_fp_133",
+        Qmm,
+        0.91,
+        160,
+        0.35,
+        0.10,
+        0.0,
+        mix(0.5, 0.2, 0.5, 0.05, 0.0, 0.08, 0.15),
+    ),
+    wl(
+        "qmm_fp_15",
+        Qmm,
+        0.92,
+        160,
+        0.36,
+        0.10,
+        0.0,
+        mix(0.55, 0.25, 0.5, 0.05, 0.0, 0.05, 0.15),
+    ),
+    wl(
+        "qmm_fp_14",
+        Qmm,
+        0.90,
+        128,
+        0.35,
+        0.10,
+        0.0,
+        mix(0.85, 0.4, 0.05, 0.1, 0.0, 0.08, 0.2),
+    ),
+    wl(
+        "qmm_fp_136",
+        Qmm,
+        0.89,
+        128,
+        0.34,
+        0.10,
+        0.0,
+        mix(0.8, 0.4, 0.05, 0.15, 0.0, 0.1, 0.2),
+    ),
+    wl(
+        "qmm_fp_48",
+        Qmm,
+        0.89,
+        128,
+        0.34,
+        0.10,
+        0.05,
+        mix(0.75, 0.4, 0.1, 0.15, 0.05, 0.1, 0.2),
+    ),
+    wl(
+        "qmm_fp_5",
+        Qmm,
+        0.90,
+        128,
+        0.35,
+        0.10,
+        0.0,
+        mix(0.9, 0.35, 0.0, 0.1, 0.0, 0.08, 0.2),
+    ),
+    wl(
+        "qmm_fp_7",
+        Qmm,
+        0.90,
+        128,
+        0.35,
+        0.10,
+        0.0,
+        mix(0.88, 0.38, 0.0, 0.1, 0.0, 0.08, 0.2),
+    ),
+    wl(
+        "qmm_fp_101",
+        Qmm,
+        0.88,
+        128,
+        0.34,
+        0.10,
+        0.05,
+        mix(0.75, 0.4, 0.1, 0.15, 0.05, 0.1, 0.25),
+    ),
+    wl(
+        "qmm_fp_45",
+        Qmm,
+        0.88,
+        128,
+        0.34,
+        0.10,
+        0.05,
+        mix(0.7, 0.45, 0.1, 0.15, 0.05, 0.1, 0.25),
+    ),
+    wl(
+        "qmm_fp_30",
+        Qmm,
+        0.88,
+        128,
+        0.34,
+        0.10,
+        0.05,
+        mix(0.7, 0.4, 0.15, 0.15, 0.05, 0.1, 0.25),
+    ),
+    wl(
+        "qmm_fp_139",
+        Qmm,
+        0.89,
+        128,
+        0.34,
+        0.10,
+        0.0,
+        mix(0.75, 0.4, 0.1, 0.1, 0.0, 0.1, 0.2),
+    ),
+    wl(
+        "qmm_fp_105",
+        Qmm,
+        0.89,
+        128,
+        0.34,
+        0.10,
+        0.0,
+        mix(0.75, 0.4, 0.1, 0.1, 0.0, 0.1, 0.2),
+    ),
+    wl(
+        "qmm_fp_128",
+        Qmm,
+        0.89,
+        128,
+        0.34,
+        0.10,
+        0.0,
+        mix(0.72, 0.42, 0.1, 0.12, 0.0, 0.1, 0.2),
+    ),
+    wl(
+        "qmm_fp_71",
+        Qmm,
+        0.88,
+        128,
+        0.33,
+        0.10,
+        0.05,
+        mix(0.7, 0.4, 0.1, 0.15, 0.05, 0.1, 0.25),
+    ),
+    wl(
+        "qmm_fp_51",
+        Qmm,
+        0.88,
+        128,
+        0.33,
+        0.10,
+        0.05,
+        mix(0.7, 0.4, 0.1, 0.15, 0.05, 0.1, 0.25),
+    ),
+    wl(
+        "qmm_fp_111",
+        Qmm,
+        0.88,
+        128,
+        0.33,
+        0.10,
+        0.05,
+        mix(0.68, 0.42, 0.1, 0.15, 0.05, 0.1, 0.25),
+    ),
+    wl(
+        "qmm_fp_110",
+        Qmm,
+        0.88,
+        128,
+        0.33,
+        0.10,
+        0.05,
+        mix(0.68, 0.4, 0.12, 0.15, 0.05, 0.1, 0.25),
+    ),
+    wl(
+        "qmm_fp_6",
+        Qmm,
+        0.90,
+        128,
+        0.35,
+        0.10,
+        0.0,
+        mix(0.86, 0.38, 0.0, 0.1, 0.0, 0.08, 0.2),
+    ),
+    wl(
+        "qmm_fp_134",
+        Qmm,
+        0.89,
+        128,
+        0.34,
+        0.10,
+        0.0,
+        mix(0.74, 0.4, 0.1, 0.12, 0.0, 0.1, 0.2),
+    ),
+    wl(
+        "qmm_int_859",
+        Qmm,
+        0.78,
+        96,
+        0.30,
+        0.12,
+        0.35,
+        mix(0.3, 0.28, 0.0, 0.22, 0.35, 0.22, 0.4),
+    ),
+    wl(
+        "qmm_fp_130",
+        Qmm,
+        0.89,
+        128,
+        0.34,
+        0.10,
+        0.0,
+        mix(0.74, 0.4, 0.1, 0.12, 0.0, 0.1, 0.2),
+    ),
+    wl(
+        "qmm_fp_116",
+        Qmm,
+        0.89,
+        128,
+        0.34,
+        0.10,
+        0.0,
+        mix(0.72, 0.4, 0.12, 0.12, 0.0, 0.1, 0.2),
+    ),
+    wl(
+        "qmm_fp_112",
+        Qmm,
+        0.92,
+        160,
+        0.36,
+        0.10,
+        0.0,
+        mix(0.5, 0.2, 0.6, 0.05, 0.0, 0.05, 0.15),
+    ),
+    wl(
+        "qmm_fp_127",
+        Qmm,
+        0.89,
+        128,
+        0.34,
+        0.10,
+        0.0,
+        mix(0.74, 0.4, 0.1, 0.12, 0.0, 0.1, 0.2),
+    ),
+    wl(
+        "qmm_int_21",
+        Qmm,
+        0.77,
+        96,
+        0.30,
+        0.12,
+        0.35,
+        mix(0.3, 0.26, 0.0, 0.22, 0.36, 0.22, 0.4),
+    ),
 ];
 
 /// The non-intensive SPEC workloads used for §VI-B1's "no harm" check
 /// (LLC MPKI < 1: dominated by a small hot set).
 pub const NON_INTENSIVE: [WorkloadSpec; 8] = [
-    wl_light("perlbench", Spec06, 0.60, 32, 0.22, mix(0.1, 0.15, 0.0, 0.05, 0.0, 0.02, 1.0)),
-    wl_light("povray", Spec06, 0.70, 16, 0.20, mix(0.1, 0.2, 0.0, 0.0, 0.0, 0.02, 1.0)),
-    wl_light("namd", Spec06, 0.80, 32, 0.24, mix(0.2, 0.25, 0.0, 0.0, 0.0, 0.02, 1.0)),
-    wl_light("gamess", Spec06, 0.70, 16, 0.20, mix(0.1, 0.2, 0.0, 0.0, 0.0, 0.02, 1.0)),
-    wl_light("calculix", Spec06, 0.75, 32, 0.22, mix(0.2, 0.2, 0.0, 0.0, 0.0, 0.02, 1.0)),
-    wl_light("sjeng", Spec06, 0.55, 16, 0.20, mix(0.05, 0.1, 0.0, 0.05, 0.1, 0.05, 1.0)),
-    wl_light("perlbench_s", Spec17, 0.60, 32, 0.22, mix(0.1, 0.15, 0.0, 0.05, 0.0, 0.02, 1.0)),
-    wl_light("nab_s", Spec17, 0.80, 32, 0.24, mix(0.2, 0.25, 0.0, 0.0, 0.0, 0.02, 1.0)),
+    wl_light(
+        "perlbench",
+        Spec06,
+        0.60,
+        32,
+        0.22,
+        mix(0.1, 0.15, 0.0, 0.05, 0.0, 0.02, 1.0),
+    ),
+    wl_light(
+        "povray",
+        Spec06,
+        0.70,
+        16,
+        0.20,
+        mix(0.1, 0.2, 0.0, 0.0, 0.0, 0.02, 1.0),
+    ),
+    wl_light(
+        "namd",
+        Spec06,
+        0.80,
+        32,
+        0.24,
+        mix(0.2, 0.25, 0.0, 0.0, 0.0, 0.02, 1.0),
+    ),
+    wl_light(
+        "gamess",
+        Spec06,
+        0.70,
+        16,
+        0.20,
+        mix(0.1, 0.2, 0.0, 0.0, 0.0, 0.02, 1.0),
+    ),
+    wl_light(
+        "calculix",
+        Spec06,
+        0.75,
+        32,
+        0.22,
+        mix(0.2, 0.2, 0.0, 0.0, 0.0, 0.02, 1.0),
+    ),
+    wl_light(
+        "sjeng",
+        Spec06,
+        0.55,
+        16,
+        0.20,
+        mix(0.05, 0.1, 0.0, 0.05, 0.1, 0.05, 1.0),
+    ),
+    wl_light(
+        "perlbench_s",
+        Spec17,
+        0.60,
+        32,
+        0.22,
+        mix(0.1, 0.15, 0.0, 0.05, 0.0, 0.02, 1.0),
+    ),
+    wl_light(
+        "nab_s",
+        Spec17,
+        0.80,
+        32,
+        0.24,
+        mix(0.2, 0.25, 0.0, 0.0, 0.0, 0.02, 1.0),
+    ),
 ];
 
 /// All memory-intensive workloads (the 80 of Figure 8).
@@ -213,7 +997,15 @@ pub fn workload(name: &str) -> Option<&'static WorkloadSpec> {
 
 /// The nine representative benchmarks of Figures 3–5.
 pub const MOTIVATION_SET: [&str; 9] = [
-    "lbm", "milc", "libquantum", "mcf", "soplex", "bwaves", "fotonik3d_s", "roms_s", "pr.road",
+    "lbm",
+    "milc",
+    "libquantum",
+    "mcf",
+    "soplex",
+    "bwaves",
+    "fotonik3d_s",
+    "roms_s",
+    "pr.road",
 ];
 
 /// The representative workloads of Figure 10.
@@ -246,8 +1038,11 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let mut names: Vec<&str> =
-            WORKLOADS.iter().chain(NON_INTENSIVE.iter()).map(|w| w.name).collect();
+        let mut names: Vec<&str> = WORKLOADS
+            .iter()
+            .chain(NON_INTENSIVE.iter())
+            .map(|w| w.name)
+            .collect();
         names.sort_unstable();
         let before = names.len();
         names.dedup();

@@ -70,7 +70,8 @@ impl TraceGenerator {
     ///
     /// Panics if the spec fails [`WorkloadSpec::validate`].
     pub fn new(spec: &WorkloadSpec, seed: u64) -> Self {
-        spec.validate().unwrap_or_else(|e| panic!("invalid workload spec: {e}"));
+        spec.validate()
+            .unwrap_or_else(|e| panic!("invalid workload spec: {e}"));
         let mut rng = DetRng::for_name(seed, spec.name);
         let weights = spec.mix.weights();
         let active = spec.mix.active_components().max(1) as u64;
@@ -84,7 +85,9 @@ impl TraceGenerator {
             };
             let cursors = match i {
                 STREAM => (0..STREAM_CURSORS).map(|_| rng.below(lines)).collect(),
-                SUBPAGE => (0..SUBPAGE_CURSORS).map(|_| rng.below(lines / 64) * 64).collect(),
+                SUBPAGE => (0..SUBPAGE_CURSORS)
+                    .map(|_| rng.below(lines / 64) * 64)
+                    .collect(),
                 _ => vec![rng.below(lines)],
             };
             let stride = match i {
@@ -92,9 +95,23 @@ impl TraceGenerator {
                 STRIDE_LARGE => 65 + rng.below(448), // 65..=512 lines
                 _ => 1,
             };
-            Component { base, lines, cursors, next_cursor: 0, stride, window: 0 }
+            Component {
+                base,
+                lines,
+                cursors,
+                next_cursor: 0,
+                stride,
+                window: 0,
+            }
         });
-        Self { spec: *spec, rng, weights, comps, filler_left: 0, count: 0 }
+        Self {
+            spec: *spec,
+            rng,
+            weights,
+            comps,
+            filler_left: 0,
+            count: 0,
+        }
     }
 
     /// The spec driving this generator.
@@ -131,8 +148,7 @@ impl TraceGenerator {
                 if self.rng.chance(1.0 / 16384.0) {
                     comp.cursors[slot] = self.rng.below(comp.lines) * 8;
                 }
-                let addr =
-                    VAddr::new(comp.base + (elem % (comp.lines * 8)) * (LINE_BYTES / 8));
+                let addr = VAddr::new(comp.base + (elem % (comp.lines * 8)) * (LINE_BYTES / 8));
                 (addr, slot as u64, false)
             }
             STRIDE_SMALL | STRIDE_LARGE => {
@@ -164,8 +180,7 @@ impl TraceGenerator {
                     let window_pages = SUBPAGE_WINDOW_PAGES.min(comp.lines / 64).max(1);
                     if self.rng.chance(1.0 / 64.0) {
                         // Slide the window occasionally.
-                        comp.window = self.rng.below(comp.lines / 64) / window_pages
-                            * window_pages;
+                        comp.window = self.rng.below(comp.lines / 64) / window_pages * window_pages;
                     }
                     (comp.window + self.rng.below(window_pages)) % (comp.lines / 64) * 64
                 } else {
@@ -186,7 +201,11 @@ impl TraceGenerator {
                 // Pointer chases have working-set locality: most hops stay
                 // inside a hot subset of the structure.
                 let hot_lines = (comp.lines / 16).max(1024).min(comp.lines);
-                let pos = if state & 3 != 0 { (state >> 2) % hot_lines } else { (state >> 2) % comp.lines };
+                let pos = if state & 3 != 0 {
+                    (state >> 2) % hot_lines
+                } else {
+                    (state >> 2) % comp.lines
+                };
                 let dep = self.rng.chance(self.spec.dependent_fraction.max(0.9));
                 (Self::addr(comp, pos), 2, dep)
             }
@@ -223,8 +242,7 @@ impl Iterator for TraceGenerator {
             0
         };
         let (vaddr, pc, dependent) = self.next_access();
-        let is_store =
-            !dependent && self.rng.chance(self.spec.store_ratio);
+        let is_store = !dependent && self.rng.chance(self.spec.store_ratio);
         Some(if is_store {
             Instr::store(pc, vaddr)
         } else if dependent {
@@ -262,7 +280,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let s = spec(PatternMix { stream: 1.0, random: 1.0, ..Default::default() }, 0.3);
+        let s = spec(
+            PatternMix {
+                stream: 1.0,
+                random: 1.0,
+                ..Default::default()
+            },
+            0.3,
+        );
         assert_eq!(collect(&s, 5000, 7), collect(&s, 5000, 7));
         assert_ne!(collect(&s, 5000, 7), collect(&s, 5000, 8));
     }
@@ -270,7 +295,13 @@ mod tests {
     #[test]
     fn memory_intensity_matches_spec() {
         for ratio in [0.2, 0.4] {
-            let s = spec(PatternMix { stream: 1.0, ..Default::default() }, ratio);
+            let s = spec(
+                PatternMix {
+                    stream: 1.0,
+                    ..Default::default()
+                },
+                ratio,
+            );
             let instrs = collect(&s, 50_000, 1);
             let mem = instrs
                 .iter()
@@ -283,7 +314,13 @@ mod tests {
 
     #[test]
     fn stream_component_is_sequential() {
-        let s = spec(PatternMix { stream: 1.0, ..Default::default() }, 0.9);
+        let s = spec(
+            PatternMix {
+                stream: 1.0,
+                ..Default::default()
+            },
+            0.9,
+        );
         let instrs = collect(&s, 2000, 3);
         let lines: Vec<u64> = instrs
             .iter()
@@ -301,12 +338,22 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         let seq = sorted.windows(2).filter(|w| w[1] == w[0] + 1).count();
-        assert!(seq as f64 > sorted.len() as f64 * 0.8, "{seq}/{}", sorted.len());
+        assert!(
+            seq as f64 > sorted.len() as f64 * 0.8,
+            "{seq}/{}",
+            sorted.len()
+        );
     }
 
     #[test]
     fn streams_cross_4k_boundaries() {
-        let s = spec(PatternMix { stream: 1.0, ..Default::default() }, 0.9);
+        let s = spec(
+            PatternMix {
+                stream: 1.0,
+                ..Default::default()
+            },
+            0.9,
+        );
         let instrs = collect(&s, 20_000, 3);
         let crossings = instrs
             .iter()
@@ -316,12 +363,21 @@ mod tests {
             })
             .filter(|v| v.page_offset(PageSize::Size4K) == 0)
             .count();
-        assert!(crossings > 10, "streams must enter new 4KB pages: {crossings}");
+        assert!(
+            crossings > 10,
+            "streams must enter new 4KB pages: {crossings}"
+        );
     }
 
     #[test]
     fn large_stride_component_uses_long_deltas() {
-        let s = spec(PatternMix { stride_large: 1.0, ..Default::default() }, 0.9);
+        let s = spec(
+            PatternMix {
+                stride_large: 1.0,
+                ..Default::default()
+            },
+            0.9,
+        );
         let instrs = collect(&s, 200, 5);
         let lines: Vec<i64> = instrs
             .iter()
@@ -341,19 +397,40 @@ mod tests {
 
     #[test]
     fn chase_component_produces_dependent_loads() {
-        let s = spec(PatternMix { pointer_chase: 1.0, ..Default::default() }, 0.9);
+        let s = spec(
+            PatternMix {
+                pointer_chase: 1.0,
+                ..Default::default()
+            },
+            0.9,
+        );
         let instrs = collect(&s, 2000, 5);
         let dependent = instrs
             .iter()
-            .filter(|i| matches!(i.kind, InstrKind::Load { dependent: true, .. }))
+            .filter(|i| {
+                matches!(
+                    i.kind,
+                    InstrKind::Load {
+                        dependent: true,
+                        ..
+                    }
+                )
+            })
             .count();
-        assert!(dependent > 1000, "chase loads must be dependent: {dependent}");
+        assert!(
+            dependent > 1000,
+            "chase loads must be dependent: {dependent}"
+        );
     }
 
     #[test]
     fn components_use_disjoint_regions_and_pcs() {
         let s = spec(
-            PatternMix { stream: 1.0, pointer_chase: 1.0, ..Default::default() },
+            PatternMix {
+                stream: 1.0,
+                pointer_chase: 1.0,
+                ..Default::default()
+            },
             0.9,
         );
         let instrs = collect(&s, 4000, 9);
@@ -377,12 +454,21 @@ mod tests {
         // Two different 4KB pages should (usually) expose different strides.
         let strides: std::collections::HashSet<u64> =
             (0..64).map(TraceGenerator::subpage_stride).collect();
-        assert!(strides.len() >= 3, "per-page strides must vary: {strides:?}");
+        assert!(
+            strides.len() >= 3,
+            "per-page strides must vary: {strides:?}"
+        );
     }
 
     #[test]
     fn store_ratio_respected() {
-        let s = spec(PatternMix { stream: 1.0, ..Default::default() }, 0.5);
+        let s = spec(
+            PatternMix {
+                stream: 1.0,
+                ..Default::default()
+            },
+            0.5,
+        );
         let instrs = collect(&s, 40_000, 11);
         let (mut loads, mut stores) = (0u32, 0u32);
         for i in &instrs {
@@ -398,8 +484,14 @@ mod tests {
 
     #[test]
     fn footprint_bounds_addresses() {
-        let s = spec(PatternMix { random: 1.0, ..Default::default() }, 0.9);
-        let region_lines = (s.footprint_lines() / 1).max(512);
+        let s = spec(
+            PatternMix {
+                random: 1.0,
+                ..Default::default()
+            },
+            0.9,
+        );
+        let region_lines = s.footprint_lines().max(512);
         for i in collect(&s, 10_000, 13) {
             if let InstrKind::Load { vaddr, .. } = i.kind {
                 let off = vaddr.raw() - (6u64 << 34);

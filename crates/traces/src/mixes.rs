@@ -53,7 +53,11 @@ mod tests {
     fn mixes_draw_broadly_from_the_catalog() {
         let mixes = random_mixes(100, 4, 3);
         let names: HashSet<&str> = mixes.iter().flatten().map(|w| w.name).collect();
-        assert!(names.len() > 50, "400 draws should cover most of 80: {}", names.len());
+        assert!(
+            names.len() > 50,
+            "400 draws should cover most of 80: {}",
+            names.len()
+        );
     }
 
     #[test]

@@ -153,7 +153,10 @@ impl WorkloadSpec {
             return Err(format!("{}: dependent_fraction out of [0,1]", self.name));
         }
         if self.footprint < 1 << 20 {
-            return Err(format!("{}: footprint under 1MB is not a cache study", self.name));
+            return Err(format!(
+                "{}: footprint under 1MB is not a cache study",
+                self.name
+            ));
         }
         if !self.mix.is_valid() {
             return Err(format!("{}: invalid pattern mix", self.name));
@@ -175,7 +178,10 @@ mod tests {
             mem_ratio: 0.3,
             store_ratio: 0.1,
             dependent_fraction: 0.0,
-            mix: PatternMix { stream: 1.0, ..PatternMix::default() },
+            mix: PatternMix {
+                stream: 1.0,
+                ..PatternMix::default()
+            },
             intensive: true,
         }
     }
@@ -214,10 +220,17 @@ mod tests {
 
     #[test]
     fn mix_weight_accounting() {
-        let mix = PatternMix { stream: 0.5, pointer_chase: 0.5, ..PatternMix::default() };
+        let mix = PatternMix {
+            stream: 0.5,
+            pointer_chase: 0.5,
+            ..PatternMix::default()
+        };
         assert_eq!(mix.active_components(), 2);
         assert!(mix.is_valid());
-        let bad = PatternMix { stream: -0.1, ..PatternMix::default() };
+        let bad = PatternMix {
+            stream: -0.1,
+            ..PatternMix::default()
+        };
         assert!(!bad.is_valid());
     }
 }

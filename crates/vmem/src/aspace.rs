@@ -28,7 +28,10 @@ impl Default for AspaceConfig {
     fn default() -> Self {
         // The paper measures ~85% of allocated memory in 2MB pages across
         // its workloads on a real THP-enabled system (§V-A).
-        Self { huge_fraction: 0.85, seed: 0 }
+        Self {
+            huge_fraction: 0.85,
+            seed: 0,
+        }
     }
 }
 
@@ -93,7 +96,8 @@ impl AddressSpace {
         let region = vaddr.page_number(PageSize::Size2M);
         match self.regions.get(&region) {
             Some(RegionBacking::Huge(t)) => {
-                self.touched_in_huge.insert(vaddr.page_number(PageSize::Size4K));
+                self.touched_in_huge
+                    .insert(vaddr.page_number(PageSize::Size4K));
                 return Ok(*t);
             }
             Some(RegionBacking::Small) => {
@@ -108,11 +112,17 @@ impl AddressSpace {
         if self.decide_huge(region) {
             let pbase = phys.alloc(PageSize::Size2M)?;
             let vbase = vaddr.page_base(PageSize::Size2M);
-            let t = Translation { vbase, pbase, size: PageSize::Size2M };
-            self.table(phys)?.map(phys, vbase, pbase, PageSize::Size2M)?;
+            let t = Translation {
+                vbase,
+                pbase,
+                size: PageSize::Size2M,
+            };
+            self.table(phys)?
+                .map(phys, vbase, pbase, PageSize::Size2M)?;
             self.regions.insert(region, RegionBacking::Huge(t));
             self.bytes_2m += PageSize::Size2M.bytes();
-            self.touched_in_huge.insert(vaddr.page_number(PageSize::Size4K));
+            self.touched_in_huge
+                .insert(vaddr.page_number(PageSize::Size4K));
             Ok(t)
         } else {
             self.regions.insert(region, RegionBacking::Small);
@@ -123,9 +133,15 @@ impl AddressSpace {
     fn map_small(&mut self, phys: &mut PhysMem, vaddr: VAddr) -> Result<Translation, MapError> {
         let pbase = phys.alloc(PageSize::Size4K)?;
         let vbase = vaddr.page_base(PageSize::Size4K);
-        let t = Translation { vbase, pbase, size: PageSize::Size4K };
-        self.table(phys)?.map(phys, vbase, pbase, PageSize::Size4K)?;
-        self.small_pages.insert(vaddr.page_number(PageSize::Size4K), t);
+        let t = Translation {
+            vbase,
+            pbase,
+            size: PageSize::Size4K,
+        };
+        self.table(phys)?
+            .map(phys, vbase, pbase, PageSize::Size4K)?;
+        self.small_pages
+            .insert(vaddr.page_number(PageSize::Size4K), t);
         self.bytes_4k += PageSize::Size4K.bytes();
         Ok(t)
     }
@@ -133,12 +149,16 @@ impl AddressSpace {
     /// Walk the page table for `vaddr`, optionally skipping levels resolved
     /// by the MMU caches. The page must already be mapped.
     pub(crate) fn walk(&self, vaddr: VAddr, skip_levels: u8, start_node: u32) -> Option<Walk> {
-        self.page_table.as_ref().map(|pt| pt.walk_from(vaddr, skip_levels, start_node))
+        self.page_table
+            .as_ref()
+            .map(|pt| pt.walk_from(vaddr, skip_levels, start_node))
     }
 
     /// Interior node reached after `levels` levels, for MMU-cache fills.
     pub(crate) fn node_at(&self, vaddr: VAddr, levels: u8) -> Option<u32> {
-        self.page_table.as_ref().and_then(|pt| pt.node_at(vaddr, levels))
+        self.page_table
+            .as_ref()
+            .and_then(|pt| pt.node_at(vaddr, levels))
     }
 
     /// Bytes currently mapped via 4KB pages.
@@ -176,14 +196,25 @@ mod tests {
     use psa_common::PAddr;
 
     fn phys() -> PhysMem {
-        PhysMem::new(PhysMemConfig { bytes: 512 * 1024 * 1024 }, 3).unwrap()
+        PhysMem::new(
+            PhysMemConfig {
+                bytes: 512 * 1024 * 1024,
+            },
+            3,
+        )
+        .unwrap()
     }
 
     #[test]
     fn always_huge_maps_2mb() {
         let mut pm = phys();
-        let mut a = AddressSpace::new(AspaceConfig { huge_fraction: 1.0, seed: 1 });
-        let t = a.translate_or_map(&mut pm, VAddr::new(0x1234_5678)).unwrap();
+        let mut a = AddressSpace::new(AspaceConfig {
+            huge_fraction: 1.0,
+            seed: 1,
+        });
+        let t = a
+            .translate_or_map(&mut pm, VAddr::new(0x1234_5678))
+            .unwrap();
         assert_eq!(t.size, PageSize::Size2M);
         assert_eq!(a.huge_usage_fraction(), 1.0);
     }
@@ -191,8 +222,13 @@ mod tests {
     #[test]
     fn never_huge_maps_4kb() {
         let mut pm = phys();
-        let mut a = AddressSpace::new(AspaceConfig { huge_fraction: 0.0, seed: 1 });
-        let t = a.translate_or_map(&mut pm, VAddr::new(0x1234_5678)).unwrap();
+        let mut a = AddressSpace::new(AspaceConfig {
+            huge_fraction: 0.0,
+            seed: 1,
+        });
+        let t = a
+            .translate_or_map(&mut pm, VAddr::new(0x1234_5678))
+            .unwrap();
         assert_eq!(t.size, PageSize::Size4K);
         assert_eq!(a.huge_usage_fraction(), 0.0);
     }
@@ -200,10 +236,15 @@ mod tests {
     #[test]
     fn translation_is_stable_across_touches() {
         let mut pm = phys();
-        let mut a = AddressSpace::new(AspaceConfig { huge_fraction: 0.5, seed: 9 });
+        let mut a = AddressSpace::new(AspaceConfig {
+            huge_fraction: 0.5,
+            seed: 9,
+        });
         let v = VAddr::new(0xdead_b000);
         let t1 = a.translate_or_map(&mut pm, v).unwrap();
-        let t2 = a.translate_or_map(&mut pm, VAddr::new(0xdead_b040)).unwrap();
+        let t2 = a
+            .translate_or_map(&mut pm, VAddr::new(0xdead_b040))
+            .unwrap();
         assert_eq!(t1.pbase, t2.pbase);
         assert_eq!(t1.apply(v), t2.apply(v));
     }
@@ -211,7 +252,10 @@ mod tests {
     #[test]
     fn huge_fraction_controls_usage() {
         let mut pm = phys();
-        let mut a = AddressSpace::new(AspaceConfig { huge_fraction: 0.5, seed: 42 });
+        let mut a = AddressSpace::new(AspaceConfig {
+            huge_fraction: 0.5,
+            seed: 42,
+        });
         // Touch 128 distinct 2MB regions sparsely (one 4KB touch each, so
         // small-backed regions contribute one 4KB page).
         for r in 0..128u64 {
@@ -224,11 +268,16 @@ mod tests {
     #[test]
     fn adjacent_virtual_4k_pages_not_physically_adjacent() {
         let mut pm = phys();
-        let mut a = AddressSpace::new(AspaceConfig { huge_fraction: 0.0, seed: 7 });
+        let mut a = AddressSpace::new(AspaceConfig {
+            huge_fraction: 0.0,
+            seed: 7,
+        });
         let mut adjacent = 0;
         let mut prev: Option<PAddr> = None;
         for page in 0..512u64 {
-            let t = a.translate_or_map(&mut pm, VAddr::new(page * 4096)).unwrap();
+            let t = a
+                .translate_or_map(&mut pm, VAddr::new(page * 4096))
+                .unwrap();
             if let Some(p) = prev {
                 if t.pbase.raw() == p.raw() + 4096 {
                     adjacent += 1;
@@ -244,7 +293,10 @@ mod tests {
         // Inside a 2MB page, virtual adjacency IS physical adjacency — the
         // property that makes page-crossing prefetching safe there.
         let mut pm = phys();
-        let mut a = AddressSpace::new(AspaceConfig { huge_fraction: 1.0, seed: 7 });
+        let mut a = AddressSpace::new(AspaceConfig {
+            huge_fraction: 1.0,
+            seed: 7,
+        });
         let base = 0x4000_0000u64;
         let t0 = a.translate_or_map(&mut pm, VAddr::new(base)).unwrap();
         for off in (0..PageSize::Size2M.bytes()).step_by(4096) {
@@ -257,8 +309,14 @@ mod tests {
     fn decision_is_deterministic_per_seed() {
         let mut pm1 = phys();
         let mut pm2 = phys();
-        let mut a = AddressSpace::new(AspaceConfig { huge_fraction: 0.5, seed: 11 });
-        let mut b = AddressSpace::new(AspaceConfig { huge_fraction: 0.5, seed: 11 });
+        let mut a = AddressSpace::new(AspaceConfig {
+            huge_fraction: 0.5,
+            seed: 11,
+        });
+        let mut b = AddressSpace::new(AspaceConfig {
+            huge_fraction: 0.5,
+            seed: 11,
+        });
         for r in 0..64u64 {
             let v = VAddr::new(r << 21);
             let ta = a.translate_or_map(&mut pm1, v).unwrap();

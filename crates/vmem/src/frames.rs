@@ -23,7 +23,9 @@ pub struct PhysMemConfig {
 
 impl Default for PhysMemConfig {
     fn default() -> Self {
-        Self { bytes: 8 * 1024 * 1024 * 1024 }
+        Self {
+            bytes: 8 * 1024 * 1024 * 1024,
+        }
     }
 }
 
@@ -49,7 +51,10 @@ impl std::fmt::Display for PhysMemError {
                 write!(f, "out of physical memory allocating a {requested} frame")
             }
             PhysMemError::BadSize { bytes } => {
-                write!(f, "physical memory size must be a positive multiple of 2MB, got {bytes}")
+                write!(
+                    f,
+                    "physical memory size must be a positive multiple of 2MB, got {bytes}"
+                )
             }
         }
     }
@@ -86,8 +91,10 @@ impl PhysMem {
     /// multiple of 2MB.
     pub fn new(config: PhysMemConfig, seed: u64) -> Result<Self, PhysMemError> {
         let region_bytes = PageSize::Size2M.bytes();
-        if config.bytes == 0 || config.bytes % region_bytes != 0 {
-            return Err(PhysMemError::BadSize { bytes: config.bytes });
+        if config.bytes == 0 || !config.bytes.is_multiple_of(region_bytes) {
+            return Err(PhysMemError::BadSize {
+                bytes: config.bytes,
+            });
         }
         let regions = (config.bytes / region_bytes) as u32;
         let mut rng = DetRng::new(seed ^ 0x9e37_79b9_7f4a_7c15);
@@ -97,7 +104,14 @@ impl PhysMem {
             let j = rng.index(i + 1);
             free_regions.swap(i, j);
         }
-        Ok(Self { config, rng, free_regions, open: Vec::new(), allocated_4k: 0, allocated_2m: 0 })
+        Ok(Self {
+            config,
+            rng,
+            free_regions,
+            open: Vec::new(),
+            allocated_4k: 0,
+            allocated_2m: 0,
+        })
     }
 
     /// Allocate one frame of `size`; returns its base physical address.
@@ -134,14 +148,18 @@ impl PhysMem {
                     self.open.swap_remove(oi);
                 }
                 self.allocated_4k += 1;
-                Ok(PAddr::new(region_base(region).raw() + u64::from(slot) * 4096))
+                Ok(PAddr::new(
+                    region_base(region).raw() + u64::from(slot) * 4096,
+                ))
             }
         }
     }
 
     fn open_region(&mut self, requested: PageSize) -> Result<(), PhysMemError> {
-        let region =
-            self.free_regions.pop().ok_or(PhysMemError::OutOfMemory { requested })?;
+        let region = self
+            .free_regions
+            .pop()
+            .ok_or(PhysMemError::OutOfMemory { requested })?;
         let slots: Vec<u16> = (0..FRAMES_PER_REGION as u16).collect();
         self.open.push((region, Region::Fragmented(slots)));
         Ok(())
@@ -172,7 +190,13 @@ mod tests {
     use super::*;
 
     fn small() -> PhysMem {
-        PhysMem::new(PhysMemConfig { bytes: 64 * 1024 * 1024 }, 99).unwrap()
+        PhysMem::new(
+            PhysMemConfig {
+                bytes: 64 * 1024 * 1024,
+            },
+            99,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -182,7 +206,12 @@ mod tests {
             Err(PhysMemError::BadSize { .. })
         ));
         assert!(matches!(
-            PhysMem::new(PhysMemConfig { bytes: 3 * 1024 * 1024 }, 1),
+            PhysMem::new(
+                PhysMemConfig {
+                    bytes: 3 * 1024 * 1024
+                },
+                1
+            ),
             Err(PhysMemError::BadSize { .. })
         ));
     }
@@ -220,7 +249,9 @@ mod tests {
         // process would map to consecutive virtual pages) must not be
         // physically contiguous in general.
         let mut pm = small();
-        let addrs: Vec<u64> = (0..2000).map(|_| pm.alloc(PageSize::Size4K).unwrap().raw()).collect();
+        let addrs: Vec<u64> = (0..2000)
+            .map(|_| pm.alloc(PageSize::Size4K).unwrap().raw())
+            .collect();
         let adjacent = addrs
             .windows(2)
             .filter(|w| w[1] == w[0] + 4096 || w[0] == w[1] + 4096)
@@ -234,14 +265,23 @@ mod tests {
         let mut spans: Vec<(u64, u64)> = Vec::new();
         let mut rng = DetRng::new(5);
         for _ in 0..600 {
-            let size = if rng.chance(0.05) { PageSize::Size2M } else { PageSize::Size4K };
+            let size = if rng.chance(0.05) {
+                PageSize::Size2M
+            } else {
+                PageSize::Size4K
+            };
             if let Ok(a) = pm.alloc(size) {
                 spans.push((a.raw(), a.raw() + size.bytes()));
             }
         }
         spans.sort_unstable();
         for w in spans.windows(2) {
-            assert!(w[0].1 <= w[1].0, "overlap between {:?} and {:?}", w[0], w[1]);
+            assert!(
+                w[0].1 <= w[1].0,
+                "overlap between {:?} and {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -260,13 +300,22 @@ mod tests {
         let mut a = small();
         let mut b = small();
         for _ in 0..100 {
-            assert_eq!(a.alloc(PageSize::Size4K).unwrap(), b.alloc(PageSize::Size4K).unwrap());
+            assert_eq!(
+                a.alloc(PageSize::Size4K).unwrap(),
+                b.alloc(PageSize::Size4K).unwrap()
+            );
         }
     }
 
     #[test]
     fn exhaustion_reports_out_of_memory() {
-        let mut pm = PhysMem::new(PhysMemConfig { bytes: 2 * 1024 * 1024 }, 1).unwrap();
+        let mut pm = PhysMem::new(
+            PhysMemConfig {
+                bytes: 2 * 1024 * 1024,
+            },
+            1,
+        )
+        .unwrap();
         for _ in 0..FRAMES_PER_REGION {
             pm.alloc(PageSize::Size4K).unwrap();
         }

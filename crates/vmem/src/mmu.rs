@@ -150,7 +150,9 @@ impl Mmu {
             Some(hit) => (hit.skip_levels, hit.node),
             None => (0, 0),
         };
-        let walk = aspace.walk(vaddr, skip, start).expect("table exists after mapping");
+        let walk = aspace
+            .walk(vaddr, skip, start)
+            .expect("table exists after mapping");
         debug_assert!(walk.translation.is_some(), "walked an unmapped page");
         let walk_lines: Vec<PLine> = walk.steps.iter().map(|s| s.pte_line).collect();
         self.stats.walk_accesses += walk_lines.len() as u64;
@@ -160,8 +162,7 @@ impl Mmu {
                 if let Some(node) = aspace.node_at(vaddr, step.level + 1) {
                     // Leaf PD entries (2MB pages) are the TLB's job, not the
                     // PSC's: only cache levels that lead to another node.
-                    let is_leaf =
-                        size == PageSize::Size2M && step.level == 2;
+                    let is_leaf = size == PageSize::Size2M && step.level == 2;
                     if !is_leaf {
                         self.psc.fill(vaddr, step.level, node);
                     }
@@ -209,8 +210,17 @@ mod tests {
     use crate::frames::PhysMemConfig;
 
     fn setup(huge: f64) -> (PhysMem, AddressSpace, Mmu) {
-        let phys = PhysMem::new(PhysMemConfig { bytes: 512 * 1024 * 1024 }, 3).unwrap();
-        let aspace = AddressSpace::new(AspaceConfig { huge_fraction: huge, seed: 5 });
+        let phys = PhysMem::new(
+            PhysMemConfig {
+                bytes: 512 * 1024 * 1024,
+            },
+            3,
+        )
+        .unwrap();
+        let aspace = AddressSpace::new(AspaceConfig {
+            huge_fraction: huge,
+            seed: 5,
+        });
         let mmu = Mmu::new(MmuConfig::default()).unwrap();
         (phys, aspace, mmu)
     }
@@ -232,7 +242,9 @@ mod tests {
     #[test]
     fn huge_page_walk_is_shorter() {
         let (mut phys, mut aspace, mut mmu) = setup(1.0);
-        let out = mmu.translate(&mut aspace, &mut phys, VAddr::new(0x4000_0000)).unwrap();
+        let out = mmu
+            .translate(&mut aspace, &mut phys, VAddr::new(0x4000_0000))
+            .unwrap();
         assert_eq!(out.size, PageSize::Size2M);
         assert_eq!(out.walk_lines.len(), 3);
     }
@@ -241,13 +253,17 @@ mod tests {
     fn psc_shortens_sibling_walks() {
         let (mut phys, mut aspace, mut mmu) = setup(0.0);
         // First 4KB page: full 4-step walk.
-        let a = mmu.translate(&mut aspace, &mut phys, VAddr::new(0x0)).unwrap();
+        let a = mmu
+            .translate(&mut aspace, &mut phys, VAddr::new(0x0))
+            .unwrap();
         assert_eq!(a.walk_lines.len(), 4);
         // A sibling page in the same 2MB region, far enough to miss both
         // TLBs? It won't miss (TLBs are big) — so blow the DTLB/STLB by
         // touching it only via a fresh MMU sharing nothing. Instead verify
         // via a fresh MMU that the PSC effect needs warm caches:
-        let b = mmu.translate(&mut aspace, &mut phys, VAddr::new(0x1000)).unwrap();
+        let b = mmu
+            .translate(&mut aspace, &mut phys, VAddr::new(0x1000))
+            .unwrap();
         // TLB hit for the region? No: different 4KB page → TLB miss, but
         // PDE cache is warm → only the PT step.
         assert_eq!(b.level, TlbHitLevel::Walk);
@@ -258,8 +274,9 @@ mod tests {
     fn page_size_metadata_flows_through() {
         let (mut phys, mut aspace, mut mmu) = setup(1.0);
         for off in [0u64, 0x1000, 0x10_0000] {
-            let out =
-                mmu.translate(&mut aspace, &mut phys, VAddr::new(0x8000_0000 + off)).unwrap();
+            let out = mmu
+                .translate(&mut aspace, &mut phys, VAddr::new(0x8000_0000 + off))
+                .unwrap();
             assert!(out.size.bit(), "PPM bit must read 2MB");
         }
     }
@@ -268,7 +285,8 @@ mod tests {
     fn stats_accumulate() {
         let (mut phys, mut aspace, mut mmu) = setup(0.0);
         for page in 0..10u64 {
-            mmu.translate(&mut aspace, &mut phys, VAddr::new(page * 4096)).unwrap();
+            mmu.translate(&mut aspace, &mut phys, VAddr::new(page * 4096))
+                .unwrap();
         }
         let s = mmu.stats();
         assert_eq!(s.translations, 10);
@@ -282,17 +300,22 @@ mod tests {
         let (mut phys, mut aspace, mut mmu) = setup(0.0);
         // Touch more 4KB pages than the 64-entry DTLB holds, then re-touch.
         for page in 0..256u64 {
-            mmu.translate(&mut aspace, &mut phys, VAddr::new(page * 4096)).unwrap();
+            mmu.translate(&mut aspace, &mut phys, VAddr::new(page * 4096))
+                .unwrap();
         }
         let mut l2_hits = 0;
         for page in 0..256u64 {
-            let out =
-                mmu.translate(&mut aspace, &mut phys, VAddr::new(page * 4096)).unwrap();
+            let out = mmu
+                .translate(&mut aspace, &mut phys, VAddr::new(page * 4096))
+                .unwrap();
             if out.level == TlbHitLevel::L2 {
                 l2_hits += 1;
             }
             assert_ne!(out.level, TlbHitLevel::Walk, "STLB holds 1536 entries");
         }
-        assert!(l2_hits > 100, "most re-touches should be STLB hits, got {l2_hits}");
+        assert!(
+            l2_hits > 100,
+            "most re-touches should be STLB hits, got {l2_hits}"
+        );
     }
 }

@@ -24,7 +24,11 @@ pub struct MmuCacheConfig {
 impl Default for MmuCacheConfig {
     fn default() -> Self {
         // Typical published shapes (e.g. Bhattacharjee, MICRO'13).
-        Self { pml4e: 4, pdpte: 4, pde: 32 }
+        Self {
+            pml4e: 4,
+            pdpte: 4,
+            pde: 32,
+        }
     }
 }
 
@@ -43,21 +47,38 @@ struct PscLevel {
 
 impl PscLevel {
     fn new(n: usize) -> Self {
-        Self { entries: vec![PscEntry { prefix: 0, node: 0, last_use: 0, valid: false }; n] }
+        Self {
+            entries: vec![
+                PscEntry {
+                    prefix: 0,
+                    node: 0,
+                    last_use: 0,
+                    valid: false
+                };
+                n
+            ],
+        }
     }
 
     fn lookup(&mut self, prefix: u64, stamp: u64) -> Option<u32> {
-        self.entries.iter_mut().find(|e| e.valid && e.prefix == prefix).map(|e| {
-            e.last_use = stamp;
-            e.node
-        })
+        self.entries
+            .iter_mut()
+            .find(|e| e.valid && e.prefix == prefix)
+            .map(|e| {
+                e.last_use = stamp;
+                e.node
+            })
     }
 
     fn fill(&mut self, prefix: u64, node: u32, stamp: u64) {
         if self.entries.is_empty() {
             return;
         }
-        if let Some(e) = self.entries.iter_mut().find(|e| e.valid && e.prefix == prefix) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.valid && e.prefix == prefix)
+        {
             e.node = node;
             e.last_use = stamp;
             return;
@@ -67,7 +88,12 @@ impl PscLevel {
             .iter_mut()
             .min_by_key(|e| if e.valid { e.last_use } else { 0 })
             .expect("non-empty");
-        *victim = PscEntry { prefix, node, last_use: stamp, valid: true };
+        *victim = PscEntry {
+            prefix,
+            node,
+            last_use: stamp,
+            valid: true,
+        };
     }
 }
 
@@ -113,7 +139,10 @@ impl MmuCaches {
         for level in (0..3).rev() {
             let prefix = Self::prefix(vaddr, level);
             if let Some(node) = self.levels[level].lookup(prefix, stamp) {
-                return Some(PscHit { skip_levels: level as u8 + 1, node });
+                return Some(PscHit {
+                    skip_levels: level as u8 + 1,
+                    node,
+                });
             }
         }
         None
@@ -135,7 +164,11 @@ mod tests {
     use super::*;
 
     fn caches() -> MmuCaches {
-        MmuCaches::new(MmuCacheConfig { pml4e: 2, pdpte: 2, pde: 4 })
+        MmuCaches::new(MmuCacheConfig {
+            pml4e: 2,
+            pdpte: 2,
+            pde: 4,
+        })
     }
 
     #[test]
@@ -190,7 +223,11 @@ mod tests {
 
     #[test]
     fn zero_sized_level_is_inert() {
-        let mut c = MmuCaches::new(MmuCacheConfig { pml4e: 0, pdpte: 0, pde: 0 });
+        let mut c = MmuCaches::new(MmuCacheConfig {
+            pml4e: 0,
+            pdpte: 0,
+            pde: 0,
+        });
         c.fill(VAddr::new(0x1000), 2, 9);
         assert_eq!(c.lookup(VAddr::new(0x1000)), None);
     }

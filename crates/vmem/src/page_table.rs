@@ -132,7 +132,10 @@ impl PageTable {
     pub fn new(phys: &mut PhysMem) -> Result<Self, PhysMemError> {
         let frame = phys.alloc(PageSize::Size4K)?;
         Ok(Self {
-            nodes: vec![Node { frame, entries: std::collections::HashMap::new() }],
+            nodes: vec![Node {
+                frame,
+                entries: std::collections::HashMap::new(),
+            }],
             mapped_pages: 0,
         })
     }
@@ -179,7 +182,9 @@ impl PageTable {
                         frame,
                         entries: std::collections::HashMap::new(),
                     });
-                    self.nodes[node as usize].entries.insert(idx, Entry::Table(next));
+                    self.nodes[node as usize]
+                        .entries
+                        .insert(idx, Entry::Table(next));
                     node = next;
                 }
             }
@@ -207,7 +212,10 @@ impl PageTable {
         let mut node = start_node;
         for level in usize::from(skip_levels)..4 {
             let idx = Self::index(vaddr, level);
-            steps.push(WalkStep { level: level as u8, pte_line: self.pte_line(node, idx) });
+            steps.push(WalkStep {
+                level: level as u8,
+                pte_line: self.pte_line(node, idx),
+            });
             match self.nodes[node as usize].entries.get(&idx) {
                 Some(Entry::Table(next)) => node = *next,
                 Some(Entry::Leaf { pbase, size }) => {
@@ -220,10 +228,18 @@ impl PageTable {
                         }),
                     };
                 }
-                None => return Walk { steps, translation: None },
+                None => {
+                    return Walk {
+                        steps,
+                        translation: None,
+                    }
+                }
             }
         }
-        Walk { steps, translation: None }
+        Walk {
+            steps,
+            translation: None,
+        }
     }
 
     /// Resolve the node reached after walking `levels` levels for `vaddr`,
@@ -231,7 +247,10 @@ impl PageTable {
     pub(crate) fn node_at(&self, vaddr: VAddr, levels: u8) -> Option<u32> {
         let mut node = 0u32;
         for level in 0..usize::from(levels) {
-            match self.nodes[node as usize].entries.get(&Self::index(vaddr, level)) {
+            match self.nodes[node as usize]
+                .entries
+                .get(&Self::index(vaddr, level))
+            {
                 Some(Entry::Table(next)) => node = *next,
                 _ => return None,
             }
@@ -256,7 +275,13 @@ mod tests {
     use crate::frames::PhysMemConfig;
 
     fn setup() -> (PhysMem, PageTable) {
-        let mut phys = PhysMem::new(PhysMemConfig { bytes: 256 * 1024 * 1024 }, 7).unwrap();
+        let mut phys = PhysMem::new(
+            PhysMemConfig {
+                bytes: 256 * 1024 * 1024,
+            },
+            7,
+        )
+        .unwrap();
         let pt = PageTable::new(&mut phys).unwrap();
         (phys, pt)
     }
@@ -265,7 +290,8 @@ mod tests {
     fn map_and_translate_4k() {
         let (mut phys, mut pt) = setup();
         let pbase = phys.alloc(PageSize::Size4K).unwrap();
-        pt.map(&mut phys, VAddr::new(0x1000), pbase, PageSize::Size4K).unwrap();
+        pt.map(&mut phys, VAddr::new(0x1000), pbase, PageSize::Size4K)
+            .unwrap();
         let t = pt.translate(VAddr::new(0x1abc)).unwrap();
         assert_eq!(t.size, PageSize::Size4K);
         assert_eq!(t.apply(VAddr::new(0x1abc)).raw(), pbase.raw() + 0xabc);
@@ -276,10 +302,14 @@ mod tests {
     fn map_and_translate_2m() {
         let (mut phys, mut pt) = setup();
         let pbase = phys.alloc(PageSize::Size2M).unwrap();
-        pt.map(&mut phys, VAddr::new(0x4000_0000), pbase, PageSize::Size2M).unwrap();
+        pt.map(&mut phys, VAddr::new(0x4000_0000), pbase, PageSize::Size2M)
+            .unwrap();
         let t = pt.translate(VAddr::new(0x4012_3456)).unwrap();
         assert_eq!(t.size, PageSize::Size2M);
-        assert_eq!(t.apply(VAddr::new(0x4012_3456)).raw(), pbase.raw() + 0x12_3456);
+        assert_eq!(
+            t.apply(VAddr::new(0x4012_3456)).raw(),
+            pbase.raw() + 0x12_3456
+        );
     }
 
     #[test]
@@ -289,8 +319,10 @@ mod tests {
         let (mut phys, mut pt) = setup();
         let p4 = phys.alloc(PageSize::Size4K).unwrap();
         let p2 = phys.alloc(PageSize::Size2M).unwrap();
-        pt.map(&mut phys, VAddr::new(0x1000), p4, PageSize::Size4K).unwrap();
-        pt.map(&mut phys, VAddr::new(0x4000_0000), p2, PageSize::Size2M).unwrap();
+        pt.map(&mut phys, VAddr::new(0x1000), p4, PageSize::Size4K)
+            .unwrap();
+        pt.map(&mut phys, VAddr::new(0x4000_0000), p2, PageSize::Size2M)
+            .unwrap();
         assert_eq!(pt.walk_from(VAddr::new(0x1000), 0, 0).steps.len(), 4);
         assert_eq!(pt.walk_from(VAddr::new(0x4000_0000), 0, 0).steps.len(), 3);
     }
@@ -299,7 +331,8 @@ mod tests {
     fn rejects_double_map_and_misalignment() {
         let (mut phys, mut pt) = setup();
         let p = phys.alloc(PageSize::Size4K).unwrap();
-        pt.map(&mut phys, VAddr::new(0x1000), p, PageSize::Size4K).unwrap();
+        pt.map(&mut phys, VAddr::new(0x1000), p, PageSize::Size4K)
+            .unwrap();
         assert!(matches!(
             pt.map(&mut phys, VAddr::new(0x1000), p, PageSize::Size4K),
             Err(MapError::AlreadyMapped { .. })
@@ -314,7 +347,8 @@ mod tests {
     fn walk_steps_live_in_distinct_frames_per_level() {
         let (mut phys, mut pt) = setup();
         let p = phys.alloc(PageSize::Size4K).unwrap();
-        pt.map(&mut phys, VAddr::new(0x7fff_1234_5000), p, PageSize::Size4K).unwrap();
+        pt.map(&mut phys, VAddr::new(0x7fff_1234_5000), p, PageSize::Size4K)
+            .unwrap();
         let walk = pt.walk_from(VAddr::new(0x7fff_1234_5000), 0, 0);
         let frames: std::collections::HashSet<u64> = walk
             .steps
@@ -342,7 +376,8 @@ mod tests {
         let before = pt.node_count();
         for i in 0..8 {
             let p = phys.alloc(PageSize::Size4K).unwrap();
-            pt.map(&mut phys, VAddr::new(0x1000 * (i + 1)), p, PageSize::Size4K).unwrap();
+            pt.map(&mut phys, VAddr::new(0x1000 * (i + 1)), p, PageSize::Size4K)
+                .unwrap();
         }
         // One PML4→PDPT→PD→PT chain: 3 new nodes for 8 sibling pages.
         assert_eq!(pt.node_count(), before + 3);

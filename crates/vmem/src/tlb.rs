@@ -22,12 +22,20 @@ pub struct TlbConfig {
 impl TlbConfig {
     /// The paper's L1 DTLB: 64-entry, 4-way (2MB array sized 32).
     pub fn l1_dtlb() -> Self {
-        Self { entries_4k: 64, entries_2m: 32, ways: 4 }
+        Self {
+            entries_4k: 64,
+            entries_2m: 32,
+            ways: 4,
+        }
     }
 
     /// The paper's unified L2 TLB: 1536-entry, 12-way.
     pub fn l2_stlb() -> Self {
-        Self { entries_4k: 1536, entries_2m: 1536, ways: 12 }
+        Self {
+            entries_4k: 1536,
+            entries_2m: 1536,
+            ways: 12,
+        }
     }
 }
 
@@ -59,7 +67,7 @@ struct SizeArray {
 
 impl SizeArray {
     fn new(total: usize, ways: usize) -> Result<Self, TlbConfigError> {
-        if total == 0 || ways == 0 || total % ways != 0 {
+        if total == 0 || ways == 0 || !total.is_multiple_of(ways) {
             return Err(TlbConfigError(format!("{total} entries / {ways} ways")));
         }
         let sets = total / ways;
@@ -67,7 +75,14 @@ impl SizeArray {
         Ok(Self {
             sets,
             ways,
-            entries: vec![TlbEntry { vpage: 0, last_use: 0, valid: false }; total],
+            entries: vec![
+                TlbEntry {
+                    vpage: 0,
+                    last_use: 0,
+                    valid: false
+                };
+                total
+            ],
         })
     }
 
@@ -98,7 +113,11 @@ impl SizeArray {
             .iter_mut()
             .min_by_key(|e| if e.valid { e.last_use } else { 0 })
             .expect("non-empty set");
-        *victim = TlbEntry { vpage, last_use: stamp, valid: true };
+        *victim = TlbEntry {
+            vpage,
+            last_use: stamp,
+            valid: true,
+        };
     }
 }
 
@@ -224,7 +243,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> Tlb {
-        Tlb::new(TlbConfig { entries_4k: 8, entries_2m: 4, ways: 2 }).unwrap()
+        Tlb::new(TlbConfig {
+            entries_4k: 8,
+            entries_2m: 4,
+            ways: 2,
+        })
+        .unwrap()
     }
 
     #[test]
@@ -303,8 +327,18 @@ mod tests {
 
     #[test]
     fn rejects_bad_shapes() {
-        assert!(Tlb::new(TlbConfig { entries_4k: 0, entries_2m: 4, ways: 2 }).is_err());
-        assert!(Tlb::new(TlbConfig { entries_4k: 6, entries_2m: 4, ways: 2 }).is_err());
+        assert!(Tlb::new(TlbConfig {
+            entries_4k: 0,
+            entries_2m: 4,
+            ways: 2
+        })
+        .is_err());
+        assert!(Tlb::new(TlbConfig {
+            entries_4k: 6,
+            entries_2m: 4,
+            ways: 2
+        })
+        .is_err());
     }
 
     #[test]

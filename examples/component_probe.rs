@@ -16,23 +16,53 @@ fn main() {
         .with_instructions(120_000)
         .with_env_overrides();
     let cases: Vec<(&str, PatternMix)> = vec![
-        ("stream-only", PatternMix { stream: 1.0, ..Default::default() }),
-        ("stride-only", PatternMix { stride_small: 1.0, ..Default::default() }),
+        (
+            "stream-only",
+            PatternMix {
+                stream: 1.0,
+                ..Default::default()
+            },
+        ),
+        (
+            "stride-only",
+            PatternMix {
+                stride_small: 1.0,
+                ..Default::default()
+            },
+        ),
         (
             "stream+stride",
-            PatternMix { stream: 1.0, stride_small: 0.2, ..Default::default() },
+            PatternMix {
+                stream: 1.0,
+                stride_small: 0.2,
+                ..Default::default()
+            },
         ),
         (
             "stream+hot",
-            PatternMix { stream: 1.0, hot: 0.1, ..Default::default() },
+            PatternMix {
+                stream: 1.0,
+                hot: 0.1,
+                ..Default::default()
+            },
         ),
         (
             "stream+random",
-            PatternMix { stream: 1.0, random: 0.02, ..Default::default() },
+            PatternMix {
+                stream: 1.0,
+                random: 0.02,
+                ..Default::default()
+            },
         ),
         (
             "lbm-mix",
-            PatternMix { stream: 1.0, stride_small: 0.2, random: 0.02, hot: 0.1, ..Default::default() },
+            PatternMix {
+                stream: 1.0,
+                stride_small: 0.2,
+                random: 0.02,
+                hot: 0.1,
+                ..Default::default()
+            },
         ),
     ];
     for (name, mix) in cases {

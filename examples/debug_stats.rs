@@ -11,8 +11,16 @@ use psa_prefetchers::PrefetcherKind;
 use psa_sim::{SimConfig, System};
 use psa_traces::catalog;
 
-const SET: [&str; 8] =
-    ["lbm", "milc", "soplex", "tc.road", "mcf", "pr.road", "qmm_fp_67", "hmmer"];
+const SET: [&str; 8] = [
+    "lbm",
+    "milc",
+    "soplex",
+    "tc.road",
+    "mcf",
+    "pr.road",
+    "qmm_fp_67",
+    "hmmer",
+];
 
 fn main() {
     let cfg = SimConfig::default()
@@ -64,16 +72,28 @@ fn main() {
                     "            l1stall={} clean={}@{:.0} merged={}@{:.0} rowhit={:.2} bus={}",
                     r.debug[0],
                     r.debug[1],
-                    if r.debug[1] > 0 { r.debug[3] as f64 / r.debug[1] as f64 } else { 0.0 },
+                    if r.debug[1] > 0 {
+                        r.debug[3] as f64 / r.debug[1] as f64
+                    } else {
+                        0.0
+                    },
                     r.debug[2],
-                    if r.debug[2] > 0 { r.debug[4] as f64 / r.debug[2] as f64 } else { 0.0 },
+                    if r.debug[2] > 0 {
+                        r.debug[4] as f64 / r.debug[2] as f64
+                    } else {
+                        0.0
+                    },
                     r.dram.row_hit_rate(),
                     r.dram.bus_busy_cycles,
                 );
                 println!(
                     "            loads={} avg_load_latency={:.1}",
                     r.debug[5],
-                    if r.debug[5] > 0 { r.debug[6] as f64 / r.debug[5] as f64 } else { 0.0 }
+                    if r.debug[5] > 0 {
+                        r.debug[6] as f64 / r.debug[5] as f64
+                    } else {
+                        0.0
+                    }
                 );
                 println!("            max_load_latency={}", r.debug[7]);
             } else if detail.is_empty() {

@@ -29,10 +29,10 @@ fn main() {
         .with_env_overrides();
 
     println!("mix: {names:?}\n");
-    let base = System::multi_core(config, &mix, PrefetcherKind::Spp, PageSizePolicy::Original)
-        .run_multi();
-    let eval = System::multi_core(config, &mix, PrefetcherKind::Spp, PageSizePolicy::PsaSd)
-        .run_multi();
+    let base =
+        System::multi_core(config, &mix, PrefetcherKind::Spp, PageSizePolicy::Original).run_multi();
+    let eval =
+        System::multi_core(config, &mix, PrefetcherKind::Spp, PageSizePolicy::PsaSd).run_multi();
 
     // Isolation IPCs on the same (multi-core-spec) machine, per §V-B.
     let isolation: Vec<f64> = mix
@@ -51,7 +51,10 @@ fn main() {
         );
     }
     let ws = weighted_speedup(&eval.ipc, &base.ipc, &isolation);
-    println!("\nweighted speedup of SPP-PSA-SD over SPP original: {:+.1}%", (ws - 1.0) * 100.0);
+    println!(
+        "\nweighted speedup of SPP-PSA-SD over SPP original: {:+.1}%",
+        (ws - 1.0) * 100.0
+    );
     println!(
         "shared LLC: {} demand misses; DRAM row-hit rate {:.0}%",
         eval.llc.demand_misses,

@@ -36,8 +36,7 @@ fn main() {
     );
 
     for policy in PageSizePolicy::ALL {
-        let report =
-            System::single_core(config, workload, PrefetcherKind::Spp, policy).run();
+        let report = System::single_core(config, workload, PrefetcherKind::Spp, policy).run();
         let module = report.module.expect("prefetching run");
         println!(
             "SPP{:<9} IPC {:.3} ({:+.1}% vs baseline)  L2C MPKI {:>5.1}  issued {:>6} prefetches",

@@ -1,12 +1,23 @@
 #!/bin/bash
 # Regenerates every table/figure. Per-figure scaling keeps the full suite
 # tractable; raise the knobs for higher fidelity.
-set -u
-cd /root/repo
+#
+# Each target prints its rows as text AND writes BENCH_<figure>.json into
+# $PSA_BENCH_JSON_DIR (default: bench_results/). Schema: docs/METRICS.md.
+# Cap worker threads with PSA_THREADS (default: all cores).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export PSA_BENCH_JSON_DIR="${PSA_BENCH_JSON_DIR:-bench_results}"
+mkdir -p "$PSA_BENCH_JSON_DIR"
+
 run() {
   name=$1; shift
   echo "############ $name ############"
-  env "$@" cargo bench -q -p psa-bench --bench "$name" 2>&1 | grep -v "^warning\|Compiling\|Finished\|Running"
+  # grep -v exits 1 when every line is filtered (e.g. a fully quiet run);
+  # that is not a bench failure.
+  env "$@" cargo bench -q -p psa-bench --bench "$name" 2>&1 \
+    | { grep -v "^warning\|Compiling\|Finished\|Running" || true; }
   echo
 }
 run table1_config
@@ -23,3 +34,6 @@ run fig14_multicore4 PSA_MIXES=6
 run fig15_multicore8 PSA_MIXES=4
 run nonintensive PSA_WORKLOAD_LIMIT=40
 run ablations PSA_WORKLOAD_LIMIT=10
+
+echo "############ collected JSON ############"
+ls -l "$PSA_BENCH_JSON_DIR"/BENCH_*.json

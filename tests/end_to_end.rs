@@ -7,15 +7,15 @@ use page_size_aware_prefetching::sim::{L1dPrefKind, SimConfig, System};
 use page_size_aware_prefetching::traces::{catalog, mixes::random_mixes};
 
 fn quick() -> SimConfig {
-    SimConfig::default().with_warmup(3_000).with_instructions(12_000)
+    SimConfig::default()
+        .with_warmup(3_000)
+        .with_instructions(12_000)
 }
 
 #[test]
 fn simulation_is_deterministic() {
     let w = catalog::workload("milc").unwrap();
-    let run = || {
-        System::single_core(quick(), w, PrefetcherKind::Ppf, PageSizePolicy::PsaSd).run()
-    };
+    let run = || System::single_core(quick(), w, PrefetcherKind::Ppf, PageSizePolicy::PsaSd).run();
     let (a, b) = (run(), run());
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.l2c.demand_misses, b.l2c.demand_misses);
@@ -28,7 +28,10 @@ fn different_seeds_change_the_run() {
     let w = catalog::workload("milc").unwrap();
     let a = System::baseline(quick().with_seed(1), w).run();
     let b = System::baseline(quick().with_seed(2), w).run();
-    assert_ne!(a.cycles, b.cycles, "seed must flow through traces and placement");
+    assert_ne!(
+        a.cycles, b.cycles,
+        "seed must flow through traces and placement"
+    );
 }
 
 #[test]
@@ -53,8 +56,7 @@ fn ppm_equals_the_magic_oracle() {
     let ppm = System::single_core(quick(), w, PrefetcherKind::Spp, PageSizePolicy::Psa).run();
     let mut magic_cfg = quick();
     magic_cfg.page_size_source = page_size_aware_prefetching::core::ppm::PageSizeSource::Magic;
-    let magic =
-        System::single_core(magic_cfg, w, PrefetcherKind::Spp, PageSizePolicy::Psa).run();
+    let magic = System::single_core(magic_cfg, w, PrefetcherKind::Spp, PageSizePolicy::Psa).run();
     assert_eq!(ppm.cycles, magic.cycles);
     assert_eq!(ppm.module.unwrap().issued, magic.module.unwrap().issued);
 }
@@ -62,8 +64,7 @@ fn ppm_equals_the_magic_oracle() {
 #[test]
 fn psa_never_discards_for_crossing_inside_huge_pages() {
     let w = catalog::workload("lbm").unwrap();
-    let orig =
-        System::single_core(quick(), w, PrefetcherKind::Spp, PageSizePolicy::Original).run();
+    let orig = System::single_core(quick(), w, PrefetcherKind::Spp, PageSizePolicy::Original).run();
     let psa = System::single_core(quick(), w, PrefetcherKind::Spp, PageSizePolicy::Psa).run();
     assert!(
         orig.boundary.unwrap().discarded_cross_4k_in_huge > 0,
@@ -96,10 +97,16 @@ fn ppm_storage_is_one_bit_for_two_page_sizes() {
 #[test]
 fn multicore_mixes_run_and_report() {
     let mixes = random_mixes(1, 4, 7);
-    let config = SimConfig::for_cores(4).with_warmup(1_000).with_instructions(5_000);
-    let report =
-        System::multi_core(config, &mixes[0], PrefetcherKind::Spp, PageSizePolicy::PsaSd)
-            .run_multi();
+    let config = SimConfig::for_cores(4)
+        .with_warmup(1_000)
+        .with_instructions(5_000);
+    let report = System::multi_core(
+        config,
+        &mixes[0],
+        PrefetcherKind::Spp,
+        PageSizePolicy::PsaSd,
+    )
+    .run_multi();
     assert_eq!(report.ipc.len(), 4);
     assert!(report.ipc.iter().all(|&i| i > 0.0 && i <= 4.0));
 }
@@ -108,8 +115,12 @@ fn multicore_mixes_run_and_report() {
 fn l1d_prefetcher_configurations_run() {
     let w = catalog::workload("GemsFDTD").unwrap();
     let mut best = 0.0f64;
-    for l1d in [L1dPrefKind::None, L1dPrefKind::NextLine, L1dPrefKind::Ipcp, L1dPrefKind::IpcpPlusPlus]
-    {
+    for l1d in [
+        L1dPrefKind::None,
+        L1dPrefKind::NextLine,
+        L1dPrefKind::Ipcp,
+        L1dPrefKind::IpcpPlusPlus,
+    ] {
         let mut cfg = quick();
         cfg.l1d_prefetcher = l1d;
         let ipc = System::baseline(cfg, w).run().ipc();
@@ -137,5 +148,8 @@ fn sd_module_reports_dueling_state() {
     let w = catalog::workload("milc").unwrap();
     let r = System::single_core(quick(), w, PrefetcherKind::Spp, PageSizePolicy::PsaSd).run();
     let m = r.module.unwrap();
-    assert!(m.selected_by[0] + m.selected_by[1] > 0, "SD must classify accesses");
+    assert!(
+        m.selected_by[0] + m.selected_by[1] > 0,
+        "SD must classify accesses"
+    );
 }

@@ -1,35 +1,53 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized property tests over the core data structures and invariants.
+//!
+//! Cases are driven by the workspace's own deterministic [`DetRng`] (fixed
+//! seeds, fixed case counts) instead of an external property-testing
+//! framework, so the suite builds with no registry access and every
+//! failure reproduces exactly.
 
 use page_size_aware_prefetching::common::geometry::xor_fold;
-use page_size_aware_prefetching::common::{geomean, DistSummary, PAddr, PageSize, SatCounter};
+use page_size_aware_prefetching::common::{
+    geomean, DetRng, DistSummary, PAddr, PageSize, SatCounter,
+};
 use page_size_aware_prefetching::core::boundary::{BoundaryChecker, BoundaryPolicy, Verdict};
 use page_size_aware_prefetching::cpu::{Core, CoreConfig, Instr, MemoryPort};
 use page_size_aware_prefetching::dram::{Dram, DramConfig};
 use page_size_aware_prefetching::traces::{gen::TraceGenerator, PatternMix, Suite, WorkloadSpec};
-use proptest::prelude::*;
 use psa_common::{PLine, VAddr};
 
-proptest! {
-    #[test]
-    fn page_number_and_offset_reassemble(addr in 0u64..(1 << 48)) {
+const CASES: usize = 200;
+
+#[test]
+fn page_number_and_offset_reassemble() {
+    let mut rng = DetRng::new(0xA11CE);
+    for _ in 0..CASES {
+        let addr = rng.below(1 << 48);
         for size in [PageSize::Size4K, PageSize::Size2M] {
             let a = PAddr::new(addr);
             let rebuilt = a.page_number(size) * size.bytes() + a.page_offset(size);
-            prop_assert_eq!(rebuilt, addr);
+            assert_eq!(rebuilt, addr);
         }
     }
+}
 
-    #[test]
-    fn boundary_checker_matches_reference_model(
-        trigger in 0u64..100_000,
-        delta in -40_000i64..40_000,
-        huge in any::<bool>(),
-        aware in any::<bool>(),
-    ) {
-        let policy = if aware { BoundaryPolicy::PageAware } else { BoundaryPolicy::Strict4K };
+#[test]
+fn boundary_checker_matches_reference_model() {
+    let mut rng = DetRng::new(0xB0B);
+    for _ in 0..CASES {
+        let trigger = rng.below(100_000);
+        let delta = rng.below(80_000) as i64 - 40_000;
+        let huge = rng.chance(0.5);
+        let aware = rng.chance(0.5);
+        let policy = if aware {
+            BoundaryPolicy::PageAware
+        } else {
+            BoundaryPolicy::Strict4K
+        };
         let mut checker = BoundaryChecker::new(policy);
         let t = PLine::new(trigger);
-        let Some(c) = t.checked_add(delta) else { return Ok(()) };
+        let Some(c) = t.checked_add(delta) else {
+            continue;
+        };
         let size = PageSize::from_bit(huge);
         let verdict = checker.check(t, size, c);
         // Reference model, written independently of the implementation.
@@ -44,96 +62,129 @@ proptest! {
         } else {
             Verdict::DiscardedCross4KInHuge
         };
-        prop_assert_eq!(verdict, expected);
+        assert_eq!(verdict, expected);
         // Safety invariant: an allowed candidate is always within the
         // trigger's physical page.
         if verdict == Verdict::Allowed {
-            prop_assert!(c.same_page(t, size));
+            assert!(c.same_page(t, size));
         }
     }
+}
 
-    #[test]
-    fn sat_counter_stays_in_range(bits in 1u32..16, ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+#[test]
+fn sat_counter_stays_in_range() {
+    let mut rng = DetRng::new(0x5A7);
+    for _ in 0..CASES {
+        let bits = 1 + rng.below(15) as u32;
         let mut c = SatCounter::new(bits);
-        for up in ops {
-            if up { c.inc() } else { c.dec() }
-            prop_assert!(c.value() <= c.max());
-            prop_assert_eq!(c.msb(), c.value() > c.max() / 2);
+        for _ in 0..rng.index(200) {
+            if rng.chance(0.5) {
+                c.inc()
+            } else {
+                c.dec()
+            }
+            assert!(c.value() <= c.max());
+            assert_eq!(c.msb(), c.value() > c.max() / 2);
         }
     }
+}
 
-    #[test]
-    fn dist_summary_is_ordered(samples in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+#[test]
+fn dist_summary_is_ordered() {
+    let mut rng = DetRng::new(0xD157);
+    for _ in 0..CASES {
+        let samples: Vec<f64> = (0..1 + rng.index(99))
+            .map(|_| (rng.unit() - 0.5) * 2e6)
+            .collect();
         let s = DistSummary::of(&samples);
-        prop_assert!(s.min <= s.p25 + 1e-9);
-        prop_assert!(s.p25 <= s.median + 1e-9);
-        prop_assert!(s.median <= s.p75 + 1e-9);
-        prop_assert!(s.p75 <= s.max + 1e-9);
-        prop_assert!(s.min - 1e-9 <= s.mean && s.mean <= s.max + 1e-9);
+        assert!(s.min <= s.p25 + 1e-9);
+        assert!(s.p25 <= s.median + 1e-9);
+        assert!(s.median <= s.p75 + 1e-9);
+        assert!(s.p75 <= s.max + 1e-9);
+        assert!(s.min - 1e-9 <= s.mean && s.mean <= s.max + 1e-9);
     }
+}
 
-    #[test]
-    fn geomean_is_bounded_by_extremes(samples in proptest::collection::vec(0.01f64..100.0, 1..50)) {
+#[test]
+fn geomean_is_bounded_by_extremes() {
+    let mut rng = DetRng::new(0x6E0);
+    for _ in 0..CASES {
+        let samples: Vec<f64> = (0..1 + rng.index(49))
+            .map(|_| 0.01 + rng.unit() * 99.99)
+            .collect();
         let g = geomean(&samples);
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = samples.iter().cloned().fold(0.0f64, f64::max);
-        prop_assert!(g >= min * 0.999 && g <= max * 1.001);
+        assert!(g >= min * 0.999 && g <= max * 1.001);
     }
+}
 
-    #[test]
-    fn xor_fold_stays_in_width(v in any::<u64>(), bits in 1u32..32) {
-        prop_assert!(xor_fold(v, bits) < (1u64 << bits));
+#[test]
+fn xor_fold_stays_in_width() {
+    let mut rng = DetRng::new(0xF01D);
+    for _ in 0..CASES {
+        let v = rng.next_u64();
+        let bits = 1 + rng.below(31) as u32;
+        assert!(xor_fold(v, bits) < (1u64 << bits));
     }
+}
 
-    #[test]
-    fn dram_time_is_causal(lines in proptest::collection::vec(0u64..1_000_000, 1..64), start in 0u64..10_000) {
+#[test]
+fn dram_time_is_causal() {
+    let mut rng = DetRng::new(0xD3A);
+    for _ in 0..32 {
+        let start = rng.below(10_000);
         let mut dram = Dram::new(DramConfig::default()).unwrap();
-        for &l in &lines {
-            let done = dram.access(PLine::new(l), start, false);
-            prop_assert!(done > start, "completion must be after issue");
+        for _ in 0..1 + rng.index(63) {
+            let done = dram.access(PLine::new(rng.below(1_000_000)), start, false);
+            assert!(done > start, "completion must be after issue");
         }
     }
+}
 
-    #[test]
-    fn generated_workloads_are_well_formed(
-        stream in 0.0f64..1.0,
-        chase in 0.0f64..1.0,
-        sub in 0.0f64..1.0,
-        mem in 0.05f64..0.6,
-        huge in 0.0f64..1.0,
-    ) {
+#[test]
+fn generated_workloads_are_well_formed() {
+    let mut rng = DetRng::new(0x9E4);
+    for _ in 0..24 {
         let spec = WorkloadSpec {
             name: "prop",
             suite: Suite::Spec06,
-            huge_fraction: huge,
+            huge_fraction: rng.unit(),
             footprint: 32 << 20,
-            mem_ratio: mem,
+            mem_ratio: 0.05 + rng.unit() * 0.55,
             store_ratio: 0.1,
             dependent_fraction: 0.5,
             mix: PatternMix {
-                stream,
-                pointer_chase: chase,
-                subpage_grain: sub,
+                stream: rng.unit(),
+                pointer_chase: rng.unit(),
+                subpage_grain: rng.unit(),
                 hot: 0.1,
                 ..PatternMix::default()
             },
             intensive: true,
         };
         if spec.validate().is_err() {
-            return Ok(());
+            continue;
         }
         let a: Vec<Instr> = TraceGenerator::new(&spec, 9).take(2_000).collect();
         let b: Vec<Instr> = TraceGenerator::new(&spec, 9).take(2_000).collect();
-        prop_assert_eq!(&a, &b, "generator must be deterministic");
+        assert_eq!(a, b, "generator must be deterministic");
     }
+}
 
-    #[test]
-    fn core_retires_everything_it_fetches(n in 1u64..2_000, latency in 0u64..300) {
-        struct Fixed(u64);
-        impl MemoryPort for Fixed {
-            fn load(&mut self, _: VAddr, _: VAddr, now: u64) -> u64 { now + self.0 }
-            fn store(&mut self, _: VAddr, _: VAddr, _: u64) {}
+#[test]
+fn core_retires_everything_it_fetches() {
+    struct Fixed(u64);
+    impl MemoryPort for Fixed {
+        fn load(&mut self, _: VAddr, _: VAddr, now: u64) -> u64 {
+            now + self.0
         }
+        fn store(&mut self, _: VAddr, _: VAddr, _: u64) {}
+    }
+    let mut rng = DetRng::new(0xC04E);
+    for _ in 0..48 {
+        let n = 1 + rng.below(1_999);
+        let latency = rng.below(300);
         let mut core = Core::new(CoreConfig::default());
         let mut mem = Fixed(latency);
         for i in 0..n {
@@ -144,7 +195,7 @@ proptest! {
             }
         }
         let finish = core.drain();
-        prop_assert!(finish >= n / 4, "4-wide core cannot beat width");
-        prop_assert_eq!(core.stats().instructions, n);
+        assert!(finish >= n / 4, "4-wide core cannot beat width");
+        assert_eq!(core.stats().instructions, n);
     }
 }
