@@ -19,7 +19,23 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
+echo "== tier-1 under the invariant checker (PSA_CHECK=1) =="
+PSA_CHECK=1 cargo test -q
+
 echo "== cargo doc --no-deps (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+# If bench results exist, refuse to ship a tree whose last bench sweep
+# recorded failed jobs (see docs/ROBUSTNESS.md).
+if compgen -G "${PSA_BENCH_JSON_DIR:-bench_results}/BENCH_*.json" > /dev/null; then
+  echo "== bench failure gate =="
+  for f in "${PSA_BENCH_JSON_DIR:-bench_results}"/BENCH_*.json; do
+    if ! grep -q '"failures": \[\]' "$f"; then
+      echo "FAILED jobs recorded in $f (see its \"failures\" array)"
+      exit 1
+    fi
+  done
+  echo "no failures recorded"
+fi
 
 echo "ci.sh: all green"

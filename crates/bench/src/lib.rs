@@ -50,6 +50,16 @@ pub fn emit_json(figure: &str, doc: &Json) {
     psa_sim::report::write_json_file(&path, doc)
         .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     println!("\nwrote {}", path.display());
+    if let Some(failures) = doc.get("failures").and_then(Json::as_arr) {
+        if !failures.is_empty() {
+            println!(
+                "WARNING: {} failed job(s) recorded in {} — rows render with gaps; \
+                 see its `failures` array",
+                failures.len(),
+                path.display()
+            );
+        }
+    }
     println!("executor: {}", runner::global_stats().summary());
 }
 

@@ -355,6 +355,82 @@ impl Cache {
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
+
+    /// Every valid block, for invariant audits. Read-only: touches neither
+    /// LRU state nor statistics.
+    pub fn valid_blocks(&self) -> impl Iterator<Item = BlockView> + '_ {
+        let ways = self.config.ways;
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.valid)
+            .map(move |(i, b)| BlockView {
+                line: b.line,
+                set: i / ways,
+                prefetched: b.prefetched,
+                source: b.source,
+                used: b.used,
+            })
+    }
+
+    /// Audit the array's internal invariants (the `PSA_CHECK=1` checker):
+    /// every valid block's tag maps to the set it occupies, no line is
+    /// resident twice within a set, and prefetch accounting is consistent
+    /// (a prefetched block becomes useful or useless at most once, so
+    /// `useful + useless ≤ prefetch_fills`).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a human-readable description of the violated
+    /// invariant.
+    pub fn audit(&self) -> Result<(), String> {
+        for set in 0..self.sets {
+            let blocks = &self.blocks[set * self.config.ways..(set + 1) * self.config.ways];
+            for (i, b) in blocks.iter().enumerate() {
+                if !b.valid {
+                    continue;
+                }
+                if self.set_of(b.line) != set {
+                    return Err(format!(
+                        "{}: block {} resident in set {} but maps to set {}",
+                        self.config.name,
+                        b.line,
+                        set,
+                        self.set_of(b.line)
+                    ));
+                }
+                if blocks[..i].iter().any(|o| o.valid && o.line == b.line) {
+                    return Err(format!(
+                        "{}: line {} resident twice in set {}",
+                        self.config.name, b.line, set
+                    ));
+                }
+            }
+        }
+        let s = &self.stats;
+        if s.useful_prefetches + s.useless_prefetches > s.prefetch_fills {
+            return Err(format!(
+                "{}: {} useful + {} useless prefetches exceed {} prefetch fills",
+                self.config.name, s.useful_prefetches, s.useless_prefetches, s.prefetch_fills
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A read-only view of one valid cache block, for invariant audits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockView {
+    /// The resident line.
+    pub line: PLine,
+    /// The set it occupies.
+    pub set: usize,
+    /// It was installed by a prefetch.
+    pub prefetched: bool,
+    /// The Pref-PSA-SD source annotation (meaningful when `prefetched`).
+    pub source: u8,
+    /// It has been demanded since installation.
+    pub used: bool,
 }
 
 #[cfg(test)]

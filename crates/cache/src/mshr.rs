@@ -71,6 +71,10 @@ pub struct MshrStats {
     /// Demand accesses that merged into a pending *prefetch* (late
     /// prefetches — they still hide part of the miss latency).
     pub late_prefetch_merges: u64,
+    /// Entries whose fill matured and was drained into the array. Leak
+    /// freedom demands `allocations == drained + len()` at every drain
+    /// point (see [`Mshr::audit`]).
+    pub drained: u64,
 }
 
 /// A fixed-capacity MSHR file.
@@ -130,6 +134,7 @@ impl Mshr {
                 true
             }
         });
+        self.stats.drained += filled.len() as u64;
         filled
     }
 
@@ -194,6 +199,38 @@ impl Mshr {
     /// Accumulated statistics.
     pub fn stats(&self) -> MshrStats {
         self.stats
+    }
+
+    /// Audit the file's internal invariants (the `PSA_CHECK=1` checker):
+    /// leak freedom (every allocated entry either drained or is still
+    /// pending), no duplicate in-flight lines, and occupancy within
+    /// capacity. Returns a description of the first violation found.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a human-readable description of the violated
+    /// invariant.
+    pub fn audit(&self) -> Result<(), String> {
+        if self.entries.len() > self.capacity {
+            return Err(format!(
+                "MSHR occupancy {} exceeds capacity {}",
+                self.entries.len(),
+                self.capacity
+            ));
+        }
+        let in_flight = self.entries.len() as u64;
+        if self.stats.allocations != self.stats.drained + in_flight {
+            return Err(format!(
+                "MSHR entry leak: {} allocated != {} drained + {} in flight",
+                self.stats.allocations, self.stats.drained, in_flight
+            ));
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if self.entries[..i].iter().any(|o| o.line == e.line) {
+                return Err(format!("duplicate MSHR entry for line {}", e.line));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -270,6 +307,21 @@ mod tests {
         m.alloc(line(3), 10, MshrMeta::demand(false)).unwrap();
         m.merge(line(3), true, true, 0);
         assert!(m.drain_filled(10)[0].meta.write);
+    }
+
+    #[test]
+    fn drained_counter_and_audit_track_leak_freedom() {
+        let mut m = Mshr::new(4);
+        m.alloc(line(1), 10, MshrMeta::demand(false)).unwrap();
+        m.alloc(line(2), 20, MshrMeta::demand(false)).unwrap();
+        m.audit().expect("two in flight, none drained");
+        assert_eq!(m.drain_filled(15).len(), 1);
+        assert_eq!(m.stats().drained, 1);
+        m.audit().expect("one drained, one in flight");
+        m.drain_filled(25);
+        assert_eq!(m.stats().drained, 2);
+        assert_eq!(m.stats().allocations, 2);
+        m.audit().expect("all drained");
     }
 
     #[test]

@@ -209,6 +209,42 @@ impl SetDueling {
     pub fn credit(&self) -> [u64; 2] {
         self.hits
     }
+
+    /// Audit the leader-set layout against a cache with `num_sets` sets
+    /// (the `PSA_CHECK=1` checker): both sample groups must contain exactly
+    /// `dedicated_sets` sets and must be disjoint. `class_of` partitions
+    /// sets by `set % spacing`, so disjointness can only break if the
+    /// spacing degenerates — which this catches.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a human-readable description of the violated
+    /// invariant.
+    pub fn audit(&self, num_sets: usize) -> Result<(), String> {
+        if self.spacing < 2 {
+            return Err(format!(
+                "set-dueling spacing {} cannot keep sample groups disjoint",
+                self.spacing
+            ));
+        }
+        let mut psa = 0usize;
+        let mut psa2m = 0usize;
+        for set in 0..num_sets {
+            match self.class_of(set) {
+                SetClass::PsaSample => psa += 1,
+                SetClass::Psa2mSample => psa2m += 1,
+                SetClass::Follower => {}
+            }
+        }
+        let want = self.config.dedicated_sets;
+        if psa != want || psa2m != want {
+            return Err(format!(
+                "set-dueling leader sets: {psa} PSA + {psa2m} PSA-2MB samples over \
+                 {num_sets} sets, expected {want} each"
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +364,15 @@ mod tests {
             1024
         )
         .is_err());
+    }
+
+    #[test]
+    fn audit_accepts_table1_shape_and_rejects_mismatched_cache() {
+        let d = sd();
+        d.audit(1024).expect("Table I shape is sound");
+        // Auditing against a cache the logic wasn't built for must fail:
+        // 512 sets at spacing 32 yields only 16 samples per competitor.
+        assert!(d.audit(512).is_err());
     }
 
     #[test]

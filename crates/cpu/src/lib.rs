@@ -156,6 +156,9 @@ pub struct CoreStats {
     pub loads: u64,
     /// Stores executed.
     pub stores: u64,
+    /// Instructions retired from the ROB — the forward-progress signal the
+    /// simulation watchdog watches.
+    pub retired: u64,
 }
 
 /// The approximate OoO core.
@@ -205,8 +208,20 @@ impl Core {
         self.stats
     }
 
+    /// In-flight instructions occupying ROB slots.
+    pub fn rob_len(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Completion cycle of the ROB head (the next instruction to retire),
+    /// if any — reported in watchdog stall snapshots.
+    pub fn rob_head(&self) -> Option<u64> {
+        self.rob.front().copied()
+    }
+
     fn retire_one(&mut self) -> u64 {
         let completion = self.rob.pop_front().expect("retire from empty ROB");
+        self.stats.retired += 1;
         let t = completion.max(self.retire_cycle);
         if t > self.retire_cycle {
             self.retire_cycle = t;
@@ -389,6 +404,23 @@ mod tests {
         core.execute(&Instr::store(VAddr::new(2), VAddr::new(128)), &mut mem);
         let s = core.stats();
         assert_eq!((s.instructions, s.loads, s.stores), (3, 1, 1));
+    }
+
+    #[test]
+    fn retired_counter_tracks_rob_progress() {
+        let mut core = Core::new(CoreConfig::default());
+        let mut mem = FixedLatency(5);
+        for i in 0..10 {
+            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+        }
+        // Nothing retires until the ROB fills or the program drains.
+        assert_eq!(core.stats().retired, 0);
+        assert_eq!(core.rob_len(), 10);
+        assert!(core.rob_head().is_some());
+        core.drain();
+        assert_eq!(core.stats().retired, 10);
+        assert_eq!(core.rob_len(), 0);
+        assert_eq!(core.rob_head(), None);
     }
 
     #[test]

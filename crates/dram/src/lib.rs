@@ -268,6 +268,17 @@ impl Dram {
     pub fn stats(&self) -> DramStats {
         self.stats
     }
+
+    /// Banks still occupied at core cycle `now` — the "pending DRAM queue"
+    /// entry of watchdog stall snapshots.
+    pub fn busy_banks(&self, now: u64) -> usize {
+        self.banks.iter().filter(|b| b.busy_until > now).count()
+    }
+
+    /// Latest cycle at which any bank frees up (0 when never used).
+    pub fn latest_bank_free_at(&self) -> u64 {
+        self.banks.iter().map(|b| b.busy_until).max().unwrap_or(0)
+    }
 }
 
 #[cfg(test)]

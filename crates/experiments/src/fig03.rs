@@ -21,19 +21,22 @@ pub struct Fig03Row {
 /// Run the experiment.
 pub fn collect(settings: &Settings) -> Vec<Fig03Row> {
     let mut cache = RunCache::new();
-    let jobs: Vec<_> = catalog::MOTIVATION_SET
+    let workloads: Vec<_> = catalog::MOTIVATION_SET
         .iter()
-        .map(|name| {
-            (
-                catalog::workload(name).expect("motivation workload in catalog"),
-                Variant::NoPrefetch,
-            )
-        })
+        .map(|name| runner::workload(name).unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    let jobs: Vec<_> = workloads
+        .iter()
+        .map(|&w| (w, Variant::NoPrefetch))
         .collect();
     cache.run_batch(settings.config, &jobs);
-    jobs.iter()
-        .map(|&(w, v)| {
-            let report = cache.run(settings.config, w, v);
+    // A failed workload leaves an explicit gap (its row is dropped); the
+    // fault itself is recorded in the document's `failures` array.
+    cache
+        .surviving(&workloads, &[Variant::NoPrefetch])
+        .into_iter()
+        .map(|w| {
+            let report = cache.run(settings.config, w, Variant::NoPrefetch);
             Fig03Row {
                 name: w.name,
                 series: report.thp_series.clone(),

@@ -34,18 +34,21 @@ pub fn collect(settings: &Settings) -> Vec<MotivationRow> {
         Variant::PrefMagic(kind, PageSizePolicy::Psa),
         Variant::PrefMagic(kind, PageSizePolicy::Psa2m),
     ];
-    let jobs: Vec<_> = catalog::MOTIVATION_SET
+    let workloads: Vec<_> = catalog::MOTIVATION_SET
         .iter()
-        .flat_map(|name| {
-            let w = catalog::workload(name).expect("motivation workload");
-            variants.iter().map(move |&v| (w, v))
-        })
+        .map(|name| runner::workload(name).unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    let jobs: Vec<_> = workloads
+        .iter()
+        .flat_map(|&w| variants.iter().map(move |&v| (w, v)))
         .collect();
     cache.run_batch(settings.config, &jobs);
-    catalog::MOTIVATION_SET
-        .iter()
-        .map(|name| {
-            let w = catalog::workload(name).expect("motivation workload");
+    // Failed jobs leave explicit gaps: their workload's row is dropped and
+    // the fault is recorded in the document's `failures` array.
+    cache
+        .surviving(&workloads, &variants)
+        .into_iter()
+        .map(|w| {
             let base = Variant::NoPrefetch;
             MotivationRow {
                 name: w.name,

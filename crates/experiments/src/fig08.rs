@@ -27,21 +27,24 @@ pub fn collect(settings: &Settings, kind: PrefetcherKind) -> Vec<Fig08Row> {
     let mut cache = RunCache::new();
     let base = Variant::Pref(kind, PageSizePolicy::Original);
     let workloads = settings.workloads();
+    let variants: Vec<Variant> = [
+        PageSizePolicy::Original,
+        PageSizePolicy::Psa,
+        PageSizePolicy::Psa2m,
+        PageSizePolicy::PsaSd,
+    ]
+    .into_iter()
+    .map(|policy| Variant::Pref(kind, policy))
+    .collect();
     let jobs: Vec<_> = workloads
         .iter()
-        .flat_map(|&w| {
-            [
-                PageSizePolicy::Original,
-                PageSizePolicy::Psa,
-                PageSizePolicy::Psa2m,
-                PageSizePolicy::PsaSd,
-            ]
-            .into_iter()
-            .map(move |policy| (w, Variant::Pref(kind, policy)))
-        })
+        .flat_map(|&w| variants.iter().map(move |&v| (w, v)))
         .collect();
     cache.run_batch(settings.config, &jobs);
-    workloads
+    // A failed workload leaves an explicit gap (its row is dropped); the
+    // fault itself is recorded in the document's `failures` array.
+    cache
+        .surviving(&workloads, &variants)
         .into_iter()
         .map(|w: &'static WorkloadSpec| Fig08Row {
             name: w.name,

@@ -32,21 +32,24 @@ pub fn collect_over(settings: &Settings, workloads: &[&'static WorkloadSpec]) ->
     for kind in PrefetcherKind::EVALUATED {
         let mut cache = RunCache::new();
         let base = Variant::Pref(kind, PageSizePolicy::Original);
+        let variants: Vec<Variant> = PageSizePolicy::ALL
+            .into_iter()
+            .map(|policy| Variant::Pref(kind, policy))
+            .collect();
         let jobs: Vec<_> = workloads
             .iter()
-            .flat_map(|&w| {
-                PageSizePolicy::ALL
-                    .into_iter()
-                    .map(move |policy| (w, Variant::Pref(kind, policy)))
-            })
+            .flat_map(|&w| variants.iter().map(move |&v| (w, v)))
             .collect();
         cache.run_batch(settings.config, &jobs);
+        // A failed workload drops out of every geomean for this kind; the
+        // fault is recorded in the document's `failures` array.
+        let survivors = cache.surviving(workloads, &variants);
         for policy in [
             PageSizePolicy::Psa,
             PageSizePolicy::Psa2m,
             PageSizePolicy::PsaSd,
         ] {
-            let speedups: Vec<(SuiteGroup, f64)> = workloads
+            let speedups: Vec<(SuiteGroup, f64)> = survivors
                 .iter()
                 .map(|w| {
                     (

@@ -49,23 +49,25 @@ fn latency_reduction(base: f64, new: f64) -> f64 {
 pub fn collect(settings: &Settings, policy: PageSizePolicy) -> Vec<Fig10Row> {
     let mut cache = RunCache::new();
     let kind = PrefetcherKind::Spp;
-    let jobs: Vec<_> = catalog::FIG10_SET
+    let workloads: Vec<_> = catalog::FIG10_SET
         .iter()
-        .flat_map(|name| {
-            let w = catalog::workload(name).expect("fig10 workload");
-            [
-                Variant::Pref(kind, PageSizePolicy::Original),
-                Variant::Pref(kind, policy),
-            ]
-            .into_iter()
-            .map(move |v| (w, v))
-        })
+        .map(|name| runner::workload(name).unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    let variants = [
+        Variant::Pref(kind, PageSizePolicy::Original),
+        Variant::Pref(kind, policy),
+    ];
+    let jobs: Vec<_> = workloads
+        .iter()
+        .flat_map(|&w| variants.into_iter().map(move |v| (w, v)))
         .collect();
     cache.run_batch(settings.config, &jobs);
-    catalog::FIG10_SET
-        .iter()
-        .map(|name| {
-            let w = catalog::workload(name).expect("fig10 workload");
+    // A failed workload leaves an explicit gap (its row is dropped); the
+    // fault itself is recorded in the document's `failures` array.
+    cache
+        .surviving(&workloads, &variants)
+        .into_iter()
+        .map(|w| {
             let orig = cache
                 .run(
                     settings.config,

@@ -58,10 +58,15 @@ pub fn collect(settings: &Settings) -> Vec<Fig13Bar> {
         })
         .collect();
     cache.run_batch(settings.config, &jobs);
+    // A failed workload drops out of every bar's geomean; the fault is
+    // recorded in the document's `failures` array.
+    let mut all_variants = vec![Variant::NoPrefetch];
+    all_variants.extend(variants.iter().map(|&(_, v)| v));
+    let survivors = cache.surviving(&workloads, &all_variants);
     variants
         .into_iter()
         .map(|(label, variant)| {
-            let per: Vec<f64> = workloads
+            let per: Vec<f64> = survivors
                 .iter()
                 .map(|w| cache.speedup(settings.config, w, variant, Variant::NoPrefetch))
                 .collect();

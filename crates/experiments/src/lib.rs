@@ -31,6 +31,13 @@
 //! `PSA_MIXES=n` bounds the multi-core mix count; `PSA_THREADS=n` caps
 //! the parallel executor's worker count (default: all cores);
 //! `PSA_JSON_RUNS=1` embeds raw per-run reports in emitted JSON.
+//!
+//! Robustness knobs (see `docs/ROBUSTNESS.md`): `PSA_WATCHDOG=n` sets the
+//! forward-progress watchdog threshold (0 disables); `PSA_CHECK=1` turns
+//! on the simulation invariant checker; `PSA_INJECT_PANIC` /
+//! `PSA_INJECT_STALL` deliberately fault a named job to exercise the
+//! executor's fault isolation. Failed jobs become entries in each
+//! document's `failures` array and figures render with explicit gaps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -20,13 +20,28 @@
 //! cycles/second throughput), peak queue depth and per-thread run counts.
 //! The same counters are aggregated process-wide and embedded in every
 //! emitted `BENCH_*.json` under `"executor"` (see [`global_stats`]).
+//!
+//! # Fault isolation
+//!
+//! Every memoised job runs under [`std::panic::catch_unwind`] and through
+//! the simulator's `Result` paths, so one panicking or watchdog-stalled
+//! `(workload, variant)` becomes a [`RunOutcome::Failed`] row instead of
+//! poisoning the batch: the remaining jobs complete bit-identically to a
+//! clean run, the failure lands in the process-wide journal (the
+//! `"failures"` array of every `BENCH_*.json`, see [`failures_json`]), and
+//! figures render partial results with explicit gaps. `PSA_INJECT_PANIC`
+//! and `PSA_INJECT_STALL` (`<workload>` or `<workload>/<variant-label>`)
+//! inject faults for testing this machinery. `parallel_map` jobs are NOT
+//! isolated — a panic there still aborts the process (see
+//! `docs/ROBUSTNESS.md`).
 
 use psa_core::PageSizePolicy;
 use psa_prefetchers::PrefetcherKind;
 use psa_sim::report::{self, Json};
-use psa_sim::{L1dPrefKind, RunReport, SimConfig, System};
+use psa_sim::{L1dPrefKind, RunReport, SimConfig, SimError, System};
 use psa_traces::{catalog, WorkloadSpec};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -54,40 +69,100 @@ impl Default for Settings {
 impl Settings {
     /// The evaluated workload set, honouring `PSA_WORKLOAD_LIMIT` by
     /// stride-sampling so each suite stays represented.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `PSA_WORKLOAD_LIMIT` is set but malformed — see
+    /// [`Settings::try_workloads`].
     pub fn workloads(&self) -> Vec<&'static WorkloadSpec> {
+        self.try_workloads().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Settings::workloads`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EnvVar`] when `PSA_WORKLOAD_LIMIT` is set but
+    /// not a positive integer.
+    pub fn try_workloads(&self) -> Result<Vec<&'static WorkloadSpec>, SimError> {
         let all: Vec<&WorkloadSpec> = catalog::all().iter().collect();
-        match std::env::var("PSA_WORKLOAD_LIMIT")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            Some(limit) if limit > 0 && limit < all.len() => {
+        match env_positive("PSA_WORKLOAD_LIMIT")? {
+            Some(limit) if limit < all.len() => {
                 let stride = all.len().div_ceil(limit);
-                all.into_iter().step_by(stride).collect()
+                Ok(all.into_iter().step_by(stride).collect())
             }
-            _ => all,
+            _ => Ok(all),
         }
     }
 
     /// Number of multi-core mixes, honouring `PSA_MIXES` (default 8;
     /// the paper uses 100).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `PSA_MIXES` is set but malformed — see
+    /// [`Settings::try_mixes`].
     pub fn mixes(&self) -> usize {
-        std::env::var("PSA_MIXES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(8)
+        self.try_mixes().unwrap_or_else(|e| panic!("{e}"))
     }
+
+    /// Fallible form of [`Settings::mixes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EnvVar`] when `PSA_MIXES` is set but not a
+    /// positive integer.
+    pub fn try_mixes(&self) -> Result<usize, SimError> {
+        Ok(env_positive("PSA_MIXES")?.unwrap_or(8))
+    }
+}
+
+/// Parse an env var required to hold a positive integer; unset is `None`,
+/// set-but-malformed (including zero) is an error naming the variable and
+/// the value.
+fn env_positive(key: &str) -> Result<Option<usize>, SimError> {
+    match std::env::var(key) {
+        Err(_) => Ok(None),
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(SimError::EnvVar {
+                var: key.into(),
+                value: raw,
+                reason: "expected a positive integer".into(),
+            }),
+        },
+    }
+}
+
+/// Look up a workload in the trace catalog, reporting a miss as a typed
+/// error instead of an `expect` at every call site.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownWorkload`] when `name` matches nothing.
+pub fn workload(name: &str) -> Result<&'static WorkloadSpec, SimError> {
+    catalog::workload(name).ok_or_else(|| SimError::UnknownWorkload { name: name.into() })
 }
 
 /// Worker-thread count for parallel experiment execution: `PSA_THREADS`
 /// when set to a positive integer, else every available core.
+///
+/// # Panics
+///
+/// Panics when `PSA_THREADS` is set but malformed — see [`try_threads`].
 pub fn threads() -> usize {
-    match std::env::var("PSA_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(n) if n > 0 => n,
-        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    }
+    try_threads().unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`threads`].
+///
+/// # Errors
+///
+/// Returns [`SimError::EnvVar`] when `PSA_THREADS` is set but not a
+/// positive integer.
+pub fn try_threads() -> Result<usize, SimError> {
+    Ok(env_positive("PSA_THREADS")?
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())))
 }
 
 /// What ran on the L2C prefetcher slot (or, for [`Variant::L1d`], which
@@ -120,24 +195,112 @@ impl Variant {
     }
 }
 
+/// How one memoised `(workload, variant)` job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// The simulation completed and produced a report (boxed: a report is
+    /// an order of magnitude larger than a failure record).
+    Ok(Box<RunReport>),
+    /// The job panicked, stalled into the watchdog, or failed validation.
+    /// The batch it ran in still completed; this row is a recorded gap.
+    Failed {
+        /// The workload that was running.
+        workload: &'static str,
+        /// The variant that was running.
+        variant: Variant,
+        /// Human-readable failure description (panic message, watchdog
+        /// snapshot, or config error).
+        reason: String,
+        /// The failure was a forward-progress watchdog abort.
+        watchdog: bool,
+    },
+}
+
+impl RunOutcome {
+    /// The report, when the job completed.
+    pub fn report(&self) -> Option<&RunReport> {
+        match self {
+            RunOutcome::Ok(r) => Some(r),
+            RunOutcome::Failed { .. } => None,
+        }
+    }
+}
+
 /// Simulate one `(workload, variant)` pair from scratch. Pure: the run
 /// owns its [`System`] and seeded RNG, so the result depends only on the
 /// arguments — this is what makes parallel execution bit-identical to
 /// serial.
-fn simulate(config: SimConfig, workload: &'static WorkloadSpec, variant: Variant) -> RunReport {
+fn try_simulate(
+    config: SimConfig,
+    workload: &'static WorkloadSpec,
+    variant: Variant,
+) -> Result<RunReport, SimError> {
     match variant {
-        Variant::NoPrefetch => System::baseline(config, workload).run(),
-        Variant::Pref(kind, policy) => System::single_core(config, workload, kind, policy).run(),
+        Variant::NoPrefetch => System::try_baseline(config, workload)?.try_run(),
+        Variant::Pref(kind, policy) => {
+            System::try_single_core(config, workload, kind, policy)?.try_run()
+        }
         Variant::PrefMagic(kind, policy) => {
             let mut config = config;
             config.page_size_source = psa_core::ppm::PageSizeSource::Magic;
-            System::single_core(config, workload, kind, policy).run()
+            System::try_single_core(config, workload, kind, policy)?.try_run()
         }
         Variant::L1d(kind) => {
             let mut config = config;
             config.l1d_prefetcher = kind;
-            System::baseline(config, workload).run()
+            System::try_baseline(config, workload)?.try_run()
         }
+    }
+}
+
+/// Whether the fault-injection variable `var` targets this job: its value
+/// is either the workload name or `<workload>/<variant-label>`.
+fn inject_match(var: &str, workload: &str, variant: Variant) -> bool {
+    std::env::var(var)
+        .is_ok_and(|v| v == workload || v == format!("{workload}/{}", variant.label()))
+}
+
+/// Extract a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Run one job in isolation: panics are caught, simulator errors are
+/// values, and either becomes a [`RunOutcome::Failed`] row. The fault
+/// never escapes to the batch.
+fn run_job(config: SimConfig, workload: &'static WorkloadSpec, variant: Variant) -> RunOutcome {
+    let mut config = config;
+    if inject_match("PSA_INJECT_STALL", workload.name, variant) {
+        // Threshold 1: the run aborts via the watchdog almost immediately
+        // (nothing retires before the ROB fills; nothing drains before the
+        // first fill matures).
+        config.watchdog_cycles = 1;
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if inject_match("PSA_INJECT_PANIC", workload.name, variant) {
+            panic!("injected panic (PSA_INJECT_PANIC)");
+        }
+        try_simulate(config, workload, variant)
+    }));
+    let failed = |reason: String, watchdog: bool| RunOutcome::Failed {
+        workload: workload.name,
+        variant,
+        reason,
+        watchdog,
+    };
+    match result {
+        Ok(Ok(report)) => RunOutcome::Ok(Box::new(report)),
+        Ok(Err(e)) => {
+            let watchdog = matches!(e, SimError::WatchdogStall(_));
+            failed(e.to_string(), watchdog)
+        }
+        Err(payload) => failed(format!("panic: {}", panic_message(payload)), false),
     }
 }
 
@@ -149,6 +312,50 @@ static G_BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
 static G_WALL_NANOS: AtomicU64 = AtomicU64::new(0);
 static G_SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
 static G_QUEUE_PEAK: AtomicU64 = AtomicU64::new(0);
+static G_FAILED: AtomicU64 = AtomicU64::new(0);
+static G_WATCHDOG: AtomicU64 = AtomicU64::new(0);
+
+// Process-wide failure journal: every failed job, so [`doc`] can embed
+// the `"failures"` array even when the cache lives inside a `collect()`.
+#[allow(clippy::type_complexity)]
+static G_FAILURES: Mutex<Vec<(&'static str, String, String, bool)>> = Mutex::new(Vec::new());
+
+fn journal_failure(workload: &'static str, variant: Variant, reason: &str, watchdog: bool) {
+    G_FAILED.fetch_add(1, Ordering::Relaxed);
+    if watchdog {
+        G_WATCHDOG.fetch_add(1, Ordering::Relaxed);
+    }
+    G_FAILURES
+        .lock()
+        .expect("unpoisoned failure journal")
+        .push((workload, variant.label(), reason.into(), watchdog));
+}
+
+/// The process-wide failure journal as a JSON array of
+/// `{workload, variant, reason, watchdog}`, deduplicated and sorted by
+/// (workload, variant label). Empty — serialising to exactly
+/// `"failures": []` — when every job so far completed.
+pub fn failures_json() -> Json {
+    let journal = G_FAILURES.lock().expect("unpoisoned failure journal");
+    let mut entries: std::collections::BTreeMap<(&'static str, String), (String, bool)> =
+        std::collections::BTreeMap::new();
+    for (w, label, reason, watchdog) in journal.iter() {
+        entries.insert((w, label.clone()), (reason.clone(), *watchdog));
+    }
+    Json::Arr(
+        entries
+            .into_iter()
+            .map(|((w, label), (reason, watchdog))| {
+                Json::obj([
+                    ("workload", Json::str(w)),
+                    ("variant", Json::str(&label)),
+                    ("reason", Json::str(&reason)),
+                    ("watchdog", Json::Bool(watchdog)),
+                ])
+            })
+            .collect(),
+    )
+}
 
 fn record_global(simulated: u64, memo_hits: u64, busy: Duration, wall: Duration, cycles: u64) {
     G_SIMULATED.fetch_add(simulated, Ordering::Relaxed);
@@ -220,6 +427,11 @@ pub struct ExecStats {
     pub queue_peak: u64,
     /// Runs executed by each worker thread of the largest pool used.
     pub per_thread: Vec<u64>,
+    /// Jobs that ended in a [`RunOutcome::Failed`] (panic, watchdog stall
+    /// or validation error) instead of a report.
+    pub failed: u64,
+    /// The subset of `failed` aborted by the forward-progress watchdog.
+    pub watchdog_aborted: u64,
 }
 
 impl ExecStats {
@@ -240,8 +452,16 @@ impl ExecStats {
         } else {
             format!(", per-thread runs {:?}", self.per_thread)
         };
+        let failures = if self.failed == 0 {
+            String::new()
+        } else {
+            format!(
+                ", {} FAILED ({} watchdog)",
+                self.failed, self.watchdog_aborted
+            )
+        };
         format!(
-            "{} simulated, {} memo hits, {:.2}s wall / {:.2}s busy, {:.1} Mcycles/s, queue peak {}{}",
+            "{} simulated, {} memo hits, {:.2}s wall / {:.2}s busy, {:.1} Mcycles/s, queue peak {}{}{}",
             self.simulated,
             self.memo_hits,
             self.wall.as_secs_f64(),
@@ -249,6 +469,7 @@ impl ExecStats {
             self.cycles_per_sec() / 1e6,
             self.queue_peak,
             per_thread,
+            failures,
         )
     }
 
@@ -268,6 +489,8 @@ impl ExecStats {
                 "per_thread_runs",
                 Json::Arr(self.per_thread.iter().map(|&n| Json::uint(n)).collect()),
             ),
+            ("failed_runs", Json::uint(self.failed)),
+            ("watchdog_aborted", Json::uint(self.watchdog_aborted)),
         ])
     }
 }
@@ -283,6 +506,8 @@ pub fn global_stats() -> ExecStats {
         sim_cycles: G_SIM_CYCLES.load(Ordering::Relaxed),
         queue_peak: G_QUEUE_PEAK.load(Ordering::Relaxed),
         per_thread: Vec::new(),
+        failed: G_FAILED.load(Ordering::Relaxed),
+        watchdog_aborted: G_WATCHDOG.load(Ordering::Relaxed),
     }
 }
 
@@ -351,10 +576,12 @@ where
 }
 
 /// A memoising single-core run cache: each (workload, variant) simulates
-/// once per experiment, no matter how many reductions consume it.
+/// once per experiment, no matter how many reductions consume it. Failed
+/// jobs are memoised too — a fault is as deterministic as a report, and
+/// retrying it would just fail again.
 #[derive(Default)]
 pub struct RunCache {
-    runs: HashMap<(&'static str, Variant), RunReport>,
+    runs: HashMap<(&'static str, Variant), RunOutcome>,
     stats: ExecStats,
 }
 
@@ -377,11 +604,37 @@ impl RunCache {
         record_global(simulated, 0, busy, wall, cycles);
     }
 
+    /// Memoise `outcome`, journalling it (run journal or failure journal)
+    /// and bumping the failure counters as appropriate. Returns the
+    /// simulated-cycle contribution (0 for failures).
+    fn admit(&mut self, w: &'static WorkloadSpec, v: Variant, outcome: RunOutcome) -> u64 {
+        let cycles = match &outcome {
+            RunOutcome::Ok(report) => {
+                journal_run(w.name, v, report);
+                report.cycles
+            }
+            RunOutcome::Failed {
+                reason, watchdog, ..
+            } => {
+                self.stats.failed += 1;
+                if *watchdog {
+                    self.stats.watchdog_aborted += 1;
+                }
+                journal_failure(w.name, v, reason, *watchdog);
+                0
+            }
+        };
+        self.runs.insert((w.name, v), outcome);
+        cycles
+    }
+
     /// Simulate every not-yet-cached `(workload, variant)` pair of `jobs`
     /// in parallel (work-queue over `PSA_THREADS` workers), then serve all
     /// of them from the memo. Results are bit-identical to running the
     /// same jobs serially, in any order: each run is independent and owns
-    /// its seeded RNG.
+    /// its seeded RNG. A panicking or watchdog-stalled job becomes a
+    /// [`RunOutcome::Failed`] entry; the rest of the batch completes
+    /// unperturbed.
     pub fn run_batch(
         &mut self,
         config: SimConfig,
@@ -408,11 +661,9 @@ impl RunCache {
             let mut cycles = 0;
             for &(w, v) in &todo {
                 let t0 = Instant::now();
-                let report = simulate(config, w, v);
+                let outcome = run_job(config, w, v);
                 busy += t0.elapsed();
-                cycles += report.cycles;
-                journal_run(w.name, v, &report);
-                self.runs.insert((w.name, v), report);
+                cycles += self.admit(w, v, outcome);
             }
             if self.stats.per_thread.is_empty() {
                 self.stats.per_thread = vec![0];
@@ -423,19 +674,19 @@ impl RunCache {
         }
 
         let next = AtomicUsize::new(0);
-        let done: Mutex<Vec<(usize, RunReport, Duration)>> = Mutex::new(Vec::new());
+        let done: Mutex<Vec<(usize, RunOutcome, Duration)>> = Mutex::new(Vec::new());
         let mut thread_runs = vec![0u64; workers];
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
-                        let mut local: Vec<(usize, RunReport, Duration)> = Vec::new();
+                        let mut local: Vec<(usize, RunOutcome, Duration)> = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&(w, v)) = todo.get(i) else { break };
                             let t0 = Instant::now();
-                            let report = simulate(config, w, v);
-                            local.push((i, report, t0.elapsed()));
+                            let outcome = run_job(config, w, v);
+                            local.push((i, outcome, t0.elapsed()));
                         }
                         let count = local.len() as u64;
                         done.lock().expect("unpoisoned results").extend(local);
@@ -453,12 +704,10 @@ impl RunCache {
         let mut busy = Duration::ZERO;
         let mut cycles = 0;
         let n = results.len();
-        for (i, report, dur) in results {
+        for (i, outcome, dur) in results {
             busy += dur;
-            cycles += report.cycles;
             let (w, v) = todo[i];
-            journal_run(w.name, v, &report);
-            self.runs.insert((w.name, v), report);
+            cycles += self.admit(w, v, outcome);
         }
         if self.stats.per_thread.len() < workers {
             self.stats.per_thread.resize(workers, 0);
@@ -470,33 +719,81 @@ impl RunCache {
         n
     }
 
+    /// Simulate (or recall) `workload` under `variant`, keeping the fault
+    /// as a value.
+    pub fn outcome(
+        &mut self,
+        config: SimConfig,
+        workload: &'static WorkloadSpec,
+        variant: Variant,
+    ) -> &RunOutcome {
+        if self.runs.contains_key(&(workload.name, variant)) {
+            self.stats.memo_hits += 1;
+            G_MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let t0 = Instant::now();
+            let outcome = run_job(config, workload, variant);
+            let dur = t0.elapsed();
+            let cycles = self.admit(workload, variant, outcome);
+            if self.stats.per_thread.is_empty() {
+                self.stats.per_thread = vec![0];
+            }
+            self.stats.per_thread[0] += 1;
+            self.record(1, dur, dur, cycles);
+        }
+        &self.runs[&(workload.name, variant)]
+    }
+
+    /// Whether `(workload, variant)` is cached with a completed report —
+    /// figures use this to render explicit gaps for failed jobs.
+    pub fn completed(&self, workload: &'static WorkloadSpec, variant: Variant) -> bool {
+        matches!(
+            self.runs.get(&(workload.name, variant)),
+            Some(RunOutcome::Ok(_))
+        )
+    }
+
+    /// The subset of `workloads` for which every listed variant completed
+    /// (after a `run_batch` of the cross product): the rows a figure can
+    /// still render. A shrunken result is the "partial results with
+    /// explicit gaps" contract — the failures themselves are in
+    /// [`failures_json`].
+    pub fn surviving<'w>(
+        &self,
+        workloads: &[&'w WorkloadSpec],
+        variants: &[Variant],
+    ) -> Vec<&'w WorkloadSpec>
+    where
+        'w: 'static,
+    {
+        workloads
+            .iter()
+            .filter(|w| variants.iter().all(|&v| self.completed(w, v)))
+            .copied()
+            .collect()
+    }
+
     /// Simulate (or recall) `workload` under `variant`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the recorded reason) when the job failed — callers
+    /// that tolerate gaps use [`RunCache::outcome`] / [`RunCache::completed`].
     pub fn run(
         &mut self,
         config: SimConfig,
         workload: &'static WorkloadSpec,
         variant: Variant,
     ) -> &RunReport {
-        match self.runs.entry((workload.name, variant)) {
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                let t0 = Instant::now();
-                let report = simulate(config, workload, variant);
-                let dur = t0.elapsed();
-                let cycles = report.cycles;
-                journal_run(workload.name, variant, &report);
-                slot.insert(report);
-                if self.stats.per_thread.is_empty() {
-                    self.stats.per_thread = vec![0];
-                }
-                self.stats.per_thread[0] += 1;
-                self.record(1, dur, dur, cycles);
-            }
-            std::collections::hash_map::Entry::Occupied(_) => {
-                self.stats.memo_hits += 1;
-                G_MEMO_HITS.fetch_add(1, Ordering::Relaxed);
-            }
+        match self.outcome(config, workload, variant) {
+            RunOutcome::Ok(report) => report,
+            RunOutcome::Failed {
+                workload,
+                variant,
+                reason,
+                ..
+            } => panic!("run {}/{} failed: {reason}", workload, variant.label()),
         }
-        &self.runs[&(workload.name, variant)]
     }
 
     /// IPC ratio of `num` over `den` for one workload.
@@ -516,13 +813,14 @@ impl RunCache {
         }
     }
 
-    /// Every cached run as a JSON array of `{workload, variant, report}`,
-    /// sorted by (workload, variant label) for stable output.
+    /// Every cached completed run as a JSON array of
+    /// `{workload, variant, report}`, sorted by (workload, variant label)
+    /// for stable output. Failed jobs are in [`failures_json`], not here.
     pub fn runs_json(&self) -> Json {
         let mut entries: Vec<(&'static str, String, &RunReport)> = self
             .runs
             .iter()
-            .map(|(&(w, v), r)| (w, v.label(), r))
+            .filter_map(|(&(w, v), outcome)| outcome.report().map(|r| (w, v.label(), r)))
             .collect();
         entries.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
         Json::Arr(
@@ -542,16 +840,18 @@ impl RunCache {
 
 /// Assemble the standard `BENCH_<figure>.json` document: schema version,
 /// figure id and title, the run configuration, the figure-specific `rows`,
-/// and the process-wide executor statistics. With `PSA_JSON_RUNS=1` the
-/// raw per-run reports executed so far ride along under `"runs"` (see
+/// the process-wide `failures` journal (empty on a clean process), and
+/// the process-wide executor statistics. With `PSA_JSON_RUNS=1` the raw
+/// per-run reports executed so far ride along under `"runs"` (see
 /// [`journal_json`]).
 pub fn doc(figure: &str, title: &str, settings: &Settings, rows: Json) -> Json {
     let mut doc = Json::obj([
-        ("schema_version", Json::uint(1)),
+        ("schema_version", Json::uint(2)),
         ("figure", Json::str(figure)),
         ("title", Json::str(title)),
         ("config", report::sim_config(&settings.config)),
         ("rows", rows),
+        ("failures", failures_json()),
         ("executor", global_stats().to_json()),
     ]);
     if json_runs_enabled() {
@@ -704,12 +1004,121 @@ mod tests {
             "title",
             "config",
             "rows",
+            "failures",
             "executor",
         ] {
             assert!(doc.get(field).is_some(), "missing {field}");
         }
+        assert_eq!(doc.get("schema_version").unwrap(), &Json::uint(2));
         // Round-trips through the hand-rolled parser.
         assert_eq!(Json::parse(&doc.pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn strict_env_parsing_reports_the_offender() {
+        let _guard = env_lock();
+        std::env::set_var("PSA_THREADS", "banana");
+        let e = try_threads().unwrap_err();
+        std::env::remove_var("PSA_THREADS");
+        match e {
+            SimError::EnvVar { var, value, .. } => {
+                assert_eq!(var, "PSA_THREADS");
+                assert_eq!(value, "banana");
+            }
+            other => panic!("expected EnvVar, got {other}"),
+        }
+
+        std::env::set_var("PSA_WORKLOAD_LIMIT", "0");
+        let e = Settings::default().try_workloads().unwrap_err();
+        std::env::remove_var("PSA_WORKLOAD_LIMIT");
+        assert!(e.to_string().contains("PSA_WORKLOAD_LIMIT"), "{e}");
+
+        std::env::set_var("PSA_MIXES", "-3");
+        let e = Settings::default().try_mixes().unwrap_err();
+        std::env::remove_var("PSA_MIXES");
+        assert!(e.to_string().contains("-3"), "{e}");
+    }
+
+    #[test]
+    fn unknown_workload_is_a_value_not_a_panic() {
+        assert!(matches!(
+            workload("nope"),
+            Err(SimError::UnknownWorkload { .. })
+        ));
+        assert_eq!(workload("lbm").unwrap().name, "lbm");
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_memoised() {
+        let _guard = env_lock();
+        let lbm = catalog::workload("lbm").unwrap();
+        let milc = catalog::workload("milc").unwrap();
+
+        // Clean reference for the job that survives the faulty batch.
+        let mut clean = RunCache::new();
+        let reference = clean.run(quick(), milc, Variant::NoPrefetch).clone();
+
+        std::env::set_var("PSA_INJECT_PANIC", "lbm/no-prefetch");
+        let mut cache = RunCache::new();
+        cache.run_batch(
+            quick(),
+            &[(lbm, Variant::NoPrefetch), (milc, Variant::NoPrefetch)],
+        );
+        // The panicking job became a Failed value; the batch completed and
+        // the surviving run is bit-identical to the clean reference.
+        match cache.outcome(quick(), lbm, Variant::NoPrefetch) {
+            RunOutcome::Failed {
+                reason, watchdog, ..
+            } => {
+                assert!(reason.contains("injected panic"), "{reason}");
+                assert!(!watchdog);
+            }
+            RunOutcome::Ok(_) => panic!("injected panic was not recorded"),
+        }
+        assert_eq!(cache.run(quick(), milc, Variant::NoPrefetch), &reference);
+        assert_eq!(cache.stats().failed, 1);
+        assert_eq!(
+            cache.surviving(&[lbm, milc], &[Variant::NoPrefetch]),
+            vec![milc]
+        );
+        // Faults are deterministic, so the failure is memoised: asking
+        // again (even with the injection cleared) must not re-simulate.
+        std::env::remove_var("PSA_INJECT_PANIC");
+        let hits = cache.stats().memo_hits;
+        assert!(!cache.completed(lbm, Variant::NoPrefetch));
+        assert!(matches!(
+            cache.outcome(quick(), lbm, Variant::NoPrefetch),
+            RunOutcome::Failed { .. }
+        ));
+        assert_eq!(cache.stats().memo_hits, hits + 1);
+        // The process-wide failure journal picked the fault up.
+        let failures = failures_json();
+        let arr = failures.as_arr().unwrap();
+        assert!(arr.iter().any(|f| {
+            f.get("workload").unwrap().as_str() == Some("lbm")
+                && f.get("variant").unwrap().as_str() == Some("no-prefetch")
+        }));
+    }
+
+    #[test]
+    fn injected_stall_trips_the_watchdog() {
+        let _guard = env_lock();
+        std::env::set_var("PSA_INJECT_STALL", "lbm/no-prefetch");
+        let outcome = run_job(
+            quick(),
+            catalog::workload("lbm").unwrap(),
+            Variant::NoPrefetch,
+        );
+        std::env::remove_var("PSA_INJECT_STALL");
+        match outcome {
+            RunOutcome::Failed {
+                reason, watchdog, ..
+            } => {
+                assert!(watchdog);
+                assert!(reason.contains("no retire/drain progress"), "{reason}");
+            }
+            RunOutcome::Ok(_) => panic!("stall injection did not trip the watchdog"),
+        }
     }
 
     #[test]

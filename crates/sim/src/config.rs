@@ -1,5 +1,6 @@
 //! Simulation configuration — Table I of the paper as a value.
 
+use crate::error::SimError;
 use psa_cache::CacheConfig;
 use psa_core::ppm::PageSizeSource;
 use psa_core::{ModuleConfig, SdConfig};
@@ -66,6 +67,15 @@ pub struct SimConfig {
     pub instructions: u64,
     /// Master seed (trace generation, frame placement, THP decisions).
     pub seed: u64,
+    /// Forward-progress watchdog: abort a run after this many simulated
+    /// cycles without a ROB retirement or an MSHR drain anywhere in the
+    /// machine. `0` disables the watchdog. Real runs retire every few
+    /// cycles once the ROB fills and drain on every memory access, so the
+    /// default of two million cycles only fires on genuine livelock.
+    pub watchdog_cycles: u64,
+    /// Run the hierarchy invariant audits at drain points (also enabled by
+    /// `PSA_CHECK=1` in the environment).
+    pub check: bool,
 }
 
 impl Default for SimConfig {
@@ -103,6 +113,8 @@ impl SimConfig {
             warmup: 100_000,
             instructions: 300_000,
             seed: 0xC0FFEE,
+            watchdog_cycles: 2_000_000,
+            check: false,
         }
     }
 
@@ -124,16 +136,80 @@ impl SimConfig {
         self
     }
 
-    /// Apply `PSA_WARMUP` / `PSA_INSTRUCTIONS` environment overrides, so
-    /// the benchmark harnesses can be scaled up without recompiling.
-    pub fn with_env_overrides(mut self) -> Self {
-        if let Some(v) = env_u64("PSA_WARMUP") {
+    /// Override the forward-progress watchdog threshold (`0` disables).
+    pub fn with_watchdog(mut self, cycles: u64) -> Self {
+        self.watchdog_cycles = cycles;
+        self
+    }
+
+    /// Enable or disable the hierarchy invariant audits.
+    pub fn with_check(mut self, check: bool) -> Self {
+        self.check = check;
+        self
+    }
+
+    /// Apply `PSA_WARMUP` / `PSA_INSTRUCTIONS` / `PSA_WATCHDOG` /
+    /// `PSA_CHECK` environment overrides, so the benchmark harnesses can
+    /// be scaled up without recompiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a set variable does not parse — use
+    /// [`SimConfig::try_with_env_overrides`] to handle that as a value.
+    pub fn with_env_overrides(self) -> Self {
+        self.try_with_env_overrides()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`SimConfig::with_env_overrides`]: a set but
+    /// malformed variable is an error naming the variable and the value,
+    /// never a silently ignored knob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EnvVar`] when a set variable does not parse.
+    pub fn try_with_env_overrides(mut self) -> Result<Self, SimError> {
+        if let Some(v) = env_u64("PSA_WARMUP")? {
             self.warmup = v;
         }
-        if let Some(v) = env_u64("PSA_INSTRUCTIONS") {
+        if let Some(v) = env_u64("PSA_INSTRUCTIONS")? {
             self.instructions = v;
         }
-        self
+        if let Some(v) = env_u64("PSA_WATCHDOG")? {
+            self.watchdog_cycles = v;
+        }
+        if let Some(v) = env_flag("PSA_CHECK")? {
+            self.check = v;
+        }
+        Ok(self)
+    }
+
+    /// Check the scalar run parameters before building a machine: the
+    /// structural shapes (cache geometry, DRAM, set-dueling layout) are
+    /// validated by their own constructors on `System::try_*`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |what: &str| Err(SimError::Config { what: what.into() });
+        if self.cores == 0 {
+            return bad("cores must be at least 1");
+        }
+        if self.instructions == 0 {
+            return bad("measured instructions must be non-zero");
+        }
+        if self.core.rob_entries == 0 || self.core.width == 0 {
+            return bad("degenerate core shape (zero ROB entries or width)");
+        }
+        for (name, c) in [("L1D", &self.l1d), ("L2C", &self.l2c), ("LLC", &self.llc)] {
+            if c.mshr_entries == 0 {
+                return Err(SimError::Config {
+                    what: format!("{name} needs at least one MSHR entry"),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Render the configuration as the paper's Table I.
@@ -196,8 +272,30 @@ impl SimConfig {
     }
 }
 
-fn env_u64(key: &str) -> Option<u64> {
-    std::env::var(key).ok().and_then(|v| v.parse().ok())
+fn env_u64(key: &str) -> Result<Option<u64>, SimError> {
+    match std::env::var(key) {
+        Err(_) => Ok(None),
+        Ok(raw) => raw.parse().map(Some).map_err(|_| SimError::EnvVar {
+            var: key.into(),
+            value: raw,
+            reason: "expected an unsigned integer".into(),
+        }),
+    }
+}
+
+fn env_flag(key: &str) -> Result<Option<bool>, SimError> {
+    match std::env::var(key) {
+        Err(_) => Ok(None),
+        Ok(raw) => match raw.as_str() {
+            "0" => Ok(Some(false)),
+            "1" => Ok(Some(true)),
+            _ => Err(SimError::EnvVar {
+                var: key.into(),
+                value: raw,
+                reason: "expected 0 or 1".into(),
+            }),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -240,5 +338,71 @@ mod tests {
         assert!(text.contains("352-entry ROB"));
         assert!(text.contains("3200 MT/s"));
         assert!(text.contains("L2C dueling"));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_shapes() {
+        SimConfig::default().validate().expect("Table I is sound");
+        let c = SimConfig {
+            instructions: 0,
+            ..SimConfig::default()
+        };
+        assert!(matches!(c.validate(), Err(SimError::Config { .. })));
+        let mut c = SimConfig::default();
+        c.l2c.mshr_entries = 0;
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("L2C"), "{err}");
+    }
+
+    // One test for all env-override behaviour: the variables are process
+    // globals, so splitting into multiple #[test] fns would race.
+    #[test]
+    fn env_overrides_parse_strictly() {
+        for k in [
+            "PSA_WARMUP",
+            "PSA_INSTRUCTIONS",
+            "PSA_WATCHDOG",
+            "PSA_CHECK",
+        ] {
+            std::env::remove_var(k);
+        }
+        let base = SimConfig::default();
+        assert_eq!(
+            base.try_with_env_overrides().unwrap().warmup,
+            base.warmup,
+            "unset variables leave the config alone"
+        );
+
+        std::env::set_var("PSA_WARMUP", "123");
+        std::env::set_var("PSA_WATCHDOG", "0");
+        std::env::set_var("PSA_CHECK", "1");
+        let c = base.try_with_env_overrides().unwrap();
+        assert_eq!(c.warmup, 123);
+        assert_eq!(c.watchdog_cycles, 0);
+        assert!(c.check);
+
+        std::env::set_var("PSA_WARMUP", "not-a-number");
+        let err = base.try_with_env_overrides().unwrap_err();
+        match &err {
+            SimError::EnvVar { var, value, .. } => {
+                assert_eq!(var, "PSA_WARMUP");
+                assert_eq!(value, "not-a-number");
+            }
+            other => panic!("expected EnvVar, got {other}"),
+        }
+        std::env::set_var("PSA_WARMUP", "123");
+        std::env::set_var("PSA_CHECK", "yes");
+        assert!(matches!(
+            base.try_with_env_overrides(),
+            Err(SimError::EnvVar { .. })
+        ));
+        for k in [
+            "PSA_WARMUP",
+            "PSA_INSTRUCTIONS",
+            "PSA_WATCHDOG",
+            "PSA_CHECK",
+        ] {
+            std::env::remove_var(k);
+        }
     }
 }

@@ -33,11 +33,13 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod metrics;
 pub mod report;
 pub mod system;
 
 pub use config::{L1dPrefKind, SimConfig};
+pub use error::{CoreStall, SimError, StallSnapshot};
 pub use metrics::{MultiReport, RunReport};
 pub use report::Json;
 pub use system::System;

@@ -606,6 +606,7 @@ pub fn sim_config(c: &SimConfig) -> Json {
         ("dram_mts", Json::uint(c.dram.mts)),
         ("sd_dedicated_sets", Json::uint(c.sd.dedicated_sets as u64)),
         ("sd_csel_bits", Json::uint(u64::from(c.sd.csel_bits))),
+        ("watchdog_cycles", Json::uint(c.watchdog_cycles)),
     ])
 }
 

@@ -28,6 +28,7 @@ use psa_traces::{TraceGenerator, WorkloadSpec};
 use psa_vmem::{AddressSpace, AspaceConfig, Mmu, PhysMem};
 
 use crate::config::{L1dPrefKind, SimConfig};
+use crate::error::{CoreStall, SimError, StallSnapshot};
 use crate::metrics::{cache_diff, dram_diff, MultiReport, RunReport};
 
 /// A late (demand-merged) prefetch still earns timely credit when the
@@ -615,14 +616,28 @@ impl System {
     /// # Panics
     ///
     /// Panics if the configuration is internally inconsistent (shapes that
-    /// cannot be built).
+    /// cannot be built) — see [`System::try_single_core`].
     pub fn single_core(
         config: SimConfig,
         workload: &WorkloadSpec,
         kind: PrefetcherKind,
         policy: PageSizePolicy,
     ) -> Self {
-        Self::build(config, &[workload], Some((kind, policy)))
+        Self::try_single_core(config, workload, kind, policy).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`System::single_core`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] on a machine that cannot be built.
+    pub fn try_single_core(
+        config: SimConfig,
+        workload: &WorkloadSpec,
+        kind: PrefetcherKind,
+        policy: PageSizePolicy,
+    ) -> Result<Self, SimError> {
+        Self::try_build(config, &[workload], Some((kind, policy)))
     }
 
     /// A single-core machine with **no prefetching at any level** — the
@@ -630,32 +645,69 @@ impl System {
     ///
     /// # Panics
     ///
-    /// Panics on inconsistent configuration.
+    /// Panics on inconsistent configuration — see [`System::try_baseline`].
     pub fn baseline(config: SimConfig, workload: &WorkloadSpec) -> Self {
-        Self::build(config, &[workload], None)
+        Self::try_baseline(config, workload).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`System::baseline`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] on a machine that cannot be built.
+    pub fn try_baseline(config: SimConfig, workload: &WorkloadSpec) -> Result<Self, SimError> {
+        Self::try_build(config, &[workload], None)
     }
 
     /// A multi-core machine; `workloads[i]` runs on core `i`.
     ///
     /// # Panics
     ///
-    /// Panics on inconsistent configuration or an empty workload list.
+    /// Panics on inconsistent configuration or an empty workload list —
+    /// see [`System::try_multi_core`].
     pub fn multi_core(
         config: SimConfig,
         workloads: &[&WorkloadSpec],
         kind: PrefetcherKind,
         policy: PageSizePolicy,
     ) -> Self {
-        Self::build(config, workloads, Some((kind, policy)))
+        Self::try_multi_core(config, workloads, kind, policy).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`System::multi_core`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] on a machine that cannot be built.
+    pub fn try_multi_core(
+        config: SimConfig,
+        workloads: &[&WorkloadSpec],
+        kind: PrefetcherKind,
+        policy: PageSizePolicy,
+    ) -> Result<Self, SimError> {
+        Self::try_build(config, workloads, Some((kind, policy)))
     }
 
     /// A multi-core machine with no prefetching.
     ///
     /// # Panics
     ///
-    /// Panics on inconsistent configuration or an empty workload list.
+    /// Panics on inconsistent configuration or an empty workload list —
+    /// see [`System::try_multi_core_baseline`].
     pub fn multi_core_baseline(config: SimConfig, workloads: &[&WorkloadSpec]) -> Self {
-        Self::build(config, workloads, None)
+        Self::try_multi_core_baseline(config, workloads).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`System::multi_core_baseline`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] on a machine that cannot be built.
+    pub fn try_multi_core_baseline(
+        config: SimConfig,
+        workloads: &[&WorkloadSpec],
+    ) -> Result<Self, SimError> {
+        Self::try_build(config, workloads, None)
     }
 
     /// A single-core machine with a caller-built prefetching module —
@@ -670,24 +722,33 @@ impl System {
         workload: &WorkloadSpec,
         make_module: &dyn Fn(usize) -> PsaModule,
     ) -> Self {
-        let mut sys = Self::build(config, &[workload], None);
+        let mut sys = Self::try_build(config, &[workload], None).unwrap_or_else(|e| panic!("{e}"));
         let sets = sys.ctxs[0].l2c.num_sets();
         sys.ctxs[0].module = Some(make_module(sets));
         sys
     }
 
-    fn build(
+    fn try_build(
         mut config: SimConfig,
         workloads: &[&WorkloadSpec],
         pref: Option<(PrefetcherKind, PageSizePolicy)>,
-    ) -> Self {
-        assert!(!workloads.is_empty(), "at least one workload");
+    ) -> Result<Self, SimError> {
+        if workloads.is_empty() {
+            return Err(SimError::Config {
+                what: "at least one workload is required".into(),
+            });
+        }
         config.cores = workloads.len();
+        config.validate()?;
+        let shape = |name: &str, e: &dyn std::fmt::Display| SimError::Config {
+            what: format!("{name}: {e}"),
+        };
         let shared = Shared {
-            llc: Cache::new(config.llc).expect("LLC shape"),
+            llc: Cache::new(config.llc).map_err(|e| shape("LLC", &e))?,
             llc_mshr: Mshr::new(config.llc.mshr_entries),
-            dram: Dram::new(config.dram).expect("DRAM shape"),
-            phys: PhysMem::new(config.phys, config.seed).expect("physical memory shape"),
+            dram: Dram::new(config.dram).map_err(|e| shape("DRAM", &e))?,
+            phys: PhysMem::new(config.phys, config.seed)
+                .map_err(|e| shape("physical memory", &e))?,
             feedback: Vec::new(),
         };
         let mut cores = Vec::new();
@@ -696,22 +757,27 @@ impl System {
         let mut names = Vec::new();
         for (i, w) in workloads.iter().enumerate() {
             cores.push(Core::new(config.core));
-            let l2c = Cache::new(config.l2c).expect("L2C shape");
-            let module = pref.map(|(kind, policy)| {
-                let source = match config.page_size_source {
-                    PageSizeSource::None => PageSizeSource::Ppm,
-                    s => s,
-                };
-                PsaModule::new(
-                    policy,
-                    source,
-                    &|grain| kind.build(grain),
-                    l2c.num_sets(),
-                    config.sd,
-                    config.module,
-                )
-                .expect("set-dueling shape fits the L2C")
-            });
+            let l2c = Cache::new(config.l2c).map_err(|e| shape("L2C", &e))?;
+            let module = match pref {
+                None => None,
+                Some((kind, policy)) => {
+                    let source = match config.page_size_source {
+                        PageSizeSource::None => PageSizeSource::Ppm,
+                        s => s,
+                    };
+                    Some(
+                        PsaModule::new(
+                            policy,
+                            source,
+                            &|grain| kind.build(grain),
+                            l2c.num_sets(),
+                            config.sd,
+                            config.module,
+                        )
+                        .map_err(|e| shape("prefetching module", &e))?,
+                    )
+                }
+            };
             let l1d_pref = match config.l1d_prefetcher {
                 L1dPrefKind::None => None,
                 L1dPrefKind::NextLine => Some(L1dPref::NextLine(NextLineL1d::new(1))),
@@ -730,8 +796,8 @@ impl System {
                     huge_fraction: w.huge_fraction,
                     seed: config.seed ^ (i as u64).wrapping_mul(0x9e37),
                 }),
-                mmu: Mmu::new(config.mmu).expect("MMU shape"),
-                l1d: Cache::new(config.l1d).expect("L1D shape"),
+                mmu: Mmu::new(config.mmu).map_err(|e| shape("MMU", &e))?,
+                l1d: Cache::new(config.l1d).map_err(|e| shape("L1D", &e))?,
                 l1d_mshr: Mshr::new(config.l1d.mshr_entries),
                 l2c,
                 l2c_mshr: Mshr::new(config.l2c.mshr_entries),
@@ -751,14 +817,14 @@ impl System {
             ));
             names.push(w.name);
         }
-        Self {
+        Ok(Self {
             config,
             cores,
             ctxs,
             shared,
             gens,
             names,
-        }
+        })
     }
 
     fn snap_core(cores: &[Core], ctx: &CoreCtx, i: usize) -> CoreSnap {
@@ -773,7 +839,133 @@ impl System {
         }
     }
 
-    fn run_all(&mut self) -> RunAllOut {
+    /// Total forward-progress events so far: ROB retirements plus MSHR
+    /// drains anywhere in the machine. In the time-warp timing model a
+    /// livelock shows up as simulated time advancing with this sum frozen
+    /// — the signal the watchdog monitors.
+    fn progress_events(&self) -> u64 {
+        let core_retires: u64 = self.cores.iter().map(|c| c.stats().retired).sum();
+        let private_drains: u64 = self
+            .ctxs
+            .iter()
+            .map(|c| c.l1d_mshr.stats().drained + c.l2c_mshr.stats().drained)
+            .sum();
+        core_retires + private_drains + self.shared.llc_mshr.stats().drained
+    }
+
+    fn stall_snapshot(&self, cycle: u64, last_progress_cycle: u64) -> StallSnapshot {
+        StallSnapshot {
+            cycle,
+            last_progress_cycle,
+            watchdog_cycles: self.config.watchdog_cycles,
+            cores: self
+                .cores
+                .iter()
+                .zip(&self.ctxs)
+                .enumerate()
+                .map(|(i, (core, ctx))| CoreStall {
+                    core: i,
+                    now: core.now(),
+                    rob_len: core.rob_len(),
+                    rob_head_completion: core.rob_head(),
+                    retired: core.stats().retired,
+                    l1d_mshr: ctx.l1d_mshr.len(),
+                    l2c_mshr: ctx.l2c_mshr.len(),
+                })
+                .collect(),
+            llc_mshr: self.shared.llc_mshr.len(),
+            llc_mshr_capacity: self.shared.llc_mshr.capacity(),
+            dram_busy_banks: self.shared.dram.busy_banks(cycle),
+            dram_latest_free_at: self.shared.dram.latest_bank_free_at(),
+        }
+    }
+
+    /// Audit the whole hierarchy's invariants (the `PSA_CHECK=1` checker):
+    /// MSHR leak freedom, cache tag/valid consistency, set-dueling leader
+    /// layout, annotation-bit ownership, and page-table/frame-map
+    /// agreement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invariant`] naming the violated structure.
+    pub fn audit(&self) -> Result<(), SimError> {
+        let fail = |what: String| Err(SimError::Invariant { what });
+        let ncores = self.ctxs.len() as u8;
+        for (i, ctx) in self.ctxs.iter().enumerate() {
+            let at = |s: String| SimError::Invariant {
+                what: format!("core {i}: {s}"),
+            };
+            ctx.l1d_mshr.audit().map_err(|s| at(format!("L1D {s}")))?;
+            ctx.l2c_mshr.audit().map_err(|s| at(format!("L2C {s}")))?;
+            ctx.l1d.audit().map_err(&at)?;
+            ctx.l2c.audit().map_err(&at)?;
+            // Annotation-bit ownership: an L2C prefetched block's source is
+            // `(core << 1) | competitor`, and the core must be this one.
+            for b in ctx.l2c.valid_blocks() {
+                if b.prefetched && usize::from(b.source >> 1) != i {
+                    return fail(format!(
+                        "core {i}: L2C prefetched block {} annotated with source {:#04x} \
+                         owned by core {}",
+                        b.line,
+                        b.source,
+                        b.source >> 1
+                    ));
+                }
+            }
+            if let Some(sd) = ctx.module.as_ref().and_then(|m| m.dueling()) {
+                sd.audit(ctx.l2c.num_sets()).map_err(&at)?;
+            }
+        }
+        self.shared
+            .llc_mshr
+            .audit()
+            .map_err(|s| SimError::Invariant {
+                what: format!("LLC {s}"),
+            })?;
+        self.shared
+            .llc
+            .audit()
+            .map_err(|s| SimError::Invariant { what: s })?;
+        // LLC-tracked prefetched blocks must name an existing core; the
+        // pass-through bit is stripped before the block is marked
+        // prefetched, so it must never appear here.
+        for b in self.shared.llc.valid_blocks() {
+            if b.prefetched && (b.source & PASS != 0 || b.source >> 1 >= ncores) {
+                return fail(format!(
+                    "LLC prefetched block {} annotated with source {:#04x} \
+                     (cores: {ncores})",
+                    b.line, b.source
+                ));
+            }
+        }
+        // Frame-map agreement: address spaces and their page tables are
+        // the only allocator clients, so the allocator's books must equal
+        // the sum over cores.
+        let bytes_2m: u64 = self.ctxs.iter().map(|c| c.aspace.bytes_2m()).sum();
+        let bytes_4k: u64 = self
+            .ctxs
+            .iter()
+            .map(|c| c.aspace.bytes_4k() + c.aspace.page_table_nodes() as u64 * 4096)
+            .sum();
+        if self.shared.phys.allocated_2m_bytes() != bytes_2m {
+            return fail(format!(
+                "frame map: {} bytes in 2MB frames allocated vs {} mapped by address spaces",
+                self.shared.phys.allocated_2m_bytes(),
+                bytes_2m
+            ));
+        }
+        if self.shared.phys.allocated_4k_bytes() != bytes_4k {
+            return fail(format!(
+                "frame map: {} bytes in 4KB frames allocated vs {} mapped by address \
+                 spaces and page tables",
+                self.shared.phys.allocated_4k_bytes(),
+                bytes_4k
+            ));
+        }
+        Ok(())
+    }
+
+    fn run_all(&mut self) -> Result<RunAllOut, SimError> {
         let n = self.cores.len();
         let total = self.config.warmup + self.config.instructions;
         let mut executed = vec![0u64; n];
@@ -783,6 +975,10 @@ impl System {
         let mut active: Vec<usize> = (0..n).collect();
         let mut thp_series = Vec::new();
         let sample_every = (total / 24).max(1);
+        let check = self.config.check || std::env::var("PSA_CHECK").is_ok_and(|v| v == "1");
+        let watchdog = self.config.watchdog_cycles;
+        let mut last_progress = self.progress_events();
+        let mut last_progress_cycle = 0u64;
         while !active.is_empty() {
             // Step the core that is earliest in simulated time.
             let (pos, &i) = active
@@ -790,6 +986,20 @@ impl System {
                 .enumerate()
                 .min_by_key(|(_, &i)| self.cores[i].now())
                 .expect("non-empty active set");
+            if watchdog > 0 {
+                // The stepped core's fetch cycle is the global low
+                // watermark of simulated time.
+                let now = self.cores[i].now();
+                let progress = self.progress_events();
+                if progress != last_progress {
+                    last_progress = progress;
+                    last_progress_cycle = now;
+                } else if now.saturating_sub(last_progress_cycle) > watchdog {
+                    return Err(SimError::WatchdogStall(Box::new(
+                        self.stall_snapshot(now, last_progress_cycle),
+                    )));
+                }
+            }
             let instr: Instr = self.gens[i].next().expect("generator is infinite");
             {
                 let mut port = Port {
@@ -833,26 +1043,50 @@ impl System {
                 snaps[i] = Self::snap_core(&self.cores, &self.ctxs[i], i);
                 if warm.iter().all(|&w| w) {
                     shared_snap = (self.shared.llc.stats(), self.shared.dram.stats());
+                    if check {
+                        self.audit()?;
+                    }
                 }
             }
             if executed[i] == total {
                 active.swap_remove(pos);
             }
         }
+        if check {
+            self.audit()?;
+        }
         let finish: Vec<u64> = self.cores.iter_mut().map(|c| c.drain()).collect();
         let llc = cache_diff(self.shared.llc.stats(), shared_snap.0);
         let dram = dram_diff(self.shared.dram.stats(), shared_snap.1);
-        (snaps, finish, llc, dram, thp_series)
+        Ok((snaps, finish, llc, dram, thp_series))
     }
 
     /// Run a single-core system to completion.
     ///
     /// # Panics
     ///
+    /// Panics if the system was built with more than one core, on a
+    /// watchdog stall, or on an invariant violation — see
+    /// [`System::try_run`].
+    pub fn run(self) -> RunReport {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run a single-core system to completion, reporting watchdog stalls
+    /// and invariant violations as values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WatchdogStall`] when the forward-progress
+    /// watchdog fires, or [`SimError::Invariant`] when the audits are
+    /// enabled and fail.
+    ///
+    /// # Panics
+    ///
     /// Panics if the system was built with more than one core.
-    pub fn run(mut self) -> RunReport {
+    pub fn try_run(mut self) -> Result<RunReport, SimError> {
         assert_eq!(self.cores.len(), 1, "use run_multi for multi-core systems");
-        let (snaps, finish, llc, dram, thp_series) = self.run_all();
+        let (snaps, finish, llc, dram, thp_series) = self.run_all()?;
         let snap = &snaps[0];
         let ctx = &self.ctxs[0];
         let l2c = cache_diff(ctx.l2c.stats(), snap.l2c);
@@ -875,7 +1109,7 @@ impl System {
             (Some(end), Some(start)) => Some(boundary_diff(end, start)),
             (b, _) => b,
         };
-        RunReport {
+        Ok(RunReport {
             workload: self.names[0],
             instructions: self.config.instructions,
             cycles: finish[0].saturating_sub(snap.cycle).max(1),
@@ -900,24 +1134,41 @@ impl System {
                 d[7] = ctx.debug[7];
                 d
             },
-        }
+        })
     }
 
     /// Run a multi-core system to completion.
-    pub fn run_multi(mut self) -> MultiReport {
+    ///
+    /// # Panics
+    ///
+    /// Panics on a watchdog stall or an invariant violation — see
+    /// [`System::try_run_multi`].
+    pub fn run_multi(self) -> MultiReport {
+        self.try_run_multi().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run a multi-core system to completion, reporting watchdog stalls
+    /// and invariant violations as values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WatchdogStall`] when the forward-progress
+    /// watchdog fires, or [`SimError::Invariant`] when the audits are
+    /// enabled and fail.
+    pub fn try_run_multi(mut self) -> Result<MultiReport, SimError> {
         let instructions = self.config.instructions;
-        let (snaps, finish, llc, dram, _) = self.run_all();
+        let (snaps, finish, llc, dram, _) = self.run_all()?;
         let ipc = snaps
             .iter()
             .zip(&finish)
             .map(|(s, &f)| instructions as f64 / f.saturating_sub(s.cycle).max(1) as f64)
             .collect();
-        MultiReport {
+        Ok(MultiReport {
             workloads: self.names.clone(),
             ipc,
             llc,
             dram,
-        }
+        })
     }
 }
 
@@ -1079,5 +1330,103 @@ mod tests {
         cfg.l1d_prefetcher = L1dPrefKind::IpcpPlusPlus;
         let r = System::baseline(cfg, catalog::workload("lbm").unwrap()).run();
         assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn try_build_reports_bad_shapes_as_values() {
+        let mut cfg = quick();
+        cfg.sd.dedicated_sets = 4096; // cannot fit the 1024-set L2C
+        let err = System::try_single_core(
+            cfg,
+            catalog::workload("lbm").unwrap(),
+            PrefetcherKind::Spp,
+            PageSizePolicy::PsaSd,
+        )
+        .err()
+        .expect("oversized dueling groups must be rejected");
+        assert!(matches!(err, SimError::Config { .. }), "{err}");
+        assert!(err.to_string().contains("module"), "{err}");
+    }
+
+    #[test]
+    fn watchdog_aborts_a_crafted_stall_with_a_snapshot() {
+        // Threshold 1: nothing retires before the ROB fills (352 entries)
+        // and nothing drains before the first fill matures, but the fetch
+        // cycle advances every 4 instructions — so the gap exceeds one
+        // cycle almost immediately and the "stall" is detected.
+        let cfg = quick().with_watchdog(1);
+        let sys = System::single_core(
+            cfg,
+            catalog::workload("lbm").unwrap(),
+            PrefetcherKind::Spp,
+            PageSizePolicy::Psa,
+        );
+        match sys.try_run() {
+            Err(SimError::WatchdogStall(snap)) => {
+                assert_eq!(snap.watchdog_cycles, 1);
+                assert!(snap.cycle > snap.last_progress_cycle + 1);
+                assert_eq!(snap.cores.len(), 1);
+                assert_eq!(snap.cores[0].retired, 0, "no retirement yet");
+                assert_eq!(snap.llc_mshr_capacity, 64);
+            }
+            other => panic!("expected a watchdog stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_disabled_and_default_let_runs_finish() {
+        let w = catalog::workload("lbm").unwrap();
+        let on = System::single_core(quick(), w, PrefetcherKind::Spp, PageSizePolicy::Psa)
+            .try_run()
+            .expect("default threshold never fires on a healthy run");
+        let off = System::single_core(
+            quick().with_watchdog(0),
+            w,
+            PrefetcherKind::Spp,
+            PageSizePolicy::Psa,
+        )
+        .try_run()
+        .expect("disabled watchdog");
+        assert_eq!(on.cycles, off.cycles, "watchdog must not perturb timing");
+    }
+
+    #[test]
+    fn invariant_checker_passes_on_seeded_runs() {
+        let w = catalog::workload("milc").unwrap();
+        let checked = System::single_core(
+            quick().with_check(true),
+            w,
+            PrefetcherKind::Spp,
+            PageSizePolicy::PsaSd,
+        )
+        .try_run()
+        .expect("audits hold on a healthy seeded run");
+        let plain =
+            System::single_core(quick(), w, PrefetcherKind::Spp, PageSizePolicy::PsaSd).run();
+        assert_eq!(
+            checked.cycles, plain.cycles,
+            "read-only audits must not perturb timing"
+        );
+        assert_eq!(checked.l2c.demand_misses, plain.l2c.demand_misses);
+
+        // Multi-core: exercises cross-core annotation ownership and the
+        // shared frame-map reconciliation.
+        System::multi_core(
+            SimConfig::for_cores(2)
+                .with_warmup(1_000)
+                .with_instructions(4_000)
+                .with_check(true),
+            &[w, catalog::workload("mcf").unwrap()],
+            PrefetcherKind::Spp,
+            PageSizePolicy::PsaSd,
+        )
+        .try_run_multi()
+        .expect("audits hold on a multi-core run");
+    }
+
+    #[test]
+    fn audit_runs_on_a_fresh_machine() {
+        let sys = System::baseline(quick(), catalog::workload("lbm").unwrap());
+        sys.audit().expect("an untouched machine is consistent");
     }
 }

@@ -171,6 +171,13 @@ impl AddressSpace {
         self.bytes_2m
     }
 
+    /// Interior page-table nodes backing this space, each holding one 4KB
+    /// frame — lets the `PSA_CHECK=1` checker reconcile the frame
+    /// allocator's books against every consumer.
+    pub fn page_table_nodes(&self) -> usize {
+        self.page_table.as_ref().map_or(0, |pt| pt.node_count())
+    }
+
     /// Fraction of the *touched* working set backed by 2MB pages — the
     /// Figure 3 metric. Touch-weighted (distinct 4KB chunks actually
     /// accessed) rather than allocation-weighted, because one sparse touch
