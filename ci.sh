@@ -38,4 +38,47 @@ if compgen -G "${PSA_BENCH_JSON_DIR:-bench_results}/BENCH_*.json" > /dev/null; t
   echo "no failures recorded"
 fi
 
+# Checkpoint determinism gate (see docs/CHECKPOINT.md): run the fig08
+# bench cold, then again warmed from the on-disk checkpoint store. The
+# stable document sections must match byte for byte, and the warmed
+# batch must be >=1.5x faster (the warm-up work is skipped, not redone).
+echo "== checkpoint determinism gate (fig08 cold vs warm) =="
+CKPT_TMP="$(mktemp -d)"
+COLD_TMP="$(mktemp -d)"
+WARM_TMP="$(mktemp -d)"
+trap 'rm -rf "$CKPT_TMP" "$COLD_TMP" "$WARM_TMP"' EXIT
+# Warm-up-dominated budget so the gate measures checkpointing, not
+# parallelism (it must hold on a single-core runner too).
+CKPT_ENV=(PSA_WARMUP=60000 PSA_INSTRUCTIONS=20000 PSA_WORKLOAD_LIMIT=4
+          PSA_THREADS=1 PSA_CKPT_DIR="$CKPT_TMP")
+env "${CKPT_ENV[@]}" PSA_BENCH_JSON_DIR="$COLD_TMP" \
+  cargo bench -q -p psa-bench --bench fig08_spp_variants > /dev/null
+env "${CKPT_ENV[@]}" PSA_BENCH_JSON_DIR="$WARM_TMP" \
+  cargo bench -q -p psa-bench --bench fig08_spp_variants > /dev/null
+# Everything up to the executor timing block is deterministic output.
+for d in "$COLD_TMP" "$WARM_TMP"; do
+  sed -n '1,/"executor"/p' "$d/BENCH_fig08.json" > "$d/stable.json"
+done
+if ! cmp -s "$COLD_TMP/stable.json" "$WARM_TMP/stable.json"; then
+  echo "checkpoint-warmed fig08 rows differ from the cold run:"
+  diff "$COLD_TMP/stable.json" "$WARM_TMP/stable.json" | head -20
+  exit 1
+fi
+grep -q '"ckpt_hits": 0' "$WARM_TMP/BENCH_fig08.json" && {
+  echo "warm run restored nothing from $CKPT_TMP"; exit 1; }
+ratio_ok="$(awk '
+  match($0, /"batch_wall_seconds": [0-9.eE+-]+/) {
+    v[++n] = substr($0, RSTART + 22, RLENGTH - 22)
+  }
+  END { exit !(n == 2 && v[2] > 0 && v[1] / v[2] >= 1.5) }
+' "$COLD_TMP/BENCH_fig08.json" "$WARM_TMP/BENCH_fig08.json" \
+  && echo yes || echo no)"
+if [ "$ratio_ok" != yes ]; then
+  echo "warm batch is not >=1.5x faster than cold:"
+  grep '"batch_wall_seconds"' "$COLD_TMP/BENCH_fig08.json" \
+                              "$WARM_TMP/BENCH_fig08.json"
+  exit 1
+fi
+echo "rows identical, warm-up sharing >=1.5x faster"
+
 echo "ci.sh: all green"

@@ -128,7 +128,7 @@ pub struct Evicted {
     pub prefetch_source: u8,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct Block {
     line: PLine,
     valid: bool,
@@ -192,6 +192,33 @@ pub struct Cache {
     stamp: u64,
     stats: CacheStats,
 }
+
+psa_common::persist_struct!(Block {
+    line,
+    valid,
+    dirty,
+    prefetched,
+    source,
+    used,
+    last_use,
+});
+
+psa_common::persist_struct!(CacheStats {
+    demand_hits,
+    demand_misses,
+    prefetch_fills,
+    useful_prefetches,
+    useless_prefetches,
+    writebacks,
+});
+
+// `config` and `sets` are geometry, rebuilt from the simulation
+// configuration; only the array contents and counters are state.
+psa_common::persist_struct!(Cache {
+    blocks,
+    stamp,
+    stats,
+});
 
 impl Cache {
     /// Build a cache of the given shape.

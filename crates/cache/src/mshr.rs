@@ -8,7 +8,7 @@
 use psa_common::PLine;
 
 /// Metadata attached to an in-flight miss.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MshrMeta {
     /// True when the fill was initiated by a prefetcher (vs. a demand miss).
     pub is_prefetch: bool,
@@ -44,7 +44,7 @@ impl MshrMeta {
 }
 
 /// One in-flight miss.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MshrEntry {
     /// The physical line being fetched.
     pub line: PLine,
@@ -87,6 +87,32 @@ pub struct Mshr {
     capacity: usize,
     stats: MshrStats,
 }
+
+psa_common::persist_struct!(MshrMeta {
+    is_prefetch,
+    source,
+    huge,
+    write,
+});
+
+psa_common::persist_struct!(MshrEntry {
+    line,
+    fill_at,
+    meta,
+    demand_merged,
+    merged_at,
+});
+
+psa_common::persist_struct!(MshrStats {
+    allocations,
+    merges,
+    full_rejections,
+    late_prefetch_merges,
+    drained,
+});
+
+// `capacity` is configuration; the in-flight entries and counters are state.
+psa_common::persist_struct!(Mshr { entries, stats });
 
 impl Mshr {
     /// A file with room for `capacity` in-flight misses.

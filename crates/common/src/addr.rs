@@ -257,6 +257,39 @@ addr_type!(
     VLine
 );
 
+macro_rules! persist_addr {
+    ($($ty:ident),*) => {
+        $(impl crate::codec::Persist for $ty {
+            fn save(&self, e: &mut crate::codec::Enc) {
+                e.put_u64(self.0);
+            }
+            fn load(
+                &mut self,
+                d: &mut crate::codec::Dec,
+            ) -> Result<(), crate::codec::CodecError> {
+                self.0 = d.get_u64()?;
+                Ok(())
+            }
+        })*
+    };
+}
+
+persist_addr!(VAddr, VLine, PAddr, PLine);
+
+impl crate::codec::Persist for PageSize {
+    fn save(&self, e: &mut crate::codec::Enc) {
+        e.put_u8(u8::from(self.bit()));
+    }
+    fn load(&mut self, d: &mut crate::codec::Dec) -> Result<(), crate::codec::CodecError> {
+        *self = match d.get_u8()? {
+            0 => PageSize::Size4K,
+            1 => PageSize::Size2M,
+            _ => return Err(crate::codec::CodecError::Corrupt("page size tag")),
+        };
+        Ok(())
+    }
+}
+
 addr_type!(
     /// A **physical** byte address, as seen by the L2C, LLC, DRAM and — the
     /// paper's focus — the lower-level cache prefetchers.

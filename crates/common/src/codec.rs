@@ -1,0 +1,562 @@
+//! A tiny, dependency-free binary codec for checkpoint serialization.
+//!
+//! The checkpoint/restore machinery (see `psa-sim`'s snapshot module)
+//! persists the *mutable* state of every simulated component: cache
+//! arrays, MSHR files, prefetcher tables, RNG streams, trace cursors.
+//! Configurations and derived geometry are deliberately **not** encoded —
+//! a restore target is always rebuilt from the same `SimConfig` first and
+//! only then loaded, which keeps `&'static str` names and computed shapes
+//! out of the byte stream.
+//!
+//! Design rules that make the format deterministic and corruption-safe:
+//!
+//! * fixed-width little-endian integers, `f64` as IEEE-754 bits;
+//! * every variable-length container is length-prefixed;
+//! * hash containers ([`std::collections::HashMap`] / `HashSet`) are
+//!   written **sorted by key**, so identical logical state always encodes
+//!   to identical bytes regardless of hasher seeds;
+//! * reads never panic: running off the end of the buffer or meeting an
+//!   invalid tag yields a typed [`CodecError`].
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A decoding failure. The checkpoint layer maps these to its typed
+/// rejection errors; nothing in the codec ever panics on hostile bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the value was complete (truncation).
+    Eof,
+    /// A tag or length field held a value that cannot be decoded.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Eof => f.write_str("unexpected end of checkpoint data"),
+            CodecError::Corrupt(what) => write!(f, "corrupt checkpoint field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Byte-stream encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Fresh empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the encoder, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64` (the format is 64-bit everywhere).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append raw bytes (length is the caller's business).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Byte-stream decoder over a borrowed buffer.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decode from `data`, starting at the beginning.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Eof);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Read a `usize` (stored as `u64`); rejects values that do not fit.
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.get_u64()?).map_err(|_| CodecError::Corrupt("usize overflow"))
+    }
+
+    /// Read a length prefix that will gate an allocation: bounded by the
+    /// bytes actually remaining, so a corrupted length cannot trigger a
+    /// huge allocation before the inevitable [`CodecError::Eof`].
+    pub fn get_len(&mut self) -> Result<usize, CodecError> {
+        let n = self.get_usize()?;
+        if n > self.remaining() {
+            // Every element needs at least one byte, so a length larger
+            // than the remaining buffer is corruption by construction.
+            return Err(CodecError::Eof);
+        }
+        Ok(n)
+    }
+}
+
+/// State that can be written to an [`Enc`] and loaded back **in place**
+/// from a [`Dec`].
+///
+/// `load` mutates an existing value rather than constructing one, because
+/// checkpoint targets are always rebuilt from configuration first; only
+/// the mutable state travels through the codec.
+pub trait Persist {
+    /// Append this value's state to `e`.
+    fn save(&self, e: &mut Enc);
+    /// Overwrite this value's state from `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated or invalid input; the value may
+    /// be partially overwritten and must be discarded by the caller.
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError>;
+}
+
+macro_rules! persist_int {
+    ($ty:ty, $put:ident, $get:ident) => {
+        impl Persist for $ty {
+            fn save(&self, e: &mut Enc) {
+                e.$put(*self);
+            }
+            fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+                *self = d.$get()?;
+                Ok(())
+            }
+        }
+    };
+}
+
+persist_int!(u8, put_u8, get_u8);
+persist_int!(u16, put_u16, get_u16);
+persist_int!(u32, put_u32, get_u32);
+persist_int!(u64, put_u64, get_u64);
+persist_int!(usize, put_usize, get_usize);
+
+impl Persist for bool {
+    fn save(&self, e: &mut Enc) {
+        e.put_u8(u8::from(*self));
+    }
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        *self = match d.get_u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError::Corrupt("bool tag")),
+        };
+        Ok(())
+    }
+}
+
+impl Persist for i64 {
+    fn save(&self, e: &mut Enc) {
+        e.put_u64(*self as u64);
+    }
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        *self = d.get_u64()? as i64;
+        Ok(())
+    }
+}
+
+impl Persist for i32 {
+    fn save(&self, e: &mut Enc) {
+        e.put_u32(*self as u32);
+    }
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        *self = d.get_u32()? as i32;
+        Ok(())
+    }
+}
+
+impl Persist for f64 {
+    fn save(&self, e: &mut Enc) {
+        e.put_u64(self.to_bits());
+    }
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        *self = f64::from_bits(d.get_u64()?);
+        Ok(())
+    }
+}
+
+impl<T: Persist + Default> Persist for Option<T> {
+    fn save(&self, e: &mut Enc) {
+        match self {
+            None => e.put_u8(0),
+            Some(v) => {
+                e.put_u8(1);
+                v.save(e);
+            }
+        }
+    }
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        match d.get_u8()? {
+            0 => *self = None,
+            1 => {
+                let slot = self.get_or_insert_with(T::default);
+                slot.load(d)?;
+            }
+            _ => return Err(CodecError::Corrupt("option tag")),
+        }
+        Ok(())
+    }
+}
+
+impl<T: Persist + Default> Persist for Vec<T> {
+    fn save(&self, e: &mut Enc) {
+        e.put_usize(self.len());
+        for v in self {
+            v.save(e);
+        }
+    }
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        let n = d.get_len()?;
+        self.clear();
+        for _ in 0..n {
+            let mut v = T::default();
+            v.load(d)?;
+            self.push(v);
+        }
+        Ok(())
+    }
+}
+
+impl<T: Persist + Default> Persist for VecDeque<T> {
+    fn save(&self, e: &mut Enc) {
+        e.put_usize(self.len());
+        for v in self {
+            v.save(e);
+        }
+    }
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        let n = d.get_len()?;
+        self.clear();
+        for _ in 0..n {
+            let mut v = T::default();
+            v.load(d)?;
+            self.push_back(v);
+        }
+        Ok(())
+    }
+}
+
+impl<T: Persist, const N: usize> Persist for [T; N] {
+    fn save(&self, e: &mut Enc) {
+        for v in self {
+            v.save(e);
+        }
+    }
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        for v in self.iter_mut() {
+            v.load(d)?;
+        }
+        Ok(())
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn save(&self, e: &mut Enc) {
+        self.0.save(e);
+        self.1.save(e);
+    }
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        self.0.load(d)?;
+        self.1.load(d)
+    }
+}
+
+// Hash containers are written sorted by key so that identical logical
+// state always yields identical bytes (hasher seeds vary per process).
+impl<K, V> Persist for HashMap<K, V>
+where
+    K: Persist + Default + Ord + Clone + std::hash::Hash + Eq,
+    V: Persist + Default,
+{
+    fn save(&self, e: &mut Enc) {
+        let mut keys: Vec<&K> = self.keys().collect();
+        keys.sort();
+        e.put_usize(keys.len());
+        for k in keys {
+            k.save(e);
+            self[k].save(e);
+        }
+    }
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        let n = d.get_len()?;
+        self.clear();
+        for _ in 0..n {
+            let mut k = K::default();
+            k.load(d)?;
+            let mut v = V::default();
+            v.load(d)?;
+            self.insert(k, v);
+        }
+        Ok(())
+    }
+}
+
+impl<K> Persist for HashSet<K>
+where
+    K: Persist + Default + Ord + Clone + std::hash::Hash + Eq,
+{
+    fn save(&self, e: &mut Enc) {
+        let mut keys: Vec<&K> = self.iter().collect();
+        keys.sort();
+        e.put_usize(keys.len());
+        for k in keys {
+            k.save(e);
+        }
+    }
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        let n = d.get_len()?;
+        self.clear();
+        for _ in 0..n {
+            let mut k = K::default();
+            k.load(d)?;
+            self.insert(k);
+        }
+        Ok(())
+    }
+}
+
+/// Implement [`Persist`] for a struct as the concatenation of the listed
+/// fields (in order). Fields not listed — configuration, derived geometry
+/// — are left untouched by `load`, which is exactly the rebuild-then-load
+/// restore contract.
+#[macro_export]
+macro_rules! persist_struct {
+    ($ty:ty { $($field:ident),* $(,)? }) => {
+        impl $crate::codec::Persist for $ty {
+            fn save(&self, e: &mut $crate::codec::Enc) {
+                $($crate::codec::Persist::save(&self.$field, e);)*
+            }
+            fn load(
+                &mut self,
+                d: &mut $crate::codec::Dec,
+            ) -> Result<(), $crate::codec::CodecError> {
+                $($crate::codec::Persist::load(&mut self.$field, d)?;)*
+                Ok(())
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut e = Enc::new();
+        0xabu8.save(&mut e);
+        0x1234u16.save(&mut e);
+        0xdead_beefu32.save(&mut e);
+        u64::MAX.save(&mut e);
+        (-7i64).save(&mut e);
+        true.save(&mut e);
+        2.5f64.save(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let (mut a, mut b, mut c, mut x, mut i, mut t, mut f) =
+            (0u8, 0u16, 0u32, 0u64, 0i64, false, 0.0f64);
+        a.load(&mut d).unwrap();
+        b.load(&mut d).unwrap();
+        c.load(&mut d).unwrap();
+        x.load(&mut d).unwrap();
+        i.load(&mut d).unwrap();
+        t.load(&mut d).unwrap();
+        f.load(&mut d).unwrap();
+        assert_eq!(
+            (a, b, c, x, i, t, f),
+            (0xab, 0x1234, 0xdead_beef, u64::MAX, -7, true, 2.5)
+        );
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let mut e = Enc::new();
+        vec![1u64, 2, 3].save(&mut e);
+        VecDeque::from([9u32, 8]).save(&mut e);
+        Some(5u8).save(&mut e);
+        Option::<u8>::None.save(&mut e);
+        [7u64, 11].save(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let mut v: Vec<u64> = vec![99; 10];
+        v.load(&mut d).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let mut q: VecDeque<u32> = VecDeque::new();
+        q.load(&mut d).unwrap();
+        assert_eq!(q, VecDeque::from([9, 8]));
+        let mut o: Option<u8> = None;
+        o.load(&mut d).unwrap();
+        assert_eq!(o, Some(5));
+        o.load(&mut d).unwrap();
+        assert_eq!(o, None);
+        let mut arr = [0u64; 2];
+        arr.load(&mut d).unwrap();
+        assert_eq!(arr, [7, 11]);
+    }
+
+    #[test]
+    fn hash_containers_encode_sorted_and_round_trip() {
+        let mut m: HashMap<u64, u32> = HashMap::new();
+        m.insert(3, 30);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        let mut s: HashSet<u64> = HashSet::new();
+        s.insert(42);
+        s.insert(7);
+
+        // Same logical content encodes to identical bytes every time.
+        let encode = |m: &HashMap<u64, u32>, s: &HashSet<u64>| {
+            let mut e = Enc::new();
+            m.save(&mut e);
+            s.save(&mut e);
+            e.into_bytes()
+        };
+        let bytes = encode(&m, &s);
+        assert_eq!(bytes, encode(&m.clone(), &s.clone()));
+
+        let mut d = Dec::new(&bytes);
+        let mut m2: HashMap<u64, u32> = HashMap::new();
+        let mut s2: HashSet<u64> = HashSet::new();
+        m2.load(&mut d).unwrap();
+        s2.load(&mut d).unwrap();
+        assert_eq!(m2, m);
+        assert_eq!(s2, s);
+    }
+
+    #[test]
+    fn truncation_is_eof_not_a_panic() {
+        let mut e = Enc::new();
+        vec![1u64, 2, 3].save(&mut e);
+        let bytes = e.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut d = Dec::new(&bytes[..cut]);
+            let mut v: Vec<u64> = Vec::new();
+            assert!(v.load(&mut d).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn hostile_length_is_rejected_before_allocating() {
+        let mut e = Enc::new();
+        e.put_u64(u64::MAX); // absurd element count
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let mut v: Vec<u64> = Vec::new();
+        assert_eq!(v.load(&mut d), Err(CodecError::Eof));
+    }
+
+    #[test]
+    fn bad_tags_are_corrupt() {
+        let bytes = [2u8];
+        let mut b = false;
+        assert!(matches!(
+            b.load(&mut Dec::new(&bytes)),
+            Err(CodecError::Corrupt(_))
+        ));
+        let mut o: Option<u8> = None;
+        assert!(matches!(
+            o.load(&mut Dec::new(&bytes)),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn persist_struct_macro_round_trips() {
+        #[derive(Default, PartialEq, Debug)]
+        struct Demo {
+            a: u64,
+            b: Vec<u32>,
+            skipped: u64,
+        }
+        persist_struct!(Demo { a, b });
+        let src = Demo {
+            a: 5,
+            b: vec![1, 2],
+            skipped: 77,
+        };
+        let mut e = Enc::new();
+        src.save(&mut e);
+        let bytes = e.into_bytes();
+        let mut dst = Demo {
+            skipped: 42,
+            ..Demo::default()
+        };
+        dst.load(&mut Dec::new(&bytes)).unwrap();
+        assert_eq!(dst.a, 5);
+        assert_eq!(dst.b, vec![1, 2]);
+        assert_eq!(dst.skipped, 42, "unlisted fields stay untouched");
+    }
+}

@@ -12,6 +12,9 @@
 //!   summaries used when reproducing the paper's figures.
 //! * [`rng`] — a deterministic, seedable random source so every simulation
 //!   is reproducible bit-for-bit.
+//! * [`codec`] — a dependency-free binary codec ([`codec::Persist`]) used
+//!   by the checkpoint/restore machinery to serialize mutable simulator
+//!   state deterministically.
 //! * [`table`] — minimal fixed-width text tables for experiment output.
 //!
 //! # Example
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod codec;
 pub mod geometry;
 pub mod rng;
 pub mod satcounter;
@@ -36,6 +40,7 @@ pub mod stats;
 pub mod table;
 
 pub use addr::{PAddr, PLine, PageSize, VAddr, VLine, LINE_BYTES, LINE_SHIFT};
+pub use codec::{CodecError, Dec, Enc, Persist};
 pub use rng::DetRng;
 pub use satcounter::SatCounter;
 pub use stats::{geomean, DistSummary};

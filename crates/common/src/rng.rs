@@ -45,6 +45,8 @@ pub struct DetRng {
     state: [u64; 4],
 }
 
+crate::persist_struct!(DetRng { state });
+
 impl DetRng {
     /// A generator seeded from `seed`.
     pub fn new(seed: u64) -> Self {

@@ -22,6 +22,20 @@ pub struct SatCounter {
     bits: u32,
 }
 
+// The width is configuration, but it is persisted alongside the value so
+// that counters can be restored into `Default`-built container elements
+// (e.g. a `Vec<(i64, SatCounter)>` inside a prefetcher table) without the
+// load target having to know the width up front.
+crate::persist_struct!(SatCounter { value, max, bits });
+
+/// A placeholder 1-bit counter intended only as a codec load target; every
+/// real constructor is [`SatCounter::new`] or [`SatCounter::centered`].
+impl Default for SatCounter {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
 impl SatCounter {
     /// A `bits`-wide counter starting at zero.
     ///

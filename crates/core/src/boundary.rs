@@ -68,6 +68,16 @@ pub struct BoundaryChecker {
     stats: BoundaryStats,
 }
 
+psa_common::persist_struct!(BoundaryStats {
+    candidates,
+    allowed,
+    discarded_cross_4k_in_huge,
+    discarded_out_of_page,
+});
+
+// `policy` is configuration; only the Figure 2 counters are state.
+psa_common::persist_struct!(BoundaryChecker { stats });
+
 impl BoundaryChecker {
     /// A checker enforcing `policy`.
     pub fn new(policy: BoundaryPolicy) -> Self {

@@ -103,6 +103,10 @@ pub struct SetDueling {
     hits: [u64; 2],
 }
 
+// `config`/`spacing` are rebuilt from configuration; `Csel` and the credit
+// counters are the dueling state a checkpoint must carry.
+psa_common::persist_struct!(SetDueling { csel, hits });
+
 impl SetDueling {
     /// Attach selection logic to a cache with `num_sets` sets.
     ///

@@ -7,7 +7,7 @@
 //! (useful hits, useless evictions, fills) flows back through the
 //! `on_*` methods, routed to the issuing prefetcher via the annotation bit.
 
-use psa_common::{PLine, PageSize, VAddr};
+use psa_common::{CodecError, Dec, Enc, PLine, PageSize, Persist, VAddr};
 
 use crate::boundary::{BoundaryChecker, BoundaryPolicy, BoundaryStats, Verdict};
 use crate::dueling::{SdConfig, SdConfigError, Selected, SetDueling};
@@ -74,6 +74,48 @@ pub struct PsaModule {
     scratch: Vec<Candidate>,
     scratch_alt: Vec<Candidate>,
     stats: ModuleStats,
+}
+
+psa_common::persist_struct!(ModuleStats {
+    accesses,
+    candidates,
+    issued,
+    deduped,
+    issued_by,
+    selected_by,
+});
+
+/// Checkpointing: the module's composition (which prefetchers exist, the
+/// dueling layout, policies) is configuration and is rebuilt before a load;
+/// only training/selection state and counters travel in the byte stream.
+/// The scratch buffers are cleared at the start of every access and carry
+/// no information across accesses.
+impl Persist for PsaModule {
+    fn save(&self, e: &mut Enc) {
+        self.ppm.save(e);
+        self.psa.save_state(e);
+        if let Some(b) = &self.psa_2mb {
+            b.save_state(e);
+        }
+        self.boundary.save(e);
+        if let Some(duel) = &self.dueling {
+            duel.save(e);
+        }
+        self.stats.save(e);
+    }
+
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        self.ppm.load(d)?;
+        self.psa.load_state(d)?;
+        if let Some(b) = &mut self.psa_2mb {
+            b.load_state(d)?;
+        }
+        self.boundary.load(d)?;
+        if let Some(duel) = &mut self.dueling {
+            duel.load(d)?;
+        }
+        self.stats.load(d)
+    }
 }
 
 impl std::fmt::Debug for PsaModule {
@@ -383,6 +425,18 @@ mod tests {
         fn storage_bytes(&self) -> usize {
             100
         }
+        fn save_state(&self, e: &mut Enc) {
+            self.accesses.save(e);
+            self.fills.save(e);
+            self.usefuls.save(e);
+            self.useless.save(e);
+        }
+        fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+            self.accesses.load(d)?;
+            self.fills.load(d)?;
+            self.usefuls.load(d)?;
+            self.useless.load(d)
+        }
     }
 
     fn module(policy: PageSizePolicy) -> PsaModule {
@@ -520,6 +574,36 @@ mod tests {
     fn storage_doubles_for_sd() {
         assert_eq!(module(PageSizePolicy::Psa).storage_bytes(), 100);
         assert_eq!(module(PageSizePolicy::PsaSd).storage_bytes(), 200);
+    }
+
+    #[test]
+    fn persist_roundtrip_preserves_selection_state() {
+        // Train an SD module until its Csel steers followers to PSA-2MB,
+        // save, restore into a fresh module, and check both the stats and
+        // the follower-set routing survive the trip.
+        let mut m = module(PageSizePolicy::PsaSd);
+        run(&mut m, 62, true, 0);
+        run(&mut m, 190, true, 16);
+        for _ in 0..5 {
+            m.on_useful(PLine::new(1), VAddr::new(0), SOURCE_PSA_2MB, true);
+        }
+        let mut e = Enc::new();
+        m.save(&mut e);
+        let bytes = e.into_bytes();
+
+        let mut fresh = module(PageSizePolicy::PsaSd);
+        let mut d = Dec::new(&bytes);
+        fresh.load(&mut d).unwrap();
+        assert_eq!(d.remaining(), 0, "all module bytes consumed");
+        assert_eq!(fresh.stats(), m.stats());
+        assert_eq!(fresh.boundary_stats(), m.boundary_stats());
+        assert_eq!(fresh.dueling().unwrap().credit(), [0, 5]);
+        let follower_set = 3;
+        assert_eq!(
+            run(&mut fresh, 1062, true, follower_set),
+            run(&mut m, 1062, true, follower_set),
+            "restored module must route followers identically"
+        );
     }
 
     #[test]

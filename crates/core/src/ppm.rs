@@ -44,6 +44,12 @@ pub struct Ppm {
     total_seen: u64,
 }
 
+// `source` is configuration; only the audit counters are mutable state.
+psa_common::persist_struct!(Ppm {
+    huge_seen,
+    total_seen,
+});
+
 impl Ppm {
     /// A module reading page size from `source`.
     pub fn new(source: PageSizeSource) -> Self {

@@ -7,7 +7,7 @@
 //! grain selection, set dueling — happens outside, in
 //! [`crate::module::PsaModule`].
 
-use psa_common::{PLine, PageSize, VAddr};
+use psa_common::{CodecError, Dec, Enc, PLine, PageSize, VAddr};
 
 /// One L2C access as the prefetching module sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +117,26 @@ pub trait Prefetcher {
     /// Approximate metadata storage in bytes, for the ISO-storage ablation
     /// (Figure 11).
     fn storage_bytes(&self) -> usize;
+
+    /// Serialise every mutable training structure into `e`.
+    ///
+    /// Together with [`Prefetcher::load_state`] this is the checkpointing
+    /// contract: after `load_state` replays bytes written by `save_state`
+    /// into a freshly constructed instance *of the same configuration*, the
+    /// instance must behave bit-identically to the one that was saved.
+    /// Configuration (grain, table shapes) is **not** serialised — the
+    /// restore target is rebuilt from config first.
+    fn save_state(&self, e: &mut Enc);
+
+    /// Restore state written by [`Prefetcher::save_state`] into `self`,
+    /// which must have been built with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when the byte stream is truncated or
+    /// corrupt; `self` may then be partially overwritten and must be
+    /// discarded.
+    fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError>;
 }
 
 #[cfg(test)]
@@ -140,6 +160,10 @@ mod tests {
         }
         fn storage_bytes(&self) -> usize {
             0
+        }
+        fn save_state(&self, _e: &mut Enc) {}
+        fn load_state(&mut self, _d: &mut Dec) -> Result<(), CodecError> {
+            Ok(())
         }
     }
 

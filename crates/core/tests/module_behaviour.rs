@@ -2,7 +2,7 @@
 //! training policies and the paper's structural guarantees, exercised with
 //! scripted prefetchers (no simulator).
 
-use psa_common::{PLine, PageSize, VAddr};
+use psa_common::{CodecError, Dec, Enc, PLine, PageSize, VAddr};
 use psa_core::ppm::PageSizeSource;
 use psa_core::{
     AccessContext, Candidate, IndexGrain, ModuleConfig, PageSizePolicy, Prefetcher, PsaModule,
@@ -33,6 +33,10 @@ impl Prefetcher for Scripted {
     }
     fn storage_bytes(&self) -> usize {
         64
+    }
+    fn save_state(&self, _e: &mut Enc) {}
+    fn load_state(&mut self, _d: &mut Dec) -> Result<(), CodecError> {
+        Ok(())
     }
 }
 

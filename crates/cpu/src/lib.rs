@@ -178,6 +178,25 @@ pub struct Core {
     stats: CoreStats,
 }
 
+// The core's mutable state for checkpointing; `config` is rebuilt from the
+// simulation configuration, not serialized.
+psa_common::persist_struct!(Core {
+    rob,
+    fetch_cycle,
+    fetched_this_cycle,
+    retire_cycle,
+    retired_this_cycle,
+    last_load_done,
+    stats,
+});
+
+psa_common::persist_struct!(CoreStats {
+    instructions,
+    loads,
+    stores,
+    retired,
+});
+
 impl Core {
     /// A fresh core at cycle zero.
     pub fn new(config: CoreConfig) -> Self {
@@ -453,6 +472,28 @@ mod tests {
         let slow = run(400);
         let fast = run(200);
         assert!((slow / fast - 2.0).abs() < 0.2, "ratio {}", slow / fast);
+    }
+
+    #[test]
+    fn persist_roundtrip_resumes_identically() {
+        use psa_common::{Dec, Enc, Persist};
+        let mut core = Core::new(CoreConfig::default());
+        let mut mem = FixedLatency(37);
+        for i in 0..500 {
+            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+        }
+        let mut e = Enc::new();
+        core.save(&mut e);
+        let bytes = e.into_bytes();
+        let mut restored = Core::new(CoreConfig::default());
+        restored.load(&mut Dec::new(&bytes)).unwrap();
+        // Resuming both cores must produce identical behaviour.
+        for i in 500..600 {
+            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+            restored.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+        }
+        assert_eq!(core.drain(), restored.drain());
+        assert_eq!(core.stats(), restored.stats());
     }
 
     #[test]

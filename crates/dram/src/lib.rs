@@ -95,11 +95,16 @@ impl std::fmt::Display for DramConfigError {
 
 impl std::error::Error for DramConfigError {}
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct Bank {
     open_row: Option<u64>,
     busy_until: u64,
 }
+
+psa_common::persist_struct!(Bank {
+    open_row,
+    busy_until
+});
 
 /// DRAM access statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -144,6 +149,24 @@ pub struct Dram {
     transfer: u64,
     stats: DramStats,
 }
+
+psa_common::persist_struct!(DramStats {
+    reads,
+    writes,
+    row_hits,
+    row_opens,
+    row_conflicts,
+    bus_busy_cycles,
+    prefetch_drops,
+});
+
+// Address-mapping shifts and the transfer time are derived from the
+// configuration; banks, buses and counters are the mutable state.
+psa_common::persist_struct!(Dram {
+    banks,
+    bus_free,
+    stats,
+});
 
 impl Dram {
     /// Build the device.

@@ -8,6 +8,7 @@ use psa_core::{PageSizePolicy, SdConfig};
 use psa_prefetchers::PrefetcherKind;
 use psa_sim::{Json, System};
 
+use crate::ckpt;
 use crate::runner::{self, RunCache, Settings, Variant};
 
 /// Geomean speedup of SPP-PSA-SD over SPP original for one SD shape.
@@ -39,42 +40,53 @@ pub fn collect(settings: &Settings) -> Vec<AblationPoint> {
         .map(|&w| (w, Variant::Pref(kind, PageSizePolicy::Original)))
         .collect();
     cache.run_batch(settings.config, &base_jobs);
+    let base = Variant::Pref(kind, PageSizePolicy::Original);
     sweep_shapes()
         .into_iter()
         .map(|(dedicated_sets, csel_bits)| {
-            let ipcs = runner::parallel_map(&workloads, |&w| {
-                let mut config = settings.config;
-                config.sd = SdConfig {
-                    dedicated_sets,
-                    csel_bits,
-                    ..SdConfig::default()
-                };
-                System::single_core(config, w, kind, PageSizePolicy::PsaSd)
-                    .run()
-                    .ipc()
-            });
+            let ipcs = runner::parallel_map_isolated(
+                &workloads,
+                |&w| runner::JobSpec {
+                    workload: w.name,
+                    label: format!("ablation/sd-{dedicated_sets}-{csel_bits}"),
+                },
+                |&w, env| {
+                    let mut config = env.config(settings.config);
+                    config.sd = SdConfig {
+                        dedicated_sets,
+                        csel_bits,
+                        ..SdConfig::default()
+                    };
+                    // The swept shape lives in the config, so the plain
+                    // variant label keys the warm-up checkpoint.
+                    let build =
+                        move || System::try_single_core(config, w, kind, PageSizePolicy::PsaSd);
+                    Ok(ckpt::warm_via_checkpoint(
+                        &build,
+                        &Variant::Pref(kind, PageSizePolicy::PsaSd).label(),
+                    )?
+                    .try_run()?
+                    .ipc())
+                },
+            );
             let per: Vec<f64> = workloads
                 .iter()
                 .zip(ipcs)
-                .map(|(&w, ipc)| {
-                    let orig = cache
-                        .run(
-                            settings.config,
-                            w,
-                            Variant::Pref(kind, PageSizePolicy::Original),
-                        )
-                        .ipc();
-                    if orig > 0.0 {
-                        ipc / orig
-                    } else {
-                        1.0
+                .filter_map(|(&w, ipc)| {
+                    // Gaps: failed sweep cells (or a failed baseline)
+                    // drop the workload from this point's geomean.
+                    let ipc = ipc?;
+                    if !cache.completed(w, base) {
+                        return None;
                     }
+                    let orig = cache.run(settings.config, w, base).ipc();
+                    Some(if orig > 0.0 { ipc / orig } else { 1.0 })
                 })
                 .collect();
             AblationPoint {
                 dedicated_sets,
                 csel_bits,
-                speedup: geomean(&per),
+                speedup: if per.is_empty() { 1.0 } else { geomean(&per) },
             }
         })
         .collect()

@@ -1,0 +1,189 @@
+//! Warm-up checkpoint store: share the warm-up phase of identical
+//! machines instead of re-simulating it.
+//!
+//! # Sharing model
+//!
+//! A warm-up is only reusable under an **exact key**: the effective
+//! [`SimConfig`], the workload list, and the caller's variant label all
+//! hash into the snapshot key, because the prefetcher trains during
+//! warm-up and every variant therefore reaches a different warm state.
+//! The wins are still real:
+//!
+//! * the same `(workload, variant)` warms once per **process** even when
+//!   several figures build their own [`crate::runner::RunCache`]
+//!   (in-memory store; counted as `warmups_shared`);
+//! * with `PSA_CKPT_DIR` set, warm states persist **across processes**
+//!   (disk store; counted as `ckpt_hits`), so a repeated bench run skips
+//!   every warm-up it has seen before.
+//!
+//! # Robustness
+//!
+//! A checkpoint is advisory. Every rejection — truncated file, flipped
+//! bit, foreign format version, key collision — surfaces as a typed
+//! [`psa_sim::CheckpointError`] inside the store, which responds by
+//! rebuilding the machine and warming up cold. A damaged store can cost
+//! time, never correctness, and never a panic.
+//!
+//! The in-memory store is bounded (`PSA_CKPT_MEM_MB`, default 256) with
+//! oldest-first eviction; eviction affects only hit rates, never results.
+
+use psa_common::rng::fnv1a;
+use psa_sim::{SimConfig, SimError, Snapshot, System, SNAPSHOT_VERSION};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Process-wide counters (see [`crate::runner::ExecStats`]).
+pub(crate) static G_WARMUPS_SHARED: AtomicU64 = AtomicU64::new(0);
+pub(crate) static G_CKPT_HITS: AtomicU64 = AtomicU64::new(0);
+
+struct MemStore {
+    snaps: HashMap<u64, Arc<Snapshot>>,
+    /// Insertion order for oldest-first eviction.
+    order: Vec<u64>,
+    bytes: usize,
+}
+
+static MEM: Mutex<Option<MemStore>> = Mutex::new(None);
+
+fn mem_cap_bytes() -> usize {
+    std::env::var("PSA_CKPT_MEM_MB")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(256)
+        .saturating_mul(1 << 20)
+}
+
+fn mem_get(key: u64) -> Option<Arc<Snapshot>> {
+    let guard = MEM.lock().expect("unpoisoned checkpoint store");
+    guard.as_ref().and_then(|s| s.snaps.get(&key).cloned())
+}
+
+fn mem_put(key: u64, snap: Arc<Snapshot>) {
+    let cap = mem_cap_bytes();
+    if snap.byte_len() > cap {
+        return;
+    }
+    let mut guard = MEM.lock().expect("unpoisoned checkpoint store");
+    let store = guard.get_or_insert_with(|| MemStore {
+        snaps: HashMap::new(),
+        order: Vec::new(),
+        bytes: 0,
+    });
+    if store.snaps.contains_key(&key) {
+        return;
+    }
+    store.bytes += snap.byte_len();
+    store.snaps.insert(key, snap);
+    store.order.push(key);
+    while store.bytes > cap && !store.order.is_empty() {
+        let oldest = store.order.remove(0);
+        if let Some(evicted) = store.snaps.remove(&oldest) {
+            store.bytes -= evicted.byte_len();
+        }
+    }
+}
+
+/// Drop every in-memory checkpoint (the disk store is untouched). Tests
+/// use this to force the disk or cold paths; experiments never need it.
+pub fn clear_memory() {
+    *MEM.lock().expect("unpoisoned checkpoint store") = None;
+}
+
+/// The disk store directory, when `PSA_CKPT_DIR` is set and non-empty.
+fn disk_dir() -> Option<PathBuf> {
+    match std::env::var("PSA_CKPT_DIR") {
+        Ok(dir) if !dir.is_empty() => Some(PathBuf::from(dir)),
+        _ => None,
+    }
+}
+
+/// The on-disk path for a warm-up key inside `dir`.
+pub fn disk_path(dir: &std::path::Path, key: u64) -> PathBuf {
+    dir.join(format!("psa-{key:016x}.ckpt"))
+}
+
+/// The identity hash of a machine's warm state: snapshot format version,
+/// the *effective* configuration (after every variant mutation), the
+/// workload on each core, and the caller's label for state the config
+/// cannot see (e.g. a hand-built ISO-storage module).
+pub fn warm_key(config: &SimConfig, workloads: &[&'static str], label: &str) -> u64 {
+    let mut id = Vec::new();
+    id.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    id.extend_from_slice(format!("{config:?}").as_bytes());
+    for w in workloads {
+        id.push(0);
+        id.extend_from_slice(w.as_bytes());
+    }
+    id.push(0);
+    id.extend_from_slice(label.as_bytes());
+    fnv1a(&id)
+}
+
+/// Build a machine and bring it to its warm-up boundary, sharing the
+/// warm-up work through the checkpoint stores when an exact-key match
+/// exists. The returned [`System`] is always positioned exactly where a
+/// cold `run_to_warm` would leave it — results downstream are
+/// bit-identical either way (`crates/sim/src/snapshot.rs` proves it).
+///
+/// `build` must construct the machine deterministically from scratch; it
+/// is called once on the hot paths and once more if a restore is
+/// rejected. `label` names machine state the config cannot describe
+/// (variant label, custom module) and becomes part of the key.
+///
+/// # Errors
+///
+/// Only construction and simulation errors propagate ([`SimError::Config`],
+/// watchdog stalls during a cold warm-up…). Checkpoint rejections never
+/// do — they downgrade to a cold warm-up.
+pub fn warm_via_checkpoint(
+    build: &dyn Fn() -> Result<System, SimError>,
+    label: &str,
+) -> Result<System, SimError> {
+    let mut sys = build()?;
+    if sys.config().warmup == 0 {
+        return Ok(sys);
+    }
+    let key = warm_key(sys.config(), sys.workload_names(), label);
+
+    // Memory first, disk second; the first snapshot found gets one
+    // restore attempt.
+    let mut from_disk = false;
+    let snap = mem_get(key).or_else(|| {
+        let dir = disk_dir()?;
+        // Missing file, damaged bytes, foreign version, key collision:
+        // all land here as `Err` and all mean the same thing — warm up
+        // cold. The typed distinction matters to the snapshot tests, not
+        // to the store.
+        let snap = Snapshot::read_file(&disk_path(&dir, key)).ok()?;
+        from_disk = true;
+        Some(Arc::new(snap))
+    });
+    if let Some(snap) = snap {
+        match sys.restore(&snap, key) {
+            Ok(()) => {
+                if from_disk {
+                    G_CKPT_HITS.fetch_add(1, Ordering::Relaxed);
+                    mem_put(key, snap);
+                } else {
+                    G_WARMUPS_SHARED.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(sys);
+            }
+            // A restore can fail partway and leave the machine torn;
+            // discard it and rebuild for the cold path.
+            Err(_) => sys = build()?,
+        }
+    }
+
+    sys.run_to_warm()?;
+    let snap = Arc::new(sys.snapshot(key));
+    if let Some(dir) = disk_dir() {
+        // Best-effort: a read-only or full disk degrades to cold runs
+        // next process, it does not fail this one.
+        let _ = snap.write_file(&disk_path(&dir, key));
+    }
+    mem_put(key, snap);
+    Ok(sys)
+}

@@ -16,8 +16,9 @@ use psa_core::{
     TrainPolicy,
 };
 use psa_prefetchers::{bop, ppf, spp, vldp, PrefetcherKind};
-use psa_sim::{Json, System};
+use psa_sim::{Json, SimError, System};
 
+use crate::ckpt;
 use crate::runner::{self, RunCache, Settings, Variant};
 
 /// The selection-logic alternatives.
@@ -116,45 +117,59 @@ pub struct Fig11Row {
     pub speedups: [f64; 4],
 }
 
+/// The journal/injection label of one (kind, logic) cell's jobs.
+fn job_label(kind: PrefetcherKind, logic: Logic) -> String {
+    format!("fig11/{}/{}", kind.name(), logic.label())
+}
+
 /// Simulate one (kind, logic, workload) cell — a custom-configured run
-/// outside the `(workload, variant)` memo key space.
+/// outside the `(workload, variant)` memo key space. The warm-up shares
+/// through the checkpoint store; for ISO Storage the hand-built module is
+/// invisible to the `SimConfig`, so the cell's label keys the snapshot.
 fn logic_ipc(
     settings: &Settings,
     kind: PrefetcherKind,
     logic: Logic,
     w: &'static psa_traces::WorkloadSpec,
-) -> f64 {
-    match logic {
-        Logic::IsoStorage => {
-            let mut config = settings.config;
-            config.sd = sd_config(logic);
-            System::single_core_with_module(config, w, &|sets| {
-                PsaModule::new(
-                    PageSizePolicy::Original,
-                    PageSizeSource::Ppm,
-                    &|grain| build_doubled(kind, grain),
-                    sets,
-                    sd_config(logic),
-                    ModuleConfig::default(),
-                )
-                .expect("module shape")
-            })
-            .run()
-            .ipc()
-        }
-        _ => {
-            let mut config = settings.config;
-            config.sd = sd_config(logic);
-            System::single_core(config, w, kind, PageSizePolicy::PsaSd)
-                .run()
-                .ipc()
-        }
-    }
+    env: &runner::JobEnv,
+) -> Result<f64, SimError> {
+    let mut config = env.config(settings.config);
+    config.sd = sd_config(logic);
+    let (build, ckpt_label): (Box<dyn Fn() -> Result<System, SimError>>, String) = match logic {
+        Logic::IsoStorage => (
+            Box::new(move || {
+                Ok(System::single_core_with_module(config, w, &|sets| {
+                    PsaModule::new(
+                        PageSizePolicy::Original,
+                        PageSizeSource::Ppm,
+                        &|grain| build_doubled(kind, grain),
+                        sets,
+                        sd_config(logic),
+                        ModuleConfig::default(),
+                    )
+                    .expect("module shape")
+                }))
+            }),
+            job_label(kind, logic),
+        ),
+        // The plain builds are fully described by (config, kind, policy),
+        // so the variant label keys them — identical machines elsewhere
+        // in the process share the same warm state.
+        _ => (
+            Box::new(move || System::try_single_core(config, w, kind, PageSizePolicy::PsaSd)),
+            Variant::Pref(kind, PageSizePolicy::PsaSd).label(),
+        ),
+    };
+    Ok(ckpt::warm_via_checkpoint(&*build, &ckpt_label)?
+        .try_run()?
+        .ipc())
 }
 
 /// Run the ablation. The Original baselines prewarm through the parallel
 /// batch executor; each logic's custom-configured runs fan out with
-/// [`runner::parallel_map`].
+/// [`runner::parallel_map_isolated`], so a faulty cell becomes a gap
+/// (the workload drops out of that logic's geomean) instead of aborting
+/// the figure.
 pub fn collect(settings: &Settings) -> Vec<Fig11Row> {
     let kinds = [
         PrefetcherKind::Spp,
@@ -166,34 +181,37 @@ pub fn collect(settings: &Settings) -> Vec<Fig11Row> {
         .into_iter()
         .map(|kind| {
             let mut cache = RunCache::new();
-            let base_jobs: Vec<_> = workloads
-                .iter()
-                .map(|&w| (w, Variant::Pref(kind, PageSizePolicy::Original)))
-                .collect();
+            let base = Variant::Pref(kind, PageSizePolicy::Original);
+            let base_jobs: Vec<_> = workloads.iter().map(|&w| (w, base)).collect();
             cache.run_batch(settings.config, &base_jobs);
             let mut speedups = [1.0f64; 4];
             for (i, logic) in Logic::ALL.into_iter().enumerate() {
-                let ipcs =
-                    runner::parallel_map(&workloads, |&w| logic_ipc(settings, kind, logic, w));
+                let ipcs = runner::parallel_map_isolated(
+                    &workloads,
+                    |&w| runner::JobSpec {
+                        workload: w.name,
+                        label: job_label(kind, logic),
+                    },
+                    |&w, env| logic_ipc(settings, kind, logic, w, env),
+                );
                 let per: Vec<f64> = workloads
                     .iter()
                     .zip(ipcs)
-                    .map(|(&w, ipc)| {
-                        let orig = cache
-                            .run(
-                                settings.config,
-                                w,
-                                Variant::Pref(kind, PageSizePolicy::Original),
-                            )
-                            .ipc();
-                        if orig > 0.0 {
-                            ipc / orig
-                        } else {
-                            1.0
+                    .filter_map(|(&w, ipc)| {
+                        // Gaps: a failed cell or failed baseline drops
+                        // the workload from this geomean; the failure is
+                        // journalled in the document's `failures` array.
+                        let ipc = ipc?;
+                        if !cache.completed(w, base) {
+                            return None;
                         }
+                        let orig = cache.run(settings.config, w, base).ipc();
+                        Some(if orig > 0.0 { ipc / orig } else { 1.0 })
                     })
                     .collect();
-                speedups[i] = geomean(&per);
+                if !per.is_empty() {
+                    speedups[i] = geomean(&per);
+                }
             }
             Fig11Row { kind, speedups }
         })

@@ -9,7 +9,8 @@ use psa_sim::{Json, MultiReport, SimConfig, System};
 use psa_traces::{mixes::random_mixes, WorkloadSpec};
 use std::collections::{HashMap, HashSet};
 
-use crate::runner::{self, Settings};
+use crate::ckpt;
+use crate::runner::{self, Settings, Variant};
 
 /// The distribution of per-mix weighted speedups for one configuration.
 #[derive(Debug, Clone)]
@@ -54,11 +55,14 @@ pub fn bar_set() -> Vec<(PrefetcherKind, PageSizePolicy)> {
 /// Run the evaluation for `cores`-wide mixes.
 ///
 /// The expensive multi-core simulations fan out with
-/// [`runner::parallel_map`]: isolation IPCs and Original baselines are
-/// deduplicated to one run per `(prefetcher, workload)` /
+/// [`runner::parallel_map_isolated`]: isolation IPCs and Original
+/// baselines are deduplicated to one run per `(prefetcher, workload)` /
 /// `(prefetcher, mix)` pair, then each bar's evaluated mixes run
 /// concurrently. Every simulation is seed-deterministic, so the output
-/// matches the serial order exactly.
+/// matches the serial order exactly. A faulty job drops the affected
+/// mixes from the distribution (an explicit gap, journalled in the
+/// document's `failures` array) instead of aborting the figure; warm-ups
+/// share through the checkpoint store.
 pub fn collect(settings: &Settings, cores: usize) -> Vec<MultiBar> {
     let mut config = SimConfig::for_cores(cores);
     config.warmup = settings.config.warmup;
@@ -88,17 +92,30 @@ pub fn collect(settings: &Settings, cores: usize) -> Vec<MultiBar> {
             }
         }
     }
-    let iso_vals = runner::parallel_map(&iso_jobs, |&(kind, w)| {
-        let mut solo = config;
-        solo.cores = 1;
-        System::multi_core(solo, &[w], kind, PageSizePolicy::Original)
-            .run_multi()
-            .ipc[0]
-    });
+    let iso_vals = runner::parallel_map_isolated(
+        &iso_jobs,
+        |&(kind, w)| runner::JobSpec {
+            workload: w.name,
+            label: format!("{}/iso", policy_label(kind, PageSizePolicy::Original)),
+        },
+        |&(kind, w), env| {
+            let mut solo = env.config(config);
+            solo.cores = 1;
+            let build = move || System::try_multi_core(solo, &[w], kind, PageSizePolicy::Original);
+            ckpt::warm_via_checkpoint(
+                &build,
+                &Variant::Pref(kind, PageSizePolicy::Original).label(),
+            )?
+            .try_run_multi()
+            .map(|r| r.ipc[0])
+        },
+    );
     let iso: HashMap<(&'static str, &'static str), f64> = iso_jobs
         .iter()
         .zip(iso_vals)
-        .map(|(&(kind, w), v)| ((w.name, policy_label(kind, PageSizePolicy::Original)), v))
+        .filter_map(|(&(kind, w), v)| {
+            v.map(|v| ((w.name, policy_label(kind, PageSizePolicy::Original)), v))
+        })
         .collect();
 
     // Original-baseline multi-core runs: one per (prefetcher, mix).
@@ -106,29 +123,63 @@ pub fn collect(settings: &Settings, cores: usize) -> Vec<MultiBar> {
         .iter()
         .flat_map(|&k| (0..mixes.len()).map(move |i| (k, i)))
         .collect();
-    let base_vals = runner::parallel_map(&base_jobs, |&(kind, i)| {
-        System::multi_core(config, &mixes[i], kind, PageSizePolicy::Original).run_multi()
-    });
+    let base_vals = runner::parallel_map_isolated(
+        &base_jobs,
+        |&(kind, i)| runner::JobSpec {
+            workload: mixes[i][0].name,
+            label: format!("{}/mix{}", policy_label(kind, PageSizePolicy::Original), i),
+        },
+        |&(kind, i), env| {
+            let cfg = env.config(config);
+            let mix = &mixes[i];
+            let build = move || System::try_multi_core(cfg, mix, kind, PageSizePolicy::Original);
+            ckpt::warm_via_checkpoint(
+                &build,
+                &Variant::Pref(kind, PageSizePolicy::Original).label(),
+            )?
+            .try_run_multi()
+        },
+    );
     let base: HashMap<(&'static str, usize), MultiReport> = base_jobs
         .iter()
         .zip(base_vals)
-        .map(|(&(kind, i), r)| ((policy_label(kind, PageSizePolicy::Original), i), r))
+        .filter_map(|(&(kind, i), r)| {
+            r.map(|r| ((policy_label(kind, PageSizePolicy::Original), i), r))
+        })
         .collect();
 
     let mix_indices: Vec<usize> = (0..mixes.len()).collect();
     bars.into_iter()
         .map(|(kind, policy)| {
-            let evals = runner::parallel_map(&mix_indices, |&i| {
-                System::multi_core(config, &mixes[i], kind, policy).run_multi()
-            });
+            let evals = runner::parallel_map_isolated(
+                &mix_indices,
+                |&i| runner::JobSpec {
+                    workload: mixes[i][0].name,
+                    label: format!("{}/mix{}", policy_label(kind, policy), i),
+                },
+                |&i, env| {
+                    let cfg = env.config(config);
+                    let mix = &mixes[i];
+                    let build = move || System::try_multi_core(cfg, mix, kind, policy);
+                    ckpt::warm_via_checkpoint(&build, &Variant::Pref(kind, policy).label())?
+                        .try_run_multi()
+                },
+            );
+            // Gaps: a mix contributes only when its evaluation, its
+            // Original baseline and every member's isolation IPC all
+            // completed; failed jobs are journalled in `failures`.
             let per_mix: Vec<f64> = evals
                 .iter()
                 .enumerate()
-                .map(|(i, eval)| {
+                .filter_map(|(i, eval)| {
+                    let eval = eval.as_ref()?;
                     let label = policy_label(kind, PageSizePolicy::Original);
-                    let isolation: Vec<f64> =
-                        mixes[i].iter().map(|w| iso[&(w.name, label)]).collect();
-                    weighted_speedup(&eval.ipc, &base[&(label, i)].ipc, &isolation)
+                    let isolation: Vec<f64> = mixes[i]
+                        .iter()
+                        .map(|w| iso.get(&(w.name, label)).copied())
+                        .collect::<Option<_>>()?;
+                    let base = base.get(&(label, i))?;
+                    Some(weighted_speedup(&eval.ipc, &base.ipc, &isolation))
                 })
                 .collect();
             MultiBar {

@@ -30,7 +30,10 @@
 //! 80-workload set (stride-sampled so every suite stays represented);
 //! `PSA_MIXES=n` bounds the multi-core mix count; `PSA_THREADS=n` caps
 //! the parallel executor's worker count (default: all cores);
-//! `PSA_JSON_RUNS=1` embeds raw per-run reports in emitted JSON.
+//! `PSA_JSON_RUNS=1` embeds raw per-run reports in emitted JSON;
+//! `PSA_CKPT_DIR=<dir>` persists warm-up checkpoints across processes
+//! and `PSA_CKPT_MEM_MB=n` bounds the in-memory checkpoint store (see
+//! [`ckpt`] and `docs/CHECKPOINT.md`).
 //!
 //! Robustness knobs (see `docs/ROBUSTNESS.md`): `PSA_WATCHDOG=n` sets the
 //! forward-progress watchdog threshold (0 disables); `PSA_CHECK=1` turns
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod ckpt;
 pub mod fig02;
 pub mod fig03;
 pub mod fig0405;

@@ -21,19 +21,31 @@
 //! The same counters are aggregated process-wide and embedded in every
 //! emitted `BENCH_*.json` under `"executor"` (see [`global_stats`]).
 //!
+//! # Warm-up checkpointing
+//!
+//! Every memoised simulation warms up through the
+//! [`crate::ckpt`] store: the first run of a `(config, workload,
+//! variant)` key executes the warm-up and snapshots the machine; later
+//! runs under the same exact key restore the snapshot and skip straight
+//! to measurement. Results are bit-identical to a cold warm-up (the
+//! `psa-sim` snapshot tests prove it); `PSA_CKPT_DIR` extends the store
+//! across processes. See `docs/CHECKPOINT.md`.
+//!
 //! # Fault isolation
 //!
-//! Every memoised job runs under [`std::panic::catch_unwind`] and through
-//! the simulator's `Result` paths, so one panicking or watchdog-stalled
-//! `(workload, variant)` becomes a [`RunOutcome::Failed`] row instead of
-//! poisoning the batch: the remaining jobs complete bit-identically to a
-//! clean run, the failure lands in the process-wide journal (the
-//! `"failures"` array of every `BENCH_*.json`, see [`failures_json`]), and
-//! figures render partial results with explicit gaps. `PSA_INJECT_PANIC`
-//! and `PSA_INJECT_STALL` (`<workload>` or `<workload>/<variant-label>`)
-//! inject faults for testing this machinery. `parallel_map` jobs are NOT
-//! isolated — a panic there still aborts the process (see
-//! `docs/ROBUSTNESS.md`).
+//! Every job — memoised `(workload, variant)` pairs in [`RunCache`] and
+//! custom-configured jobs in [`parallel_map_isolated`] — runs under
+//! [`std::panic::catch_unwind`] and through the simulator's `Result`
+//! paths, so one panicking or watchdog-stalled job becomes a recorded gap
+//! ([`RunOutcome::Failed`] / a `None` slot) instead of poisoning the
+//! batch: the remaining jobs complete bit-identically to a clean run, the
+//! failure lands in the process-wide journal (the `"failures"` array of
+//! every `BENCH_*.json`, see [`failures_json`]), and figures render
+//! partial results with explicit gaps. `PSA_INJECT_PANIC` and
+//! `PSA_INJECT_STALL` (`<workload>` or `<workload>/<label>`) inject
+//! faults for testing this machinery (see `docs/ROBUSTNESS.md`). Only the
+//! raw [`parallel_map`] primitive stays unisolated; every figure's
+//! simulation jobs go through one of the isolated paths.
 
 use psa_core::PageSizePolicy;
 use psa_prefetchers::PrefetcherKind;
@@ -226,38 +238,45 @@ impl RunOutcome {
     }
 }
 
-/// Simulate one `(workload, variant)` pair from scratch. Pure: the run
-/// owns its [`System`] and seeded RNG, so the result depends only on the
+/// Simulate one `(workload, variant)` pair. Pure: the run owns its
+/// [`System`] and seeded RNG, so the result depends only on the
 /// arguments — this is what makes parallel execution bit-identical to
-/// serial.
+/// serial. The warm-up goes through the checkpoint store
+/// ([`crate::ckpt::warm_via_checkpoint`]), which is transparent: a
+/// restored warm state is bit-identical to a freshly simulated one.
 fn try_simulate(
     config: SimConfig,
     workload: &'static WorkloadSpec,
     variant: Variant,
 ) -> Result<RunReport, SimError> {
-    match variant {
-        Variant::NoPrefetch => System::try_baseline(config, workload)?.try_run(),
+    let build: Box<dyn Fn() -> Result<System, SimError>> = match variant {
+        Variant::NoPrefetch => Box::new(move || System::try_baseline(config, workload)),
         Variant::Pref(kind, policy) => {
-            System::try_single_core(config, workload, kind, policy)?.try_run()
+            Box::new(move || System::try_single_core(config, workload, kind, policy))
         }
         Variant::PrefMagic(kind, policy) => {
             let mut config = config;
             config.page_size_source = psa_core::ppm::PageSizeSource::Magic;
-            System::try_single_core(config, workload, kind, policy)?.try_run()
+            Box::new(move || System::try_single_core(config, workload, kind, policy))
         }
         Variant::L1d(kind) => {
             let mut config = config;
             config.l1d_prefetcher = kind;
-            System::try_baseline(config, workload)?.try_run()
+            Box::new(move || System::try_baseline(config, workload))
         }
-    }
+    };
+    crate::ckpt::warm_via_checkpoint(&*build, &variant.label())?.try_run()
 }
 
 /// Whether the fault-injection variable `var` targets this job: its value
-/// is either the workload name or `<workload>/<variant-label>`.
+/// is either the workload name or `<workload>/<label>`.
+fn inject_match_label(var: &str, workload: &str, label: &str) -> bool {
+    std::env::var(var).is_ok_and(|v| v == workload || v == format!("{workload}/{label}"))
+}
+
+/// [`inject_match_label`] keyed by a memoised [`Variant`].
 fn inject_match(var: &str, workload: &str, variant: Variant) -> bool {
-    std::env::var(var)
-        .is_ok_and(|v| v == workload || v == format!("{workload}/{}", variant.label()))
+    inject_match_label(var, workload, &variant.label())
 }
 
 /// Extract a printable message from a caught panic payload.
@@ -314,13 +333,16 @@ static G_SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
 static G_QUEUE_PEAK: AtomicU64 = AtomicU64::new(0);
 static G_FAILED: AtomicU64 = AtomicU64::new(0);
 static G_WATCHDOG: AtomicU64 = AtomicU64::new(0);
+static G_BATCH_WALL_NANOS: AtomicU64 = AtomicU64::new(0);
 
 // Process-wide failure journal: every failed job, so [`doc`] can embed
 // the `"failures"` array even when the cache lives inside a `collect()`.
+// Keyed by (workload, label): memoised jobs use the variant label,
+// `parallel_map_isolated` jobs their caller-supplied one.
 #[allow(clippy::type_complexity)]
 static G_FAILURES: Mutex<Vec<(&'static str, String, String, bool)>> = Mutex::new(Vec::new());
 
-fn journal_failure(workload: &'static str, variant: Variant, reason: &str, watchdog: bool) {
+fn journal_failure(workload: &'static str, label: String, reason: &str, watchdog: bool) {
     G_FAILED.fetch_add(1, Ordering::Relaxed);
     if watchdog {
         G_WATCHDOG.fetch_add(1, Ordering::Relaxed);
@@ -328,7 +350,7 @@ fn journal_failure(workload: &'static str, variant: Variant, reason: &str, watch
     G_FAILURES
         .lock()
         .expect("unpoisoned failure journal")
-        .push((workload, variant.label(), reason.into(), watchdog));
+        .push((workload, label, reason.into(), watchdog));
 }
 
 /// The process-wide failure journal as a JSON array of
@@ -432,6 +454,18 @@ pub struct ExecStats {
     pub failed: u64,
     /// The subset of `failed` aborted by the forward-progress watchdog.
     pub watchdog_aborted: u64,
+    /// Wall-clock spent inside `run_batch()` specifically (a subset of
+    /// `wall`): the number the checkpoint-determinism CI gate compares
+    /// between cold and warm passes.
+    pub batch_wall: Duration,
+    /// Warm-ups skipped by restoring an in-memory checkpoint taken
+    /// earlier in this process. Process-scope: populated by
+    /// [`global_stats`], zero on per-cache stats (the store is shared).
+    pub warmups_shared: u64,
+    /// Warm-ups skipped by restoring an on-disk checkpoint
+    /// (`PSA_CKPT_DIR`) from an earlier process. Process-scope, like
+    /// `warmups_shared`.
+    pub ckpt_hits: u64,
 }
 
 impl ExecStats {
@@ -460,8 +494,17 @@ impl ExecStats {
                 self.failed, self.watchdog_aborted
             )
         };
+        let warm = if self.warmups_shared == 0 && self.ckpt_hits == 0 {
+            String::new()
+        } else {
+            format!(
+                ", {} warm-ups shared ({} from disk)",
+                self.warmups_shared + self.ckpt_hits,
+                self.ckpt_hits
+            )
+        };
         format!(
-            "{} simulated, {} memo hits, {:.2}s wall / {:.2}s busy, {:.1} Mcycles/s, queue peak {}{}{}",
+            "{} simulated, {} memo hits, {:.2}s wall / {:.2}s busy, {:.1} Mcycles/s, queue peak {}{}{}{}",
             self.simulated,
             self.memo_hits,
             self.wall.as_secs_f64(),
@@ -469,6 +512,7 @@ impl ExecStats {
             self.cycles_per_sec() / 1e6,
             self.queue_peak,
             per_thread,
+            warm,
             failures,
         )
     }
@@ -491,6 +535,12 @@ impl ExecStats {
             ),
             ("failed_runs", Json::uint(self.failed)),
             ("watchdog_aborted", Json::uint(self.watchdog_aborted)),
+            (
+                "batch_wall_seconds",
+                Json::Num(self.batch_wall.as_secs_f64()),
+            ),
+            ("warmups_shared", Json::uint(self.warmups_shared)),
+            ("ckpt_hits", Json::uint(self.ckpt_hits)),
         ])
     }
 }
@@ -508,6 +558,9 @@ pub fn global_stats() -> ExecStats {
         per_thread: Vec::new(),
         failed: G_FAILED.load(Ordering::Relaxed),
         watchdog_aborted: G_WATCHDOG.load(Ordering::Relaxed),
+        batch_wall: Duration::from_nanos(G_BATCH_WALL_NANOS.load(Ordering::Relaxed)),
+        warmups_shared: crate::ckpt::G_WARMUPS_SHARED.load(Ordering::Relaxed),
+        ckpt_hits: crate::ckpt::G_CKPT_HITS.load(Ordering::Relaxed),
     }
 }
 
@@ -575,6 +628,90 @@ where
     out
 }
 
+/// Identity of one custom-configured simulation job — the jobs that do
+/// not fit the `(workload, variant)` memo key space (custom Set-Dueling
+/// shapes, doubled-storage modules, multi-core mixes). The label joins
+/// the workload name in fault-injection matching
+/// (`PSA_INJECT_*=<workload>/<label>`) and in the `failures` journal.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The workload driving the run (the first core's, for mixes).
+    pub workload: &'static str,
+    /// What machine ran, uniquely within the figure (e.g.
+    /// `fig11/SPP/ISO Storage`).
+    pub label: String,
+}
+
+/// The fault-injection environment resolved for one isolated job. The
+/// job body must pass its run configuration through [`JobEnv::config`]
+/// so an injected stall can take effect.
+#[derive(Debug, Clone, Copy)]
+pub struct JobEnv {
+    stall: bool,
+}
+
+impl JobEnv {
+    /// `config` with the injected environment applied: a stall injection
+    /// drops the watchdog threshold to 1 cycle, so the run aborts via
+    /// the watchdog almost immediately.
+    pub fn config(&self, config: SimConfig) -> SimConfig {
+        let mut config = config;
+        if self.stall {
+            config.watchdog_cycles = 1;
+        }
+        config
+    }
+}
+
+/// [`parallel_map`] with per-job fault isolation, for simulation jobs
+/// outside the memoised `(workload, variant)` space.
+///
+/// Each job is described by `spec` (workload + unique label) and executed
+/// by `f` under [`std::panic::catch_unwind`]; `f` reports simulator
+/// faults as [`SimError`] values and must thread its `SimConfig` through
+/// [`JobEnv::config`]. A failed job yields `None` in its slot — the
+/// figure renders the survivors with an explicit gap — and lands in the
+/// process-wide failure journal ([`failures_json`]), exactly like a
+/// failed memoised job. `PSA_INJECT_PANIC` / `PSA_INJECT_STALL` match
+/// `<workload>` or `<workload>/<label>`.
+pub fn parallel_map_isolated<T, R, S, F>(items: &[T], spec: S, f: F) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    S: Fn(&T) -> JobSpec + Sync,
+    F: Fn(&T, &JobEnv) -> Result<R, SimError> + Sync,
+{
+    parallel_map(items, |item| {
+        let s = spec(item);
+        let env = JobEnv {
+            stall: inject_match_label("PSA_INJECT_STALL", s.workload, &s.label),
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if inject_match_label("PSA_INJECT_PANIC", s.workload, &s.label) {
+                panic!("injected panic (PSA_INJECT_PANIC)");
+            }
+            f(item, &env)
+        }));
+        match result {
+            Ok(Ok(r)) => Some(r),
+            Ok(Err(e)) => {
+                let watchdog = matches!(e, SimError::WatchdogStall(_));
+                journal_failure(s.workload, s.label, &e.to_string(), watchdog);
+                None
+            }
+            Err(payload) => {
+                journal_failure(
+                    s.workload,
+                    s.label,
+                    &format!("panic: {}", panic_message(payload)),
+                    false,
+                );
+                None
+            }
+        }
+    })
+}
+
 /// A memoising single-core run cache: each (workload, variant) simulates
 /// once per experiment, no matter how many reductions consume it. Failed
 /// jobs are memoised too — a fault is as deterministic as a report, and
@@ -604,6 +741,11 @@ impl RunCache {
         record_global(simulated, 0, busy, wall, cycles);
     }
 
+    fn record_batch_wall(&mut self, wall: Duration) {
+        self.stats.batch_wall += wall;
+        G_BATCH_WALL_NANOS.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     /// Memoise `outcome`, journalling it (run journal or failure journal)
     /// and bumping the failure counters as appropriate. Returns the
     /// simulated-cycle contribution (0 for failures).
@@ -620,7 +762,7 @@ impl RunCache {
                 if *watchdog {
                     self.stats.watchdog_aborted += 1;
                 }
-                journal_failure(w.name, v, reason, *watchdog);
+                journal_failure(w.name, v.label(), reason, *watchdog);
                 0
             }
         };
@@ -669,6 +811,7 @@ impl RunCache {
                 self.stats.per_thread = vec![0];
             }
             self.stats.per_thread[0] += todo.len() as u64;
+            self.record_batch_wall(started.elapsed());
             self.record(todo.len() as u64, busy, started.elapsed(), cycles);
             return todo.len();
         }
@@ -715,6 +858,7 @@ impl RunCache {
         for (t, &count) in thread_runs.iter().enumerate() {
             self.stats.per_thread[t] += count;
         }
+        self.record_batch_wall(started.elapsed());
         self.record(n as u64, busy, started.elapsed(), cycles);
         n
     }

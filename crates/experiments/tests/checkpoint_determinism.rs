@@ -1,0 +1,134 @@
+//! End-to-end determinism of warm-up checkpointing through the real
+//! `RunCache` batch executor: memory hits, disk hits and corrupt-store
+//! fallback must all reproduce the cold path bit for bit.
+//!
+//! Mutates `PSA_CKPT_DIR` and the process-wide checkpoint store, so the
+//! whole scenario lives in a single `#[test]` in its own binary (its own
+//! process) — the same isolation pattern as `fault_isolation.rs`.
+
+use psa_core::PageSizePolicy;
+use psa_experiments::ckpt;
+use psa_experiments::runner::{self, RunCache, Variant};
+use psa_prefetchers::PrefetcherKind;
+use psa_sim::SimConfig;
+use psa_traces::WorkloadSpec;
+use std::fs;
+use std::path::PathBuf;
+
+fn jobs() -> Vec<(&'static WorkloadSpec, Variant)> {
+    let variants = [
+        Variant::NoPrefetch,
+        Variant::Pref(PrefetcherKind::Spp, PageSizePolicy::Original),
+        Variant::Pref(PrefetcherKind::Spp, PageSizePolicy::Psa),
+        Variant::Pref(PrefetcherKind::Spp, PageSizePolicy::PsaSd),
+    ];
+    ["lbm", "soplex"]
+        .iter()
+        .map(|n| runner::workload(n).unwrap())
+        .flat_map(|w| variants.iter().map(move |&v| (w, v)))
+        .collect()
+}
+
+/// Run the whole batch through a fresh cache and Debug-format every
+/// report — bit-identical state produces byte-identical strings.
+fn run_all(config: SimConfig, jobs: &[(&'static WorkloadSpec, Variant)]) -> Vec<String> {
+    let mut cache = RunCache::new();
+    cache.run_batch(config, jobs);
+    jobs.iter()
+        .map(|&(w, v)| format!("{:?}", cache.run(config, w, v)))
+        .collect()
+}
+
+/// Every checkpoint file in `dir`, sorted for a deterministic corruption
+/// assignment.
+fn ckpt_files(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ckpt"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn warm_checkpoints_reproduce_the_cold_path_bit_for_bit() {
+    let config = SimConfig::default()
+        .with_warmup(2_000)
+        .with_instructions(6_000);
+    let jobs = jobs();
+    std::env::remove_var("PSA_CKPT_DIR");
+
+    // Phase A: cold reference (no disk store, empty memory store).
+    ckpt::clear_memory();
+    let reference = run_all(config, &jobs);
+
+    // Phase B: a second cache in the same process shares every warm-up
+    // from the in-memory store — and reproduces the reports exactly.
+    let before = runner::global_stats();
+    let warm = run_all(config, &jobs);
+    let after = runner::global_stats();
+    assert_eq!(warm, reference, "memory-warm run diverged from cold run");
+    assert_eq!(
+        after.warmups_shared - before.warmups_shared,
+        jobs.len() as u64,
+        "every job should share its warm-up from memory"
+    );
+    assert_eq!(after.ckpt_hits, before.ckpt_hits, "no disk store is set");
+
+    // Phase C: with PSA_CKPT_DIR set, warm-ups persist on disk. Clearing
+    // the memory store simulates a fresh process; the disk hits must
+    // again be bit-identical.
+    let dir = std::env::temp_dir().join(format!("psa-ckpt-det-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("PSA_CKPT_DIR", &dir);
+    ckpt::clear_memory();
+    let seeded = run_all(config, &jobs);
+    assert_eq!(seeded, reference, "disk-seeding run diverged");
+    assert_eq!(ckpt_files(&dir).len(), jobs.len(), "one file per warm-up");
+
+    ckpt::clear_memory();
+    let before = runner::global_stats();
+    let from_disk = run_all(config, &jobs);
+    let after = runner::global_stats();
+    assert_eq!(from_disk, reference, "disk-warm run diverged from cold run");
+    assert_eq!(
+        after.ckpt_hits - before.ckpt_hits,
+        jobs.len() as u64,
+        "every job should restore from disk"
+    );
+
+    // Phase D: damage every checkpoint file (one corruption mode each:
+    // truncation, a flipped payload bit, a foreign format version). The
+    // store must reject them all, fall back to cold warm-ups, and still
+    // reproduce the reference — no panic, no silently wrong numbers.
+    for (i, path) in ckpt_files(&dir).into_iter().enumerate() {
+        let mut bytes = fs::read(&path).unwrap();
+        match i % 3 {
+            0 => bytes.truncate(10),
+            1 => {
+                let last = bytes.len() - 1;
+                bytes[last] ^= 0x40;
+            }
+            _ => bytes[8..12].copy_from_slice(&[0xFF; 4]),
+        }
+        fs::write(&path, bytes).unwrap();
+    }
+    ckpt::clear_memory();
+    let before = runner::global_stats();
+    let degraded = run_all(config, &jobs);
+    let after = runner::global_stats();
+    assert_eq!(degraded, reference, "corrupt-store fallback diverged");
+    assert_eq!(
+        after.ckpt_hits, before.ckpt_hits,
+        "corrupt files must not count as hits"
+    );
+    assert_eq!(
+        after.warmups_shared, before.warmups_shared,
+        "memory store was cleared; nothing to share"
+    );
+    assert_eq!(after.failed, before.failed, "fallback is not a failure");
+
+    std::env::remove_var("PSA_CKPT_DIR");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,105 @@
+//! Fault isolation for the `parallel_map_isolated` figure paths (the PR 2
+//! caveat closed): injected panics and watchdog stalls inside fig11-style
+//! and fig14-style jobs must become explicit gaps plus `failures` entries,
+//! while untouched cells stay bit-identical to a clean run.
+//!
+//! Mutates `PSA_INJECT_*` / `PSA_WORKLOAD_LIMIT` / `PSA_MIXES`, so the
+//! whole scenario lives in a single `#[test]` in its own binary (its own
+//! process) — the same isolation pattern as `fault_isolation.rs`.
+
+use psa_experiments::runner::{self, Settings};
+use psa_experiments::{fig11, fig1415};
+use psa_sim::SimConfig;
+use psa_traces::mixes::random_mixes;
+
+fn quick() -> SimConfig {
+    SimConfig::default()
+        .with_warmup(1_000)
+        .with_instructions(4_000)
+}
+
+#[test]
+fn injected_faults_in_map_jobs_become_gaps_and_failures() {
+    // ---- fig11-style: custom-configured single-core cells ----
+    std::env::set_var("PSA_WORKLOAD_LIMIT", "3");
+    std::env::set_var("PSA_THREADS", "2");
+    let settings = Settings { config: quick() };
+    let workloads = settings.workloads();
+    assert_eq!(workloads.len(), 3);
+
+    let clean = fig11::collect(&settings);
+
+    // Panic one SPP/SD-Proposed cell and stall one VLDP/SD-Standard cell;
+    // injection matches on `<workload>/<job label>`.
+    let w_panic = workloads[0].name;
+    let w_stall = workloads[1].name;
+    std::env::set_var(
+        "PSA_INJECT_PANIC",
+        format!("{w_panic}/fig11/SPP/SD-Proposed"),
+    );
+    std::env::set_var(
+        "PSA_INJECT_STALL",
+        format!("{w_stall}/fig11/VLDP/SD-Standard"),
+    );
+    let before = runner::global_stats();
+    let faulty = fig11::collect(&settings);
+    let after = runner::global_stats();
+    std::env::remove_var("PSA_INJECT_PANIC");
+    std::env::remove_var("PSA_INJECT_STALL");
+
+    // The figure still renders every row; untouched prefetchers are
+    // bit-identical to the clean run.
+    assert_eq!(faulty.len(), 3);
+    assert_eq!(
+        format!("{:?}", faulty[2]),
+        format!("{:?}", clean[2]),
+        "PPF row must not be affected by SPP/VLDP faults"
+    );
+    // The faulted cells shrink to a gap (their geomean drops the faulted
+    // workload) but stay plausible — never a panic, never a zeroed row.
+    for row in &faulty {
+        for s in row.speedups {
+            assert!(s > 0.2 && s < 5.0, "{}: implausible speedup {s}", row.kind);
+        }
+    }
+    assert_eq!(after.failed - before.failed, 2, "both faults journalled");
+    assert_eq!(
+        after.watchdog_aborted - before.watchdog_aborted,
+        1,
+        "the stall is aborted by the forward-progress watchdog"
+    );
+    let journal = runner::failures_json().pretty();
+    assert!(journal.contains("fig11/SPP/SD-Proposed"), "{journal}");
+    assert!(journal.contains("injected panic"), "{journal}");
+    assert!(journal.contains("fig11/VLDP/SD-Standard"), "{journal}");
+    assert!(journal.contains("\"watchdog\": true"), "{journal}");
+
+    // ---- fig14-style: multi-core mix evaluations ----
+    std::env::set_var("PSA_MIXES", "2");
+    // The injected label must name the job exactly: the SPP-PSA-SD
+    // evaluation of mix 0, keyed by the mix's first workload.
+    let mix_w = random_mixes(2, 2, settings.config.seed)[0][0].name;
+    std::env::set_var("PSA_INJECT_STALL", format!("{mix_w}/spp-s/mix0"));
+    let before = runner::global_stats();
+    let bars = fig1415::collect(&settings, 2);
+    let after = runner::global_stats();
+    std::env::remove_var("PSA_INJECT_STALL");
+    std::env::remove_var("PSA_MIXES");
+    std::env::remove_var("PSA_WORKLOAD_LIMIT");
+    std::env::remove_var("PSA_THREADS");
+
+    assert_eq!(bars.len(), 7, "every bar renders despite the fault");
+    for b in &bars {
+        let expect = if b.label == "SPP-PSA-SD" { 1 } else { 2 };
+        assert_eq!(
+            b.per_mix.len(),
+            expect,
+            "{}: the faulted mix must be an explicit gap",
+            b.label
+        );
+    }
+    assert!(after.failed > before.failed);
+    assert!(after.watchdog_aborted > before.watchdog_aborted);
+    let journal = runner::failures_json().pretty();
+    assert!(journal.contains("spp-s/mix0"), "{journal}");
+}

@@ -15,7 +15,7 @@
 //! `false`).
 
 use psa_common::geometry::xor_fold;
-use psa_common::PLine;
+use psa_common::{CodecError, Dec, Enc, PLine, Persist};
 use psa_core::{AccessContext, Candidate, FillLevel, IndexGrain, Prefetcher};
 
 /// BOP tuning, following the HPCA 2016 paper.
@@ -172,6 +172,22 @@ impl Prefetcher for Bop {
     fn storage_bytes(&self) -> usize {
         // RR table of line addresses (~4B folded tags) + scores.
         self.rr.len() * 4 + OFFSET_LIST.len()
+    }
+
+    fn save_state(&self, e: &mut Enc) {
+        self.rr.save(e);
+        self.scores.save(e);
+        self.test_idx.save(e);
+        self.round_len.save(e);
+        self.best.save(e);
+    }
+
+    fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        self.rr.load(d)?;
+        self.scores.load(d)?;
+        self.test_idx.load(d)?;
+        self.round_len.load(d)?;
+        self.best.load(d)
     }
 }
 

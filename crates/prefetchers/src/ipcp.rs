@@ -18,7 +18,7 @@
 //! decision, not the prefetcher's.
 
 use psa_common::geometry::xor_fold;
-use psa_common::{SatCounter, VAddr, VLine};
+use psa_common::{CodecError, Dec, Enc, Persist, SatCounter, VAddr, VLine};
 
 /// An L1D prefetcher driven by virtual addresses.
 pub trait L1dPrefetcher {
@@ -26,6 +26,16 @@ pub trait L1dPrefetcher {
     fn name(&self) -> &'static str;
     /// Observe one L1D access and append candidate virtual lines.
     fn on_l1d_access(&mut self, vline: VLine, pc: VAddr, hit: bool, out: &mut Vec<VLine>);
+    /// Serialise mutable training state (see
+    /// [`psa_core::Prefetcher::save_state`] for the contract).
+    fn save_state(&self, e: &mut Enc);
+    /// Restore state written by [`L1dPrefetcher::save_state`] into an
+    /// instance of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or corrupt bytes.
+    fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError>;
 }
 
 /// IPCP tuning (ISCA 2020 shapes).
@@ -64,7 +74,7 @@ impl Default for IpcpConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct IpEntry {
     tag: u64,
     last_line: u64,
@@ -74,20 +84,42 @@ struct IpEntry {
     valid: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
+psa_common::persist_struct!(IpEntry {
+    tag,
+    last_line,
+    stride,
+    conf,
+    sig,
+    valid,
+});
+
+#[derive(Debug, Clone, Copy, Default)]
 struct CsptEntry {
     stride: i64,
     conf: SatCounter,
     valid: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
+psa_common::persist_struct!(CsptEntry {
+    stride,
+    conf,
+    valid,
+});
+
+#[derive(Debug, Clone, Copy, Default)]
 struct Region {
     id: u64,
     touches: u32,
     lru: u64,
     valid: bool,
 }
+
+psa_common::persist_struct!(Region {
+    id,
+    touches,
+    lru,
+    valid,
+});
 
 /// The IPCP L1D prefetcher.
 #[derive(Debug)]
@@ -279,6 +311,20 @@ impl L1dPrefetcher for Ipcp {
             }
             sig = Self::next_sig(sig, p.stride);
         }
+    }
+
+    fn save_state(&self, e: &mut Enc) {
+        self.ip_table.save(e);
+        self.cspt.save(e);
+        self.regions.save(e);
+        self.stamp.save(e);
+    }
+
+    fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        self.ip_table.load(d)?;
+        self.cspt.load(d)?;
+        self.regions.load(d)?;
+        self.stamp.load(d)
     }
 }
 

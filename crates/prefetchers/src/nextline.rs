@@ -1,6 +1,6 @@
 //! Next-line prefetchers (the reference baseline of Figure 13).
 
-use psa_common::VLine;
+use psa_common::{CodecError, Dec, Enc, VLine};
 use psa_core::{AccessContext, Candidate, Prefetcher};
 
 use crate::ipcp::L1dPrefetcher;
@@ -44,6 +44,13 @@ impl Prefetcher for NextLine {
     fn storage_bytes(&self) -> usize {
         0
     }
+
+    // Stateless: the degree is configuration.
+    fn save_state(&self, _e: &mut Enc) {}
+
+    fn load_state(&mut self, _d: &mut Dec) -> Result<(), CodecError> {
+        Ok(())
+    }
 }
 
 /// A next-line L1D prefetcher operating on virtual lines — the "NL" bar of
@@ -82,6 +89,13 @@ impl L1dPrefetcher for NextLineL1d {
                 out.push(line);
             }
         }
+    }
+
+    // Stateless: the degree is configuration.
+    fn save_state(&self, _e: &mut Enc) {}
+
+    fn load_state(&mut self, _d: &mut Dec) -> Result<(), CodecError> {
+        Ok(())
     }
 }
 

@@ -13,7 +13,7 @@
 //! variant is meaningful (unlike BOP's).
 
 use psa_common::geometry::xor_fold;
-use psa_common::{PLine, VAddr};
+use psa_common::{CodecError, Dec, Enc, PLine, Persist, VAddr};
 use psa_core::{AccessContext, Candidate, FillLevel, IndexGrain, Prefetcher};
 
 use crate::spp::{Spp, SppConfig, SppSuggestion};
@@ -66,13 +66,20 @@ impl Default for PpfConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct Recorded {
     tag: u64,
     features: [u16; NUM_FEATURES],
     sum: i32,
     valid: bool,
 }
+
+psa_common::persist_struct!(Recorded {
+    tag,
+    features,
+    sum,
+    valid,
+});
 
 const EMPTY: Recorded = Recorded {
     tag: 0,
@@ -239,6 +246,20 @@ impl Prefetcher for Ppf {
         self.spp.storage_bytes()
             + NUM_FEATURES * self.config.table_entries * 6 / 8
             + (self.prefetch_table.len() + self.reject_table.len()) * 12
+    }
+
+    fn save_state(&self, e: &mut Enc) {
+        self.spp.save_state(e);
+        self.weights.save(e);
+        self.prefetch_table.save(e);
+        self.reject_table.save(e);
+    }
+
+    fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        self.spp.load_state(d)?;
+        self.weights.load(d)?;
+        self.prefetch_table.load(d)?;
+        self.reject_table.load(d)
     }
 }
 

@@ -16,7 +16,7 @@
 //! (§III-C of the PSA paper).
 
 use psa_common::geometry::xor_fold;
-use psa_common::{PLine, SatCounter, VAddr};
+use psa_common::{CodecError, Dec, Enc, PLine, Persist, SatCounter, VAddr};
 use psa_core::{AccessContext, Candidate, FillLevel, IndexGrain, Prefetcher};
 
 /// SPP structure sizes and thresholds, following the MICRO 2016 paper.
@@ -84,7 +84,7 @@ pub struct SppSuggestion {
     pub offset: i64,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct StEntry {
     tag: u64,
     last_offset: i64,
@@ -93,13 +93,23 @@ struct StEntry {
     lru: u64,
 }
 
-#[derive(Debug, Clone)]
+psa_common::persist_struct!(StEntry {
+    tag,
+    last_offset,
+    sig,
+    valid,
+    lru,
+});
+
+#[derive(Debug, Clone, Default)]
 struct PtEntry {
     c_sig: SatCounter,
     deltas: Vec<(i64, SatCounter)>,
 }
 
-#[derive(Debug, Clone, Copy)]
+psa_common::persist_struct!(PtEntry { c_sig, deltas });
+
+#[derive(Debug, Clone, Copy, Default)]
 struct GhrEntry {
     sig: u16,
     _confidence: f64,
@@ -109,6 +119,15 @@ struct GhrEntry {
     delta: i64,
     valid: bool,
 }
+
+psa_common::persist_struct!(GhrEntry {
+    sig,
+    _confidence,
+    page,
+    last_offset,
+    delta,
+    valid,
+});
 
 /// The Signature Path Prefetcher.
 #[derive(Debug)]
@@ -463,6 +482,30 @@ impl Prefetcher for Spp {
         // ST: tag(16b)+offset+sig ≈ 6B/entry; PT: 4 deltas × (7b+4b) + 4b
         // ≈ 6B/entry; GHR negligible.
         self.st.len() * 6 + self.pt.len() * 6
+    }
+
+    // `suggestions` is rebuilt from scratch on every access and never read
+    // across accesses, so it stays out of the checkpoint.
+    fn save_state(&self, e: &mut Enc) {
+        self.st.save(e);
+        self.pt.save(e);
+        self.ghr.save(e);
+        self.ghr_next.save(e);
+        self.stamp.save(e);
+        self.issued.save(e);
+        self.useful.save(e);
+        self.throttle_age.save(e);
+    }
+
+    fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        self.st.load(d)?;
+        self.pt.load(d)?;
+        self.ghr.load(d)?;
+        self.ghr_next.load(d)?;
+        self.stamp.load(d)?;
+        self.issued.load(d)?;
+        self.useful.load(d)?;
+        self.throttle_age.load(d)
     }
 }
 

@@ -10,6 +10,7 @@
 //! LLC.
 
 use psa_common::geometry::xor_fold;
+use psa_common::{CodecError, Dec, Enc, Persist};
 use psa_core::{AccessContext, Candidate, FillLevel, IndexGrain, Prefetcher};
 
 /// Maximum delta history VLDP correlates on.
@@ -39,7 +40,7 @@ impl Default for VldpConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct DhbEntry {
     tag: u64,
     last_offset: i64,
@@ -51,7 +52,17 @@ struct DhbEntry {
     lru: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
+psa_common::persist_struct!(DhbEntry {
+    tag,
+    last_offset,
+    first_offset,
+    deltas,
+    num_deltas,
+    valid,
+    lru,
+});
+
+#[derive(Debug, Clone, Copy, Default)]
 struct DptEntry {
     key: u64,
     predicted: i64,
@@ -61,12 +72,25 @@ struct DptEntry {
     valid: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
+psa_common::persist_struct!(DptEntry {
+    key,
+    predicted,
+    accurate,
+    valid,
+});
+
+#[derive(Debug, Clone, Copy, Default)]
 struct OptEntry {
     predicted: i64,
     accurate: bool,
     valid: bool,
 }
+
+psa_common::persist_struct!(OptEntry {
+    predicted,
+    accurate,
+    valid,
+});
 
 /// The Variable Length Delta Prefetcher.
 #[derive(Debug)]
@@ -283,6 +307,20 @@ impl Prefetcher for Vldp {
     fn storage_bytes(&self) -> usize {
         // DHB ≈ 16B/entry; DPT ≈ 10B/entry ×3 tables; OPT ≈ 3B/entry.
         self.dhb.len() * 16 + 3 * self.config.dpt_entries * 10 + self.opt.len() * 3
+    }
+
+    fn save_state(&self, e: &mut Enc) {
+        self.dhb.save(e);
+        self.dpts.save(e);
+        self.opt.save(e);
+        self.stamp.save(e);
+    }
+
+    fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        self.dhb.load(d)?;
+        self.dpts.load(d)?;
+        self.opt.load(d)?;
+        self.stamp.load(d)
     }
 }
 

@@ -42,6 +42,61 @@ pub enum SimError {
         /// The violated invariant, naming the structure.
         what: String,
     },
+    /// A checkpoint could not be accepted: damaged bytes, a foreign
+    /// format version, or a snapshot taken from a different machine.
+    /// Callers treat every cause the same way — discard the checkpoint
+    /// and warm up cold; none of them is ever a panic.
+    Checkpoint(CheckpointError),
+}
+
+/// Why a checkpoint was rejected. Each cause names the *first* check that
+/// failed; validation stops there, so e.g. a truncated file is reported
+/// as [`CheckpointError::Truncated`] even if its version field is also
+/// stale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The byte stream ended before the encoded state was complete.
+    Truncated,
+    /// A structural field held an impossible value (bad magic, bad tag,
+    /// checksum mismatch, trailing bytes…).
+    Corrupt(&'static str),
+    /// The snapshot was written by a different format version.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build writes and reads.
+        expected: u32,
+    },
+    /// The snapshot belongs to a different (config, workloads, variant)
+    /// key — restoring it would silently simulate the wrong machine.
+    KeyMismatch {
+        /// Key found in the header.
+        found: u64,
+        /// Key the caller expected.
+        expected: u64,
+    },
+    /// The filesystem failed underneath the checkpoint store.
+    Io(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Truncated => f.write_str("truncated checkpoint"),
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            CheckpointError::VersionMismatch { found, expected } => {
+                write!(
+                    f,
+                    "checkpoint version {found} (this build reads {expected})"
+                )
+            }
+            CheckpointError::KeyMismatch { found, expected } => write!(
+                f,
+                "checkpoint key {found:#018x} does not match expected {expected:#018x}"
+            ),
+            CheckpointError::Io(what) => write!(f, "checkpoint I/O: {what}"),
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -56,6 +111,7 @@ impl fmt::Display for SimError {
             }
             SimError::WatchdogStall(snap) => write!(f, "watchdog stall: {snap}"),
             SimError::Invariant { what } => write!(f, "invariant violated: {what}"),
+            SimError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
         }
     }
 }

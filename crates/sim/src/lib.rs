@@ -36,10 +36,12 @@ pub mod config;
 pub mod error;
 pub mod metrics;
 pub mod report;
+pub mod snapshot;
 pub mod system;
 
 pub use config::{L1dPrefKind, SimConfig};
-pub use error::{CoreStall, SimError, StallSnapshot};
+pub use error::{CheckpointError, CoreStall, SimError, StallSnapshot};
 pub use metrics::{MultiReport, RunReport};
 pub use report::Json;
+pub use snapshot::{Snapshot, SNAPSHOT_VERSION};
 pub use system::System;

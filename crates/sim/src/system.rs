@@ -18,7 +18,7 @@
 //! L2C→LLC→DRAM path.
 
 use psa_cache::{Cache, CacheStats, FillKind, Mshr, MshrMeta};
-use psa_common::{PLine, PageSize, VAddr, VLine};
+use psa_common::{CodecError, Dec, Enc, PLine, PageSize, Persist, VAddr, VLine};
 use psa_core::ppm::PageSizeSource;
 use psa_core::{FillLevel, PageSizePolicy, PrefetchRequest, PsaModule};
 use psa_cpu::{Core, Instr, MemoryPort};
@@ -46,6 +46,24 @@ enum L1dPref {
     Ipcp { pref: Ipcp, cross: bool },
 }
 
+impl L1dPref {
+    /// The variant shape (`NextLine` vs `Ipcp`, `cross`) is configuration
+    /// and is rebuilt before a restore; only the trained tables travel.
+    fn save_state(&self, e: &mut Enc) {
+        match self {
+            L1dPref::NextLine(p) => p.save_state(e),
+            L1dPref::Ipcp { pref, .. } => pref.save_state(e),
+        }
+    }
+
+    fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        match self {
+            L1dPref::NextLine(p) => p.load_state(d),
+            L1dPref::Ipcp { pref, .. } => pref.load_state(d),
+        }
+    }
+}
+
 struct CoreCtx {
     id: u8,
     aspace: AddressSpace,
@@ -66,6 +84,51 @@ struct CoreCtx {
     debug: [u64; 8],
 }
 
+impl Persist for CoreCtx {
+    fn save(&self, e: &mut Enc) {
+        self.aspace.save(e);
+        self.mmu.save(e);
+        self.l1d.save(e);
+        self.l1d_mshr.save(e);
+        self.l2c.save(e);
+        self.l2c_mshr.save(e);
+        if let Some(m) = &self.module {
+            m.save(e);
+        }
+        if let Some(p) = &self.l1d_pref {
+            p.save_state(e);
+        }
+        self.l2c_lat_sum.save(e);
+        self.l2c_lat_cnt.save(e);
+        self.llc_lat_sum.save(e);
+        self.llc_lat_cnt.save(e);
+        self.debug.save(e);
+        // `id` is configuration; `pf_buf`/`l1d_pref_buf` are scratch
+        // buffers cleared before every use and carry no state between
+        // steps.
+    }
+
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        self.aspace.load(d)?;
+        self.mmu.load(d)?;
+        self.l1d.load(d)?;
+        self.l1d_mshr.load(d)?;
+        self.l2c.load(d)?;
+        self.l2c_mshr.load(d)?;
+        if let Some(m) = &mut self.module {
+            m.load(d)?;
+        }
+        if let Some(p) = &mut self.l1d_pref {
+            p.load_state(d)?;
+        }
+        self.l2c_lat_sum.load(d)?;
+        self.l2c_lat_cnt.load(d)?;
+        self.llc_lat_sum.load(d)?;
+        self.llc_lat_cnt.load(d)?;
+        self.debug.load(d)
+    }
+}
+
 struct Shared {
     llc: Cache,
     llc_mshr: Mshr,
@@ -76,12 +139,60 @@ struct Shared {
     feedback: Vec<Feedback>,
 }
 
+psa_common::persist_struct!(Shared {
+    llc,
+    llc_mshr,
+    dram,
+    phys,
+    feedback,
+});
+
 #[derive(Debug, Clone, Copy)]
 enum Feedback {
     Useful { source: u8, line: PLine },
     UsefulLate { source: u8, line: PLine },
     Useless { source: u8, line: PLine },
     Fill { source: u8, line: PLine },
+}
+
+/// A placeholder codec load target only; real values come off the wire.
+impl Default for Feedback {
+    fn default() -> Self {
+        Feedback::Fill {
+            source: 0,
+            line: PLine::new(0),
+        }
+    }
+}
+
+impl Persist for Feedback {
+    fn save(&self, e: &mut Enc) {
+        let (tag, source, line) = match *self {
+            Feedback::Useful { source, line } => (0u8, source, line),
+            Feedback::UsefulLate { source, line } => (1, source, line),
+            Feedback::Useless { source, line } => (2, source, line),
+            Feedback::Fill { source, line } => (3, source, line),
+        };
+        tag.save(e);
+        source.save(e);
+        line.save(e);
+    }
+
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        let tag = d.get_u8()?;
+        let mut source = 0u8;
+        source.load(d)?;
+        let mut line = PLine::new(0);
+        line.load(d)?;
+        *self = match tag {
+            0 => Feedback::Useful { source, line },
+            1 => Feedback::UsefulLate { source, line },
+            2 => Feedback::Useless { source, line },
+            3 => Feedback::Fill { source, line },
+            _ => return Err(CodecError::Corrupt("feedback tag")),
+        };
+        Ok(())
+    }
 }
 
 struct Lat {
@@ -599,6 +710,68 @@ struct CoreSnap {
     debug: [u64; 8],
 }
 
+psa_common::persist_struct!(CoreSnap {
+    cycle,
+    l2c,
+    l2c_lat,
+    llc_lat,
+    module,
+    boundary,
+    debug,
+});
+
+/// The run loop's mutable cursor, owned by the [`System`] so a run can be
+/// paused at any step boundary, checkpointed, and resumed — the step that
+/// executes next is a pure function of this state plus the components.
+struct RunState {
+    /// Instructions executed per core.
+    executed: Vec<u64>,
+    /// Total steps taken (one instruction on one core per step).
+    steps: u64,
+    /// Per-core stats snapshots taken as each core crossed warm-up.
+    snaps: Vec<CoreSnap>,
+    /// Which cores have crossed warm-up.
+    warm: Vec<bool>,
+    /// Shared LLC/DRAM stats at the all-warm instant.
+    shared_snap: (CacheStats, psa_dram::DramStats),
+    /// Cores still short of their instruction budget.
+    active: Vec<usize>,
+    /// Sampled (instructions, huge-usage fraction) for core 0.
+    thp_series: Vec<(u64, f64)>,
+    /// Watchdog: progress-event count at the last observed progress.
+    last_progress: u64,
+    /// Watchdog: cycle at the last observed progress.
+    last_progress_cycle: u64,
+}
+
+psa_common::persist_struct!(RunState {
+    executed,
+    steps,
+    snaps,
+    warm,
+    shared_snap,
+    active,
+    thp_series,
+    last_progress,
+    last_progress_cycle,
+});
+
+impl RunState {
+    fn new(config: &SimConfig, n: usize) -> Self {
+        Self {
+            executed: vec![0; n],
+            steps: 0,
+            snaps: vec![CoreSnap::default(); n],
+            warm: vec![config.warmup == 0; n],
+            shared_snap: (CacheStats::default(), psa_dram::DramStats::default()),
+            active: (0..n).collect(),
+            thp_series: Vec::new(),
+            last_progress: 0,
+            last_progress_cycle: 0,
+        }
+    }
+}
+
 /// A fully-wired simulated machine, ready to run once.
 pub struct System {
     config: SimConfig,
@@ -607,6 +780,7 @@ pub struct System {
     shared: Shared,
     gens: Vec<TraceGenerator>,
     names: Vec<&'static str>,
+    state: RunState,
 }
 
 impl System {
@@ -817,6 +991,7 @@ impl System {
             ));
             names.push(w.name);
         }
+        let state = RunState::new(&config, workloads.len());
         Ok(Self {
             config,
             cores,
@@ -824,7 +999,19 @@ impl System {
             shared,
             gens,
             names,
+            state,
         })
+    }
+
+    /// The configuration this machine was built from. A checkpoint can
+    /// only be restored into a machine rebuilt from the same value.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The workload name on each core, in core order.
+    pub fn workload_names(&self) -> &[&'static str] {
+        &self.names
     }
 
     fn snap_core(cores: &[Core], ctx: &CoreCtx, i: usize) -> CoreSnap {
@@ -965,100 +1152,206 @@ impl System {
         Ok(())
     }
 
-    fn run_all(&mut self) -> Result<RunAllOut, SimError> {
-        let n = self.cores.len();
+    fn check_enabled(&self) -> bool {
+        self.config.check || std::env::var("PSA_CHECK").is_ok_and(|v| v == "1")
+    }
+
+    /// Execute one step: one instruction on the core that is earliest in
+    /// simulated time. The choice is a pure function of the machine state,
+    /// so any prefix of the step sequence is a valid pause point — runs
+    /// resumed from a restored checkpoint replay the identical sequence.
+    fn step(&mut self, check: bool) -> Result<(), SimError> {
         let total = self.config.warmup + self.config.instructions;
-        let mut executed = vec![0u64; n];
-        let mut snaps: Vec<CoreSnap> = vec![CoreSnap::default(); n];
-        let mut warm = vec![self.config.warmup == 0; n];
-        let mut shared_snap = (self.shared.llc.stats(), self.shared.dram.stats());
-        let mut active: Vec<usize> = (0..n).collect();
-        let mut thp_series = Vec::new();
         let sample_every = (total / 24).max(1);
-        let check = self.config.check || std::env::var("PSA_CHECK").is_ok_and(|v| v == "1");
         let watchdog = self.config.watchdog_cycles;
-        let mut last_progress = self.progress_events();
-        let mut last_progress_cycle = 0u64;
-        while !active.is_empty() {
-            // Step the core that is earliest in simulated time.
-            let (pos, &i) = active
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &i)| self.cores[i].now())
-                .expect("non-empty active set");
-            if watchdog > 0 {
-                // The stepped core's fetch cycle is the global low
-                // watermark of simulated time.
-                let now = self.cores[i].now();
-                let progress = self.progress_events();
-                if progress != last_progress {
-                    last_progress = progress;
-                    last_progress_cycle = now;
-                } else if now.saturating_sub(last_progress_cycle) > watchdog {
-                    return Err(SimError::WatchdogStall(Box::new(
-                        self.stall_snapshot(now, last_progress_cycle),
-                    )));
-                }
+        let (pos, &i) = self
+            .state
+            .active
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &i)| self.cores[i].now())
+            .expect("non-empty active set");
+        if watchdog > 0 {
+            // The stepped core's fetch cycle is the global low
+            // watermark of simulated time.
+            let now = self.cores[i].now();
+            let progress = self.progress_events();
+            if progress != self.state.last_progress {
+                self.state.last_progress = progress;
+                self.state.last_progress_cycle = now;
+            } else if now.saturating_sub(self.state.last_progress_cycle) > watchdog {
+                return Err(SimError::WatchdogStall(Box::new(
+                    self.stall_snapshot(now, self.state.last_progress_cycle),
+                )));
             }
-            let instr: Instr = self.gens[i].next().expect("generator is infinite");
-            {
-                let mut port = Port {
-                    ctx: &mut self.ctxs[i],
-                    shared: &mut self.shared,
-                    lat: Lat {
-                        l1d: self.config.l1d.latency,
-                        l2c: self.config.l2c.latency,
-                        llc: self.config.llc.latency,
-                    },
+        }
+        let instr: Instr = self.gens[i].next().expect("generator is infinite");
+        {
+            let mut port = Port {
+                ctx: &mut self.ctxs[i],
+                shared: &mut self.shared,
+                lat: Lat {
+                    l1d: self.config.l1d.latency,
+                    l2c: self.config.l2c.latency,
+                    llc: self.config.llc.latency,
+                },
+            };
+            self.cores[i].execute(&instr, &mut port);
+        }
+        // Dispatch LLC-level prefetch feedback to the owning modules.
+        if !self.shared.feedback.is_empty() {
+            for fb in std::mem::take(&mut self.shared.feedback) {
+                let (source, line, kind) = match fb {
+                    Feedback::Useful { source, line } => (source, line, 0u8),
+                    Feedback::UsefulLate { source, line } => (source, line, 1),
+                    Feedback::Useless { source, line } => (source, line, 2),
+                    Feedback::Fill { source, line } => (source, line, 3),
                 };
-                self.cores[i].execute(&instr, &mut port);
-            }
-            // Dispatch LLC-level prefetch feedback to the owning modules.
-            if !self.shared.feedback.is_empty() {
-                for fb in std::mem::take(&mut self.shared.feedback) {
-                    let (source, line, kind) = match fb {
-                        Feedback::Useful { source, line } => (source, line, 0u8),
-                        Feedback::UsefulLate { source, line } => (source, line, 1),
-                        Feedback::Useless { source, line } => (source, line, 2),
-                        Feedback::Fill { source, line } => (source, line, 3),
-                    };
-                    let core = usize::from((source & !PASS) >> 1);
-                    let competitor = source & 1;
-                    if let Some(m) = self.ctxs.get_mut(core).and_then(|c| c.module.as_mut()) {
-                        match kind {
-                            0 => m.on_useful(line, VAddr::new(0), competitor, true),
-                            1 => m.on_useful(line, VAddr::new(0), competitor, false),
-                            2 => m.on_useless(line, competitor),
-                            _ => m.on_prefetch_fill(line, competitor),
-                        }
+                let core = usize::from((source & !PASS) >> 1);
+                let competitor = source & 1;
+                if let Some(m) = self.ctxs.get_mut(core).and_then(|c| c.module.as_mut()) {
+                    match kind {
+                        0 => m.on_useful(line, VAddr::new(0), competitor, true),
+                        1 => m.on_useful(line, VAddr::new(0), competitor, false),
+                        2 => m.on_useless(line, competitor),
+                        _ => m.on_prefetch_fill(line, competitor),
                     }
                 }
             }
-            executed[i] += 1;
-            if i == 0 && executed[0].is_multiple_of(sample_every) {
-                thp_series.push((executed[0], self.ctxs[0].aspace.huge_usage_fraction()));
-            }
-            if !warm[i] && executed[i] == self.config.warmup {
-                warm[i] = true;
-                snaps[i] = Self::snap_core(&self.cores, &self.ctxs[i], i);
-                if warm.iter().all(|&w| w) {
-                    shared_snap = (self.shared.llc.stats(), self.shared.dram.stats());
-                    if check {
-                        self.audit()?;
-                    }
+        }
+        self.state.executed[i] += 1;
+        self.state.steps += 1;
+        if i == 0 && self.state.executed[0].is_multiple_of(sample_every) {
+            self.state.thp_series.push((
+                self.state.executed[0],
+                self.ctxs[0].aspace.huge_usage_fraction(),
+            ));
+        }
+        if !self.state.warm[i] && self.state.executed[i] == self.config.warmup {
+            self.state.warm[i] = true;
+            self.state.snaps[i] = Self::snap_core(&self.cores, &self.ctxs[i], i);
+            if self.state.warm.iter().all(|&w| w) {
+                self.state.shared_snap = (self.shared.llc.stats(), self.shared.dram.stats());
+                if check {
+                    self.audit()?;
                 }
             }
-            if executed[i] == total {
-                active.swap_remove(pos);
-            }
+        }
+        if self.state.executed[i] == total {
+            self.state.active.swap_remove(pos);
+        }
+        Ok(())
+    }
+
+    /// Whether every core has executed its full warm-up + measured budget.
+    pub fn finished(&self) -> bool {
+        self.state.active.is_empty()
+    }
+
+    /// Total steps executed so far (one instruction on one core per step).
+    pub fn steps_done(&self) -> u64 {
+        self.state.steps
+    }
+
+    /// Whether every core has crossed its warm-up point.
+    pub fn warmed_up(&self) -> bool {
+        self.state.warm.iter().all(|&w| w)
+    }
+
+    /// Advance the run until `steps` total steps have executed (across the
+    /// whole machine, counted from build) or the run finishes, whichever
+    /// comes first. Returns whether the run is now finished.
+    ///
+    /// Splitting a run into `run_to` segments is bit-identical to running
+    /// it straight through: the step sequence is deterministic and no
+    /// per-segment state exists outside the [`System`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WatchdogStall`] or [`SimError::Invariant`]
+    /// exactly as an uninterrupted run would.
+    pub fn run_to(&mut self, steps: u64) -> Result<bool, SimError> {
+        let check = self.check_enabled();
+        while !self.state.active.is_empty() && self.state.steps < steps {
+            self.step(check)?;
+        }
+        Ok(self.finished())
+    }
+
+    /// Advance the run until every core has crossed warm-up (a no-op when
+    /// already warm). This is the canonical checkpoint instant: the warm-up
+    /// snapshots are taken, the measured region has not started.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WatchdogStall`] or [`SimError::Invariant`]
+    /// exactly as an uninterrupted run would.
+    pub fn run_to_warm(&mut self) -> Result<(), SimError> {
+        let check = self.check_enabled();
+        while !self.state.active.is_empty() && !self.warmed_up() {
+            self.step(check)?;
+        }
+        Ok(())
+    }
+
+    fn run_all(&mut self) -> Result<RunAllOut, SimError> {
+        let check = self.check_enabled();
+        while !self.state.active.is_empty() {
+            self.step(check)?;
         }
         if check {
             self.audit()?;
         }
         let finish: Vec<u64> = self.cores.iter_mut().map(|c| c.drain()).collect();
-        let llc = cache_diff(self.shared.llc.stats(), shared_snap.0);
-        let dram = dram_diff(self.shared.dram.stats(), shared_snap.1);
+        let llc = cache_diff(self.shared.llc.stats(), self.state.shared_snap.0);
+        let dram = dram_diff(self.shared.dram.stats(), self.state.shared_snap.1);
+        let snaps = std::mem::take(&mut self.state.snaps);
+        let thp_series = std::mem::take(&mut self.state.thp_series);
         Ok((snaps, finish, llc, dram, thp_series))
+    }
+
+    /// Serialize the machine's complete mutable state. Shape/config data
+    /// is *not* written — see the restore contract in
+    /// [`crate::snapshot`].
+    pub(crate) fn save_payload(&self, e: &mut Enc) {
+        e.put_usize(self.cores.len());
+        for c in &self.cores {
+            c.save(e);
+        }
+        for c in &self.ctxs {
+            c.save(e);
+        }
+        self.shared.save(e);
+        for g in &self.gens {
+            g.save(e);
+        }
+        self.state.save(e);
+    }
+
+    /// Load mutable state saved by [`System::save_payload`] into this
+    /// machine, which must have been built from the same configuration
+    /// and workloads. On error the machine is partially overwritten and
+    /// must be discarded.
+    pub(crate) fn load_payload(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        let n = d.get_usize()?;
+        if n != self.cores.len() {
+            return Err(CodecError::Corrupt("core count mismatch"));
+        }
+        for c in &mut self.cores {
+            c.load(d)?;
+        }
+        for c in &mut self.ctxs {
+            c.load(d)?;
+        }
+        self.shared.load(d)?;
+        for g in &mut self.gens {
+            g.load(d)?;
+        }
+        self.state.load(d)?;
+        if d.remaining() != 0 {
+            return Err(CodecError::Corrupt("trailing bytes after state"));
+        }
+        Ok(())
     }
 
     /// Run a single-core system to completion.

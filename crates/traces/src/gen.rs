@@ -61,6 +61,24 @@ pub struct TraceGenerator {
     count: u64,
 }
 
+psa_common::persist_struct!(Component {
+    base,
+    lines,
+    cursors,
+    next_cursor,
+    stride,
+    window,
+});
+
+// `spec` and `weights` are configuration; the RNG stream position, all
+// component cursors and the filler debt are the generator's state.
+psa_common::persist_struct!(TraceGenerator {
+    rng,
+    comps,
+    filler_left,
+    count,
+});
+
 impl TraceGenerator {
     /// Build the generator for `spec`, streaming deterministically from
     /// `seed` (the workload name is folded in, so different workloads

@@ -35,11 +35,36 @@ impl Default for AspaceConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 enum RegionBacking {
     Huge(Translation),
     /// Region faulted as individual 4KB pages.
+    #[default]
     Small,
+}
+
+impl psa_common::Persist for RegionBacking {
+    fn save(&self, e: &mut psa_common::Enc) {
+        match self {
+            RegionBacking::Huge(t) => {
+                e.put_u8(0);
+                t.save(e);
+            }
+            RegionBacking::Small => e.put_u8(1),
+        }
+    }
+    fn load(&mut self, d: &mut psa_common::Dec) -> Result<(), psa_common::CodecError> {
+        *self = match d.get_u8()? {
+            0 => {
+                let mut t = Translation::default();
+                t.load(d)?;
+                RegionBacking::Huge(t)
+            }
+            1 => RegionBacking::Small,
+            _ => return Err(psa_common::CodecError::Corrupt("region backing tag")),
+        };
+        Ok(())
+    }
 }
 
 /// One process's virtual address space.
@@ -56,6 +81,17 @@ pub struct AddressSpace {
     bytes_4k: u64,
     bytes_2m: u64,
 }
+
+// The THP policy knobs (`config`) are rebuilt from the simulation
+// configuration; everything the demand pager has learned is state.
+psa_common::persist_struct!(AddressSpace {
+    page_table,
+    regions,
+    small_pages,
+    touched_in_huge,
+    bytes_4k,
+    bytes_2m,
+});
 
 impl AddressSpace {
     /// Create an empty address space.

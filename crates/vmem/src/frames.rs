@@ -68,6 +68,23 @@ enum Region {
     Fragmented(Vec<u16>),
 }
 
+impl Default for Region {
+    fn default() -> Self {
+        Region::Fragmented(Vec::new())
+    }
+}
+
+impl psa_common::Persist for Region {
+    fn save(&self, e: &mut psa_common::Enc) {
+        let Region::Fragmented(slots) = self;
+        slots.save(e);
+    }
+    fn load(&mut self, d: &mut psa_common::Dec) -> Result<(), psa_common::CodecError> {
+        let Region::Fragmented(slots) = self;
+        slots.load(d)
+    }
+}
+
 /// The machine's physical memory allocator, shared by all address spaces.
 #[derive(Debug)]
 pub struct PhysMem {
@@ -81,6 +98,16 @@ pub struct PhysMem {
     allocated_4k: u64,
     allocated_2m: u64,
 }
+
+// The capacity (`config`) is rebuilt from the simulation configuration; the
+// RNG stream position and free lists are the allocator's state.
+psa_common::persist_struct!(PhysMem {
+    rng,
+    free_regions,
+    open,
+    allocated_4k,
+    allocated_2m,
+});
 
 impl PhysMem {
     /// Create an allocator over `config.bytes` of physical memory.

@@ -89,6 +89,19 @@ pub struct Mmu {
     stats: MmuStats,
 }
 
+psa_common::persist_struct!(MmuStats {
+    translations,
+    walks,
+    walk_accesses,
+});
+
+psa_common::persist_struct!(Mmu {
+    dtlb,
+    stlb,
+    psc,
+    stats,
+});
+
 impl Mmu {
     /// Build an MMU of the given shape.
     ///

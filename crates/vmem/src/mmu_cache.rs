@@ -32,7 +32,7 @@ impl Default for MmuCacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct PscEntry {
     prefix: u64,
     node: u32,
@@ -40,10 +40,19 @@ struct PscEntry {
     valid: bool,
 }
 
+psa_common::persist_struct!(PscEntry {
+    prefix,
+    node,
+    last_use,
+    valid,
+});
+
 #[derive(Debug)]
 struct PscLevel {
     entries: Vec<PscEntry>,
 }
+
+psa_common::persist_struct!(PscLevel { entries });
 
 impl PscLevel {
     fn new(n: usize) -> Self {
@@ -113,6 +122,8 @@ pub struct MmuCaches {
     levels: [PscLevel; 3],
     stamp: u64,
 }
+
+psa_common::persist_struct!(MmuCaches { levels, stamp });
 
 impl MmuCaches {
     /// Build the caches.

@@ -16,7 +16,7 @@ use crate::frames::{PhysMem, PhysMemError};
 pub const LEVEL_SHIFTS: [u32; 4] = [39, 30, 21, 12];
 
 /// A completed virtual→physical mapping for one page.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Translation {
     /// Base virtual address of the page.
     pub vbase: VAddr,
@@ -25,6 +25,8 @@ pub struct Translation {
     /// The page size — the metadata PPM propagates.
     pub size: PageSize,
 }
+
+psa_common::persist_struct!(Translation { vbase, pbase, size });
 
 impl Translation {
     /// Translate an arbitrary virtual address covered by this mapping.
@@ -91,12 +93,50 @@ enum Entry {
     Leaf { pbase: PAddr, size: PageSize },
 }
 
-#[derive(Debug)]
+impl Default for Entry {
+    fn default() -> Self {
+        Entry::Table(0)
+    }
+}
+
+impl psa_common::Persist for Entry {
+    fn save(&self, e: &mut psa_common::Enc) {
+        match self {
+            Entry::Table(next) => {
+                e.put_u8(0);
+                e.put_u32(*next);
+            }
+            Entry::Leaf { pbase, size } => {
+                e.put_u8(1);
+                pbase.save(e);
+                size.save(e);
+            }
+        }
+    }
+    fn load(&mut self, d: &mut psa_common::Dec) -> Result<(), psa_common::CodecError> {
+        *self = match d.get_u8()? {
+            0 => Entry::Table(d.get_u32()?),
+            1 => {
+                let mut pbase = PAddr::default();
+                pbase.load(d)?;
+                let mut size = PageSize::default();
+                size.load(d)?;
+                Entry::Leaf { pbase, size }
+            }
+            _ => return Err(psa_common::CodecError::Corrupt("page-table entry tag")),
+        };
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
 struct Node {
     /// Physical frame holding this 512-entry table node.
     frame: PAddr,
     entries: std::collections::HashMap<u16, Entry>,
 }
+
+psa_common::persist_struct!(Node { frame, entries });
 
 /// One step of a page walk: the physical line of the PTE that was read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,11 +157,20 @@ pub struct Walk {
 }
 
 /// The radix page table of one address space.
-#[derive(Debug)]
+///
+/// The `Default` value is an *empty* table (no root node) and exists only as
+/// a load target for the checkpoint codec; [`PageTable::new`] is the real
+/// constructor.
+#[derive(Debug, Default)]
 pub struct PageTable {
     nodes: Vec<Node>,
     mapped_pages: u64,
 }
+
+psa_common::persist_struct!(PageTable {
+    nodes,
+    mapped_pages,
+});
 
 impl PageTable {
     /// Create an empty table, allocating the root (PML4) node's frame.

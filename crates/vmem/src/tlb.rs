@@ -51,12 +51,18 @@ impl std::fmt::Display for TlbConfigError {
 
 impl std::error::Error for TlbConfigError {}
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct TlbEntry {
     vpage: u64,
     last_use: u64,
     valid: bool,
 }
+
+psa_common::persist_struct!(TlbEntry {
+    vpage,
+    last_use,
+    valid,
+});
 
 #[derive(Debug)]
 struct SizeArray {
@@ -64,6 +70,9 @@ struct SizeArray {
     ways: usize,
     entries: Vec<TlbEntry>,
 }
+
+// `sets`/`ways` are geometry; the entry array is the state.
+psa_common::persist_struct!(SizeArray { entries });
 
 impl SizeArray {
     fn new(total: usize, ways: usize) -> Result<Self, TlbConfigError> {
@@ -149,6 +158,14 @@ pub struct Tlb {
     stamp: u64,
     stats: TlbStats,
 }
+
+psa_common::persist_struct!(TlbStats { hits, misses });
+
+psa_common::persist_struct!(Tlb {
+    arrays,
+    stamp,
+    stats,
+});
 
 impl Tlb {
     /// Build a TLB of the given shape.

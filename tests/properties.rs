@@ -10,9 +10,14 @@ use page_size_aware_prefetching::common::{
     geomean, DetRng, DistSummary, PAddr, PageSize, SatCounter,
 };
 use page_size_aware_prefetching::core::boundary::{BoundaryChecker, BoundaryPolicy, Verdict};
+use page_size_aware_prefetching::core::PageSizePolicy;
 use page_size_aware_prefetching::cpu::{Core, CoreConfig, Instr, MemoryPort};
 use page_size_aware_prefetching::dram::{Dram, DramConfig};
-use page_size_aware_prefetching::traces::{gen::TraceGenerator, PatternMix, Suite, WorkloadSpec};
+use page_size_aware_prefetching::prefetchers::PrefetcherKind;
+use page_size_aware_prefetching::sim::{L1dPrefKind, SimConfig, System};
+use page_size_aware_prefetching::traces::{
+    catalog, gen::TraceGenerator, PatternMix, Suite, WorkloadSpec,
+};
 use psa_common::{PLine, VAddr};
 
 const CASES: usize = 200;
@@ -169,6 +174,129 @@ fn generated_workloads_are_well_formed() {
         let a: Vec<Instr> = TraceGenerator::new(&spec, 9).take(2_000).collect();
         let b: Vec<Instr> = TraceGenerator::new(&spec, 9).take(2_000).collect();
         assert_eq!(a, b, "generator must be deterministic");
+    }
+}
+
+/// Warm-up budget of the checkpoint determinism properties below; small
+/// enough that the full variant matrix stays a unit-test-scale suite.
+const CK_WARMUP: u64 = 600;
+
+fn ck_config() -> SimConfig {
+    SimConfig::default()
+        .with_warmup(CK_WARMUP)
+        .with_instructions(2_400)
+}
+
+/// One machine builder per prefetcher variant the experiments evaluate:
+/// every `PrefetcherKind` at PSA-SD, SPP at every page-size policy, the
+/// no-prefetch baseline, both L1D prefetchers, and a two-core mix.
+#[allow(clippy::type_complexity)]
+fn ck_builders() -> Vec<(String, Box<dyn Fn() -> System>)> {
+    let lbm = catalog::workload("lbm").unwrap();
+    let soplex = catalog::workload("soplex").unwrap();
+    let mut v: Vec<(String, Box<dyn Fn() -> System>)> = Vec::new();
+    for kind in [
+        PrefetcherKind::Spp,
+        PrefetcherKind::Vldp,
+        PrefetcherKind::Bop,
+        PrefetcherKind::Ppf,
+        PrefetcherKind::NextLine,
+    ] {
+        v.push((
+            format!("{kind}-PSA-SD"),
+            Box::new(move || System::single_core(ck_config(), lbm, kind, PageSizePolicy::PsaSd)),
+        ));
+    }
+    for policy in [
+        PageSizePolicy::Original,
+        PageSizePolicy::Psa,
+        PageSizePolicy::Psa2m,
+    ] {
+        v.push((
+            format!("SPP{}", policy.suffix()),
+            Box::new(move || System::single_core(ck_config(), soplex, PrefetcherKind::Spp, policy)),
+        ));
+    }
+    v.push((
+        "no-prefetch".into(),
+        Box::new(move || System::baseline(ck_config(), lbm)),
+    ));
+    for l1d in [L1dPrefKind::NextLine, L1dPrefKind::IpcpPlusPlus] {
+        v.push((
+            format!("L1D-{l1d}"),
+            Box::new(move || {
+                let mut config = ck_config();
+                config.l1d_prefetcher = l1d;
+                System::baseline(config, soplex)
+            }),
+        ));
+    }
+    v.push((
+        "2-core-mix".into(),
+        Box::new(move || {
+            System::multi_core(
+                SimConfig::for_cores(2)
+                    .with_warmup(CK_WARMUP)
+                    .with_instructions(2_400),
+                &[lbm, soplex],
+                PrefetcherKind::Spp,
+                PageSizePolicy::PsaSd,
+            )
+        }),
+    ));
+    v
+}
+
+/// Run any machine to completion and Debug-format the full report —
+/// bit-identical state produces byte-identical strings.
+fn ck_run(sys: System) -> String {
+    if sys.workload_names().len() == 1 {
+        format!("{:?}", sys.try_run().unwrap())
+    } else {
+        format!("{:?}", sys.try_run_multi().unwrap())
+    }
+}
+
+#[test]
+fn checkpoint_resume_is_exact_for_every_variant_and_split() {
+    // Splits land during warm-up, exactly at the warm-up boundary (the
+    // instant the experiment runner checkpoints), and mid-measurement.
+    let splits = [1, CK_WARMUP, 3 * CK_WARMUP];
+    for (name, build) in ck_builders() {
+        let straight = ck_run(build());
+        for split in splits {
+            let mut paused = build();
+            let finished = paused.run_to(split).unwrap();
+            assert!(!finished, "{name}: split {split} is before the end");
+            let snap = paused.snapshot(split);
+            let mut fork = build();
+            fork.restore(&snap, split).unwrap();
+            let resumed = ck_run(fork);
+            assert_eq!(straight, resumed, "{name}: split at step {split}");
+        }
+    }
+}
+
+#[test]
+fn restored_fork_is_unaffected_by_sibling_forks() {
+    for (name, build) in ck_builders().into_iter().step_by(4) {
+        let snap = {
+            let mut sys = build();
+            sys.run_to_warm().unwrap();
+            sys.snapshot(1)
+        };
+        // Sibling A runs to completion, sibling B only partway, before
+        // C even restores from the shared snapshot bytes.
+        let mut a = build();
+        a.restore(&snap, 1).unwrap();
+        let ra = ck_run(a);
+        let mut b = build();
+        b.restore(&snap, 1).unwrap();
+        b.run_to(2 * CK_WARMUP).unwrap();
+        let mut c = build();
+        c.restore(&snap, 1).unwrap();
+        let rc = ck_run(c);
+        assert_eq!(ra, rc, "{name}: sibling forks interfered");
     }
 }
 
