@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1: cargo build --release =="
 cargo build --release
 
+echo "== examples build =="
+cargo build --release --examples
+
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
@@ -26,16 +29,14 @@ echo "== cargo doc --no-deps (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 # If bench results exist, refuse to ship a tree whose last bench sweep
-# recorded failed jobs (see docs/ROBUSTNESS.md).
+# recorded failed jobs or drifted off the documented schema. The typed
+# validator (src/bin/validate_bench.rs) checks structure before content —
+# unlike the old grep gate, a document missing the "failures" key fails
+# loudly instead of passing silently.
 if compgen -G "${PSA_BENCH_JSON_DIR:-bench_results}/BENCH_*.json" > /dev/null; then
-  echo "== bench failure gate =="
-  for f in "${PSA_BENCH_JSON_DIR:-bench_results}"/BENCH_*.json; do
-    if ! grep -q '"failures": \[\]' "$f"; then
-      echo "FAILED jobs recorded in $f (see its \"failures\" array)"
-      exit 1
-    fi
-  done
-  echo "no failures recorded"
+  echo "== bench schema + failure gate =="
+  cargo run --release --quiet --bin validate_bench -- \
+    "${PSA_BENCH_JSON_DIR:-bench_results}"/BENCH_*.json
 fi
 
 # Checkpoint determinism gate (see docs/CHECKPOINT.md): run the fig08
@@ -80,5 +81,17 @@ if [ "$ratio_ok" != yes ]; then
   exit 1
 fi
 echo "rows identical, warm-up sharing >=1.5x faster"
+
+# Observability smoke: a tiny observed fig08 run must export a valid
+# Chrome trace_event document (chrome://tracing / Perfetto loadable) and
+# a schema-valid bench document (see docs/OBSERVABILITY.md).
+echo "== observability trace smoke (PSA_OBS=1) =="
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$CKPT_TMP" "$COLD_TMP" "$WARM_TMP" "$OBS_TMP"' EXIT
+env PSA_WARMUP=2000 PSA_INSTRUCTIONS=8000 PSA_WORKLOAD_LIMIT=2 PSA_THREADS=1 \
+    PSA_OBS=1 PSA_OBS_TRACE="$OBS_TMP/trace.json" PSA_BENCH_JSON_DIR="$OBS_TMP" \
+  cargo bench -q -p psa-bench --bench fig08_spp_variants > /dev/null
+cargo run --release --quiet --bin validate_bench -- --trace "$OBS_TMP/trace.json"
+cargo run --release --quiet --bin validate_bench -- "$OBS_TMP/BENCH_fig08.json"
 
 echo "ci.sh: all green"

@@ -33,9 +33,10 @@ pub fn banner(title: &str, settings: &Settings) {
 }
 
 /// Where emitted JSON documents go: `PSA_BENCH_JSON_DIR`, default the
-/// working directory.
+/// working directory (parsed by the experiments runner — the single
+/// place the environment is read).
 pub fn json_dir() -> PathBuf {
-    std::env::var_os("PSA_BENCH_JSON_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from)
+    runner::bench_json_dir()
 }
 
 /// Write `doc` as `BENCH_<figure>.json` into [`json_dir`] and print the

@@ -5,6 +5,7 @@
 //! translation metadata on the L1D miss path; the bit rides along to the
 //! L2C prefetcher with the request stream. That bit is [`MshrMeta::huge`].
 
+use psa_common::obs::Histogram;
 use psa_common::PLine;
 
 /// Metadata attached to an in-flight miss.
@@ -86,6 +87,10 @@ pub struct Mshr {
     entries: Vec<MshrEntry>,
     capacity: usize,
     stats: MshrStats,
+    /// Occupancy-after-allocation distribution. Disabled by default;
+    /// purely observational and never part of the checkpoint byte stream
+    /// (its total reconciles with the windowed `allocations` counter).
+    obs_occupancy: Histogram,
 }
 
 psa_common::persist_struct!(MshrMeta {
@@ -126,7 +131,25 @@ impl Mshr {
             entries: Vec::with_capacity(capacity),
             capacity,
             stats: MshrStats::default(),
+            obs_occupancy: Histogram::disabled(),
         }
+    }
+
+    /// Switch the file's observability hook on (occupancy histogram,
+    /// sampled at each allocation). Off by default; enabling changes no
+    /// simulated state.
+    pub fn enable_obs(&mut self) {
+        self.obs_occupancy = Histogram::new(true);
+    }
+
+    /// The occupancy-after-allocation distribution recorded so far.
+    pub fn obs_occupancy(&self) -> &Histogram {
+        &self.obs_occupancy
+    }
+
+    /// Clear observability state (warm-up boundary reset).
+    pub fn reset_obs(&mut self) {
+        self.obs_occupancy.reset();
     }
 
     /// Number of in-flight misses.
@@ -207,6 +230,7 @@ impl Mshr {
             return Err(MshrFull);
         }
         self.stats.allocations += 1;
+        self.obs_occupancy.record(self.entries.len() as u64 + 1);
         self.entries.push(MshrEntry {
             line,
             fill_at,
@@ -348,6 +372,25 @@ mod tests {
         assert_eq!(m.stats().drained, 2);
         assert_eq!(m.stats().allocations, 2);
         m.audit().expect("all drained");
+    }
+
+    #[test]
+    fn obs_occupancy_total_matches_allocations() {
+        let mut m = Mshr::new(4);
+        m.alloc(line(1), 10, MshrMeta::demand(false)).unwrap();
+        assert_eq!(m.obs_occupancy().total(), 0, "disabled by default");
+        m.enable_obs();
+        m.alloc(line(2), 20, MshrMeta::demand(false)).unwrap();
+        m.alloc(line(3), 30, MshrMeta::demand(false)).unwrap();
+        m.drain_filled(30);
+        m.alloc(line(4), 40, MshrMeta::demand(false)).unwrap();
+        // Three allocations observed since enable; occupancies 2, 3, 1.
+        let h = m.obs_occupancy();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.sum(), 6);
+        assert_eq!(h.max(), 3);
+        m.reset_obs();
+        assert_eq!(m.obs_occupancy().total(), 0);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`codec`] — a dependency-free binary codec ([`codec::Persist`]) used
 //!   by the checkpoint/restore machinery to serialize mutable simulator
 //!   state deterministically.
+//! * [`obs`] — zero-cost-when-disabled observability primitives
+//!   (counters, latency histograms, a sampling event ring exportable as
+//!   a Chrome trace) threaded through every simulated component.
 //! * [`table`] — minimal fixed-width text tables for experiment output.
 //!
 //! # Example
@@ -34,6 +37,7 @@
 pub mod addr;
 pub mod codec;
 pub mod geometry;
+pub mod obs;
 pub mod rng;
 pub mod satcounter;
 pub mod stats;
@@ -41,6 +45,7 @@ pub mod table;
 
 pub use addr::{PAddr, PLine, PageSize, VAddr, VLine, LINE_BYTES, LINE_SHIFT};
 pub use codec::{CodecError, Dec, Enc, Persist};
+pub use obs::{ObsConfig, ObsReport};
 pub use rng::DetRng;
 pub use satcounter::SatCounter;
 pub use stats::{geomean, DistSummary};

@@ -51,7 +51,7 @@ pub use boundary::{BoundaryChecker, BoundaryPolicy, BoundaryStats, Verdict};
 pub use dueling::{SdConfig, SelectPolicy, Selected, SetClass, SetDueling, TrainPolicy};
 pub use grain::IndexGrain;
 pub use module::{
-    ModuleConfig, ModuleStats, PrefetchRequest, PsaModule, SOURCE_PSA, SOURCE_PSA_2MB,
+    ModuleConfig, ModuleObs, ModuleStats, PrefetchRequest, PsaModule, SOURCE_PSA, SOURCE_PSA_2MB,
 };
 pub use ppm::{PageSizeSource, Ppm};
 pub use prefetcher::{AccessContext, Candidate, FillLevel, Prefetcher};

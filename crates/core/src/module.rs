@@ -7,6 +7,7 @@
 //! (useful hits, useless evictions, fills) flows back through the
 //! `on_*` methods, routed to the issuing prefetcher via the annotation bit.
 
+use psa_common::obs::Counter;
 use psa_common::{CodecError, Dec, Enc, PLine, PageSize, Persist, VAddr};
 
 use crate::boundary::{BoundaryChecker, BoundaryPolicy, BoundaryStats, Verdict};
@@ -62,6 +63,70 @@ pub struct ModuleStats {
     pub selected_by: [u64; 2],
 }
 
+/// Per-competitor observability counters for the issue path and the
+/// timeliness of its prefetches. Disabled by default; purely
+/// observational and never part of the checkpoint byte stream. Indexed
+/// `[Psa, Psa2m]` like [`ModuleStats::issued_by`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModuleObs {
+    /// Prefetches issued, per competitor.
+    pub issued: [Counter; 2],
+    /// Prefetch fills that completed into a cache, per competitor.
+    pub fills: [Counter; 2],
+    /// Useful prefetches that beat their demand (timely), per competitor.
+    pub useful_timely: [Counter; 2],
+    /// Useful prefetches the demand merged with in an MSHR (late), per
+    /// competitor.
+    pub useful_late: [Counter; 2],
+    /// Prefetched blocks evicted unused, per competitor.
+    pub useless: [Counter; 2],
+}
+
+impl ModuleObs {
+    fn enable(&mut self) {
+        let all = [
+            &mut self.issued,
+            &mut self.fills,
+            &mut self.useful_timely,
+            &mut self.useful_late,
+            &mut self.useless,
+        ];
+        for group in all {
+            for c in group.iter_mut() {
+                *c = Counter::new(true);
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        let all = [
+            &mut self.issued,
+            &mut self.fills,
+            &mut self.useful_timely,
+            &mut self.useful_late,
+            &mut self.useless,
+        ];
+        for group in all {
+            for c in group.iter_mut() {
+                c.reset();
+            }
+        }
+    }
+
+    /// Total issued across both competitors.
+    pub fn issued_total(&self) -> u64 {
+        self.issued[0].get() + self.issued[1].get()
+    }
+
+    /// Total useful (timely + late) across both competitors.
+    pub fn useful_total(&self) -> u64 {
+        self.useful_timely[0].get()
+            + self.useful_timely[1].get()
+            + self.useful_late[0].get()
+            + self.useful_late[1].get()
+    }
+}
+
 /// The complete page size aware L2C prefetching module.
 pub struct PsaModule {
     policy: PageSizePolicy,
@@ -74,6 +139,7 @@ pub struct PsaModule {
     scratch: Vec<Candidate>,
     scratch_alt: Vec<Candidate>,
     stats: ModuleStats,
+    obs: ModuleObs,
 }
 
 psa_common::persist_struct!(ModuleStats {
@@ -183,7 +249,37 @@ impl PsaModule {
             scratch: Vec::with_capacity(32),
             scratch_alt: Vec::with_capacity(32),
             stats: ModuleStats::default(),
+            obs: ModuleObs::default(),
         })
+    }
+
+    /// Switch the module's observability counters on. Off by default;
+    /// enabling changes no simulated state.
+    pub fn enable_obs(&mut self) {
+        self.obs.enable();
+    }
+
+    /// The observability counters recorded so far.
+    pub fn obs(&self) -> &ModuleObs {
+        &self.obs
+    }
+
+    /// Clear observability state (warm-up boundary reset), including the
+    /// contained prefetchers' bundles when they are instrumented.
+    pub fn reset_obs(&mut self) {
+        self.obs.reset();
+        if let Some(o) = self.psa.obs_mut() {
+            o.reset();
+        }
+        if let Some(o) = self.psa_2mb.as_mut().and_then(|p| p.obs_mut()) {
+            o.reset();
+        }
+    }
+
+    /// Observability bundles of the contained prefetchers, `[Psa, Psa2m]`;
+    /// `None` for competitors that are absent or not instrumented.
+    pub fn prefetcher_obs(&self) -> [Option<&psa_common::obs::PrefetcherObs>; 2] {
+        [self.psa.obs(), self.psa_2mb.as_ref().and_then(|p| p.obs())]
     }
 
     /// The variant this module implements.
@@ -300,6 +396,7 @@ impl PsaModule {
             self.route(source_id).on_issue(cand.line);
             self.stats.issued += 1;
             self.stats.issued_by[source_id as usize] += 1;
+            self.obs.issued[source_id as usize].inc();
             issued_now += 1;
         }
     }
@@ -315,6 +412,7 @@ impl PsaModule {
 
     /// A prefetched block (annotated with `source`) filled into the cache.
     pub fn on_prefetch_fill(&mut self, line: PLine, source: u8) {
+        self.obs.fills[usize::from(source == SOURCE_PSA_2MB)].inc();
         self.route(source).on_prefetch_fill(line);
     }
 
@@ -327,6 +425,12 @@ impl PsaModule {
     /// was correctly predicted), but only timely hits move `Csel`: a
     /// barely-ahead competitor must not out-vote a genuinely timely one.
     pub fn on_useful(&mut self, line: PLine, pc: VAddr, source: u8, timely: bool) {
+        let s = usize::from(source == SOURCE_PSA_2MB);
+        if timely {
+            self.obs.useful_timely[s].inc();
+        } else {
+            self.obs.useful_late[s].inc();
+        }
         self.route(source).on_useful(line, pc);
         if timely {
             if let Some(duel) = &mut self.dueling {
@@ -341,6 +445,7 @@ impl PsaModule {
 
     /// A prefetched block was evicted without use.
     pub fn on_useless(&mut self, line: PLine, source: u8) {
+        self.obs.useless[usize::from(source == SOURCE_PSA_2MB)].inc();
         self.route(source).on_useless(line);
     }
 
@@ -604,6 +709,30 @@ mod tests {
             run(&mut m, 1062, true, follower_set),
             "restored module must route followers identically"
         );
+    }
+
+    #[test]
+    fn obs_counters_track_issue_and_timeliness() {
+        let mut m = module(PageSizePolicy::Psa);
+        let first = run(&mut m, 62, true, 3);
+        assert_eq!(m.obs().issued_total(), 0, "disabled by default");
+        m.enable_obs();
+        let reqs = run(&mut m, 1062, true, 3);
+        assert_eq!(m.obs().issued[0].get(), reqs.len() as u64);
+        m.on_prefetch_fill(first[0].line, SOURCE_PSA);
+        m.on_useful(first[0].line, VAddr::new(0), SOURCE_PSA, true);
+        m.on_useful(first[1].line, VAddr::new(0), SOURCE_PSA, false);
+        m.on_useless(first[2].line, SOURCE_PSA);
+        let o = m.obs();
+        assert_eq!(o.fills[0].get(), 1);
+        assert_eq!(o.useful_timely[0].get(), 1);
+        assert_eq!(o.useful_late[0].get(), 1);
+        assert_eq!(o.useless[0].get(), 1);
+        assert_eq!(o.useful_total(), 2);
+        m.reset_obs();
+        assert_eq!(m.obs().issued_total(), 0);
+        // The aggregate stats are untouched by obs resets.
+        assert!(m.stats().issued > 0);
     }
 
     #[test]

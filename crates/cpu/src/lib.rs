@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use psa_common::obs::Histogram;
 use psa_common::VAddr;
 use std::collections::VecDeque;
 
@@ -176,6 +177,10 @@ pub struct Core {
     /// Completion cycle of the most recent load (dependency target).
     last_load_done: u64,
     stats: CoreStats,
+    /// Load-to-use latency distribution (issue → value available), in
+    /// cycles. Disabled by default; purely observational, never part of
+    /// the checkpoint byte stream.
+    obs_load_to_use: Histogram,
 }
 
 // The core's mutable state for checkpointing; `config` is rebuilt from the
@@ -213,7 +218,24 @@ impl Core {
             retired_this_cycle: 0,
             last_load_done: 0,
             stats: CoreStats::default(),
+            obs_load_to_use: Histogram::disabled(),
         }
+    }
+
+    /// Switch the core's observability hooks on (load-to-use latency
+    /// histogram). Off by default; enabling changes no simulated state.
+    pub fn enable_obs(&mut self) {
+        self.obs_load_to_use = Histogram::new(true);
+    }
+
+    /// The load-to-use latency distribution recorded so far.
+    pub fn obs_load_to_use(&self) -> &Histogram {
+        &self.obs_load_to_use
+    }
+
+    /// Clear observability state (warm-up boundary reset).
+    pub fn reset_obs(&mut self) {
+        self.obs_load_to_use.reset();
     }
 
     /// The cycle at which the next instruction will be fetched — used by
@@ -276,6 +298,7 @@ impl Core {
                 };
                 let done = mem.load(instr.pc, vaddr, issue);
                 debug_assert!(done >= issue, "time moves forward");
+                self.obs_load_to_use.record(done - issue);
                 self.last_load_done = done;
                 done
             }
@@ -494,6 +517,29 @@ mod tests {
         }
         assert_eq!(core.drain(), restored.drain());
         assert_eq!(core.stats(), restored.stats());
+    }
+
+    #[test]
+    fn obs_records_load_to_use_only_when_enabled() {
+        let run = |obs: bool| {
+            let mut core = Core::new(CoreConfig::default());
+            if obs {
+                core.enable_obs();
+            }
+            let mut mem = FixedLatency(37);
+            for i in 0..10 {
+                core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+            }
+            let cycles = core.drain();
+            (cycles, core.stats(), core.obs_load_to_use().summary())
+        };
+        let (c_off, s_off, h_off) = run(false);
+        let (c_on, s_on, h_on) = run(true);
+        assert_eq!((c_off, s_off), (c_on, s_on), "obs must not perturb timing");
+        assert_eq!(h_off.total, 0);
+        assert_eq!(h_on.total, s_on.loads, "one sample per load");
+        assert_eq!(h_on.sum, 37 * 10);
+        assert_eq!(h_on.max, 37);
     }
 
     #[test]

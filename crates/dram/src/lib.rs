@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 use psa_common::geometry::checked_log2;
+use psa_common::obs::Histogram;
 use psa_common::PLine;
 
 /// DRAM configuration.
@@ -148,6 +149,11 @@ pub struct Dram {
     row_line_shift: u32,
     transfer: u64,
     stats: DramStats,
+    /// Queueing-delay distribution: cycles each access waited behind its
+    /// target bank (`start - now`). Disabled by default; purely
+    /// observational and never part of the checkpoint byte stream (its
+    /// total reconciles with the windowed `reads + writes`).
+    obs_queue_delay: Histogram,
 }
 
 psa_common::persist_struct!(DramStats {
@@ -201,7 +207,25 @@ impl Dram {
             row_line_shift: row_line_bits,
             transfer: config.transfer_cycles(),
             stats: DramStats::default(),
+            obs_queue_delay: Histogram::disabled(),
         })
+    }
+
+    /// Switch the device's observability hook on (per-access queueing
+    /// delay histogram). Off by default; enabling changes no simulated
+    /// state.
+    pub fn enable_obs(&mut self) {
+        self.obs_queue_delay = Histogram::new(true);
+    }
+
+    /// The queueing-delay distribution recorded so far.
+    pub fn obs_queue_delay(&self) -> &Histogram {
+        &self.obs_queue_delay
+    }
+
+    /// Clear observability state (warm-up boundary reset).
+    pub fn reset_obs(&mut self) {
+        self.obs_queue_delay.reset();
     }
 
     /// The configuration in force.
@@ -233,6 +257,7 @@ impl Dram {
         let (channel, bank_idx, row) = self.map(line);
         let bank = &mut self.banks[channel * self.config.banks_per_channel + bank_idx];
         let start = now.max(bank.busy_until);
+        self.obs_queue_delay.record(start - now);
         let array_latency = match bank.open_row {
             Some(open) if open == row => {
                 self.stats.row_hits += 1;
@@ -450,6 +475,24 @@ mod tests {
             ..DramConfig::default()
         })
         .is_err());
+    }
+
+    #[test]
+    fn obs_queue_delay_counts_every_access() {
+        let mut d = dram(3200);
+        d.access(PLine::new(0), 0, false);
+        assert_eq!(d.obs_queue_delay().total(), 0, "disabled by default");
+        d.enable_obs();
+        // Back-to-back same-bank accesses at now=0: the second waits for
+        // the bank.
+        d.access(PLine::new(0), 0, false);
+        d.access(PLine::new(16), 0, false);
+        d.access(PLine::new(17), 0, true);
+        let h = d.obs_queue_delay();
+        assert_eq!(h.total(), 3, "one sample per access, reads and writes");
+        assert!(h.sum() > 0, "bank backpressure must show up as delay");
+        d.reset_obs();
+        assert_eq!(d.obs_queue_delay().total(), 0);
     }
 
     #[test]

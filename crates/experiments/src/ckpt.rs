@@ -33,6 +33,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Process-wide counters (see [`crate::runner::ExecStats`]).
 pub(crate) static G_WARMUPS_SHARED: AtomicU64 = AtomicU64::new(0);
@@ -47,12 +48,10 @@ struct MemStore {
 
 static MEM: Mutex<Option<MemStore>> = Mutex::new(None);
 
+// `PSA_CKPT_MEM_MB`, parsed in the runner module (the single place the
+// environment is read).
 fn mem_cap_bytes() -> usize {
-    std::env::var("PSA_CKPT_MEM_MB")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(256)
-        .saturating_mul(1 << 20)
+    crate::runner::ckpt_mem_cap_bytes()
 }
 
 fn mem_get(key: u64) -> Option<Arc<Snapshot>> {
@@ -91,12 +90,11 @@ pub fn clear_memory() {
     *MEM.lock().expect("unpoisoned checkpoint store") = None;
 }
 
-/// The disk store directory, when `PSA_CKPT_DIR` is set and non-empty.
+/// The disk store directory, when `PSA_CKPT_DIR` is set and non-empty
+/// (parsed in the runner module, the single place the environment is
+/// read).
 fn disk_dir() -> Option<PathBuf> {
-    match std::env::var("PSA_CKPT_DIR") {
-        Ok(dir) if !dir.is_empty() => Some(PathBuf::from(dir)),
-        _ => None,
-    }
+    crate::runner::ckpt_disk_dir().filter(|p| !p.as_os_str().is_empty())
 }
 
 /// The on-disk path for a warm-up key inside `dir`.
@@ -148,7 +146,9 @@ pub fn warm_via_checkpoint(
     let key = warm_key(sys.config(), sys.workload_names(), label);
 
     // Memory first, disk second; the first snapshot found gets one
-    // restore attempt.
+    // restore attempt. Everything here is checkpoint traffic, charged to
+    // the snapshot-I/O phase of the wall-time profile.
+    let t_snap = Instant::now();
     let mut from_disk = false;
     let snap = mem_get(key).or_else(|| {
         let dir = disk_dir()?;
@@ -169,6 +169,7 @@ pub fn warm_via_checkpoint(
                 } else {
                     G_WARMUPS_SHARED.fetch_add(1, Ordering::Relaxed);
                 }
+                crate::runner::record_phase_snapshot(t_snap.elapsed());
                 return Ok(sys);
             }
             // A restore can fail partway and leave the machine torn;
@@ -176,8 +177,13 @@ pub fn warm_via_checkpoint(
             Err(_) => sys = build()?,
         }
     }
+    crate::runner::record_phase_snapshot(t_snap.elapsed());
 
+    let t_warm = Instant::now();
     sys.run_to_warm()?;
+    crate::runner::record_phase_warm(t_warm.elapsed());
+
+    let t_snap = Instant::now();
     let snap = Arc::new(sys.snapshot(key));
     if let Some(dir) = disk_dir() {
         // Best-effort: a read-only or full disk degrades to cold runs
@@ -185,5 +191,6 @@ pub fn warm_via_checkpoint(
         let _ = snap.write_file(&disk_path(&dir, key));
     }
     mem_put(key, snap);
+    crate::runner::record_phase_snapshot(t_snap.elapsed());
     Ok(sys)
 }

@@ -41,6 +41,17 @@
 //! `PSA_INJECT_STALL` deliberately fault a named job to exercise the
 //! executor's fault isolation. Failed jobs become entries in each
 //! document's `failures` array and figures render with explicit gaps.
+//!
+//! Observability knobs (see `docs/OBSERVABILITY.md`): `PSA_OBS=1` turns
+//! on the zero-cost-when-disabled metrics/event layer (`psa_common::obs`);
+//! `PSA_OBS_RING=n` / `PSA_OBS_SAMPLE=n` shape its event ring;
+//! `PSA_OBS_TRACE=<path>` exports the first observed run as Chrome
+//! `trace_event` JSON.
+//!
+//! All of these reach the machinery through one typed facade,
+//! [`runner::RunnerOptions`] — `RunnerOptions::from_env()` is the only
+//! place in the workspace that parses `PSA_*` variables, and programmatic
+//! `with_*` overrides always beat the environment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,4 +71,4 @@ pub mod fig1415;
 pub mod nonintensive;
 pub mod runner;
 
-pub use runner::Settings;
+pub use runner::{RunnerOptions, Settings};

@@ -50,12 +50,13 @@
 use psa_core::PageSizePolicy;
 use psa_prefetchers::PrefetcherKind;
 use psa_sim::report::{self, Json};
-use psa_sim::{L1dPrefKind, RunReport, SimConfig, SimError, System};
+use psa_sim::{L1dPrefKind, ObsConfig, ObsReport, RunReport, SimConfig, SimError, System};
 use psa_traces::{catalog, WorkloadSpec};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 use std::time::{Duration, Instant};
 
 /// Experiment-wide settings.
@@ -69,12 +70,195 @@ impl Default for Settings {
     fn default() -> Self {
         // Laptop-scale default budget; `PSA_WARMUP` / `PSA_INSTRUCTIONS`
         // scale it up towards the paper's 250M+250M.
+        let base = SimConfig::default()
+            .with_warmup(40_000)
+            .with_instructions(120_000);
         Self {
-            config: SimConfig::default()
-                .with_warmup(40_000)
-                .with_instructions(120_000)
-                .with_env_overrides(),
+            config: RunnerOptions::from_env()
+                .unwrap_or_else(|e| panic!("{e}"))
+                .apply(base),
         }
+    }
+}
+
+/// Every documented `PSA_*` knob as one typed options value — the single
+/// supported way the environment reaches the machinery. Build one with
+/// [`RunnerOptions::from_env`] (strict: a set-but-malformed variable is a
+/// [`SimError::EnvVar`] naming the variable and the value, never a
+/// silently ignored knob), then override programmatically with the
+/// `with_*` builders — programmatic settings always win over the
+/// environment — and thread the run-shape subset into a [`SimConfig`]
+/// with [`RunnerOptions::apply`].
+///
+/// The environment stays supported as a compatibility layer, but this
+/// module is the only place it is parsed; no other crate in the workspace
+/// reads `PSA_*` variables directly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunnerOptions {
+    /// `PSA_THREADS` — parallel-executor worker count (`None`: all
+    /// available cores; see [`RunnerOptions::effective_threads`]).
+    pub threads: Option<usize>,
+    /// `PSA_WORKLOAD_LIMIT` — stride-subsample the 80-workload set.
+    pub workload_limit: Option<usize>,
+    /// `PSA_MIXES` — multi-core mix count (`None`: default 8).
+    pub mixes: Option<usize>,
+    /// `PSA_WARMUP` — warm-up instructions per core.
+    pub warmup: Option<u64>,
+    /// `PSA_INSTRUCTIONS` — measured instructions per core.
+    pub instructions: Option<u64>,
+    /// `PSA_WATCHDOG` — forward-progress watchdog threshold in cycles
+    /// (0 disables).
+    pub watchdog: Option<u64>,
+    /// `PSA_CHECK` — run the hierarchy invariant audits at drain points.
+    pub check: Option<bool>,
+    /// `PSA_JSON_RUNS=1` — embed raw per-run reports in emitted JSON.
+    pub json_runs: bool,
+    /// `PSA_CKPT_MEM_MB` — in-memory warm-up checkpoint store cap
+    /// (`None`: 256MB).
+    pub ckpt_mem_mb: Option<usize>,
+    /// `PSA_CKPT_DIR` — on-disk warm-up checkpoint store directory.
+    pub ckpt_dir: Option<PathBuf>,
+    /// `PSA_INJECT_PANIC` — fault-inject a panic into the named job
+    /// (`<workload>` or `<workload>/<label>`; testing machinery).
+    pub inject_panic: Option<String>,
+    /// `PSA_INJECT_STALL` — fault-inject a watchdog stall likewise.
+    pub inject_stall: Option<String>,
+    /// `PSA_UPDATE_GOLDEN=1` — rewrite the golden digests (test-only).
+    pub update_golden: bool,
+    /// `PSA_BENCH_JSON_DIR` — where `BENCH_*.json` documents go
+    /// (`None`: the working directory).
+    pub bench_json_dir: Option<PathBuf>,
+    /// `PSA_OBS=1` plus `PSA_OBS_RING` / `PSA_OBS_SAMPLE` — the
+    /// observability layer shape ([`ObsConfig`]); `None` leaves the
+    /// config's own (default: disabled) setting untouched.
+    pub obs: Option<ObsConfig>,
+    /// `PSA_OBS_TRACE` — write the first observed run's Chrome
+    /// `trace_event` JSON to this path.
+    pub obs_trace: Option<PathBuf>,
+}
+
+impl RunnerOptions {
+    /// Read every documented `PSA_*` variable, strictly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EnvVar`] naming the variable and the value
+    /// when any set variable does not parse.
+    pub fn from_env() -> Result<Self, SimError> {
+        let obs_on = env_flag("PSA_OBS")?;
+        let obs_ring = env_u32("PSA_OBS_RING")?;
+        let obs_sample = env_u32("PSA_OBS_SAMPLE")?;
+        let obs = if obs_on.is_some() || obs_ring.is_some() || obs_sample.is_some() {
+            let base = ObsConfig::default();
+            Some(ObsConfig {
+                enabled: obs_on.unwrap_or(false),
+                ring_capacity: obs_ring.unwrap_or(base.ring_capacity),
+                sample_every: obs_sample.unwrap_or(base.sample_every),
+            })
+        } else {
+            None
+        };
+        Ok(Self {
+            threads: env_positive("PSA_THREADS")?,
+            workload_limit: env_positive("PSA_WORKLOAD_LIMIT")?,
+            mixes: env_positive("PSA_MIXES")?,
+            warmup: env_u64("PSA_WARMUP")?,
+            instructions: env_u64("PSA_INSTRUCTIONS")?,
+            watchdog: env_u64("PSA_WATCHDOG")?,
+            check: env_flag("PSA_CHECK")?,
+            json_runs: env_flag("PSA_JSON_RUNS")?.unwrap_or(false),
+            ckpt_mem_mb: env_positive("PSA_CKPT_MEM_MB")?,
+            ckpt_dir: env_path("PSA_CKPT_DIR"),
+            inject_panic: env_string("PSA_INJECT_PANIC"),
+            inject_stall: env_string("PSA_INJECT_STALL"),
+            update_golden: env_flag("PSA_UPDATE_GOLDEN")?.unwrap_or(false),
+            bench_json_dir: env_path("PSA_BENCH_JSON_DIR"),
+            obs,
+            obs_trace: env_path("PSA_OBS_TRACE"),
+        })
+    }
+
+    /// Override the worker-thread count.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Override the workload subsample limit.
+    pub fn with_workload_limit(mut self, n: usize) -> Self {
+        self.workload_limit = Some(n);
+        self
+    }
+
+    /// Override the multi-core mix count.
+    pub fn with_mixes(mut self, n: usize) -> Self {
+        self.mixes = Some(n);
+        self
+    }
+
+    /// Override the warm-up instruction budget.
+    pub fn with_warmup(mut self, n: u64) -> Self {
+        self.warmup = Some(n);
+        self
+    }
+
+    /// Override the measured instruction budget.
+    pub fn with_instructions(mut self, n: u64) -> Self {
+        self.instructions = Some(n);
+        self
+    }
+
+    /// Override the watchdog threshold (0 disables).
+    pub fn with_watchdog(mut self, cycles: u64) -> Self {
+        self.watchdog = Some(cycles);
+        self
+    }
+
+    /// Enable or disable the hierarchy invariant audits.
+    pub fn with_check(mut self, check: bool) -> Self {
+        self.check = Some(check);
+        self
+    }
+
+    /// Override the observability shape (`ObsConfig::on()` enables it).
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Override the Chrome-trace output path.
+    pub fn with_obs_trace(mut self, path: PathBuf) -> Self {
+        self.obs_trace = Some(path);
+        self
+    }
+
+    /// Thread the run-shape subset (budgets, watchdog, audits,
+    /// observability) into a [`SimConfig`]; unset fields leave the
+    /// config's own values untouched.
+    pub fn apply(&self, mut config: SimConfig) -> SimConfig {
+        if let Some(v) = self.warmup {
+            config.warmup = v;
+        }
+        if let Some(v) = self.instructions {
+            config.instructions = v;
+        }
+        if let Some(v) = self.watchdog {
+            config.watchdog_cycles = v;
+        }
+        if let Some(v) = self.check {
+            config.check = v;
+        }
+        if let Some(obs) = self.obs {
+            config.obs = obs;
+        }
+        config
+    }
+
+    /// The worker-thread count these options resolve to: `threads` when
+    /// set, else every available core.
+    pub fn effective_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
     }
 }
 
@@ -144,6 +328,64 @@ fn env_positive(key: &str) -> Result<Option<usize>, SimError> {
             }),
         },
     }
+}
+
+/// Parse an env var required to hold a `u64`; unset is `None`,
+/// set-but-malformed is an error naming the variable and the value.
+fn env_u64(key: &str) -> Result<Option<u64>, SimError> {
+    match std::env::var(key) {
+        Err(_) => Ok(None),
+        Ok(raw) => match raw.parse::<u64>() {
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(SimError::EnvVar {
+                var: key.into(),
+                value: raw,
+                reason: "expected an unsigned integer".into(),
+            }),
+        },
+    }
+}
+
+/// Parse an env var required to hold a positive `u32`; unset is `None`.
+fn env_u32(key: &str) -> Result<Option<u32>, SimError> {
+    match std::env::var(key) {
+        Err(_) => Ok(None),
+        Ok(raw) => match raw.parse::<u32>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(SimError::EnvVar {
+                var: key.into(),
+                value: raw,
+                reason: "expected a positive 32-bit integer".into(),
+            }),
+        },
+    }
+}
+
+/// Parse a boolean env flag: `1` is true, `0` is false, unset is `None`,
+/// anything else is an error naming the variable and the value.
+fn env_flag(key: &str) -> Result<Option<bool>, SimError> {
+    match std::env::var(key) {
+        Err(_) => Ok(None),
+        Ok(raw) => match raw.as_str() {
+            "1" => Ok(Some(true)),
+            "0" => Ok(Some(false)),
+            _ => Err(SimError::EnvVar {
+                var: key.into(),
+                value: raw,
+                reason: "expected 0 or 1".into(),
+            }),
+        },
+    }
+}
+
+/// An env var taken verbatim as a path; unset (or non-unicode) is `None`.
+fn env_path(key: &str) -> Option<PathBuf> {
+    std::env::var_os(key).map(PathBuf::from)
+}
+
+/// An env var taken verbatim as a string; unset is `None`.
+fn env_string(key: &str) -> Option<String> {
+    std::env::var(key).ok()
 }
 
 /// Look up a workload in the trace catalog, reporting a miss as a typed
@@ -265,7 +507,32 @@ fn try_simulate(
             Box::new(move || System::try_baseline(config, workload))
         }
     };
-    crate::ckpt::warm_via_checkpoint(&*build, &variant.label())?.try_run()
+    let sys = crate::ckpt::warm_via_checkpoint(&*build, &variant.label())?;
+    let t0 = Instant::now();
+    let result = sys.try_run_observed();
+    record_phase(&G_PHASE_MEASURE_NANOS, t0.elapsed());
+    let (report, obs) = result?;
+    if let Some(obs) = obs {
+        maybe_write_trace(&obs);
+    }
+    Ok(report)
+}
+
+/// Write the first observed run's Chrome `trace_event` JSON to
+/// `PSA_OBS_TRACE` / [`RunnerOptions::obs_trace`]. One trace per process:
+/// the first measured run to finish wins, which is deterministic under
+/// `PSA_THREADS=1` and representative otherwise. Lenient: unset means no
+/// trace, and an unwritable path is a warning, not a failed run.
+fn maybe_write_trace(obs: &ObsReport) {
+    static TRACE_ONCE: Once = Once::new();
+    let Some(path) = env_path("PSA_OBS_TRACE") else {
+        return;
+    };
+    TRACE_ONCE.call_once(|| {
+        if let Err(e) = std::fs::write(&path, obs.to_chrome_trace()) {
+            eprintln!("PSA_OBS_TRACE: cannot write {}: {e}", path.display());
+        }
+    });
 }
 
 /// Whether the fault-injection variable `var` targets this job: its value
@@ -334,6 +601,55 @@ static G_QUEUE_PEAK: AtomicU64 = AtomicU64::new(0);
 static G_FAILED: AtomicU64 = AtomicU64::new(0);
 static G_WATCHDOG: AtomicU64 = AtomicU64::new(0);
 static G_BATCH_WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+// Phase wall-time profiler: where worker time goes, split into warm-up
+// simulation, the measured run, and checkpoint/snapshot I/O. Summed
+// across threads, so the three can exceed batch wall time.
+static G_PHASE_WARM_NANOS: AtomicU64 = AtomicU64::new(0);
+static G_PHASE_MEASURE_NANOS: AtomicU64 = AtomicU64::new(0);
+static G_PHASE_SNAPSHOT_NANOS: AtomicU64 = AtomicU64::new(0);
+
+fn record_phase(phase: &AtomicU64, elapsed: Duration) {
+    phase.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Charge `elapsed` to the warm-up simulation phase (called by the
+/// checkpoint store when it actually simulates a warm-up).
+pub(crate) fn record_phase_warm(elapsed: Duration) {
+    record_phase(&G_PHASE_WARM_NANOS, elapsed);
+}
+
+/// Charge `elapsed` to the snapshot-I/O phase (checkpoint encode, decode,
+/// restore, and file traffic).
+pub(crate) fn record_phase_snapshot(elapsed: Duration) {
+    record_phase(&G_PHASE_SNAPSHOT_NANOS, elapsed);
+}
+
+/// In-memory checkpoint store cap in bytes (`PSA_CKPT_MEM_MB`, default
+/// 256MB). Deliberately lenient — a malformed value falls back to the
+/// default rather than failing runs mid-batch; [`RunnerOptions::from_env`]
+/// is the strict reading of the same variable.
+pub(crate) fn ckpt_mem_cap_bytes() -> usize {
+    std::env::var("PSA_CKPT_MEM_MB")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(256)
+        .saturating_mul(1 << 20)
+}
+
+/// On-disk checkpoint store directory (`PSA_CKPT_DIR`); `None` disables
+/// the disk tier.
+pub(crate) fn ckpt_disk_dir() -> Option<PathBuf> {
+    env_path("PSA_CKPT_DIR")
+}
+
+/// Where emitted `BENCH_*.json` documents go (`PSA_BENCH_JSON_DIR`,
+/// default: the working directory). Lenient by the same argument as the
+/// checkpoint-store knobs: a malformed value must not fail runs
+/// mid-batch, and [`RunnerOptions::from_env`] is the strict reading.
+pub fn bench_json_dir() -> PathBuf {
+    env_path("PSA_BENCH_JSON_DIR").unwrap_or_else(|| PathBuf::from("."))
+}
 
 // Process-wide failure journal: every failed job, so [`doc`] can embed
 // the `"failures"` array even when the cache lives inside a `collect()`.
@@ -466,6 +782,15 @@ pub struct ExecStats {
     /// (`PSA_CKPT_DIR`) from an earlier process. Process-scope, like
     /// `warmups_shared`.
     pub ckpt_hits: u64,
+    /// Worker time spent simulating warm-ups. Process-scope, like
+    /// `warmups_shared`; summed across threads, so the three phases can
+    /// exceed `batch_wall`.
+    pub phase_warm: Duration,
+    /// Worker time spent in measured runs. Process-scope.
+    pub phase_measure: Duration,
+    /// Worker time spent on checkpoint/snapshot I/O (encode, decode,
+    /// restore, file traffic). Process-scope.
+    pub phase_snapshot: Duration,
 }
 
 impl ExecStats {
@@ -541,6 +866,20 @@ impl ExecStats {
             ),
             ("warmups_shared", Json::uint(self.warmups_shared)),
             ("ckpt_hits", Json::uint(self.ckpt_hits)),
+            (
+                "phases",
+                Json::obj([
+                    ("warmup_seconds", Json::Num(self.phase_warm.as_secs_f64())),
+                    (
+                        "measure_seconds",
+                        Json::Num(self.phase_measure.as_secs_f64()),
+                    ),
+                    (
+                        "snapshot_io_seconds",
+                        Json::Num(self.phase_snapshot.as_secs_f64()),
+                    ),
+                ]),
+            ),
         ])
     }
 }
@@ -561,6 +900,9 @@ pub fn global_stats() -> ExecStats {
         batch_wall: Duration::from_nanos(G_BATCH_WALL_NANOS.load(Ordering::Relaxed)),
         warmups_shared: crate::ckpt::G_WARMUPS_SHARED.load(Ordering::Relaxed),
         ckpt_hits: crate::ckpt::G_CKPT_HITS.load(Ordering::Relaxed),
+        phase_warm: Duration::from_nanos(G_PHASE_WARM_NANOS.load(Ordering::Relaxed)),
+        phase_measure: Duration::from_nanos(G_PHASE_MEASURE_NANOS.load(Ordering::Relaxed)),
+        phase_snapshot: Duration::from_nanos(G_PHASE_SNAPSHOT_NANOS.load(Ordering::Relaxed)),
     }
 }
 
@@ -990,7 +1332,7 @@ impl RunCache {
 /// [`journal_json`]).
 pub fn doc(figure: &str, title: &str, settings: &Settings, rows: Json) -> Json {
     let mut doc = Json::obj([
-        ("schema_version", Json::uint(2)),
+        ("schema_version", Json::uint(3)),
         ("figure", Json::str(figure)),
         ("title", Json::str(title)),
         ("config", report::sim_config(&settings.config)),
@@ -1153,9 +1495,29 @@ mod tests {
         ] {
             assert!(doc.get(field).is_some(), "missing {field}");
         }
-        assert_eq!(doc.get("schema_version").unwrap(), &Json::uint(2));
+        assert_eq!(doc.get("schema_version").unwrap(), &Json::uint(3));
+        // Schema v3: the executor section carries the phase profile.
+        let phases = doc.get("executor").unwrap().get("phases").unwrap();
+        for field in ["warmup_seconds", "measure_seconds", "snapshot_io_seconds"] {
+            assert!(phases.get(field).is_some(), "missing phases.{field}");
+        }
         // Round-trips through the hand-rolled parser.
         assert_eq!(Json::parse(&doc.pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn phase_profile_accounts_for_run_time() {
+        let mut cache = RunCache::new();
+        let w = catalog::workload("astar").unwrap();
+        cache.run(quick(), w, Variant::NoPrefetch);
+        let stats = global_stats();
+        // This process just simulated a warm-up and a measured run, so
+        // both phases must have accumulated wall time.
+        assert!(stats.phase_warm > Duration::ZERO, "warm phase untimed");
+        assert!(
+            stats.phase_measure > Duration::ZERO,
+            "measure phase untimed"
+        );
     }
 
     #[test]
@@ -1172,15 +1534,124 @@ mod tests {
             other => panic!("expected EnvVar, got {other}"),
         }
 
+        // Settings::default() would itself panic on a malformed variable
+        // (it routes through RunnerOptions::from_env), so probe the
+        // fallible accessors on an explicit value.
+        let settings = Settings { config: quick() };
         std::env::set_var("PSA_WORKLOAD_LIMIT", "0");
-        let e = Settings::default().try_workloads().unwrap_err();
+        let e = settings.try_workloads().unwrap_err();
         std::env::remove_var("PSA_WORKLOAD_LIMIT");
         assert!(e.to_string().contains("PSA_WORKLOAD_LIMIT"), "{e}");
 
         std::env::set_var("PSA_MIXES", "-3");
-        let e = Settings::default().try_mixes().unwrap_err();
+        let e = settings.try_mixes().unwrap_err();
         std::env::remove_var("PSA_MIXES");
         assert!(e.to_string().contains("-3"), "{e}");
+
+        // The consolidated reader is just as strict, for every knob kind:
+        // flags, u64 budgets, and the u32 observability shape.
+        for (var, value) in [
+            ("PSA_OBS", "yes"),
+            ("PSA_CHECK", "true"),
+            ("PSA_WARMUP", "10k"),
+            ("PSA_OBS_RING", "0"),
+            ("PSA_OBS_SAMPLE", "-1"),
+        ] {
+            std::env::set_var(var, value);
+            let e = RunnerOptions::from_env().unwrap_err();
+            std::env::remove_var(var);
+            let msg = e.to_string();
+            assert!(msg.contains(var) && msg.contains(value), "{msg}");
+        }
+    }
+
+    #[test]
+    fn runner_options_read_the_whole_environment() {
+        let _guard = env_lock();
+        for (var, value) in [
+            ("PSA_THREADS", "3"),
+            ("PSA_WARMUP", "500"),
+            ("PSA_INSTRUCTIONS", "2000"),
+            ("PSA_WATCHDOG", "0"),
+            ("PSA_CHECK", "1"),
+            ("PSA_JSON_RUNS", "1"),
+            ("PSA_CKPT_MEM_MB", "64"),
+            ("PSA_CKPT_DIR", "/tmp/ckpt"),
+            ("PSA_INJECT_PANIC", "lbm"),
+            ("PSA_OBS", "1"),
+            ("PSA_OBS_RING", "128"),
+            ("PSA_OBS_SAMPLE", "4"),
+            ("PSA_OBS_TRACE", "/tmp/trace.json"),
+        ] {
+            std::env::set_var(var, value);
+        }
+        let opts = RunnerOptions::from_env();
+        for var in [
+            "PSA_THREADS",
+            "PSA_WARMUP",
+            "PSA_INSTRUCTIONS",
+            "PSA_WATCHDOG",
+            "PSA_CHECK",
+            "PSA_JSON_RUNS",
+            "PSA_CKPT_MEM_MB",
+            "PSA_CKPT_DIR",
+            "PSA_INJECT_PANIC",
+            "PSA_OBS",
+            "PSA_OBS_RING",
+            "PSA_OBS_SAMPLE",
+            "PSA_OBS_TRACE",
+        ] {
+            std::env::remove_var(var);
+        }
+        let opts = opts.expect("every variable parses");
+        assert_eq!(opts.threads, Some(3));
+        assert_eq!(opts.effective_threads(), 3);
+        assert_eq!((opts.warmup, opts.instructions), (Some(500), Some(2000)));
+        assert_eq!(opts.watchdog, Some(0));
+        assert_eq!(opts.check, Some(true));
+        assert!(opts.json_runs);
+        assert_eq!(opts.ckpt_mem_mb, Some(64));
+        assert_eq!(
+            opts.ckpt_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/ckpt"))
+        );
+        assert_eq!(opts.inject_panic.as_deref(), Some("lbm"));
+        let obs = opts.obs.expect("PSA_OBS* sets the obs shape");
+        assert!(obs.enabled);
+        assert_eq!((obs.ring_capacity, obs.sample_every), (128, 4));
+        assert_eq!(
+            opts.obs_trace.as_deref(),
+            Some(std::path::Path::new("/tmp/trace.json"))
+        );
+
+        // apply() threads the run-shape subset into a SimConfig…
+        let cfg = opts.apply(SimConfig::default());
+        assert_eq!((cfg.warmup, cfg.instructions), (500, 2000));
+        assert_eq!(cfg.watchdog_cycles, 0);
+        assert!(cfg.check);
+        assert_eq!(cfg.obs, obs);
+        // …while an empty options value leaves the config untouched.
+        let untouched = RunnerOptions::default().apply(cfg);
+        assert_eq!(untouched.warmup, cfg.warmup);
+        assert_eq!(untouched.obs, cfg.obs);
+        assert!(untouched.check);
+    }
+
+    #[test]
+    fn programmatic_options_override_the_environment() {
+        let _guard = env_lock();
+        std::env::set_var("PSA_WARMUP", "111");
+        std::env::set_var("PSA_OBS", "1");
+        let opts = RunnerOptions::from_env();
+        std::env::remove_var("PSA_WARMUP");
+        std::env::remove_var("PSA_OBS");
+        let opts = opts
+            .expect("clean parse")
+            .with_warmup(222)
+            .with_obs(ObsConfig::default());
+        let cfg = opts.apply(SimConfig::default());
+        assert_eq!(cfg.warmup, 222);
+        assert!(!cfg.obs.enabled, "builder beat the PSA_OBS=1 in the env");
     }
 
     #[test]

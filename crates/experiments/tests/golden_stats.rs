@@ -108,7 +108,10 @@ fn digest() -> String {
 fn summary_digests_match_golden_fixture() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/digest.txt");
     let current = digest();
-    if std::env::var("PSA_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+    let update = psa_experiments::RunnerOptions::from_env()
+        .expect("PSA_* variables parse")
+        .update_golden;
+    if update {
         std::fs::write(path, &current).unwrap();
         return;
     }

@@ -43,6 +43,7 @@
 pub mod bop;
 pub mod ipcp;
 pub mod nextline;
+pub mod observed;
 pub mod ppf;
 pub mod spp;
 pub mod vldp;
@@ -51,6 +52,7 @@ use psa_core::{IndexGrain, Prefetcher};
 
 pub use ipcp::{Ipcp, IpcpConfig, L1dPrefetcher};
 pub use nextline::{NextLine, NextLineL1d};
+pub use observed::Observed;
 
 /// The L2C prefetchers evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,6 +88,13 @@ impl PrefetcherKind {
             PrefetcherKind::Bop => Box::new(bop::Bop::new(bop::BopConfig::default(), grain)),
             PrefetcherKind::NextLine => Box::new(NextLine::new(1)),
         }
+    }
+
+    /// Like [`PrefetcherKind::build`], but wrapped in the [`Observed`]
+    /// instrumentation so candidate bursts and prediction outcomes are
+    /// recorded. Behaviour is bit-identical to the bare prefetcher.
+    pub fn build_observed(self, grain: IndexGrain) -> Box<dyn Prefetcher> {
+        Observed::boxed(self.build(grain))
     }
 
     /// The paper's name for this prefetcher.

@@ -1,0 +1,175 @@
+//! An instrumentation wrapper around any [`Prefetcher`].
+//!
+//! [`Observed`] interposes on the trait's hooks to maintain a
+//! [`PrefetcherObs`] bundle — candidate-burst histogram plus
+//! issue/fill/useful/useless counters — and forwards everything else
+//! (training, checkpointing, page-indexing capability) untouched, so a
+//! wrapped prefetcher behaves bit-identically to a bare one. The
+//! simulator wraps each competitor at build time when observability is
+//! enabled and never constructs this type otherwise, keeping the
+//! disabled path free of even the delegation cost.
+
+use psa_common::obs::PrefetcherObs;
+use psa_common::{CodecError, Dec, Enc, PLine, VAddr};
+use psa_core::{AccessContext, Candidate, Prefetcher};
+
+/// A [`Prefetcher`] decorated with an always-on [`PrefetcherObs`] bundle.
+pub struct Observed {
+    inner: Box<dyn Prefetcher>,
+    obs: PrefetcherObs,
+}
+
+impl Observed {
+    /// Wrap `inner`, recording from now on.
+    pub fn new(inner: Box<dyn Prefetcher>) -> Self {
+        Self {
+            inner,
+            obs: PrefetcherObs::enabled(),
+        }
+    }
+
+    /// Wrap `inner` as a boxed trait object (factory-closure convenience).
+    pub fn boxed(inner: Box<dyn Prefetcher>) -> Box<dyn Prefetcher> {
+        Box::new(Self::new(inner))
+    }
+}
+
+impl Prefetcher for Observed {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn on_access(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>) {
+        let before = out.len();
+        self.inner.on_access(ctx, out);
+        self.obs
+            .candidates_per_access
+            .record((out.len() - before) as u64);
+    }
+
+    fn on_issue(&mut self, line: PLine) {
+        self.obs.issued.inc();
+        self.inner.on_issue(line);
+    }
+
+    fn on_prefetch_fill(&mut self, line: PLine) {
+        self.obs.fills.inc();
+        self.inner.on_prefetch_fill(line);
+    }
+
+    fn on_useful(&mut self, line: PLine, pc: VAddr) {
+        self.obs.useful.inc();
+        self.inner.on_useful(line, pc);
+    }
+
+    fn on_useless(&mut self, line: PLine) {
+        self.obs.useless.inc();
+        self.inner.on_useless(line);
+    }
+
+    fn uses_page_indexing(&self) -> bool {
+        self.inner.uses_page_indexing()
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.inner.storage_bytes()
+    }
+
+    fn obs(&self) -> Option<&PrefetcherObs> {
+        Some(&self.obs)
+    }
+
+    fn obs_mut(&mut self) -> Option<&mut PrefetcherObs> {
+        Some(&mut self.obs)
+    }
+
+    fn save_state(&self, e: &mut Enc) {
+        self.inner.save_state(e);
+    }
+
+    fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        self.inner.load_state(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PrefetcherKind;
+    use psa_common::PageSize;
+    use psa_core::IndexGrain;
+
+    fn ctx(line: u64) -> AccessContext {
+        AccessContext {
+            line: PLine::new(line),
+            pc: VAddr::new(0x400),
+            cache_hit: false,
+            page_size: PageSize::Size2M,
+        }
+    }
+
+    #[test]
+    fn wrapped_prefetcher_behaves_identically() {
+        let mut bare = PrefetcherKind::Spp.build(IndexGrain::Page4K);
+        let mut wrapped = Observed::new(PrefetcherKind::Spp.build(IndexGrain::Page4K));
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        for i in 0..200u64 {
+            out_a.clear();
+            out_b.clear();
+            bare.on_access(&ctx(i), &mut out_a);
+            wrapped.on_access(&ctx(i), &mut out_b);
+            assert_eq!(out_a, out_b, "access {i}");
+        }
+        assert_eq!(bare.name(), wrapped.name());
+        assert_eq!(bare.uses_page_indexing(), wrapped.uses_page_indexing());
+        assert_eq!(bare.storage_bytes(), wrapped.storage_bytes());
+        assert!(bare.obs().is_none());
+        assert!(wrapped.obs().is_some());
+    }
+
+    #[test]
+    fn bundle_counts_hooks_and_bursts() {
+        let mut p = Observed::new(PrefetcherKind::NextLine.build(IndexGrain::Page4K));
+        let mut out = Vec::new();
+        p.on_access(&ctx(5), &mut out);
+        p.on_issue(PLine::new(6));
+        p.on_prefetch_fill(PLine::new(6));
+        p.on_useful(PLine::new(6), VAddr::new(0x400));
+        p.on_useless(PLine::new(7));
+        let o = p.obs().unwrap();
+        assert_eq!(o.candidates_per_access.total(), 1);
+        assert_eq!(o.candidates_per_access.sum(), out.len() as u64);
+        assert_eq!(o.issued.get(), 1);
+        assert_eq!(o.fills.get(), 1);
+        assert_eq!(o.useful.get(), 1);
+        assert_eq!(o.useless.get(), 1);
+        p.obs_mut().unwrap().reset();
+        assert_eq!(p.obs().unwrap().issued.get(), 0);
+    }
+
+    #[test]
+    fn checkpoint_passthrough_roundtrips() {
+        let mut trained = Observed::new(PrefetcherKind::Spp.build(IndexGrain::Page4K));
+        let mut out = Vec::new();
+        for i in 0..100u64 {
+            out.clear();
+            trained.on_access(&ctx(i), &mut out);
+        }
+        let mut e = Enc::new();
+        trained.save_state(&mut e);
+        let bytes = e.into_bytes();
+
+        let mut restored = Observed::new(PrefetcherKind::Spp.build(IndexGrain::Page4K));
+        restored.load_state(&mut Dec::new(&bytes)).unwrap();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 100..150u64 {
+            a.clear();
+            b.clear();
+            trained.on_access(&ctx(i), &mut a);
+            restored.on_access(&ctx(i), &mut b);
+            assert_eq!(a, b);
+        }
+    }
+}

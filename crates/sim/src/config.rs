@@ -2,6 +2,7 @@
 
 use crate::error::SimError;
 use psa_cache::CacheConfig;
+use psa_common::obs::ObsConfig;
 use psa_core::ppm::PageSizeSource;
 use psa_core::{ModuleConfig, SdConfig};
 use psa_cpu::CoreConfig;
@@ -73,9 +74,13 @@ pub struct SimConfig {
     /// cycles once the ROB fills and drain on every memory access, so the
     /// default of two million cycles only fires on genuine livelock.
     pub watchdog_cycles: u64,
-    /// Run the hierarchy invariant audits at drain points (also enabled by
-    /// `PSA_CHECK=1` in the environment).
+    /// Run the hierarchy invariant audits at drain points (`PSA_CHECK=1`
+    /// reaches here through `RunnerOptions` in the experiments crate).
     pub check: bool,
+    /// Observability layer shape ([`psa_common::obs`]). Disabled by
+    /// default: every hook in the machine is then a no-op and runs are
+    /// bit-identical to an uninstrumented build.
+    pub obs: ObsConfig,
 }
 
 impl Default for SimConfig {
@@ -115,6 +120,7 @@ impl SimConfig {
             seed: 0xC0FFEE,
             watchdog_cycles: 2_000_000,
             check: false,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -148,40 +154,13 @@ impl SimConfig {
         self
     }
 
-    /// Apply `PSA_WARMUP` / `PSA_INSTRUCTIONS` / `PSA_WATCHDOG` /
-    /// `PSA_CHECK` environment overrides, so the benchmark harnesses can
-    /// be scaled up without recompiling.
-    ///
-    /// # Panics
-    ///
-    /// Panics when a set variable does not parse — use
-    /// [`SimConfig::try_with_env_overrides`] to handle that as a value.
-    pub fn with_env_overrides(self) -> Self {
-        self.try_with_env_overrides()
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible form of [`SimConfig::with_env_overrides`]: a set but
-    /// malformed variable is an error naming the variable and the value,
-    /// never a silently ignored knob.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::EnvVar`] when a set variable does not parse.
-    pub fn try_with_env_overrides(mut self) -> Result<Self, SimError> {
-        if let Some(v) = env_u64("PSA_WARMUP")? {
-            self.warmup = v;
-        }
-        if let Some(v) = env_u64("PSA_INSTRUCTIONS")? {
-            self.instructions = v;
-        }
-        if let Some(v) = env_u64("PSA_WATCHDOG")? {
-            self.watchdog_cycles = v;
-        }
-        if let Some(v) = env_flag("PSA_CHECK")? {
-            self.check = v;
-        }
-        Ok(self)
+    /// Override the observability shape (`ObsConfig::on()` enables the
+    /// whole layer). Environment overrides (`PSA_WARMUP`, `PSA_OBS`, …)
+    /// are applied by `RunnerOptions` in the experiments crate — this
+    /// crate never reads the environment.
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Check the scalar run parameters before building a machine: the
@@ -195,6 +174,9 @@ impl SimConfig {
         let bad = |what: &str| Err(SimError::Config { what: what.into() });
         if self.cores == 0 {
             return bad("cores must be at least 1");
+        }
+        if let Err(what) = self.obs.validate() {
+            return bad(what);
         }
         if self.instructions == 0 {
             return bad("measured instructions must be non-zero");
@@ -272,32 +254,6 @@ impl SimConfig {
     }
 }
 
-fn env_u64(key: &str) -> Result<Option<u64>, SimError> {
-    match std::env::var(key) {
-        Err(_) => Ok(None),
-        Ok(raw) => raw.parse().map(Some).map_err(|_| SimError::EnvVar {
-            var: key.into(),
-            value: raw,
-            reason: "expected an unsigned integer".into(),
-        }),
-    }
-}
-
-fn env_flag(key: &str) -> Result<Option<bool>, SimError> {
-    match std::env::var(key) {
-        Err(_) => Ok(None),
-        Ok(raw) => match raw.as_str() {
-            "0" => Ok(Some(false)),
-            "1" => Ok(Some(true)),
-            _ => Err(SimError::EnvVar {
-                var: key.into(),
-                value: raw,
-                reason: "expected 0 or 1".into(),
-            }),
-        },
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,57 +308,11 @@ mod tests {
         c.l2c.mshr_entries = 0;
         let err = c.validate().unwrap_err();
         assert!(err.to_string().contains("L2C"), "{err}");
-    }
-
-    // One test for all env-override behaviour: the variables are process
-    // globals, so splitting into multiple #[test] fns would race.
-    #[test]
-    fn env_overrides_parse_strictly() {
-        for k in [
-            "PSA_WARMUP",
-            "PSA_INSTRUCTIONS",
-            "PSA_WATCHDOG",
-            "PSA_CHECK",
-        ] {
-            std::env::remove_var(k);
-        }
-        let base = SimConfig::default();
-        assert_eq!(
-            base.try_with_env_overrides().unwrap().warmup,
-            base.warmup,
-            "unset variables leave the config alone"
-        );
-
-        std::env::set_var("PSA_WARMUP", "123");
-        std::env::set_var("PSA_WATCHDOG", "0");
-        std::env::set_var("PSA_CHECK", "1");
-        let c = base.try_with_env_overrides().unwrap();
-        assert_eq!(c.warmup, 123);
-        assert_eq!(c.watchdog_cycles, 0);
-        assert!(c.check);
-
-        std::env::set_var("PSA_WARMUP", "not-a-number");
-        let err = base.try_with_env_overrides().unwrap_err();
-        match &err {
-            SimError::EnvVar { var, value, .. } => {
-                assert_eq!(var, "PSA_WARMUP");
-                assert_eq!(value, "not-a-number");
-            }
-            other => panic!("expected EnvVar, got {other}"),
-        }
-        std::env::set_var("PSA_WARMUP", "123");
-        std::env::set_var("PSA_CHECK", "yes");
-        assert!(matches!(
-            base.try_with_env_overrides(),
-            Err(SimError::EnvVar { .. })
-        ));
-        for k in [
-            "PSA_WARMUP",
-            "PSA_INSTRUCTIONS",
-            "PSA_WATCHDOG",
-            "PSA_CHECK",
-        ] {
-            std::env::remove_var(k);
-        }
+        let c = SimConfig::default().with_obs(psa_common::obs::ObsConfig {
+            enabled: true,
+            ring_capacity: 0,
+            sample_every: 64,
+        });
+        assert!(matches!(c.validate(), Err(SimError::Config { .. })));
     }
 }

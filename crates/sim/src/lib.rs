@@ -42,6 +42,24 @@ pub mod system;
 pub use config::{L1dPrefKind, SimConfig};
 pub use error::{CheckpointError, CoreStall, SimError, StallSnapshot};
 pub use metrics::{MultiReport, RunReport};
+pub use psa_common::obs::{ObsConfig, ObsReport};
 pub use report::Json;
 pub use snapshot::{Snapshot, SNAPSHOT_VERSION};
 pub use system::System;
+
+/// The supported simulator surface in one import.
+///
+/// Downstream code (examples, integration tests, external drivers)
+/// should prefer `use psa_sim::prelude::*;` — or the root facade's
+/// `page_size_aware_prefetching::prelude`, which adds the experiment
+/// runner — over reaching into the individual crates: these names are
+/// the ones the project commits to keeping stable.
+pub mod prelude {
+    pub use crate::config::{L1dPrefKind, SimConfig};
+    pub use crate::error::SimError;
+    pub use crate::metrics::{MultiReport, RunReport};
+    pub use crate::report::Json;
+    pub use crate::snapshot::Snapshot;
+    pub use crate::system::System;
+    pub use psa_common::obs::{ObsConfig, ObsReport};
+}

@@ -18,6 +18,7 @@
 //! L2C→LLC→DRAM path.
 
 use psa_cache::{Cache, CacheStats, FillKind, Mshr, MshrMeta};
+use psa_common::obs::{EventKind, EventRing, ObsReport};
 use psa_common::{CodecError, Dec, Enc, PLine, PageSize, Persist, VAddr, VLine};
 use psa_core::ppm::PageSizeSource;
 use psa_core::{FillLevel, PageSizePolicy, PrefetchRequest, PsaModule};
@@ -204,6 +205,7 @@ struct Lat {
 struct Port<'a> {
     ctx: &'a mut CoreCtx,
     shared: &'a mut Shared,
+    ring: &'a mut EventRing,
     lat: Lat,
 }
 
@@ -292,6 +294,10 @@ impl Port<'_> {
         let set = self.ctx.l2c.set_of(line);
         let probe = self.ctx.l2c.probe(line);
         let was_hit = probe.is_some();
+        if trigger && !was_hit {
+            self.ring
+                .record(EventKind::L2cMiss, t, u32::from(self.ctx.id), line.raw());
+        }
         let completion = match probe {
             Some(info) => {
                 if info.first_use {
@@ -336,6 +342,14 @@ impl Port<'_> {
                             },
                         )
                         .expect("space ensured above");
+                    // MSHR alloc/free events track the L2C file only — the
+                    // level the prefetching module competes for.
+                    self.ring.record(
+                        EventKind::MshrAlloc,
+                        t2,
+                        u32::from(self.ctx.id),
+                        self.ctx.l2c_mshr.len() as u64,
+                    );
                     if trigger {
                         self.ctx.debug[1] += 1;
                         self.ctx.debug[3] += done - t;
@@ -351,6 +365,7 @@ impl Port<'_> {
             if let Some(mut module) = self.ctx.module.take() {
                 let mut buf = std::mem::take(&mut self.ctx.pf_buf);
                 buf.clear();
+                let sd_before = self.ring.enabled().then(|| module.stats().selected_by);
                 {
                     let ctx = &*self.ctx;
                     let shared = &*self.shared;
@@ -363,6 +378,16 @@ impl Port<'_> {
                         }
                     };
                     module.on_access(line, pc, was_hit, size.bit(), size, set, &present, &mut buf);
+                }
+                if let Some(before) = sd_before {
+                    let after = module.stats().selected_by;
+                    if after[0] > before[0] {
+                        self.ring
+                            .record(EventKind::SdSelect, t, u32::from(self.ctx.id), 0);
+                    } else if after[1] > before[1] {
+                        self.ring
+                            .record(EventKind::SdSelect, t, u32::from(self.ctx.id), 1);
+                    }
                 }
                 for &req in &buf {
                     self.issue_prefetch(req, t);
@@ -382,6 +407,12 @@ impl Port<'_> {
     }
 
     fn issue_prefetch(&mut self, req: PrefetchRequest, t: u64) {
+        self.ring.record(
+            EventKind::PrefetchIssue,
+            t,
+            u32::from(self.ctx.id),
+            req.line.raw(),
+        );
         let tagged = (self.ctx.id << 1) | (req.source & 1);
         match req.fill_level {
             FillLevel::L2C => {
@@ -544,6 +575,20 @@ impl Port<'_> {
 
     fn drain_l2c(&mut self, now: u64) {
         for e in self.ctx.l2c_mshr.drain_filled(now) {
+            self.ring.record(
+                EventKind::MshrFree,
+                e.fill_at,
+                u32::from(self.ctx.id),
+                self.ctx.l2c_mshr.len() as u64,
+            );
+            if e.meta.is_prefetch && !e.demand_merged {
+                self.ring.record(
+                    EventKind::PrefetchFill,
+                    e.fill_at,
+                    u32::from(self.ctx.id),
+                    e.line.raw(),
+                );
+            }
             let (kind, late_credit) = if e.meta.is_prefetch {
                 if e.demand_merged {
                     (FillKind::Demand, true)
@@ -585,6 +630,14 @@ impl Port<'_> {
     fn drain_llc(&mut self, now: u64) {
         for e in self.shared.llc_mshr.drain_filled(now) {
             let tracked = e.meta.is_prefetch && e.meta.source & PASS == 0;
+            if tracked && !e.demand_merged {
+                self.ring.record(
+                    EventKind::PrefetchFill,
+                    e.fill_at,
+                    u32::from((e.meta.source & !PASS) >> 1),
+                    e.line.raw(),
+                );
+            }
             let (kind, late_credit) = if tracked {
                 if e.demand_merged {
                     (FillKind::Demand, true)
@@ -781,6 +834,11 @@ pub struct System {
     gens: Vec<TraceGenerator>,
     names: Vec<&'static str>,
     state: RunState,
+    /// Sampled event timeline; purely observational and never part of the
+    /// checkpoint byte stream (a restored machine starts with a fresh
+    /// ring, matching the warm-up boundary reset of a straight-through
+    /// run).
+    ring: EventRing,
 }
 
 impl System {
@@ -899,6 +957,11 @@ impl System {
         let mut sys = Self::try_build(config, &[workload], None).unwrap_or_else(|e| panic!("{e}"));
         let sets = sys.ctxs[0].l2c.num_sets();
         sys.ctxs[0].module = Some(make_module(sets));
+        if sys.config.obs.enabled {
+            if let Some(m) = &mut sys.ctxs[0].module {
+                m.enable_obs();
+            }
+        }
         sys
     }
 
@@ -917,7 +980,8 @@ impl System {
         let shape = |name: &str, e: &dyn std::fmt::Display| SimError::Config {
             what: format!("{name}: {e}"),
         };
-        let shared = Shared {
+        let obs_on = config.obs.enabled;
+        let mut shared = Shared {
             llc: Cache::new(config.llc).map_err(|e| shape("LLC", &e))?,
             llc_mshr: Mshr::new(config.llc.mshr_entries),
             dram: Dram::new(config.dram).map_err(|e| shape("DRAM", &e))?,
@@ -943,7 +1007,13 @@ impl System {
                         PsaModule::new(
                             policy,
                             source,
-                            &|grain| kind.build(grain),
+                            &|grain| {
+                                if obs_on {
+                                    kind.build_observed(grain)
+                                } else {
+                                    kind.build(grain)
+                                }
+                            },
                             l2c.num_sets(),
                             config.sd,
                             config.module,
@@ -991,6 +1061,23 @@ impl System {
             ));
             names.push(w.name);
         }
+        let ring = if obs_on {
+            for core in &mut cores {
+                core.enable_obs();
+            }
+            for ctx in &mut ctxs {
+                ctx.l1d_mshr.enable_obs();
+                ctx.l2c_mshr.enable_obs();
+                if let Some(m) = &mut ctx.module {
+                    m.enable_obs();
+                }
+            }
+            shared.llc_mshr.enable_obs();
+            shared.dram.enable_obs();
+            EventRing::new(config.obs.ring_capacity, config.obs.sample_every)
+        } else {
+            EventRing::disabled()
+        };
         let state = RunState::new(&config, workloads.len());
         Ok(Self {
             config,
@@ -1000,6 +1087,7 @@ impl System {
             gens,
             names,
             state,
+            ring,
         })
     }
 
@@ -1153,7 +1241,29 @@ impl System {
     }
 
     fn check_enabled(&self) -> bool {
-        self.config.check || std::env::var("PSA_CHECK").is_ok_and(|v| v == "1")
+        // `PSA_CHECK=1` reaches here through `RunnerOptions` in the
+        // experiments crate; this crate never reads the environment.
+        self.config.check
+    }
+
+    /// Zero every observability structure so totals cover exactly the
+    /// measured window, like the windowed report statistics. Called at
+    /// the all-warm crossing; machines restored from a warm checkpoint
+    /// are built fresh (obs already zero), so both paths agree.
+    fn reset_obs(&mut self) {
+        for core in &mut self.cores {
+            core.reset_obs();
+        }
+        for ctx in &mut self.ctxs {
+            ctx.l1d_mshr.reset_obs();
+            ctx.l2c_mshr.reset_obs();
+            if let Some(m) = &mut ctx.module {
+                m.reset_obs();
+            }
+        }
+        self.shared.llc_mshr.reset_obs();
+        self.shared.dram.reset_obs();
+        self.ring.reset();
     }
 
     /// Execute one step: one instruction on the core that is earliest in
@@ -1180,6 +1290,12 @@ impl System {
                 self.state.last_progress = progress;
                 self.state.last_progress_cycle = now;
             } else if now.saturating_sub(self.state.last_progress_cycle) > watchdog {
+                self.ring.record_rare(
+                    EventKind::Watchdog,
+                    now,
+                    i as u32,
+                    now.saturating_sub(self.state.last_progress_cycle),
+                );
                 return Err(SimError::WatchdogStall(Box::new(
                     self.stall_snapshot(now, self.state.last_progress_cycle),
                 )));
@@ -1190,6 +1306,7 @@ impl System {
             let mut port = Port {
                 ctx: &mut self.ctxs[i],
                 shared: &mut self.shared,
+                ring: &mut self.ring,
                 lat: Lat {
                     l1d: self.config.l1d.latency,
                     l2c: self.config.l2c.latency,
@@ -1221,6 +1338,12 @@ impl System {
         }
         self.state.executed[i] += 1;
         self.state.steps += 1;
+        self.ring.record(
+            EventKind::Retire,
+            self.cores[i].now(),
+            i as u32,
+            self.state.executed[i],
+        );
         if i == 0 && self.state.executed[0].is_multiple_of(sample_every) {
             self.state.thp_series.push((
                 self.state.executed[0],
@@ -1232,6 +1355,9 @@ impl System {
             self.state.snaps[i] = Self::snap_core(&self.cores, &self.ctxs[i], i);
             if self.state.warm.iter().all(|&w| w) {
                 self.state.shared_snap = (self.shared.llc.stats(), self.shared.dram.stats());
+                if self.config.obs.enabled {
+                    self.reset_obs();
+                }
                 if check {
                     self.audit()?;
                 }
@@ -1377,7 +1503,23 @@ impl System {
     /// # Panics
     ///
     /// Panics if the system was built with more than one core.
-    pub fn try_run(mut self) -> Result<RunReport, SimError> {
+    pub fn try_run(self) -> Result<RunReport, SimError> {
+        self.try_run_observed().map(|(report, _)| report)
+    }
+
+    /// Like [`System::try_run`], but also hands back what the
+    /// observability layer captured over the measured window — `None`
+    /// when the layer is disabled (the default). The report half is
+    /// bit-identical either way: observability is purely observational.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::try_run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system was built with more than one core.
+    pub fn try_run_observed(mut self) -> Result<(RunReport, Option<ObsReport>), SimError> {
         assert_eq!(self.cores.len(), 1, "use run_multi for multi-core systems");
         let (snaps, finish, llc, dram, thp_series) = self.run_all()?;
         let snap = &snaps[0];
@@ -1402,7 +1544,7 @@ impl System {
             (Some(end), Some(start)) => Some(boundary_diff(end, start)),
             (b, _) => b,
         };
-        Ok(RunReport {
+        let report = RunReport {
             workload: self.names[0],
             instructions: self.config.instructions,
             cycles: finish[0].saturating_sub(snap.cycle).max(1),
@@ -1427,6 +1569,111 @@ impl System {
                 d[7] = ctx.debug[7];
                 d
             },
+        };
+        let obs = self.obs_report();
+        Ok((report, obs))
+    }
+
+    /// Assemble what the observability layer has captured so far: named
+    /// counters and histogram summaries (reset at the all-warm crossing,
+    /// so they cover the measured window) plus the sampled event
+    /// timeline. `None` when the layer is disabled.
+    ///
+    /// Per-core histograms carry core-0 names; module counters are summed
+    /// across cores (single-core machines — the paper's main configuration
+    /// — see exactly their own numbers either way).
+    pub fn obs_report(&self) -> Option<ObsReport> {
+        if !self.config.obs.enabled {
+            return None;
+        }
+        let sum2 = |f: &dyn Fn(&psa_core::ModuleObs) -> u64| -> u64 {
+            self.ctxs
+                .iter()
+                .filter_map(|c| c.module.as_ref())
+                .map(|m| f(m.obs()))
+                .sum()
+        };
+        let mut counters = vec![
+            ("module.issued", sum2(&|o| o.issued_total())),
+            ("module.issued_psa", sum2(&|o| o.issued[0].get())),
+            ("module.issued_psa2m", sum2(&|o| o.issued[1].get())),
+            (
+                "module.fills",
+                sum2(&|o| o.fills[0].get() + o.fills[1].get()),
+            ),
+            (
+                "module.useful_timely",
+                sum2(&|o| o.useful_timely[0].get() + o.useful_timely[1].get()),
+            ),
+            (
+                "module.useful_late",
+                sum2(&|o| o.useful_late[0].get() + o.useful_late[1].get()),
+            ),
+            (
+                "module.useless",
+                sum2(&|o| o.useless[0].get() + o.useless[1].get()),
+            ),
+        ];
+        let mut histograms = vec![
+            (
+                "core0.load_to_use",
+                self.cores[0].obs_load_to_use().summary(),
+            ),
+            (
+                "l1d_mshr.occupancy",
+                self.ctxs[0].l1d_mshr.obs_occupancy().summary(),
+            ),
+            (
+                "l2c_mshr.occupancy",
+                self.ctxs[0].l2c_mshr.obs_occupancy().summary(),
+            ),
+            (
+                "llc_mshr.occupancy",
+                self.shared.llc_mshr.obs_occupancy().summary(),
+            ),
+            (
+                "dram.queue_delay",
+                self.shared.dram.obs_queue_delay().summary(),
+            ),
+        ];
+        if let Some(m) = self.ctxs[0].module.as_ref() {
+            let hname = [
+                "pref_psa.candidates_per_access",
+                "pref_psa2m.candidates_per_access",
+            ];
+            let cname = [
+                [
+                    "pref_psa.issued",
+                    "pref_psa.fills",
+                    "pref_psa.useful",
+                    "pref_psa.useless",
+                ],
+                [
+                    "pref_psa2m.issued",
+                    "pref_psa2m.fills",
+                    "pref_psa2m.useful",
+                    "pref_psa2m.useless",
+                ],
+            ];
+            for (slot, po) in m.prefetcher_obs().into_iter().enumerate() {
+                if let Some(po) = po {
+                    histograms.push((hname[slot], po.candidates_per_access.summary()));
+                    counters.push((cname[slot][0], po.issued.get()));
+                    counters.push((cname[slot][1], po.fills.get()));
+                    counters.push((cname[slot][2], po.useful.get()));
+                    counters.push((cname[slot][3], po.useless.get()));
+                }
+            }
+        }
+        Some(ObsReport {
+            counters,
+            histograms,
+            events: self.ring.events(),
+            seen: EventKind::ALL
+                .iter()
+                .map(|&k| (k.name(), self.ring.seen(k)))
+                .collect(),
+            sample_every: self.config.obs.sample_every,
         })
     }
 
@@ -1721,5 +1968,56 @@ mod tests {
     fn audit_runs_on_a_fresh_machine() {
         let sys = System::baseline(quick(), catalog::workload("lbm").unwrap());
         sys.audit().expect("an untouched machine is consistent");
+    }
+
+    #[test]
+    fn observability_is_bit_identical_and_reconciles() {
+        use psa_common::obs::ObsConfig;
+        let w = catalog::workload("mcf").unwrap();
+        let (plain, no_obs) =
+            System::single_core(quick(), w, PrefetcherKind::Spp, PageSizePolicy::PsaSd)
+                .try_run_observed()
+                .unwrap();
+        assert!(no_obs.is_none(), "disabled by default");
+
+        let (observed, obs) = System::single_core(
+            quick().with_obs(ObsConfig::on()),
+            w,
+            PrefetcherKind::Spp,
+            PageSizePolicy::PsaSd,
+        )
+        .try_run_observed()
+        .unwrap();
+        let obs = obs.expect("enabled layer yields a report");
+
+        // Purely observational: the simulated outcome must not move.
+        assert_eq!(plain.cycles, observed.cycles);
+        assert_eq!(plain.l2c, observed.l2c);
+        assert_eq!(plain.dram.reads, observed.dram.reads);
+        assert_eq!(
+            plain.module.as_ref().map(|m| m.issued),
+            observed.module.as_ref().map(|m| m.issued)
+        );
+
+        // Obs counters are reset at the all-warm crossing, so they cover
+        // the same window as the report's diffed statistics.
+        let issued = observed.module.as_ref().unwrap().issued;
+        assert_eq!(obs.counter("module.issued"), Some(issued));
+        let qd = obs.histogram("dram.queue_delay").unwrap();
+        assert_eq!(qd.total, observed.dram.reads + observed.dram.writes);
+        let l2u = obs.histogram("core0.load_to_use").unwrap();
+        assert!(l2u.total > 0, "loads retired in the measured window");
+
+        // The timeline recorded the measured window's retires exactly.
+        let retire_seen = obs
+            .seen
+            .iter()
+            .find(|(n, _)| *n == "retire")
+            .map(|&(_, s)| s)
+            .unwrap();
+        assert_eq!(retire_seen, quick().instructions);
+        assert!(!obs.events.is_empty());
+        let trace = obs.to_chrome_trace();
+        assert!(trace.contains("\"traceEvents\""));
     }
 }

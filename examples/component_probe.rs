@@ -2,19 +2,19 @@
 //! wasted prefetches.
 //!
 //! ```text
-//! cargo run --release --example component_probe
+//! cargo run --release --example component_probe [spp|bop|vldp|ppf]
 //! ```
 
-use psa_core::PageSizePolicy;
-use psa_prefetchers::PrefetcherKind;
-use psa_sim::{SimConfig, System};
-use psa_traces::{PatternMix, Suite, WorkloadSpec};
+use page_size_aware_prefetching::prelude::*;
 
 fn main() {
-    let cfg = SimConfig::default()
-        .with_warmup(40_000)
-        .with_instructions(120_000)
-        .with_env_overrides();
+    let cfg = RunnerOptions::from_env()
+        .expect("PSA_* variables parse")
+        .apply(
+            SimConfig::default()
+                .with_warmup(40_000)
+                .with_instructions(120_000),
+        );
     let cases: Vec<(&str, PatternMix)> = vec![
         (
             "stream-only",
@@ -77,10 +77,10 @@ fn main() {
             mix,
             intensive: true,
         };
-        let kind = match std::env::var("PSA_KIND").as_deref() {
-            Ok("bop") => PrefetcherKind::Bop,
-            Ok("vldp") => PrefetcherKind::Vldp,
-            Ok("ppf") => PrefetcherKind::Ppf,
+        let kind = match std::env::args().nth(1).as_deref() {
+            Some("bop") => PrefetcherKind::Bop,
+            Some("vldp") => PrefetcherKind::Vldp,
+            Some("ppf") => PrefetcherKind::Ppf,
             _ => PrefetcherKind::Spp,
         };
         let base = System::baseline(cfg, &w).run();

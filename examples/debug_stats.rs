@@ -6,10 +6,7 @@
 //! cargo run --release --example debug_stats lbm mcf    # detail for lbm, mcf
 //! ```
 
-use psa_core::PageSizePolicy;
-use psa_prefetchers::PrefetcherKind;
-use psa_sim::{SimConfig, System};
-use psa_traces::catalog;
+use page_size_aware_prefetching::prelude::*;
 
 const SET: [&str; 8] = [
     "lbm",
@@ -23,10 +20,13 @@ const SET: [&str; 8] = [
 ];
 
 fn main() {
-    let cfg = SimConfig::default()
-        .with_warmup(20_000)
-        .with_instructions(60_000)
-        .with_env_overrides();
+    let cfg = RunnerOptions::from_env()
+        .expect("PSA_* variables parse")
+        .apply(
+            SimConfig::default()
+                .with_warmup(20_000)
+                .with_instructions(60_000),
+        );
     let detail: Vec<String> = std::env::args().skip(1).collect();
     for name in SET {
         let w = catalog::workload(name).expect("in catalog");

@@ -5,11 +5,7 @@
 //! cargo run --release --example multicore_mix [w1 w2 w3 w4]
 //! ```
 
-use psa_common::stats::weighted_speedup;
-use psa_core::PageSizePolicy;
-use psa_prefetchers::PrefetcherKind;
-use psa_sim::{SimConfig, System};
-use psa_traces::catalog;
+use page_size_aware_prefetching::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,10 +19,13 @@ fn main() {
         .map(|n| catalog::workload(n).unwrap_or_else(|| panic!("unknown workload '{n}'")))
         .collect();
 
-    let config = SimConfig::for_cores(4)
-        .with_warmup(20_000)
-        .with_instructions(60_000)
-        .with_env_overrides();
+    let config = RunnerOptions::from_env()
+        .expect("PSA_* variables parse")
+        .apply(
+            SimConfig::for_cores(4)
+                .with_warmup(20_000)
+                .with_instructions(60_000),
+        );
 
     println!("mix: {names:?}\n");
     let base =

@@ -6,17 +6,16 @@
 //! cargo run --release --example page_size_study
 //! ```
 
-use psa_common::Table;
-use psa_core::PageSizePolicy;
-use psa_prefetchers::PrefetcherKind;
-use psa_sim::{SimConfig, System};
-use psa_traces::catalog;
+use page_size_aware_prefetching::prelude::*;
 
 fn main() {
-    let config = SimConfig::default()
-        .with_warmup(30_000)
-        .with_instructions(90_000)
-        .with_env_overrides();
+    let config = RunnerOptions::from_env()
+        .expect("PSA_* variables parse")
+        .apply(
+            SimConfig::default()
+                .with_warmup(30_000)
+                .with_instructions(90_000),
+        );
 
     let mut t = Table::new(vec![
         "benchmark".into(),

@@ -5,10 +5,7 @@
 //! cargo run --release --example quickstart [workload]
 //! ```
 
-use psa_core::PageSizePolicy;
-use psa_prefetchers::PrefetcherKind;
-use psa_sim::{SimConfig, System};
-use psa_traces::catalog;
+use page_size_aware_prefetching::prelude::*;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "lbm".into());
@@ -21,10 +18,13 @@ fn main() {
         std::process::exit(1);
     };
 
-    let config = SimConfig::default()
-        .with_warmup(50_000)
-        .with_instructions(150_000)
-        .with_env_overrides();
+    let config = RunnerOptions::from_env()
+        .expect("PSA_* variables parse")
+        .apply(
+            SimConfig::default()
+                .with_warmup(50_000)
+                .with_instructions(150_000),
+        );
     println!("{}", config.table1());
 
     let baseline = System::baseline(config, workload).run();

@@ -38,18 +38,12 @@ run ablations PSA_WORKLOAD_LIMIT=10
 echo "############ collected JSON ############"
 ls -l "$PSA_BENCH_JSON_DIR"/BENCH_*.json
 
-# Fault gate: every document must report an empty `failures` array. A
-# non-empty array means some (workload, variant) job panicked or tripped
-# the forward-progress watchdog — its rows are missing from the figure.
-echo "############ failure gate ############"
-bad=0
-for f in "$PSA_BENCH_JSON_DIR"/BENCH_*.json; do
-  if ! grep -q '"failures": \[\]' "$f"; then
-    echo "FAILED jobs recorded in $f (see its \"failures\" array)"
-    bad=1
-  fi
-done
-if [ "$bad" -ne 0 ]; then
-  exit 1
-fi
-echo "no failures recorded"
+# Schema + fault gate: every document must match the docs/METRICS.md
+# schema and report an empty `failures` array. A non-empty array means
+# some (workload, variant) job panicked or tripped the forward-progress
+# watchdog — its rows are missing from the figure. The typed validator
+# fails loudly on a document that *lacks* the key (the old grep gate
+# silently passed those).
+echo "############ schema + failure gate ############"
+cargo run --release --quiet --bin validate_bench -- \
+  "$PSA_BENCH_JSON_DIR"/BENCH_*.json

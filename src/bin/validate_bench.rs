@@ -1,0 +1,140 @@
+//! Validate emitted JSON documents against their expected schema.
+//!
+//! ```text
+//! validate_bench BENCH_fig08.json [more.json ...]   # bench documents
+//! validate_bench --trace trace.json                 # Chrome trace export
+//! ```
+//!
+//! Replaces the old `grep '"failures": []'` CI gate, which silently
+//! passed any document that *lacked* the `failures` key entirely. This
+//! checks structure first — every required field present, `failures` an
+//! actual array — and only then that the array is empty, so a
+//! schema-drifted document fails loudly instead of slipping through.
+//!
+//! Exit codes: 0 valid, 1 validation failure, 2 usage or I/O error.
+
+use page_size_aware_prefetching::sim::Json;
+
+/// Every field a `BENCH_*.json` document must carry (schema v3,
+/// `docs/METRICS.md`).
+const REQUIRED: [&str; 7] = [
+    "schema_version",
+    "figure",
+    "title",
+    "config",
+    "rows",
+    "failures",
+    "executor",
+];
+
+/// Fields of the executor phase profile introduced by schema v3.
+const PHASES: [&str; 3] = ["warmup_seconds", "measure_seconds", "snapshot_io_seconds"];
+
+fn validate_bench(path: &str, doc: &Json) -> Result<(), String> {
+    for field in REQUIRED {
+        if doc.get(field).is_none() {
+            return Err(format!("{path}: missing required field \"{field}\""));
+        }
+    }
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}: schema_version is not a number"))?;
+    if version >= 3.0 {
+        let executor = doc.get("executor").expect("checked above");
+        let phases = executor
+            .get("phases")
+            .ok_or_else(|| format!("{path}: schema v3 executor lacks \"phases\""))?;
+        for field in PHASES {
+            if phases.get(field).is_none() {
+                return Err(format!("{path}: missing executor.phases.{field}"));
+            }
+        }
+    }
+    let failures = doc
+        .get("failures")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: \"failures\" is not an array"))?;
+    if !failures.is_empty() {
+        let mut msg = format!("{path}: {} recorded failure(s):", failures.len());
+        for f in failures {
+            let field = |k| f.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+            msg.push_str(&format!(
+                "\n  {}/{}: {}",
+                field("workload"),
+                field("variant"),
+                field("reason")
+            ));
+        }
+        return Err(msg);
+    }
+    Ok(())
+}
+
+fn validate_trace(path: &str, doc: &Json) -> Result<(), String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: no \"traceEvents\" array"))?;
+    if events.is_empty() {
+        return Err(format!("{path}: traceEvents is empty"));
+    }
+    for (i, ev) in events.iter().enumerate() {
+        for field in ["name", "ph", "ts"] {
+            if ev.get(field).is_none() {
+                return Err(format!("{path}: traceEvents[{i}] lacks \"{field}\""));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_mode = args.first().is_some_and(|a| a == "--trace");
+    if trace_mode {
+        args.remove(0);
+    }
+    if args.is_empty() {
+        eprintln!("usage: validate_bench [--trace] <file.json> ...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{path}: invalid JSON: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let result = if trace_mode {
+            validate_trace(path, &doc)
+        } else {
+            validate_bench(path, &doc)
+        };
+        match result {
+            Ok(()) => println!(
+                "{path}: valid {}",
+                if trace_mode {
+                    "trace"
+                } else {
+                    "bench document"
+                }
+            ),
+            Err(msg) => {
+                eprintln!("{msg}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(i32::from(failed));
+}

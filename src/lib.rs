@@ -46,3 +46,22 @@ pub use psa_prefetchers as prefetchers;
 pub use psa_sim as sim;
 pub use psa_traces as traces;
 pub use psa_vmem as vmem;
+
+/// The supported surface in one import: the simulator prelude plus the
+/// experiment-runner facade, the prefetcher/policy enums, and the
+/// workload catalog.
+///
+/// Examples, integration tests and downstream drivers should prefer
+/// `use page_size_aware_prefetching::prelude::*;` over reaching into the
+/// individual `psa_*` crates: these names are the ones the project
+/// commits to keeping stable.
+pub mod prelude {
+    pub use psa_common::obs::{ObsConfig, ObsReport};
+    pub use psa_common::stats::weighted_speedup;
+    pub use psa_common::{PLine, PageSize, Table, VAddr};
+    pub use psa_core::{IndexGrain, PageSizePolicy};
+    pub use psa_experiments::runner::{self, RunnerOptions, Settings, Variant};
+    pub use psa_prefetchers::PrefetcherKind;
+    pub use psa_sim::prelude::*;
+    pub use psa_traces::{catalog, PatternMix, Suite, WorkloadSpec};
+}

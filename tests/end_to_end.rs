@@ -1,15 +1,25 @@
 //! Cross-crate integration tests: the paper's structural claims, checked
 //! end-to-end through the public facade.
 
-use page_size_aware_prefetching::core::{PageSizePolicy, Ppm};
-use page_size_aware_prefetching::prefetchers::PrefetcherKind;
-use page_size_aware_prefetching::sim::{L1dPrefKind, SimConfig, System};
-use page_size_aware_prefetching::traces::{catalog, mixes::random_mixes};
+use page_size_aware_prefetching::core::Ppm;
+use page_size_aware_prefetching::prelude::*;
+use page_size_aware_prefetching::traces::mixes::random_mixes;
+
+/// `PSA_CHECK=1 cargo test` must still switch the invariant audits on now
+/// that the simulator itself never reads the environment: the flag
+/// arrives through the typed facade.
+fn env_check() -> bool {
+    RunnerOptions::from_env()
+        .expect("PSA_* variables parse")
+        .check
+        .unwrap_or(false)
+}
 
 fn quick() -> SimConfig {
     SimConfig::default()
         .with_warmup(3_000)
         .with_instructions(12_000)
+        .with_check(env_check())
 }
 
 #[test]
@@ -99,7 +109,8 @@ fn multicore_mixes_run_and_report() {
     let mixes = random_mixes(1, 4, 7);
     let config = SimConfig::for_cores(4)
         .with_warmup(1_000)
-        .with_instructions(5_000);
+        .with_instructions(5_000)
+        .with_check(env_check());
     let report = System::multi_core(
         config,
         &mixes[0],

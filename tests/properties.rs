@@ -7,20 +7,29 @@
 
 use page_size_aware_prefetching::common::geometry::xor_fold;
 use page_size_aware_prefetching::common::{
-    geomean, DetRng, DistSummary, PAddr, PageSize, SatCounter,
+    geomean, DetRng, DistSummary, PAddr, PLine, PageSize, SatCounter, VAddr,
 };
 use page_size_aware_prefetching::core::boundary::{BoundaryChecker, BoundaryPolicy, Verdict};
 use page_size_aware_prefetching::core::PageSizePolicy;
 use page_size_aware_prefetching::cpu::{Core, CoreConfig, Instr, MemoryPort};
 use page_size_aware_prefetching::dram::{Dram, DramConfig};
+use page_size_aware_prefetching::experiments::RunnerOptions;
 use page_size_aware_prefetching::prefetchers::PrefetcherKind;
 use page_size_aware_prefetching::sim::{L1dPrefKind, SimConfig, System};
 use page_size_aware_prefetching::traces::{
     catalog, gen::TraceGenerator, PatternMix, Suite, WorkloadSpec,
 };
-use psa_common::{PLine, VAddr};
 
 const CASES: usize = 200;
+
+/// `PSA_CHECK=1 cargo test` must still switch the invariant audits on now
+/// that the simulator itself never reads the environment.
+fn env_check() -> bool {
+    RunnerOptions::from_env()
+        .expect("PSA_* variables parse")
+        .check
+        .unwrap_or(false)
+}
 
 #[test]
 fn page_number_and_offset_reassemble() {
@@ -185,6 +194,7 @@ fn ck_config() -> SimConfig {
     SimConfig::default()
         .with_warmup(CK_WARMUP)
         .with_instructions(2_400)
+        .with_check(env_check())
 }
 
 /// One machine builder per prefetcher variant the experiments evaluate:
@@ -237,7 +247,8 @@ fn ck_builders() -> Vec<(String, Box<dyn Fn() -> System>)> {
             System::multi_core(
                 SimConfig::for_cores(2)
                     .with_warmup(CK_WARMUP)
-                    .with_instructions(2_400),
+                    .with_instructions(2_400)
+                    .with_check(env_check()),
                 &[lbm, soplex],
                 PrefetcherKind::Spp,
                 PageSizePolicy::PsaSd,
