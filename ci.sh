@@ -94,4 +94,31 @@ env PSA_WARMUP=2000 PSA_INSTRUCTIONS=8000 PSA_WORKLOAD_LIMIT=2 PSA_THREADS=1 \
 cargo run --release --quiet --bin validate_bench -- --trace "$OBS_TMP/trace.json"
 cargo run --release --quiet --bin validate_bench -- "$OBS_TMP/BENCH_fig08.json"
 
+# Golden bit-identity gate (see docs/HIERARCHY.md): a fixed-budget fig08
+# sweep must produce byte-for-byte the committed stable sections — any
+# hierarchy refactor that changes timing shows up here as a diff, not as
+# a silent drift. The document is schema-validated first, then compared.
+# After an *intentional* behaviour change, regenerate deliberately with
+# PSA_UPDATE_GOLDEN=1 ./ci.sh (and review the diff in the commit).
+echo "== golden bit-identity gate (fig08 stable sections) =="
+GOLD_TMP="$(mktemp -d)"
+trap 'rm -rf "$CKPT_TMP" "$COLD_TMP" "$WARM_TMP" "$OBS_TMP" "$GOLD_TMP"' EXIT
+env PSA_WARMUP=2000 PSA_INSTRUCTIONS=8000 PSA_WORKLOAD_LIMIT=2 PSA_THREADS=1 \
+    PSA_BENCH_JSON_DIR="$GOLD_TMP" \
+  cargo bench -q -p psa-bench --bench fig08_spp_variants > /dev/null
+cargo run --release --quiet --bin validate_bench -- "$GOLD_TMP/BENCH_fig08.json"
+sed -n '1,/"executor"/p' "$GOLD_TMP/BENCH_fig08.json" > "$GOLD_TMP/stable.json"
+GOLDEN=crates/experiments/tests/golden/fig08_stable.json
+if [ "${PSA_UPDATE_GOLDEN:-0}" = 1 ]; then
+  cp "$GOLD_TMP/stable.json" "$GOLDEN"
+  echo "golden file regenerated: $GOLDEN"
+elif ! cmp -s "$GOLD_TMP/stable.json" "$GOLDEN"; then
+  echo "fig08 stable sections drifted from $GOLDEN:"
+  diff "$GOLDEN" "$GOLD_TMP/stable.json" | head -20
+  echo "(intentional change? regenerate with PSA_UPDATE_GOLDEN=1 ./ci.sh)"
+  exit 1
+else
+  echo "stable sections bit-identical to $GOLDEN"
+fi
+
 echo "ci.sh: all green"

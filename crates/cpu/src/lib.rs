@@ -24,14 +24,19 @@
 //!
 //! struct FlatMemory;
 //! impl MemoryPort for FlatMemory {
-//!     fn load(&mut self, _pc: VAddr, _vaddr: VAddr, now: u64) -> u64 { now + 5 }
-//!     fn store(&mut self, _pc: VAddr, _vaddr: VAddr, _now: u64) {}
+//!     type Error = std::convert::Infallible;
+//!     fn load(&mut self, _pc: VAddr, _vaddr: VAddr, now: u64) -> Result<u64, Self::Error> {
+//!         Ok(now + 5)
+//!     }
+//!     fn store(&mut self, _pc: VAddr, _vaddr: VAddr, _now: u64) -> Result<(), Self::Error> {
+//!         Ok(())
+//!     }
 //! }
 //!
 //! let mut core = Core::new(CoreConfig::default());
 //! let mut mem = FlatMemory;
 //! for i in 0..100 {
-//!     core.execute(&Instr::op(VAddr::new(i * 4)), &mut mem);
+//!     core.execute(&Instr::op(VAddr::new(i * 4)), &mut mem).unwrap();
 //! }
 //! let done = core.drain();
 //! assert!(done >= 100 / 4);
@@ -141,11 +146,18 @@ impl Instr {
 /// fires the access for cache/DRAM bookkeeping but the core does not wait.
 /// Implementations may be called with non-decreasing-ish `now` values as
 /// the core runs ahead of retirement.
+///
+/// Both operations are fallible: a hierarchy that can exhaust a finite
+/// resource (physical memory, say) reports it as a typed error the driver
+/// can surface, instead of panicking mid-simulation. Implementations that
+/// cannot fail use [`std::convert::Infallible`].
 pub trait MemoryPort {
+    /// What a failed access reports.
+    type Error;
     /// Perform a load issued at `now`; return its completion cycle.
-    fn load(&mut self, pc: VAddr, vaddr: VAddr, now: u64) -> u64;
+    fn load(&mut self, pc: VAddr, vaddr: VAddr, now: u64) -> Result<u64, Self::Error>;
     /// Perform a store issued at `now`.
-    fn store(&mut self, pc: VAddr, vaddr: VAddr, now: u64);
+    fn store(&mut self, pc: VAddr, vaddr: VAddr, now: u64) -> Result<(), Self::Error>;
 }
 
 /// Progress counters for one core.
@@ -277,7 +289,12 @@ impl Core {
     }
 
     /// Feed one instruction through fetch → execute → ROB.
-    pub fn execute<M: MemoryPort>(&mut self, instr: &Instr, mem: &mut M) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the memory port's error; the instruction is not recorded
+    /// as executed when the access fails.
+    pub fn execute<M: MemoryPort>(&mut self, instr: &Instr, mem: &mut M) -> Result<(), M::Error> {
         // Make room: a full ROB stalls fetch until the head retires.
         if self.rob.len() == self.config.rob_entries {
             let freed_at = self.retire_one();
@@ -296,7 +313,7 @@ impl Core {
                 } else {
                     now
                 };
-                let done = mem.load(instr.pc, vaddr, issue);
+                let done = mem.load(instr.pc, vaddr, issue)?;
                 debug_assert!(done >= issue, "time moves forward");
                 self.obs_load_to_use.record(done - issue);
                 self.last_load_done = done;
@@ -304,7 +321,7 @@ impl Core {
             }
             InstrKind::Store { vaddr } => {
                 self.stats.stores += 1;
-                mem.store(instr.pc, vaddr, now);
+                mem.store(instr.pc, vaddr, now)?;
                 now + self.config.alu_latency
             }
         };
@@ -316,6 +333,7 @@ impl Core {
             self.fetch_cycle += 1;
             self.fetched_this_cycle = 0;
         }
+        Ok(())
     }
 
     /// Retire everything in flight; returns the cycle the last instruction
@@ -358,17 +376,20 @@ mod tests {
 
     struct FixedLatency(u64);
     impl MemoryPort for FixedLatency {
-        fn load(&mut self, _pc: VAddr, _vaddr: VAddr, now: u64) -> u64 {
-            now + self.0
+        type Error = std::convert::Infallible;
+        fn load(&mut self, _pc: VAddr, _vaddr: VAddr, now: u64) -> Result<u64, Self::Error> {
+            Ok(now + self.0)
         }
-        fn store(&mut self, _pc: VAddr, _vaddr: VAddr, _now: u64) {}
+        fn store(&mut self, _pc: VAddr, _vaddr: VAddr, _now: u64) -> Result<(), Self::Error> {
+            Ok(())
+        }
     }
 
     fn run_ops(n: u64) -> u64 {
         let mut core = Core::new(CoreConfig::default());
         let mut mem = FixedLatency(0);
         for i in 0..n {
-            core.execute(&Instr::op(VAddr::new(i)), &mut mem);
+            core.execute(&Instr::op(VAddr::new(i)), &mut mem).unwrap();
         }
         core.drain()
     }
@@ -387,7 +408,8 @@ mod tests {
         let mut core = Core::new(CoreConfig::default());
         let mut mem = FixedLatency(200);
         for i in 0..100 {
-            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem)
+                .unwrap();
         }
         let cycles = core.drain();
         assert!(cycles < 300, "got {cycles}");
@@ -401,7 +423,8 @@ mod tests {
             core.execute(
                 &Instr::dependent_load(VAddr::new(i), VAddr::new(i * 64)),
                 &mut mem,
-            );
+            )
+            .unwrap();
         }
         let cycles = core.drain();
         assert!(cycles >= 100 * 200, "got {cycles}");
@@ -417,7 +440,8 @@ mod tests {
         });
         let mut mem = FixedLatency(100);
         for i in 0..64 {
-            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem)
+                .unwrap();
         }
         let cycles = core.drain();
         assert!(cycles >= 64 / 4 * 100, "got {cycles}");
@@ -428,7 +452,8 @@ mod tests {
         let mut core = Core::new(CoreConfig::default());
         let mut mem = FixedLatency(500);
         for i in 0..100 {
-            core.execute(&Instr::store(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+            core.execute(&Instr::store(VAddr::new(i), VAddr::new(i * 64)), &mut mem)
+                .unwrap();
         }
         let cycles = core.drain();
         assert!(
@@ -441,9 +466,11 @@ mod tests {
     fn stats_count_kinds() {
         let mut core = Core::new(CoreConfig::default());
         let mut mem = FixedLatency(1);
-        core.execute(&Instr::op(VAddr::new(0)), &mut mem);
-        core.execute(&Instr::load(VAddr::new(1), VAddr::new(64)), &mut mem);
-        core.execute(&Instr::store(VAddr::new(2), VAddr::new(128)), &mut mem);
+        core.execute(&Instr::op(VAddr::new(0)), &mut mem).unwrap();
+        core.execute(&Instr::load(VAddr::new(1), VAddr::new(64)), &mut mem)
+            .unwrap();
+        core.execute(&Instr::store(VAddr::new(2), VAddr::new(128)), &mut mem)
+            .unwrap();
         let s = core.stats();
         assert_eq!((s.instructions, s.loads, s.stores), (3, 1, 1));
     }
@@ -453,7 +480,8 @@ mod tests {
         let mut core = Core::new(CoreConfig::default());
         let mut mem = FixedLatency(5);
         for i in 0..10 {
-            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem)
+                .unwrap();
         }
         // Nothing retires until the ROB fills or the program drains.
         assert_eq!(core.stats().retired, 0);
@@ -470,7 +498,8 @@ mod tests {
         let mut core = Core::new(CoreConfig::default());
         let mut mem = FixedLatency(37);
         for i in 0..500 {
-            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem)
+                .unwrap();
         }
         let projected = core.projected_finish();
         let drained = core.drain();
@@ -488,7 +517,8 @@ mod tests {
                 core.execute(
                     &Instr::dependent_load(VAddr::new(i), VAddr::new(i * 64)),
                     &mut mem,
-                );
+                )
+                .unwrap();
             }
             core.drain() as f64
         };
@@ -503,7 +533,8 @@ mod tests {
         let mut core = Core::new(CoreConfig::default());
         let mut mem = FixedLatency(37);
         for i in 0..500 {
-            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem)
+                .unwrap();
         }
         let mut e = Enc::new();
         core.save(&mut e);
@@ -512,8 +543,11 @@ mod tests {
         restored.load(&mut Dec::new(&bytes)).unwrap();
         // Resuming both cores must produce identical behaviour.
         for i in 500..600 {
-            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
-            restored.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+            core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem)
+                .unwrap();
+            restored
+                .execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem)
+                .unwrap();
         }
         assert_eq!(core.drain(), restored.drain());
         assert_eq!(core.stats(), restored.stats());
@@ -528,7 +562,8 @@ mod tests {
             }
             let mut mem = FixedLatency(37);
             for i in 0..10 {
-                core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+                core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem)
+                    .unwrap();
             }
             let cycles = core.drain();
             (cycles, core.stats(), core.obs_load_to_use().summary())
@@ -548,7 +583,7 @@ mod tests {
         let mut mem = FixedLatency(0);
         assert_eq!(core.now(), 0);
         for i in 0..8 {
-            core.execute(&Instr::op(VAddr::new(i)), &mut mem);
+            core.execute(&Instr::op(VAddr::new(i)), &mut mem).unwrap();
         }
         assert_eq!(core.now(), 2);
     }

@@ -1,0 +1,478 @@
+//! One cache level and the per-core walk statistics.
+
+use psa_cache::{Cache, Mshr};
+use psa_common::{CodecError, Dec, Enc, PLine, PageSize, Persist, VAddr};
+use psa_core::PsaModule;
+
+/// A late (demand-merged) prefetch still earns timely credit when the
+/// demand's residual wait was below this, i.e. the prefetch hid almost the
+/// whole miss.
+pub const LATE_TIMELY_SLACK: u64 = 200;
+
+/// High bit of the block-source annotation: the fill is a pass-through
+/// copy (a prefetch destined for a level above, parked here on its way up)
+/// whose usefulness is tracked at the destination level, not here.
+pub const PASS: u8 = 0x80;
+
+/// Whether a prefetch may take an MSHR slot: prefetches never consume the
+/// last quarter of the file, so demand misses keep making progress
+/// (prefetches are droppable, demands are not).
+pub fn prefetch_room(mshr: &Mshr) -> bool {
+    mshr.len() + mshr.capacity().div_ceil(4) <= mshr.capacity()
+}
+
+/// How a level credits prefetch usefulness back to its issuer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tracking {
+    /// Prefetches filling this level carry no usefulness tracking (the
+    /// L1D: its prefetches are untagged and train nothing).
+    None,
+    /// Usefulness is credited synchronously to the module attached at this
+    /// level (the private L2C).
+    Module,
+    /// The level is shared between cores: usefulness events are queued as
+    /// [`Feedback`] values for the driver to dispatch to the owning core's
+    /// module, decoded from the block-source annotation (the LLC).
+    SharedFeedback,
+}
+
+/// Which demand accesses contribute to this level's average-latency
+/// statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyAccounting {
+    /// None (the L1D — load latency is measured at the port instead).
+    Off,
+    /// Only trigger accesses — genuine loads/stores, not page-walk or
+    /// L1D-prefetch traffic (the L2C).
+    Triggered,
+    /// Every demand arrival, including page-walk PTE reads (the LLC).
+    All,
+}
+
+/// How a [`CacheLevel`] participates in tracking, accounting and
+/// observability. The walk logic is identical across levels; this is the
+/// per-level data that used to be hard-coded in three copies of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelPolicy {
+    /// Prefetch-usefulness credit destination.
+    pub tracking: Tracking,
+    /// Demand-latency statistic coverage.
+    pub latency: LatencyAccounting,
+    /// Record detailed ring events (`L2cMiss`, `MshrAlloc`, `MshrFree`)
+    /// for this level's MSHR file — on for the level the prefetching
+    /// module competes for.
+    pub ring_detail: bool,
+    /// Account full-MSHR bump stalls into [`PortDebug::mshr_bump_stall`]
+    /// — on at the hierarchy's entry level, where the stall delays the
+    /// core itself.
+    pub stall_accounting: bool,
+    /// Account clean/merged miss counts and latencies into [`PortDebug`].
+    pub miss_profile: bool,
+    /// Whether writes propagate into this level's MSHR metadata. Writes
+    /// stop at the last private level: the shared LLC sees read traffic
+    /// plus explicit writebacks.
+    pub absorbs_writes: bool,
+}
+
+impl LevelPolicy {
+    /// The hierarchy's entry level (the L1D): no tracking, port-side
+    /// latency accounting, bump stalls charged to the core.
+    pub fn entry_level() -> Self {
+        Self {
+            tracking: Tracking::None,
+            latency: LatencyAccounting::Off,
+            ring_detail: false,
+            stall_accounting: true,
+            miss_profile: false,
+            absorbs_writes: true,
+        }
+    }
+
+    /// A private mid-level with a module attach point (the L2C): module
+    /// tracking, triggered latency accounting, detailed ring events and
+    /// the miss profile.
+    pub fn attach_level() -> Self {
+        Self {
+            tracking: Tracking::Module,
+            latency: LatencyAccounting::Triggered,
+            ring_detail: true,
+            stall_accounting: false,
+            miss_profile: true,
+            absorbs_writes: true,
+        }
+    }
+
+    /// A shared last level (the LLC): feedback-queue tracking, all-demand
+    /// latency accounting, writes arrive only as writebacks.
+    pub fn shared_level() -> Self {
+        Self {
+            tracking: Tracking::SharedFeedback,
+            latency: LatencyAccounting::All,
+            ring_detail: false,
+            stall_accounting: false,
+            miss_profile: false,
+            absorbs_writes: false,
+        }
+    }
+}
+
+/// One demand request descending the hierarchy.
+///
+/// The PPM bit ([`Request::huge`]) is explicit here — it is written into
+/// the MSHR metadata at every level the request allocates in, and handed
+/// to the prefetching module at its attach level. [`Request::size`] is the
+/// oracle page size from translation, used only by oracle-assisted
+/// configurations.
+#[derive(Debug, Clone, Copy)]
+pub struct Request {
+    /// Physical line accessed.
+    pub line: PLine,
+    /// Program counter of the triggering instruction.
+    pub pc: VAddr,
+    /// Whether the access is a store.
+    pub write: bool,
+    /// PPM: the page-size bit observed at translation time (true = the
+    /// access falls in a huge page).
+    pub huge: bool,
+    /// Oracle page size from translation.
+    pub size: PageSize,
+}
+
+/// One level of the memory hierarchy: array + MSHR file + latency +
+/// optional prefetching-module attach point + participation policy.
+///
+/// Persists as a unit: array, MSHR, and the attached module (when
+/// present), in that order.
+pub struct CacheLevel {
+    /// The tag/data array.
+    pub cache: Cache,
+    /// The level's miss-status-holding registers.
+    pub mshr: Mshr,
+    /// Access latency in cycles, charged on every hop through the level.
+    pub latency: u64,
+    /// The prefetching module attached at this level, if any. The walk
+    /// fires it on trigger accesses and credits it per
+    /// [`Tracking::Module`].
+    pub module: Option<PsaModule>,
+    /// How the level participates in tracking and accounting.
+    pub policy: LevelPolicy,
+}
+
+impl CacheLevel {
+    /// Bundle a built array into a level; the MSHR file and latency come
+    /// from the array's [`psa_cache::CacheConfig`].
+    pub fn new(cache: Cache, policy: LevelPolicy) -> Self {
+        let mshr = Mshr::new(cache.config().mshr_entries);
+        let latency = cache.config().latency;
+        Self {
+            cache,
+            mshr,
+            latency,
+            module: None,
+            policy,
+        }
+    }
+
+    /// The level's human-readable name (from the array configuration).
+    pub fn name(&self) -> &'static str {
+        self.cache.config().name
+    }
+
+    /// Switch on the level's observability hooks (MSHR occupancy, module
+    /// counters). Off by default; enabling changes no simulated state.
+    pub fn enable_obs(&mut self) {
+        self.mshr.enable_obs();
+        if let Some(m) = &mut self.module {
+            m.enable_obs();
+        }
+    }
+
+    /// Clear observability state (warm-up boundary reset).
+    pub fn reset_obs(&mut self) {
+        self.mshr.reset_obs();
+        if let Some(m) = &mut self.module {
+            m.reset_obs();
+        }
+    }
+}
+
+impl Persist for CacheLevel {
+    fn save(&self, e: &mut Enc) {
+        self.cache.save(e);
+        self.mshr.save(e);
+        if let Some(m) = &self.module {
+            m.save(e);
+        }
+        // `latency` and `policy` are configuration, rebuilt before a
+        // restore.
+    }
+
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        self.cache.load(d)?;
+        self.mshr.load(d)?;
+        if let Some(m) = &mut self.module {
+            m.load(d)?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-level demand-latency accumulator (sum of cycles, access count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelLat {
+    /// Total demand latency in cycles.
+    pub sum: u64,
+    /// Demand accesses accounted.
+    pub cnt: u64,
+}
+
+psa_common::persist_struct!(LevelLat { sum, cnt });
+
+impl LevelLat {
+    /// Average latency over the window starting at `start`, or 0.0 when
+    /// the window saw no accounted accesses.
+    pub fn avg_since(&self, start: LevelLat) -> f64 {
+        let (dsum, dcnt) = (self.sum - start.sum, self.cnt - start.cnt);
+        if dcnt == 0 {
+            0.0
+        } else {
+            dsum as f64 / dcnt as f64
+        }
+    }
+}
+
+/// Issue-path diagnostics for one core, written by the walk and the
+/// memory port. All fields are running totals except
+/// [`PortDebug::load_latency_max`], a running maximum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortDebug {
+    /// Cycles demand accesses stalled waiting for a full entry-level MSHR
+    /// file to free a slot.
+    pub mshr_bump_stall: u64,
+    /// Trigger demand misses that allocated a fresh MSHR entry at the
+    /// profiled level.
+    pub clean_misses: u64,
+    /// Trigger demand misses that merged into an in-flight entry (late
+    /// prefetches and overlapping demands).
+    pub merged_misses: u64,
+    /// Total latency of the clean misses, in cycles.
+    pub clean_latency_sum: u64,
+    /// Total latency of the merged misses, in cycles.
+    pub merged_latency_sum: u64,
+    /// Loads issued through the port.
+    pub loads: u64,
+    /// Total load latency (issue → value available), in cycles.
+    pub load_latency_sum: u64,
+    /// Largest single load latency observed, in cycles (running maximum —
+    /// not windowed by [`PortDebug::since`]).
+    pub load_latency_max: u64,
+}
+
+psa_common::persist_struct!(PortDebug {
+    mshr_bump_stall,
+    clean_misses,
+    merged_misses,
+    clean_latency_sum,
+    merged_latency_sum,
+    loads,
+    load_latency_sum,
+    load_latency_max,
+});
+
+impl PortDebug {
+    /// The diagnostics accumulated since `start` was captured. Totals are
+    /// differenced; `load_latency_max` is kept as the running maximum.
+    pub fn since(&self, start: &PortDebug) -> PortDebug {
+        PortDebug {
+            mshr_bump_stall: self.mshr_bump_stall - start.mshr_bump_stall,
+            clean_misses: self.clean_misses - start.clean_misses,
+            merged_misses: self.merged_misses - start.merged_misses,
+            clean_latency_sum: self.clean_latency_sum - start.clean_latency_sum,
+            merged_latency_sum: self.merged_latency_sum - start.merged_latency_sum,
+            loads: self.loads - start.loads,
+            load_latency_sum: self.load_latency_sum - start.load_latency_sum,
+            load_latency_max: self.load_latency_max,
+        }
+    }
+}
+
+/// Per-core statistics the walk writes as requests descend: one
+/// [`LevelLat`] per level (indexed like the walk's level slice) plus the
+/// [`PortDebug`] diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct WalkStats {
+    /// Demand-latency accumulators, one per level.
+    pub lat: Vec<LevelLat>,
+    /// Issue-path diagnostics.
+    pub debug: PortDebug,
+}
+
+psa_common::persist_struct!(WalkStats { lat, debug });
+
+impl WalkStats {
+    /// Zeroed statistics for a hierarchy of `levels` levels.
+    pub fn new(levels: usize) -> Self {
+        Self {
+            lat: vec![LevelLat::default(); levels],
+            debug: PortDebug::default(),
+        }
+    }
+}
+
+/// Cross-core prefetch feedback discovered at a shared level
+/// ([`Tracking::SharedFeedback`]), queued for the driver to dispatch to
+/// the owning core's module after the step.
+#[derive(Debug, Clone, Copy)]
+pub enum Feedback {
+    /// A tracked prefetched block saw its first demand use, timely.
+    Useful {
+        /// Block-source annotation (`(core << 1) | competitor`).
+        source: u8,
+        /// The block.
+        line: PLine,
+    },
+    /// A tracked prefetch merged with a demand too late to hide the miss.
+    UsefulLate {
+        /// Block-source annotation.
+        source: u8,
+        /// The block.
+        line: PLine,
+    },
+    /// A tracked prefetched block was evicted unused.
+    Useless {
+        /// Block-source annotation.
+        source: u8,
+        /// The block.
+        line: PLine,
+    },
+    /// A tracked prefetch filled the level.
+    Fill {
+        /// Block-source annotation.
+        source: u8,
+        /// The block.
+        line: PLine,
+    },
+}
+
+/// A placeholder codec load target only; real values come off the wire.
+impl Default for Feedback {
+    fn default() -> Self {
+        Feedback::Fill {
+            source: 0,
+            line: PLine::new(0),
+        }
+    }
+}
+
+impl Persist for Feedback {
+    fn save(&self, e: &mut Enc) {
+        let (tag, source, line) = match *self {
+            Feedback::Useful { source, line } => (0u8, source, line),
+            Feedback::UsefulLate { source, line } => (1, source, line),
+            Feedback::Useless { source, line } => (2, source, line),
+            Feedback::Fill { source, line } => (3, source, line),
+        };
+        tag.save(e);
+        source.save(e);
+        line.save(e);
+    }
+
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        let tag = d.get_u8()?;
+        let mut source = 0u8;
+        source.load(d)?;
+        let mut line = PLine::new(0);
+        line.load(d)?;
+        *self = match tag {
+            0 => Feedback::Useful { source, line },
+            1 => Feedback::UsefulLate { source, line },
+            2 => Feedback::Useless { source, line },
+            3 => Feedback::Fill { source, line },
+            _ => return Err(CodecError::Corrupt("feedback tag")),
+        };
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_room_reserves_the_last_quarter() {
+        let mut mshr = Mshr::new(16);
+        for i in 0..13 {
+            assert!(prefetch_room(&mshr), "slot {i} should admit a prefetch");
+            mshr.alloc(
+                PLine::new(i),
+                1_000 + i,
+                psa_cache::MshrMeta {
+                    is_prefetch: true,
+                    source: 0,
+                    huge: false,
+                    write: false,
+                },
+            )
+            .unwrap();
+        }
+        assert!(!prefetch_room(&mshr), "the last quarter is demand-only");
+    }
+
+    #[test]
+    fn port_debug_windows_all_but_the_max() {
+        let start = PortDebug {
+            mshr_bump_stall: 5,
+            clean_misses: 10,
+            merged_misses: 1,
+            clean_latency_sum: 100,
+            merged_latency_sum: 7,
+            loads: 50,
+            load_latency_sum: 900,
+            load_latency_max: 80,
+        };
+        let mut end = start;
+        end.clean_misses += 3;
+        end.loads += 4;
+        end.load_latency_sum += 111;
+        end.load_latency_max = 120;
+        let w = end.since(&start);
+        assert_eq!(w.clean_misses, 3);
+        assert_eq!(w.loads, 4);
+        assert_eq!(w.load_latency_sum, 111);
+        assert_eq!(w.mshr_bump_stall, 0);
+        assert_eq!(w.load_latency_max, 120, "max is a running maximum");
+    }
+
+    #[test]
+    fn feedback_persist_roundtrip() {
+        let all = [
+            Feedback::Useful {
+                source: 3,
+                line: PLine::new(64),
+            },
+            Feedback::UsefulLate {
+                source: 2,
+                line: PLine::new(128),
+            },
+            Feedback::Useless {
+                source: 1,
+                line: PLine::new(192),
+            },
+            Feedback::Fill {
+                source: 0,
+                line: PLine::new(256),
+            },
+        ];
+        let mut e = Enc::new();
+        for fb in &all {
+            fb.save(&mut e);
+        }
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        for fb in &all {
+            let mut got = Feedback::default();
+            got.load(&mut d).unwrap();
+            assert_eq!(format!("{got:?}"), format!("{fb:?}"));
+        }
+    }
+}

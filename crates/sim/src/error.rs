@@ -42,6 +42,12 @@ pub enum SimError {
         /// The violated invariant, naming the structure.
         what: String,
     },
+    /// The workload's footprint outgrew the configured physical memory —
+    /// the frame allocator had no free frame left for a new mapping.
+    PhysMemExhausted {
+        /// Which mapping failed (address and size).
+        what: String,
+    },
     /// A checkpoint could not be accepted: damaged bytes, a foreign
     /// format version, or a snapshot taken from a different machine.
     /// Callers treat every cause the same way — discard the checkpoint
@@ -111,12 +117,24 @@ impl fmt::Display for SimError {
             }
             SimError::WatchdogStall(snap) => write!(f, "watchdog stall: {snap}"),
             SimError::Invariant { what } => write!(f, "invariant violated: {what}"),
+            SimError::PhysMemExhausted { what } => write!(
+                f,
+                "physical memory exhausted ({what}): enlarge PhysMemConfig for this workload set"
+            ),
             SimError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<psa_hier::HierError> for SimError {
+    fn from(e: psa_hier::HierError) -> Self {
+        SimError::Invariant {
+            what: e.to_string(),
+        }
+    }
+}
 
 /// Machine state captured when the watchdog fires, for post-mortem
 /// diagnosis of the stall.

@@ -35,6 +35,7 @@
 pub mod config;
 pub mod error;
 pub mod metrics;
+mod port;
 pub mod report;
 pub mod snapshot;
 pub mod system;
@@ -43,6 +44,7 @@ pub use config::{L1dPrefKind, SimConfig};
 pub use error::{CheckpointError, CoreStall, SimError, StallSnapshot};
 pub use metrics::{MultiReport, RunReport};
 pub use psa_common::obs::{ObsConfig, ObsReport};
+pub use psa_hier::PortDebug;
 pub use report::Json;
 pub use snapshot::{Snapshot, SNAPSHOT_VERSION};
 pub use system::System;
@@ -62,4 +64,5 @@ pub mod prelude {
     pub use crate::snapshot::Snapshot;
     pub use crate::system::System;
     pub use psa_common::obs::{ObsConfig, ObsReport};
+    pub use psa_hier::PortDebug;
 }

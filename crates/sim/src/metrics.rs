@@ -4,6 +4,7 @@ use psa_cache::CacheStats;
 use psa_core::boundary::BoundaryStats;
 use psa_core::ModuleStats;
 use psa_dram::DramStats;
+use psa_hier::PortDebug;
 
 /// Subtract cache counters (measured window = end − warmup snapshot).
 pub(crate) fn cache_diff(end: CacheStats, start: CacheStats) -> CacheStats {
@@ -26,6 +27,33 @@ pub(crate) fn dram_diff(end: DramStats, start: DramStats) -> DramStats {
         row_conflicts: end.row_conflicts - start.row_conflicts,
         bus_busy_cycles: end.bus_busy_cycles - start.bus_busy_cycles,
         prefetch_drops: end.prefetch_drops - start.prefetch_drops,
+    }
+}
+
+pub(crate) fn module_diff(end: ModuleStats, start: ModuleStats) -> ModuleStats {
+    ModuleStats {
+        accesses: end.accesses - start.accesses,
+        candidates: end.candidates - start.candidates,
+        issued: end.issued - start.issued,
+        deduped: end.deduped - start.deduped,
+        issued_by: [
+            end.issued_by[0] - start.issued_by[0],
+            end.issued_by[1] - start.issued_by[1],
+        ],
+        selected_by: [
+            end.selected_by[0] - start.selected_by[0],
+            end.selected_by[1] - start.selected_by[1],
+        ],
+    }
+}
+
+pub(crate) fn boundary_diff(end: BoundaryStats, start: BoundaryStats) -> BoundaryStats {
+    BoundaryStats {
+        candidates: end.candidates - start.candidates,
+        allowed: end.allowed - start.allowed,
+        discarded_cross_4k_in_huge: end.discarded_cross_4k_in_huge
+            - start.discarded_cross_4k_in_huge,
+        discarded_out_of_page: end.discarded_out_of_page - start.discarded_out_of_page,
     }
 }
 
@@ -59,11 +87,11 @@ pub struct RunReport {
     pub huge_usage: f64,
     /// Sampled (instruction count, 2MB usage fraction) series — Figure 3.
     pub thp_series: Vec<(u64, f64)>,
-    /// Internal diagnostic counters: `[l1d-mshr stall cycles, clean L2C
-    /// demand misses, late-merged L2C demand misses, clean-miss latency
-    /// sum, merged-miss latency sum, unused, unused, non-demand L2C
-    /// accesses]`. Not part of the stable API.
-    pub debug: [u64; 8],
+    /// Internal diagnostic counters (MSHR stall cycles, clean vs merged
+    /// miss profile, load latency profile) — see [`PortDebug`]. Not part
+    /// of the stable API and deliberately excluded from the stable JSON
+    /// sections.
+    pub debug: PortDebug,
 }
 
 impl RunReport {
@@ -135,7 +163,7 @@ mod tests {
             llc_avg_latency: 0.0,
             huge_usage: 0.0,
             thp_series: Vec::new(),
-            debug: [0; 8],
+            debug: PortDebug::default(),
         }
     }
 

@@ -542,8 +542,8 @@ pub fn boundary_stats(s: &BoundaryStats) -> Json {
 }
 
 /// A [`RunReport`] as a self-describing object: raw counters per level plus
-/// the derived headline metrics. The internal `debug` array is not part of
-/// the stable schema and is deliberately omitted.
+/// the derived headline metrics. The internal `debug` counters are not part
+/// of the stable schema and are deliberately omitted.
 pub fn run_report(r: &RunReport) -> Json {
     Json::obj([
         ("workload", Json::str(r.workload)),
@@ -643,7 +643,7 @@ mod tests {
             llc_avg_latency: 30.0,
             huge_usage: 0.75,
             thp_series: vec![(100, 0.5), (200, 0.75)],
-            debug: [0; 8],
+            debug: psa_hier::PortDebug::default(),
         }
     }
 

@@ -45,7 +45,11 @@ use crate::error::{CheckpointError, SimError};
 use crate::system::System;
 
 /// The checkpoint format version this build writes and reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version 2: the hierarchy refactor changed the payload layout (per-level
+/// `CacheLevel` state, named `PortDebug` counters). Version-1 checkpoints
+/// are rejected and runs fall back to a cold warm-up.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const MAGIC: [u8; 8] = *b"PSACKPT\0";
 const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;

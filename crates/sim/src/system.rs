@@ -1,5 +1,11 @@
 //! The simulated machine: cores, private L1D/L2C, shared LLC and DRAM.
 //!
+//! The memory hierarchy itself — the per-level walk, MSHR drains,
+//! prefetch issue and usefulness tracking — lives in [`psa_hier`]; this
+//! module assembles [`psa_hier::CacheLevel`]s into a machine
+//! (see `crate::port`), drives the step loop, and turns the run into
+//! reports.
+//!
 //! # Timing model
 //!
 //! Lazy-fill event handling: every access at cycle *t* first drains MSHR
@@ -12,735 +18,27 @@
 //! # PPM plumbing
 //!
 //! [`psa_vmem::Mmu::translate`] yields the page size with each
-//! translation; the L1D MSHR entry stores it as the one-bit
-//! [`psa_cache::MshrMeta::huge`] and every L2C demand access hands the bit
-//! to the [`PsaModule`]. Page-walk PTE reads are charged through the
-//! L2C→LLC→DRAM path.
+//! translation; the port threads it through every level as the explicit
+//! [`psa_hier::Request::huge`] bit, and the walk hands it to the
+//! [`PsaModule`] on every L2C demand access. Page-walk PTE reads are
+//! charged through the L2C→LLC→DRAM path.
 
-use psa_cache::{Cache, CacheStats, FillKind, Mshr, MshrMeta};
+use psa_cache::{Cache, CacheStats};
 use psa_common::obs::{EventKind, EventRing, ObsReport};
-use psa_common::{CodecError, Dec, Enc, PLine, PageSize, Persist, VAddr, VLine};
+use psa_common::{CodecError, Dec, Enc, Persist, VAddr};
 use psa_core::ppm::PageSizeSource;
-use psa_core::{FillLevel, PageSizePolicy, PrefetchRequest, PsaModule};
-use psa_cpu::{Core, Instr, MemoryPort};
+use psa_core::{PageSizePolicy, PsaModule};
+use psa_cpu::{Core, Instr};
 use psa_dram::Dram;
-use psa_prefetchers::{Ipcp, IpcpConfig, L1dPrefetcher, NextLineL1d, PrefetcherKind};
+use psa_hier::{CacheLevel, Feedback, LevelLat, LevelPolicy, PortDebug, WalkStats, PASS};
+use psa_prefetchers::{Ipcp, IpcpConfig, NextLineL1d, PrefetcherKind};
 use psa_traces::{TraceGenerator, WorkloadSpec};
 use psa_vmem::{AddressSpace, AspaceConfig, Mmu, PhysMem};
 
 use crate::config::{L1dPrefKind, SimConfig};
 use crate::error::{CoreStall, SimError, StallSnapshot};
-use crate::metrics::{cache_diff, dram_diff, MultiReport, RunReport};
-
-/// A late (demand-merged) prefetch still earns timely credit when the
-/// demand's residual wait was below this, i.e. the prefetch hid almost the
-/// whole miss.
-const LATE_TIMELY_SLACK: u64 = 200;
-
-/// High bit of the block-source annotation: the fill is a pass-through
-/// copy (an L2C-destined prefetch parked in the LLC on its way up) whose
-/// usefulness is tracked at the L2C, not here.
-const PASS: u8 = 0x80;
-
-enum L1dPref {
-    NextLine(NextLineL1d),
-    Ipcp { pref: Ipcp, cross: bool },
-}
-
-impl L1dPref {
-    /// The variant shape (`NextLine` vs `Ipcp`, `cross`) is configuration
-    /// and is rebuilt before a restore; only the trained tables travel.
-    fn save_state(&self, e: &mut Enc) {
-        match self {
-            L1dPref::NextLine(p) => p.save_state(e),
-            L1dPref::Ipcp { pref, .. } => pref.save_state(e),
-        }
-    }
-
-    fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
-        match self {
-            L1dPref::NextLine(p) => p.load_state(d),
-            L1dPref::Ipcp { pref, .. } => pref.load_state(d),
-        }
-    }
-}
-
-struct CoreCtx {
-    id: u8,
-    aspace: AddressSpace,
-    mmu: Mmu,
-    l1d: Cache,
-    l1d_mshr: Mshr,
-    l2c: Cache,
-    l2c_mshr: Mshr,
-    module: Option<PsaModule>,
-    l1d_pref: Option<L1dPref>,
-    pf_buf: Vec<PrefetchRequest>,
-    l1d_pref_buf: Vec<VLine>,
-    l2c_lat_sum: u64,
-    l2c_lat_cnt: u64,
-    llc_lat_sum: u64,
-    llc_lat_cnt: u64,
-    /// Internal diagnostic counters (see `RunReport::debug`).
-    debug: [u64; 8],
-}
-
-impl Persist for CoreCtx {
-    fn save(&self, e: &mut Enc) {
-        self.aspace.save(e);
-        self.mmu.save(e);
-        self.l1d.save(e);
-        self.l1d_mshr.save(e);
-        self.l2c.save(e);
-        self.l2c_mshr.save(e);
-        if let Some(m) = &self.module {
-            m.save(e);
-        }
-        if let Some(p) = &self.l1d_pref {
-            p.save_state(e);
-        }
-        self.l2c_lat_sum.save(e);
-        self.l2c_lat_cnt.save(e);
-        self.llc_lat_sum.save(e);
-        self.llc_lat_cnt.save(e);
-        self.debug.save(e);
-        // `id` is configuration; `pf_buf`/`l1d_pref_buf` are scratch
-        // buffers cleared before every use and carry no state between
-        // steps.
-    }
-
-    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
-        self.aspace.load(d)?;
-        self.mmu.load(d)?;
-        self.l1d.load(d)?;
-        self.l1d_mshr.load(d)?;
-        self.l2c.load(d)?;
-        self.l2c_mshr.load(d)?;
-        if let Some(m) = &mut self.module {
-            m.load(d)?;
-        }
-        if let Some(p) = &mut self.l1d_pref {
-            p.load_state(d)?;
-        }
-        self.l2c_lat_sum.load(d)?;
-        self.l2c_lat_cnt.load(d)?;
-        self.llc_lat_sum.load(d)?;
-        self.llc_lat_cnt.load(d)?;
-        self.debug.load(d)
-    }
-}
-
-struct Shared {
-    llc: Cache,
-    llc_mshr: Mshr,
-    dram: Dram,
-    phys: PhysMem,
-    /// Cross-core prefetch feedback discovered at the shared LLC,
-    /// dispatched to the owning core's module after each step.
-    feedback: Vec<Feedback>,
-}
-
-psa_common::persist_struct!(Shared {
-    llc,
-    llc_mshr,
-    dram,
-    phys,
-    feedback,
-});
-
-#[derive(Debug, Clone, Copy)]
-enum Feedback {
-    Useful { source: u8, line: PLine },
-    UsefulLate { source: u8, line: PLine },
-    Useless { source: u8, line: PLine },
-    Fill { source: u8, line: PLine },
-}
-
-/// A placeholder codec load target only; real values come off the wire.
-impl Default for Feedback {
-    fn default() -> Self {
-        Feedback::Fill {
-            source: 0,
-            line: PLine::new(0),
-        }
-    }
-}
-
-impl Persist for Feedback {
-    fn save(&self, e: &mut Enc) {
-        let (tag, source, line) = match *self {
-            Feedback::Useful { source, line } => (0u8, source, line),
-            Feedback::UsefulLate { source, line } => (1, source, line),
-            Feedback::Useless { source, line } => (2, source, line),
-            Feedback::Fill { source, line } => (3, source, line),
-        };
-        tag.save(e);
-        source.save(e);
-        line.save(e);
-    }
-
-    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
-        let tag = d.get_u8()?;
-        let mut source = 0u8;
-        source.load(d)?;
-        let mut line = PLine::new(0);
-        line.load(d)?;
-        *self = match tag {
-            0 => Feedback::Useful { source, line },
-            1 => Feedback::UsefulLate { source, line },
-            2 => Feedback::Useless { source, line },
-            3 => Feedback::Fill { source, line },
-            _ => return Err(CodecError::Corrupt("feedback tag")),
-        };
-        Ok(())
-    }
-}
-
-struct Lat {
-    l1d: u64,
-    l2c: u64,
-    llc: u64,
-}
-
-struct Port<'a> {
-    ctx: &'a mut CoreCtx,
-    shared: &'a mut Shared,
-    ring: &'a mut EventRing,
-    lat: Lat,
-}
-
-impl MemoryPort for Port<'_> {
-    fn load(&mut self, pc: VAddr, vaddr: VAddr, now: u64) -> u64 {
-        let done = self.access(pc, vaddr, now, false);
-        self.ctx.debug[5] += 1;
-        self.ctx.debug[6] += done - now;
-        self.ctx.debug[7] = self.ctx.debug[7].max(done - now);
-        done
-    }
-
-    fn store(&mut self, pc: VAddr, vaddr: VAddr, now: u64) {
-        let _ = self.access(pc, vaddr, now, true);
-    }
-}
-
-impl Port<'_> {
-    fn access(&mut self, pc: VAddr, vaddr: VAddr, now: u64, write: bool) -> u64 {
-        let out = self
-            .ctx
-            .mmu
-            .translate(&mut self.ctx.aspace, &mut self.shared.phys, vaddr)
-            .expect("physical memory exhausted: enlarge PhysMemConfig for this workload set");
-        let mut t = now + out.tlb_latency;
-        // Serial page walk: each PTE read goes through the L2C path.
-        for wl in out.walk_lines.clone() {
-            t = self.l2c_access(wl, pc, t, false, out.size, false).0;
-        }
-        self.l1d_prefetch(vaddr, pc, t);
-        let line = out.paddr.line();
-        self.drain_l1d(t);
-        if self.ctx.l1d.probe(line).is_some() {
-            if write {
-                self.ctx.l1d.mark_dirty(line);
-            }
-            return t + self.lat.l1d;
-        }
-        if self.ctx.l1d_mshr.pending(line).is_some() {
-            let fill = self.ctx.l1d_mshr.merge(line, true, write, t);
-            return fill.max(t + self.lat.l1d);
-        }
-        if self.ctx.l1d_mshr.is_full() {
-            let bumped = self
-                .ctx
-                .l1d_mshr
-                .earliest_fill()
-                .expect("full implies non-empty");
-            if bumped > t {
-                self.ctx.debug[0] += bumped - t;
-            }
-            t = t.max(bumped);
-            self.drain_l1d(t);
-        }
-        let (completion, _) = self.l2c_access(line, pc, t + self.lat.l1d, write, out.size, true);
-        self.ctx
-            .l1d_mshr
-            .alloc(
-                line,
-                completion,
-                MshrMeta {
-                    is_prefetch: false,
-                    source: 0,
-                    huge: out.size.bit(),
-                    write,
-                },
-            )
-            .expect("space ensured above");
-        completion
-    }
-
-    /// One L2C access. `trigger` is true only for genuine demand traffic
-    /// (loads/stores), which trains and fires the prefetching module and
-    /// counts toward access-latency metrics; page walks and L1D-prefetch
-    /// traffic pass `false`.
-    fn l2c_access(
-        &mut self,
-        line: PLine,
-        pc: VAddr,
-        t: u64,
-        write: bool,
-        size: PageSize,
-        trigger: bool,
-    ) -> (u64, bool) {
-        self.drain_l2c(t);
-        let set = self.ctx.l2c.set_of(line);
-        let probe = self.ctx.l2c.probe(line);
-        let was_hit = probe.is_some();
-        if trigger && !was_hit {
-            self.ring
-                .record(EventKind::L2cMiss, t, u32::from(self.ctx.id), line.raw());
-        }
-        let completion = match probe {
-            Some(info) => {
-                if info.first_use {
-                    if let Some(m) = &mut self.ctx.module {
-                        m.on_useful(line, pc, info.prefetch_source & 1, true);
-                    }
-                }
-                if write {
-                    self.ctx.l2c.mark_dirty(line);
-                }
-                t + self.lat.l2c
-            }
-            None => {
-                if self.ctx.l2c_mshr.pending(line).is_some() {
-                    let done = self
-                        .ctx
-                        .l2c_mshr
-                        .merge(line, true, write, t)
-                        .max(t + self.lat.l2c);
-                    if trigger {
-                        self.ctx.debug[2] += 1;
-                        self.ctx.debug[4] += done - t;
-                    }
-                    done
-                } else {
-                    let mut t2 = t;
-                    if self.ctx.l2c_mshr.is_full() {
-                        t2 = t2.max(self.ctx.l2c_mshr.earliest_fill().expect("non-empty"));
-                        self.drain_l2c(t2);
-                    }
-                    let done = self.llc_access(line, t2 + self.lat.l2c);
-                    self.ctx
-                        .l2c_mshr
-                        .alloc(
-                            line,
-                            done,
-                            MshrMeta {
-                                is_prefetch: false,
-                                source: 0,
-                                huge: size.bit(),
-                                write,
-                            },
-                        )
-                        .expect("space ensured above");
-                    // MSHR alloc/free events track the L2C file only — the
-                    // level the prefetching module competes for.
-                    self.ring.record(
-                        EventKind::MshrAlloc,
-                        t2,
-                        u32::from(self.ctx.id),
-                        self.ctx.l2c_mshr.len() as u64,
-                    );
-                    if trigger {
-                        self.ctx.debug[1] += 1;
-                        self.ctx.debug[3] += done - t;
-                    }
-                    done
-                }
-            }
-        };
-
-        if trigger {
-            self.ctx.l2c_lat_sum += completion - t;
-            self.ctx.l2c_lat_cnt += 1;
-            if let Some(mut module) = self.ctx.module.take() {
-                let mut buf = std::mem::take(&mut self.ctx.pf_buf);
-                buf.clear();
-                let sd_before = self.ring.enabled().then(|| module.stats().selected_by);
-                {
-                    let ctx = &*self.ctx;
-                    let shared = &*self.shared;
-                    let present = |c: &psa_core::Candidate| match c.fill_level {
-                        FillLevel::L2C => {
-                            ctx.l2c.contains(c.line) || ctx.l2c_mshr.pending(c.line).is_some()
-                        }
-                        FillLevel::Llc => {
-                            shared.llc.contains(c.line) || shared.llc_mshr.pending(c.line).is_some()
-                        }
-                    };
-                    module.on_access(line, pc, was_hit, size.bit(), size, set, &present, &mut buf);
-                }
-                if let Some(before) = sd_before {
-                    let after = module.stats().selected_by;
-                    if after[0] > before[0] {
-                        self.ring
-                            .record(EventKind::SdSelect, t, u32::from(self.ctx.id), 0);
-                    } else if after[1] > before[1] {
-                        self.ring
-                            .record(EventKind::SdSelect, t, u32::from(self.ctx.id), 1);
-                    }
-                }
-                for &req in &buf {
-                    self.issue_prefetch(req, t);
-                }
-                self.ctx.pf_buf = buf;
-                self.ctx.module = Some(module);
-            }
-        }
-        (completion, was_hit)
-    }
-
-    /// Whether a prefetch may take an MSHR slot: prefetches never consume
-    /// the last quarter of the file, so demand misses keep making progress
-    /// (prefetches are droppable, demands are not).
-    fn prefetch_room(mshr: &Mshr) -> bool {
-        mshr.len() + mshr.capacity().div_ceil(4) <= mshr.capacity()
-    }
-
-    fn issue_prefetch(&mut self, req: PrefetchRequest, t: u64) {
-        self.ring.record(
-            EventKind::PrefetchIssue,
-            t,
-            u32::from(self.ctx.id),
-            req.line.raw(),
-        );
-        let tagged = (self.ctx.id << 1) | (req.source & 1);
-        match req.fill_level {
-            FillLevel::L2C => {
-                if self.ctx.l2c.contains(req.line) || self.ctx.l2c_mshr.pending(req.line).is_some()
-                {
-                    return;
-                }
-                if !Self::prefetch_room(&self.ctx.l2c_mshr) {
-                    // No L2C slot: downgrade to an LLC fill rather than
-                    // dropping — the block still gets pulled on chip.
-                    let _ = self.llc_prefetch(req.line, t + self.lat.l2c, tagged, true);
-                    return;
-                }
-                let Some(done) = self.llc_prefetch(req.line, t + self.lat.l2c, tagged, false)
-                else {
-                    return; // dropped below: no phantom L2C fill
-                };
-                self.ctx
-                    .l2c_mshr
-                    .alloc(
-                        req.line,
-                        done,
-                        MshrMeta {
-                            is_prefetch: true,
-                            source: tagged,
-                            huge: false,
-                            write: false,
-                        },
-                    )
-                    .expect("room checked above");
-            }
-            FillLevel::Llc => {
-                let _ = self.llc_prefetch(req.line, t + self.lat.l2c, tagged, true);
-            }
-        }
-    }
-
-    /// LLC side of a prefetch; `None` means the prefetch was dropped.
-    fn llc_prefetch(&mut self, line: PLine, t: u64, tagged: u8, track_here: bool) -> Option<u64> {
-        self.drain_llc(t);
-        if self.shared.llc.contains(line) {
-            return Some(t + self.lat.llc);
-        }
-        if self.shared.llc_mshr.pending(line).is_some() {
-            return Some(self.shared.llc_mshr.merge(line, false, false, t));
-        }
-        if !Self::prefetch_room(&self.shared.llc_mshr) {
-            return None;
-        }
-        let done = self.shared.dram.prefetch_access(line, t + self.lat.llc)?;
-        let source = if track_here { tagged } else { tagged | PASS };
-        self.shared
-            .llc_mshr
-            .alloc(
-                line,
-                done,
-                MshrMeta {
-                    is_prefetch: true,
-                    source,
-                    huge: false,
-                    write: false,
-                },
-            )
-            .expect("room checked above");
-        Some(done)
-    }
-
-    fn llc_access(&mut self, line: PLine, t: u64) -> u64 {
-        self.drain_llc(t);
-        if let Some(info) = self.shared.llc.probe(line) {
-            if info.first_use && info.prefetch_source & PASS == 0 {
-                self.shared.feedback.push(Feedback::Useful {
-                    source: info.prefetch_source,
-                    line,
-                });
-            }
-            let done = t + self.lat.llc;
-            self.ctx.llc_lat_sum += done - t;
-            self.ctx.llc_lat_cnt += 1;
-            return done;
-        }
-        let done = if self.shared.llc_mshr.pending(line).is_some() {
-            self.shared
-                .llc_mshr
-                .merge(line, true, false, t)
-                .max(t + self.lat.llc)
-        } else {
-            let mut t2 = t;
-            if self.shared.llc_mshr.is_full() {
-                t2 = t2.max(self.shared.llc_mshr.earliest_fill().expect("non-empty"));
-                self.drain_llc(t2);
-            }
-            let done = self.shared.dram.access(line, t2 + self.lat.llc, false);
-            self.shared
-                .llc_mshr
-                .alloc(
-                    line,
-                    done,
-                    MshrMeta {
-                        is_prefetch: false,
-                        source: 0,
-                        huge: false,
-                        write: false,
-                    },
-                )
-                .expect("space ensured above");
-            done
-        };
-        self.ctx.llc_lat_sum += done - t;
-        self.ctx.llc_lat_cnt += 1;
-        done
-    }
-
-    fn drain_l1d(&mut self, now: u64) {
-        for e in self.ctx.l1d_mshr.drain_filled(now) {
-            let kind = if e.meta.is_prefetch && !e.demand_merged {
-                FillKind::Prefetch {
-                    source: e.meta.source,
-                }
-            } else {
-                FillKind::Demand
-            };
-            if let Some(ev) = self.ctx.l1d.fill(e.line, kind, e.meta.write) {
-                if ev.dirty {
-                    self.fill_l2c_direct(ev.line, now);
-                }
-            }
-        }
-    }
-
-    /// Writeback path: install a dirty line into the L2C without timing
-    /// (store buffers and writeback queues are off the critical path), but
-    /// with full eviction bookkeeping.
-    fn fill_l2c_direct(&mut self, line: PLine, now: u64) {
-        if let Some(ev) = self.ctx.l2c.fill(line, FillKind::Demand, true) {
-            if ev.unused_prefetch {
-                if let Some(m) = &mut self.ctx.module {
-                    m.on_useless(ev.line, ev.prefetch_source & 1);
-                }
-            }
-            if ev.dirty {
-                self.fill_llc_direct(ev.line, now);
-            }
-        }
-    }
-
-    fn fill_llc_direct(&mut self, line: PLine, now: u64) {
-        if let Some(ev) = self.shared.llc.fill(line, FillKind::Demand, true) {
-            if ev.unused_prefetch && ev.prefetch_source & PASS == 0 {
-                self.shared.feedback.push(Feedback::Useless {
-                    source: ev.prefetch_source,
-                    line: ev.line,
-                });
-            }
-            if ev.dirty {
-                self.shared.dram.access(ev.line, now, true);
-            }
-        }
-    }
-
-    fn drain_l2c(&mut self, now: u64) {
-        for e in self.ctx.l2c_mshr.drain_filled(now) {
-            self.ring.record(
-                EventKind::MshrFree,
-                e.fill_at,
-                u32::from(self.ctx.id),
-                self.ctx.l2c_mshr.len() as u64,
-            );
-            if e.meta.is_prefetch && !e.demand_merged {
-                self.ring.record(
-                    EventKind::PrefetchFill,
-                    e.fill_at,
-                    u32::from(self.ctx.id),
-                    e.line.raw(),
-                );
-            }
-            let (kind, late_credit) = if e.meta.is_prefetch {
-                if e.demand_merged {
-                    (FillKind::Demand, true)
-                } else {
-                    (
-                        FillKind::Prefetch {
-                            source: e.meta.source,
-                        },
-                        false,
-                    )
-                }
-            } else {
-                (FillKind::Demand, false)
-            };
-            if let Some(m) = &mut self.ctx.module {
-                if late_credit {
-                    // Late prefetch: the demand merged mid-flight. Always
-                    // credit the prefetcher's accuracy; credit Set Dueling
-                    // only when the prefetch hid almost the whole miss.
-                    let timely = e.fill_at.saturating_sub(e.merged_at) <= LATE_TIMELY_SLACK;
-                    m.on_useful(e.line, VAddr::new(0), e.meta.source & 1, timely);
-                } else if e.meta.is_prefetch {
-                    m.on_prefetch_fill(e.line, e.meta.source & 1);
-                }
-            }
-            if let Some(ev) = self.ctx.l2c.fill(e.line, kind, e.meta.write) {
-                if ev.unused_prefetch {
-                    if let Some(m) = &mut self.ctx.module {
-                        m.on_useless(ev.line, ev.prefetch_source & 1);
-                    }
-                }
-                if ev.dirty {
-                    self.fill_llc_direct(ev.line, now);
-                }
-            }
-        }
-    }
-
-    fn drain_llc(&mut self, now: u64) {
-        for e in self.shared.llc_mshr.drain_filled(now) {
-            let tracked = e.meta.is_prefetch && e.meta.source & PASS == 0;
-            if tracked && !e.demand_merged {
-                self.ring.record(
-                    EventKind::PrefetchFill,
-                    e.fill_at,
-                    u32::from((e.meta.source & !PASS) >> 1),
-                    e.line.raw(),
-                );
-            }
-            let (kind, late_credit) = if tracked {
-                if e.demand_merged {
-                    (FillKind::Demand, true)
-                } else {
-                    (
-                        FillKind::Prefetch {
-                            source: e.meta.source,
-                        },
-                        false,
-                    )
-                }
-            } else {
-                (FillKind::Demand, false)
-            };
-            if late_credit {
-                if e.fill_at.saturating_sub(e.merged_at) <= LATE_TIMELY_SLACK {
-                    self.shared.feedback.push(Feedback::Useful {
-                        source: e.meta.source,
-                        line: e.line,
-                    });
-                } else {
-                    self.shared.feedback.push(Feedback::UsefulLate {
-                        source: e.meta.source,
-                        line: e.line,
-                    });
-                }
-            } else if tracked {
-                self.shared.feedback.push(Feedback::Fill {
-                    source: e.meta.source,
-                    line: e.line,
-                });
-            }
-            if let Some(ev) = self.shared.llc.fill(e.line, kind, e.meta.write) {
-                if ev.unused_prefetch && ev.prefetch_source & PASS == 0 {
-                    self.shared.feedback.push(Feedback::Useless {
-                        source: ev.prefetch_source,
-                        line: ev.line,
-                    });
-                }
-                if ev.dirty {
-                    self.shared.dram.access(ev.line, now, true);
-                }
-            }
-        }
-    }
-
-    /// L1D prefetching (Figure 13): candidates are virtual; plain IPCP and
-    /// next-line stay within the 4KB virtual page, IPCP++ may cross when
-    /// the target page is TLB resident.
-    fn l1d_prefetch(&mut self, vaddr: VAddr, pc: VAddr, t: u64) {
-        let Some(pref) = &mut self.ctx.l1d_pref else {
-            return;
-        };
-        let vline = vaddr.line();
-        let mut buf = std::mem::take(&mut self.ctx.l1d_pref_buf);
-        buf.clear();
-        let cross = match pref {
-            L1dPref::NextLine(p) => {
-                p.on_l1d_access(vline, pc, false, &mut buf);
-                false
-            }
-            L1dPref::Ipcp { pref: p, cross } => {
-                p.on_l1d_access(vline, pc, false, &mut buf);
-                *cross
-            }
-        };
-        for &cand in &buf {
-            let cvaddr = cand.addr();
-            if !cand.same_page(vline, PageSize::Size4K)
-                && (!cross || !self.ctx.mmu.tlb_resident(cvaddr))
-            {
-                continue;
-            }
-            let tr = self
-                .ctx
-                .aspace
-                .translate_or_map(&mut self.shared.phys, cvaddr)
-                .expect("physical memory exhausted");
-            let pline = tr.apply(cvaddr).line();
-            if self.ctx.l1d.contains(pline)
-                || self.ctx.l1d_mshr.pending(pline).is_some()
-                || self.ctx.l1d_mshr.is_full()
-            {
-                continue;
-            }
-            let (done, _) = self.l2c_access(pline, pc, t + self.lat.l1d, false, tr.size, false);
-            self.ctx
-                .l1d_mshr
-                .alloc(
-                    pline,
-                    done,
-                    MshrMeta {
-                        is_prefetch: true,
-                        source: 0,
-                        huge: tr.size.bit(),
-                        write: false,
-                    },
-                )
-                .expect("fullness checked above");
-        }
-        self.ctx.l1d_pref_buf = buf;
-    }
-}
+use crate::metrics::{boundary_diff, cache_diff, dram_diff, module_diff, MultiReport, RunReport};
+use crate::port::{CoreHier, CorePort, L1dPref, SharedHier};
 
 /// Everything `run_all` hands back: per-core snapshots at warm-up, finish
 /// cycles, the shared LLC/DRAM warm-up snapshots, and the THP series.
@@ -756,11 +54,11 @@ type RunAllOut = (
 struct CoreSnap {
     cycle: u64,
     l2c: CacheStats,
-    l2c_lat: (u64, u64),
-    llc_lat: (u64, u64),
+    l2c_lat: LevelLat,
+    llc_lat: LevelLat,
     module: Option<psa_core::ModuleStats>,
     boundary: Option<psa_core::BoundaryStats>,
-    debug: [u64; 8],
+    debug: PortDebug,
 }
 
 psa_common::persist_struct!(CoreSnap {
@@ -829,8 +127,8 @@ impl RunState {
 pub struct System {
     config: SimConfig,
     cores: Vec<Core>,
-    ctxs: Vec<CoreCtx>,
-    shared: Shared,
+    ctxs: Vec<CoreHier>,
+    shared: SharedHier,
     gens: Vec<TraceGenerator>,
     names: Vec<&'static str>,
     state: RunState,
@@ -955,10 +253,10 @@ impl System {
         make_module: &dyn Fn(usize) -> PsaModule,
     ) -> Self {
         let mut sys = Self::try_build(config, &[workload], None).unwrap_or_else(|e| panic!("{e}"));
-        let sets = sys.ctxs[0].l2c.num_sets();
-        sys.ctxs[0].module = Some(make_module(sets));
+        let sets = sys.ctxs[0].levels[1].cache.num_sets();
+        sys.ctxs[0].levels[1].module = Some(make_module(sets));
         if sys.config.obs.enabled {
-            if let Some(m) = &mut sys.ctxs[0].module {
+            if let Some(m) = &mut sys.ctxs[0].levels[1].module {
                 m.enable_obs();
             }
         }
@@ -981,9 +279,11 @@ impl System {
             what: format!("{name}: {e}"),
         };
         let obs_on = config.obs.enabled;
-        let mut shared = Shared {
-            llc: Cache::new(config.llc).map_err(|e| shape("LLC", &e))?,
-            llc_mshr: Mshr::new(config.llc.mshr_entries),
+        let mut shared = SharedHier {
+            llc: CacheLevel::new(
+                Cache::new(config.llc).map_err(|e| shape("LLC", &e))?,
+                LevelPolicy::shared_level(),
+            ),
             dram: Dram::new(config.dram).map_err(|e| shape("DRAM", &e))?,
             phys: PhysMem::new(config.phys, config.seed)
                 .map_err(|e| shape("physical memory", &e))?,
@@ -995,8 +295,11 @@ impl System {
         let mut names = Vec::new();
         for (i, w) in workloads.iter().enumerate() {
             cores.push(Core::new(config.core));
-            let l2c = Cache::new(config.l2c).map_err(|e| shape("L2C", &e))?;
-            let module = match pref {
+            let mut l2c = CacheLevel::new(
+                Cache::new(config.l2c).map_err(|e| shape("L2C", &e))?,
+                LevelPolicy::attach_level(),
+            );
+            l2c.module = match pref {
                 None => None,
                 Some((kind, policy)) => {
                     let source = match config.page_size_source {
@@ -1014,7 +317,7 @@ impl System {
                                     kind.build(grain)
                                 }
                             },
-                            l2c.num_sets(),
+                            l2c.cache.num_sets(),
                             config.sd,
                             config.module,
                         )
@@ -1022,6 +325,10 @@ impl System {
                     )
                 }
             };
+            let l1d = CacheLevel::new(
+                Cache::new(config.l1d).map_err(|e| shape("L1D", &e))?,
+                LevelPolicy::entry_level(),
+            );
             let l1d_pref = match config.l1d_prefetcher {
                 L1dPrefKind::None => None,
                 L1dPrefKind::NextLine => Some(L1dPref::NextLine(NextLineL1d::new(1))),
@@ -1034,26 +341,18 @@ impl System {
                     cross: true,
                 }),
             };
-            ctxs.push(CoreCtx {
+            ctxs.push(CoreHier {
                 id: i as u8,
                 aspace: AddressSpace::new(AspaceConfig {
                     huge_fraction: w.huge_fraction,
                     seed: config.seed ^ (i as u64).wrapping_mul(0x9e37),
                 }),
                 mmu: Mmu::new(config.mmu).map_err(|e| shape("MMU", &e))?,
-                l1d: Cache::new(config.l1d).map_err(|e| shape("L1D", &e))?,
-                l1d_mshr: Mshr::new(config.l1d.mshr_entries),
-                l2c,
-                l2c_mshr: Mshr::new(config.l2c.mshr_entries),
-                module,
+                levels: [l1d, l2c],
                 l1d_pref,
                 pf_buf: Vec::with_capacity(32),
                 l1d_pref_buf: Vec::with_capacity(8),
-                l2c_lat_sum: 0,
-                l2c_lat_cnt: 0,
-                llc_lat_sum: 0,
-                llc_lat_cnt: 0,
-                debug: [0; 8],
+                stats: WalkStats::new(3),
             });
             gens.push(TraceGenerator::new(
                 w,
@@ -1066,13 +365,11 @@ impl System {
                 core.enable_obs();
             }
             for ctx in &mut ctxs {
-                ctx.l1d_mshr.enable_obs();
-                ctx.l2c_mshr.enable_obs();
-                if let Some(m) = &mut ctx.module {
-                    m.enable_obs();
+                for level in &mut ctx.levels {
+                    level.enable_obs();
                 }
             }
-            shared.llc_mshr.enable_obs();
+            shared.llc.enable_obs();
             shared.dram.enable_obs();
             EventRing::new(config.obs.ring_capacity, config.obs.sample_every)
         } else {
@@ -1102,15 +399,15 @@ impl System {
         &self.names
     }
 
-    fn snap_core(cores: &[Core], ctx: &CoreCtx, i: usize) -> CoreSnap {
+    fn snap_core(cores: &[Core], ctx: &CoreHier, i: usize) -> CoreSnap {
         CoreSnap {
             cycle: cores[i].projected_finish(),
-            l2c: ctx.l2c.stats(),
-            l2c_lat: (ctx.l2c_lat_sum, ctx.l2c_lat_cnt),
-            llc_lat: (ctx.llc_lat_sum, ctx.llc_lat_cnt),
-            module: ctx.module.as_ref().map(|m| m.stats()),
-            boundary: ctx.module.as_ref().map(|m| m.boundary_stats()),
-            debug: ctx.debug,
+            l2c: ctx.levels[1].cache.stats(),
+            l2c_lat: ctx.stats.lat[1],
+            llc_lat: ctx.stats.lat[2],
+            module: ctx.levels[1].module.as_ref().map(|m| m.stats()),
+            boundary: ctx.levels[1].module.as_ref().map(|m| m.boundary_stats()),
+            debug: ctx.stats.debug,
         }
     }
 
@@ -1123,9 +420,9 @@ impl System {
         let private_drains: u64 = self
             .ctxs
             .iter()
-            .map(|c| c.l1d_mshr.stats().drained + c.l2c_mshr.stats().drained)
+            .map(|c| c.levels.iter().map(|l| l.mshr.stats().drained).sum::<u64>())
             .sum();
-        core_retires + private_drains + self.shared.llc_mshr.stats().drained
+        core_retires + private_drains + self.shared.llc.mshr.stats().drained
     }
 
     fn stall_snapshot(&self, cycle: u64, last_progress_cycle: u64) -> StallSnapshot {
@@ -1144,12 +441,12 @@ impl System {
                     rob_len: core.rob_len(),
                     rob_head_completion: core.rob_head(),
                     retired: core.stats().retired,
-                    l1d_mshr: ctx.l1d_mshr.len(),
-                    l2c_mshr: ctx.l2c_mshr.len(),
+                    l1d_mshr: ctx.levels[0].mshr.len(),
+                    l2c_mshr: ctx.levels[1].mshr.len(),
                 })
                 .collect(),
-            llc_mshr: self.shared.llc_mshr.len(),
-            llc_mshr_capacity: self.shared.llc_mshr.capacity(),
+            llc_mshr: self.shared.llc.mshr.len(),
+            llc_mshr_capacity: self.shared.llc.mshr.capacity(),
             dram_busy_banks: self.shared.dram.busy_banks(cycle),
             dram_latest_free_at: self.shared.dram.latest_bank_free_at(),
         }
@@ -1170,13 +467,16 @@ impl System {
             let at = |s: String| SimError::Invariant {
                 what: format!("core {i}: {s}"),
             };
-            ctx.l1d_mshr.audit().map_err(|s| at(format!("L1D {s}")))?;
-            ctx.l2c_mshr.audit().map_err(|s| at(format!("L2C {s}")))?;
-            ctx.l1d.audit().map_err(&at)?;
-            ctx.l2c.audit().map_err(&at)?;
+            for level in &ctx.levels {
+                level
+                    .mshr
+                    .audit()
+                    .map_err(|s| at(format!("{} {s}", level.name())))?;
+                level.cache.audit().map_err(&at)?;
+            }
             // Annotation-bit ownership: an L2C prefetched block's source is
             // `(core << 1) | competitor`, and the core must be this one.
-            for b in ctx.l2c.valid_blocks() {
+            for b in ctx.levels[1].cache.valid_blocks() {
                 if b.prefetched && usize::from(b.source >> 1) != i {
                     return fail(format!(
                         "core {i}: L2C prefetched block {} annotated with source {:#04x} \
@@ -1187,24 +487,26 @@ impl System {
                     ));
                 }
             }
-            if let Some(sd) = ctx.module.as_ref().and_then(|m| m.dueling()) {
-                sd.audit(ctx.l2c.num_sets()).map_err(&at)?;
+            if let Some(sd) = ctx.levels[1].module.as_ref().and_then(|m| m.dueling()) {
+                sd.audit(ctx.levels[1].cache.num_sets()).map_err(&at)?;
             }
         }
         self.shared
-            .llc_mshr
+            .llc
+            .mshr
             .audit()
             .map_err(|s| SimError::Invariant {
                 what: format!("LLC {s}"),
             })?;
         self.shared
             .llc
+            .cache
             .audit()
             .map_err(|s| SimError::Invariant { what: s })?;
         // LLC-tracked prefetched blocks must name an existing core; the
         // pass-through bit is stripped before the block is marked
         // prefetched, so it must never appear here.
-        for b in self.shared.llc.valid_blocks() {
+        for b in self.shared.llc.cache.valid_blocks() {
             if b.prefetched && (b.source & PASS != 0 || b.source >> 1 >= ncores) {
                 return fail(format!(
                     "LLC prefetched block {} annotated with source {:#04x} \
@@ -1255,13 +557,11 @@ impl System {
             core.reset_obs();
         }
         for ctx in &mut self.ctxs {
-            ctx.l1d_mshr.reset_obs();
-            ctx.l2c_mshr.reset_obs();
-            if let Some(m) = &mut ctx.module {
-                m.reset_obs();
+            for level in &mut ctx.levels {
+                level.reset_obs();
             }
         }
-        self.shared.llc_mshr.reset_obs();
+        self.shared.llc.reset_obs();
         self.shared.dram.reset_obs();
         self.ring.reset();
     }
@@ -1303,17 +603,12 @@ impl System {
         }
         let instr: Instr = self.gens[i].next().expect("generator is infinite");
         {
-            let mut port = Port {
+            let mut port = CorePort {
                 ctx: &mut self.ctxs[i],
                 shared: &mut self.shared,
                 ring: &mut self.ring,
-                lat: Lat {
-                    l1d: self.config.l1d.latency,
-                    l2c: self.config.l2c.latency,
-                    llc: self.config.llc.latency,
-                },
             };
-            self.cores[i].execute(&instr, &mut port);
+            self.cores[i].execute(&instr, &mut port)?;
         }
         // Dispatch LLC-level prefetch feedback to the owning modules.
         if !self.shared.feedback.is_empty() {
@@ -1326,7 +621,11 @@ impl System {
                 };
                 let core = usize::from((source & !PASS) >> 1);
                 let competitor = source & 1;
-                if let Some(m) = self.ctxs.get_mut(core).and_then(|c| c.module.as_mut()) {
+                if let Some(m) = self
+                    .ctxs
+                    .get_mut(core)
+                    .and_then(|c| c.levels[1].module.as_mut())
+                {
                     match kind {
                         0 => m.on_useful(line, VAddr::new(0), competitor, true),
                         1 => m.on_useful(line, VAddr::new(0), competitor, false),
@@ -1354,7 +653,7 @@ impl System {
             self.state.warm[i] = true;
             self.state.snaps[i] = Self::snap_core(&self.cores, &self.ctxs[i], i);
             if self.state.warm.iter().all(|&w| w) {
-                self.state.shared_snap = (self.shared.llc.stats(), self.shared.dram.stats());
+                self.state.shared_snap = (self.shared.llc.cache.stats(), self.shared.dram.stats());
                 if self.config.obs.enabled {
                     self.reset_obs();
                 }
@@ -1429,7 +728,7 @@ impl System {
             self.audit()?;
         }
         let finish: Vec<u64> = self.cores.iter_mut().map(|c| c.drain()).collect();
-        let llc = cache_diff(self.shared.llc.stats(), self.state.shared_snap.0);
+        let llc = cache_diff(self.shared.llc.cache.stats(), self.state.shared_snap.0);
         let dram = dram_diff(self.shared.dram.stats(), self.state.shared_snap.1);
         let snaps = std::mem::take(&mut self.state.snaps);
         let thp_series = std::mem::take(&mut self.state.thp_series);
@@ -1497,8 +796,9 @@ impl System {
     /// # Errors
     ///
     /// Returns [`SimError::WatchdogStall`] when the forward-progress
-    /// watchdog fires, or [`SimError::Invariant`] when the audits are
-    /// enabled and fail.
+    /// watchdog fires, [`SimError::PhysMemExhausted`] when the workload
+    /// outgrows the configured physical memory, or
+    /// [`SimError::Invariant`] when the audits are enabled and fail.
     ///
     /// # Panics
     ///
@@ -1524,21 +824,16 @@ impl System {
         let (snaps, finish, llc, dram, thp_series) = self.run_all()?;
         let snap = &snaps[0];
         let ctx = &self.ctxs[0];
-        let l2c = cache_diff(ctx.l2c.stats(), snap.l2c);
-        let lat = |sum: u64, cnt: u64, s: (u64, u64)| {
-            let (dsum, dcnt) = (sum - s.0, cnt - s.1);
-            if dcnt == 0 {
-                0.0
-            } else {
-                dsum as f64 / dcnt as f64
-            }
-        };
-        let module = match (ctx.module.as_ref().map(|m| m.stats()), snap.module) {
+        let l2c = cache_diff(ctx.levels[1].cache.stats(), snap.l2c);
+        let module = match (
+            ctx.levels[1].module.as_ref().map(|m| m.stats()),
+            snap.module,
+        ) {
             (Some(end), Some(start)) => Some(module_diff(end, start)),
             (m, _) => m,
         };
         let boundary = match (
-            ctx.module.as_ref().map(|m| m.boundary_stats()),
+            ctx.levels[1].module.as_ref().map(|m| m.boundary_stats()),
             snap.boundary,
         ) {
             (Some(end), Some(start)) => Some(boundary_diff(end, start)),
@@ -1553,22 +848,11 @@ impl System {
             dram,
             module,
             boundary,
-            l2c_avg_latency: lat(ctx.l2c_lat_sum, ctx.l2c_lat_cnt, snap.l2c_lat),
-            llc_avg_latency: lat(ctx.llc_lat_sum, ctx.llc_lat_cnt, snap.llc_lat),
+            l2c_avg_latency: ctx.stats.lat[1].avg_since(snap.l2c_lat),
+            llc_avg_latency: ctx.stats.lat[2].avg_since(snap.llc_lat),
             huge_usage: ctx.aspace.huge_usage_fraction(),
             thp_series,
-            debug: {
-                // Windowed diagnostics (index 7 is a running max, kept
-                // as-is).
-                let mut d = [0u64; 8];
-                for (slot, (cur, old)) in
-                    d.iter_mut().zip(ctx.debug.iter().zip(&snap.debug)).take(7)
-                {
-                    *slot = cur - old;
-                }
-                d[7] = ctx.debug[7];
-                d
-            },
+            debug: ctx.stats.debug.since(&snap.debug),
         };
         let obs = self.obs_report();
         Ok((report, obs))
@@ -1589,7 +873,7 @@ impl System {
         let sum2 = |f: &dyn Fn(&psa_core::ModuleObs) -> u64| -> u64 {
             self.ctxs
                 .iter()
-                .filter_map(|c| c.module.as_ref())
+                .filter_map(|c| c.levels[1].module.as_ref())
                 .map(|m| f(m.obs()))
                 .sum()
         };
@@ -1621,22 +905,22 @@ impl System {
             ),
             (
                 "l1d_mshr.occupancy",
-                self.ctxs[0].l1d_mshr.obs_occupancy().summary(),
+                self.ctxs[0].levels[0].mshr.obs_occupancy().summary(),
             ),
             (
                 "l2c_mshr.occupancy",
-                self.ctxs[0].l2c_mshr.obs_occupancy().summary(),
+                self.ctxs[0].levels[1].mshr.obs_occupancy().summary(),
             ),
             (
                 "llc_mshr.occupancy",
-                self.shared.llc_mshr.obs_occupancy().summary(),
+                self.shared.llc.mshr.obs_occupancy().summary(),
             ),
             (
                 "dram.queue_delay",
                 self.shared.dram.obs_queue_delay().summary(),
             ),
         ];
-        if let Some(m) = self.ctxs[0].module.as_ref() {
+        if let Some(m) = self.ctxs[0].levels[1].module.as_ref() {
             let hname = [
                 "pref_psa.candidates_per_access",
                 "pref_psa2m.candidates_per_access",
@@ -1693,8 +977,9 @@ impl System {
     /// # Errors
     ///
     /// Returns [`SimError::WatchdogStall`] when the forward-progress
-    /// watchdog fires, or [`SimError::Invariant`] when the audits are
-    /// enabled and fail.
+    /// watchdog fires, [`SimError::PhysMemExhausted`] when the workloads
+    /// outgrow the configured physical memory, or
+    /// [`SimError::Invariant`] when the audits are enabled and fail.
     pub fn try_run_multi(mut self) -> Result<MultiReport, SimError> {
         let instructions = self.config.instructions;
         let (snaps, finish, llc, dram, _) = self.run_all()?;
@@ -1709,315 +994,5 @@ impl System {
             llc,
             dram,
         })
-    }
-}
-
-fn module_diff(end: psa_core::ModuleStats, start: psa_core::ModuleStats) -> psa_core::ModuleStats {
-    psa_core::ModuleStats {
-        accesses: end.accesses - start.accesses,
-        candidates: end.candidates - start.candidates,
-        issued: end.issued - start.issued,
-        deduped: end.deduped - start.deduped,
-        issued_by: [
-            end.issued_by[0] - start.issued_by[0],
-            end.issued_by[1] - start.issued_by[1],
-        ],
-        selected_by: [
-            end.selected_by[0] - start.selected_by[0],
-            end.selected_by[1] - start.selected_by[1],
-        ],
-    }
-}
-
-fn boundary_diff(
-    end: psa_core::BoundaryStats,
-    start: psa_core::BoundaryStats,
-) -> psa_core::BoundaryStats {
-    psa_core::BoundaryStats {
-        candidates: end.candidates - start.candidates,
-        allowed: end.allowed - start.allowed,
-        discarded_cross_4k_in_huge: end.discarded_cross_4k_in_huge
-            - start.discarded_cross_4k_in_huge,
-        discarded_out_of_page: end.discarded_out_of_page - start.discarded_out_of_page,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use psa_traces::catalog;
-
-    fn quick() -> SimConfig {
-        SimConfig::default()
-            .with_warmup(2_000)
-            .with_instructions(10_000)
-    }
-
-    #[test]
-    fn baseline_runs_and_reports() {
-        let r = System::baseline(quick(), catalog::workload("lbm").unwrap()).run();
-        assert_eq!(r.instructions, 10_000);
-        assert!(r.cycles > 0);
-        assert!(r.ipc() > 0.0 && r.ipc() <= 4.0);
-        assert!(r.llc.demand_accesses() > 0, "lbm must stress the LLC");
-        assert!(r.module.is_none());
-    }
-
-    #[test]
-    fn prefetching_beats_baseline_on_a_stream() {
-        let base = System::baseline(quick(), catalog::workload("lbm").unwrap()).run();
-        let spp = System::single_core(
-            quick(),
-            catalog::workload("lbm").unwrap(),
-            PrefetcherKind::Spp,
-            PageSizePolicy::Original,
-        )
-        .run();
-        assert!(
-            spp.ipc() > base.ipc() * 1.02,
-            "SPP must speed up a stream: {} vs {}",
-            spp.ipc(),
-            base.ipc()
-        );
-        assert!(spp.module.unwrap().issued > 0);
-    }
-
-    #[test]
-    fn psa_beats_original_on_a_huge_page_stream() {
-        // Needs a long enough window for prefetch lead to build; small
-        // windows are cold-start noise.
-        let cfg = SimConfig::default()
-            .with_warmup(40_000)
-            .with_instructions(120_000);
-        let w = catalog::workload("lbm").unwrap();
-        let orig = System::single_core(cfg, w, PrefetcherKind::Spp, PageSizePolicy::Original).run();
-        let psa = System::single_core(cfg, w, PrefetcherKind::Spp, PageSizePolicy::Psa).run();
-        // At laptop-scale budgets PSA and original trade a few percent on
-        // lbm (PSA shifts coverage from L2C fills to LLC fills); the guard
-        // is against collapse, not single-digit noise. The geomean-level
-        // claims are asserted in the experiments crate.
-        assert!(
-            psa.ipc() >= orig.ipc() * 0.90,
-            "PSA must not collapse on a streaming huge-page workload: {} vs {}",
-            psa.ipc(),
-            orig.ipc()
-        );
-        // The original discards crossing prefetches; PSA does not.
-        let ob = orig.boundary.unwrap();
-        let pb = psa.boundary.unwrap();
-        // And PSA must recover real coverage from the crossing freedom.
-        assert!(
-            psa.llc.demand_misses <= orig.llc.demand_misses,
-            "PSA LLC coverage must not regress: {} vs {}",
-            psa.llc.demand_misses,
-            orig.llc.demand_misses
-        );
-        assert!(
-            ob.discarded_cross_4k_in_huge > 0,
-            "Figure 2 counter must fire"
-        );
-        assert_eq!(
-            pb.discarded_cross_4k_in_huge, 0,
-            "PSA never discards for in-huge crossing"
-        );
-    }
-
-    #[test]
-    fn determinism() {
-        let w = catalog::workload("milc").unwrap();
-        let a = System::single_core(quick(), w, PrefetcherKind::Spp, PageSizePolicy::PsaSd).run();
-        let b = System::single_core(quick(), w, PrefetcherKind::Spp, PageSizePolicy::PsaSd).run();
-        assert_eq!(a.cycles, b.cycles);
-        assert_eq!(a.l2c.demand_misses, b.l2c.demand_misses);
-        assert_eq!(a.module.unwrap().issued, b.module.unwrap().issued);
-    }
-
-    #[test]
-    fn multicore_runs_all_cores() {
-        let w1 = catalog::workload("lbm").unwrap();
-        let w2 = catalog::workload("mcf").unwrap();
-        let r = System::multi_core(
-            SimConfig::for_cores(2)
-                .with_warmup(1_000)
-                .with_instructions(5_000),
-            &[w1, w2],
-            PrefetcherKind::Spp,
-            PageSizePolicy::Psa,
-        )
-        .run_multi();
-        assert_eq!(r.ipc.len(), 2);
-        assert!(r.ipc.iter().all(|&x| x > 0.0));
-        assert_eq!(r.workloads, vec!["lbm", "mcf"]);
-    }
-
-    #[test]
-    fn thp_series_tracks_huge_usage() {
-        let r = System::baseline(quick(), catalog::workload("lbm").unwrap()).run();
-        assert!(!r.thp_series.is_empty());
-        let last = r.thp_series.last().unwrap().1;
-        assert!(last > 0.8, "lbm maps ~95% huge: {last}");
-        let r4k = System::baseline(quick(), catalog::workload("soplex").unwrap()).run();
-        assert!(
-            r4k.huge_usage < 0.4,
-            "soplex is 4KB-dominated: {}",
-            r4k.huge_usage
-        );
-    }
-
-    #[test]
-    fn l1d_prefetcher_config_runs() {
-        let mut cfg = quick();
-        cfg.l1d_prefetcher = L1dPrefKind::IpcpPlusPlus;
-        let r = System::baseline(cfg, catalog::workload("lbm").unwrap()).run();
-        assert!(r.ipc() > 0.0);
-    }
-
-    #[test]
-    fn try_build_reports_bad_shapes_as_values() {
-        let mut cfg = quick();
-        cfg.sd.dedicated_sets = 4096; // cannot fit the 1024-set L2C
-        let err = System::try_single_core(
-            cfg,
-            catalog::workload("lbm").unwrap(),
-            PrefetcherKind::Spp,
-            PageSizePolicy::PsaSd,
-        )
-        .err()
-        .expect("oversized dueling groups must be rejected");
-        assert!(matches!(err, SimError::Config { .. }), "{err}");
-        assert!(err.to_string().contains("module"), "{err}");
-    }
-
-    #[test]
-    fn watchdog_aborts_a_crafted_stall_with_a_snapshot() {
-        // Threshold 1: nothing retires before the ROB fills (352 entries)
-        // and nothing drains before the first fill matures, but the fetch
-        // cycle advances every 4 instructions — so the gap exceeds one
-        // cycle almost immediately and the "stall" is detected.
-        let cfg = quick().with_watchdog(1);
-        let sys = System::single_core(
-            cfg,
-            catalog::workload("lbm").unwrap(),
-            PrefetcherKind::Spp,
-            PageSizePolicy::Psa,
-        );
-        match sys.try_run() {
-            Err(SimError::WatchdogStall(snap)) => {
-                assert_eq!(snap.watchdog_cycles, 1);
-                assert!(snap.cycle > snap.last_progress_cycle + 1);
-                assert_eq!(snap.cores.len(), 1);
-                assert_eq!(snap.cores[0].retired, 0, "no retirement yet");
-                assert_eq!(snap.llc_mshr_capacity, 64);
-            }
-            other => panic!("expected a watchdog stall, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn watchdog_disabled_and_default_let_runs_finish() {
-        let w = catalog::workload("lbm").unwrap();
-        let on = System::single_core(quick(), w, PrefetcherKind::Spp, PageSizePolicy::Psa)
-            .try_run()
-            .expect("default threshold never fires on a healthy run");
-        let off = System::single_core(
-            quick().with_watchdog(0),
-            w,
-            PrefetcherKind::Spp,
-            PageSizePolicy::Psa,
-        )
-        .try_run()
-        .expect("disabled watchdog");
-        assert_eq!(on.cycles, off.cycles, "watchdog must not perturb timing");
-    }
-
-    #[test]
-    fn invariant_checker_passes_on_seeded_runs() {
-        let w = catalog::workload("milc").unwrap();
-        let checked = System::single_core(
-            quick().with_check(true),
-            w,
-            PrefetcherKind::Spp,
-            PageSizePolicy::PsaSd,
-        )
-        .try_run()
-        .expect("audits hold on a healthy seeded run");
-        let plain =
-            System::single_core(quick(), w, PrefetcherKind::Spp, PageSizePolicy::PsaSd).run();
-        assert_eq!(
-            checked.cycles, plain.cycles,
-            "read-only audits must not perturb timing"
-        );
-        assert_eq!(checked.l2c.demand_misses, plain.l2c.demand_misses);
-
-        // Multi-core: exercises cross-core annotation ownership and the
-        // shared frame-map reconciliation.
-        System::multi_core(
-            SimConfig::for_cores(2)
-                .with_warmup(1_000)
-                .with_instructions(4_000)
-                .with_check(true),
-            &[w, catalog::workload("mcf").unwrap()],
-            PrefetcherKind::Spp,
-            PageSizePolicy::PsaSd,
-        )
-        .try_run_multi()
-        .expect("audits hold on a multi-core run");
-    }
-
-    #[test]
-    fn audit_runs_on_a_fresh_machine() {
-        let sys = System::baseline(quick(), catalog::workload("lbm").unwrap());
-        sys.audit().expect("an untouched machine is consistent");
-    }
-
-    #[test]
-    fn observability_is_bit_identical_and_reconciles() {
-        use psa_common::obs::ObsConfig;
-        let w = catalog::workload("mcf").unwrap();
-        let (plain, no_obs) =
-            System::single_core(quick(), w, PrefetcherKind::Spp, PageSizePolicy::PsaSd)
-                .try_run_observed()
-                .unwrap();
-        assert!(no_obs.is_none(), "disabled by default");
-
-        let (observed, obs) = System::single_core(
-            quick().with_obs(ObsConfig::on()),
-            w,
-            PrefetcherKind::Spp,
-            PageSizePolicy::PsaSd,
-        )
-        .try_run_observed()
-        .unwrap();
-        let obs = obs.expect("enabled layer yields a report");
-
-        // Purely observational: the simulated outcome must not move.
-        assert_eq!(plain.cycles, observed.cycles);
-        assert_eq!(plain.l2c, observed.l2c);
-        assert_eq!(plain.dram.reads, observed.dram.reads);
-        assert_eq!(
-            plain.module.as_ref().map(|m| m.issued),
-            observed.module.as_ref().map(|m| m.issued)
-        );
-
-        // Obs counters are reset at the all-warm crossing, so they cover
-        // the same window as the report's diffed statistics.
-        let issued = observed.module.as_ref().unwrap().issued;
-        assert_eq!(obs.counter("module.issued"), Some(issued));
-        let qd = obs.histogram("dram.queue_delay").unwrap();
-        assert_eq!(qd.total, observed.dram.reads + observed.dram.writes);
-        let l2u = obs.histogram("core0.load_to_use").unwrap();
-        assert!(l2u.total > 0, "loads retired in the measured window");
-
-        // The timeline recorded the measured window's retires exactly.
-        let retire_seen = obs
-            .seen
-            .iter()
-            .find(|(n, _)| *n == "retire")
-            .map(|&(_, s)| s)
-            .unwrap();
-        assert_eq!(retire_seen, quick().instructions);
-        assert!(!obs.events.is_empty());
-        let trace = obs.to_chrome_trace();
-        assert!(trace.contains("\"traceEvents\""));
     }
 }

@@ -68,18 +68,19 @@ fn main() {
                     r.llc_avg_latency,
                     r.dram.reads,
                 );
+                let d = &r.debug;
                 println!(
                     "            l1stall={} clean={}@{:.0} merged={}@{:.0} rowhit={:.2} bus={}",
-                    r.debug[0],
-                    r.debug[1],
-                    if r.debug[1] > 0 {
-                        r.debug[3] as f64 / r.debug[1] as f64
+                    d.mshr_bump_stall,
+                    d.clean_misses,
+                    if d.clean_misses > 0 {
+                        d.clean_latency_sum as f64 / d.clean_misses as f64
                     } else {
                         0.0
                     },
-                    r.debug[2],
-                    if r.debug[2] > 0 {
-                        r.debug[4] as f64 / r.debug[2] as f64
+                    d.merged_misses,
+                    if d.merged_misses > 0 {
+                        d.merged_latency_sum as f64 / d.merged_misses as f64
                     } else {
                         0.0
                     },
@@ -88,14 +89,14 @@ fn main() {
                 );
                 println!(
                     "            loads={} avg_load_latency={:.1}",
-                    r.debug[5],
-                    if r.debug[5] > 0 {
-                        r.debug[6] as f64 / r.debug[5] as f64
+                    d.loads,
+                    if d.loads > 0 {
+                        d.load_latency_sum as f64 / d.loads as f64
                     } else {
                         0.0
                     }
                 );
-                println!("            max_load_latency={}", r.debug[7]);
+                println!("            max_load_latency={}", d.load_latency_max);
             } else if detail.is_empty() {
                 print!(" {}={:+.1}%", pol, (r.ipc() / base.ipc() - 1.0) * 100.0);
             }

@@ -315,10 +315,13 @@ fn restored_fork_is_unaffected_by_sibling_forks() {
 fn core_retires_everything_it_fetches() {
     struct Fixed(u64);
     impl MemoryPort for Fixed {
-        fn load(&mut self, _: VAddr, _: VAddr, now: u64) -> u64 {
-            now + self.0
+        type Error = std::convert::Infallible;
+        fn load(&mut self, _: VAddr, _: VAddr, now: u64) -> Result<u64, Self::Error> {
+            Ok(now + self.0)
         }
-        fn store(&mut self, _: VAddr, _: VAddr, _: u64) {}
+        fn store(&mut self, _: VAddr, _: VAddr, _: u64) -> Result<(), Self::Error> {
+            Ok(())
+        }
     }
     let mut rng = DetRng::new(0xC04E);
     for _ in 0..48 {
@@ -328,9 +331,10 @@ fn core_retires_everything_it_fetches() {
         let mut mem = Fixed(latency);
         for i in 0..n {
             if i % 3 == 0 {
-                core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem);
+                core.execute(&Instr::load(VAddr::new(i), VAddr::new(i * 64)), &mut mem)
+                    .unwrap();
             } else {
-                core.execute(&Instr::op(VAddr::new(i)), &mut mem);
+                core.execute(&Instr::op(VAddr::new(i)), &mut mem).unwrap();
             }
         }
         let finish = core.drain();
