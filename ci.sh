@@ -98,27 +98,44 @@ cargo run --release --quiet --bin validate_bench -- "$OBS_TMP/BENCH_fig08.json"
 # sweep must produce byte-for-byte the committed stable sections — any
 # hierarchy refactor that changes timing shows up here as a diff, not as
 # a silent drift. The document is schema-validated first, then compared.
+# The gate runs under BOTH optimized profiles: `bench` (what the sweeps
+# use) and `release` (the tier-1 binary) — the data-oriented hot path
+# leans on optimizer behaviour, so each shipped codegen configuration
+# must reproduce the golden bytes independently.
 # After an *intentional* behaviour change, regenerate deliberately with
 # PSA_UPDATE_GOLDEN=1 ./ci.sh (and review the diff in the commit).
 echo "== golden bit-identity gate (fig08 stable sections) =="
+GOLDEN=crates/experiments/tests/golden/fig08_stable.json
 GOLD_TMP="$(mktemp -d)"
 trap 'rm -rf "$CKPT_TMP" "$COLD_TMP" "$WARM_TMP" "$OBS_TMP" "$GOLD_TMP"' EXIT
-env PSA_WARMUP=2000 PSA_INSTRUCTIONS=8000 PSA_WORKLOAD_LIMIT=2 PSA_THREADS=1 \
-    PSA_BENCH_JSON_DIR="$GOLD_TMP" \
-  cargo bench -q -p psa-bench --bench fig08_spp_variants > /dev/null
-cargo run --release --quiet --bin validate_bench -- "$GOLD_TMP/BENCH_fig08.json"
-sed -n '1,/"executor"/p' "$GOLD_TMP/BENCH_fig08.json" > "$GOLD_TMP/stable.json"
-GOLDEN=crates/experiments/tests/golden/fig08_stable.json
-if [ "${PSA_UPDATE_GOLDEN:-0}" = 1 ]; then
-  cp "$GOLD_TMP/stable.json" "$GOLDEN"
-  echo "golden file regenerated: $GOLDEN"
-elif ! cmp -s "$GOLD_TMP/stable.json" "$GOLDEN"; then
-  echo "fig08 stable sections drifted from $GOLDEN:"
-  diff "$GOLDEN" "$GOLD_TMP/stable.json" | head -20
-  echo "(intentional change? regenerate with PSA_UPDATE_GOLDEN=1 ./ci.sh)"
+for profile in bench release; do
+  PDIR="$GOLD_TMP/$profile"
+  mkdir -p "$PDIR"
+  env PSA_WARMUP=2000 PSA_INSTRUCTIONS=8000 PSA_WORKLOAD_LIMIT=2 PSA_THREADS=1 \
+      PSA_BENCH_JSON_DIR="$PDIR" \
+    cargo bench -q -p psa-bench --bench fig08_spp_variants \
+      --profile "$profile" > /dev/null
+  cargo run --release --quiet --bin validate_bench -- "$PDIR/BENCH_fig08.json"
+  sed -n '1,/"executor"/p' "$PDIR/BENCH_fig08.json" > "$PDIR/stable.json"
+done
+if ! cmp -s "$GOLD_TMP/bench/stable.json" "$GOLD_TMP/release/stable.json"; then
+  echo "bench-profile and release-profile fig08 stable sections disagree:"
+  diff "$GOLD_TMP/bench/stable.json" "$GOLD_TMP/release/stable.json" | head -20
   exit 1
+fi
+if [ "${PSA_UPDATE_GOLDEN:-0}" = 1 ]; then
+  cp "$GOLD_TMP/bench/stable.json" "$GOLDEN"
+  echo "golden file regenerated: $GOLDEN"
 else
-  echo "stable sections bit-identical to $GOLDEN"
+  for profile in bench release; do
+    if ! cmp -s "$GOLD_TMP/$profile/stable.json" "$GOLDEN"; then
+      echo "fig08 stable sections ($profile profile) drifted from $GOLDEN:"
+      diff "$GOLDEN" "$GOLD_TMP/$profile/stable.json" | head -20
+      echo "(intentional change? regenerate with PSA_UPDATE_GOLDEN=1 ./ci.sh)"
+      exit 1
+    fi
+  done
+  echo "stable sections bit-identical to $GOLDEN (bench + release profiles)"
 fi
 
 echo "ci.sh: all green"

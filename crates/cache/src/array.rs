@@ -8,7 +8,7 @@
 //!   on its first demand hit (the event that updates `Csel`).
 
 use psa_common::geometry::checked_log2;
-use psa_common::{PLine, LINE_BYTES};
+use psa_common::{CodecError, Dec, Enc, PLine, Persist, LINE_BYTES};
 
 /// Shape and latency of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,26 +128,11 @@ pub struct Evicted {
     pub prefetch_source: u8,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Block {
-    line: PLine,
-    valid: bool,
-    dirty: bool,
-    prefetched: bool,
-    source: u8,
-    used: bool,
-    last_use: u64,
-}
-
-const INVALID: Block = Block {
-    line: PLine::new(0),
-    valid: false,
-    dirty: false,
-    prefetched: false,
-    source: 0,
-    used: false,
-    last_use: 0,
-};
+/// Per-way status bits, packed into one byte of the `flags` plane.
+const F_VALID: u8 = 1 << 0;
+const F_DIRTY: u8 = 1 << 1;
+const F_PREFETCHED: u8 = 1 << 2;
+const F_USED: u8 = 1 << 3;
 
 /// Per-level hit/miss and prefetch-usefulness counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -184,24 +169,27 @@ impl CacheStats {
 }
 
 /// One set-associative cache level.
+///
+/// The array state is a structure-of-arrays: the tag, recency and status
+/// planes live in separate parallel vectors indexed `set * ways + way`.
+/// A set lookup touches one contiguous run of each plane it needs — a
+/// probe reads 8–16 consecutive tags instead of striding through 40-byte
+/// block structs — which is what makes the per-access `Walk` cheap.
 #[derive(Debug)]
 pub struct Cache {
     config: CacheConfig,
     sets: usize,
-    blocks: Vec<Block>,
+    /// Tag plane: the resident line's raw id (garbage while invalid).
+    tags: Vec<u64>,
+    /// Recency plane: `stamp` at last touch (LRU key; 0 while invalid).
+    last_use: Vec<u64>,
+    /// Status plane: `F_VALID | F_DIRTY | F_PREFETCHED | F_USED`.
+    flags: Vec<u8>,
+    /// Pref-PSA-SD source annotation (meaningful while `F_PREFETCHED`).
+    source: Vec<u8>,
     stamp: u64,
     stats: CacheStats,
 }
-
-psa_common::persist_struct!(Block {
-    line,
-    valid,
-    dirty,
-    prefetched,
-    source,
-    used,
-    last_use,
-});
 
 psa_common::persist_struct!(CacheStats {
     demand_hits,
@@ -214,11 +202,54 @@ psa_common::persist_struct!(CacheStats {
 
 // `config` and `sets` are geometry, rebuilt from the simulation
 // configuration; only the array contents and counters are state.
-psa_common::persist_struct!(Cache {
-    blocks,
-    stamp,
-    stats,
-});
+//
+// Hand-written so the byte stream stays identical to the historical
+// `Vec<Block>` layout (length prefix, then per-block line / valid / dirty
+// / prefetched / source / used / last_use, then stamp and stats): the SoA
+// planes are an in-memory layout change only, and checkpoints written
+// before it restore unchanged.
+impl Persist for Cache {
+    fn save(&self, e: &mut Enc) {
+        e.put_usize(self.tags.len());
+        for i in 0..self.tags.len() {
+            let f = self.flags[i];
+            e.put_u64(self.tags[i]);
+            e.put_u8(u8::from(f & F_VALID != 0));
+            e.put_u8(u8::from(f & F_DIRTY != 0));
+            e.put_u8(u8::from(f & F_PREFETCHED != 0));
+            e.put_u8(self.source[i]);
+            e.put_u8(u8::from(f & F_USED != 0));
+            e.put_u64(self.last_use[i]);
+        }
+        self.stamp.save(e);
+        self.stats.save(e);
+    }
+
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        fn bit(d: &mut Dec, mask: u8) -> Result<u8, CodecError> {
+            let mut b = false;
+            b.load(d)?;
+            Ok(if b { mask } else { 0 })
+        }
+        let n = d.get_len()?;
+        self.tags.clear();
+        self.last_use.clear();
+        self.flags.clear();
+        self.source.clear();
+        for _ in 0..n {
+            self.tags.push(d.get_u64()?);
+            let mut f = bit(d, F_VALID)?;
+            f |= bit(d, F_DIRTY)?;
+            f |= bit(d, F_PREFETCHED)?;
+            self.source.push(d.get_u8()?);
+            f |= bit(d, F_USED)?;
+            self.flags.push(f);
+            self.last_use.push(d.get_u64()?);
+        }
+        self.stamp.load(d)?;
+        self.stats.load(d)
+    }
+}
 
 impl Cache {
     /// Build a cache of the given shape.
@@ -241,10 +272,14 @@ impl Cache {
         }
         let sets = config.sets();
         checked_log2(config.name, sets).map_err(|e| CacheConfigError(e.to_string()))?;
+        let n = sets as usize * config.ways;
         Ok(Self {
             config,
             sets: sets as usize,
-            blocks: vec![INVALID; sets as usize * config.ways],
+            tags: vec![0; n],
+            last_use: vec![0; n],
+            flags: vec![0; n],
+            source: vec![0; n],
             stamp: 0,
             stats: CacheStats::default(),
         })
@@ -267,31 +302,44 @@ impl Cache {
         self.sets
     }
 
-    fn set_range(&self, line: PLine) -> std::ops::Range<usize> {
-        let set = self.set_of(line);
-        set * self.config.ways..(set + 1) * self.config.ways
+    /// Index of the first way of `line`'s set in the SoA planes.
+    #[inline]
+    fn set_base(&self, line: PLine) -> usize {
+        self.set_of(line) * self.config.ways
+    }
+
+    /// The way holding `line` within the set starting at `base`, if any.
+    ///
+    /// Branch-light by construction: one pass over the set's contiguous
+    /// tag and flag bytes, folding validity into the comparison instead of
+    /// branching per way.
+    #[inline]
+    fn find_way(&self, base: usize, raw: u64) -> Option<usize> {
+        let ways = self.config.ways;
+        let tags = &self.tags[base..base + ways];
+        let flags = &self.flags[base..base + ways];
+        (0..ways).find(|&w| (tags[w] == raw) & (flags[w] & F_VALID != 0))
     }
 
     /// Demand lookup. Hits update LRU and prefetch-usefulness state.
     pub fn probe(&mut self, line: PLine) -> Option<HitInfo> {
         self.stamp += 1;
-        let stamp = self.stamp;
-        let range = self.set_range(line);
-        let hit = self.blocks[range]
-            .iter_mut()
-            .find(|b| b.valid && b.line == line);
-        match hit {
-            Some(b) => {
-                b.last_use = stamp;
-                let first_use = b.prefetched && !b.used;
+        let base = self.set_base(line);
+        match self.find_way(base, line.raw()) {
+            Some(w) => {
+                let i = base + w;
+                self.last_use[i] = self.stamp;
+                let f = self.flags[i];
+                let was_prefetched = f & F_PREFETCHED != 0;
+                let first_use = was_prefetched && f & F_USED == 0;
                 if first_use {
-                    b.used = true;
+                    self.flags[i] = f | F_USED;
                     self.stats.useful_prefetches += 1;
                 }
                 self.stats.demand_hits += 1;
                 Some(HitInfo {
-                    was_prefetched: b.prefetched,
-                    prefetch_source: b.source,
+                    was_prefetched,
+                    prefetch_source: self.source[i],
                     first_use,
                 })
             }
@@ -305,20 +353,14 @@ impl Cache {
     /// Non-destructive presence check (no LRU or stats update) — used by
     /// prefetch filtering.
     pub fn contains(&self, line: PLine) -> bool {
-        let set = self.set_of(line);
-        self.blocks[set * self.config.ways..(set + 1) * self.config.ways]
-            .iter()
-            .any(|b| b.valid && b.line == line)
+        self.find_way(self.set_base(line), line.raw()).is_some()
     }
 
     /// Mark a resident line dirty (store hit). No-op if absent.
     pub fn mark_dirty(&mut self, line: PLine) {
-        let range = self.set_range(line);
-        if let Some(b) = self.blocks[range]
-            .iter_mut()
-            .find(|b| b.valid && b.line == line)
-        {
-            b.dirty = true;
+        let base = self.set_base(line);
+        if let Some(w) = self.find_way(base, line.raw()) {
+            self.flags[base + w] |= F_DIRTY;
         }
     }
 
@@ -332,24 +374,50 @@ impl Cache {
         if let FillKind::Prefetch { .. } = kind {
             self.stats.prefetch_fills += 1;
         }
-        let range = self.set_range(line);
-        let set = &mut self.blocks[range];
-        if let Some(b) = set.iter_mut().find(|b| b.valid && b.line == line) {
-            b.dirty |= dirty;
-            b.last_use = stamp;
+        let base = self.set_base(line);
+        // One fused pass finds both the resident way (first match, exactly
+        // as `find_way`) and the replacement victim; the common miss path
+        // previously scanned the set twice. Victim choice: first invalid
+        // way (key 0 — `stamp` starts at 1, so a valid way never keys to
+        // 0), else least-recently-used, first-minimal on ties via strict
+        // `<` — reproducing the historical `min_by_key` over per-way
+        // structs bit-for-bit.
+        let ways = self.config.ways;
+        let raw = line.raw();
+        let mut hit = None;
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        {
+            let tags = &self.tags[base..base + ways];
+            let flags = &self.flags[base..base + ways];
+            let last_use = &self.last_use[base..base + ways];
+            for w in 0..ways {
+                let valid = flags[w] & F_VALID != 0;
+                if hit.is_none() && (tags[w] == raw) & valid {
+                    hit = Some(w);
+                }
+                let key = if valid { last_use[w] } else { 0 };
+                if key < best {
+                    best = key;
+                    victim = w;
+                }
+            }
+        }
+        if let Some(w) = hit {
+            let i = base + w;
+            self.flags[i] |= if dirty { F_DIRTY } else { 0 };
+            self.last_use[i] = stamp;
             return None;
         }
-        let victim = set
-            .iter_mut()
-            .min_by_key(|b| if b.valid { b.last_use } else { 0 })
-            .expect("non-empty set");
-        let evicted = if victim.valid {
-            let unused_prefetch = victim.prefetched && !victim.used;
+        let i = base + victim;
+        let f = self.flags[i];
+        let evicted = if f & F_VALID != 0 {
+            let unused_prefetch = f & F_PREFETCHED != 0 && f & F_USED == 0;
             Some(Evicted {
-                line: victim.line,
-                dirty: victim.dirty,
+                line: PLine::new(self.tags[i]),
+                dirty: f & F_DIRTY != 0,
                 unused_prefetch,
-                prefetch_source: victim.source,
+                prefetch_source: self.source[i],
             })
         } else {
             None
@@ -366,15 +434,11 @@ impl Cache {
             FillKind::Demand => (false, 0),
             FillKind::Prefetch { source } => (true, source),
         };
-        *victim = Block {
-            line,
-            valid: true,
-            dirty,
-            prefetched,
-            source,
-            used: false,
-            last_use: stamp,
-        };
+        self.tags[i] = line.raw();
+        self.flags[i] =
+            F_VALID | if dirty { F_DIRTY } else { 0 } | if prefetched { F_PREFETCHED } else { 0 };
+        self.source[i] = source;
+        self.last_use[i] = stamp;
         evicted
     }
 
@@ -387,16 +451,16 @@ impl Cache {
     /// LRU state nor statistics.
     pub fn valid_blocks(&self) -> impl Iterator<Item = BlockView> + '_ {
         let ways = self.config.ways;
-        self.blocks
+        self.flags
             .iter()
             .enumerate()
-            .filter(|(_, b)| b.valid)
-            .map(move |(i, b)| BlockView {
-                line: b.line,
+            .filter(|(_, f)| **f & F_VALID != 0)
+            .map(move |(i, f)| BlockView {
+                line: PLine::new(self.tags[i]),
                 set: i / ways,
-                prefetched: b.prefetched,
-                source: b.source,
-                used: b.used,
+                prefetched: f & F_PREFETCHED != 0,
+                source: self.source[i],
+                used: f & F_USED != 0,
             })
     }
 
@@ -412,24 +476,31 @@ impl Cache {
     /// invariant.
     pub fn audit(&self) -> Result<(), String> {
         for set in 0..self.sets {
-            let blocks = &self.blocks[set * self.config.ways..(set + 1) * self.config.ways];
-            for (i, b) in blocks.iter().enumerate() {
-                if !b.valid {
+            let base = set * self.config.ways;
+            let tags = &self.tags[base..base + self.config.ways];
+            let flags = &self.flags[base..base + self.config.ways];
+            for (i, (&tag, &f)) in tags.iter().zip(flags).enumerate() {
+                if f & F_VALID == 0 {
                     continue;
                 }
-                if self.set_of(b.line) != set {
+                let line = PLine::new(tag);
+                if self.set_of(line) != set {
                     return Err(format!(
                         "{}: block {} resident in set {} but maps to set {}",
                         self.config.name,
-                        b.line,
+                        line,
                         set,
-                        self.set_of(b.line)
+                        self.set_of(line)
                     ));
                 }
-                if blocks[..i].iter().any(|o| o.valid && o.line == b.line) {
+                if tags[..i]
+                    .iter()
+                    .zip(flags)
+                    .any(|(&o, &of)| of & F_VALID != 0 && o == tag)
+                {
                     return Err(format!(
                         "{}: line {} resident twice in set {}",
-                        self.config.name, b.line, set
+                        self.config.name, line, set
                     ));
                 }
             }

@@ -6,7 +6,7 @@
 //! L2C prefetcher with the request stream. That bit is [`MshrMeta::huge`].
 
 use psa_common::obs::Histogram;
-use psa_common::PLine;
+use psa_common::{CodecError, Dec, Enc, PLine, Persist};
 
 /// Metadata attached to an in-flight miss.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -85,6 +85,19 @@ pub struct MshrStats {
 #[derive(Debug)]
 pub struct Mshr {
     entries: Vec<MshrEntry>,
+    /// Raw line ids, parallel to `entries`: the membership scans
+    /// (`pending`, `merge`) walk this dense u64 plane instead of striding
+    /// through 40-byte entry structs.
+    lines: Vec<u64>,
+    /// Cached `min(fill_at)` over `entries` (`u64::MAX` when empty), so
+    /// the per-access drain check is one compare instead of a scan.
+    earliest: u64,
+    /// Presence summary: bit `line & 63` set for every in-flight line.
+    /// Most membership probes are misses (prefetch filtering asks about
+    /// lines *not* in flight), and a clear bit proves absence without
+    /// scanning; a set bit falls through to the exact scan. OR-maintained
+    /// on alloc, rebuilt exactly on every drain compaction and on load.
+    filter: u64,
     capacity: usize,
     stats: MshrStats,
     /// Occupancy-after-allocation distribution. Disabled by default;
@@ -116,10 +129,39 @@ psa_common::persist_struct!(MshrStats {
     drained,
 });
 
-// `capacity` is configuration; the in-flight entries and counters are state.
-psa_common::persist_struct!(Mshr { entries, stats });
+// `capacity` is configuration; the in-flight entries and counters are
+// state. `lines` and `earliest` are derived accelerators rebuilt after a
+// load, so the byte stream is unchanged from the historical
+// `{ entries, stats }` layout.
+impl Persist for Mshr {
+    fn save(&self, e: &mut Enc) {
+        self.entries.save(e);
+        self.stats.save(e);
+    }
+
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        self.entries.load(d)?;
+        self.stats.load(d)?;
+        self.lines.clear();
+        self.lines.extend(self.entries.iter().map(|e| e.line.raw()));
+        self.earliest = self
+            .entries
+            .iter()
+            .map(|e| e.fill_at)
+            .min()
+            .unwrap_or(u64::MAX);
+        self.filter = self.lines.iter().fold(0, |f, &l| f | Self::filter_bit(l));
+        Ok(())
+    }
+}
 
 impl Mshr {
+    /// The presence-summary bit for a raw line id.
+    #[inline]
+    fn filter_bit(raw: u64) -> u64 {
+        1u64 << (raw & 63)
+    }
+
     /// A file with room for `capacity` in-flight misses.
     ///
     /// # Panics
@@ -129,6 +171,9 @@ impl Mshr {
         assert!(capacity > 0, "an MSHR file needs at least one entry");
         Self {
             entries: Vec::with_capacity(capacity),
+            lines: Vec::with_capacity(capacity),
+            earliest: u64::MAX,
+            filter: 0,
             capacity,
             stats: MshrStats::default(),
             obs_occupancy: Histogram::disabled(),
@@ -172,24 +217,64 @@ impl Mshr {
         self.capacity
     }
 
+    /// Whether any in-flight fill has arrived by `now` — the drain paths'
+    /// O(1) fast-path check, against the cached earliest fill cycle.
+    #[inline]
+    pub fn has_matured(&self, now: u64) -> bool {
+        self.earliest <= now
+    }
+
     /// Remove and return every entry whose fill has arrived by `now`.
     pub fn drain_filled(&mut self, now: u64) -> Vec<MshrEntry> {
         let mut filled = Vec::new();
-        self.entries.retain(|e| {
-            if e.fill_at <= now {
-                filled.push(*e);
-                false
-            } else {
-                true
-            }
-        });
-        self.stats.drained += filled.len() as u64;
+        self.drain_filled_into(now, &mut filled);
         filled
     }
 
+    /// Append every entry whose fill has arrived by `now` to `out`
+    /// (preserving in-flight order) and remove it from the file. Returns
+    /// the number of entries drained. Callers on the hot path keep `out`
+    /// as a reusable scratch buffer so a drain never allocates.
+    pub fn drain_filled_into(&mut self, now: u64, out: &mut Vec<MshrEntry>) -> usize {
+        if !self.has_matured(now) {
+            return 0;
+        }
+        let before = out.len();
+        let mut keep = 0;
+        let mut earliest = u64::MAX;
+        let mut filter = 0;
+        for i in 0..self.entries.len() {
+            let e = self.entries[i];
+            if e.fill_at <= now {
+                out.push(e);
+            } else {
+                self.entries[keep] = e;
+                self.lines[keep] = self.lines[i];
+                earliest = earliest.min(e.fill_at);
+                filter |= Self::filter_bit(e.line.raw());
+                keep += 1;
+            }
+        }
+        self.entries.truncate(keep);
+        self.lines.truncate(keep);
+        self.earliest = earliest;
+        self.filter = filter;
+        let drained = out.len() - before;
+        self.stats.drained += drained as u64;
+        drained
+    }
+
     /// The pending entry for `line`, if any.
+    #[inline]
     pub fn pending(&self, line: PLine) -> Option<&MshrEntry> {
-        self.entries.iter().find(|e| e.line == line)
+        let raw = line.raw();
+        if self.filter & Self::filter_bit(raw) == 0 {
+            return None;
+        }
+        self.lines
+            .iter()
+            .position(|&l| l == raw)
+            .map(|i| &self.entries[i])
     }
 
     /// Merge an access (arriving at cycle `now`) into the pending entry for
@@ -201,11 +286,13 @@ impl Mshr {
     ///
     /// Panics if no entry for `line` is pending.
     pub fn merge(&mut self, line: PLine, demand: bool, write: bool, now: u64) -> u64 {
-        let e = self
-            .entries
-            .iter_mut()
-            .find(|e| e.line == line)
+        let raw = line.raw();
+        let i = self
+            .lines
+            .iter()
+            .position(|&l| l == raw)
             .expect("merge target must be pending");
+        let e = &mut self.entries[i];
         self.stats.merges += 1;
         if demand {
             if e.meta.is_prefetch && !e.demand_merged {
@@ -238,12 +325,15 @@ impl Mshr {
             demand_merged: false,
             merged_at: 0,
         });
+        self.lines.push(line.raw());
+        self.earliest = self.earliest.min(fill_at);
+        self.filter |= Self::filter_bit(line.raw());
         Ok(())
     }
 
     /// Earliest pending fill cycle — when a stalled demand can retry.
     pub fn earliest_fill(&self) -> Option<u64> {
-        self.entries.iter().map(|e| e.fill_at).min()
+        (!self.entries.is_empty()).then_some(self.earliest)
     }
 
     /// Accumulated statistics.
@@ -279,6 +369,35 @@ impl Mshr {
             if self.entries[..i].iter().any(|o| o.line == e.line) {
                 return Err(format!("duplicate MSHR entry for line {}", e.line));
             }
+        }
+        // Derived accelerators must mirror the entry list exactly.
+        if self.lines.len() != self.entries.len()
+            || self
+                .lines
+                .iter()
+                .zip(&self.entries)
+                .any(|(&l, e)| l != e.line.raw())
+        {
+            return Err("MSHR line index out of sync with entries".to_string());
+        }
+        let earliest = self
+            .entries
+            .iter()
+            .map(|e| e.fill_at)
+            .min()
+            .unwrap_or(u64::MAX);
+        if self.earliest != earliest {
+            return Err(format!(
+                "MSHR cached earliest fill {} != actual {}",
+                self.earliest, earliest
+            ));
+        }
+        let filter = self.lines.iter().fold(0, |f, &l| f | Self::filter_bit(l));
+        if self.filter != filter {
+            return Err(format!(
+                "MSHR presence filter {:#x} != rebuilt {:#x}",
+                self.filter, filter
+            ));
         }
         Ok(())
     }

@@ -335,10 +335,13 @@ impl<A: Persist, B: Persist> Persist for (A, B) {
 
 // Hash containers are written sorted by key so that identical logical
 // state always yields identical bytes (hasher seeds vary per process).
-impl<K, V> Persist for HashMap<K, V>
+// Generic over the hasher so containers using `crate::fxhash` encode the
+// same way as default-hashed ones.
+impl<K, V, S> Persist for HashMap<K, V, S>
 where
     K: Persist + Default + Ord + Clone + std::hash::Hash + Eq,
     V: Persist + Default,
+    S: std::hash::BuildHasher,
 {
     fn save(&self, e: &mut Enc) {
         let mut keys: Vec<&K> = self.keys().collect();
@@ -363,9 +366,10 @@ where
     }
 }
 
-impl<K> Persist for HashSet<K>
+impl<K, S> Persist for HashSet<K, S>
 where
     K: Persist + Default + Ord + Clone + std::hash::Hash + Eq,
+    S: std::hash::BuildHasher,
 {
     fn save(&self, e: &mut Enc) {
         let mut keys: Vec<&K> = self.iter().collect();

@@ -36,6 +36,7 @@
 
 pub mod addr;
 pub mod codec;
+pub mod fxhash;
 pub mod geometry;
 pub mod obs;
 pub mod rng;

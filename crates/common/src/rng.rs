@@ -91,8 +91,11 @@ impl DetRng {
             let m = (x as u128) * (bound as u128);
             let low = m as u64;
             // Rejection zone is < 2^64 mod bound; `wrapping_neg % bound`
-            // computes it without 128-bit division.
-            if low >= bound.wrapping_neg() % bound {
+            // computes it without 128-bit division. The zone is itself
+            // < bound, so `low >= bound` accepts without evaluating the
+            // modulo at all — the division only runs in the rare draws
+            // (probability < bound / 2^64) where `low` lands under bound.
+            if low >= bound || low >= bound.wrapping_neg() % bound {
                 return (m >> 64) as u64;
             }
         }
@@ -138,6 +141,20 @@ impl DetRng {
     /// Panics if `weights` is empty or sums to zero.
     pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
+        self.pick_weighted_total(weights, total)
+    }
+
+    /// [`pick_weighted`](Self::pick_weighted) with the sum precomputed by
+    /// the caller. Hot loops that draw from a fixed mix can sum the
+    /// weights once (in the same left-to-right order `iter().sum()`
+    /// uses, so the f64 result is bit-identical) and skip the per-draw
+    /// re-summation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or `total` is not positive.
+    #[inline]
+    pub fn pick_weighted_total(&mut self, weights: &[f64], total: f64) -> usize {
         assert!(total > 0.0, "weights must sum to a positive value");
         let mut target = self.unit() * total;
         for (i, &w) in weights.iter().enumerate() {

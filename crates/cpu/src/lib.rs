@@ -336,6 +336,31 @@ impl Core {
         Ok(())
     }
 
+    /// Feed `n` consecutive non-memory ops through fetch → execute → ROB,
+    /// exactly as `n` [`Core::execute`] calls with an `Op` instruction
+    /// would. Trace generators emit filler ops in runs; executing a run as
+    /// one tight loop skips the per-instruction dispatch above without
+    /// touching the cycle arithmetic, so simulated state is identical.
+    pub fn execute_ops(&mut self, n: u64) {
+        for _ in 0..n {
+            if self.rob.len() == self.config.rob_entries {
+                let freed_at = self.retire_one();
+                if freed_at > self.fetch_cycle {
+                    self.fetch_cycle = freed_at;
+                    self.fetched_this_cycle = 0;
+                }
+            }
+            self.rob
+                .push_back(self.fetch_cycle + self.config.alu_latency);
+            self.stats.instructions += 1;
+            self.fetched_this_cycle += 1;
+            if self.fetched_this_cycle == self.config.width {
+                self.fetch_cycle += 1;
+                self.fetched_this_cycle = 0;
+            }
+        }
+    }
+
     /// Retire everything in flight; returns the cycle the last instruction
     /// retired at (the program's finish time).
     pub fn drain(&mut self) -> u64 {

@@ -1,6 +1,6 @@
 //! One cache level and the per-core walk statistics.
 
-use psa_cache::{Cache, Mshr};
+use psa_cache::{Cache, Mshr, MshrEntry};
 use psa_common::{CodecError, Dec, Enc, PLine, PageSize, Persist, VAddr};
 use psa_core::PsaModule;
 
@@ -156,6 +156,10 @@ pub struct CacheLevel {
     pub module: Option<PsaModule>,
     /// How the level participates in tracking and accounting.
     pub policy: LevelPolicy,
+    /// Reusable scratch for the walk's MSHR drain (matured entries are
+    /// collected here before filling the array). Cleared before every use
+    /// and never persisted — it carries no state between drains.
+    pub drain_buf: Vec<MshrEntry>,
 }
 
 impl CacheLevel {
@@ -170,6 +174,7 @@ impl CacheLevel {
             latency,
             module: None,
             policy,
+            drain_buf: Vec::new(),
         }
     }
 

@@ -364,9 +364,21 @@ impl Walk<'_, '_> {
 
     /// Drain level `k`'s matured MSHR entries (fills ≤ `now`) into its
     /// array, crediting tracked prefetches and cascading dirty evictions.
+    ///
+    /// Called on every hop through a level, so the common case — nothing
+    /// in flight has matured yet — is a single compare against the MSHR's
+    /// cached earliest fill cycle. When entries have matured they are
+    /// collected into the level's reusable scratch buffer, never a fresh
+    /// allocation.
     pub fn drain(&mut self, k: usize, now: u64) {
-        for e in self.levels[k].mshr.drain_filled(now) {
-            let policy = self.levels[k].policy;
+        if !self.levels[k].mshr.has_matured(now) {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.levels[k].drain_buf);
+        buf.clear();
+        self.levels[k].mshr.drain_filled_into(now, &mut buf);
+        let policy = self.levels[k].policy;
+        for &e in &buf {
             if policy.ring_detail {
                 self.ring.record(
                     EventKind::MshrFree,
@@ -451,6 +463,7 @@ impl Walk<'_, '_> {
                 self.evicted(k, ev, now);
             }
         }
+        self.levels[k].drain_buf = buf;
     }
 
     /// Bookkeeping for a block evicted from level `k`: credit useless

@@ -101,14 +101,6 @@ psa_common::persist_struct!(StEntry {
     lru,
 });
 
-#[derive(Debug, Clone, Default)]
-struct PtEntry {
-    c_sig: SatCounter,
-    deltas: Vec<(i64, SatCounter)>,
-}
-
-psa_common::persist_struct!(PtEntry { c_sig, deltas });
-
 #[derive(Debug, Clone, Copy, Default)]
 struct GhrEntry {
     sig: u16,
@@ -135,7 +127,16 @@ pub struct Spp {
     config: SppConfig,
     grain: IndexGrain,
     st: Vec<StEntry>,
-    pt: Vec<PtEntry>,
+    /// Pattern table in structure-of-arrays form: entry `i`'s signature
+    /// counter is `pt_c_sig[i]` and its delta slots are the contiguous
+    /// window `pt_deltas[i*cap .. i*cap + pt_len[i]]` (`cap` =
+    /// `deltas_per_entry`). Every lookahead depth of every access reads
+    /// one entry, so the slots live inline in one flat allocation instead
+    /// of behind a per-entry heap vector. Serialized in the original
+    /// `Vec`-of-entries byte format — see `save_state`.
+    pt_c_sig: Vec<SatCounter>,
+    pt_len: Vec<u8>,
+    pt_deltas: Vec<(i64, SatCounter)>,
     ghr: Vec<GhrEntry>,
     ghr_next: usize,
     stamp: u64,
@@ -152,12 +153,15 @@ pub struct Spp {
 impl Spp {
     /// Build SPP with its page-indexed structures at `grain`.
     pub fn new(config: SppConfig, grain: IndexGrain) -> Self {
-        let pt = vec![
-            PtEntry {
-                c_sig: SatCounter::new(config.counter_bits),
-                deltas: Vec::with_capacity(config.deltas_per_entry),
-            };
-            config.pt_entries
+        assert!(
+            (1..=usize::from(u8::MAX)).contains(&config.deltas_per_entry),
+            "deltas_per_entry must fit the flat pattern table's u8 slot counts"
+        );
+        let pt_c_sig = vec![SatCounter::new(config.counter_bits); config.pt_entries];
+        let pt_len = vec![0u8; config.pt_entries];
+        let pt_deltas = vec![
+            (0i64, SatCounter::new(config.counter_bits));
+            config.pt_entries * config.deltas_per_entry
         ];
         Self {
             config,
@@ -172,7 +176,9 @@ impl Spp {
                 };
                 config.st_sets * config.st_ways
             ],
-            pt,
+            pt_c_sig,
+            pt_len,
+            pt_deltas,
             ghr: vec![
                 GhrEntry {
                     sig: 0,
@@ -216,12 +222,14 @@ impl Spp {
     }
 
     fn pt_index(&self, sig: u16) -> usize {
-        xor_fold(u64::from(sig), self.config.pt_entries.trailing_zeros()) as usize
-            % self.pt_entries_len()
-    }
-
-    fn pt_entries_len(&self) -> usize {
-        self.pt.len()
+        // The fold already confines the index to `trailing_zeros(len)`
+        // bits, and 2^trailing_zeros(len) divides (hence never exceeds)
+        // `len` — so no reduction step is needed. This runs once per
+        // lookahead depth on every access; a `% len` here is a hardware
+        // divide on the hot path.
+        let idx = xor_fold(u64::from(sig), self.config.pt_entries.trailing_zeros()) as usize;
+        debug_assert!(idx < self.pt_c_sig.len());
+        idx
     }
 
     /// Current global-accuracy scaling factor ∈ [0.1, 1.0]; inaccurate
@@ -240,26 +248,25 @@ impl Spp {
     fn train_pt(&mut self, sig: u16, delta: i64) {
         let idx = self.pt_index(sig);
         let cap = self.config.deltas_per_entry;
-        let entry = &mut self.pt[idx];
-        entry.c_sig.inc();
-        if let Some((_, c)) = entry.deltas.iter_mut().find(|(d, _)| *d == delta) {
+        self.pt_c_sig[idx].inc();
+        let len = usize::from(self.pt_len[idx]);
+        let slots = &mut self.pt_deltas[idx * cap..idx * cap + len];
+        if let Some((_, c)) = slots.iter_mut().find(|(d, _)| *d == delta) {
             c.inc();
             return;
         }
-        if entry.deltas.len() < cap {
-            let mut c = SatCounter::new(self.config.counter_bits);
-            c.inc();
-            entry.deltas.push((delta, c));
+        let mut c = SatCounter::new(self.config.counter_bits);
+        c.inc();
+        if len < cap {
+            self.pt_deltas[idx * cap + len] = (delta, c);
+            self.pt_len[idx] += 1;
             return;
         }
         // Replace the weakest delta slot.
-        let weakest = entry
-            .deltas
+        let weakest = slots
             .iter_mut()
             .min_by_key(|(_, c)| c.value())
             .expect("non-empty slots");
-        let mut c = SatCounter::new(self.config.counter_bits);
-        c.inc();
         *weakest = (delta, c);
     }
 
@@ -363,29 +370,31 @@ impl Spp {
         let mut confidence = if bootstrap { 0.5 } else { 1.0 };
         let alpha = self.alpha();
         let lines = self.grain.lines_per_page() as i64;
+        let cap = self.config.deltas_per_entry;
         for depth in 1..=self.config.max_depth {
             let idx = self.pt_index(sig);
-            let entry = &self.pt[idx];
+            let entry_c_sig = self.pt_c_sig[idx];
+            let slots = &self.pt_deltas[idx * cap..idx * cap + usize::from(self.pt_len[idx])];
             // A signature trained fewer than twice has no reliable ratio —
             // a single observation always looks 100% confident.
-            if entry.c_sig.value() < 2 || entry.deltas.is_empty() {
+            if entry_c_sig.value() < 2 || slots.is_empty() {
                 break;
             }
-            let c_sig = f64::from(entry.c_sig.value());
+            let c_sig = f64::from(entry_c_sig.value());
             // At the first step, emit every delta whose confidence clears
             // the floor (pattern-table entries can legitimately hold a
             // branchy pattern); deeper steps emit only along the strongest
             // path. Spraying every delta at every depth would leak one
             // stream's delta into another stream's path whenever two
             // signature paths alias in the pattern table.
-            let (best_delta, best_conf) = {
+            let (best_delta, best_conf) = if depth == 1 {
                 let mut best = (0i64, -1.0f64);
-                for &(delta, c) in &entry.deltas {
+                for &(delta, c) in slots {
                     let conf = confidence * alpha * (f64::from(c.value()) / c_sig).min(1.0);
                     if conf > best.1 {
                         best = (delta, conf);
                     }
-                    if depth == 1 && conf >= self.config.suggest_floor {
+                    if conf >= self.config.suggest_floor {
                         let cand_offset = path_offset + delta;
                         if let Some(line) = self.grain.line_at(page, cand_offset) {
                             self.suggestions.push(SppSuggestion {
@@ -400,6 +409,28 @@ impl Spp {
                     }
                 }
                 best
+            } else {
+                // Deeper steps only need the winning delta, and
+                // `confidence * alpha * min(c/c_sig, 1)` is monotone in the
+                // integer `min(c, c_sig)` (the multiplier is strictly
+                // positive and adjacent quotients differ by ≥ 1/c_sig, far
+                // above f64 rounding), so the argmax can run on raw counter
+                // values — one division per depth instead of one per delta.
+                // Strict `>` keeps the first maximal entry, exactly like the
+                // float comparison it replaces.
+                let c_sig_val = entry_c_sig.value();
+                let mut best_i = 0usize;
+                let mut best_key = -1i64;
+                for (i, &(_, c)) in slots.iter().enumerate() {
+                    let key = i64::from(c.value().min(c_sig_val));
+                    if key > best_key {
+                        best_key = key;
+                        best_i = i;
+                    }
+                }
+                let (delta, c) = slots[best_i];
+                let conf = confidence * alpha * (f64::from(c.value()) / c_sig).min(1.0);
+                (delta, conf)
             };
             if depth > 1 && best_conf >= self.config.suggest_floor {
                 let cand_offset = path_offset + best_delta;
@@ -481,14 +512,27 @@ impl Prefetcher for Spp {
     fn storage_bytes(&self) -> usize {
         // ST: tag(16b)+offset+sig ≈ 6B/entry; PT: 4 deltas × (7b+4b) + 4b
         // ≈ 6B/entry; GHR negligible.
-        self.st.len() * 6 + self.pt.len() * 6
+        self.st.len() * 6 + self.pt_c_sig.len() * 6
     }
 
     // `suggestions` is rebuilt from scratch on every access and never read
     // across accesses, so it stays out of the checkpoint.
     fn save_state(&self, e: &mut Enc) {
         self.st.save(e);
-        self.pt.save(e);
+        // The flat pattern table serializes exactly as the former
+        // `Vec`-of-entries layout (count, then per entry: c_sig followed
+        // by a length-prefixed delta list), so checkpoint bytes are
+        // unchanged across the structure-of-arrays refactor.
+        let cap = self.config.deltas_per_entry;
+        e.put_usize(self.pt_c_sig.len());
+        for i in 0..self.pt_c_sig.len() {
+            self.pt_c_sig[i].save(e);
+            let len = usize::from(self.pt_len[i]);
+            e.put_usize(len);
+            for slot in &self.pt_deltas[i * cap..i * cap + len] {
+                slot.save(e);
+            }
+        }
         self.ghr.save(e);
         self.ghr_next.save(e);
         self.stamp.save(e);
@@ -499,7 +543,32 @@ impl Prefetcher for Spp {
 
     fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
         self.st.load(d)?;
-        self.pt.load(d)?;
+        let cap = self.config.deltas_per_entry;
+        let n = d.get_len()?;
+        self.pt_c_sig.clear();
+        self.pt_len.clear();
+        self.pt_deltas.clear();
+        for _ in 0..n {
+            let mut c_sig = SatCounter::default();
+            c_sig.load(d)?;
+            let len = d.get_len()?;
+            if len > cap {
+                return Err(CodecError::Corrupt(
+                    "pattern-table entry overflows its slots",
+                ));
+            }
+            for _ in 0..len {
+                let mut slot = (0i64, SatCounter::default());
+                slot.load(d)?;
+                self.pt_deltas.push(slot);
+            }
+            // Pad the entry's window to the fixed stride; the tail past
+            // `len` is never read or saved.
+            self.pt_deltas
+                .resize(self.pt_deltas.len() + cap - len, (0, SatCounter::default()));
+            self.pt_c_sig.push(c_sig);
+            self.pt_len.push(len as u8);
+        }
         self.ghr.load(d)?;
         self.ghr_next.load(d)?;
         self.stamp.load(d)?;

@@ -137,6 +137,14 @@ pub struct System {
     /// ring, matching the warm-up boundary reset of a straight-through
     /// run).
     ring: EventRing,
+    /// THP-series sampling interval in core-0 instructions, derived from
+    /// the run budget (total / 24 samples).
+    thp_sample_every: u64,
+    /// The `executed[0]` count at which the next THP-usage sample is due
+    /// (always a multiple of `thp_sample_every`). Derived cursor —
+    /// recomputed on restore, never persisted — replacing a per-step
+    /// hardware divide with one compare.
+    next_thp_sample: u64,
 }
 
 impl System {
@@ -376,6 +384,7 @@ impl System {
             EventRing::disabled()
         };
         let state = RunState::new(&config, workloads.len());
+        let thp_sample_every = ((config.warmup + config.instructions) / 24).max(1);
         Ok(Self {
             config,
             cores,
@@ -385,6 +394,8 @@ impl System {
             names,
             state,
             ring,
+            thp_sample_every,
+            next_thp_sample: thp_sample_every,
         })
     }
 
@@ -570,80 +581,123 @@ impl System {
     /// simulated time. The choice is a pure function of the machine state,
     /// so any prefix of the step sequence is a valid pause point — runs
     /// resumed from a restored checkpoint replay the identical sequence.
-    fn step(&mut self, check: bool) -> Result<(), SimError> {
+    fn step(&mut self, check: bool, budget: u64) -> Result<(), SimError> {
         let total = self.config.warmup + self.config.instructions;
-        let sample_every = (total / 24).max(1);
         let watchdog = self.config.watchdog_cycles;
-        let (pos, &i) = self
-            .state
-            .active
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &i)| self.cores[i].now())
-            .expect("non-empty active set");
+        // Single-core machines (every fig08 system) skip the time-ordered
+        // scheduling scan — there is nothing to order.
+        let (pos, i) = if self.state.active.len() == 1 {
+            (0, self.state.active[0])
+        } else {
+            let (pos, &i) = self
+                .state
+                .active
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &i)| self.cores[i].now())
+                .expect("non-empty active set");
+            (pos, i)
+        };
         if watchdog > 0 {
             // The stepped core's fetch cycle is the global low
-            // watermark of simulated time.
+            // watermark of simulated time. Summing every component's
+            // progress counters each step is measurable overhead, so the
+            // sweep only runs once the window has lapsed since the last
+            // recorded progress: a healthy run re-stamps the counters and
+            // moves on, while a true stall is still detected within two
+            // watchdog windows (the first lapsed sweep records the final
+            // progress, the second confirms nothing moved). Simulated
+            // state is untouched either way.
             let now = self.cores[i].now();
-            let progress = self.progress_events();
-            if progress != self.state.last_progress {
-                self.state.last_progress = progress;
-                self.state.last_progress_cycle = now;
-            } else if now.saturating_sub(self.state.last_progress_cycle) > watchdog {
-                self.ring.record_rare(
-                    EventKind::Watchdog,
-                    now,
-                    i as u32,
-                    now.saturating_sub(self.state.last_progress_cycle),
-                );
-                return Err(SimError::WatchdogStall(Box::new(
-                    self.stall_snapshot(now, self.state.last_progress_cycle),
-                )));
+            if now.saturating_sub(self.state.last_progress_cycle) > watchdog {
+                let progress = self.progress_events();
+                if progress != self.state.last_progress {
+                    self.state.last_progress = progress;
+                    self.state.last_progress_cycle = now;
+                } else {
+                    self.ring.record_rare(
+                        EventKind::Watchdog,
+                        now,
+                        i as u32,
+                        now.saturating_sub(self.state.last_progress_cycle),
+                    );
+                    return Err(SimError::WatchdogStall(Box::new(
+                        self.stall_snapshot(now, self.state.last_progress_cycle),
+                    )));
+                }
             }
         }
-        let instr: Instr = self.gens[i].next().expect("generator is infinite");
-        {
-            let mut port = CorePort {
-                ctx: &mut self.ctxs[i],
-                shared: &mut self.shared,
-                ring: &mut self.ring,
-            };
-            self.cores[i].execute(&instr, &mut port)?;
+        // A pending run of filler (non-memory) instructions executes as
+        // one batch: fillers touch no shared state and consume no
+        // randomness, and `execute_ops` replays the exact per-instruction
+        // fetch/retire arithmetic, so batching is invisible to simulated
+        // state. The batch is capped so it ends at (never crosses) every
+        // boundary this function tests per instruction — the THP sample
+        // point, the warm-up snapshot, the core's total budget and the
+        // caller's step budget — and it degenerates to the single-step
+        // path while the event ring is recording, so per-retire event
+        // streams stay identical under observability.
+        let mut batch = 0;
+        if !self.ring.enabled() {
+            let exec = self.state.executed[i];
+            let mut cap = (total - exec).min(budget);
+            if !self.state.warm[i] {
+                cap = cap.min(self.config.warmup - exec);
+            }
+            if i == 0 {
+                cap = cap.min(self.next_thp_sample - exec);
+            }
+            batch = self.gens[i].take_filler(cap);
         }
-        // Dispatch LLC-level prefetch feedback to the owning modules.
-        if !self.shared.feedback.is_empty() {
-            for fb in std::mem::take(&mut self.shared.feedback) {
-                let (source, line, kind) = match fb {
-                    Feedback::Useful { source, line } => (source, line, 0u8),
-                    Feedback::UsefulLate { source, line } => (source, line, 1),
-                    Feedback::Useless { source, line } => (source, line, 2),
-                    Feedback::Fill { source, line } => (source, line, 3),
+        if batch > 0 {
+            self.cores[i].execute_ops(batch);
+        } else {
+            batch = 1;
+            let instr: Instr = self.gens[i].next().expect("generator is infinite");
+            {
+                let mut port = CorePort {
+                    ctx: &mut self.ctxs[i],
+                    shared: &mut self.shared,
+                    ring: &mut self.ring,
                 };
-                let core = usize::from((source & !PASS) >> 1);
-                let competitor = source & 1;
-                if let Some(m) = self
-                    .ctxs
-                    .get_mut(core)
-                    .and_then(|c| c.levels[1].module.as_mut())
-                {
-                    match kind {
-                        0 => m.on_useful(line, VAddr::new(0), competitor, true),
-                        1 => m.on_useful(line, VAddr::new(0), competitor, false),
-                        2 => m.on_useless(line, competitor),
-                        _ => m.on_prefetch_fill(line, competitor),
+                self.cores[i].execute(&instr, &mut port)?;
+            }
+            // Dispatch LLC-level prefetch feedback to the owning modules.
+            if !self.shared.feedback.is_empty() {
+                for fb in std::mem::take(&mut self.shared.feedback) {
+                    let (source, line, kind) = match fb {
+                        Feedback::Useful { source, line } => (source, line, 0u8),
+                        Feedback::UsefulLate { source, line } => (source, line, 1),
+                        Feedback::Useless { source, line } => (source, line, 2),
+                        Feedback::Fill { source, line } => (source, line, 3),
+                    };
+                    let core = usize::from((source & !PASS) >> 1);
+                    let competitor = source & 1;
+                    if let Some(m) = self
+                        .ctxs
+                        .get_mut(core)
+                        .and_then(|c| c.levels[1].module.as_mut())
+                    {
+                        match kind {
+                            0 => m.on_useful(line, VAddr::new(0), competitor, true),
+                            1 => m.on_useful(line, VAddr::new(0), competitor, false),
+                            2 => m.on_useless(line, competitor),
+                            _ => m.on_prefetch_fill(line, competitor),
+                        }
                     }
                 }
             }
         }
-        self.state.executed[i] += 1;
-        self.state.steps += 1;
+        self.state.executed[i] += batch;
+        self.state.steps += batch;
         self.ring.record(
             EventKind::Retire,
             self.cores[i].now(),
             i as u32,
             self.state.executed[i],
         );
-        if i == 0 && self.state.executed[0].is_multiple_of(sample_every) {
+        if i == 0 && self.state.executed[0] == self.next_thp_sample {
+            self.next_thp_sample += self.thp_sample_every;
             self.state.thp_series.push((
                 self.state.executed[0],
                 self.ctxs[0].aspace.huge_usage_fraction(),
@@ -698,7 +752,7 @@ impl System {
     pub fn run_to(&mut self, steps: u64) -> Result<bool, SimError> {
         let check = self.check_enabled();
         while !self.state.active.is_empty() && self.state.steps < steps {
-            self.step(check)?;
+            self.step(check, steps - self.state.steps)?;
         }
         Ok(self.finished())
     }
@@ -714,7 +768,7 @@ impl System {
     pub fn run_to_warm(&mut self) -> Result<(), SimError> {
         let check = self.check_enabled();
         while !self.state.active.is_empty() && !self.warmed_up() {
-            self.step(check)?;
+            self.step(check, u64::MAX)?;
         }
         Ok(())
     }
@@ -722,7 +776,7 @@ impl System {
     fn run_all(&mut self) -> Result<RunAllOut, SimError> {
         let check = self.check_enabled();
         while !self.state.active.is_empty() {
-            self.step(check)?;
+            self.step(check, u64::MAX)?;
         }
         if check {
             self.audit()?;
@@ -776,6 +830,11 @@ impl System {
         if d.remaining() != 0 {
             return Err(CodecError::Corrupt("trailing bytes after state"));
         }
+        // A multiple-of-interval count has already been sampled (the
+        // sample fires in the same step that reaches the count), so the
+        // cursor always points at the *next* multiple.
+        self.next_thp_sample =
+            (self.state.executed[0] / self.thp_sample_every + 1) * self.thp_sample_every;
         Ok(())
     }
 

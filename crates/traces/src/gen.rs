@@ -54,6 +54,9 @@ pub struct TraceGenerator {
     spec: WorkloadSpec,
     rng: DetRng,
     weights: [f64; NUM_COMPONENTS],
+    /// `weights.iter().sum()`, cached at construction (same summation
+    /// order, so weighted draws stay bit-identical).
+    weight_total: f64,
     comps: [Component; NUM_COMPONENTS],
     /// Non-memory instructions still owed before the next access.
     filler_left: u64,
@@ -70,8 +73,9 @@ psa_common::persist_struct!(Component {
     window,
 });
 
-// `spec` and `weights` are configuration; the RNG stream position, all
-// component cursors and the filler debt are the generator's state.
+// `spec`, `weights` and `weight_total` are configuration; the RNG stream
+// position, all component cursors and the filler debt are the generator's
+// state.
 psa_common::persist_struct!(TraceGenerator {
     rng,
     comps,
@@ -126,6 +130,7 @@ impl TraceGenerator {
             spec: *spec,
             rng,
             weights,
+            weight_total: weights.iter().sum(),
             comps,
             filler_left: 0,
             count: 0,
@@ -137,8 +142,24 @@ impl TraceGenerator {
         &self.spec
     }
 
+    /// `x % d` with the division skipped when `x` is already in range or
+    /// one subtraction away — which is every call on the generator's hot
+    /// paths, where cursors are reduced before storing or drawn below the
+    /// bound. The fallback is the literal `%`, so the result is identical
+    /// for any input (old checkpoints may restore unreduced cursors).
+    #[inline]
+    fn fast_rem(x: u64, d: u64) -> u64 {
+        if x < d {
+            x
+        } else if x - d < d {
+            x - d
+        } else {
+            x % d
+        }
+    }
+
     fn addr(comp: &Component, line_idx: u64) -> VAddr {
-        VAddr::new(comp.base + (line_idx % comp.lines) * LINE_BYTES)
+        VAddr::new(comp.base + Self::fast_rem(line_idx, comp.lines) * LINE_BYTES)
     }
 
     /// Per-sub-page stride for the subpage-grain component: neighbouring
@@ -149,7 +170,9 @@ impl TraceGenerator {
     }
 
     fn next_access(&mut self) -> (VAddr, VAddr, bool) {
-        let comp_idx = self.rng.pick_weighted(&self.weights);
+        let comp_idx = self
+            .rng
+            .pick_weighted_total(&self.weights, self.weight_total);
         let pc_base = 0x40_0000 + (comp_idx as u64) * 0x1000;
         let comp = &mut self.comps[comp_idx];
         let (vaddr, pc_slot, dependent) = match comp_idx {
@@ -159,19 +182,24 @@ impl TraceGenerator {
                 // accesses hit the L1D and the *miss* stream is one miss
                 // per line — the realistic MPKI regime.
                 let slot = comp.next_cursor;
-                comp.next_cursor = (comp.next_cursor + 1) % comp.cursors.len();
+                comp.next_cursor = if slot + 1 == comp.cursors.len() {
+                    0
+                } else {
+                    slot + 1
+                };
                 let elem = comp.cursors[slot];
-                comp.cursors[slot] = elem + 1;
+                comp.cursors[slot] = Self::fast_rem(elem + 1, comp.lines * 8);
                 // Occasionally restart the stream elsewhere (line-aligned).
                 if self.rng.chance(1.0 / 16384.0) {
                     comp.cursors[slot] = self.rng.below(comp.lines) * 8;
                 }
-                let addr = VAddr::new(comp.base + (elem % (comp.lines * 8)) * (LINE_BYTES / 8));
+                let addr =
+                    VAddr::new(comp.base + Self::fast_rem(elem, comp.lines * 8) * (LINE_BYTES / 8));
                 (addr, slot as u64, false)
             }
             STRIDE_SMALL | STRIDE_LARGE => {
                 let pos = comp.cursors[0];
-                comp.cursors[0] = pos + comp.stride;
+                comp.cursors[0] = Self::fast_rem(pos + comp.stride, comp.lines);
                 if self.rng.chance(1.0 / 2048.0) {
                     comp.cursors[0] = self.rng.below(comp.lines);
                 }
@@ -187,7 +215,11 @@ impl TraceGenerator {
                 // over-generalisation that makes Pref-PSA-2MB lose on
                 // 4KB-grain workloads (soplex, tc.road; §VI-B1).
                 let slot = comp.next_cursor;
-                comp.next_cursor = (comp.next_cursor + 1) % comp.cursors.len();
+                comp.next_cursor = if slot + 1 == comp.cursors.len() {
+                    0
+                } else {
+                    slot + 1
+                };
                 let pos = comp.cursors[slot];
                 let page4k = (comp.base / 4096) + pos / 64;
                 let stride = Self::subpage_stride(page4k.wrapping_add(slot as u64));
@@ -238,6 +270,20 @@ impl TraceGenerator {
             _ => unreachable!("component index bounded by weights array"),
         };
         (vaddr, VAddr::new(pc_base + pc_slot * 8), dependent)
+    }
+}
+
+impl TraceGenerator {
+    /// Hand over up to `max` of the owed filler instructions as one batch,
+    /// advancing the generator exactly as that many [`Iterator::next`]
+    /// calls returning ops would: fillers consume no randomness, so only
+    /// the owed count and the instruction counter move. Returns the number
+    /// taken; `0` means the next instruction is a memory access.
+    pub fn take_filler(&mut self, max: u64) -> u64 {
+        let n = self.filler_left.min(max);
+        self.filler_left -= n;
+        self.count += n;
+        n
     }
 }
 

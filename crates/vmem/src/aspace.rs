@@ -7,9 +7,9 @@
 //! `huge_fraction` directly controls the fraction of its memory in 2MB
 //! pages (what Figure 3 of the paper measures on real hardware).
 
+use psa_common::fxhash::{FxHashMap, FxHashSet};
 use psa_common::rng::fnv1a;
-use psa_common::{PageSize, VAddr};
-use std::collections::HashMap;
+use psa_common::{PageSize, Persist, VAddr};
 
 use crate::frames::PhysMem;
 use crate::page_table::{MapError, PageTable, Translation, Walk};
@@ -72,26 +72,49 @@ impl psa_common::Persist for RegionBacking {
 pub struct AddressSpace {
     config: AspaceConfig,
     page_table: Option<PageTable>,
-    regions: HashMap<u64, RegionBacking>,
+    regions: FxHashMap<u64, RegionBacking>,
     /// Fast-path mapping cache for 4KB pages (region → vpage → translation).
-    small_pages: HashMap<u64, Translation>,
+    small_pages: FxHashMap<u64, Translation>,
     /// Distinct 4KB-page-sized chunks touched inside huge-backed regions —
     /// the touch-weighted usage metric (see [`Self::huge_usage_fraction`]).
-    touched_in_huge: std::collections::HashSet<u64>,
+    touched_in_huge: FxHashSet<u64>,
     bytes_4k: u64,
     bytes_2m: u64,
+    /// One-entry MRU cache: the last translated 4KB virtual page number
+    /// and its translation. Mappings are never removed or changed once
+    /// established, so a hit can return without touching the hash maps —
+    /// and bursty access streams hit almost every time. Derived state:
+    /// invalidated on restore, never persisted.
+    last_vpage: u64,
+    last_trans: Option<Translation>,
 }
 
 // The THP policy knobs (`config`) are rebuilt from the simulation
-// configuration; everything the demand pager has learned is state.
-psa_common::persist_struct!(AddressSpace {
-    page_table,
-    regions,
-    small_pages,
-    touched_in_huge,
-    bytes_4k,
-    bytes_2m,
-});
+// configuration; everything the demand pager has learned is state. The
+// MRU fields are a derived accelerator: excluded from the byte stream
+// (which matches the historical layout exactly) and invalidated on load.
+impl Persist for AddressSpace {
+    fn save(&self, e: &mut psa_common::Enc) {
+        self.page_table.save(e);
+        self.regions.save(e);
+        self.small_pages.save(e);
+        self.touched_in_huge.save(e);
+        self.bytes_4k.save(e);
+        self.bytes_2m.save(e);
+    }
+
+    fn load(&mut self, d: &mut psa_common::Dec) -> Result<(), psa_common::CodecError> {
+        self.page_table.load(d)?;
+        self.regions.load(d)?;
+        self.small_pages.load(d)?;
+        self.touched_in_huge.load(d)?;
+        self.bytes_4k.load(d)?;
+        self.bytes_2m.load(d)?;
+        self.last_vpage = u64::MAX;
+        self.last_trans = None;
+        Ok(())
+    }
+}
 
 impl AddressSpace {
     /// Create an empty address space.
@@ -99,11 +122,13 @@ impl AddressSpace {
         Self {
             config,
             page_table: None,
-            regions: HashMap::new(),
-            small_pages: HashMap::new(),
-            touched_in_huge: std::collections::HashSet::new(),
+            regions: FxHashMap::default(),
+            small_pages: FxHashMap::default(),
+            touched_in_huge: FxHashSet::default(),
             bytes_4k: 0,
             bytes_2m: 0,
+            last_vpage: u64::MAX,
+            last_trans: None,
         }
     }
 
@@ -129,41 +154,50 @@ impl AddressSpace {
         phys: &mut PhysMem,
         vaddr: VAddr,
     ) -> Result<Translation, MapError> {
+        // MRU fast path: same 4KB page as the previous translation. A huge
+        // page's touched-chunk set already holds this chunk (it was
+        // inserted when the cache entry was established), so the repeat
+        // touch is a pure no-op on every structure.
+        let vpage = vaddr.page_number(PageSize::Size4K);
+        if self.last_vpage == vpage {
+            if let Some(t) = self.last_trans {
+                return Ok(t);
+            }
+        }
         let region = vaddr.page_number(PageSize::Size2M);
-        match self.regions.get(&region) {
+        let t = match self.regions.get(&region) {
             Some(RegionBacking::Huge(t)) => {
-                self.touched_in_huge
-                    .insert(vaddr.page_number(PageSize::Size4K));
-                return Ok(*t);
+                self.touched_in_huge.insert(vpage);
+                *t
             }
-            Some(RegionBacking::Small) => {
-                let vpage = vaddr.page_number(PageSize::Size4K);
-                if let Some(t) = self.small_pages.get(&vpage) {
-                    return Ok(*t);
+            Some(RegionBacking::Small) => match self.small_pages.get(&vpage) {
+                Some(t) => *t,
+                None => self.map_small(phys, vaddr)?,
+            },
+            None => {
+                if self.decide_huge(region) {
+                    let pbase = phys.alloc(PageSize::Size2M)?;
+                    let vbase = vaddr.page_base(PageSize::Size2M);
+                    let t = Translation {
+                        vbase,
+                        pbase,
+                        size: PageSize::Size2M,
+                    };
+                    self.table(phys)?
+                        .map(phys, vbase, pbase, PageSize::Size2M)?;
+                    self.regions.insert(region, RegionBacking::Huge(t));
+                    self.bytes_2m += PageSize::Size2M.bytes();
+                    self.touched_in_huge.insert(vpage);
+                    t
+                } else {
+                    self.regions.insert(region, RegionBacking::Small);
+                    self.map_small(phys, vaddr)?
                 }
-                return self.map_small(phys, vaddr);
             }
-            None => {}
-        }
-        if self.decide_huge(region) {
-            let pbase = phys.alloc(PageSize::Size2M)?;
-            let vbase = vaddr.page_base(PageSize::Size2M);
-            let t = Translation {
-                vbase,
-                pbase,
-                size: PageSize::Size2M,
-            };
-            self.table(phys)?
-                .map(phys, vbase, pbase, PageSize::Size2M)?;
-            self.regions.insert(region, RegionBacking::Huge(t));
-            self.bytes_2m += PageSize::Size2M.bytes();
-            self.touched_in_huge
-                .insert(vaddr.page_number(PageSize::Size4K));
-            Ok(t)
-        } else {
-            self.regions.insert(region, RegionBacking::Small);
-            self.map_small(phys, vaddr)
-        }
+        };
+        self.last_vpage = vpage;
+        self.last_trans = Some(t);
+        Ok(t)
     }
 
     fn map_small(&mut self, phys: &mut PhysMem, vaddr: VAddr) -> Result<Translation, MapError> {

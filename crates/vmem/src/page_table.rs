@@ -133,7 +133,7 @@ impl psa_common::Persist for Entry {
 struct Node {
     /// Physical frame holding this 512-entry table node.
     frame: PAddr,
-    entries: std::collections::HashMap<u16, Entry>,
+    entries: psa_common::fxhash::FxHashMap<u16, Entry>,
 }
 
 psa_common::persist_struct!(Node { frame, entries });
@@ -183,7 +183,7 @@ impl PageTable {
         Ok(Self {
             nodes: vec![Node {
                 frame,
-                entries: std::collections::HashMap::new(),
+                entries: psa_common::fxhash::FxHashMap::default(),
             }],
             mapped_pages: 0,
         })
@@ -229,7 +229,7 @@ impl PageTable {
                     let next = self.nodes.len() as u32;
                     self.nodes.push(Node {
                         frame,
-                        entries: std::collections::HashMap::new(),
+                        entries: psa_common::fxhash::FxHashMap::default(),
                     });
                     self.nodes[node as usize]
                         .entries
