@@ -138,4 +138,40 @@ else
   echo "stable sections bit-identical to $GOLDEN (bench + release profiles)"
 fi
 
+# IO fault-injection gate (see docs/ROBUSTNESS.md): the same fixed-budget
+# fig08 sweep, but with the checkpoint store running over a seeded
+# FaultPlan that mixes all four fault kinds (torn writes, bit flips,
+# ENOSPC, transient EIO). Cold pass seeds the faulted store, warm pass
+# reads back through it. Both documents must schema-validate with an
+# empty failures array, both stable sections must match the golden bytes
+# (graceful degradation: faults cost re-work, never wrong bits), and the
+# store counters must prove faults actually fired.
+echo "== IO fault-injection gate (fig08 under PSA_FAULT_PLAN) =="
+FAULT_TMP="$(mktemp -d)"
+trap 'rm -rf "$CKPT_TMP" "$COLD_TMP" "$WARM_TMP" "$OBS_TMP" "$GOLD_TMP" \
+  "$FAULT_TMP"' EXIT
+mkdir -p "$FAULT_TMP/store" "$FAULT_TMP/cold" "$FAULT_TMP/warm"
+FAULT_ENV=(PSA_WARMUP=2000 PSA_INSTRUCTIONS=8000 PSA_WORKLOAD_LIMIT=2
+           PSA_THREADS=1 PSA_CKPT_DIR="$FAULT_TMP/store"
+           PSA_FAULT_PLAN="seed=7,torn=0.05,flip=0.05,enospc=0.02,eio=0.10")
+for pass in cold warm; do
+  env "${FAULT_ENV[@]}" PSA_BENCH_JSON_DIR="$FAULT_TMP/$pass" \
+    cargo bench -q -p psa-bench --bench fig08_spp_variants > /dev/null
+  cargo run --release --quiet --bin validate_bench -- \
+    "$FAULT_TMP/$pass/BENCH_fig08.json"
+  sed -n '1,/"executor"/p' "$FAULT_TMP/$pass/BENCH_fig08.json" \
+    > "$FAULT_TMP/$pass/stable.json"
+  if ! cmp -s "$FAULT_TMP/$pass/stable.json" "$GOLDEN"; then
+    echo "faulted $pass fig08 run drifted from $GOLDEN:"
+    diff "$GOLDEN" "$FAULT_TMP/$pass/stable.json" | head -20
+    exit 1
+  fi
+done
+if grep -q '"injected_faults": 0' "$FAULT_TMP/cold/BENCH_fig08.json" \
+   && grep -q '"injected_faults": 0' "$FAULT_TMP/warm/BENCH_fig08.json"; then
+  echo "fault plan injected nothing across cold+warm passes"
+  exit 1
+fi
+echo "rows identical under injected faults, plan verifiably active"
+
 echo "ci.sh: all green"

@@ -623,6 +623,93 @@ impl ObsReport {
     }
 }
 
+/// Process-wide counters of the checkpoint/result storage tier
+/// (`psa-store` and the legacy flat-file path). Unlike the per-component
+/// primitives above, these are always-on atomics: storage-tier health
+/// must be observable even in runs where the simulation-level obs layer
+/// is disabled, and the store is shared across worker threads. They are
+/// surfaced through the experiment executor's `ExecStats` and the
+/// `executor.store` section of every `BENCH_*.json` (schema v4).
+pub mod store {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// One storage-tier counter set. The canonical instance is
+    /// [`global`]; a separate instance exists only in tests.
+    #[derive(Debug, Default)]
+    pub struct StoreObs {
+        /// Disk-tier entries served and verified (checksum passed).
+        pub hits: AtomicU64,
+        /// Disk-tier lookups that found no usable entry.
+        pub misses: AtomicU64,
+        /// Transient-IO retries performed by the bounded retry layer.
+        pub retries: AtomicU64,
+        /// Entries dropped because their bytes failed validation —
+        /// at read time or during recovery-on-open.
+        pub quarantined: AtomicU64,
+        /// Live payload bytes salvaged by recovery-on-open.
+        pub recovered_bytes: AtomicU64,
+        /// Store writes that failed after retries (degraded to
+        /// memory-only / cold-warm-up operation, never to wrong bits).
+        pub write_failures: AtomicU64,
+        /// Faults actually injected by a configured `FaultPlan`.
+        pub injected_faults: AtomicU64,
+    }
+
+    /// A point-in-time copy of the counters, for deltas and JSON export.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct StoreSnapshot {
+        /// See [`StoreObs::hits`].
+        pub hits: u64,
+        /// See [`StoreObs::misses`].
+        pub misses: u64,
+        /// See [`StoreObs::retries`].
+        pub retries: u64,
+        /// See [`StoreObs::quarantined`].
+        pub quarantined: u64,
+        /// See [`StoreObs::recovered_bytes`].
+        pub recovered_bytes: u64,
+        /// See [`StoreObs::write_failures`].
+        pub write_failures: u64,
+        /// See [`StoreObs::injected_faults`].
+        pub injected_faults: u64,
+    }
+
+    impl StoreObs {
+        /// A fresh zeroed counter set.
+        pub const fn new() -> Self {
+            Self {
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
+                quarantined: AtomicU64::new(0),
+                recovered_bytes: AtomicU64::new(0),
+                write_failures: AtomicU64::new(0),
+                injected_faults: AtomicU64::new(0),
+            }
+        }
+
+        /// Capture the current counter values.
+        pub fn snapshot(&self) -> StoreSnapshot {
+            StoreSnapshot {
+                hits: self.hits.load(Ordering::Relaxed),
+                misses: self.misses.load(Ordering::Relaxed),
+                retries: self.retries.load(Ordering::Relaxed),
+                quarantined: self.quarantined.load(Ordering::Relaxed),
+                recovered_bytes: self.recovered_bytes.load(Ordering::Relaxed),
+                write_failures: self.write_failures.load(Ordering::Relaxed),
+                injected_faults: self.injected_faults.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    static GLOBAL: StoreObs = StoreObs::new();
+
+    /// The process-wide storage-tier counters.
+    pub fn global() -> &'static StoreObs {
+        &GLOBAL
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

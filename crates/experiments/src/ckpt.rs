@@ -1,5 +1,6 @@
-//! Warm-up checkpoint store: share the warm-up phase of identical
-//! machines instead of re-simulating it.
+//! Checkpoint/result sharing through the crash-safe tiered store
+//! (`psa-store`): share the warm-up phase of identical machines — and
+//! memoise whole finished reports — instead of re-simulating them.
 //!
 //! # Sharing model
 //!
@@ -11,25 +12,43 @@
 //!
 //! * the same `(workload, variant)` warms once per **process** even when
 //!   several figures build their own [`crate::runner::RunCache`]
-//!   (in-memory store; counted as `warmups_shared`);
+//!   (memory tier; counted as `warmups_shared`);
 //! * with `PSA_CKPT_DIR` set, warm states persist **across processes**
-//!   (disk store; counted as `ckpt_hits`), so a repeated bench run skips
-//!   every warm-up it has seen before.
+//!   (disk tier; counted as `ckpt_hits`), so a repeated bench run skips
+//!   every warm-up it has seen before;
+//! * with the disk tier available (and observability off), finished
+//!   [`RunReport`]s are memoised too — a repeated bench run at the same
+//!   budget skips the *measured* phase as well, serving bit-identical
+//!   report bytes (also counted as `ckpt_hits`).
+//!
+//! # Storage
+//!
+//! The backing store is [`psa_store::Store`]: a byte-budgeted true-LRU
+//! memory tier over append-only checksummed disk segments under an
+//! atomically-swapped manifest. `PSA_CKPT_LAYOUT=flat` falls back to
+//! the legacy flat `psa-<key>.ckpt` file-per-snapshot layout; in the
+//! default tiered layout, legacy flat files left by older runs are
+//! still honoured as a read-only fallback and imported into the store
+//! on first use. `PSA_FAULT_PLAN` threads a deterministic IO fault
+//! plan into the store (CI and tests; see `docs/ROBUSTNESS.md`).
 //!
 //! # Robustness
 //!
 //! A checkpoint is advisory. Every rejection — truncated file, flipped
 //! bit, foreign format version, key collision — surfaces as a typed
-//! [`psa_sim::CheckpointError`] inside the store, which responds by
-//! rebuilding the machine and warming up cold. A damaged store can cost
-//! time, never correctness, and never a panic.
-//!
-//! The in-memory store is bounded (`PSA_CKPT_MEM_MB`, default 256) with
-//! oldest-first eviction; eviction affects only hit rates, never results.
+//! error inside the store, which responds by quarantining the entry and
+//! rebuilding the machine for a cold warm-up. Store write failures are
+//! counted (`psa_common::obs::store`), never fatal. A damaged store can
+//! cost time, never correctness, and never a panic.
 
+use crate::runner::CkptLayout;
 use psa_common::rng::fnv1a;
-use psa_sim::{SimConfig, SimError, Snapshot, System, SNAPSHOT_VERSION};
-use std::collections::HashMap;
+use psa_sim::{
+    RunReport, SimConfig, SimError, Snapshot, System, REPORT_CODEC_VERSION, SNAPSHOT_VERSION,
+};
+use psa_store::fault::FaultPlan;
+use psa_store::lru::Lru;
+use psa_store::{EntryKind, Store, StoreConfig, Tier};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -39,55 +58,70 @@ use std::time::Instant;
 pub(crate) static G_WARMUPS_SHARED: AtomicU64 = AtomicU64::new(0);
 pub(crate) static G_CKPT_HITS: AtomicU64 = AtomicU64::new(0);
 
-struct MemStore {
-    snaps: HashMap<u64, Arc<Snapshot>>,
-    /// Insertion order for oldest-first eviction.
-    order: Vec<u64>,
-    bytes: usize,
+/// The environment-derived identity of the active backend. The global
+/// backend is rebuilt whenever this changes (tests flip `PSA_CKPT_DIR`
+/// and friends mid-process; experiments set them once).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct StoreIdent {
+    dir: Option<PathBuf>,
+    layout: CkptLayout,
+    mem_cap: usize,
+    disk_cap: u64,
+    plan: Option<String>,
 }
 
-static MEM: Mutex<Option<MemStore>> = Mutex::new(None);
-
-// `PSA_CKPT_MEM_MB`, parsed in the runner module (the single place the
-// environment is read).
-fn mem_cap_bytes() -> usize {
-    crate::runner::ckpt_mem_cap_bytes()
-}
-
-fn mem_get(key: u64) -> Option<Arc<Snapshot>> {
-    let guard = MEM.lock().expect("unpoisoned checkpoint store");
-    guard.as_ref().and_then(|s| s.snaps.get(&key).cloned())
-}
-
-fn mem_put(key: u64, snap: Arc<Snapshot>) {
-    let cap = mem_cap_bytes();
-    if snap.byte_len() > cap {
-        return;
-    }
-    let mut guard = MEM.lock().expect("unpoisoned checkpoint store");
-    let store = guard.get_or_insert_with(|| MemStore {
-        snaps: HashMap::new(),
-        order: Vec::new(),
-        bytes: 0,
-    });
-    if store.snaps.contains_key(&key) {
-        return;
-    }
-    store.bytes += snap.byte_len();
-    store.snaps.insert(key, snap);
-    store.order.push(key);
-    while store.bytes > cap && !store.order.is_empty() {
-        let oldest = store.order.remove(0);
-        if let Some(evicted) = store.snaps.remove(&oldest) {
-            store.bytes -= evicted.byte_len();
-        }
+fn current_ident() -> StoreIdent {
+    StoreIdent {
+        dir: disk_dir(),
+        layout: crate::runner::ckpt_layout(),
+        mem_cap: crate::runner::ckpt_mem_cap_bytes(),
+        disk_cap: crate::runner::ckpt_disk_cap_bytes(),
+        plan: crate::runner::fault_plan_spec(),
     }
 }
 
-/// Drop every in-memory checkpoint (the disk store is untouched). Tests
-/// use this to force the disk or cold paths; experiments never need it.
+/// The active storage backend.
+enum Backend {
+    /// Memory only: no `PSA_CKPT_DIR`, or the legacy flat layout (whose
+    /// disk traffic goes through [`Snapshot`] file IO directly).
+    Memory(Lru),
+    /// The tiered crash-safe store rooted at `PSA_CKPT_DIR`.
+    Tiered(Box<Store>),
+}
+
+static STATE: Mutex<Option<(StoreIdent, Backend)>> = Mutex::new(None);
+
+/// Run `f` on the current backend, (re)opening it if the environment
+/// changed since the last call. Opening the tiered store runs its
+/// recovery-on-open scan; see [`psa_store::Store::open`].
+fn with_backend<R>(f: impl FnOnce(&mut Backend) -> R) -> R {
+    let ident = current_ident();
+    let mut guard = STATE.lock().expect("unpoisoned checkpoint store");
+    if guard.as_ref().is_none_or(|(i, _)| *i != ident) {
+        let backend = match (&ident.dir, ident.layout) {
+            (Some(dir), CkptLayout::Tiered) => {
+                let mut cfg = StoreConfig::new(dir.clone());
+                cfg.mem_cap_bytes = ident.mem_cap;
+                cfg.disk_cap_bytes = ident.disk_cap;
+                // Lenient parse by design: `RunnerOptions::from_env` is
+                // the strict reading of PSA_FAULT_PLAN; a malformed
+                // value here must not fail runs mid-batch.
+                cfg.fault_plan = ident.plan.as_deref().and_then(|s| FaultPlan::parse(s).ok());
+                Backend::Tiered(Box::new(Store::open(cfg)))
+            }
+            _ => Backend::Memory(Lru::new(ident.mem_cap)),
+        };
+        *guard = Some((ident, backend));
+    }
+    f(&mut guard.as_mut().expect("just ensured").1)
+}
+
+/// Drop the in-process store state: the memory tier is gone, and the
+/// next access reopens the disk tier from scratch (running its
+/// recovery-on-open scan). On-disk data is untouched. Tests use this to
+/// force the disk, recovery and cold paths; experiments never need it.
 pub fn clear_memory() {
-    *MEM.lock().expect("unpoisoned checkpoint store") = None;
+    *STATE.lock().expect("unpoisoned checkpoint store") = None;
 }
 
 /// The disk store directory, when `PSA_CKPT_DIR` is set and non-empty
@@ -97,7 +131,9 @@ fn disk_dir() -> Option<PathBuf> {
     crate::runner::ckpt_disk_dir().filter(|p| !p.as_os_str().is_empty())
 }
 
-/// The on-disk path for a warm-up key inside `dir`.
+/// The on-disk path of a warm-up key in the legacy flat layout. Still
+/// written under `PSA_CKPT_LAYOUT=flat` and read as a migration
+/// fallback by the tiered layout.
 pub fn disk_path(dir: &std::path::Path, key: u64) -> PathBuf {
     dir.join(format!("psa-{key:016x}.ckpt"))
 }
@@ -119,8 +155,82 @@ pub fn warm_key(config: &SimConfig, workloads: &[&'static str], label: &str) -> 
     fnv1a(&id)
 }
 
+/// Which path produced a warm-up snapshot (for counter attribution).
+enum Found {
+    /// The in-process memory tier.
+    Memory(Snapshot),
+    /// The tiered store's disk tier.
+    StoreDisk(Snapshot),
+    /// A flat `psa-*.ckpt` file (legacy layout, or migration fallback).
+    Flat(Snapshot),
+}
+
+/// Look up a warm-up snapshot across every tier, cheapest first.
+fn warmup_lookup(key: u64) -> Option<Found> {
+    let from_backend = with_backend(|b| match b {
+        Backend::Memory(lru) => lru
+            .get((EntryKind::Warmup.tag(), key))
+            .map(|bytes| (bytes, Tier::Memory)),
+        Backend::Tiered(store) => store.get(EntryKind::Warmup, key),
+    });
+    if let Some((bytes, tier)) = from_backend {
+        // A checksummed frame that fails snapshot decoding can only be
+        // a format drift the version key missed; treat it as a miss.
+        let snap = Snapshot::from_bytes(&bytes).ok()?;
+        return Some(match tier {
+            Tier::Memory => Found::Memory(snap),
+            Tier::Disk => Found::StoreDisk(snap),
+        });
+    }
+    // Flat file: the primary disk format under PSA_CKPT_LAYOUT=flat,
+    // a read-only migration fallback under the tiered layout.
+    let dir = disk_dir()?;
+    let snap = Snapshot::read_file(&disk_path(&dir, key)).ok()?;
+    Some(Found::Flat(snap))
+}
+
+/// Persist a freshly-simulated (or flat-imported) warm-up snapshot into
+/// the active backend; under the flat layout, also write the legacy
+/// file. Failures are counted in the store's `write_failures` counter —
+/// a read-only or full disk degrades to cold runs next process, it does
+/// not fail this one.
+fn persist_warmup(key: u64, snap: &Snapshot) {
+    let tiered = import_warmup(key, snap);
+    // A memory backend with a disk dir can only mean the flat layout
+    // (tiered + dir would have opened the store): write the legacy
+    // file, atomically (tmp + fsync + rename inside `write_file`).
+    if !tiered {
+        if let Some(dir) = disk_dir() {
+            if snap.write_file(&disk_path(&dir, key)).is_err() {
+                psa_common::obs::store::global()
+                    .write_failures
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Put a snapshot into the active backend only (no legacy-file write);
+/// returns whether the backend was the tiered store. Used on the cold
+/// path and to absorb a restored flat file into the store.
+fn import_warmup(key: u64, snap: &Snapshot) -> bool {
+    let bytes = Arc::new(snap.to_bytes());
+    with_backend(|b| match b {
+        Backend::Memory(lru) => {
+            lru.put((EntryKind::Warmup.tag(), key), bytes);
+            false
+        }
+        Backend::Tiered(store) => {
+            // Write failures (ENOSPC, exhausted retries, degraded
+            // store) are counted by the store itself.
+            let _ = store.put(EntryKind::Warmup, key, bytes);
+            true
+        }
+    })
+}
+
 /// Build a machine and bring it to its warm-up boundary, sharing the
-/// warm-up work through the checkpoint stores when an exact-key match
+/// warm-up work through the checkpoint store when an exact-key match
 /// exists. The returned [`System`] is always positioned exactly where a
 /// cold `run_to_warm` would leave it — results downstream are
 /// bit-identical either way (`crates/sim/src/snapshot.rs` proves it).
@@ -145,29 +255,33 @@ pub fn warm_via_checkpoint(
     }
     let key = warm_key(sys.config(), sys.workload_names(), label);
 
-    // Memory first, disk second; the first snapshot found gets one
-    // restore attempt. Everything here is checkpoint traffic, charged to
-    // the snapshot-I/O phase of the wall-time profile.
+    // Memory tier, disk tier, then legacy flat files; the first snapshot
+    // found gets one restore attempt. Everything here is checkpoint
+    // traffic, charged to the snapshot-I/O phase of the wall-time
+    // profile.
     let t_snap = Instant::now();
-    let mut from_disk = false;
-    let snap = mem_get(key).or_else(|| {
-        let dir = disk_dir()?;
-        // Missing file, damaged bytes, foreign version, key collision:
-        // all land here as `Err` and all mean the same thing — warm up
-        // cold. The typed distinction matters to the snapshot tests, not
-        // to the store.
-        let snap = Snapshot::read_file(&disk_path(&dir, key)).ok()?;
-        from_disk = true;
-        Some(Arc::new(snap))
-    });
-    if let Some(snap) = snap {
-        match sys.restore(&snap, key) {
+    if let Some(found) = warmup_lookup(key) {
+        let snap = match &found {
+            Found::Memory(s) | Found::StoreDisk(s) | Found::Flat(s) => s,
+        };
+        match sys.restore(snap, key) {
             Ok(()) => {
-                if from_disk {
-                    G_CKPT_HITS.fetch_add(1, Ordering::Relaxed);
-                    mem_put(key, snap);
-                } else {
-                    G_WARMUPS_SHARED.fetch_add(1, Ordering::Relaxed);
+                match found {
+                    Found::Memory(_) => {
+                        G_WARMUPS_SHARED.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Found::StoreDisk(_) => {
+                        // The store's own get already promoted the
+                        // entry into its memory tier.
+                        G_CKPT_HITS.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Found::Flat(snap) => {
+                        G_CKPT_HITS.fetch_add(1, Ordering::Relaxed);
+                        // Import into the active backend: the tiered
+                        // store absorbs legacy files on first use, and
+                        // the flat layout promotes them to memory.
+                        import_warmup(key, &snap);
+                    }
                 }
                 crate::runner::record_phase_snapshot(t_snap.elapsed());
                 return Ok(sys);
@@ -184,13 +298,57 @@ pub fn warm_via_checkpoint(
     crate::runner::record_phase_warm(t_warm.elapsed());
 
     let t_snap = Instant::now();
-    let snap = Arc::new(sys.snapshot(key));
-    if let Some(dir) = disk_dir() {
-        // Best-effort: a read-only or full disk degrades to cold runs
-        // next process, it does not fail this one.
-        let _ = snap.write_file(&disk_path(&dir, key));
-    }
-    mem_put(key, snap);
+    persist_warmup(key, &sys.snapshot(key));
     crate::runner::record_phase_snapshot(t_snap.elapsed());
     Ok(sys)
+}
+
+/// Whether finished-report memoisation is on: it needs the tiered disk
+/// store (reports only pay off across processes; the in-process
+/// [`crate::runner::RunCache`] already memoises within one) and
+/// observability off (an observed run must actually execute to produce
+/// its event stream).
+pub(crate) fn report_memo_enabled(config: &SimConfig) -> bool {
+    !config.obs.enabled
+        && crate::runner::ckpt_layout() == CkptLayout::Tiered
+        && disk_dir().is_some()
+}
+
+/// The identity hash of a finished report: report codec version, the
+/// pre-variant configuration, the workload, and the variant label
+/// (which encodes every config mutation a variant applies).
+pub(crate) fn report_key(config: &SimConfig, workload: &str, label: &str) -> u64 {
+    let mut id = Vec::new();
+    id.extend_from_slice(b"report\0");
+    id.extend_from_slice(&REPORT_CODEC_VERSION.to_le_bytes());
+    id.extend_from_slice(format!("{config:?}").as_bytes());
+    id.push(0);
+    id.extend_from_slice(workload.as_bytes());
+    id.push(0);
+    id.extend_from_slice(label.as_bytes());
+    fnv1a(&id)
+}
+
+/// Fetch a memoised finished report. Any decode rejection (version,
+/// workload-name mismatch from a key collision) is a miss; a hit counts
+/// as a `ckpt_hits` store hit.
+pub(crate) fn report_from_store(key: u64, workload: &'static str) -> Option<RunReport> {
+    let report = with_backend(|b| match b {
+        Backend::Tiered(store) => store
+            .get(EntryKind::Report, key)
+            .and_then(|(bytes, _)| RunReport::from_store_bytes(&bytes, workload).ok()),
+        Backend::Memory(_) => None,
+    })?;
+    G_CKPT_HITS.fetch_add(1, Ordering::Relaxed);
+    Some(report)
+}
+
+/// Memoise a finished report (write failures are counted, never fatal).
+pub(crate) fn report_to_store(key: u64, report: &RunReport) {
+    let bytes = Arc::new(report.to_store_bytes());
+    with_backend(|b| {
+        if let Backend::Tiered(store) = b {
+            let _ = store.put(EntryKind::Report, key, bytes);
+        }
+    });
 }

@@ -31,15 +31,19 @@
 //! `PSA_MIXES=n` bounds the multi-core mix count; `PSA_THREADS=n` caps
 //! the parallel executor's worker count (default: all cores);
 //! `PSA_JSON_RUNS=1` embeds raw per-run reports in emitted JSON;
-//! `PSA_CKPT_DIR=<dir>` persists warm-up checkpoints across processes
-//! and `PSA_CKPT_MEM_MB=n` bounds the in-memory checkpoint store (see
-//! [`ckpt`] and `docs/CHECKPOINT.md`).
+//! `PSA_CKPT_DIR=<dir>` persists warm-up checkpoints — and memoised
+//! finished reports — across processes through the crash-safe tiered
+//! store (`psa-store`); `PSA_CKPT_MEM_MB=n` / `PSA_CKPT_DISK_MB=n`
+//! bound its memory and disk tiers and `PSA_CKPT_LAYOUT=flat` selects
+//! the legacy flat-file layout (see [`ckpt`] and `docs/CHECKPOINT.md`).
 //!
 //! Robustness knobs (see `docs/ROBUSTNESS.md`): `PSA_WATCHDOG=n` sets the
 //! forward-progress watchdog threshold (0 disables); `PSA_CHECK=1` turns
 //! on the simulation invariant checker; `PSA_INJECT_PANIC` /
 //! `PSA_INJECT_STALL` deliberately fault a named job to exercise the
-//! executor's fault isolation. Failed jobs become entries in each
+//! executor's fault isolation; `PSA_FAULT_PLAN` injects deterministic
+//! IO faults (torn writes, bit flips, ENOSPC, transient EIO) under the
+//! checkpoint store. Failed jobs become entries in each
 //! document's `failures` array and figures render with explicit gaps.
 //!
 //! Observability knobs (see `docs/OBSERVABILITY.md`): `PSA_OBS=1` turns
@@ -71,4 +75,4 @@ pub mod fig1415;
 pub mod nonintensive;
 pub mod runner;
 
-pub use runner::{RunnerOptions, Settings};
+pub use runner::{CkptLayout, RunnerOptions, Settings};

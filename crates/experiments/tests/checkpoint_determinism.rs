@@ -1,10 +1,13 @@
-//! End-to-end determinism of warm-up checkpointing through the real
-//! `RunCache` batch executor: memory hits, disk hits and corrupt-store
-//! fallback must all reproduce the cold path bit for bit.
+//! End-to-end determinism of the tiered checkpoint/result store through
+//! the real `RunCache` batch executor: memory hits, tiered disk hits,
+//! memoised finished reports, legacy flat-file migration, corrupt-store
+//! recovery and injected-fault storms must all reproduce the cold path
+//! bit for bit.
 //!
-//! Mutates `PSA_CKPT_DIR` and the process-wide checkpoint store, so the
-//! whole scenario lives in a single `#[test]` in its own binary (its own
-//! process) — the same isolation pattern as `fault_isolation.rs`.
+//! Mutates `PSA_CKPT_DIR` / `PSA_CKPT_LAYOUT` / `PSA_FAULT_PLAN` and the
+//! process-wide store state, so the whole scenario lives in a single
+//! `#[test]` in its own binary (its own process) — the same isolation
+//! pattern as `fault_isolation.rs`.
 
 use psa_core::PageSizePolicy;
 use psa_experiments::ckpt;
@@ -13,7 +16,7 @@ use psa_prefetchers::PrefetcherKind;
 use psa_sim::SimConfig;
 use psa_traces::WorkloadSpec;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn jobs() -> Vec<(&'static WorkloadSpec, Variant)> {
     let variants = [
@@ -39,16 +42,30 @@ fn run_all(config: SimConfig, jobs: &[(&'static WorkloadSpec, Variant)]) -> Vec<
         .collect()
 }
 
-/// Every checkpoint file in `dir`, sorted for a deterministic corruption
-/// assignment.
-fn ckpt_files(dir: &std::path::Path) -> Vec<PathBuf> {
+/// Files in `dir` whose name satisfies `pred`, sorted.
+fn files_matching(dir: &Path, pred: impl Fn(&str) -> bool) -> Vec<PathBuf> {
     let mut files: Vec<PathBuf> = fs::read_dir(dir)
         .unwrap()
         .map(|e| e.unwrap().path())
-        .filter(|p| p.extension().is_some_and(|e| e == "ckpt"))
+        .filter(|p| p.file_name().and_then(|n| n.to_str()).is_some_and(&pred))
         .collect();
     files.sort();
     files
+}
+
+fn ckpt_files(dir: &Path) -> Vec<PathBuf> {
+    files_matching(dir, |n| n.ends_with(".ckpt"))
+}
+
+fn seg_files(dir: &Path) -> Vec<PathBuf> {
+    files_matching(dir, |n| n.starts_with("seg-") && n.ends_with(".psg"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("psa-ckpt-det-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
 }
 
 #[test]
@@ -57,14 +74,16 @@ fn warm_checkpoints_reproduce_the_cold_path_bit_for_bit() {
         .with_warmup(2_000)
         .with_instructions(6_000);
     let jobs = jobs();
-    std::env::remove_var("PSA_CKPT_DIR");
+    for var in ["PSA_CKPT_DIR", "PSA_CKPT_LAYOUT", "PSA_FAULT_PLAN"] {
+        std::env::remove_var(var);
+    }
 
     // Phase A: cold reference (no disk store, empty memory store).
     ckpt::clear_memory();
     let reference = run_all(config, &jobs);
 
     // Phase B: a second cache in the same process shares every warm-up
-    // from the in-memory store — and reproduces the reports exactly.
+    // from the memory tier — and reproduces the reports exactly.
     let before = runner::global_stats();
     let warm = run_all(config, &jobs);
     let after = runner::global_stats();
@@ -76,18 +95,26 @@ fn warm_checkpoints_reproduce_the_cold_path_bit_for_bit() {
     );
     assert_eq!(after.ckpt_hits, before.ckpt_hits, "no disk store is set");
 
-    // Phase C: with PSA_CKPT_DIR set, warm-ups persist on disk. Clearing
-    // the memory store simulates a fresh process; the disk hits must
-    // again be bit-identical.
-    let dir = std::env::temp_dir().join(format!("psa-ckpt-det-{}", std::process::id()));
-    fs::create_dir_all(&dir).unwrap();
+    // Phase C: with PSA_CKPT_DIR set, warm-ups and finished reports
+    // persist in the tiered store. Clearing the in-process state
+    // simulates a fresh process — the reopened store must serve every
+    // job bit-identically (memoised reports, counted as ckpt_hits).
+    let dir = temp_dir("tiered");
     std::env::set_var("PSA_CKPT_DIR", &dir);
     ckpt::clear_memory();
     let seeded = run_all(config, &jobs);
     assert_eq!(seeded, reference, "disk-seeding run diverged");
-    assert_eq!(ckpt_files(&dir).len(), jobs.len(), "one file per warm-up");
+    assert!(
+        dir.join("MANIFEST").exists(),
+        "tiered store manifest missing"
+    );
+    assert!(!seg_files(&dir).is_empty(), "no store segments written");
+    assert!(
+        ckpt_files(&dir).is_empty(),
+        "tiered layout must not write legacy flat files"
+    );
 
-    ckpt::clear_memory();
+    ckpt::clear_memory(); // drops the store handle: reopen + recovery
     let before = runner::global_stats();
     let from_disk = run_all(config, &jobs);
     let after = runner::global_stats();
@@ -95,25 +122,27 @@ fn warm_checkpoints_reproduce_the_cold_path_bit_for_bit() {
     assert_eq!(
         after.ckpt_hits - before.ckpt_hits,
         jobs.len() as u64,
-        "every job should restore from disk"
+        "every job should be served from the store (memoised reports)"
+    );
+    assert_eq!(
+        after.failed, before.failed,
+        "store traffic must not fail jobs"
     );
 
-    // Phase D: damage every checkpoint file (one corruption mode each:
-    // truncation, a flipped payload bit, a foreign format version). The
-    // store must reject them all, fall back to cold warm-ups, and still
-    // reproduce the reference — no panic, no silently wrong numbers.
-    for (i, path) in ckpt_files(&dir).into_iter().enumerate() {
-        let mut bytes = fs::read(&path).unwrap();
-        match i % 3 {
-            0 => bytes.truncate(10),
-            1 => {
-                let last = bytes.len() - 1;
-                bytes[last] ^= 0x40;
-            }
-            _ => bytes[8..12].copy_from_slice(&[0xFF; 4]),
-        }
-        fs::write(&path, bytes).unwrap();
+    // Phase D: damage the store — truncate every segment and flip a
+    // byte of the manifest. Recovery must quarantine the damage, fall
+    // back to cold runs, and still reproduce the reference — no panic,
+    // no silently wrong numbers.
+    for path in seg_files(&dir) {
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len().min(10)]).unwrap();
     }
+    let manifest = dir.join("MANIFEST");
+    let mut bytes = fs::read(&manifest).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    fs::write(&manifest, bytes).unwrap();
+
     ckpt::clear_memory();
     let before = runner::global_stats();
     let degraded = run_all(config, &jobs);
@@ -121,14 +150,76 @@ fn warm_checkpoints_reproduce_the_cold_path_bit_for_bit() {
     assert_eq!(degraded, reference, "corrupt-store fallback diverged");
     assert_eq!(
         after.ckpt_hits, before.ckpt_hits,
-        "corrupt files must not count as hits"
+        "corrupt entries must not count as hits"
     );
-    assert_eq!(
-        after.warmups_shared, before.warmups_shared,
-        "memory store was cleared; nothing to share"
+    assert!(
+        after.store.quarantined > before.store.quarantined,
+        "recovery should have quarantined the damage"
     );
     assert_eq!(after.failed, before.failed, "fallback is not a failure");
 
-    std::env::remove_var("PSA_CKPT_DIR");
-    let _ = fs::remove_dir_all(&dir);
+    // Phase E: the legacy flat layout still works (and now writes its
+    // files atomically).
+    let flat_dir = temp_dir("flat");
+    std::env::set_var("PSA_CKPT_DIR", &flat_dir);
+    std::env::set_var("PSA_CKPT_LAYOUT", "flat");
+    ckpt::clear_memory();
+    let flat = run_all(config, &jobs);
+    assert_eq!(flat, reference, "flat-layout run diverged");
+    assert_eq!(
+        ckpt_files(&flat_dir).len(),
+        jobs.len(),
+        "flat layout writes one legacy file per warm-up"
+    );
+
+    // Phase F: switching the same directory to the tiered layout
+    // migrates: warm-ups restore from the legacy files (counted as disk
+    // hits) and are imported into the store alongside memoised reports.
+    std::env::remove_var("PSA_CKPT_LAYOUT");
+    ckpt::clear_memory();
+    let before = runner::global_stats();
+    let migrated = run_all(config, &jobs);
+    let after = runner::global_stats();
+    assert_eq!(migrated, reference, "flat-to-tiered migration diverged");
+    assert_eq!(
+        after.ckpt_hits - before.ckpt_hits,
+        jobs.len() as u64,
+        "every warm-up should restore from a legacy flat file"
+    );
+    assert!(
+        flat_dir.join("MANIFEST").exists(),
+        "migration should build the tiered store"
+    );
+
+    // Phase G: a seeded fault storm over a fresh store. Faulted writes
+    // and reads degrade to cold work; results never change.
+    let storm_dir = temp_dir("storm");
+    std::env::set_var("PSA_CKPT_DIR", &storm_dir);
+    std::env::set_var(
+        "PSA_FAULT_PLAN",
+        "seed=5,torn=0.1,flip=0.1,enospc=0.05,eio=0.15",
+    );
+    let before = runner::global_stats();
+    ckpt::clear_memory();
+    let stormy_cold = run_all(config, &jobs);
+    assert_eq!(stormy_cold, reference, "faulted cold run diverged");
+    ckpt::clear_memory();
+    let stormy_warm = run_all(config, &jobs);
+    let after = runner::global_stats();
+    assert_eq!(stormy_warm, reference, "faulted warm run diverged");
+    assert!(
+        after.store.injected_faults > before.store.injected_faults,
+        "the fault plan should actually inject"
+    );
+    assert_eq!(
+        after.failed, before.failed,
+        "injected IO faults must not fail jobs"
+    );
+
+    for var in ["PSA_CKPT_DIR", "PSA_CKPT_LAYOUT", "PSA_FAULT_PLAN"] {
+        std::env::remove_var(var);
+    }
+    for d in [dir, flat_dir, storm_dir] {
+        let _ = fs::remove_dir_all(&d);
+    }
 }

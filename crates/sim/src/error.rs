@@ -83,6 +83,16 @@ pub enum CheckpointError {
     },
     /// The filesystem failed underneath the checkpoint store.
     Io(String),
+    /// The checkpoint store's disk is out of space; writes degraded to
+    /// memory-only for the rest of the process.
+    Enospc(String),
+    /// A transient IO fault survived every bounded-backoff retry.
+    TransientIo {
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// Operation description.
+        what: String,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -101,6 +111,13 @@ impl fmt::Display for CheckpointError {
                 "checkpoint key {found:#018x} does not match expected {expected:#018x}"
             ),
             CheckpointError::Io(what) => write!(f, "checkpoint I/O: {what}"),
+            CheckpointError::Enospc(what) => {
+                write!(f, "checkpoint store out of disk space: {what}")
+            }
+            CheckpointError::TransientIo { attempts, what } => write!(
+                f,
+                "checkpoint store transient I/O failure after {attempts} attempts: {what}"
+            ),
         }
     }
 }

@@ -42,7 +42,7 @@ pub mod system;
 
 pub use config::{L1dPrefKind, SimConfig};
 pub use error::{CheckpointError, CoreStall, SimError, StallSnapshot};
-pub use metrics::{MultiReport, RunReport};
+pub use metrics::{MultiReport, RunReport, REPORT_CODEC_VERSION};
 pub use psa_common::obs::{ObsConfig, ObsReport};
 pub use psa_hier::PortDebug;
 pub use report::Json;

@@ -1,6 +1,8 @@
 //! Measured-window reports produced by simulation runs.
 
+use crate::error::{CheckpointError, SimError};
 use psa_cache::CacheStats;
+use psa_common::codec::{Dec, Enc, Persist};
 use psa_core::boundary::BoundaryStats;
 use psa_core::ModuleStats;
 use psa_dram::DramStats;
@@ -130,7 +132,107 @@ impl RunReport {
             (baseline_misses as f64 - own_misses as f64) / baseline_misses as f64
         }
     }
+
+    /// Encode this report for the tiered result store (`psa-store`).
+    ///
+    /// The payload is version-tagged and carries the workload name so
+    /// decoding can refuse a report that belongs to a different run —
+    /// the store's frame checksum guards the bytes, this guards the
+    /// *meaning*.
+    pub fn to_store_bytes(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.put_u32(REPORT_CODEC_VERSION);
+        e.put_usize(self.workload.len());
+        e.put_bytes(self.workload.as_bytes());
+        self.instructions.save(&mut e);
+        self.cycles.save(&mut e);
+        self.l2c.save(&mut e);
+        self.llc.save(&mut e);
+        self.dram.save(&mut e);
+        self.module.save(&mut e);
+        self.boundary.save(&mut e);
+        self.l2c_avg_latency.save(&mut e);
+        self.llc_avg_latency.save(&mut e);
+        self.huge_usage.save(&mut e);
+        self.thp_series.save(&mut e);
+        self.debug.save(&mut e);
+        e.into_bytes()
+    }
+
+    /// Decode a report previously written by
+    /// [`RunReport::to_store_bytes`], for the given `workload`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`] on truncation, a foreign codec
+    /// version, or a workload-name mismatch — callers treat all of
+    /// them as a cache miss and re-run the simulation.
+    pub fn from_store_bytes(bytes: &[u8], workload: &'static str) -> Result<Self, SimError> {
+        fn ck(e: CheckpointError) -> SimError {
+            SimError::Checkpoint(e)
+        }
+        fn codec(e: psa_common::codec::CodecError) -> SimError {
+            use psa_common::codec::CodecError;
+            ck(match e {
+                CodecError::Eof => CheckpointError::Truncated,
+                CodecError::Corrupt(what) => CheckpointError::Corrupt(what),
+            })
+        }
+        let mut d = Dec::new(bytes);
+        let version = d.get_u32().map_err(codec)?;
+        if version != REPORT_CODEC_VERSION {
+            return Err(ck(CheckpointError::VersionMismatch {
+                found: version,
+                expected: REPORT_CODEC_VERSION,
+            }));
+        }
+        let name_len = d.get_len().map_err(codec)?;
+        if name_len != workload.len() {
+            return Err(ck(CheckpointError::Corrupt("report workload name")));
+        }
+        for expected in workload.as_bytes() {
+            if d.get_u8().map_err(codec)? != *expected {
+                return Err(ck(CheckpointError::Corrupt("report workload name")));
+            }
+        }
+        let mut r = RunReport {
+            workload,
+            instructions: 0,
+            cycles: 0,
+            l2c: CacheStats::default(),
+            llc: CacheStats::default(),
+            dram: DramStats::default(),
+            module: None,
+            boundary: None,
+            l2c_avg_latency: 0.0,
+            llc_avg_latency: 0.0,
+            huge_usage: 0.0,
+            thp_series: Vec::new(),
+            debug: PortDebug::default(),
+        };
+        r.instructions.load(&mut d).map_err(codec)?;
+        r.cycles.load(&mut d).map_err(codec)?;
+        r.l2c.load(&mut d).map_err(codec)?;
+        r.llc.load(&mut d).map_err(codec)?;
+        r.dram.load(&mut d).map_err(codec)?;
+        r.module.load(&mut d).map_err(codec)?;
+        r.boundary.load(&mut d).map_err(codec)?;
+        r.l2c_avg_latency.load(&mut d).map_err(codec)?;
+        r.llc_avg_latency.load(&mut d).map_err(codec)?;
+        r.huge_usage.load(&mut d).map_err(codec)?;
+        r.thp_series.load(&mut d).map_err(codec)?;
+        r.debug.load(&mut d).map_err(codec)?;
+        if d.remaining() != 0 {
+            return Err(ck(CheckpointError::Corrupt("trailing bytes after report")));
+        }
+        Ok(r)
+    }
 }
+
+/// Version written into (and required of) memoised report bytes.
+/// Bump on any change to [`RunReport`]'s persisted shape; stale store
+/// entries then decode as version mismatches and fall back to re-runs.
+pub const REPORT_CODEC_VERSION: u32 = 1;
 
 /// The report of one multi-core run.
 #[derive(Debug, Clone, PartialEq)]
@@ -194,6 +296,39 @@ mod tests {
         assert!((r.coverage_vs(100, 40) - 0.6).abs() < 1e-12);
         assert!(r.coverage_vs(100, 120) < 0.0);
         assert_eq!(r.coverage_vs(0, 10), 0.0);
+    }
+
+    #[test]
+    fn store_bytes_roundtrip_bit_identical() {
+        let mut r = report(123_456, 98_765);
+        r.l2c.demand_misses = 17;
+        r.module = Some(ModuleStats {
+            accesses: 9,
+            issued: 4,
+            ..Default::default()
+        });
+        r.l2c_avg_latency = 13.25;
+        r.huge_usage = 0.375;
+        r.thp_series = vec![(1000, 0.1), (2000, 0.375)];
+        r.debug.load_latency_max = 99;
+        let bytes = r.to_store_bytes();
+        let back = RunReport::from_store_bytes(&bytes, "t").expect("decode");
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn store_bytes_reject_wrong_workload_version_and_damage() {
+        let r = report(10, 10);
+        let bytes = r.to_store_bytes();
+        assert!(RunReport::from_store_bytes(&bytes, "other").is_err());
+        assert!(RunReport::from_store_bytes(&bytes[..bytes.len() - 1], "t").is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(RunReport::from_store_bytes(&extra, "t").is_err());
+        let mut wrong_version = bytes;
+        wrong_version[0] ^= 0xff;
+        let err = RunReport::from_store_bytes(&wrong_version, "t").expect_err("version");
+        assert!(err.to_string().contains("version"), "{err}");
     }
 
     #[test]

@@ -135,8 +135,10 @@ impl Snapshot {
         })
     }
 
-    /// Write the framed snapshot to `path` via a unique temp file and an
-    /// atomic rename, so a concurrent reader never sees a torn file.
+    /// Write the framed snapshot to `path` via a unique temp file, an
+    /// fsync, an atomic rename, and a directory fsync — so a concurrent
+    /// reader never sees a torn file *and* a crash right after this
+    /// returns cannot leave a truncated file under a valid key.
     ///
     /// # Errors
     ///
@@ -155,11 +157,24 @@ impl Snapshot {
             std::process::id(),
             SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        std::fs::write(&tmp, self.to_bytes()).map_err(io)?;
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp).map_err(io)?;
+            f.write_all(&self.to_bytes()).map_err(io)?;
+            f.sync_all().map_err(io)?;
+        }
         std::fs::rename(&tmp, path).map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
             io(e)
-        })
+        })?;
+        if let Some(dir) = path.parent() {
+            // Make the rename itself durable; platforms that cannot
+            // open a directory for syncing skip this quietly.
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
     }
 
     /// Read and validate a framed snapshot from `path`.

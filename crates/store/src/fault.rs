@@ -1,0 +1,443 @@
+//! Deterministic IO fault injection.
+//!
+//! A [`FaultPlan`] describes *which* store IO operations fail and
+//! *how*: per-operation probabilities drawn from a seeded
+//! [`DetRng`], plus explicit `kind@index` pins for reproducing a
+//! specific failure. [`FaultIo`] wraps any [`StoreIo`] and applies the
+//! plan by counting operations — the same plan over the same operation
+//! sequence always injects the same faults, which is what lets CI
+//! assert bit-identical results under fault load and lets the
+//! crash-recovery property test walk the store through *every*
+//! operation index.
+//!
+//! Fault kinds:
+//!
+//! * **torn** — a write persists only a prefix of its bytes, then the
+//!   operation fails (models a crash or kernel error mid-write);
+//! * **flip** — a read succeeds but one bit of the returned buffer is
+//!   inverted (models media/bus corruption; the store's checksums must
+//!   catch it);
+//! * **enospc** — a write fails with `ENOSPC` (permanent: the store
+//!   must degrade, not spin);
+//! * **eio** — the operation fails with `EIO` (transient: the store's
+//!   bounded retry may succeed on the next attempt, which is also the
+//!   next operation index);
+//! * **crash** — from the pinned index onward *every* operation fails,
+//!   emulating process death for reopen-and-recover tests.
+
+use crate::io::StoreIo;
+use psa_common::obs::store as store_obs;
+use psa_common::DetRng;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One category of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Partial write then failure.
+    Torn,
+    /// One bit of a read buffer inverted.
+    Flip,
+    /// Write fails with `ENOSPC`.
+    Enospc,
+    /// Operation fails with transient `EIO`.
+    Eio,
+    /// Every operation from this index on fails.
+    Crash,
+}
+
+/// A seeded, declarative description of the faults to inject.
+///
+/// Parsed from a spec string of comma-separated clauses:
+///
+/// ```text
+/// seed=42,torn=0.05,flip=0.05,enospc=0.02,eio=0.08,crash@117
+/// ```
+///
+/// `seed=N` seeds the per-operation RNG; `torn=`/`flip=`/`enospc=`/
+/// `eio=` set probabilities in `[0,1]` applied independently per
+/// operation (a drawn kind that does not apply to the operation — e.g.
+/// a torn fault on a read — injects nothing); `kind@index` pins a fault
+/// to an exact zero-based operation index, taking precedence over
+/// drawn faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed for probability draws.
+    pub seed: u64,
+    /// Per-op probability of a torn write.
+    pub p_torn: f64,
+    /// Per-op probability of a read bit flip.
+    pub p_flip: f64,
+    /// Per-op probability of `ENOSPC` on a write.
+    pub p_enospc: f64,
+    /// Per-op probability of transient `EIO`.
+    pub p_eio: f64,
+    /// Faults pinned to exact operation indices.
+    pub pinned: Vec<(u64, FaultKind)>,
+    /// First operation index of a simulated crash, if any.
+    pub crash_at: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Parse a spec string (see the type docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformed
+    /// clause — used verbatim by the runner's strict env parsing.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(',') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some((kind, idx)) = clause.split_once('@') {
+                let idx: u64 = idx
+                    .parse()
+                    .map_err(|_| format!("bad op index in `{clause}`"))?;
+                match kind.trim() {
+                    "torn" => plan.pinned.push((idx, FaultKind::Torn)),
+                    "flip" => plan.pinned.push((idx, FaultKind::Flip)),
+                    "enospc" => plan.pinned.push((idx, FaultKind::Enospc)),
+                    "eio" => plan.pinned.push((idx, FaultKind::Eio)),
+                    "crash" => plan.crash_at = Some(idx),
+                    other => return Err(format!("unknown fault kind `{other}` in `{clause}`")),
+                }
+            } else if let Some((key, val)) = clause.split_once('=') {
+                let key = key.trim();
+                let val = val.trim();
+                if key == "seed" {
+                    plan.seed = val.parse().map_err(|_| format!("bad seed in `{clause}`"))?;
+                    continue;
+                }
+                let p: f64 = val
+                    .parse()
+                    .map_err(|_| format!("bad probability in `{clause}`"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability out of [0,1] in `{clause}`"));
+                }
+                match key {
+                    "torn" => plan.p_torn = p,
+                    "flip" => plan.p_flip = p,
+                    "enospc" => plan.p_enospc = p,
+                    "eio" => plan.p_eio = p,
+                    other => return Err(format!("unknown fault key `{other}` in `{clause}`")),
+                }
+            } else {
+                return Err(format!(
+                    "expected `key=value` or `kind@index`, got `{clause}`"
+                ));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// True if the plan can never inject anything.
+    pub fn is_empty(&self) -> bool {
+        self.p_torn == 0.0
+            && self.p_flip == 0.0
+            && self.p_enospc == 0.0
+            && self.p_eio == 0.0
+            && self.pinned.is_empty()
+            && self.crash_at.is_none()
+    }
+}
+
+// Injected errors must classify exactly like their real counterparts
+// under `io::is_transient`/`io::is_enospc`, which check `ErrorKind`s
+// that survive wrapping with a message.
+fn eio(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::Interrupted, format!("injected EIO: {what}"))
+}
+
+fn enospc(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::StorageFull,
+        format!("injected ENOSPC: {what}"),
+    )
+}
+
+fn crashed() -> io::Error {
+    io::Error::other("injected crash: IO is dead")
+}
+
+/// A [`StoreIo`] wrapper that injects the faults of a [`FaultPlan`].
+///
+/// The operation counter is shared via an `Arc` so tests can observe
+/// how many operations a workload performs (the crash-point property
+/// test uses this to enumerate every crash index).
+pub struct FaultIo<I> {
+    inner: I,
+    plan: FaultPlan,
+    rng: DetRng,
+    ops: Arc<AtomicU64>,
+    crashed: bool,
+}
+
+impl<I: StoreIo> FaultIo<I> {
+    /// Wrap `inner` with `plan`.
+    pub fn new(inner: I, plan: FaultPlan) -> Self {
+        let rng = DetRng::new(plan.seed ^ 0x9e37_79b9_7f4a_7c15);
+        Self {
+            inner,
+            plan,
+            rng,
+            ops: Arc::new(AtomicU64::new(0)),
+            crashed: false,
+        }
+    }
+
+    /// Handle on the shared operation counter.
+    pub fn op_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.ops)
+    }
+
+    /// Decide the fault (if any) for the operation being issued, and
+    /// advance the counter. `is_write`/`is_read` gate which drawn kinds
+    /// apply so the RNG stream stays aligned across runs regardless of
+    /// which faults fire.
+    fn decide(&mut self, is_write: bool, is_read: bool) -> Option<FaultKind> {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        if self.crashed || self.plan.crash_at.is_some_and(|c| op >= c) {
+            self.crashed = true;
+            store_obs::global()
+                .injected_faults
+                .fetch_add(1, Ordering::Relaxed);
+            return Some(FaultKind::Crash);
+        }
+        // One draw per op keeps the stream aligned whether or not a
+        // pinned fault overrides it.
+        let u = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let pinned = self
+            .plan
+            .pinned
+            .iter()
+            .find(|&&(idx, _)| idx == op)
+            .map(|&(_, k)| k);
+        let drawn = {
+            let p = &self.plan;
+            let mut acc = 0.0;
+            let mut hit = None;
+            for (prob, kind) in [
+                (p.p_torn, FaultKind::Torn),
+                (p.p_flip, FaultKind::Flip),
+                (p.p_enospc, FaultKind::Enospc),
+                (p.p_eio, FaultKind::Eio),
+            ] {
+                acc += prob;
+                if u < acc {
+                    hit = Some(kind);
+                    break;
+                }
+            }
+            hit
+        };
+        let kind = pinned.or(drawn)?;
+        let applies = match kind {
+            FaultKind::Torn | FaultKind::Enospc => is_write,
+            FaultKind::Flip => is_read,
+            FaultKind::Eio => true,
+            FaultKind::Crash => true,
+        };
+        if applies {
+            store_obs::global()
+                .injected_faults
+                .fetch_add(1, Ordering::Relaxed);
+            Some(kind)
+        } else {
+            None
+        }
+    }
+
+    fn flip_bit(&mut self, buf: &mut [u8]) {
+        if buf.is_empty() {
+            return;
+        }
+        let bit = self.rng.below(buf.len() as u64 * 8);
+        buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+    }
+}
+
+impl<I: StoreIo> StoreIo for FaultIo<I> {
+    fn read_file(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.decide(false, true) {
+            Some(FaultKind::Crash) => Err(crashed()),
+            Some(FaultKind::Eio) => Err(eio("read_file")),
+            Some(FaultKind::Flip) => {
+                let mut buf = self.inner.read_file(path)?;
+                self.flip_bit(&mut buf);
+                Ok(buf)
+            }
+            _ => self.inner.read_file(path),
+        }
+    }
+
+    fn read_range(&mut self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        match self.decide(false, true) {
+            Some(FaultKind::Crash) => Err(crashed()),
+            Some(FaultKind::Eio) => Err(eio("read_range")),
+            Some(FaultKind::Flip) => {
+                let mut buf = self.inner.read_range(path, offset, len)?;
+                self.flip_bit(&mut buf);
+                Ok(buf)
+            }
+            _ => self.inner.read_range(path, offset, len),
+        }
+    }
+
+    fn read_many(&mut self, path: &Path, ranges: &[(u64, usize)]) -> io::Result<Vec<Vec<u8>>> {
+        match self.decide(false, true) {
+            Some(FaultKind::Crash) => Err(crashed()),
+            Some(FaultKind::Eio) => Err(eio("read_many")),
+            Some(FaultKind::Flip) => {
+                let mut bufs = self.inner.read_many(path, ranges)?;
+                if !bufs.is_empty() {
+                    let victim = self.rng.below(bufs.len() as u64) as usize;
+                    self.flip_bit(&mut bufs[victim]);
+                }
+                Ok(bufs)
+            }
+            _ => self.inner.read_many(path, ranges),
+        }
+    }
+
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> io::Result<u64> {
+        match self.decide(true, false) {
+            Some(FaultKind::Crash) => {
+                // A crash tears the in-flight write before killing IO.
+                let _ = self.inner.append(path, &bytes[..bytes.len() / 2]);
+                Err(crashed())
+            }
+            Some(FaultKind::Eio) => Err(eio("append")),
+            Some(FaultKind::Enospc) => Err(enospc("append")),
+            Some(FaultKind::Torn) => {
+                let _ = self.inner.append(path, &bytes[..bytes.len() / 2])?;
+                Err(eio("torn append"))
+            }
+            _ => self.inner.append(path, bytes),
+        }
+    }
+
+    fn write_file(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.decide(true, false) {
+            Some(FaultKind::Crash) => {
+                let _ = self.inner.write_file(path, &bytes[..bytes.len() / 2]);
+                Err(crashed())
+            }
+            Some(FaultKind::Eio) => Err(eio("write_file")),
+            Some(FaultKind::Enospc) => Err(enospc("write_file")),
+            Some(FaultKind::Torn) => {
+                self.inner.write_file(path, &bytes[..bytes.len() / 2])?;
+                Err(eio("torn write"))
+            }
+            _ => self.inner.write_file(path, bytes),
+        }
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.decide(true, false) {
+            Some(FaultKind::Crash) => Err(crashed()),
+            Some(FaultKind::Eio) | Some(FaultKind::Torn) => Err(eio("rename")),
+            Some(FaultKind::Enospc) => Err(enospc("rename")),
+            _ => self.inner.rename(from, to),
+        }
+    }
+
+    fn remove(&mut self, path: &Path) -> io::Result<()> {
+        match self.decide(true, false) {
+            Some(FaultKind::Crash) => Err(crashed()),
+            Some(FaultKind::Eio) | Some(FaultKind::Torn) => Err(eio("remove")),
+            Some(FaultKind::Enospc) => self.inner.remove(path),
+            _ => self.inner.remove(path),
+        }
+    }
+
+    fn list(&mut self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        match self.decide(false, false) {
+            Some(FaultKind::Crash) => Err(crashed()),
+            Some(FaultKind::Eio) => Err(eio("list")),
+            _ => self.inner.list(dir),
+        }
+    }
+
+    fn file_len(&mut self, path: &Path) -> io::Result<u64> {
+        match self.decide(false, false) {
+            Some(FaultKind::Crash) => Err(crashed()),
+            Some(FaultKind::Eio) => Err(eio("file_len")),
+            _ => self.inner.file_len(path),
+        }
+    }
+
+    fn sync_dir(&mut self, dir: &Path) -> io::Result<()> {
+        match self.decide(true, false) {
+            Some(FaultKind::Crash) => Err(crashed()),
+            Some(FaultKind::Eio) => Err(eio("sync_dir")),
+            _ => self.inner.sync_dir(dir),
+        }
+    }
+
+    fn create_dir_all(&mut self, dir: &Path) -> io::Result<()> {
+        match self.decide(true, false) {
+            Some(FaultKind::Crash) => Err(crashed()),
+            Some(FaultKind::Eio) => Err(eio("create_dir_all")),
+            _ => self.inner.create_dir_all(dir),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let p = FaultPlan::parse("seed=42,torn=0.05,flip=0.1,enospc=0.02,eio=0.08,crash@17")
+            .expect("parse");
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.p_torn, 0.05);
+        assert_eq!(p.p_flip, 0.1);
+        assert_eq!(p.p_enospc, 0.02);
+        assert_eq!(p.p_eio, 0.08);
+        assert_eq!(p.crash_at, Some(17));
+    }
+
+    #[test]
+    fn parse_pinned() {
+        let p = FaultPlan::parse("torn@3,flip@5,eio@9").expect("parse");
+        assert_eq!(
+            p.pinned,
+            vec![
+                (3, FaultKind::Torn),
+                (5, FaultKind::Flip),
+                (9, FaultKind::Eio)
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("frob=0.5").is_err());
+        assert!(FaultPlan::parse("torn=1.5").is_err());
+        assert!(FaultPlan::parse("torn@x").is_err());
+        assert!(FaultPlan::parse("hello").is_err());
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::parse("").expect("parse").is_empty());
+        assert!(FaultPlan::parse("seed=9").expect("parse").is_empty());
+        assert!(!FaultPlan::parse("eio@0").expect("parse").is_empty());
+    }
+
+    #[test]
+    fn injected_errors_classify_like_real_ones() {
+        assert!(crate::io::is_transient(&eio("x")));
+        assert!(crate::io::is_enospc(&enospc("x")));
+        assert!(!crate::io::is_transient(&enospc("x")));
+        assert!(!crate::io::is_enospc(&eio("x")));
+        assert!(!crate::io::is_transient(&crashed()));
+    }
+}

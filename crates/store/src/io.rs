@@ -1,0 +1,183 @@
+//! The IO boundary of the store.
+//!
+//! Everything the store does to the filesystem goes through the
+//! [`StoreIo`] trait, for two reasons:
+//!
+//! * **fault injection** — [`crate::fault::FaultIo`] wraps any
+//!   `StoreIo` and injects torn writes, bit flips, `ENOSPC` and
+//!   transient `EIO` at deterministic operation indices, which is how
+//!   the crash-recovery property tests drive the store through every
+//!   failure point;
+//! * **durability policy in one place** — [`RealIo`] is the only code
+//!   that opens files, and it owns the fsync discipline (data files and
+//!   their parent directory are synced before an operation reports
+//!   success), so the crash-safety argument does not depend on call
+//!   sites remembering to sync.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Filesystem operations used by the store.
+///
+/// Every method is one *operation* from the fault plan's point of view;
+/// [`crate::fault::FaultIo`] counts calls and decides per-call whether
+/// to inject a fault. Methods take `&mut self` so implementations can
+/// keep cursors or RNG state without interior mutability.
+pub trait StoreIo: Send {
+    /// Read a whole file into memory.
+    fn read_file(&mut self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Read `len` bytes starting at `offset`. Short reads are errors.
+    fn read_range(&mut self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>>;
+
+    /// Batched ranged read: one open, all `ranges` served from it.
+    ///
+    /// This is the scatter/gather entry point recovery uses to verify
+    /// every frame header of a segment in a single pass instead of one
+    /// open-seek-read per entry.
+    fn read_many(&mut self, path: &Path, ranges: &[(u64, usize)]) -> io::Result<Vec<Vec<u8>>>;
+
+    /// Append `bytes` to `path` (creating it if absent), sync the file,
+    /// and return the offset at which the write started.
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> io::Result<u64>;
+
+    /// Create/truncate `path`, write `bytes`, and sync the file.
+    fn write_file(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically rename `from` to `to`.
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Remove a file; missing files are not an error.
+    fn remove(&mut self, path: &Path) -> io::Result<()>;
+
+    /// List the entries of `dir` (files only, full paths).
+    fn list(&mut self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Length of the file at `path` in bytes.
+    fn file_len(&mut self, path: &Path) -> io::Result<u64>;
+
+    /// Sync a directory so renames/creates within it are durable.
+    fn sync_dir(&mut self, dir: &Path) -> io::Result<()>;
+
+    /// Create `dir` and any missing parents.
+    fn create_dir_all(&mut self, dir: &Path) -> io::Result<()>;
+}
+
+/// Whether an IO error is worth retrying.
+///
+/// Transient faults (`EIO`, interrupted/timed-out syscalls) may succeed
+/// on a later attempt; everything else — notably `ENOSPC` — is treated
+/// as permanent and makes the store degrade instead of spin.
+pub fn is_transient(e: &io::Error) -> bool {
+    if matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::TimedOut
+    ) {
+        return true;
+    }
+    // EIO has no stable `ErrorKind`; match the raw errno (5 on Linux).
+    e.raw_os_error() == Some(5)
+}
+
+/// True if the error is "out of space" (`ENOSPC`, errno 28).
+pub fn is_enospc(e: &io::Error) -> bool {
+    e.raw_os_error() == Some(28) || matches!(e.kind(), io::ErrorKind::StorageFull)
+}
+
+/// The production [`StoreIo`]: real files, strict durability.
+#[derive(Debug, Default)]
+pub struct RealIo;
+
+impl RealIo {
+    /// A fresh instance (stateless; exists for symmetry with `FaultIo`).
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+fn read_exact_at(f: &mut File, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+    f.seek(SeekFrom::Start(offset))?;
+    let mut buf = vec![0u8; len];
+    f.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+impl StoreIo for RealIo {
+    fn read_file(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn read_range(&mut self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let mut f = File::open(path)?;
+        read_exact_at(&mut f, offset, len)
+    }
+
+    fn read_many(&mut self, path: &Path, ranges: &[(u64, usize)]) -> io::Result<Vec<Vec<u8>>> {
+        let mut f = File::open(path)?;
+        let mut out = Vec::with_capacity(ranges.len());
+        for &(offset, len) in ranges {
+            out.push(read_exact_at(&mut f, offset, len)?);
+        }
+        Ok(out)
+    }
+
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> io::Result<u64> {
+        let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+        let offset = f.seek(SeekFrom::End(0))?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        Ok(offset)
+    }
+
+    fn write_file(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove(&mut self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
+    fn list(&mut self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn file_len(&mut self, path: &Path) -> io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+
+    fn sync_dir(&mut self, dir: &Path) -> io::Result<()> {
+        // Directory fsync is how the rename in an atomic swap becomes
+        // durable. Platforms that cannot open a directory read-only for
+        // syncing simply skip it.
+        match File::open(dir) {
+            Ok(f) => f.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn create_dir_all(&mut self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+}

@@ -1,0 +1,154 @@
+//! Byte-budgeted true-LRU memory tier.
+//!
+//! Entries are promoted on hit (unlike the PR 3 `MemStore` this
+//! replaces, which evicted in insertion order and so dropped hot
+//! warm-ups under pressure). Payloads are shared `Arc`s so a hit hands
+//! out the same allocation the disk tier decoded.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Key of a memory-tier entry: (entry kind tag, content key).
+pub type MemKey = (u8, u64);
+
+/// A byte-budgeted LRU map from [`MemKey`] to shared payloads.
+#[derive(Debug, Default)]
+pub struct Lru {
+    cap_bytes: usize,
+    bytes: usize,
+    clock: u64,
+    entries: HashMap<MemKey, (Arc<Vec<u8>>, u64)>,
+}
+
+impl Lru {
+    /// An empty cache holding at most `cap_bytes` of payload.
+    pub fn new(cap_bytes: usize) -> Self {
+        Self {
+            cap_bytes,
+            ..Self::default()
+        }
+    }
+
+    /// Look up `key`, promoting it to most-recently-used on hit.
+    pub fn get(&mut self, key: MemKey) -> Option<Arc<Vec<u8>>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(&key).map(|(payload, stamp)| {
+            *stamp = clock;
+            Arc::clone(payload)
+        })
+    }
+
+    /// Insert or replace `key`, then evict least-recently-used entries
+    /// until the budget holds. An over-budget payload is still admitted
+    /// alone (the budget bounds *steady-state* memory, and refusing it
+    /// would make large warm-ups uncacheable).
+    pub fn put(&mut self, key: MemKey, payload: Arc<Vec<u8>>) {
+        self.clock += 1;
+        if let Some((old, stamp)) = self.entries.get_mut(&key) {
+            self.bytes -= old.len();
+            self.bytes += payload.len();
+            *old = payload;
+            *stamp = self.clock;
+        } else {
+            self.bytes += payload.len();
+            self.entries.insert(key, (payload, self.clock));
+        }
+        while self.bytes > self.cap_bytes && self.entries.len() > 1 {
+            // O(n) min-scan: entry counts here are tens of warm-ups,
+            // not thousands of pages — a linked list would be noise.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| *k)
+                .expect("non-empty");
+            if let Some((payload, _)) = self.entries.remove(&victim) {
+                self.bytes -= payload.len();
+            }
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resident payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Drop everything (test hook; mirrors the old `clear_memory`).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(n: usize, fill: u8) -> Arc<Vec<u8>> {
+        Arc::new(vec![fill; n])
+    }
+
+    #[test]
+    fn hit_promotes_true_lru() {
+        let mut lru = Lru::new(250);
+        lru.put((0, 1), blob(100, 1));
+        lru.put((0, 2), blob(100, 2));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(lru.get((0, 1)).is_some());
+        lru.put((0, 3), blob(100, 3));
+        assert!(lru.get((0, 1)).is_some(), "hot entry must survive");
+        assert!(lru.get((0, 2)).is_none(), "cold entry must be evicted");
+        assert!(lru.get((0, 3)).is_some());
+        assert!(lru.bytes() <= 250);
+    }
+
+    #[test]
+    fn insertion_order_without_hits_evicts_oldest() {
+        let mut lru = Lru::new(250);
+        lru.put((0, 1), blob(100, 1));
+        lru.put((0, 2), blob(100, 2));
+        lru.put((0, 3), blob(100, 3));
+        assert!(lru.get((0, 1)).is_none());
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn replace_updates_bytes() {
+        let mut lru = Lru::new(1000);
+        lru.put((1, 7), blob(400, 0));
+        lru.put((1, 7), blob(100, 1));
+        assert_eq!(lru.bytes(), 100);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get((1, 7)).expect("hit").len(), 100);
+    }
+
+    #[test]
+    fn oversized_entry_admitted_alone() {
+        let mut lru = Lru::new(50);
+        lru.put((0, 1), blob(40, 0));
+        lru.put((0, 2), blob(500, 1));
+        assert_eq!(lru.len(), 1);
+        assert!(lru.get((0, 2)).is_some());
+    }
+
+    #[test]
+    fn kinds_do_not_collide() {
+        let mut lru = Lru::new(1000);
+        lru.put((0, 9), blob(10, 0));
+        lru.put((1, 9), blob(10, 1));
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get((0, 9)).expect("warmup")[0], 0);
+        assert_eq!(lru.get((1, 9)).expect("report")[0], 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Crash-recovery property test (the robustness contract of the PR):
+//! kill the store at **every** IO operation index of a scripted
+//! workload, reopen with clean IO, and assert that every readable
+//! entry is bit-identical to *some* value the workload actually put
+//! under that key — i.e. recovery yields either exact bytes or a clean
+//! cold-fallback miss, never wrong bits — and that the reopened store
+//! still accepts writes.
+
+use psa_common::DetRng;
+use psa_store::fault::{FaultIo, FaultPlan};
+use psa_store::io::RealIo;
+use psa_store::{EntryKind, Store, StoreConfig};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("psa-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_cfg(dir: &Path) -> StoreConfig {
+    let mut c = StoreConfig::new(dir);
+    // Small segments and a low retry count so the workload exercises
+    // rotation and compaction without inflating the op count.
+    c.segment_cap_bytes = 400;
+    c.max_attempts = 2;
+    c
+}
+
+/// The scripted workload: a deterministic mix of puts, overwrites and
+/// gets across both entry kinds. Returns the full value history per
+/// key. Ignores put errors — after a crash point every op fails, and
+/// the store must absorb that gracefully.
+fn run_workload(store: &mut Store) -> HashMap<(EntryKind, u64), Vec<Vec<u8>>> {
+    let mut rng = DetRng::new(0xC0FFEE);
+    let mut history: HashMap<(EntryKind, u64), Vec<Vec<u8>>> = HashMap::new();
+    let kinds = [EntryKind::Warmup, EntryKind::Report];
+    for step in 0..14u64 {
+        let kind = kinds[(step % 2) as usize];
+        let key = rng.below(5); // few keys → overwrites happen
+        let len = 40 + rng.below(160) as usize;
+        let payload: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let _ = store.put(kind, key, Arc::new(payload.clone()));
+        history.entry((kind, key)).or_default().push(payload);
+        if step % 3 == 0 {
+            store.clear_memory(); // force disk reads
+            let probe = rng.below(5);
+            let _ = store.get(kind, probe);
+        }
+    }
+    history
+}
+
+/// After recovery, `get` must return bytes from the key's history or
+/// nothing at all.
+fn assert_no_wrong_bits(
+    store: &mut Store,
+    history: &HashMap<(EntryKind, u64), Vec<Vec<u8>>>,
+    ctx: &str,
+) {
+    store.clear_memory();
+    for ((kind, key), values) in history {
+        if let Some((got, _)) = store.get(*kind, *key) {
+            assert!(
+                values.iter().any(|v| v == &*got),
+                "{ctx}: key ({kind:?},{key}) returned bytes matching no put value"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_crash_point_recovers_to_exact_bytes_or_clean_miss() {
+    // Pass 1: clean run to learn the op count and expected history.
+    let dir = test_dir("census");
+    let io = FaultIo::new(RealIo::new(), FaultPlan::default());
+    let ops = io.op_counter();
+    let mut store = Store::open_with_io(small_cfg(&dir), Box::new(io));
+    let history = run_workload(&mut store);
+    assert_no_wrong_bits(&mut store, &history, "clean run");
+    let total_ops = ops.load(Ordering::Relaxed);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        total_ops > 20,
+        "workload too small to be interesting: {total_ops} ops"
+    );
+
+    // Pass 2: crash at every op index, reopen clean, verify.
+    for crash_at in 0..total_ops {
+        let dir = test_dir(&format!("k{crash_at}"));
+        let plan = FaultPlan {
+            crash_at: Some(crash_at),
+            ..FaultPlan::default()
+        };
+        let io = FaultIo::new(RealIo::new(), plan);
+        let mut store = Store::open_with_io(small_cfg(&dir), Box::new(io));
+        let history = run_workload(&mut store);
+        drop(store);
+
+        let mut store = Store::open(small_cfg(&dir));
+        assert_no_wrong_bits(&mut store, &history, &format!("crash@{crash_at}"));
+        // The recovered store must still accept new work.
+        store
+            .put(EntryKind::Report, 999, Arc::new(vec![0xAB; 64]))
+            .unwrap_or_else(|e| panic!("crash@{crash_at}: post-recovery put failed: {e}"));
+        store.clear_memory();
+        let (got, _) = store
+            .get(EntryKind::Report, 999)
+            .unwrap_or_else(|| panic!("crash@{crash_at}: post-recovery get failed"));
+        assert_eq!(*got, vec![0xAB; 64]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn seeded_fault_storms_never_serve_wrong_bits() {
+    // All four fault kinds at aggressive rates, several seeds; after
+    // each stormy run a clean reopen must satisfy the same contract.
+    for seed in 0..6u64 {
+        let dir = test_dir(&format!("storm{seed}"));
+        let mut c = small_cfg(&dir);
+        c.fault_plan = Some(
+            FaultPlan::parse(&format!(
+                "seed={seed},torn=0.08,flip=0.08,enospc=0.04,eio=0.12"
+            ))
+            .expect("plan"),
+        );
+        let mut store = Store::open(c);
+        let history = run_workload(&mut store);
+        // Contract holds even while faults are still being injected
+        // (reads may miss, but never corrupt).
+        assert_no_wrong_bits(
+            &mut store,
+            &history,
+            &format!("storm seed {seed} (faulted)"),
+        );
+        drop(store);
+
+        let mut store = Store::open(small_cfg(&dir));
+        assert_no_wrong_bits(&mut store, &history, &format!("storm seed {seed} (clean)"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,322 @@
+//! Behavioural tests of the tiered store over real files: tier
+//! interplay, recovery from torn/corrupt state, retry and degradation
+//! under injected faults, eviction and compaction.
+
+use psa_store::fault::FaultPlan;
+use psa_store::{EntryKind, Store, StoreConfig, StoreError, Tier};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("psa-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg(dir: &Path) -> StoreConfig {
+    StoreConfig::new(dir)
+}
+
+fn blob(n: usize, fill: u8) -> Arc<Vec<u8>> {
+    Arc::new((0..n).map(|i| fill ^ (i as u8)).collect())
+}
+
+fn seg_files(dir: &Path) -> Vec<String> {
+    let mut out: Vec<String> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .filter(|n| n.starts_with("seg-"))
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+#[test]
+fn roundtrip_through_both_tiers_and_reopen() {
+    let dir = test_dir("roundtrip");
+    let payload = blob(1234, 0x5a);
+
+    let mut store = Store::open(cfg(&dir));
+    store
+        .put(EntryKind::Warmup, 42, Arc::clone(&payload))
+        .expect("put");
+
+    let (got, tier) = store.get(EntryKind::Warmup, 42).expect("memory hit");
+    assert_eq!(tier, Tier::Memory);
+    assert_eq!(*got, *payload);
+
+    store.clear_memory();
+    let (got, tier) = store.get(EntryKind::Warmup, 42).expect("disk hit");
+    assert_eq!(tier, Tier::Disk);
+    assert_eq!(*got, *payload);
+
+    drop(store);
+    let mut store = Store::open(cfg(&dir));
+    assert_eq!(store.recovery().entries_kept, 1);
+    assert_eq!(store.recovery().entries_dropped, 0);
+    assert_eq!(store.recovery().recovered_bytes, 1234);
+    let (got, tier) = store.get(EntryKind::Warmup, 42).expect("hit after reopen");
+    assert_eq!(tier, Tier::Disk);
+    assert_eq!(*got, *payload);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kinds_are_disjoint_key_spaces() {
+    let dir = test_dir("kinds");
+    let mut store = Store::open(cfg(&dir));
+    store.put(EntryKind::Warmup, 7, blob(64, 1)).expect("put");
+    store.put(EntryKind::Report, 7, blob(96, 2)).expect("put");
+    store.clear_memory();
+    assert_eq!(store.get(EntryKind::Warmup, 7).expect("warmup").0.len(), 64);
+    assert_eq!(store.get(EntryKind::Report, 7).expect("report").0.len(), 96);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flip_on_disk_quarantines_never_serves() {
+    let dir = test_dir("bitflip");
+    let mut store = Store::open(cfg(&dir));
+    store
+        .put(EntryKind::Warmup, 9, blob(512, 0x33))
+        .expect("put");
+    store.clear_memory();
+
+    // Flip one payload bit in the (only) segment file.
+    let seg = seg_files(&dir);
+    assert_eq!(seg.len(), 1);
+    let seg_path = dir.join(&seg[0]);
+    let mut bytes = std::fs::read(&seg_path).expect("read seg");
+    let n = bytes.len();
+    bytes[n - 1] ^= 0x01;
+    std::fs::write(&seg_path, &bytes).expect("write seg");
+
+    assert!(
+        store.get(EntryKind::Warmup, 9).is_none(),
+        "corrupt entry must miss"
+    );
+    assert_eq!(store.disk_entries(), 0, "corrupt entry must be quarantined");
+    assert!(store.get(EntryKind::Warmup, 9).is_none(), "stays gone");
+
+    // The store remains usable.
+    store
+        .put(EntryKind::Warmup, 9, blob(512, 0x44))
+        .expect("re-put");
+    store.clear_memory();
+    assert_eq!(store.get(EntryKind::Warmup, 9).expect("re-get").0[0], 0x44);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_segment_dropped_at_recovery() {
+    let dir = test_dir("truncated");
+    let mut store = Store::open(cfg(&dir));
+    store.put(EntryKind::Warmup, 1, blob(300, 1)).expect("put");
+    store.put(EntryKind::Warmup, 2, blob(300, 2)).expect("put");
+    drop(store);
+
+    // Tear the tail off the segment: entry 2's frame becomes
+    // out-of-bounds, entry 1 stays intact.
+    let seg = seg_files(&dir);
+    assert_eq!(seg.len(), 1);
+    let seg_path = dir.join(&seg[0]);
+    let bytes = std::fs::read(&seg_path).expect("read seg");
+    std::fs::write(&seg_path, &bytes[..bytes.len() - 100]).expect("truncate");
+
+    let mut store = Store::open(cfg(&dir));
+    assert_eq!(store.recovery().entries_dropped, 1);
+    assert_eq!(store.recovery().entries_kept, 1);
+    assert_eq!(
+        store.get(EntryKind::Warmup, 1).expect("survivor").0.len(),
+        300
+    );
+    assert!(store.get(EntryKind::Warmup, 2).is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_manifest_restarts_empty_but_usable() {
+    let dir = test_dir("badman");
+    let mut store = Store::open(cfg(&dir));
+    store.put(EntryKind::Warmup, 5, blob(200, 5)).expect("put");
+    drop(store);
+
+    let man = dir.join("MANIFEST");
+    let mut bytes = std::fs::read(&man).expect("read manifest");
+    bytes[10] ^= 0xff;
+    std::fs::write(&man, &bytes).expect("write manifest");
+
+    let mut store = Store::open(cfg(&dir));
+    assert!(store.recovery().manifest_corrupt);
+    assert_eq!(store.disk_entries(), 0);
+    assert!(store.get(EntryKind::Warmup, 5).is_none());
+    // Unlocatable segments were garbage-collected.
+    assert!(seg_files(&dir).is_empty());
+
+    store
+        .put(EntryKind::Warmup, 5, blob(200, 6))
+        .expect("put after recovery");
+    store.clear_memory();
+    assert_eq!(store.get(EntryKind::Warmup, 5).expect("get").0[0], 6);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_eio_is_retried_to_success() {
+    let dir = test_dir("eio");
+    let mut c = cfg(&dir);
+    // Op indices: 0 = create_dir, 1 = manifest read (NotFound), then
+    // the put: 2 = append (faulted), 3 = retried append (clean), ...
+    c.fault_plan = Some(FaultPlan::parse("eio@2").expect("plan"));
+    let mut store = Store::open(c);
+    store
+        .put(EntryKind::Warmup, 3, blob(128, 9))
+        .expect("put must succeed via retry");
+    store.clear_memory();
+    assert_eq!(store.get(EntryKind::Warmup, 3).expect("get").0.len(), 128);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn enospc_degrades_to_memory_only_never_wrong_bits() {
+    let dir = test_dir("enospc");
+    let mut c = cfg(&dir);
+    c.fault_plan = Some(FaultPlan::parse("seed=1,enospc=1.0").expect("plan"));
+    let mut store = Store::open(c);
+    let payload = blob(256, 0x7e);
+    let err = store
+        .put(EntryKind::Warmup, 11, Arc::clone(&payload))
+        .expect_err("disk is full");
+    assert!(
+        matches!(
+            err,
+            StoreError::NoSpace { .. } | StoreError::Degraded | StoreError::Io { .. }
+        ),
+        "unexpected error: {err}"
+    );
+    // Memory tier still serves the exact bytes.
+    let (got, tier) = store.get(EntryKind::Warmup, 11).expect("memory hit");
+    assert_eq!(tier, Tier::Memory);
+    assert_eq!(*got, *payload);
+    // Once degraded, further puts fail fast.
+    store
+        .put(EntryKind::Warmup, 12, blob(64, 1))
+        .expect_err("degraded");
+
+    // A clean reopen sees either nothing or the exact bytes.
+    drop(store);
+    let mut store = Store::open(cfg(&dir));
+    if let Some((got, _)) = store.get(EntryKind::Warmup, 11) {
+        assert_eq!(*got, *payload);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lru_eviction_respects_disk_budget() {
+    let dir = test_dir("evict");
+    let mut c = cfg(&dir);
+    // Frames are 29 + 100 bytes; budget fits two of them.
+    c.disk_cap_bytes = 280;
+    c.mem_cap_bytes = 0; // force disk reads so stamps reflect gets
+    let mut store = Store::open(c);
+    store.put(EntryKind::Warmup, 1, blob(100, 1)).expect("put");
+    store.put(EntryKind::Warmup, 2, blob(100, 2)).expect("put");
+    // Touch 1 so 2 is the LRU victim.
+    assert!(store.get(EntryKind::Warmup, 1).is_some());
+    store.put(EntryKind::Warmup, 3, blob(100, 3)).expect("put");
+    assert!(
+        store.disk_bytes() <= 280,
+        "budget exceeded: {}",
+        store.disk_bytes()
+    );
+    assert!(
+        store.get(EntryKind::Warmup, 2).is_none(),
+        "cold entry evicted"
+    );
+    assert!(
+        store.get(EntryKind::Warmup, 1).is_some(),
+        "hot entry survives"
+    );
+    assert!(store.get(EntryKind::Warmup, 3).is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_moves_live_frames_and_removes_dead_segment() {
+    let dir = test_dir("compact");
+    let mut c = cfg(&dir);
+    // Frame = 29 + 71 = 100 bytes; three frames fill a segment.
+    c.segment_cap_bytes = 300;
+    let mut store = Store::open(c);
+    store.put(EntryKind::Warmup, 1, blob(71, 1)).expect("put A");
+    store.put(EntryKind::Warmup, 2, blob(71, 2)).expect("put B");
+    store.put(EntryKind::Warmup, 3, blob(71, 3)).expect("put C");
+    let first_seg = seg_files(&dir);
+    assert_eq!(first_seg.len(), 1, "A/B/C share the first segment");
+    store
+        .put(EntryKind::Warmup, 4, blob(71, 4))
+        .expect("put D rotates");
+    // Kill A and B: the first segment is now 2/3 dead and compaction
+    // must move C out and delete the file.
+    store
+        .put(EntryKind::Warmup, 1, blob(71, 11))
+        .expect("overwrite A");
+    store
+        .put(EntryKind::Warmup, 2, blob(71, 12))
+        .expect("overwrite B");
+    assert!(
+        !seg_files(&dir).contains(&first_seg[0]),
+        "dead segment must be compacted away, files now: {:?}",
+        seg_files(&dir)
+    );
+    store.clear_memory();
+    assert_eq!(store.get(EntryKind::Warmup, 1).expect("A'").0[0], 11);
+    assert_eq!(store.get(EntryKind::Warmup, 2).expect("B'").0[0], 12);
+    assert_eq!(store.get(EntryKind::Warmup, 3).expect("C").0[0], 3);
+    assert_eq!(store.get(EntryKind::Warmup, 4).expect("D").0[0], 4);
+
+    // Reopen: everything still there.
+    drop(store);
+    let mut store = Store::open(cfg(&dir));
+    assert_eq!(store.recovery().entries_kept, 4);
+    assert_eq!(store.get(EntryKind::Warmup, 3).expect("C").0.len(), 71);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_files_in_store_dir_are_never_touched() {
+    let dir = test_dir("foreign");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let legacy = dir.join("psa-0123456789abcdef.ckpt");
+    std::fs::write(&legacy, b"legacy flat checkpoint").expect("write legacy");
+
+    let mut store = Store::open(cfg(&dir));
+    store.put(EntryKind::Warmup, 1, blob(50, 1)).expect("put");
+    drop(store);
+    let _ = Store::open(cfg(&dir)); // recovery GC pass
+
+    assert_eq!(
+        std::fs::read(&legacy).expect("legacy file must survive"),
+        b"legacy flat checkpoint"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_manifest_tmp_is_garbage_collected() {
+    let dir = test_dir("staletmp");
+    let mut store = Store::open(cfg(&dir));
+    store.put(EntryKind::Warmup, 1, blob(50, 1)).expect("put");
+    drop(store);
+    std::fs::write(dir.join("MANIFEST.tmp"), b"torn half-written manifest").expect("write tmp");
+
+    let store = Store::open(cfg(&dir));
+    assert!(store.recovery().files_removed >= 1);
+    assert!(!dir.join("MANIFEST.tmp").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -15,7 +15,7 @@
 
 use page_size_aware_prefetching::sim::Json;
 
-/// Every field a `BENCH_*.json` document must carry (schema v3,
+/// Every field a `BENCH_*.json` document must carry (schema v3+,
 /// `docs/METRICS.md`).
 const REQUIRED: [&str; 7] = [
     "schema_version",
@@ -29,6 +29,18 @@ const REQUIRED: [&str; 7] = [
 
 /// Fields of the executor phase profile introduced by schema v3.
 const PHASES: [&str; 3] = ["warmup_seconds", "measure_seconds", "snapshot_io_seconds"];
+
+/// Fields of the executor storage-tier counters introduced by schema v4
+/// (the crash-safe tiered checkpoint/result store).
+const STORE: [&str; 7] = [
+    "hits",
+    "misses",
+    "retries",
+    "quarantined",
+    "recovered_bytes",
+    "write_failures",
+    "injected_faults",
+];
 
 fn validate_bench(path: &str, doc: &Json) -> Result<(), String> {
     for field in REQUIRED {
@@ -48,6 +60,17 @@ fn validate_bench(path: &str, doc: &Json) -> Result<(), String> {
         for field in PHASES {
             if phases.get(field).is_none() {
                 return Err(format!("{path}: missing executor.phases.{field}"));
+            }
+        }
+    }
+    if version >= 4.0 {
+        let executor = doc.get("executor").expect("checked above");
+        let store = executor
+            .get("store")
+            .ok_or_else(|| format!("{path}: schema v4 executor lacks \"store\""))?;
+        for field in STORE {
+            if store.get(field).is_none() {
+                return Err(format!("{path}: missing executor.store.{field}"));
             }
         }
     }
