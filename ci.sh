@@ -174,4 +174,66 @@ if grep -q '"injected_faults": 0' "$FAULT_TMP/cold/BENCH_fig08.json" \
 fi
 echo "rows identical under injected faults, plan verifiably active"
 
+# Server smoke gate (see docs/SERVER.md): boot the psa_serve daemon on
+# an ephemeral port, run one sweep end to end over real sockets with
+# the bundled client (no curl needed), schema-validate the served
+# document, scrape /metrics, prove a repeat submission dedups, then
+# SIGTERM with queued work in flight — the daemon must drain and exit 0.
+echo "== server smoke gate (psa_serve e2e + SIGTERM drain) =="
+SERVE_TMP="$(mktemp -d)"
+SERVE_PID=""
+trap 'rm -rf "$CKPT_TMP" "$COLD_TMP" "$WARM_TMP" "$OBS_TMP" "$GOLD_TMP" \
+  "$FAULT_TMP" "$SERVE_TMP"
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+target/release/psa_serve serve --addr 127.0.0.1:0 --job-delay-ms 200 \
+  --port-file "$SERVE_TMP/port" > "$SERVE_TMP/log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$SERVE_TMP/port" ] && break; sleep 0.1; done
+[ -s "$SERVE_TMP/port" ] || {
+  echo "psa_serve never wrote its port file"; cat "$SERVE_TMP/log"; exit 1; }
+BASE="http://127.0.0.1:$(cat "$SERVE_TMP/port")"
+CLIENT=(target/release/psa_serve client)
+"${CLIENT[@]}" GET "$BASE/healthz" > "$SERVE_TMP/health"
+grep -q '"ok"' "$SERVE_TMP/health"
+SPEC='{"figure": "fig08", "workloads": ["lbm"],
+       "variants": ["SPP", "no-prefetch"], "seed": 9,
+       "warmup": 2000, "instructions": 8000}'
+"${CLIENT[@]}" POST "$BASE/jobs" --body "$SPEC" > "$SERVE_TMP/submit"
+JOB="$(grep -o '"id": "[^"]*"' "$SERVE_TMP/submit" | head -1 | cut -d'"' -f4)"
+[ -n "$JOB" ] || { echo "job submission failed:"; cat "$SERVE_TMP/submit"; exit 1; }
+for _ in $(seq 1 600); do
+  "${CLIENT[@]}" GET "$BASE/jobs/$JOB" > "$SERVE_TMP/status"
+  grep -q '"state": "done"' "$SERVE_TMP/status" && break
+  grep -q '"state": "failed"' "$SERVE_TMP/status" && {
+    echo "served job failed:"; cat "$SERVE_TMP/status"; exit 1; }
+  sleep 0.1
+done
+grep -q '"state": "done"' "$SERVE_TMP/status" || {
+  echo "served job never finished:"; cat "$SERVE_TMP/status"; exit 1; }
+"${CLIENT[@]}" GET "$BASE/results/$JOB" > "$SERVE_TMP/BENCH_served.json"
+cargo run --release --quiet --bin validate_bench -- "$SERVE_TMP/BENCH_served.json"
+"${CLIENT[@]}" GET "$BASE/metrics" > "$SERVE_TMP/metrics"
+grep -q '^psa_serve_jobs_completed_total 1$' "$SERVE_TMP/metrics"
+grep -q '^# TYPE psa_executor_simulated_runs_total counter$' "$SERVE_TMP/metrics"
+grep -q '^# TYPE psa_store_hits_total counter$' "$SERVE_TMP/metrics"
+# An identical resubmission must join the finished job, not re-run it.
+"${CLIENT[@]}" POST "$BASE/jobs" --body "$SPEC" > "$SERVE_TMP/resubmit"
+grep -q '"deduped": true' "$SERVE_TMP/resubmit"
+# Queue one more sweep and SIGTERM while it is in flight: the daemon
+# must drain it ("draining N jobs" ... "shutdown complete") and exit 0.
+SPEC2='{"figure": "fig08", "workloads": ["lbm"],
+        "variants": ["SPP", "no-prefetch"], "seed": 10,
+        "warmup": 2000, "instructions": 8000}'
+"${CLIENT[@]}" POST "$BASE/jobs" --body "$SPEC2" > /dev/null
+kill -TERM "$SERVE_PID"
+SERVE_RC=0; wait "$SERVE_PID" || SERVE_RC=$?
+SERVE_PID=""
+[ "$SERVE_RC" = 0 ] || {
+  echo "psa_serve exited $SERVE_RC:"; cat "$SERVE_TMP/log"; exit 1; }
+grep -q 'draining' "$SERVE_TMP/log" || {
+  echo "daemon never reported draining:"; cat "$SERVE_TMP/log"; exit 1; }
+grep -q 'shutdown complete' "$SERVE_TMP/log" || {
+  echo "daemon never reported shutdown:"; cat "$SERVE_TMP/log"; exit 1; }
+echo "served document validated, dedup live, metrics scraped, drain clean"
+
 echo "ci.sh: all green"

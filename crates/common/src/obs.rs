@@ -710,6 +710,300 @@ pub mod store {
     }
 }
 
+/// Prometheus text exposition (format version 0.0.4) rendering.
+///
+/// A [`prom::PromText`] accumulates metric families — `# HELP` / `# TYPE`
+/// headers followed by samples — and enforces the exposition grammar as
+/// it goes: metric and label names are validated against the Prometheus
+/// character set, label values and help strings are escaped, and a
+/// family's header is written exactly once. The output is what a
+/// `/metrics` endpoint serves to a scraper.
+///
+/// The renderer is deliberately dependency-free and content-agnostic:
+/// callers decide which registries to walk. [`prom::store_metrics`]
+/// renders the always-on storage-tier counters of [`store`]; the
+/// experiment executor and any server front-end render their own
+/// counters through the same writer.
+pub mod prom {
+    use super::store;
+
+    /// The two Prometheus metric kinds this codebase exports.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum MetricKind {
+        /// Monotonically increasing; name should end in `_total` (or a
+        /// unit suffix such as `_seconds_total`).
+        Counter,
+        /// A value that can go up and down (depths, capacities, uptime).
+        Gauge,
+    }
+
+    impl MetricKind {
+        /// The `# TYPE` keyword.
+        pub fn keyword(self) -> &'static str {
+            match self {
+                MetricKind::Counter => "counter",
+                MetricKind::Gauge => "gauge",
+            }
+        }
+    }
+
+    /// Whether `name` is a valid Prometheus metric name:
+    /// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+    pub fn valid_metric_name(name: &str) -> bool {
+        let mut chars = name.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    /// Whether `name` is a valid Prometheus label name:
+    /// `[a-zA-Z_][a-zA-Z0-9_]*` and not a double-underscore reserved name.
+    pub fn valid_label_name(name: &str) -> bool {
+        let mut chars = name.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_') && !name.starts_with("__")
+    }
+
+    /// Escape a label value: backslash, double quote and newline.
+    fn escape_label_value(v: &str, out: &mut String) {
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+    }
+
+    /// Escape a help string: backslash and newline.
+    fn escape_help(v: &str, out: &mut String) {
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+    }
+
+    /// Render a sample value the way Prometheus expects: integers
+    /// without a fractional part, everything else via Rust's shortest
+    /// round-trip `f64` formatting.
+    fn format_value(v: f64, out: &mut String) {
+        if v.is_nan() {
+            out.push_str("NaN");
+        } else if v.is_infinite() {
+            out.push_str(if v > 0.0 { "+Inf" } else { "-Inf" });
+        } else if v == v.trunc() && v.abs() < (1u64 << 53) as f64 {
+            out.push_str(&format!("{}", v as i64));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    }
+
+    /// An in-progress Prometheus text exposition document.
+    #[derive(Debug, Default)]
+    pub struct PromText {
+        out: String,
+        current_family: String,
+    }
+
+    impl PromText {
+        /// An empty document.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Start a metric family: write its `# HELP` and `# TYPE` lines.
+        /// Every subsequent [`PromText::sample`] must use this name until
+        /// the next `family` call.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `name` is not a valid metric name — an invalid
+        /// exposition would make the whole endpoint unscrapable, so this
+        /// is a programming error, not an input error.
+        pub fn family(&mut self, name: &str, kind: MetricKind, help: &str) {
+            assert!(valid_metric_name(name), "invalid metric name {name:?}");
+            self.out.push_str("# HELP ");
+            self.out.push_str(name);
+            self.out.push(' ');
+            escape_help(help, &mut self.out);
+            self.out.push_str("\n# TYPE ");
+            self.out.push_str(name);
+            self.out.push(' ');
+            self.out.push_str(kind.keyword());
+            self.out.push('\n');
+            self.current_family = name.to_string();
+        }
+
+        /// Add one sample line to the current family.
+        ///
+        /// # Panics
+        ///
+        /// Panics when no family is open or a label name is invalid (see
+        /// [`PromText::family`] for why this is an assertion).
+        pub fn sample(&mut self, labels: &[(&str, &str)], value: f64) {
+            assert!(
+                !self.current_family.is_empty(),
+                "sample before any family()"
+            );
+            let name = self.current_family.clone();
+            self.out.push_str(&name);
+            if !labels.is_empty() {
+                self.out.push('{');
+                for (i, (k, v)) in labels.iter().enumerate() {
+                    assert!(valid_label_name(k), "invalid label name {k:?}");
+                    if i > 0 {
+                        self.out.push(',');
+                    }
+                    self.out.push_str(k);
+                    self.out.push_str("=\"");
+                    escape_label_value(v, &mut self.out);
+                    self.out.push('"');
+                }
+                self.out.push('}');
+            }
+            self.out.push(' ');
+            format_value(value, &mut self.out);
+            self.out.push('\n');
+        }
+
+        /// Convenience: a whole single-sample counter family.
+        pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+            self.family(name, MetricKind::Counter, help);
+            #[allow(clippy::cast_precision_loss)]
+            self.sample(&[], value as f64);
+        }
+
+        /// Convenience: a whole single-sample gauge family.
+        pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+            self.family(name, MetricKind::Gauge, help);
+            self.sample(&[], value);
+        }
+
+        /// The finished exposition body (`text/plain; version=0.0.4`).
+        pub fn render(self) -> String {
+            self.out
+        }
+    }
+
+    /// Render the process-wide storage-tier counters ([`store::global`])
+    /// as the `psa_store_*` family group.
+    pub fn store_metrics(w: &mut PromText) {
+        let s = store::global().snapshot();
+        w.counter(
+            "psa_store_hits_total",
+            "Checkpoint/result store entries served and checksum-verified.",
+            s.hits,
+        );
+        w.counter(
+            "psa_store_misses_total",
+            "Checkpoint/result store lookups that found no usable entry.",
+            s.misses,
+        );
+        w.counter(
+            "psa_store_retries_total",
+            "Transient-IO retries performed by the store's bounded retry layer.",
+            s.retries,
+        );
+        w.counter(
+            "psa_store_quarantined_total",
+            "Store entries dropped because their bytes failed validation.",
+            s.quarantined,
+        );
+        w.counter(
+            "psa_store_recovered_bytes_total",
+            "Live payload bytes salvaged by store recovery-on-open.",
+            s.recovered_bytes,
+        );
+        w.counter(
+            "psa_store_write_failures_total",
+            "Store writes that failed after retries (degraded, never wrong bits).",
+            s.write_failures,
+        );
+        w.counter(
+            "psa_store_injected_faults_total",
+            "IO faults actually injected by a configured PSA_FAULT_PLAN.",
+            s.injected_faults,
+        );
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn name_validation() {
+            assert!(valid_metric_name("psa_serve_jobs_total"));
+            assert!(valid_metric_name("a:b_c1"));
+            assert!(!valid_metric_name("1abc"));
+            assert!(!valid_metric_name(""));
+            assert!(!valid_metric_name("has space"));
+            assert!(!valid_metric_name("has-dash"));
+            assert!(valid_label_name("figure"));
+            assert!(!valid_label_name("__reserved"));
+            assert!(!valid_label_name("9lives"));
+        }
+
+        #[test]
+        fn renders_families_and_samples() {
+            let mut w = PromText::new();
+            w.counter("jobs_total", "Jobs.", 3);
+            w.family("http_requests_total", MetricKind::Counter, "By class.");
+            w.sample(&[("class", "2xx")], 7.0);
+            w.sample(&[("class", "5xx")], 0.0);
+            w.gauge("depth", "Queue depth.", 2.5);
+            let text = w.render();
+            let lines: Vec<&str> = text.lines().collect();
+            assert_eq!(lines[0], "# HELP jobs_total Jobs.");
+            assert_eq!(lines[1], "# TYPE jobs_total counter");
+            assert_eq!(lines[2], "jobs_total 3");
+            assert!(lines.contains(&"http_requests_total{class=\"2xx\"} 7"));
+            assert!(lines.contains(&"http_requests_total{class=\"5xx\"} 0"));
+            assert!(lines.contains(&"depth 2.5"));
+            assert!(text.ends_with('\n'));
+        }
+
+        #[test]
+        fn escapes_label_values_and_help() {
+            let mut w = PromText::new();
+            w.family("m", MetricKind::Gauge, "line\nbreak \\ done");
+            w.sample(&[("l", "quo\"te\\back\nline")], 1.0);
+            let text = w.render();
+            assert!(text.contains("# HELP m line\\nbreak \\\\ done"));
+            assert!(text.contains("m{l=\"quo\\\"te\\\\back\\nline\"} 1"));
+        }
+
+        #[test]
+        fn store_metrics_cover_every_counter() {
+            let mut w = PromText::new();
+            store_metrics(&mut w);
+            let text = w.render();
+            for name in [
+                "psa_store_hits_total",
+                "psa_store_misses_total",
+                "psa_store_retries_total",
+                "psa_store_quarantined_total",
+                "psa_store_recovered_bytes_total",
+                "psa_store_write_failures_total",
+                "psa_store_injected_faults_total",
+            ] {
+                assert!(
+                    text.contains(&format!("# TYPE {name} counter")),
+                    "missing {name}"
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -352,3 +352,32 @@ pub(crate) fn report_to_store(key: u64, report: &RunReport) {
         }
     });
 }
+
+/// Whether finished-*document* memoisation is on: same gate as report
+/// memoisation ([`report_memo_enabled`]) — the tiered disk store and
+/// observability off. A memoised document answers a whole sweep without
+/// touching the simulator, so an observed run must still execute.
+pub(crate) fn document_memo_enabled(config: &SimConfig) -> bool {
+    report_memo_enabled(config)
+}
+
+/// Fetch memoised finished-document bytes (a whole BENCH JSON served
+/// without simulating). A hit counts as a `ckpt_hits` store hit.
+pub(crate) fn document_from_store(key: u64) -> Option<Arc<Vec<u8>>> {
+    let bytes = with_backend(|b| match b {
+        Backend::Tiered(store) => store.get(EntryKind::Document, key).map(|(bytes, _)| bytes),
+        Backend::Memory(_) => None,
+    })?;
+    G_CKPT_HITS.fetch_add(1, Ordering::Relaxed);
+    Some(bytes)
+}
+
+/// Memoise finished-document bytes (write failures are counted, never
+/// fatal).
+pub(crate) fn document_to_store(key: u64, bytes: Arc<Vec<u8>>) {
+    with_backend(|b| {
+        if let Backend::Tiered(store) = b {
+            let _ = store.put(EntryKind::Document, key, bytes);
+        }
+    });
+}

@@ -74,5 +74,6 @@ pub mod fig13;
 pub mod fig1415;
 pub mod nonintensive;
 pub mod runner;
+pub mod service;
 
 pub use runner::{CkptLayout, RunnerOptions, Settings};

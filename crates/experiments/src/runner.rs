@@ -509,6 +509,53 @@ impl Variant {
             Variant::L1d(kind) => format!("L1D-{kind}"),
         }
     }
+
+    /// Every expressible variant, in a stable order — the inverse domain
+    /// of [`Variant::label`].
+    pub fn all() -> Vec<Variant> {
+        const KINDS: [PrefetcherKind; 5] = [
+            PrefetcherKind::Spp,
+            PrefetcherKind::Vldp,
+            PrefetcherKind::Ppf,
+            PrefetcherKind::Bop,
+            PrefetcherKind::NextLine,
+        ];
+        const POLICIES: [PageSizePolicy; 4] = [
+            PageSizePolicy::Original,
+            PageSizePolicy::Psa,
+            PageSizePolicy::Psa2m,
+            PageSizePolicy::PsaSd,
+        ];
+        const L1D: [L1dPrefKind; 4] = [
+            L1dPrefKind::None,
+            L1dPrefKind::NextLine,
+            L1dPrefKind::Ipcp,
+            L1dPrefKind::IpcpPlusPlus,
+        ];
+        let mut all = vec![Variant::NoPrefetch];
+        for &k in &KINDS {
+            for &p in &POLICIES {
+                all.push(Variant::Pref(k, p));
+            }
+        }
+        for &k in &KINDS {
+            for &p in &POLICIES {
+                all.push(Variant::PrefMagic(k, p));
+            }
+        }
+        for &k in &L1D {
+            all.push(Variant::L1d(k));
+        }
+        all
+    }
+
+    /// Parse a [`Variant::label`] back into the variant. Guaranteed
+    /// total over the label space by construction: the finite candidate
+    /// set is enumerated and compared by label, so `parse(v.label())
+    /// == Some(v)` for every variant (the round-trip test proves it).
+    pub fn parse(label: &str) -> Option<Variant> {
+        Variant::all().into_iter().find(|v| v.label() == label)
+    }
 }
 
 /// How one memoised `(workload, variant)` job ended.
@@ -789,9 +836,39 @@ fn journal_failure(workload: &'static str, label: String, reason: &str, watchdog
 /// `"failures": []` — when every job so far completed.
 pub fn failures_json() -> Json {
     let journal = G_FAILURES.lock().expect("unpoisoned failure journal");
+    render_failures(journal.iter())
+}
+
+/// A mark into the process-wide failure journal: everything journalled
+/// from now on is "after" this mark. Pair with [`failures_json_since`]
+/// to scope a document's `failures` array to one job's own runs in a
+/// long-lived process (a server), where the process journal accumulates
+/// across unrelated jobs.
+pub fn failures_mark() -> usize {
+    G_FAILURES.lock().expect("unpoisoned failure journal").len()
+}
+
+/// Like [`failures_json`], but restricted to failures journalled at or
+/// after `mark` ([`failures_mark`]) whose workload is in `workloads` —
+/// the failures attributable to one job's own batch.
+pub fn failures_json_since(mark: usize, workloads: &[&str]) -> Json {
+    let journal = G_FAILURES.lock().expect("unpoisoned failure journal");
+    render_failures(
+        journal
+            .iter()
+            .skip(mark)
+            .filter(|(w, ..)| workloads.iter().any(|x| x == w)),
+    )
+}
+
+/// Deduplicate (last record wins) and sort journal records into the
+/// documented `failures` array shape.
+fn render_failures<'a>(
+    records: impl Iterator<Item = &'a (&'static str, String, String, bool)>,
+) -> Json {
     let mut entries: std::collections::BTreeMap<(&'static str, String), (String, bool)> =
         std::collections::BTreeMap::new();
-    for (w, label, reason, watchdog) in journal.iter() {
+    for (w, label, reason, watchdog) in records {
         entries.insert((w, label.clone()), (reason.clone(), *watchdog));
     }
     Json::Arr(
@@ -1258,6 +1335,21 @@ impl RunCache {
         config: SimConfig,
         jobs: &[(&'static WorkloadSpec, Variant)],
     ) -> usize {
+        self.run_batch_with(config, jobs, &|_, _| {})
+    }
+
+    /// [`RunCache::run_batch`] with a progress hook: `progress(done,
+    /// total)` fires after each job of this batch finishes (from worker
+    /// threads, concurrently, on the parallel path — `done` values may
+    /// arrive out of order, but each value 1..=total fires exactly once
+    /// and `total` is the batch's not-yet-cached job count). The hook
+    /// must not panic; it runs inside the worker loop.
+    pub fn run_batch_with(
+        &mut self,
+        config: SimConfig,
+        jobs: &[(&'static WorkloadSpec, Variant)],
+        progress: &(dyn Fn(u64, u64) + Sync),
+    ) -> usize {
         let mut todo: Vec<(&'static WorkloadSpec, Variant)> = Vec::new();
         let mut queued: std::collections::HashSet<(&'static str, Variant)> =
             std::collections::HashSet::new();
@@ -1277,11 +1369,12 @@ impl RunCache {
         if workers <= 1 {
             let mut busy = Duration::ZERO;
             let mut cycles = 0;
-            for &(w, v) in &todo {
+            for (i, &(w, v)) in todo.iter().enumerate() {
                 let t0 = Instant::now();
                 let outcome = run_job(config, w, v);
                 busy += t0.elapsed();
                 cycles += self.admit(w, v, outcome);
+                progress(i as u64 + 1, todo.len() as u64);
             }
             if self.stats.per_thread.is_empty() {
                 self.stats.per_thread = vec![0];
@@ -1293,6 +1386,7 @@ impl RunCache {
         }
 
         let next = AtomicUsize::new(0);
+        let finished = AtomicU64::new(0);
         let done: Mutex<Vec<(usize, RunOutcome, Duration)>> = Mutex::new(Vec::new());
         let mut thread_runs = vec![0u64; workers];
         std::thread::scope(|scope| {
@@ -1306,6 +1400,8 @@ impl RunCache {
                             let t0 = Instant::now();
                             let outcome = run_job(config, w, v);
                             local.push((i, outcome, t0.elapsed()));
+                            let done_now = finished.fetch_add(1, Ordering::Relaxed) + 1;
+                            progress(done_now, todo.len() as u64);
                         }
                         let count = local.len() as u64;
                         done.lock().expect("unpoisoned results").extend(local);
@@ -1458,6 +1554,10 @@ impl RunCache {
     }
 }
 
+/// The current `BENCH_*.json` document schema version (see
+/// docs/METRICS.md for the version history).
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
+
 /// Assemble the standard `BENCH_<figure>.json` document: schema version,
 /// figure id and title, the run configuration, the figure-specific `rows`,
 /// the process-wide `failures` journal (empty on a clean process), and
@@ -1465,13 +1565,27 @@ impl RunCache {
 /// per-run reports executed so far ride along under `"runs"` (see
 /// [`journal_json`]).
 pub fn doc(figure: &str, title: &str, settings: &Settings, rows: Json) -> Json {
+    doc_with_failures(figure, title, settings, rows, failures_json())
+}
+
+/// [`doc`] with a caller-supplied `failures` array — for long-lived
+/// processes that scope failures to one job via [`failures_mark`] /
+/// [`failures_json_since`] instead of embedding the whole process
+/// journal.
+pub fn doc_with_failures(
+    figure: &str,
+    title: &str,
+    settings: &Settings,
+    rows: Json,
+    failures: Json,
+) -> Json {
     let mut doc = Json::obj([
-        ("schema_version", Json::uint(4)),
+        ("schema_version", Json::uint(BENCH_SCHEMA_VERSION)),
         ("figure", Json::str(figure)),
         ("title", Json::str(title)),
         ("config", report::sim_config(&settings.config)),
         ("rows", rows),
-        ("failures", failures_json()),
+        ("failures", failures),
         ("executor", global_stats().to_json()),
     ]);
     if json_runs_enabled() {

@@ -1,0 +1,465 @@
+//! Job-spec bridge for the experiment service (`psa-serve`): a typed,
+//! validated sweep specification parsed from client JSON, a canonical
+//! dedup key, and an execution entry point that assembles the standard
+//! BENCH document with job-scoped failures.
+//!
+//! A [`SweepSpec`] names a figure label, a workload subset, a variant
+//! subset and optional budget/seed overrides. Executing it runs the
+//! full workload×variant cross product through one
+//! [`RunCache::run_batch_with`] and renders the result as a
+//! schema-v[`BENCH_SCHEMA_VERSION`] document whose `rows` are the raw
+//! per-run reports ([`RunCache::runs_json`]) — deterministic for a
+//! given spec, which is what makes byte-level dedup sound.
+//!
+//! Finished documents are memoised in the tiered checkpoint store
+//! under [`SweepSpec::key`] (entry kind `Document`): a repeat of an
+//! already-served spec — even after a process restart — is answered
+//! from disk without simulating anything.
+
+use crate::ckpt;
+use crate::runner::{self, RunCache, Settings, Variant, BENCH_SCHEMA_VERSION};
+use psa_common::rng::fnv1a;
+use psa_sim::report::Json;
+use psa_sim::SimConfig;
+use psa_traces::{catalog, WorkloadSpec};
+use std::sync::Arc;
+
+/// Figure labels a spec may carry — the experiment modules of this
+/// crate. The label names the sweep in the emitted document; the
+/// service always executes the generic workload×variant cross product.
+pub const KNOWN_FIGURES: [&str; 12] = [
+    "fig02",
+    "fig03",
+    "fig0405",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig1415",
+    "nonintensive",
+    "ablations",
+];
+
+/// Ceiling on `workloads × variants` per job: one request must stay an
+/// interactive unit of work, not an unbounded batch.
+pub const MAX_JOBS_PER_SPEC: usize = 4096;
+
+/// A validated experiment request: which figure label, which workloads,
+/// which variants, and optional overrides of the seed and instruction
+/// budgets. Construct via [`SweepSpec::from_json`].
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Figure label for the emitted document (one of [`KNOWN_FIGURES`]).
+    pub figure: String,
+    /// Workloads to sweep, sorted by name, deduplicated.
+    pub workloads: Vec<&'static WorkloadSpec>,
+    /// Variants to sweep, sorted by label, deduplicated.
+    pub variants: Vec<Variant>,
+    /// `SimConfig::seed` override.
+    pub seed: Option<u64>,
+    /// Warm-up instruction budget override.
+    pub warmup: Option<u64>,
+    /// Measured instruction budget override.
+    pub instructions: Option<u64>,
+}
+
+/// Why a spec was rejected. Every variant maps to a stable `kind()`
+/// string for typed API error bodies; none of them is ever a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The request body is not valid JSON.
+    BadJson(String),
+    /// A required field is absent.
+    MissingField(&'static str),
+    /// A field has the wrong JSON type (or a non-integer number).
+    BadType {
+        /// Field name.
+        field: &'static str,
+        /// What the field must be.
+        expected: &'static str,
+    },
+    /// The figure label is not one of [`KNOWN_FIGURES`].
+    UnknownFigure(String),
+    /// A workload name is not in the catalog.
+    UnknownWorkload(String),
+    /// A variant label does not parse ([`Variant::parse`]).
+    UnknownVariant(String),
+    /// A list field is empty.
+    Empty(&'static str),
+    /// The workload×variant cross product exceeds [`MAX_JOBS_PER_SPEC`].
+    TooManyJobs {
+        /// Requested job count.
+        requested: usize,
+    },
+}
+
+impl SpecError {
+    /// Stable machine-readable error kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SpecError::BadJson(_) => "bad_json",
+            SpecError::MissingField(_) => "missing_field",
+            SpecError::BadType { .. } => "bad_type",
+            SpecError::UnknownFigure(_) => "unknown_figure",
+            SpecError::UnknownWorkload(_) => "unknown_workload",
+            SpecError::UnknownVariant(_) => "unknown_variant",
+            SpecError::Empty(_) => "empty_list",
+            SpecError::TooManyJobs { .. } => "too_many_jobs",
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::BadJson(e) => write!(f, "request body is not valid JSON: {e}"),
+            SpecError::MissingField(name) => write!(f, "missing required field {name:?}"),
+            SpecError::BadType { field, expected } => {
+                write!(f, "field {field:?} must be {expected}")
+            }
+            SpecError::UnknownFigure(v) => write!(f, "unknown figure {v:?}"),
+            SpecError::UnknownWorkload(v) => write!(f, "unknown workload {v:?}"),
+            SpecError::UnknownVariant(v) => write!(f, "unknown variant {v:?}"),
+            SpecError::Empty(name) => write!(f, "field {name:?} must not be empty"),
+            SpecError::TooManyJobs { requested } => write!(
+                f,
+                "workloads x variants = {requested} jobs exceeds the per-request \
+                 ceiling of {MAX_JOBS_PER_SPEC}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn field_u64(doc: &Json, field: &'static str) -> Result<Option<u64>, SpecError> {
+    match doc.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(v)) if *v >= 0.0 && v.trunc() == *v && *v < 9_007_199_254_740_992.0 => {
+            Ok(Some(*v as u64))
+        }
+        Some(_) => Err(SpecError::BadType {
+            field,
+            expected: "a non-negative integer",
+        }),
+    }
+}
+
+fn field_str_list(doc: &Json, field: &'static str) -> Result<Vec<String>, SpecError> {
+    let arr = doc
+        .get(field)
+        .ok_or(SpecError::MissingField(field))?
+        .as_arr()
+        .ok_or(SpecError::BadType {
+            field,
+            expected: "an array of strings",
+        })?;
+    let items: Vec<String> = arr
+        .iter()
+        .map(|v| {
+            v.as_str().map(String::from).ok_or(SpecError::BadType {
+                field,
+                expected: "an array of strings",
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if items.is_empty() {
+        return Err(SpecError::Empty(field));
+    }
+    Ok(items)
+}
+
+impl SweepSpec {
+    /// Validate a client request body into a spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpecError`] encountered; field order is
+    /// figure, workloads, variants, then the numeric overrides.
+    pub fn from_json(doc: &Json) -> Result<SweepSpec, SpecError> {
+        if !matches!(doc, Json::Obj(_)) {
+            return Err(SpecError::BadType {
+                field: "(body)",
+                expected: "a JSON object",
+            });
+        }
+        let figure = doc
+            .get("figure")
+            .ok_or(SpecError::MissingField("figure"))?
+            .as_str()
+            .ok_or(SpecError::BadType {
+                field: "figure",
+                expected: "a string",
+            })?
+            .to_string();
+        if !KNOWN_FIGURES.contains(&figure.as_str()) {
+            return Err(SpecError::UnknownFigure(figure));
+        }
+        let mut workloads = field_str_list(doc, "workloads")?
+            .into_iter()
+            .map(|name| catalog::workload(&name).ok_or(SpecError::UnknownWorkload(name)))
+            .collect::<Result<Vec<_>, _>>()?;
+        workloads.sort_by_key(|w| w.name);
+        workloads.dedup_by_key(|w| w.name);
+        let mut variants = field_str_list(doc, "variants")?
+            .into_iter()
+            .map(|label| Variant::parse(&label).ok_or(SpecError::UnknownVariant(label)))
+            .collect::<Result<Vec<_>, _>>()?;
+        variants.sort_by_key(|v| v.label());
+        variants.dedup();
+        let requested = workloads.len() * variants.len();
+        if requested > MAX_JOBS_PER_SPEC {
+            return Err(SpecError::TooManyJobs { requested });
+        }
+        Ok(SweepSpec {
+            figure,
+            workloads,
+            variants,
+            seed: field_u64(doc, "seed")?,
+            warmup: field_u64(doc, "warmup")?,
+            instructions: field_u64(doc, "instructions")?,
+        })
+    }
+
+    /// Parse a raw request body (bytes → JSON → spec).
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::BadJson`] for undecodable bytes, else as
+    /// [`SweepSpec::from_json`].
+    pub fn from_body(body: &[u8]) -> Result<SweepSpec, SpecError> {
+        let text = std::str::from_utf8(body).map_err(|e| SpecError::BadJson(e.to_string()))?;
+        let doc = Json::parse(text).map_err(|e| SpecError::BadJson(e.to_string()))?;
+        SweepSpec::from_json(&doc)
+    }
+
+    /// The effective run configuration: today's [`Settings::default`]
+    /// (environment included) with the spec's own overrides applied on
+    /// top — a spec always beats the environment.
+    pub fn config(&self) -> SimConfig {
+        let mut config = Settings::default().config;
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        if let Some(warmup) = self.warmup {
+            config.warmup = warmup;
+        }
+        if let Some(instructions) = self.instructions {
+            config.instructions = instructions;
+        }
+        config
+    }
+
+    /// Total `(workload, variant)` jobs this spec expands to.
+    pub fn total_jobs(&self) -> u64 {
+        (self.workloads.len() * self.variants.len()) as u64
+    }
+
+    /// The document title, derived deterministically from the spec.
+    pub fn title(&self) -> String {
+        format!(
+            "{} sweep: {} workloads x {} variants",
+            self.figure,
+            self.workloads.len(),
+            self.variants.len()
+        )
+    }
+
+    /// Canonical string form: two specs produce the same string exactly
+    /// when they request the same sweep (fields normalised, lists
+    /// sorted and deduplicated by construction).
+    pub fn canonical(&self) -> String {
+        let workloads: Vec<&str> = self.workloads.iter().map(|w| w.name).collect();
+        let variants: Vec<String> = self.variants.iter().map(|v| v.label()).collect();
+        format!(
+            "figure={};seed={:?};warmup={:?};instructions={:?};workloads={};variants={}",
+            self.figure,
+            self.seed,
+            self.warmup,
+            self.instructions,
+            workloads.join(","),
+            variants.join(",")
+        )
+    }
+
+    /// The dedup / document-memo key: document schema version, the full
+    /// effective configuration (so environment budget changes miss
+    /// rather than alias), and the canonical spec string.
+    pub fn key(&self) -> u64 {
+        let config = self.config();
+        let mut id = Vec::new();
+        id.extend_from_slice(b"document\0");
+        id.extend_from_slice(&BENCH_SCHEMA_VERSION.to_le_bytes());
+        id.extend_from_slice(format!("{config:?}").as_bytes());
+        id.push(0);
+        id.extend_from_slice(self.canonical().as_bytes());
+        fnv1a(&id)
+    }
+}
+
+/// A finished document as served to a client.
+#[derive(Debug, Clone)]
+pub struct ServedDocument {
+    /// The rendered BENCH JSON bytes ([`Json::pretty`]).
+    pub bytes: Arc<Vec<u8>>,
+    /// Served from the memoised document tier without simulating.
+    pub from_cache: bool,
+    /// The document's `failures` array is empty.
+    pub clean: bool,
+}
+
+/// Execute a spec and assemble its BENCH document. Always simulates
+/// (through the run cache's own warm-up/report memo tiers); the
+/// document-level memo is [`run_job`]'s concern. `progress(done,
+/// total)` fires per finished simulation, from worker threads.
+pub fn execute(spec: &SweepSpec, progress: &(dyn Fn(u64, u64) + Sync)) -> Json {
+    let config = spec.config();
+    let settings = Settings { config };
+    let mark = runner::failures_mark();
+    let mut cache = RunCache::new();
+    let jobs: Vec<_> = spec
+        .workloads
+        .iter()
+        .flat_map(|&w| spec.variants.iter().map(move |&v| (w, v)))
+        .collect();
+    cache.run_batch_with(config, &jobs, progress);
+    let rows = cache.runs_json();
+    let names: Vec<&str> = spec.workloads.iter().map(|w| w.name).collect();
+    let failures = runner::failures_json_since(mark, &names);
+    runner::doc_with_failures(&spec.figure, &spec.title(), &settings, rows, failures)
+}
+
+/// Serve a spec: a memoised finished document when one exists (no
+/// simulation at all, counted as a `ckpt_hits` store hit), else
+/// [`execute`] it and — when the result is clean and the disk tier is
+/// available — memoise the rendered bytes for every later request.
+pub fn run_job(spec: &SweepSpec, progress: &(dyn Fn(u64, u64) + Sync)) -> ServedDocument {
+    let config = spec.config();
+    let memo = ckpt::document_memo_enabled(&config);
+    if memo {
+        if let Some(bytes) = ckpt::document_from_store(spec.key()) {
+            return ServedDocument {
+                bytes,
+                from_cache: true,
+                clean: true,
+            };
+        }
+    }
+    let doc = execute(spec, progress);
+    let clean = doc
+        .get("failures")
+        .and_then(Json::as_arr)
+        .is_some_and(<[Json]>::is_empty);
+    let bytes = Arc::new(doc.pretty().into_bytes());
+    // Only clean documents are memoised: a failure is a property of the
+    // run (a panic, a watchdog stall), not of the spec, and must not be
+    // replayed to every future client.
+    if memo && clean {
+        ckpt::document_to_store(spec.key(), Arc::clone(&bytes));
+    }
+    ServedDocument {
+        bytes,
+        from_cache: false,
+        clean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::test_env_lock;
+
+    fn spec_json(body: &str) -> Json {
+        Json::parse(body).expect("test body parses")
+    }
+
+    #[test]
+    fn variant_labels_round_trip() {
+        for v in Variant::all() {
+            assert_eq!(Variant::parse(&v.label()), Some(v), "label {}", v.label());
+        }
+        assert_eq!(Variant::parse("SPP-PSA-4MB"), None);
+        assert_eq!(Variant::parse(""), None);
+    }
+
+    #[test]
+    fn spec_parses_sorts_and_dedups() {
+        let _guard = test_env_lock();
+        let doc = spec_json(
+            r#"{"figure": "fig08", "workloads": ["mcf", "lbm", "mcf"],
+                "variants": ["SPP-PSA", "SPP", "SPP-PSA"], "seed": 7}"#,
+        );
+        let spec = SweepSpec::from_json(&doc).expect("valid spec");
+        let names: Vec<&str> = spec.workloads.iter().map(|w| w.name).collect();
+        assert_eq!(names, ["lbm", "mcf"]);
+        let labels: Vec<String> = spec.variants.iter().map(|v| v.label()).collect();
+        assert_eq!(labels, ["SPP", "SPP-PSA"]);
+        assert_eq!(spec.seed, Some(7));
+        assert_eq!(spec.total_jobs(), 4);
+        // Permuted but equivalent request: same canonical form, same key.
+        let doc2 = spec_json(
+            r#"{"figure": "fig08", "workloads": ["lbm", "mcf"],
+                "variants": ["SPP", "SPP-PSA"], "seed": 7}"#,
+        );
+        let spec2 = SweepSpec::from_json(&doc2).expect("valid spec");
+        assert_eq!(spec.canonical(), spec2.canonical());
+        assert_eq!(spec.key(), spec2.key());
+    }
+
+    #[test]
+    fn spec_rejections_are_typed() {
+        let _guard = test_env_lock();
+        let cases: [(&str, &str); 7] = [
+            (r#"[1, 2]"#, "bad_type"),
+            (
+                r#"{"workloads": ["lbm"], "variants": ["SPP"]}"#,
+                "missing_field",
+            ),
+            (
+                r#"{"figure": "fig99", "workloads": ["lbm"], "variants": ["SPP"]}"#,
+                "unknown_figure",
+            ),
+            (
+                r#"{"figure": "fig08", "workloads": ["nope"], "variants": ["SPP"]}"#,
+                "unknown_workload",
+            ),
+            (
+                r#"{"figure": "fig08", "workloads": ["lbm"], "variants": ["SPP-PSA-9GB"]}"#,
+                "unknown_variant",
+            ),
+            (
+                r#"{"figure": "fig08", "workloads": [], "variants": ["SPP"]}"#,
+                "empty_list",
+            ),
+            (
+                r#"{"figure": "fig08", "workloads": ["lbm"], "variants": ["SPP"], "seed": -1}"#,
+                "bad_type",
+            ),
+        ];
+        for (body, kind) in cases {
+            let err = SweepSpec::from_json(&spec_json(body)).expect_err(body);
+            assert_eq!(err.kind(), kind, "{body}");
+        }
+        assert_eq!(
+            SweepSpec::from_body(b"{not json")
+                .expect_err("bad json")
+                .kind(),
+            "bad_json"
+        );
+    }
+
+    #[test]
+    fn key_separates_specs_and_configs() {
+        let _guard = test_env_lock();
+        let base = spec_json(r#"{"figure": "fig08", "workloads": ["lbm"], "variants": ["SPP"]}"#);
+        let seeded = spec_json(
+            r#"{"figure": "fig08", "workloads": ["lbm"], "variants": ["SPP"], "seed": 1}"#,
+        );
+        let a = SweepSpec::from_json(&base).unwrap();
+        let b = SweepSpec::from_json(&seeded).unwrap();
+        assert_ne!(a.key(), b.key());
+        assert_eq!(a.key(), SweepSpec::from_json(&base).unwrap().key());
+    }
+}

@@ -1,0 +1,303 @@
+//! Dependency-free HTTP/1.1 plumbing: request parsing, response
+//! writing, and a tiny blocking client (used by the test suite and the
+//! `psa_serve client` subcommand, so CI needs no external tools).
+//!
+//! Deliberately minimal: one request per connection (`Connection:
+//! close`), no chunked encoding, no keep-alive, bounded header and body
+//! sizes. Every parse failure is a typed [`HttpError`] the API layer
+//! turns into a 4xx — never a panic.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (query strings are not used by this API).
+    pub path: String,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The declared `Content-Length` exceeds the server's limit.
+    BodyTooLarge {
+        /// The server's body-size limit in bytes.
+        limit: usize,
+        /// The declared length.
+        declared: usize,
+    },
+    /// The bytes on the wire are not a well-formed HTTP/1.1 request.
+    Malformed(String),
+    /// The socket failed or timed out mid-request.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BodyTooLarge { limit, declared } => {
+                write!(
+                    f,
+                    "request body of {declared} bytes exceeds the {limit}-byte limit"
+                )
+            }
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::Io(e) => write!(f, "request IO failed: {e}"),
+        }
+    }
+}
+
+/// Read one request from `stream`, rejecting bodies over `max_body`.
+///
+/// # Errors
+///
+/// [`HttpError::BodyTooLarge`] on an oversized declared length,
+/// [`HttpError::Malformed`] on bad syntax, [`HttpError::Io`] on socket
+/// failure or timeout.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    let split = loop {
+        if let Some(pos) = find_head_end(&head) {
+            break pos;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("request head too large".into()));
+        }
+        let n = stream.read(&mut buf).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-head".into()));
+        }
+        head.extend_from_slice(&buf[..n]);
+    };
+    let (head_bytes, rest) = head.split_at(split);
+    let rest = &rest[4..]; // skip the \r\n\r\n
+    let head_text = std::str::from_utf8(head_bytes)
+        .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .filter(|p| p.starts_with('/'))
+        .ok_or_else(|| HttpError::Malformed("missing request path".into()))?
+        .to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge {
+            limit: max_body,
+            declared: content_length,
+        });
+    }
+    let mut body = rest.to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut buf).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response ready to serialise.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Optional `Retry-After` header (seconds), for 503 shedding.
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            retry_after: None,
+        }
+    }
+
+    /// A Prometheus text-exposition response.
+    pub fn prometheus(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Content Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialise `resp` onto `stream` (HTTP/1.1, `Connection: close`).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    if let Some(secs) = resp.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// A client-side response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issue one blocking request against `addr` (e.g. `127.0.0.1:8080`).
+///
+/// # Errors
+///
+/// Propagates connection and IO failures; a malformed response status
+/// line surfaces as [`std::io::ErrorKind::InvalidData`].
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let body = body.unwrap_or(&[]);
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_client_response(&raw)
+}
+
+fn parse_client_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
+    let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+    let split = find_head_end(raw).ok_or_else(|| bad("no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| bad("head not UTF-8"))?;
+    let body = raw[split + 4..].to_vec();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let headers = lines
+        .filter_map(|line| {
+            line.split_once(':')
+                .map(|(n, v)| (n.to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_response_parses_headers_and_body() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 7\r\n\r\n{\"a\":1}";
+        let resp = parse_client_response(raw).expect("parses");
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("7"));
+        assert_eq!(resp.header("Retry-After"), Some("7"));
+        assert_eq!(resp.text(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+}

@@ -1,0 +1,93 @@
+//! Backpressure: saturating a bounded queue with slow jobs sheds the
+//! excess as typed 503s with a `Retry-After` hint, loses none of the
+//! accepted jobs, keeps `/healthz` green throughout, and counts every
+//! shed in `psa_serve_jobs_shed_total`.
+
+mod common;
+
+use psa_serve::{http, ServerConfig};
+use psa_sim::report::Json;
+use std::time::Duration;
+
+const BURST: u64 = 8;
+
+#[test]
+fn saturated_queue_sheds_typed_503_and_loses_no_accepted_job() {
+    let config = ServerConfig {
+        queue_capacity: 2,
+        workers: 1,
+        // Slow the lone worker down so the burst outruns the queue.
+        job_delay: Duration::from_millis(400),
+        ..ServerConfig::default()
+    };
+    let (server, addr) = common::spawn(config);
+    assert_eq!(common::get(&addr, "/healthz").status, 200);
+
+    let mut accepted_ids = Vec::new();
+    let mut shed = 0u64;
+    for seed in 0..BURST {
+        let body = format!(
+            r#"{{"figure": "fig08", "workloads": ["lbm"], "variants": ["no-prefetch"],
+                "seed": {seed}, "warmup": 200, "instructions": 500}}"#
+        );
+        let resp =
+            http::request(&addr, "POST", "/jobs", Some(body.as_bytes())).expect("POST succeeds");
+        match resp.status {
+            202 => accepted_ids.push(common::submitted_id(&resp)),
+            503 => {
+                let retry: u64 = resp
+                    .header("retry-after")
+                    .expect("503 carries Retry-After")
+                    .parse()
+                    .expect("Retry-After is integral seconds");
+                assert!(retry >= 1, "a useful backoff hint");
+                let error = common::json(&resp);
+                assert_eq!(
+                    error
+                        .get("error")
+                        .and_then(|e| e.get("kind"))
+                        .and_then(Json::as_str),
+                    Some("overloaded"),
+                    "{}",
+                    resp.text()
+                );
+                shed += 1;
+                // Shedding is load management, not sickness.
+                assert_eq!(common::get(&addr, "/healthz").status, 200);
+            }
+            other => panic!("unexpected status {other}: {}", resp.text()),
+        }
+    }
+    assert!(shed >= 1, "a burst of {BURST} against capacity 2 must shed");
+    assert!(
+        !accepted_ids.is_empty(),
+        "the first submission is always admitted"
+    );
+    assert_eq!(accepted_ids.len() as u64 + shed, BURST);
+
+    // No accepted job is lost: every one finishes and serves a result.
+    for id in &accepted_ids {
+        common::wait_done(&addr, id, Duration::from_secs(300));
+        let result = common::get(&addr, &format!("/results/{id}"));
+        assert_eq!(result.status, 200, "accepted job {id} kept its result");
+        assert!(!result.body.is_empty());
+    }
+
+    let scrape = common::get(&addr, "/metrics");
+    assert_eq!(scrape.status, 200);
+    let text = scrape.text();
+    assert_eq!(
+        common::metric_value(&text, "psa_serve_jobs_shed_total"),
+        shed as f64
+    );
+    assert_eq!(
+        common::metric_value(&text, "psa_serve_jobs_accepted_total"),
+        accepted_ids.len() as f64
+    );
+    assert_eq!(
+        common::metric_value(&text, "psa_serve_jobs_completed_total"),
+        accepted_ids.len() as f64
+    );
+    assert_eq!(common::get(&addr, "/healthz").status, 200);
+    server.shutdown();
+}

@@ -39,6 +39,7 @@ pub mod disk;
 pub mod fault;
 pub mod io;
 pub mod lru;
+pub mod sync;
 
 use disk::{
     encode_frame, parse_frame_header, seg_file_name, Entry, Manifest, FRAME_HEADER_LEN,
@@ -60,6 +61,10 @@ pub enum EntryKind {
     Warmup,
     /// A finished, encoded `RunReport`.
     Report,
+    /// A finished BENCH document (schema-v4 JSON bytes): the whole
+    /// assembled sweep result, memoised so a repeat request is served
+    /// without touching the simulator at all.
+    Document,
 }
 
 impl EntryKind {
@@ -68,6 +73,7 @@ impl EntryKind {
         match self {
             EntryKind::Warmup => 0,
             EntryKind::Report => 1,
+            EntryKind::Document => 2,
         }
     }
 }

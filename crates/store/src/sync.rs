@@ -1,0 +1,258 @@
+//! Concurrency wrappers for serving one [`Store`] to many threads.
+//!
+//! The store itself is single-owner (`&mut self` everywhere) because
+//! its disk tier mutates a manifest; a server wants one durable
+//! instance shared across worker and connection threads. Two pieces:
+//!
+//! * [`SharedStore`] — a clone-able `Arc<Mutex<Store>>` handle whose
+//!   `get`/`put` take `&self`. All callers funnel through one mutex;
+//!   payloads are `Arc<Vec<u8>>` so the lock is held only for the
+//!   lookup, never while a caller consumes bytes.
+//! * [`InFlight`] — a keyed single-flight registry: the first caller
+//!   for a key becomes the *leader* and computes the value, every
+//!   concurrent or later caller for the same key *joins* the finished
+//!   (or registered) entry instead of recomputing. This is the
+//!   server-side dedup layer: N identical job submissions cost one
+//!   simulation.
+
+use crate::{EntryKind, Store, StoreError, Tier};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A clone-able, thread-safe handle to one [`Store`].
+#[derive(Clone)]
+pub struct SharedStore {
+    inner: Arc<Mutex<Store>>,
+}
+
+impl SharedStore {
+    /// Wrap an opened store in a shareable handle.
+    pub fn new(store: Store) -> Self {
+        SharedStore {
+            inner: Arc::new(Mutex::new(store)),
+        }
+    }
+
+    /// Thread-safe [`Store::get`].
+    pub fn get(&self, kind: EntryKind, key: u64) -> Option<(Arc<Vec<u8>>, Tier)> {
+        self.lock().get(kind, key)
+    }
+
+    /// Thread-safe [`Store::put`].
+    pub fn put(&self, kind: EntryKind, key: u64, payload: Arc<Vec<u8>>) -> Result<(), StoreError> {
+        self.lock().put(kind, key, payload)
+    }
+
+    /// Run `f` with the locked store (for multi-call sequences that
+    /// must observe one consistent state).
+    pub fn with<R>(&self, f: impl FnOnce(&mut Store) -> R) -> R {
+        f(&mut self.lock())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Store> {
+        // A poisoned store mutex means a panic mid-put; the store's
+        // own contract (right bytes or nothing) still holds, so keep
+        // serving rather than wedging every caller.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Outcome of [`InFlight::try_enter`].
+#[derive(Debug)]
+pub enum Entered<V> {
+    /// This caller registered the key; it owns producing the result.
+    Led(V),
+    /// The key was already registered; the existing value is returned.
+    Joined(V),
+}
+
+impl<V> Entered<V> {
+    /// The carried value, leader or not.
+    pub fn value(self) -> V {
+        match self {
+            Entered::Led(v) | Entered::Joined(v) => v,
+        }
+    }
+
+    /// Whether this caller is the leader for the key.
+    pub fn led(&self) -> bool {
+        matches!(self, Entered::Led(_))
+    }
+}
+
+/// Keyed single-flight registry: one leader per key, everyone else
+/// joins the leader's entry.
+///
+/// `try_enter` runs the caller's constructor *under the registry
+/// lock*, so checking capacity, enqueueing work and registering the
+/// key are one atomic step — a concurrent duplicate can never slip
+/// between "not registered yet" and "registered". Entries stay until
+/// [`InFlight::remove`], so finished keys keep dedup-serving joiners.
+pub struct InFlight<K, V> {
+    map: Mutex<HashMap<K, V>>,
+    leaders: AtomicU64,
+    joined: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> InFlight<K, V> {
+    /// Empty registry.
+    pub fn new() -> Self {
+        InFlight {
+            map: Mutex::new(HashMap::new()),
+            leaders: AtomicU64::new(0),
+            joined: AtomicU64::new(0),
+        }
+    }
+
+    /// Join `key`'s existing entry, or lead by registering the value
+    /// produced by `make`. `make` runs at most once per registration
+    /// and only when no entry exists; if it errors, nothing is
+    /// registered and the error is returned to this caller alone.
+    pub fn try_enter<E>(
+        &self,
+        key: K,
+        make: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Entered<V>, E> {
+        let mut map = self.lock();
+        if let Some(v) = map.get(&key) {
+            self.joined.fetch_add(1, Ordering::Relaxed);
+            return Ok(Entered::Joined(v.clone()));
+        }
+        let v = make()?;
+        map.insert(key, v.clone());
+        self.leaders.fetch_add(1, Ordering::Relaxed);
+        Ok(Entered::Led(v))
+    }
+
+    /// Current value for `key`, if registered.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.lock().get(key).cloned()
+    }
+
+    /// Drop `key`'s entry (e.g. a failed job, so a retry can lead).
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.lock().remove(key)
+    }
+
+    /// Number of registered entries.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when no entries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Callers that registered a new entry.
+    pub fn leaders(&self) -> u64 {
+        self.leaders.load(Ordering::Relaxed)
+    }
+
+    /// Callers served an existing entry.
+    pub fn joined(&self) -> u64 {
+        self.joined.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<K, V>> {
+        match self.map.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for InFlight<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StoreConfig;
+    use std::sync::Barrier;
+
+    #[test]
+    fn shared_store_round_trips_across_threads() {
+        let dir = std::env::temp_dir().join(format!("psa-sync-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let shared = SharedStore::new(Store::open(StoreConfig::new(&dir)));
+        let threads = 8;
+        let barrier = Barrier::new(threads);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let shared = shared.clone();
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    let key = t as u64;
+                    let payload = Arc::new(vec![t as u8; 64]);
+                    shared
+                        .put(EntryKind::Document, key, Arc::clone(&payload))
+                        .expect("put");
+                    let (got, _) = shared.get(EntryKind::Document, key).expect("get");
+                    assert_eq!(*got, *payload);
+                });
+            }
+        });
+        assert_eq!(shared.with(|s| s.mem_entries()), threads);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_flight_has_exactly_one_leader_per_key() {
+        let reg: InFlight<u64, usize> = InFlight::new();
+        let threads = 16;
+        let barrier = Barrier::new(threads);
+        let led = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let (reg, barrier, led) = (&reg, &barrier, &led);
+                s.spawn(move || {
+                    barrier.wait();
+                    let entered = reg
+                        .try_enter(42, || Ok::<_, ()>(t))
+                        .expect("infallible make");
+                    if entered.led() {
+                        led.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(led.load(Ordering::Relaxed), 1);
+        assert_eq!(reg.leaders(), 1);
+        assert_eq!(reg.joined(), threads as u64 - 1);
+        assert_eq!(reg.len(), 1);
+        // Everyone joined the single registered value.
+        let v = reg.get(&42).expect("registered");
+        assert!(v < threads);
+    }
+
+    #[test]
+    fn in_flight_failed_make_registers_nothing() {
+        let reg: InFlight<u64, usize> = InFlight::new();
+        let err = reg.try_enter(7, || Err::<usize, _>("nope"));
+        assert_eq!(err.unwrap_err(), "nope");
+        assert!(reg.is_empty());
+        // A later caller can still lead.
+        let entered = reg.try_enter(7, || Ok::<_, ()>(9)).expect("ok");
+        assert!(entered.led());
+        assert_eq!(entered.value(), 9);
+    }
+
+    #[test]
+    fn in_flight_remove_allows_retry_leadership() {
+        let reg: InFlight<&'static str, u32> = InFlight::new();
+        assert!(reg.try_enter("k", || Ok::<_, ()>(1)).unwrap().led());
+        assert_eq!(reg.remove(&"k"), Some(1));
+        assert!(reg.try_enter("k", || Ok::<_, ()>(2)).unwrap().led());
+        assert_eq!(reg.get(&"k"), Some(2));
+    }
+}

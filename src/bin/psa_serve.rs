@@ -1,0 +1,9 @@
+//! The `psa_serve` daemon binary: `psa_serve serve` runs the
+//! experiment service until SIGTERM (draining in-flight jobs on the
+//! way out); `psa_serve client` is a minimal HTTP client for CI and
+//! scripting. See `docs/SERVER.md`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(psa_serve::cli::run(&args));
+}
