@@ -138,6 +138,45 @@ else
   echo "stable sections bit-identical to $GOLDEN (bench + release profiles)"
 fi
 
+# The same gate for the new prefetcher families (see docs/EXPERIMENTS.md,
+# Figure 16): a fixed-budget Pangloss/DSPatch sweep, schema-validated and
+# compared byte-for-byte against its own committed stable sections, under
+# both optimized profiles.
+echo "== golden bit-identity gate (fig16 stable sections) =="
+GOLDEN16=crates/experiments/tests/golden/fig16_stable.json
+GOLD16_TMP="$(mktemp -d)"
+trap 'rm -rf "$CKPT_TMP" "$COLD_TMP" "$WARM_TMP" "$OBS_TMP" "$GOLD_TMP" \
+  "$GOLD16_TMP"' EXIT
+for profile in bench release; do
+  PDIR="$GOLD16_TMP/$profile"
+  mkdir -p "$PDIR"
+  env PSA_WARMUP=2000 PSA_INSTRUCTIONS=8000 PSA_WORKLOAD_LIMIT=2 PSA_THREADS=1 \
+      PSA_BENCH_JSON_DIR="$PDIR" \
+    cargo bench -q -p psa-bench --bench fig16_new_families \
+      --profile "$profile" > /dev/null
+  cargo run --release --quiet --bin validate_bench -- "$PDIR/BENCH_fig16.json"
+  sed -n '1,/"executor"/p' "$PDIR/BENCH_fig16.json" > "$PDIR/stable.json"
+done
+if ! cmp -s "$GOLD16_TMP/bench/stable.json" "$GOLD16_TMP/release/stable.json"; then
+  echo "bench-profile and release-profile fig16 stable sections disagree:"
+  diff "$GOLD16_TMP/bench/stable.json" "$GOLD16_TMP/release/stable.json" | head -20
+  exit 1
+fi
+if [ "${PSA_UPDATE_GOLDEN:-0}" = 1 ]; then
+  cp "$GOLD16_TMP/bench/stable.json" "$GOLDEN16"
+  echo "golden file regenerated: $GOLDEN16"
+else
+  for profile in bench release; do
+    if ! cmp -s "$GOLD16_TMP/$profile/stable.json" "$GOLDEN16"; then
+      echo "fig16 stable sections ($profile profile) drifted from $GOLDEN16:"
+      diff "$GOLDEN16" "$GOLD16_TMP/$profile/stable.json" | head -20
+      echo "(intentional change? regenerate with PSA_UPDATE_GOLDEN=1 ./ci.sh)"
+      exit 1
+    fi
+  done
+  echo "stable sections bit-identical to $GOLDEN16 (bench + release profiles)"
+fi
+
 # IO fault-injection gate (see docs/ROBUSTNESS.md): the same fixed-budget
 # fig08 sweep, but with the checkpoint store running over a seeded
 # FaultPlan that mixes all four fault kinds (torn writes, bit flips,
@@ -149,7 +188,7 @@ fi
 echo "== IO fault-injection gate (fig08 under PSA_FAULT_PLAN) =="
 FAULT_TMP="$(mktemp -d)"
 trap 'rm -rf "$CKPT_TMP" "$COLD_TMP" "$WARM_TMP" "$OBS_TMP" "$GOLD_TMP" \
-  "$FAULT_TMP"' EXIT
+  "$GOLD16_TMP" "$FAULT_TMP"' EXIT
 mkdir -p "$FAULT_TMP/store" "$FAULT_TMP/cold" "$FAULT_TMP/warm"
 FAULT_ENV=(PSA_WARMUP=2000 PSA_INSTRUCTIONS=8000 PSA_WORKLOAD_LIMIT=2
            PSA_THREADS=1 PSA_CKPT_DIR="$FAULT_TMP/store"
@@ -183,7 +222,7 @@ echo "== server smoke gate (psa_serve e2e + SIGTERM drain) =="
 SERVE_TMP="$(mktemp -d)"
 SERVE_PID=""
 trap 'rm -rf "$CKPT_TMP" "$COLD_TMP" "$WARM_TMP" "$OBS_TMP" "$GOLD_TMP" \
-  "$FAULT_TMP" "$SERVE_TMP"
+  "$GOLD16_TMP" "$FAULT_TMP" "$SERVE_TMP"
   [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
 target/release/psa_serve serve --addr 127.0.0.1:0 --job-delay-ms 200 \
   --port-file "$SERVE_TMP/port" > "$SERVE_TMP/log" 2>&1 &

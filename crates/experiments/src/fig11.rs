@@ -10,12 +10,8 @@
 //!   doubled, to show the SD gains are not just "more SRAM".
 
 use psa_common::{geomean, table::pct, Table};
-use psa_core::ppm::PageSizeSource;
-use psa_core::{
-    IndexGrain, ModuleConfig, PageSizePolicy, Prefetcher, PsaModule, SdConfig, SelectPolicy,
-    TrainPolicy,
-};
-use psa_prefetchers::{bop, ppf, spp, vldp, PrefetcherKind};
+use psa_core::{PageSizePolicy, SdConfig, SelectPolicy, TrainPolicy};
+use psa_prefetchers::{ModuleSpec, PrefetcherKind};
 use psa_sim::{Json, SimError, System};
 
 use crate::ckpt;
@@ -54,46 +50,6 @@ impl Logic {
     }
 }
 
-/// Build a prefetcher of `kind` with its structure sizes scaled ×2 — the
-/// ISO-storage comparison point.
-pub fn build_doubled(kind: PrefetcherKind, grain: IndexGrain) -> Box<dyn Prefetcher> {
-    match kind {
-        PrefetcherKind::Spp | PrefetcherKind::NextLine => {
-            let config = spp::SppConfig {
-                st_sets: 128,
-                pt_entries: 1024,
-                ..spp::SppConfig::default()
-            };
-            Box::new(spp::Spp::new(config, grain))
-        }
-        PrefetcherKind::Vldp => {
-            let config = vldp::VldpConfig {
-                dhb_entries: 32,
-                dpt_entries: 128,
-                opt_entries: 128,
-                ..vldp::VldpConfig::default()
-            };
-            Box::new(vldp::Vldp::new(config, grain))
-        }
-        PrefetcherKind::Ppf => {
-            let config = ppf::PpfConfig {
-                table_entries: 2048,
-                pt_entries: 2048,
-                rt_entries: 2048,
-                ..ppf::PpfConfig::default()
-            };
-            Box::new(ppf::Ppf::new(config, grain))
-        }
-        PrefetcherKind::Bop => {
-            let config = bop::BopConfig {
-                rr_entries: 512,
-                ..bop::BopConfig::default()
-            };
-            Box::new(bop::Bop::new(config, grain))
-        }
-    }
-}
-
 fn sd_config(logic: Logic) -> SdConfig {
     match logic {
         Logic::SdStandard => SdConfig {
@@ -124,8 +80,9 @@ fn job_label(kind: PrefetcherKind, logic: Logic) -> String {
 
 /// Simulate one (kind, logic, workload) cell — a custom-configured run
 /// outside the `(workload, variant)` memo key space. The warm-up shares
-/// through the checkpoint store; for ISO Storage the hand-built module is
-/// invisible to the `SimConfig`, so the cell's label keys the snapshot.
+/// through the checkpoint store; every cell (ISO Storage included) is
+/// now fully described by its `SimConfig`'s [`ModuleSpec`], so the
+/// snapshot key captures the module shape directly.
 fn logic_ipc(
     settings: &Settings,
     kind: PrefetcherKind,
@@ -136,22 +93,15 @@ fn logic_ipc(
     let mut config = env.config(settings.config);
     config.sd = sd_config(logic);
     let (build, ckpt_label): (Box<dyn Fn() -> Result<System, SimError>>, String) = match logic {
-        Logic::IsoStorage => (
-            Box::new(move || {
-                Ok(System::single_core_with_module(config, w, &|sets| {
-                    PsaModule::new(
-                        PageSizePolicy::Original,
-                        PageSizeSource::Ppm,
-                        &|grain| build_doubled(kind, grain),
-                        sets,
-                        sd_config(logic),
-                        ModuleConfig::default(),
-                    )
-                    .expect("module shape")
-                }))
-            }),
-            job_label(kind, logic),
-        ),
+        Logic::IsoStorage => {
+            let config = config.with_module_spec(
+                ModuleSpec::pref(kind, PageSizePolicy::Original).with_storage_scale(2),
+            );
+            (
+                Box::new(move || System::try_from_spec(config, &[w])),
+                job_label(kind, logic),
+            )
+        }
         // The plain builds are fully described by (config, kind, policy),
         // so the variant label keys them — identical machines elsewhere
         // in the process share the same warm state.
@@ -275,10 +225,11 @@ mod tests {
     use psa_sim::SimConfig;
 
     #[test]
-    fn doubled_prefetchers_really_double_storage() {
+    fn iso_storage_spec_really_doubles_storage() {
+        use psa_core::IndexGrain;
         for kind in PrefetcherKind::EVALUATED {
             let normal = kind.build(IndexGrain::Page4K).storage_bytes() as f64;
-            let doubled = build_doubled(kind, IndexGrain::Page4K).storage_bytes() as f64;
+            let doubled = kind.build_scaled(IndexGrain::Page4K, 2).storage_bytes() as f64;
             assert!(
                 doubled / normal > 1.5 && doubled / normal < 2.5,
                 "{kind}: {normal} vs {doubled}"

@@ -22,6 +22,7 @@
 //! | [`fig12`] | constrained sweeps: MSHR / LLC / DRAM (Figure 12) |
 //! | [`fig13`] | vs L1D prefetching: NL, IPCP, IPCP++ (Figure 13) |
 //! | [`fig1415`] | multi-core weighted speedups (Figures 14 & 15) |
+//! | [`fig16`] | new families (Pangloss, DSPatch) vs SPP (repo extension) |
 //! | [`nonintensive`] | §VI-B1's non-intensive augmentation |
 //! | [`ablations`] | Set-Dueling shape sweeps (sets/competitor, `Csel` width) |
 //!
@@ -72,6 +73,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig1415;
+pub mod fig16;
 pub mod nonintensive;
 pub mod runner;
 pub mod service;

@@ -511,15 +511,10 @@ impl Variant {
     }
 
     /// Every expressible variant, in a stable order — the inverse domain
-    /// of [`Variant::label`].
+    /// of [`Variant::label`]. The kind list is [`PrefetcherKind::ALL`],
+    /// the one canonical (append-only) family order, so a new family is
+    /// automatically enumerable and parseable here the moment it exists.
     pub fn all() -> Vec<Variant> {
-        const KINDS: [PrefetcherKind; 5] = [
-            PrefetcherKind::Spp,
-            PrefetcherKind::Vldp,
-            PrefetcherKind::Ppf,
-            PrefetcherKind::Bop,
-            PrefetcherKind::NextLine,
-        ];
         const POLICIES: [PageSizePolicy; 4] = [
             PageSizePolicy::Original,
             PageSizePolicy::Psa,
@@ -533,12 +528,12 @@ impl Variant {
             L1dPrefKind::IpcpPlusPlus,
         ];
         let mut all = vec![Variant::NoPrefetch];
-        for &k in &KINDS {
+        for &k in &PrefetcherKind::ALL {
             for &p in &POLICIES {
                 all.push(Variant::Pref(k, p));
             }
         }
-        for &k in &KINDS {
+        for &k in &PrefetcherKind::ALL {
             for &p in &POLICIES {
                 all.push(Variant::PrefMagic(k, p));
             }

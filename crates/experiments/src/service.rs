@@ -19,6 +19,8 @@
 use crate::ckpt;
 use crate::runner::{self, RunCache, Settings, Variant, BENCH_SCHEMA_VERSION};
 use psa_common::rng::fnv1a;
+use psa_core::PageSizePolicy;
+use psa_prefetchers::PrefetcherKind;
 use psa_sim::report::Json;
 use psa_sim::SimConfig;
 use psa_traces::{catalog, WorkloadSpec};
@@ -27,7 +29,7 @@ use std::sync::Arc;
 /// Figure labels a spec may carry — the experiment modules of this
 /// crate. The label names the sweep in the emitted document; the
 /// service always executes the generic workload×variant cross product.
-pub const KNOWN_FIGURES: [&str; 12] = [
+pub const KNOWN_FIGURES: [&str; 13] = [
     "fig02",
     "fig03",
     "fig0405",
@@ -38,6 +40,7 @@ pub const KNOWN_FIGURES: [&str; 12] = [
     "fig12",
     "fig13",
     "fig1415",
+    "fig16",
     "nonintensive",
     "ablations",
 ];
@@ -49,6 +52,16 @@ pub const MAX_JOBS_PER_SPEC: usize = 4096;
 /// A validated experiment request: which figure label, which workloads,
 /// which variants, and optional overrides of the seed and instruction
 /// budgets. Construct via [`SweepSpec::from_json`].
+///
+/// Besides the explicit `variants` list, a request may select whole
+/// prefetcher families with a `prefetchers` array (family names from
+/// [`PrefetcherKind::ALL`], case-insensitive): each family expands to
+/// its [`Variant::Pref`] under every page-size policy. The expansion
+/// happens at parse time — a spec naming `"prefetchers": ["Pangloss"]`
+/// and one listing the same four variant labels are the *same* spec,
+/// with the same canonical form and dedup key. At least one of
+/// `variants` / `prefetchers` must be present; they combine when both
+/// are.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Figure label for the emitted document (one of [`KNOWN_FIGURES`]).
@@ -86,6 +99,9 @@ pub enum SpecError {
     UnknownWorkload(String),
     /// A variant label does not parse ([`Variant::parse`]).
     UnknownVariant(String),
+    /// A `prefetchers` entry names no known family
+    /// ([`PrefetcherKind::ALL`]).
+    UnknownPrefetcher(String),
     /// A list field is empty.
     Empty(&'static str),
     /// The workload×variant cross product exceeds [`MAX_JOBS_PER_SPEC`].
@@ -105,6 +121,7 @@ impl SpecError {
             SpecError::UnknownFigure(_) => "unknown_figure",
             SpecError::UnknownWorkload(_) => "unknown_workload",
             SpecError::UnknownVariant(_) => "unknown_variant",
+            SpecError::UnknownPrefetcher(_) => "unknown_prefetcher",
             SpecError::Empty(_) => "empty_list",
             SpecError::TooManyJobs { .. } => "too_many_jobs",
         }
@@ -122,6 +139,14 @@ impl std::fmt::Display for SpecError {
             SpecError::UnknownFigure(v) => write!(f, "unknown figure {v:?}"),
             SpecError::UnknownWorkload(v) => write!(f, "unknown workload {v:?}"),
             SpecError::UnknownVariant(v) => write!(f, "unknown variant {v:?}"),
+            SpecError::UnknownPrefetcher(v) => {
+                let known: Vec<&str> = PrefetcherKind::ALL.iter().map(|k| k.name()).collect();
+                write!(
+                    f,
+                    "unknown prefetcher {v:?} (known families: {})",
+                    known.join(", ")
+                )
+            }
             SpecError::Empty(name) => write!(f, "field {name:?} must not be empty"),
             SpecError::TooManyJobs { requested } => write!(
                 f,
@@ -177,7 +202,8 @@ impl SweepSpec {
     /// # Errors
     ///
     /// Returns the first [`SpecError`] encountered; field order is
-    /// figure, workloads, variants, then the numeric overrides.
+    /// figure, workloads, variants, prefetchers, then the numeric
+    /// overrides.
     pub fn from_json(doc: &Json) -> Result<SweepSpec, SpecError> {
         if !matches!(doc, Json::Obj(_)) {
             return Err(SpecError::BadType {
@@ -203,10 +229,27 @@ impl SweepSpec {
             .collect::<Result<Vec<_>, _>>()?;
         workloads.sort_by_key(|w| w.name);
         workloads.dedup_by_key(|w| w.name);
-        let mut variants = field_str_list(doc, "variants")?
-            .into_iter()
-            .map(|label| Variant::parse(&label).ok_or(SpecError::UnknownVariant(label)))
-            .collect::<Result<Vec<_>, _>>()?;
+        let has = |field: &str| doc.get(field).is_some_and(|v| !matches!(v, Json::Null));
+        if !has("variants") && !has("prefetchers") {
+            return Err(SpecError::MissingField("variants"));
+        }
+        let mut variants = if has("variants") {
+            field_str_list(doc, "variants")?
+                .into_iter()
+                .map(|label| Variant::parse(&label).ok_or(SpecError::UnknownVariant(label)))
+                .collect::<Result<Vec<_>, _>>()?
+        } else {
+            Vec::new()
+        };
+        if has("prefetchers") {
+            for name in field_str_list(doc, "prefetchers")? {
+                let kind = PrefetcherKind::ALL
+                    .into_iter()
+                    .find(|k| k.name().eq_ignore_ascii_case(&name))
+                    .ok_or(SpecError::UnknownPrefetcher(name))?;
+                variants.extend(PageSizePolicy::ALL.map(|policy| Variant::Pref(kind, policy)));
+            }
+        }
         variants.sort_by_key(|v| v.label());
         variants.dedup();
         let requested = workloads.len() * variants.len();
@@ -409,9 +452,54 @@ mod tests {
     }
 
     #[test]
+    fn prefetchers_field_expands_to_the_policy_matrix() {
+        let _guard = test_env_lock();
+        let by_family =
+            spec_json(r#"{"figure": "fig16", "workloads": ["lbm"], "prefetchers": ["pangloss"]}"#);
+        let spec = SweepSpec::from_json(&by_family).expect("valid spec");
+        let labels: Vec<String> = spec.variants.iter().map(|v| v.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "Pangloss",
+                "Pangloss-PSA",
+                "Pangloss-PSA-2MB",
+                "Pangloss-PSA-SD"
+            ]
+        );
+        // Naming the family and listing its variant labels are the same
+        // spec: same canonical form, same dedup key.
+        let by_labels = spec_json(
+            r#"{"figure": "fig16", "workloads": ["lbm"],
+                "variants": ["Pangloss", "Pangloss-PSA", "Pangloss-PSA-2MB", "Pangloss-PSA-SD"]}"#,
+        );
+        let explicit = SweepSpec::from_json(&by_labels).expect("valid spec");
+        assert_eq!(spec.canonical(), explicit.canonical());
+        assert_eq!(spec.key(), explicit.key());
+        // Both fields combine, overlaps dedup.
+        let both = spec_json(
+            r#"{"figure": "fig16", "workloads": ["lbm"],
+                "variants": ["DSPatch-Magic-PSA", "Pangloss-PSA"],
+                "prefetchers": ["Pangloss"]}"#,
+        );
+        let combined = SweepSpec::from_json(&both).expect("valid spec");
+        let labels: Vec<String> = combined.variants.iter().map(|v| v.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "DSPatch-Magic-PSA",
+                "Pangloss",
+                "Pangloss-PSA",
+                "Pangloss-PSA-2MB",
+                "Pangloss-PSA-SD"
+            ]
+        );
+    }
+
+    #[test]
     fn spec_rejections_are_typed() {
         let _guard = test_env_lock();
-        let cases: [(&str, &str); 7] = [
+        let cases: [(&str, &str); 10] = [
             (r#"[1, 2]"#, "bad_type"),
             (
                 r#"{"workloads": ["lbm"], "variants": ["SPP"]}"#,
@@ -436,6 +524,18 @@ mod tests {
             (
                 r#"{"figure": "fig08", "workloads": ["lbm"], "variants": ["SPP"], "seed": -1}"#,
                 "bad_type",
+            ),
+            (
+                r#"{"figure": "fig16", "workloads": ["lbm"], "prefetchers": ["SPP", "Panglos"]}"#,
+                "unknown_prefetcher",
+            ),
+            (
+                r#"{"figure": "fig16", "workloads": ["lbm"], "prefetchers": "Pangloss"}"#,
+                "bad_type",
+            ),
+            (
+                r#"{"figure": "fig16", "workloads": ["lbm"], "prefetchers": []}"#,
+                "empty_list",
             ),
         ];
         for (body, kind) in cases {

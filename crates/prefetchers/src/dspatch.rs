@@ -1,0 +1,509 @@
+//! DSPatch (Bera, Nori, Mutlu, Subramoney — MICRO 2019): a dual
+//! bit-pattern spatial prefetcher.
+//!
+//! DSPatch records which lines of a spatial window were touched while a
+//! page was live, as a bitmap anchored at the window's *trigger* (first)
+//! access, and associates that pattern with the trigger's PC signature.
+//! Its signature move is keeping **two** patterns per signature and
+//! dueling them:
+//!
+//! * **CovP** (coverage-biased) accumulates with bitwise **OR** — it
+//!   grows toward everything the signature ever touched, trading
+//!   accuracy for coverage;
+//! * **AccP** (accuracy-biased) accumulates with bitwise **AND** — it
+//!   shrinks toward the lines *always* touched, trading coverage for
+//!   accuracy.
+//!
+//! Each committed program pattern also scores both stored patterns with
+//! a 2-bit quality counter (did at least half of the stored bits hit?).
+//! Selection is bandwidth-aware: under low memory pressure DSPatch
+//! prefetches from CovP into the LLC; under pressure it switches to
+//! AccP and fills L2C, or stays quiet if neither pattern measures well.
+//! Lacking a DRAM occupancy signal at the prefetcher boundary, pressure
+//! is approximated from the module's useful/useless feedback — an
+//! honest proxy with the same monotonic meaning (wasted prefetches are
+//! what congestion punishes).
+//!
+//! The page board is indexed by page number at the constructor's
+//! [`IndexGrain`] — the structure Pref-PSA-2MB re-indexes. The pattern
+//! window is a fixed 64 lines after the trigger at either grain; the 2MB
+//! grain changes which accesses share a board entry (and thus a
+//! trigger), not the window width.
+
+use psa_common::geometry::xor_fold;
+use psa_common::{CodecError, Dec, Enc, PLine, Persist, SatCounter, VAddr};
+use psa_core::{AccessContext, Candidate, FillLevel, IndexGrain, Prefetcher};
+
+/// Lines covered by one bit pattern, anchored at its trigger offset.
+const WINDOW: i64 = 64;
+
+/// DSPatch structure sizes and thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DspatchConfig {
+    /// Page board entries (fully associative, LRU) tracking live pages.
+    pub pb_entries: usize,
+    /// Signature pattern table entries (direct-mapped by PC signature;
+    /// must be a power of two).
+    pub spt_entries: usize,
+    /// When CovP's population exceeds this and its quality counter is
+    /// dead, it is reset to the incoming pattern (the OR escape hatch).
+    pub cov_max_pop: u32,
+    /// When AND-ing would leave AccP below this population, it is reset
+    /// to the incoming pattern instead (the AND escape hatch).
+    pub acc_min_pop: u32,
+    /// Issued-prefetch count below which the bandwidth proxy never
+    /// reports pressure (cold start measures nothing).
+    pub bw_issue_floor: u32,
+}
+
+impl Default for DspatchConfig {
+    fn default() -> Self {
+        Self {
+            pb_entries: 32,
+            spt_entries: 256,
+            cov_max_pop: 48,
+            acc_min_pop: 2,
+            bw_issue_floor: 32,
+        }
+    }
+}
+
+/// A live page being recorded: the trigger access and the bitmap of
+/// window offsets touched since.
+#[derive(Debug, Clone, Copy, Default)]
+struct PbEntry {
+    page: u64,
+    trigger_offset: i64,
+    sig: u64,
+    pattern: u64,
+    valid: bool,
+    lru: u64,
+}
+
+psa_common::persist_struct!(PbEntry {
+    page,
+    trigger_offset,
+    sig,
+    pattern,
+    valid,
+    lru,
+});
+
+/// The two dueling patterns of one PC signature plus their 2-bit
+/// quality counters.
+#[derive(Debug, Clone)]
+struct SptEntry {
+    covp: u64,
+    accp: u64,
+    cov_good: SatCounter,
+    acc_good: SatCounter,
+    valid: bool,
+}
+
+impl Default for SptEntry {
+    fn default() -> Self {
+        Self {
+            covp: 0,
+            accp: 0,
+            cov_good: SatCounter::new(2),
+            acc_good: SatCounter::new(2),
+            valid: false,
+        }
+    }
+}
+
+psa_common::persist_struct!(SptEntry {
+    covp,
+    accp,
+    cov_good,
+    acc_good,
+    valid,
+});
+
+/// The DSPatch dual bit-pattern spatial prefetcher.
+#[derive(Debug)]
+pub struct Dspatch {
+    config: DspatchConfig,
+    grain: IndexGrain,
+    pb: Vec<PbEntry>,
+    spt: Vec<SptEntry>,
+    stamp: u64,
+    /// Bandwidth proxy inputs, aged periodically.
+    issued: u32,
+    useful: u32,
+    useless: u32,
+    age: u32,
+}
+
+impl Dspatch {
+    /// Build DSPatch with its page board indexed at `grain`.
+    pub fn new(config: DspatchConfig, grain: IndexGrain) -> Self {
+        assert!(
+            config.spt_entries.is_power_of_two(),
+            "spt_entries must be a power of two"
+        );
+        assert!(config.pb_entries > 0);
+        Self {
+            config,
+            grain,
+            pb: vec![PbEntry::default(); config.pb_entries],
+            spt: vec![SptEntry::default(); config.spt_entries],
+            stamp: 0,
+            issued: 0,
+            useful: 0,
+            useless: 0,
+            age: 0,
+        }
+    }
+
+    /// The indexing grain in force.
+    pub fn grain(&self) -> IndexGrain {
+        self.grain
+    }
+
+    fn sig_of(&self, pc: VAddr) -> u64 {
+        xor_fold(pc.raw(), self.config.spt_entries.trailing_zeros())
+    }
+
+    /// The memory-pressure proxy: enough issue history to mean anything,
+    /// and wasted prefetches outnumbering useful ones.
+    fn bw_pressure(&self) -> bool {
+        self.issued >= self.config.bw_issue_floor && self.useless > self.useful
+    }
+
+    /// Score a stored pattern against what the program actually touched:
+    /// good if at least half its asserted bits hit.
+    fn judge(stored: u64, actual: u64, counter: &mut SatCounter) {
+        let pop = stored.count_ones();
+        if pop == 0 {
+            return;
+        }
+        let hits = (stored & actual).count_ones();
+        if 2 * hits >= pop {
+            counter.inc();
+        } else {
+            counter.dec();
+        }
+    }
+
+    /// Fold a finished page's recorded pattern into its signature's
+    /// dueling entry.
+    fn commit(&mut self, sig: u64, pattern: u64) {
+        let e = &mut self.spt[sig as usize];
+        if !e.valid {
+            *e = SptEntry {
+                covp: pattern,
+                accp: pattern,
+                cov_good: SatCounter::new(2),
+                acc_good: SatCounter::new(2),
+                valid: true,
+            };
+            // Fresh signatures start weakly trusted so the duel can begin
+            // predicting at all (a dead-counter start never issues and
+            // therefore never gets judged).
+            e.cov_good.inc();
+            e.cov_good.inc();
+            e.acc_good.inc();
+            e.acc_good.inc();
+            return;
+        }
+        Self::judge(e.covp, pattern, &mut e.cov_good);
+        Self::judge(e.accp, pattern, &mut e.acc_good);
+        // CovP: grow by OR; if it has bloated and measures badly, restart.
+        e.covp |= pattern;
+        if e.covp.count_ones() > self.config.cov_max_pop && e.cov_good.value() == 0 {
+            e.covp = pattern;
+            e.cov_good.reset();
+            e.cov_good.inc();
+        }
+        // AccP: shrink by AND; if the intersection collapses, restart.
+        if (e.accp & pattern).count_ones() < self.config.acc_min_pop {
+            e.accp = pattern;
+        } else {
+            e.accp &= pattern;
+        }
+    }
+
+    /// Pick the pattern to replay for a fresh trigger, honouring the
+    /// bandwidth duel. Returns the pattern and its fill level.
+    fn select(&self, sig: u64) -> Option<(u64, FillLevel)> {
+        let e = &self.spt[sig as usize];
+        if !e.valid {
+            return None;
+        }
+        let acc_ok = e.acc_good.value() > e.acc_good.max() / 2;
+        let cov_ok = e.cov_good.value() > e.cov_good.max() / 2;
+        if self.bw_pressure() {
+            // Pressure: only the accurate pattern, close to the core.
+            return acc_ok.then_some((e.accp, FillLevel::L2C));
+        }
+        if cov_ok {
+            // Bandwidth to spare: chase coverage into the LLC.
+            return Some((e.covp, FillLevel::Llc));
+        }
+        acc_ok.then_some((e.accp, FillLevel::L2C))
+    }
+}
+
+impl Prefetcher for Dspatch {
+    fn name(&self) -> &'static str {
+        "DSPatch"
+    }
+
+    fn on_access(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>) {
+        self.age += 1;
+        if self.age >= 4096 {
+            self.age = 0;
+            self.issued /= 2;
+            self.useful /= 2;
+            self.useless /= 2;
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let page = self.grain.page_of(ctx.line);
+        let offset = self.grain.offset_of(ctx.line) as i64;
+
+        if let Some(e) = self.pb.iter_mut().find(|e| e.valid && e.page == page) {
+            let d = offset - e.trigger_offset;
+            if (0..WINDOW).contains(&d) {
+                e.pattern |= 1 << d;
+            }
+            e.lru = stamp;
+            return;
+        }
+
+        // New trigger: retire the LRU victim's recording, then predict.
+        let victim = self
+            .pb
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
+            .map(|(i, _)| i)
+            .expect("non-empty page board");
+        let old = self.pb[victim];
+        if old.valid {
+            self.commit(old.sig, old.pattern);
+        }
+        let sig = self.sig_of(ctx.pc);
+        self.pb[victim] = PbEntry {
+            page,
+            trigger_offset: offset,
+            sig,
+            pattern: 1, // the trigger bit itself
+            valid: true,
+            lru: stamp,
+        };
+
+        if let Some((pattern, fill_level)) = self.select(sig) {
+            for d in 1..WINDOW {
+                if pattern & (1 << d) != 0 {
+                    if let Some(line) = self.grain.line_at(page, offset + d) {
+                        out.push(Candidate { line, fill_level });
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_issue(&mut self, _line: PLine) {
+        self.issued = self.issued.saturating_add(1);
+        if self.issued == u32::MAX {
+            self.issued /= 2;
+            self.useful /= 2;
+            self.useless /= 2;
+        }
+    }
+
+    fn on_useful(&mut self, _line: PLine, _pc: VAddr) {
+        self.useful = self.useful.saturating_add(1);
+    }
+
+    fn on_useless(&mut self, _line: PLine) {
+        self.useless = self.useless.saturating_add(1);
+    }
+
+    fn storage_bytes(&self) -> usize {
+        // SPT entry: two 64-bit patterns + two 2-bit counters ≈ 17B; PB
+        // entry: page tag + trigger + sig + pattern ≈ 20B.
+        self.spt.len() * 17 + self.pb.len() * 20
+    }
+
+    fn save_state(&self, e: &mut Enc) {
+        self.pb.save(e);
+        self.spt.save(e);
+        self.stamp.save(e);
+        self.issued.save(e);
+        self.useful.save(e);
+        self.useless.save(e);
+        self.age.save(e);
+    }
+
+    fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        self.pb.load(d)?;
+        self.spt.load(d)?;
+        if self.pb.len() != self.config.pb_entries || self.spt.len() != self.config.spt_entries {
+            return Err(CodecError::Corrupt(
+                "dspatch table shapes do not match the configuration",
+            ));
+        }
+        self.stamp.load(d)?;
+        self.issued.load(d)?;
+        self.useful.load(d)?;
+        self.useless.load(d)?;
+        self.age.load(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_common::PageSize;
+
+    fn ctx(line: u64, pc: u64) -> AccessContext {
+        AccessContext {
+            line: PLine::new(line),
+            pc: VAddr::new(pc),
+            cache_hit: false,
+            page_size: PageSize::Size2M,
+        }
+    }
+
+    /// A board that retires pages immediately: every new page evicts the
+    /// previous one, committing its pattern.
+    fn tiny_board() -> DspatchConfig {
+        DspatchConfig {
+            pb_entries: 1,
+            ..DspatchConfig::default()
+        }
+    }
+
+    /// Touch `offsets` within the page starting at `base`, trigger first.
+    fn record(p: &mut Dspatch, base: u64, offsets: &[u64], pc: u64) {
+        let mut out = Vec::new();
+        for &o in offsets {
+            out.clear();
+            p.on_access(&ctx(base + o, pc), &mut out);
+        }
+    }
+
+    #[test]
+    fn learned_pattern_replays_on_a_new_page() {
+        let mut p = Dspatch::new(tiny_board(), IndexGrain::Page4K);
+        record(&mut p, 0, &[0, 3, 7, 12], 0x400);
+        record(&mut p, 64, &[0, 3, 7, 12], 0x400); // commits page 0, trains
+        let mut out = Vec::new();
+        p.on_access(&ctx(128, 0x400), &mut out); // commits page 1, predicts
+        let lines: Vec<u64> = out.iter().map(|c| c.line.raw()).collect();
+        for want in [131, 135, 140] {
+            assert!(lines.contains(&want), "offset replayed: {lines:?}");
+        }
+    }
+
+    #[test]
+    fn replay_is_trigger_relative() {
+        let mut p = Dspatch::new(tiny_board(), IndexGrain::Page4K);
+        record(&mut p, 0, &[0, 5], 0x400);
+        record(&mut p, 64, &[0, 5], 0x400);
+        // New page triggered mid-page: the +5 is relative to the trigger.
+        let mut out = Vec::new();
+        p.on_access(&ctx(128 + 10, 0x400), &mut out);
+        assert!(
+            out.iter().any(|c| c.line == PLine::new(128 + 15)),
+            "pattern anchors at the trigger: {out:?}"
+        );
+    }
+
+    #[test]
+    fn pressure_selects_the_and_pattern_into_l2c() {
+        let mut p = Dspatch::new(tiny_board(), IndexGrain::Page4K);
+        // Recordings agreeing only on +2: CovP = {1,2,4}, AccP = {2}.
+        // (The third recording also touches +2 so the final commit — made
+        // by the predicting access below — keeps AccP's intersection
+        // alive rather than resetting it to the bare trigger bit.)
+        record(&mut p, 0, &[0, 1, 2], 0x400);
+        record(&mut p, 64, &[0, 2, 4], 0x400);
+        record(&mut p, 128, &[0, 2], 0x400); // commit the second recording
+                                             // Manufacture bandwidth pressure: plenty issued, mostly useless.
+        for i in 0..64 {
+            p.on_issue(PLine::new(i));
+            p.on_useless(PLine::new(i));
+        }
+        assert!(p.bw_pressure());
+        let mut out = Vec::new();
+        p.on_access(&ctx(256, 0x400), &mut out);
+        assert_eq!(out.len(), 1, "under pressure only AccP bits issue: {out:?}");
+        assert_eq!(out[0].line, PLine::new(258));
+        assert_eq!(out[0].fill_level, FillLevel::L2C);
+    }
+
+    #[test]
+    fn no_pressure_selects_the_or_pattern_into_llc() {
+        let mut p = Dspatch::new(tiny_board(), IndexGrain::Page4K);
+        record(&mut p, 0, &[0, 1, 2], 0x400);
+        record(&mut p, 64, &[0, 2, 4], 0x400);
+        record(&mut p, 128, &[0], 0x400);
+        let mut out = Vec::new();
+        p.on_access(&ctx(256, 0x400), &mut out);
+        let lines: Vec<u64> = out.iter().map(|c| c.line.raw()).collect();
+        for want in [257, 258, 260] {
+            assert!(lines.contains(&want), "CovP is the union: {lines:?}");
+        }
+        assert!(out.iter().all(|c| c.fill_level == FillLevel::Llc));
+    }
+
+    #[test]
+    fn cold_signature_stays_quiet() {
+        let mut p = Dspatch::new(DspatchConfig::default(), IndexGrain::Page4K);
+        let mut out = Vec::new();
+        p.on_access(&ctx(0, 0x400), &mut out);
+        assert!(out.is_empty(), "no history, no prefetch");
+    }
+
+    #[test]
+    fn distinct_pcs_learn_distinct_patterns() {
+        let mut p = Dspatch::new(tiny_board(), IndexGrain::Page4K);
+        record(&mut p, 0, &[0, 9], 0x400);
+        record(&mut p, 64, &[0, 21], 0x500);
+        record(&mut p, 128, &[0], 0x600); // flush the second recording
+        let mut out = Vec::new();
+        p.on_access(&ctx(192, 0x400), &mut out);
+        assert!(
+            out.iter().any(|c| c.line == PLine::new(201)),
+            "pc 0x400's pattern: {out:?}"
+        );
+        assert!(
+            !out.iter().any(|c| c.line == PLine::new(213)),
+            "pc 0x500's pattern must not leak: {out:?}"
+        );
+    }
+
+    #[test]
+    fn storage_is_kilobytes_not_megabytes() {
+        let p = Dspatch::new(DspatchConfig::default(), IndexGrain::Page4K);
+        let kb = p.storage_bytes() / 1024;
+        assert!((1..=16).contains(&kb), "budget ≈ few KB, got {kb}KB");
+    }
+
+    #[test]
+    fn state_roundtrips_bit_identically() {
+        let mut p = Dspatch::new(tiny_board(), IndexGrain::Page4K);
+        record(&mut p, 0, &[0, 3, 7], 0x400);
+        record(&mut p, 64, &[0, 3], 0x400);
+        for i in 0..40 {
+            p.on_issue(PLine::new(i));
+            p.on_useful(PLine::new(i), VAddr::new(0x400));
+        }
+        let mut e = Enc::new();
+        p.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut q = Dspatch::new(tiny_board(), IndexGrain::Page4K);
+        q.load_state(&mut Dec::new(&bytes)).expect("clean load");
+        let mut e2 = Enc::new();
+        q.save_state(&mut e2);
+        assert_eq!(bytes, e2.into_bytes(), "save→load→save is a fixpoint");
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        p.on_access(&ctx(128, 0x400), &mut a);
+        q.on_access(&ctx(128, 0x400), &mut b);
+        assert_eq!(a, b, "restored instance predicts identically");
+    }
+}

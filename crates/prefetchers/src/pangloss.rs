@@ -1,0 +1,512 @@
+//! Pangloss (Papaphilippou, Kelefouras, Luk — DPC-3 2019): a Markov-chain
+//! delta prefetcher.
+//!
+//! Pangloss models the access stream of each page as a Markov chain over
+//! page-local line deltas: a *delta transition table* row per previous
+//! delta holds LFU counters for the deltas that followed it. The table is
+//! **compressed** — deltas are sign+magnitude XOR-folded into a fixed row
+//! count, so the ±32768 delta space of the 2MB grain shares the same
+//! storage as the ±63 space of the 4KB grain. Counters age LFU-style:
+//! when one saturates, the whole row halves, so stale transitions decay
+//! while the relative ordering of live ones survives.
+//!
+//! Prediction walks the chain from the just-observed delta: at each step
+//! the most frequent successor is taken, and the walk's confidence is the
+//! product of the per-step transition probabilities (frequency / row
+//! total) scaled by a global accuracy throttle. The walk stops when the
+//! confidence drops below the issue threshold — **the prefetch degree is
+//! the transition confidence**, not a fixed knob.
+//!
+//! The per-page last-offset/last-delta tracker is indexed by page number
+//! at the constructor's [`IndexGrain`] — the structure Pref-PSA-2MB
+//! re-indexes.
+
+use psa_common::geometry::xor_fold;
+use psa_common::{CodecError, Dec, Enc, PLine, Persist, VAddr};
+use psa_core::{AccessContext, Candidate, FillLevel, IndexGrain, Prefetcher};
+
+/// Pangloss structure sizes and thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PanglossConfig {
+    /// Delta transition table rows (one per compressed previous-delta
+    /// code; must be a power of two).
+    pub dt_rows: usize,
+    /// Successor slots per row (the DPC-3 design uses 16).
+    pub dt_ways: usize,
+    /// LFU counter saturation point; reaching it halves the whole row.
+    pub counter_max: u8,
+    /// Page tracker sets (×ways = entries; must be a power of two).
+    pub page_sets: usize,
+    /// Page tracker ways.
+    pub page_ways: usize,
+    /// Hard cap on the chain walk (the confidence threshold usually stops
+    /// it first).
+    pub max_degree: usize,
+    /// Minimum cumulative transition confidence to issue a prefetch.
+    pub conf_prefetch: f64,
+    /// Confidence at or above which a prefetch fills the L2C, not the LLC.
+    pub conf_l2: f64,
+}
+
+impl Default for PanglossConfig {
+    fn default() -> Self {
+        Self {
+            dt_rows: 128,
+            dt_ways: 16,
+            counter_max: 15,
+            page_sets: 64,
+            page_ways: 4,
+            max_degree: 8,
+            conf_prefetch: 0.20,
+            conf_l2: 0.55,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PageEntry {
+    tag: u64,
+    last_offset: i64,
+    last_delta: i64,
+    valid: bool,
+    lru: u64,
+}
+
+psa_common::persist_struct!(PageEntry {
+    tag,
+    last_offset,
+    last_delta,
+    valid,
+    lru,
+});
+
+/// One successor slot of a transition row: the delta that followed and
+/// its LFU frequency counter (`count == 0` means empty).
+#[derive(Debug, Clone, Copy, Default)]
+struct TransSlot {
+    delta: i64,
+    count: u8,
+}
+
+psa_common::persist_struct!(TransSlot { delta, count });
+
+/// The Pangloss Markov-chain delta prefetcher.
+#[derive(Debug)]
+pub struct Pangloss {
+    config: PanglossConfig,
+    grain: IndexGrain,
+    /// Per-page last offset/delta tracker, set-associative with LRU
+    /// stamps — the page-indexed structure.
+    pages: Vec<PageEntry>,
+    /// Flat delta transition table: row `r`'s slots are
+    /// `dt[r*dt_ways .. (r+1)*dt_ways]`.
+    dt: Vec<TransSlot>,
+    stamp: u64,
+    /// Global accuracy throttle: issued & useful prefetch counters, aged
+    /// periodically so a throttled phase can probe again.
+    issued: u32,
+    useful: u32,
+    throttle_age: u32,
+}
+
+impl Pangloss {
+    /// Build Pangloss with its page tracker indexed at `grain`.
+    pub fn new(config: PanglossConfig, grain: IndexGrain) -> Self {
+        assert!(
+            config.dt_rows.is_power_of_two() && config.dt_rows >= 2,
+            "dt_rows must be a power of two"
+        );
+        assert!(
+            config.page_sets.is_power_of_two(),
+            "page_sets must be a power of two"
+        );
+        assert!(config.dt_ways > 0 && config.page_ways > 0 && config.counter_max > 1);
+        Self {
+            config,
+            grain,
+            pages: vec![PageEntry::default(); config.page_sets * config.page_ways],
+            dt: vec![TransSlot::default(); config.dt_rows * config.dt_ways],
+            stamp: 0,
+            issued: 0,
+            useful: 0,
+            throttle_age: 0,
+        }
+    }
+
+    /// The indexing grain in force.
+    pub fn grain(&self) -> IndexGrain {
+        self.grain
+    }
+
+    /// Compress a signed delta into a row index: sign bit + XOR-folded
+    /// magnitude. Folding is what keeps the 2MB grain's ±32768 delta
+    /// space inside the same `dt_rows` rows as the 4KB grain's ±63.
+    fn row_of(&self, delta: i64) -> usize {
+        let mag_bits = self.config.dt_rows.trailing_zeros() - 1;
+        let sign = usize::from(delta < 0) << mag_bits;
+        let mag = xor_fold(delta.unsigned_abs(), mag_bits) as usize;
+        sign | mag
+    }
+
+    /// Global accuracy factor ∈ [0.1, 1.0] (same shape as SPP's throttle:
+    /// cold history speculates at half confidence).
+    fn alpha(&self) -> f64 {
+        if self.issued < 16 {
+            0.5
+        } else {
+            (f64::from(self.useful) / f64::from(self.issued)).clamp(0.1, 1.0)
+        }
+    }
+
+    /// Record the transition `prev → next` with LFU aging.
+    fn train(&mut self, prev: i64, next: i64) {
+        let ways = self.config.dt_ways;
+        let row = self.row_of(prev) * ways;
+        let slots = &mut self.dt[row..row + ways];
+        if let Some(s) = slots.iter_mut().find(|s| s.count > 0 && s.delta == next) {
+            s.count += 1;
+            if s.count >= self.config.counter_max {
+                // LFU aging: halve the whole row. Relative frequencies
+                // survive; transitions that stopped occurring decay to 0.
+                for s in slots.iter_mut() {
+                    s.count /= 2;
+                }
+            }
+            return;
+        }
+        let weakest = slots
+            .iter_mut()
+            .min_by_key(|s| s.count)
+            .expect("non-empty row");
+        *weakest = TransSlot {
+            delta: next,
+            count: 1,
+        };
+    }
+
+    /// The most frequent successor of `prev` and its transition
+    /// probability (count / row total), if the row has any history.
+    fn best_transition(&self, prev: i64) -> Option<(i64, f64)> {
+        let ways = self.config.dt_ways;
+        let row = self.row_of(prev) * ways;
+        let slots = &self.dt[row..row + ways];
+        let total: u32 = slots.iter().map(|s| u32::from(s.count)).sum();
+        if total < 2 {
+            // A single observation always looks 100% confident.
+            return None;
+        }
+        let best = slots.iter().max_by_key(|s| s.count).expect("non-empty row");
+        if best.count == 0 {
+            return None;
+        }
+        Some((best.delta, f64::from(best.count) / f64::from(total)))
+    }
+}
+
+impl Prefetcher for Pangloss {
+    fn name(&self) -> &'static str {
+        "Pangloss"
+    }
+
+    fn on_access(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>) {
+        self.throttle_age += 1;
+        if self.throttle_age >= 4096 {
+            self.throttle_age = 0;
+            self.issued /= 2;
+            self.useful /= 2;
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let page = self.grain.page_of(ctx.line);
+        let offset = self.grain.offset_of(ctx.line) as i64;
+
+        // --- page tracker lookup / update ---
+        let ways = self.config.page_ways;
+        let set = (page as usize) & (self.config.page_sets - 1);
+        let range = set * ways..(set + 1) * ways;
+        let slot = self.pages[range.clone()]
+            .iter()
+            .position(|e| e.valid && e.tag == page);
+        let delta = match slot {
+            Some(w) => {
+                let idx = set * ways + w;
+                let delta = offset - self.pages[idx].last_offset;
+                let prev = self.pages[idx].last_delta;
+                let e = &mut self.pages[idx];
+                e.lru = stamp;
+                if delta == 0 {
+                    return;
+                }
+                e.last_offset = offset;
+                e.last_delta = delta;
+                // The delta-0 row holds each page's *first* transition
+                // (no previous delta yet) — Pangloss's state 0.
+                self.train(prev, delta);
+                delta
+            }
+            None => {
+                let victim = self.pages[range]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
+                    .map(|(w, _)| w)
+                    .expect("non-empty set");
+                self.pages[set * ways + victim] = PageEntry {
+                    tag: page,
+                    last_offset: offset,
+                    last_delta: 0,
+                    valid: true,
+                    lru: stamp,
+                };
+                // First touch of a page: no delta observed yet, and the
+                // delta-0 row aggregates every page's first transition, so
+                // issuing from it would spray one stream's deltas onto
+                // unrelated pages. Stay quiet.
+                return;
+            }
+        };
+
+        // --- chain walk: degree = transition confidence ---
+        let mut cur = delta;
+        let mut cursor = offset;
+        let mut conf = self.alpha();
+        for _ in 0..self.config.max_degree {
+            let Some((next, prob)) = self.best_transition(cur) else {
+                break;
+            };
+            conf *= prob;
+            if conf < self.config.conf_prefetch {
+                break;
+            }
+            cursor += next;
+            // Out-of-page candidates are the module's legality call, same
+            // as SPP's lookahead (negative raw lines are impossible).
+            if let Some(line) = self.grain.line_at(page, cursor) {
+                out.push(Candidate {
+                    line,
+                    fill_level: if conf >= self.config.conf_l2 {
+                        FillLevel::L2C
+                    } else {
+                        FillLevel::Llc
+                    },
+                });
+            }
+            cur = next;
+        }
+    }
+
+    fn on_issue(&mut self, _line: PLine) {
+        self.issued = self.issued.saturating_add(1);
+        if self.issued == u32::MAX {
+            self.issued /= 2;
+            self.useful /= 2;
+        }
+    }
+
+    fn on_useful(&mut self, _line: PLine, _pc: VAddr) {
+        self.useful = self.useful.saturating_add(1);
+    }
+
+    fn storage_bytes(&self) -> usize {
+        // DT slot: folded delta (12b) + 4-bit counter ≈ 2B; page entry:
+        // tag + offset + delta ≈ 8B.
+        self.dt.len() * 2 + self.pages.len() * 8
+    }
+
+    fn save_state(&self, e: &mut Enc) {
+        self.pages.save(e);
+        self.dt.save(e);
+        self.stamp.save(e);
+        self.issued.save(e);
+        self.useful.save(e);
+        self.throttle_age.save(e);
+    }
+
+    fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        self.pages.load(d)?;
+        self.dt.load(d)?;
+        if self.pages.len() != self.config.page_sets * self.config.page_ways
+            || self.dt.len() != self.config.dt_rows * self.config.dt_ways
+        {
+            return Err(CodecError::Corrupt(
+                "pangloss table shapes do not match the configuration",
+            ));
+        }
+        self.stamp.load(d)?;
+        self.issued.load(d)?;
+        self.useful.load(d)?;
+        self.throttle_age.load(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_common::PageSize;
+
+    fn ctx(line: u64) -> AccessContext {
+        AccessContext {
+            line: PLine::new(line),
+            pc: VAddr::new(0x400),
+            cache_hit: false,
+            page_size: PageSize::Size2M,
+        }
+    }
+
+    fn train_stride(p: &mut Pangloss, base: u64, stride: u64, count: u64) {
+        let mut out = Vec::new();
+        for i in 0..count {
+            out.clear();
+            p.on_access(&ctx(base + i * stride), &mut out);
+        }
+    }
+
+    #[test]
+    fn learns_unit_stride_and_walks_the_chain() {
+        let mut p = Pangloss::new(PanglossConfig::default(), IndexGrain::Page4K);
+        train_stride(&mut p, 0, 1, 16);
+        let mut out = Vec::new();
+        p.on_access(&ctx(16), &mut out);
+        assert!(
+            out.iter().any(|c| c.line == PLine::new(17)),
+            "next line predicted: {out:?}"
+        );
+        assert!(
+            out.iter().any(|c| c.line.raw() > 17),
+            "a saturated 1→1 transition walks deeper than one step: {out:?}"
+        );
+    }
+
+    #[test]
+    fn learns_alternating_delta_pattern() {
+        // Deltas +1, +3 repeating: the Markov chain 1→3→1 predicts the
+        // *alternation*, which no single-stride predictor can.
+        let mut p = Pangloss::new(PanglossConfig::default(), IndexGrain::Page2M);
+        let mut out = Vec::new();
+        let mut line = 0u64;
+        for i in 0..25 {
+            out.clear();
+            p.on_access(&ctx(line), &mut out);
+            line += if i % 2 == 0 { 1 } else { 3 };
+        }
+        // The loop ends right after a +3 step, so this access is the
+        // pattern's +1 — the chain must continue with +3 first.
+        out.clear();
+        p.on_access(&ctx(line), &mut out);
+        assert!(
+            out.iter().any(|c| c.line == PLine::new(line + 3)),
+            "1→3 transition predicted: {out:?}"
+        );
+    }
+
+    #[test]
+    fn learns_negative_stride() {
+        let mut p = Pangloss::new(PanglossConfig::default(), IndexGrain::Page4K);
+        let mut out = Vec::new();
+        for i in 0..16u64 {
+            out.clear();
+            p.on_access(&ctx(60 - i), &mut out);
+        }
+        out.clear();
+        p.on_access(&ctx(44), &mut out);
+        assert!(
+            out.iter().any(|c| c.line == PLine::new(43)),
+            "downward stream continues: {out:?}"
+        );
+    }
+
+    #[test]
+    fn noisy_transitions_shorten_the_walk() {
+        let clean = {
+            let mut p = Pangloss::new(PanglossConfig::default(), IndexGrain::Page4K);
+            train_stride(&mut p, 0, 1, 20);
+            let mut out = Vec::new();
+            p.on_access(&ctx(20), &mut out);
+            out.len()
+        };
+        let noisy = {
+            // After a +1, the next delta is +1 or +2 with equal frequency:
+            // each step multiplies confidence by ~0.5, so the chain stops
+            // early — degree tracks transition confidence.
+            let mut p = Pangloss::new(PanglossConfig::default(), IndexGrain::Page2M);
+            let mut out = Vec::new();
+            let mut line = 0u64;
+            for i in 0..40 {
+                out.clear();
+                p.on_access(&ctx(line), &mut out);
+                line += if i % 2 == 0 { 1 } else { 1 + (i / 2) % 2 };
+            }
+            out.clear();
+            p.on_access(&ctx(line), &mut out);
+            out.len()
+        };
+        assert!(
+            clean > noisy,
+            "clean stream must walk deeper: clean {clean} vs noisy {noisy}"
+        );
+    }
+
+    #[test]
+    fn aging_preserves_the_dominant_transition() {
+        let mut p = Pangloss::new(PanglossConfig::default(), IndexGrain::Page4K);
+        // Far more than counter_max repetitions: the row halves repeatedly.
+        train_stride(&mut p, 0, 1, 60);
+        let (next, prob) = p.best_transition(1).expect("trained row");
+        assert_eq!(next, 1);
+        assert!(prob > 0.9, "dominant transition survives aging: {prob}");
+    }
+
+    #[test]
+    fn grain_2m_learns_strides_beyond_64_lines() {
+        let mut fine = Pangloss::new(PanglossConfig::default(), IndexGrain::Page4K);
+        let mut coarse = Pangloss::new(PanglossConfig::default(), IndexGrain::Page2M);
+        train_stride(&mut fine, 0, 100, 20);
+        train_stride(&mut coarse, 0, 100, 20);
+        let mut out_fine = Vec::new();
+        let mut out_coarse = Vec::new();
+        fine.on_access(&ctx(2000), &mut out_fine);
+        coarse.on_access(&ctx(2000), &mut out_coarse);
+        assert!(
+            out_coarse.iter().any(|c| c.line == PLine::new(2100)),
+            "2MB grain sees the 100-line stride: {out_coarse:?}"
+        );
+        assert!(
+            !out_fine.iter().any(|c| c.line == PLine::new(2100)),
+            "4KB grain cannot represent a 100-line delta"
+        );
+    }
+
+    #[test]
+    fn untrained_prefetcher_stays_quiet() {
+        let mut p = Pangloss::new(PanglossConfig::default(), IndexGrain::Page4K);
+        let mut out = Vec::new();
+        p.on_access(&ctx(1000), &mut out);
+        assert!(out.is_empty(), "no history, no prefetch");
+    }
+
+    #[test]
+    fn storage_is_kilobytes_not_megabytes() {
+        let p = Pangloss::new(PanglossConfig::default(), IndexGrain::Page4K);
+        let kb = p.storage_bytes() / 1024;
+        assert!((1..=16).contains(&kb), "budget ≈ few KB, got {kb}KB");
+    }
+
+    #[test]
+    fn state_roundtrips_bit_identically() {
+        let mut p = Pangloss::new(PanglossConfig::default(), IndexGrain::Page4K);
+        train_stride(&mut p, 0, 1, 12);
+        train_stride(&mut p, 640, 2, 9);
+        let mut e = Enc::new();
+        p.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut q = Pangloss::new(PanglossConfig::default(), IndexGrain::Page4K);
+        q.load_state(&mut Dec::new(&bytes)).expect("clean load");
+        let mut e2 = Enc::new();
+        q.save_state(&mut e2);
+        assert_eq!(bytes, e2.into_bytes(), "save→load→save is a fixpoint");
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        p.on_access(&ctx(12), &mut a);
+        q.on_access(&ctx(12), &mut b);
+        assert_eq!(a, b, "restored instance predicts identically");
+    }
+}

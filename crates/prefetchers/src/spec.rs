@@ -1,0 +1,271 @@
+//! [`ModuleSpec`]: the declarative description of an L2C prefetching
+//! module.
+//!
+//! Historically the simulator threaded a `&dyn Fn(usize) -> PsaModule`
+//! closure through `System::try_build`, which meant a variant existed
+//! only as code at a call site — impossible to store in a `SimConfig`,
+//! hash into a checkpoint key, or name over the serve API. `ModuleSpec`
+//! replaces the closure with a plain value: *which* family, *which*
+//! page-size policy, and the tuning knobs, with the module construction
+//! centralised in [`ModuleSpec::build_module`]. Variants are data, not
+//! code.
+
+use psa_common::{CodecError, Dec, Enc, Persist};
+use psa_core::dueling::SdConfigError;
+use psa_core::ppm::PageSizeSource;
+use psa_core::{ModuleConfig, PageSizePolicy, PsaModule, SdConfig};
+
+use crate::{Observed, PrefetcherKind};
+
+/// A declarative, persistable description of the L2C prefetching module
+/// a simulated core should carry: the family, the page-size policy, and
+/// per-family tuning knobs. `Default` is *no prefetching* — the
+/// baseline — so an untouched `SimConfig` behaves exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModuleSpec {
+    /// The prefetcher family, or `None` for the no-prefetch baseline.
+    pub kind: Option<PrefetcherKind>,
+    /// The page size awareness policy the module wraps the family in.
+    pub policy: PageSizePolicy,
+    /// Multiplier on every table shape (≥1); the ISO-storage ablation's
+    /// doubled prefetchers are `2`. See
+    /// [`PrefetcherKind::build_scaled`].
+    pub storage_scale: u8,
+}
+
+impl Default for ModuleSpec {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl ModuleSpec {
+    /// The no-prefetch baseline: no module is built at all.
+    pub const fn none() -> Self {
+        Self {
+            kind: None,
+            policy: PageSizePolicy::Original,
+            storage_scale: 1,
+        }
+    }
+
+    /// A `kind` prefetcher under `policy`, at its published storage
+    /// budget.
+    pub const fn pref(kind: PrefetcherKind, policy: PageSizePolicy) -> Self {
+        Self {
+            kind: Some(kind),
+            policy,
+            storage_scale: 1,
+        }
+    }
+
+    /// Scale every table shape by `scale` (clamped to ≥1).
+    #[must_use]
+    pub const fn with_storage_scale(mut self, scale: u8) -> Self {
+        self.storage_scale = if scale == 0 { 1 } else { scale };
+        self
+    }
+
+    /// Build the module this spec describes, or `None` for the
+    /// baseline.
+    ///
+    /// * `l2c_sets` — dueling sample-set layout input;
+    /// * `sd` / `module` — the system's dueling and issue-path configs;
+    /// * `source` — how page-size information reaches the module;
+    /// * `observed` — wrap the prefetchers in [`Observed`]
+    ///   instrumentation (bit-identical behaviour, extra counters).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the policy is `PsaSd` and the dueling shape does not fit
+    /// the cache.
+    pub fn build_module(
+        &self,
+        l2c_sets: usize,
+        sd: SdConfig,
+        module: ModuleConfig,
+        source: PageSizeSource,
+        observed: bool,
+    ) -> Result<Option<PsaModule>, SdConfigError> {
+        let Some(kind) = self.kind else {
+            return Ok(None);
+        };
+        let scale = usize::from(self.storage_scale.max(1));
+        let factory = |grain| {
+            let p = kind.build_scaled(grain, scale);
+            if observed {
+                Observed::boxed(p)
+            } else {
+                p
+            }
+        };
+        PsaModule::new(self.policy, source, &factory, l2c_sets, sd, module).map(Some)
+    }
+}
+
+/// The spec travels inside checkpoint headers, so its encoding is part
+/// of the snapshot format: kind as a 1-based index into
+/// [`PrefetcherKind::ALL`] (0 = baseline), policy as an index into
+/// [`PageSizePolicy::ALL`] — both append-only canonical orders — then
+/// the raw scale byte.
+impl Persist for ModuleSpec {
+    fn save(&self, e: &mut Enc) {
+        let kind_code = match self.kind {
+            None => 0u8,
+            Some(kind) => {
+                let idx = PrefetcherKind::ALL
+                    .iter()
+                    .position(|&k| k == kind)
+                    .expect("every kind is in ALL");
+                idx as u8 + 1
+            }
+        };
+        e.put_u8(kind_code);
+        let policy_idx = PageSizePolicy::ALL
+            .iter()
+            .position(|&p| p == self.policy)
+            .expect("every policy is in ALL");
+        e.put_u8(policy_idx as u8);
+        e.put_u8(self.storage_scale);
+    }
+
+    fn load(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        let kind_code = d.get_u8()?;
+        self.kind = match kind_code {
+            0 => None,
+            n => Some(
+                *PrefetcherKind::ALL
+                    .get(usize::from(n) - 1)
+                    .ok_or(CodecError::Corrupt("module spec kind out of range"))?,
+            ),
+        };
+        let policy_idx = d.get_u8()?;
+        self.policy = *PageSizePolicy::ALL
+            .get(usize::from(policy_idx))
+            .ok_or(CodecError::Corrupt("module spec policy out of range"))?;
+        self.storage_scale = d.get_u8()?;
+        if self.storage_scale == 0 {
+            return Err(CodecError::Corrupt("module spec scale must be positive"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(spec: ModuleSpec) -> ModuleSpec {
+        let mut e = Enc::new();
+        spec.save(&mut e);
+        let bytes = e.into_bytes();
+        let mut out = ModuleSpec::default();
+        let mut d = Dec::new(&bytes);
+        out.load(&mut d).expect("clean load");
+        assert_eq!(d.remaining(), 0, "all spec bytes consumed");
+        out
+    }
+
+    #[test]
+    fn default_is_the_baseline() {
+        let spec = ModuleSpec::default();
+        assert_eq!(spec, ModuleSpec::none());
+        let module = spec
+            .build_module(
+                1024,
+                SdConfig::default(),
+                ModuleConfig::default(),
+                PageSizeSource::Ppm,
+                false,
+            )
+            .unwrap();
+        assert!(module.is_none(), "no kind, no module");
+    }
+
+    #[test]
+    fn persists_over_the_full_domain() {
+        for kind in PrefetcherKind::ALL {
+            for policy in PageSizePolicy::ALL {
+                for scale in [1u8, 2, 7] {
+                    let spec = ModuleSpec::pref(kind, policy).with_storage_scale(scale);
+                    assert_eq!(roundtrip(spec), spec);
+                }
+            }
+        }
+        assert_eq!(roundtrip(ModuleSpec::none()), ModuleSpec::none());
+    }
+
+    #[test]
+    fn zero_scale_is_rejected_on_load() {
+        let mut e = Enc::new();
+        e.put_u8(1);
+        e.put_u8(0);
+        e.put_u8(0); // scale 0 can only come from corruption
+        let bytes = e.into_bytes();
+        let mut spec = ModuleSpec::default();
+        assert!(spec.load(&mut Dec::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_codes_are_corrupt() {
+        for (kind_code, policy_code) in [(200u8, 0u8), (1, 200)] {
+            let mut e = Enc::new();
+            e.put_u8(kind_code);
+            e.put_u8(policy_code);
+            e.put_u8(1);
+            let bytes = e.into_bytes();
+            let mut spec = ModuleSpec::default();
+            assert!(spec.load(&mut Dec::new(&bytes)).is_err());
+        }
+    }
+
+    #[test]
+    fn builds_every_family_under_every_policy() {
+        for kind in PrefetcherKind::ALL {
+            for policy in PageSizePolicy::ALL {
+                let spec = ModuleSpec::pref(kind, policy);
+                let module = spec
+                    .build_module(
+                        1024,
+                        SdConfig::default(),
+                        ModuleConfig::default(),
+                        PageSizeSource::Ppm,
+                        false,
+                    )
+                    .unwrap_or_else(|e| panic!("{kind:?}/{policy:?}: {e:?}"))
+                    .expect("kind set, module built");
+                assert_eq!(module.policy(), policy);
+                assert_eq!(module.prefetcher_name(), kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn storage_scale_reaches_the_built_module() {
+        let base = ModuleSpec::pref(PrefetcherKind::Spp, PageSizePolicy::Original)
+            .build_module(
+                1024,
+                SdConfig::default(),
+                ModuleConfig::default(),
+                PageSizeSource::Ppm,
+                false,
+            )
+            .unwrap()
+            .unwrap()
+            .storage_bytes() as f64;
+        let doubled = ModuleSpec::pref(PrefetcherKind::Spp, PageSizePolicy::Original)
+            .with_storage_scale(2)
+            .build_module(
+                1024,
+                SdConfig::default(),
+                ModuleConfig::default(),
+                PageSizeSource::Ppm,
+                false,
+            )
+            .unwrap()
+            .unwrap()
+            .storage_bytes() as f64;
+        let ratio = doubled / base;
+        assert!((1.5..=2.5).contains(&ratio), "ratio {ratio:.2}");
+    }
+}

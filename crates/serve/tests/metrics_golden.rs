@@ -250,6 +250,27 @@ fn malformed_requests_get_typed_4xx_never_a_panic() {
         (
             "POST",
             "/jobs",
+            Some(r#"{"figure": "fig08", "workloads": ["lbm"], "prefetchers": ["SPP", "Panglos"]}"#),
+            400,
+            "unknown_prefetcher",
+        ),
+        (
+            "POST",
+            "/jobs",
+            Some(r#"{"figure": "fig08", "workloads": ["lbm"], "prefetchers": "Pangloss"}"#),
+            400,
+            "bad_type",
+        ),
+        (
+            "POST",
+            "/jobs",
+            Some(r#"{"figure": "fig08", "workloads": ["lbm"], "prefetchers": []}"#),
+            400,
+            "empty_list",
+        ),
+        (
+            "POST",
+            "/jobs",
             Some(oversized.as_str()),
             413,
             "body_too_large",

@@ -7,6 +7,7 @@ use psa_core::ppm::PageSizeSource;
 use psa_core::{ModuleConfig, SdConfig};
 use psa_cpu::CoreConfig;
 use psa_dram::DramConfig;
+use psa_prefetchers::ModuleSpec;
 use psa_vmem::{MmuConfig, PhysMemConfig};
 
 /// Which L1D prefetcher (if any) runs alongside the L1D — the Figure 13
@@ -58,6 +59,11 @@ pub struct SimConfig {
     pub sd: SdConfig,
     /// Prefetch issue-path limits.
     pub module: ModuleConfig,
+    /// The L2C prefetching module each core carries — family, page-size
+    /// policy and tuning knobs as a plain value. The default is the
+    /// no-prefetch baseline; `System::try_single_core` and friends are
+    /// sugar that fill this in.
+    pub module_spec: ModuleSpec,
     /// How page-size information reaches the module (PPM vs Magic oracle).
     pub page_size_source: PageSizeSource,
     /// L1D prefetcher for Figure 13 configurations.
@@ -113,6 +119,7 @@ impl SimConfig {
             },
             sd: SdConfig::default(),
             module: ModuleConfig::default(),
+            module_spec: ModuleSpec::none(),
             page_size_source: PageSizeSource::Ppm,
             l1d_prefetcher: L1dPrefKind::None,
             warmup: 100_000,
@@ -139,6 +146,13 @@ impl SimConfig {
     /// Override the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Select the L2C prefetching module ([`ModuleSpec::none`] for the
+    /// baseline).
+    pub fn with_module_spec(mut self, spec: ModuleSpec) -> Self {
+        self.module_spec = spec;
         self
     }
 

@@ -20,18 +20,20 @@
 //! [`psa_vmem::Mmu::translate`] yields the page size with each
 //! translation; the port threads it through every level as the explicit
 //! [`psa_hier::Request::huge`] bit, and the walk hands it to the
-//! [`PsaModule`] on every L2C demand access. Page-walk PTE reads are
-//! charged through the L2C→LLC→DRAM path.
+//! [`psa_core::PsaModule`] on every L2C demand access. Page-walk PTE
+//! reads are charged through the L2C→LLC→DRAM path. Which module a core
+//! carries is decided by the [`ModuleSpec`] value on [`SimConfig`] — the
+//! `single_core`/`baseline` constructors are sugar that fill it in.
 
 use psa_cache::{Cache, CacheStats};
 use psa_common::obs::{EventKind, EventRing, ObsReport};
 use psa_common::{CodecError, Dec, Enc, Persist, VAddr};
 use psa_core::ppm::PageSizeSource;
-use psa_core::{PageSizePolicy, PsaModule};
+use psa_core::PageSizePolicy;
 use psa_cpu::{Core, Instr};
 use psa_dram::Dram;
 use psa_hier::{CacheLevel, Feedback, LevelLat, LevelPolicy, PortDebug, WalkStats, PASS};
-use psa_prefetchers::{Ipcp, IpcpConfig, NextLineL1d, PrefetcherKind};
+use psa_prefetchers::{Ipcp, IpcpConfig, ModuleSpec, NextLineL1d, PrefetcherKind};
 use psa_traces::{TraceGenerator, WorkloadSpec};
 use psa_vmem::{AddressSpace, AspaceConfig, Mmu, PhysMem};
 
@@ -175,7 +177,10 @@ impl System {
         kind: PrefetcherKind,
         policy: PageSizePolicy,
     ) -> Result<Self, SimError> {
-        Self::try_build(config, &[workload], Some((kind, policy)))
+        Self::try_from_spec(
+            config.with_module_spec(ModuleSpec::pref(kind, policy)),
+            &[workload],
+        )
     }
 
     /// A single-core machine with **no prefetching at any level** — the
@@ -194,7 +199,7 @@ impl System {
     ///
     /// Returns [`SimError::Config`] on a machine that cannot be built.
     pub fn try_baseline(config: SimConfig, workload: &WorkloadSpec) -> Result<Self, SimError> {
-        Self::try_build(config, &[workload], None)
+        Self::try_from_spec(config.with_module_spec(ModuleSpec::none()), &[workload])
     }
 
     /// A multi-core machine; `workloads[i]` runs on core `i`.
@@ -223,7 +228,10 @@ impl System {
         kind: PrefetcherKind,
         policy: PageSizePolicy,
     ) -> Result<Self, SimError> {
-        Self::try_build(config, workloads, Some((kind, policy)))
+        Self::try_from_spec(
+            config.with_module_spec(ModuleSpec::pref(kind, policy)),
+            workloads,
+        )
     }
 
     /// A multi-core machine with no prefetching.
@@ -245,37 +253,22 @@ impl System {
         config: SimConfig,
         workloads: &[&WorkloadSpec],
     ) -> Result<Self, SimError> {
-        Self::try_build(config, workloads, None)
+        Self::try_from_spec(config.with_module_spec(ModuleSpec::none()), workloads)
     }
 
-    /// A single-core machine with a caller-built prefetching module —
-    /// used by the Figure 11 ablations (custom selection logic,
-    /// ISO-storage prefetchers). The closure receives the L2C set count.
+    /// Build the machine the configuration's [`ModuleSpec`] describes —
+    /// the data-driven entry point every other constructor is sugar for.
+    /// `workloads[i]` runs on core `i`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on inconsistent configuration.
-    pub fn single_core_with_module(
-        config: SimConfig,
-        workload: &WorkloadSpec,
-        make_module: &dyn Fn(usize) -> PsaModule,
-    ) -> Self {
-        let mut sys = Self::try_build(config, &[workload], None).unwrap_or_else(|e| panic!("{e}"));
-        let sets = sys.ctxs[0].levels[1].cache.num_sets();
-        sys.ctxs[0].levels[1].module = Some(make_module(sets));
-        if sys.config.obs.enabled {
-            if let Some(m) = &mut sys.ctxs[0].levels[1].module {
-                m.enable_obs();
-            }
-        }
-        sys
+    /// Returns [`SimError::Config`] on a machine that cannot be built or
+    /// an empty workload list.
+    pub fn try_from_spec(config: SimConfig, workloads: &[&WorkloadSpec]) -> Result<Self, SimError> {
+        Self::try_build(config, workloads)
     }
 
-    fn try_build(
-        mut config: SimConfig,
-        workloads: &[&WorkloadSpec],
-        pref: Option<(PrefetcherKind, PageSizePolicy)>,
-    ) -> Result<Self, SimError> {
+    fn try_build(mut config: SimConfig, workloads: &[&WorkloadSpec]) -> Result<Self, SimError> {
         if workloads.is_empty() {
             return Err(SimError::Config {
                 what: "at least one workload is required".into(),
@@ -307,32 +300,20 @@ impl System {
                 Cache::new(config.l2c).map_err(|e| shape("L2C", &e))?,
                 LevelPolicy::attach_level(),
             );
-            l2c.module = match pref {
-                None => None,
-                Some((kind, policy)) => {
-                    let source = match config.page_size_source {
-                        PageSizeSource::None => PageSizeSource::Ppm,
-                        s => s,
-                    };
-                    Some(
-                        PsaModule::new(
-                            policy,
-                            source,
-                            &|grain| {
-                                if obs_on {
-                                    kind.build_observed(grain)
-                                } else {
-                                    kind.build(grain)
-                                }
-                            },
-                            l2c.cache.num_sets(),
-                            config.sd,
-                            config.module,
-                        )
-                        .map_err(|e| shape("prefetching module", &e))?,
-                    )
-                }
+            let source = match config.page_size_source {
+                PageSizeSource::None => PageSizeSource::Ppm,
+                s => s,
             };
+            l2c.module = config
+                .module_spec
+                .build_module(
+                    l2c.cache.num_sets(),
+                    config.sd,
+                    config.module,
+                    source,
+                    obs_on,
+                )
+                .map_err(|e| shape("prefetching module", &e))?;
             let l1d = CacheLevel::new(
                 Cache::new(config.l1d).map_err(|e| shape("L1D", &e))?,
                 LevelPolicy::entry_level(),

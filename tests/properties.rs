@@ -211,6 +211,8 @@ fn ck_builders() -> Vec<(String, Box<dyn Fn() -> System>)> {
         PrefetcherKind::Bop,
         PrefetcherKind::Ppf,
         PrefetcherKind::NextLine,
+        PrefetcherKind::Pangloss,
+        PrefetcherKind::Dspatch,
     ] {
         v.push((
             format!("{kind}-PSA-SD"),
