@@ -177,6 +177,55 @@ else
   echo "stable sections bit-identical to $GOLDEN16 (bench + release profiles)"
 fi
 
+# Trace-replay gate (see docs/TRACES.md): the committed sample trace
+# must be (a) byte-identical to what `psa_trace_tool gen` deterministically
+# regenerates, (b) verifiable by the full streaming walk, and (c) replay
+# to byte-identical committed stable sections under BOTH optimized
+# profiles — pinning the .psatrace codec and the replay semantics at once.
+echo "== trace-replay gate (fixture regen + golden stable sections) =="
+FIXTURE=crates/experiments/tests/golden/sample.psatrace
+GOLDENTR=crates/experiments/tests/golden/trace_replay_stable.json
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$CKPT_TMP" "$COLD_TMP" "$WARM_TMP" "$OBS_TMP" "$GOLD_TMP" \
+  "$GOLD16_TMP" "$TRACE_TMP"' EXIT
+cargo run --release --quiet --bin psa_trace_tool -- \
+  gen mcf "$TRACE_TMP/sample.psatrace" --seed 7 --instructions 12000 > /dev/null
+if ! cmp -s "$TRACE_TMP/sample.psatrace" "$FIXTURE"; then
+  echo "psa_trace_tool gen no longer reproduces the committed fixture $FIXTURE"
+  echo "(format or generator drift; regenerate the fixture AND its goldens deliberately)"
+  exit 1
+fi
+cargo run --release --quiet --bin psa_trace_tool -- verify "$FIXTURE" > /dev/null
+for profile in bench release; do
+  PDIR="$TRACE_TMP/$profile"
+  mkdir -p "$PDIR"
+  env PSA_WARMUP=2000 PSA_INSTRUCTIONS=8000 PSA_THREADS=1 \
+      PSA_BENCH_JSON_DIR="$PDIR" \
+    cargo bench -q -p psa-bench --bench trace_replay \
+      --profile "$profile" > /dev/null
+  cargo run --release --quiet --bin validate_bench -- "$PDIR/BENCH_trace_replay.json"
+  sed -n '1,/"executor"/p' "$PDIR/BENCH_trace_replay.json" > "$PDIR/stable.json"
+done
+if ! cmp -s "$TRACE_TMP/bench/stable.json" "$TRACE_TMP/release/stable.json"; then
+  echo "bench-profile and release-profile trace_replay stable sections disagree:"
+  diff "$TRACE_TMP/bench/stable.json" "$TRACE_TMP/release/stable.json" | head -20
+  exit 1
+fi
+if [ "${PSA_UPDATE_GOLDEN:-0}" = 1 ]; then
+  cp "$TRACE_TMP/bench/stable.json" "$GOLDENTR"
+  echo "golden file regenerated: $GOLDENTR"
+else
+  for profile in bench release; do
+    if ! cmp -s "$TRACE_TMP/$profile/stable.json" "$GOLDENTR"; then
+      echo "trace_replay stable sections ($profile profile) drifted from $GOLDENTR:"
+      diff "$GOLDENTR" "$TRACE_TMP/$profile/stable.json" | head -20
+      echo "(intentional change? regenerate with PSA_UPDATE_GOLDEN=1 ./ci.sh)"
+      exit 1
+    fi
+  done
+  echo "fixture regenerates byte-identically; replay stable sections match $GOLDENTR"
+fi
+
 # IO fault-injection gate (see docs/ROBUSTNESS.md): the same fixed-budget
 # fig08 sweep, but with the checkpoint store running over a seeded
 # FaultPlan that mixes all four fault kinds (torn writes, bit flips,

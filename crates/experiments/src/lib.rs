@@ -23,6 +23,7 @@
 //! | [`fig13`] | vs L1D prefetching: NL, IPCP, IPCP++ (Figure 13) |
 //! | [`fig1415`] | multi-core weighted speedups (Figures 14 & 15) |
 //! | [`fig16`] | new families (Pangloss, DSPatch) vs SPP (repo extension) |
+//! | [`trace_replay`] | SPP ladder over a streamed `.psatrace` recording (repo extension) |
 //! | [`nonintensive`] | §VI-B1's non-intensive augmentation |
 //! | [`ablations`] | Set-Dueling shape sweeps (sets/competitor, `Csel` width) |
 //!
@@ -32,6 +33,8 @@
 //! `PSA_MIXES=n` bounds the multi-core mix count; `PSA_THREADS=n` caps
 //! the parallel executor's worker count (default: all cores);
 //! `PSA_JSON_RUNS=1` embeds raw per-run reports in emitted JSON;
+//! `PSA_TRACE_FILE=<path>` points the [`trace_replay`] figure at a
+//! `.psatrace` recording other than the committed sample fixture;
 //! `PSA_CKPT_DIR=<dir>` persists warm-up checkpoints — and memoised
 //! finished reports — across processes through the crash-safe tiered
 //! store (`psa-store`); `PSA_CKPT_MEM_MB=n` / `PSA_CKPT_DISK_MB=n`
@@ -77,5 +80,6 @@ pub mod fig16;
 pub mod nonintensive;
 pub mod runner;
 pub mod service;
+pub mod trace_replay;
 
 pub use runner::{CkptLayout, RunnerOptions, Settings};

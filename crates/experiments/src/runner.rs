@@ -53,7 +53,7 @@ use psa_prefetchers::PrefetcherKind;
 use psa_sim::report::{self, Json};
 use psa_sim::{L1dPrefKind, ObsConfig, ObsReport, RunReport, SimConfig, SimError, System};
 use psa_store::fault::FaultPlan;
-use psa_traces::{catalog, WorkloadSpec};
+use psa_traces::{catalog, WorkloadRef, WorkloadSpec};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -551,6 +551,30 @@ impl Variant {
     pub fn parse(label: &str) -> Option<Variant> {
         Variant::all().into_iter().find(|v| v.label() == label)
     }
+
+    /// The [`SimConfig`] this variant actually simulates: the module
+    /// spec, the Magic page-size oracle, and the L1D prefetcher are the
+    /// only fields a variant touches. This is the one place the mapping
+    /// lives — the executor and external drivers (golden fixtures, the
+    /// bench harness) share it, so a run reproduced outside the run
+    /// cache is bit-identical to the memoised one.
+    pub fn build_config(&self, config: SimConfig) -> SimConfig {
+        use psa_prefetchers::ModuleSpec;
+        match *self {
+            Variant::NoPrefetch => config.with_module_spec(ModuleSpec::none()),
+            Variant::Pref(kind, policy) => config.with_module_spec(ModuleSpec::pref(kind, policy)),
+            Variant::PrefMagic(kind, policy) => {
+                let mut c = config.with_module_spec(ModuleSpec::pref(kind, policy));
+                c.page_size_source = psa_core::ppm::PageSizeSource::Magic;
+                c
+            }
+            Variant::L1d(kind) => {
+                let mut c = config.with_module_spec(ModuleSpec::none());
+                c.l1d_prefetcher = kind;
+                c
+            }
+        }
+    }
 }
 
 /// How one memoised `(workload, variant)` job ended.
@@ -592,25 +616,12 @@ impl RunOutcome {
 /// restored warm state is bit-identical to a freshly simulated one.
 fn try_simulate(
     config: SimConfig,
-    workload: &'static WorkloadSpec,
+    workload: WorkloadRef,
     variant: Variant,
 ) -> Result<RunReport, SimError> {
-    let build: Box<dyn Fn() -> Result<System, SimError>> = match variant {
-        Variant::NoPrefetch => Box::new(move || System::try_baseline(config, workload)),
-        Variant::Pref(kind, policy) => {
-            Box::new(move || System::try_single_core(config, workload, kind, policy))
-        }
-        Variant::PrefMagic(kind, policy) => {
-            let mut config = config;
-            config.page_size_source = psa_core::ppm::PageSizeSource::Magic;
-            Box::new(move || System::try_single_core(config, workload, kind, policy))
-        }
-        Variant::L1d(kind) => {
-            let mut config = config;
-            config.l1d_prefetcher = kind;
-            Box::new(move || System::try_baseline(config, workload))
-        }
-    };
+    let build_config = variant.build_config(config);
+    let build: Box<dyn Fn() -> Result<System, SimError>> =
+        Box::new(move || System::try_from_refs(build_config, &[workload]));
     let label = variant.label();
     // Finished-report memoisation: with the tiered disk store available
     // (and observability off), a report computed by an earlier process
@@ -619,10 +630,10 @@ fn try_simulate(
     // pre-variant config plus the label, which encodes every config
     // mutation a variant applies.
     let memo_key = crate::ckpt::report_memo_enabled(&config)
-        .then(|| crate::ckpt::report_key(&config, workload.name, &label));
+        .then(|| crate::ckpt::report_key(&config, workload.name(), &label));
     if let Some(key) = memo_key {
         let t0 = Instant::now();
-        let hit = crate::ckpt::report_from_store(key, workload.name);
+        let hit = crate::ckpt::report_from_store(key, workload.name());
         record_phase_snapshot(t0.elapsed());
         if let Some(report) = hit {
             return Ok(report);
@@ -686,22 +697,22 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Run one job in isolation: panics are caught, simulator errors are
 /// values, and either becomes a [`RunOutcome::Failed`] row. The fault
 /// never escapes to the batch.
-fn run_job(config: SimConfig, workload: &'static WorkloadSpec, variant: Variant) -> RunOutcome {
+fn run_job(config: SimConfig, workload: WorkloadRef, variant: Variant) -> RunOutcome {
     let mut config = config;
-    if inject_match("PSA_INJECT_STALL", workload.name, variant) {
+    if inject_match("PSA_INJECT_STALL", workload.name(), variant) {
         // Threshold 1: the run aborts via the watchdog almost immediately
         // (nothing retires before the ROB fills; nothing drains before the
         // first fill matures).
         config.watchdog_cycles = 1;
     }
     let result = catch_unwind(AssertUnwindSafe(|| {
-        if inject_match("PSA_INJECT_PANIC", workload.name, variant) {
+        if inject_match("PSA_INJECT_PANIC", workload.name(), variant) {
             panic!("injected panic (PSA_INJECT_PANIC)");
         }
         try_simulate(config, workload, variant)
     }));
     let failed = |reason: String, watchdog: bool| RunOutcome::Failed {
-        workload: workload.name,
+        workload: workload.name(),
         variant,
         reason,
         watchdog,
@@ -807,6 +818,20 @@ pub fn bench_json_dir() -> PathBuf {
     env_path("PSA_BENCH_JSON_DIR").unwrap_or_else(|| PathBuf::from("."))
 }
 
+/// The trace file the trace-replay figure streams. Defaults to the
+/// committed sample fixture next to this crate's golden digests;
+/// `PSA_TRACE_FILE` points the figure at a different `.psatrace`.
+/// Lenient like [`bench_json_dir`]: the strict reading happens when the
+/// file is opened and verified, not here.
+pub fn trace_replay_path() -> PathBuf {
+    env_path("PSA_TRACE_FILE").unwrap_or_else(|| {
+        PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/sample.psatrace"
+        ))
+    })
+}
+
 // Process-wide failure journal: every failed job, so [`doc`] can embed
 // the `"failures"` array even when the cache lives inside a `collect()`.
 // Keyed by (workload, label): memoised jobs use the variant label,
@@ -814,7 +839,7 @@ pub fn bench_json_dir() -> PathBuf {
 #[allow(clippy::type_complexity)]
 static G_FAILURES: Mutex<Vec<(&'static str, String, String, bool)>> = Mutex::new(Vec::new());
 
-fn journal_failure(workload: &'static str, label: String, reason: &str, watchdog: bool) {
+pub(crate) fn journal_failure(workload: &'static str, label: String, reason: &str, watchdog: bool) {
     G_FAILED.fetch_add(1, Ordering::Relaxed);
     if watchdog {
         G_WATCHDOG.fetch_add(1, Ordering::Relaxed);
@@ -1297,10 +1322,10 @@ impl RunCache {
     /// Memoise `outcome`, journalling it (run journal or failure journal)
     /// and bumping the failure counters as appropriate. Returns the
     /// simulated-cycle contribution (0 for failures).
-    fn admit(&mut self, w: &'static WorkloadSpec, v: Variant, outcome: RunOutcome) -> u64 {
+    fn admit(&mut self, name: &'static str, v: Variant, outcome: RunOutcome) -> u64 {
         let cycles = match &outcome {
             RunOutcome::Ok(report) => {
-                journal_run(w.name, v, report);
+                journal_run(name, v, report);
                 report.cycles
             }
             RunOutcome::Failed {
@@ -1310,11 +1335,11 @@ impl RunCache {
                 if *watchdog {
                     self.stats.watchdog_aborted += 1;
                 }
-                journal_failure(w.name, v.label(), reason, *watchdog);
+                journal_failure(name, v.label(), reason, *watchdog);
                 0
             }
         };
-        self.runs.insert((w.name, v), outcome);
+        self.runs.insert((name, v), outcome);
         cycles
     }
 
@@ -1333,6 +1358,12 @@ impl RunCache {
         self.run_batch_with(config, jobs, &|_, _| {})
     }
 
+    /// [`RunCache::run_batch`] over typed [`WorkloadRef`] jobs —
+    /// synthetic specs and trace replays mix freely in one batch.
+    pub fn run_batch_refs(&mut self, config: SimConfig, jobs: &[(WorkloadRef, Variant)]) -> usize {
+        self.run_batch_refs_with(config, jobs, &|_, _| {})
+    }
+
     /// [`RunCache::run_batch`] with a progress hook: `progress(done,
     /// total)` fires after each job of this batch finishes (from worker
     /// threads, concurrently, on the parallel path — `done` values may
@@ -1345,11 +1376,26 @@ impl RunCache {
         jobs: &[(&'static WorkloadSpec, Variant)],
         progress: &(dyn Fn(u64, u64) + Sync),
     ) -> usize {
-        let mut todo: Vec<(&'static WorkloadSpec, Variant)> = Vec::new();
+        let jobs: Vec<(WorkloadRef, Variant)> = jobs
+            .iter()
+            .map(|&(w, v)| (WorkloadRef::from(w), v))
+            .collect();
+        self.run_batch_refs_with(config, &jobs, progress)
+    }
+
+    /// [`RunCache::run_batch_with`] over typed [`WorkloadRef`] jobs —
+    /// the executor's real entry point; the spec-based form is sugar.
+    pub fn run_batch_refs_with(
+        &mut self,
+        config: SimConfig,
+        jobs: &[(WorkloadRef, Variant)],
+        progress: &(dyn Fn(u64, u64) + Sync),
+    ) -> usize {
+        let mut todo: Vec<(WorkloadRef, Variant)> = Vec::new();
         let mut queued: std::collections::HashSet<(&'static str, Variant)> =
             std::collections::HashSet::new();
         for &(w, v) in jobs {
-            if !self.runs.contains_key(&(w.name, v)) && queued.insert((w.name, v)) {
+            if !self.runs.contains_key(&(w.name(), v)) && queued.insert((w.name(), v)) {
                 todo.push((w, v));
             }
         }
@@ -1368,7 +1414,7 @@ impl RunCache {
                 let t0 = Instant::now();
                 let outcome = run_job(config, w, v);
                 busy += t0.elapsed();
-                cycles += self.admit(w, v, outcome);
+                cycles += self.admit(w.name(), v, outcome);
                 progress(i as u64 + 1, todo.len() as u64);
             }
             if self.stats.per_thread.is_empty() {
@@ -1417,7 +1463,7 @@ impl RunCache {
         for (i, outcome, dur) in results {
             busy += dur;
             let (w, v) = todo[i];
-            cycles += self.admit(w, v, outcome);
+            cycles += self.admit(w.name(), v, outcome);
         }
         if self.stats.per_thread.len() < workers {
             self.stats.per_thread.resize(workers, 0);
@@ -1438,30 +1484,57 @@ impl RunCache {
         workload: &'static WorkloadSpec,
         variant: Variant,
     ) -> &RunOutcome {
-        if self.runs.contains_key(&(workload.name, variant)) {
+        self.outcome_ref(config, WorkloadRef::from(workload), variant)
+    }
+
+    /// [`RunCache::outcome`] over a typed [`WorkloadRef`].
+    pub fn outcome_ref(
+        &mut self,
+        config: SimConfig,
+        workload: WorkloadRef,
+        variant: Variant,
+    ) -> &RunOutcome {
+        if self.runs.contains_key(&(workload.name(), variant)) {
             self.stats.memo_hits += 1;
             G_MEMO_HITS.fetch_add(1, Ordering::Relaxed);
         } else {
             let t0 = Instant::now();
             let outcome = run_job(config, workload, variant);
             let dur = t0.elapsed();
-            let cycles = self.admit(workload, variant, outcome);
+            let cycles = self.admit(workload.name(), variant, outcome);
             if self.stats.per_thread.is_empty() {
                 self.stats.per_thread = vec![0];
             }
             self.stats.per_thread[0] += 1;
             self.record(1, dur, dur, cycles);
         }
-        &self.runs[&(workload.name, variant)]
+        &self.runs[&(workload.name(), variant)]
     }
 
     /// Whether `(workload, variant)` is cached with a completed report —
     /// figures use this to render explicit gaps for failed jobs.
     pub fn completed(&self, workload: &'static WorkloadSpec, variant: Variant) -> bool {
-        matches!(
-            self.runs.get(&(workload.name, variant)),
-            Some(RunOutcome::Ok(_))
-        )
+        self.completed_name(workload.name, variant)
+    }
+
+    /// [`RunCache::completed`] keyed by workload name (what the memo
+    /// actually keys on; trace names embed their content hash).
+    pub fn completed_name(&self, name: &'static str, variant: Variant) -> bool {
+        matches!(self.runs.get(&(name, variant)), Some(RunOutcome::Ok(_)))
+    }
+
+    /// [`RunCache::completed`] over a typed [`WorkloadRef`].
+    pub fn completed_ref(&self, workload: WorkloadRef, variant: Variant) -> bool {
+        self.completed_name(workload.name(), variant)
+    }
+
+    /// The subset of `refs` for which every listed variant completed —
+    /// the ref-based analogue of [`RunCache::surviving`].
+    pub fn surviving_refs(&self, refs: &[WorkloadRef], variants: &[Variant]) -> Vec<WorkloadRef> {
+        refs.iter()
+            .filter(|r| variants.iter().all(|&v| self.completed_ref(**r, v)))
+            .copied()
+            .collect()
     }
 
     /// The subset of `workloads` for which every listed variant completed
@@ -1496,7 +1569,21 @@ impl RunCache {
         workload: &'static WorkloadSpec,
         variant: Variant,
     ) -> &RunReport {
-        match self.outcome(config, workload, variant) {
+        self.run_ref(config, WorkloadRef::from(workload), variant)
+    }
+
+    /// [`RunCache::run`] over a typed [`WorkloadRef`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the recorded reason) when the job failed.
+    pub fn run_ref(
+        &mut self,
+        config: SimConfig,
+        workload: WorkloadRef,
+        variant: Variant,
+    ) -> &RunReport {
+        match self.outcome_ref(config, workload, variant) {
             RunOutcome::Ok(report) => report,
             RunOutcome::Failed {
                 workload,
@@ -1515,8 +1602,19 @@ impl RunCache {
         num: Variant,
         den: Variant,
     ) -> f64 {
-        let n = self.run(config, workload, num).ipc();
-        let d = self.run(config, workload, den).ipc();
+        self.speedup_ref(config, WorkloadRef::from(workload), num, den)
+    }
+
+    /// [`RunCache::speedup`] over a typed [`WorkloadRef`].
+    pub fn speedup_ref(
+        &mut self,
+        config: SimConfig,
+        workload: WorkloadRef,
+        num: Variant,
+        den: Variant,
+    ) -> f64 {
+        let n = self.run_ref(config, workload, num).ipc();
+        let d = self.run_ref(config, workload, den).ipc();
         if d <= 0.0 {
             1.0
         } else {
@@ -1989,7 +2087,7 @@ mod tests {
         std::env::set_var("PSA_INJECT_STALL", "lbm/no-prefetch");
         let outcome = run_job(
             quick(),
-            catalog::workload("lbm").unwrap(),
+            catalog::workload("lbm").unwrap().into(),
             Variant::NoPrefetch,
         );
         std::env::remove_var("PSA_INJECT_STALL");

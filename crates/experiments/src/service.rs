@@ -23,13 +23,13 @@ use psa_core::PageSizePolicy;
 use psa_prefetchers::PrefetcherKind;
 use psa_sim::report::Json;
 use psa_sim::SimConfig;
-use psa_traces::{catalog, WorkloadSpec};
+use psa_traces::{catalog, TraceRef, WorkloadRef, WorkloadSpec};
 use std::sync::Arc;
 
 /// Figure labels a spec may carry — the experiment modules of this
 /// crate. The label names the sweep in the emitted document; the
 /// service always executes the generic workload×variant cross product.
-pub const KNOWN_FIGURES: [&str; 13] = [
+pub const KNOWN_FIGURES: [&str; 14] = [
     "fig02",
     "fig03",
     "fig0405",
@@ -43,6 +43,7 @@ pub const KNOWN_FIGURES: [&str; 13] = [
     "fig16",
     "nonintensive",
     "ablations",
+    "trace_replay",
 ];
 
 /// Ceiling on `workloads × variants` per job: one request must stay an
@@ -68,6 +69,9 @@ pub struct SweepSpec {
     pub figure: String,
     /// Workloads to sweep, sorted by name, deduplicated.
     pub workloads: Vec<&'static WorkloadSpec>,
+    /// Trace-file workloads to sweep (already opened and verified),
+    /// sorted by content-addressed name, deduplicated by content hash.
+    pub traces: Vec<TraceRef>,
     /// Variants to sweep, sorted by label, deduplicated.
     pub variants: Vec<Variant>,
     /// `SimConfig::seed` override.
@@ -109,6 +113,25 @@ pub enum SpecError {
         /// Requested job count.
         requested: usize,
     },
+    /// A `traces` entry names a file that cannot be opened and verified
+    /// as a `.psatrace`: missing, unreadable, truncated, corrupt, or a
+    /// foreign format version.
+    BadTrace {
+        /// The path as requested.
+        path: String,
+        /// The typed [`psa_traces::TraceError`], rendered.
+        reason: String,
+    },
+    /// A `traces` entry pinned a `content_hash` that the file on disk
+    /// does not match — serving it would silently replay different bytes.
+    TraceHashMismatch {
+        /// The path as requested.
+        path: String,
+        /// Hash of the bytes actually on disk.
+        found: u64,
+        /// Hash the request pinned.
+        expected: u64,
+    },
 }
 
 impl SpecError {
@@ -124,6 +147,8 @@ impl SpecError {
             SpecError::UnknownPrefetcher(_) => "unknown_prefetcher",
             SpecError::Empty(_) => "empty_list",
             SpecError::TooManyJobs { .. } => "too_many_jobs",
+            SpecError::BadTrace { .. } => "bad_trace",
+            SpecError::TraceHashMismatch { .. } => "trace_hash_mismatch",
         }
     }
 }
@@ -152,6 +177,17 @@ impl std::fmt::Display for SpecError {
                 f,
                 "workloads x variants = {requested} jobs exceeds the per-request \
                  ceiling of {MAX_JOBS_PER_SPEC}"
+            ),
+            SpecError::BadTrace { path, reason } => {
+                write!(f, "trace {path:?} cannot be served: {reason}")
+            }
+            SpecError::TraceHashMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "trace {path:?} hashes to {found:016x}, request pinned {expected:016x}"
             ),
         }
     }
@@ -196,14 +232,98 @@ fn field_str_list(doc: &Json, field: &'static str) -> Result<Vec<String>, SpecEr
     Ok(items)
 }
 
+/// Parse the `traces` array: each entry is either a bare path string or
+/// an object `{"path": ..., "content_hash": "<16 hex digits>"}` pinning
+/// the exact bytes to replay (JSON numbers cannot carry a full u64, so
+/// the pin travels as a hex string). Every named file is opened and
+/// fully verified here, at admission time — a bad file is a typed 4xx,
+/// never a mid-run surprise.
+fn field_traces(doc: &Json) -> Result<Vec<TraceRef>, SpecError> {
+    let field = "traces";
+    let Some(value) = doc.get(field) else {
+        return Ok(Vec::new());
+    };
+    if matches!(value, Json::Null) {
+        return Ok(Vec::new());
+    }
+    let arr = value.as_arr().ok_or(SpecError::BadType {
+        field,
+        expected: "an array of paths or {path, content_hash} objects",
+    })?;
+    if arr.is_empty() {
+        return Err(SpecError::Empty(field));
+    }
+    let mut traces = Vec::new();
+    for entry in arr {
+        let (path, pin) = match entry {
+            Json::Str(p) => (p.as_str(), None),
+            Json::Obj(_) => {
+                let path = entry
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or(SpecError::BadType {
+                        field,
+                        expected: "objects with a string \"path\"",
+                    })?;
+                let pin = match entry.get("content_hash") {
+                    None | Some(Json::Null) => None,
+                    Some(h) => {
+                        let text = h.as_str().ok_or(SpecError::BadType {
+                            field,
+                            expected: "a \"content_hash\" of 16 hex digits (string)",
+                        })?;
+                        let digits = text.strip_prefix("0x").unwrap_or(text);
+                        Some(
+                            u64::from_str_radix(digits, 16).map_err(|_| SpecError::BadType {
+                                field,
+                                expected: "a \"content_hash\" of 16 hex digits (string)",
+                            })?,
+                        )
+                    }
+                };
+                (path, pin)
+            }
+            _ => {
+                return Err(SpecError::BadType {
+                    field,
+                    expected: "an array of paths or {path, content_hash} objects",
+                })
+            }
+        };
+        let opened = match pin {
+            Some(expected) => TraceRef::open_pinned(path, expected),
+            None => TraceRef::open(path),
+        };
+        match opened {
+            Ok(t) => traces.push(t),
+            Err(psa_traces::TraceError::HashMismatch { found, expected }) => {
+                return Err(SpecError::TraceHashMismatch {
+                    path: path.to_string(),
+                    found,
+                    expected,
+                })
+            }
+            Err(e) => {
+                return Err(SpecError::BadTrace {
+                    path: path.to_string(),
+                    reason: e.to_string(),
+                })
+            }
+        }
+    }
+    traces.sort_by_key(|t| t.name);
+    traces.dedup_by_key(|t| t.content_hash);
+    Ok(traces)
+}
+
 impl SweepSpec {
     /// Validate a client request body into a spec.
     ///
     /// # Errors
     ///
     /// Returns the first [`SpecError`] encountered; field order is
-    /// figure, workloads, variants, prefetchers, then the numeric
-    /// overrides.
+    /// figure, workloads, traces, variants, prefetchers, then the
+    /// numeric overrides.
     pub fn from_json(doc: &Json) -> Result<SweepSpec, SpecError> {
         if !matches!(doc, Json::Obj(_)) {
             return Err(SpecError::BadType {
@@ -223,13 +343,23 @@ impl SweepSpec {
         if !KNOWN_FIGURES.contains(&figure.as_str()) {
             return Err(SpecError::UnknownFigure(figure));
         }
-        let mut workloads = field_str_list(doc, "workloads")?
-            .into_iter()
-            .map(|name| catalog::workload(&name).ok_or(SpecError::UnknownWorkload(name)))
-            .collect::<Result<Vec<_>, _>>()?;
+        let has = |field: &str| doc.get(field).is_some_and(|v| !matches!(v, Json::Null));
+        // Synthetic workloads stay required unless the request replays
+        // traces instead; the two sources combine when both are present.
+        if !has("workloads") && !has("traces") {
+            return Err(SpecError::MissingField("workloads"));
+        }
+        let mut workloads = if has("workloads") {
+            field_str_list(doc, "workloads")?
+                .into_iter()
+                .map(|name| catalog::workload(&name).ok_or(SpecError::UnknownWorkload(name)))
+                .collect::<Result<Vec<_>, _>>()?
+        } else {
+            Vec::new()
+        };
         workloads.sort_by_key(|w| w.name);
         workloads.dedup_by_key(|w| w.name);
-        let has = |field: &str| doc.get(field).is_some_and(|v| !matches!(v, Json::Null));
+        let traces = field_traces(doc)?;
         if !has("variants") && !has("prefetchers") {
             return Err(SpecError::MissingField("variants"));
         }
@@ -252,13 +382,14 @@ impl SweepSpec {
         }
         variants.sort_by_key(|v| v.label());
         variants.dedup();
-        let requested = workloads.len() * variants.len();
+        let requested = (workloads.len() + traces.len()) * variants.len();
         if requested > MAX_JOBS_PER_SPEC {
             return Err(SpecError::TooManyJobs { requested });
         }
         Ok(SweepSpec {
             figure,
             workloads,
+            traces,
             variants,
             seed: field_u64(doc, "seed")?,
             warmup: field_u64(doc, "warmup")?,
@@ -295,9 +426,19 @@ impl SweepSpec {
         config
     }
 
+    /// Every workload the spec sweeps — synthetic specs plus verified
+    /// trace files — as typed [`WorkloadRef`]s, in canonical order.
+    pub fn workload_refs(&self) -> Vec<WorkloadRef> {
+        self.workloads
+            .iter()
+            .map(|&w| WorkloadRef::from(w))
+            .chain(self.traces.iter().map(|&t| WorkloadRef::TraceFile(t)))
+            .collect()
+    }
+
     /// Total `(workload, variant)` jobs this spec expands to.
     pub fn total_jobs(&self) -> u64 {
-        (self.workloads.len() * self.variants.len()) as u64
+        ((self.workloads.len() + self.traces.len()) * self.variants.len()) as u64
     }
 
     /// The document title, derived deterministically from the spec.
@@ -305,24 +446,29 @@ impl SweepSpec {
         format!(
             "{} sweep: {} workloads x {} variants",
             self.figure,
-            self.workloads.len(),
+            self.workloads.len() + self.traces.len(),
             self.variants.len()
         )
     }
 
     /// Canonical string form: two specs produce the same string exactly
     /// when they request the same sweep (fields normalised, lists
-    /// sorted and deduplicated by construction).
+    /// sorted and deduplicated by construction). Traces appear under
+    /// their content-addressed names (`trace:<name>@<hash>`), so two
+    /// requests naming different paths to byte-identical files are the
+    /// *same* spec — dedup is by content, not location.
     pub fn canonical(&self) -> String {
         let workloads: Vec<&str> = self.workloads.iter().map(|w| w.name).collect();
+        let traces: Vec<&str> = self.traces.iter().map(|t| t.name).collect();
         let variants: Vec<String> = self.variants.iter().map(|v| v.label()).collect();
         format!(
-            "figure={};seed={:?};warmup={:?};instructions={:?};workloads={};variants={}",
+            "figure={};seed={:?};warmup={:?};instructions={:?};workloads={};traces={};variants={}",
             self.figure,
             self.seed,
             self.warmup,
             self.instructions,
             workloads.join(","),
+            traces.join(","),
             variants.join(",")
         )
     }
@@ -362,14 +508,14 @@ pub fn execute(spec: &SweepSpec, progress: &(dyn Fn(u64, u64) + Sync)) -> Json {
     let settings = Settings { config };
     let mark = runner::failures_mark();
     let mut cache = RunCache::new();
-    let jobs: Vec<_> = spec
-        .workloads
+    let refs = spec.workload_refs();
+    let jobs: Vec<(WorkloadRef, Variant)> = refs
         .iter()
         .flat_map(|&w| spec.variants.iter().map(move |&v| (w, v)))
         .collect();
-    cache.run_batch_with(config, &jobs, progress);
+    cache.run_batch_refs_with(config, &jobs, progress);
     let rows = cache.runs_json();
-    let names: Vec<&str> = spec.workloads.iter().map(|w| w.name).collect();
+    let names: Vec<&str> = refs.iter().map(WorkloadRef::name).collect();
     let failures = runner::failures_json_since(mark, &names);
     runner::doc_with_failures(&spec.figure, &spec.title(), &settings, rows, failures)
 }
@@ -548,6 +694,109 @@ mod tests {
                 .kind(),
             "bad_json"
         );
+    }
+
+    #[test]
+    fn trace_specs_admit_by_content_and_reject_typed() {
+        let _guard = test_env_lock();
+        let mut path = std::env::temp_dir();
+        path.push(format!("psa_service_trace_{}.psatrace", std::process::id()));
+        {
+            let spec = catalog::workload("mcf").expect("in catalog");
+            let mut gen = psa_traces::TraceGenerator::new(spec, 5);
+            let mut w =
+                psa_traces::format::TraceWriter::create(&path, spec.name, spec.huge_fraction)
+                    .expect("create");
+            for _ in 0..500 {
+                w.push_instr(&gen.next().expect("infinite")).expect("write");
+            }
+            w.finish().expect("finish");
+        }
+        let p = path.to_str().expect("utf-8 path");
+        let tref = TraceRef::open(p).expect("verified");
+
+        // Bare-path and pinned-object entries admit the same spec.
+        let bare = spec_json(&format!(
+            r#"{{"figure": "trace_replay", "traces": ["{p}"], "variants": ["SPP"]}}"#
+        ));
+        let pinned = spec_json(&format!(
+            r#"{{"figure": "trace_replay",
+                 "traces": [{{"path": "{p}", "content_hash": "{:016x}"}}],
+                 "variants": ["SPP"]}}"#,
+            tref.content_hash
+        ));
+        let a = SweepSpec::from_json(&bare).expect("bare path admits");
+        let b = SweepSpec::from_json(&pinned).expect("pinned admits");
+        assert_eq!(a.total_jobs(), 1);
+        assert!(a.workloads.is_empty(), "traces alone satisfy the spec");
+        assert_eq!(a.canonical(), b.canonical(), "dedup is by content hash");
+        assert_eq!(a.key(), b.key());
+        assert_eq!(a.workload_refs()[0].name(), tref.name);
+
+        // A wrong pin is a typed rejection naming both hashes.
+        let mispinned = spec_json(&format!(
+            r#"{{"figure": "trace_replay",
+                 "traces": [{{"path": "{p}", "content_hash": "{:016x}"}}],
+                 "variants": ["SPP"]}}"#,
+            tref.content_hash ^ 1
+        ));
+        let err = SweepSpec::from_json(&mispinned).expect_err("wrong pin");
+        assert_eq!(err.kind(), "trace_hash_mismatch");
+        assert!(err
+            .to_string()
+            .contains(&format!("{:016x}", tref.content_hash)));
+
+        // A missing file is a typed rejection, and so is a corrupt one.
+        let gone = spec_json(
+            r#"{"figure": "trace_replay", "traces": ["/nonexistent/x.psatrace"],
+                "variants": ["SPP"]}"#,
+        );
+        let err = SweepSpec::from_json(&gone).expect_err("missing file");
+        assert_eq!(err.kind(), "bad_trace");
+        let mut bytes = std::fs::read(&path).expect("read");
+        let at = bytes.len() - 9;
+        bytes[at] ^= 0x40;
+        let mut corrupt_path = std::env::temp_dir();
+        corrupt_path.push(format!(
+            "psa_service_trace_corrupt_{}.psatrace",
+            std::process::id()
+        ));
+        std::fs::write(&corrupt_path, &bytes).expect("write corrupt");
+        let cp = corrupt_path.to_str().expect("utf-8 path");
+        let doc = spec_json(&format!(
+            r#"{{"figure": "trace_replay", "traces": ["{cp}"], "variants": ["SPP"]}}"#
+        ));
+        let err = SweepSpec::from_json(&doc).expect_err("corrupt file");
+        assert_eq!(err.kind(), "bad_trace");
+
+        // Wrong shapes in the traces array are bad_type; a present-but-
+        // empty array is empty_list; omitting workloads AND traces is
+        // still missing_field.
+        for (body, kind) in [
+            (
+                r#"{"figure": "trace_replay", "traces": [7], "variants": ["SPP"]}"#,
+                "bad_type",
+            ),
+            (
+                r#"{"figure": "trace_replay", "traces": [{"content_hash": "ff"}],
+                    "variants": ["SPP"]}"#,
+                "bad_type",
+            ),
+            (
+                r#"{"figure": "trace_replay", "traces": [], "variants": ["SPP"]}"#,
+                "empty_list",
+            ),
+            (
+                r#"{"figure": "trace_replay", "variants": ["SPP"]}"#,
+                "missing_field",
+            ),
+        ] {
+            let err = SweepSpec::from_json(&spec_json(body)).expect_err(body);
+            assert_eq!(err.kind(), kind, "{body}");
+        }
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&corrupt_path);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Trace-file job specs over the wire: a verified `.psatrace` is
+//! accepted and runs to a document whose rows carry the trace's
+//! content-addressed workload name; an unknown or unreadable trace is a
+//! typed 4xx at submission time (`bad_trace` / `trace_hash_mismatch`),
+//! never an accepted job that fails later; and two submissions naming
+//! byte-identical files at *different paths* dedup to one job.
+
+mod common;
+
+use psa_serve::ServerConfig;
+use psa_sim::report::Json;
+use psa_traces::format::TraceWriter;
+use psa_traces::{catalog, TraceGenerator, TraceRef};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn record(path: &Path, workload: &str, seed: u64, n: u64) {
+    let spec = catalog::workload(workload).expect("in catalog");
+    let mut gen = TraceGenerator::new(spec, seed);
+    let mut w = TraceWriter::create(path, spec.name, spec.huge_fraction).expect("create trace");
+    for _ in 0..n {
+        w.push_instr(&gen.next().expect("infinite")).expect("write");
+    }
+    w.finish().expect("finish");
+}
+
+fn temp_trace(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "psa_serve_trace_{}_{}.psatrace",
+        std::process::id(),
+        tag
+    ))
+}
+
+#[test]
+fn trace_specs_run_and_bad_traces_are_typed_4xx() {
+    let a = temp_trace("a");
+    let b = temp_trace("b");
+    record(&a, "mcf", 21, 1_500);
+    std::fs::copy(&a, &b).expect("copy trace");
+    let tref = TraceRef::open(a.to_str().expect("utf-8")).expect("verified");
+
+    let (server, addr) = common::spawn(ServerConfig::default());
+
+    // A trace-only spec is accepted and runs to completion.
+    let body = format!(
+        r#"{{"figure": "trace_replay", "traces": ["{}"],
+            "variants": ["SPP"], "warmup": 300, "instructions": 900}}"#,
+        a.display()
+    );
+    let resp = common::post(&addr, "/jobs", &body);
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let id = common::submitted_id(&resp);
+    common::wait_done(&addr, &id, Duration::from_secs(300));
+    let result = common::get(&addr, &format!("/results/{id}"));
+    assert_eq!(result.status, 200);
+    let doc = common::json(&result);
+    let rows = doc.get("rows").and_then(Json::as_arr).expect("rows array");
+    assert_eq!(rows.len(), 1);
+    assert_eq!(
+        rows[0].get("workload").and_then(Json::as_str),
+        Some(tref.name),
+        "row is keyed by the content-addressed trace name"
+    );
+    assert!(
+        doc.get("failures")
+            .and_then(Json::as_arr)
+            .is_some_and(<[Json]>::is_empty),
+        "clean replay"
+    );
+
+    // The same bytes at a different path dedup to the same job: the
+    // canonical form names content, not location.
+    let body_b = format!(
+        r#"{{"figure": "trace_replay", "traces": ["{}"],
+            "variants": ["SPP"], "warmup": 300, "instructions": 900}}"#,
+        b.display()
+    );
+    let resp_b = common::post(&addr, "/jobs", &body_b);
+    assert_eq!(resp_b.status, 200, "deduped: {}", resp_b.text());
+    assert_eq!(common::submitted_id(&resp_b), id);
+
+    // Unknown file: typed 400 at admission, no job created.
+    let gone = common::post(
+        &addr,
+        "/jobs",
+        r#"{"figure": "trace_replay", "traces": ["/nonexistent/x.psatrace"],
+            "variants": ["SPP"]}"#,
+    );
+    assert_eq!(gone.status, 400, "{}", gone.text());
+    let err = common::json(&gone);
+    let kind = err
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str);
+    assert_eq!(kind, Some("bad_trace"));
+
+    // Wrong content-hash pin: typed 400 naming the mismatch.
+    let mispinned = format!(
+        r#"{{"figure": "trace_replay",
+             "traces": [{{"path": "{}", "content_hash": "{:016x}"}}],
+             "variants": ["SPP"]}}"#,
+        a.display(),
+        tref.content_hash ^ 0xff
+    );
+    let resp = common::post(&addr, "/jobs", &mispinned);
+    assert_eq!(resp.status, 400, "{}", resp.text());
+    let err = common::json(&resp);
+    let kind = err
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str);
+    assert_eq!(kind, Some("trace_hash_mismatch"));
+
+    drop(server);
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}

@@ -53,6 +53,18 @@ pub enum SimError {
     /// Callers treat every cause the same way — discard the checkpoint
     /// and warm up cold; none of them is ever a panic.
     Checkpoint(CheckpointError),
+    /// A trace-file workload source failed: the file is missing,
+    /// truncated, corrupt, a foreign format version, or its content
+    /// hash does not match the pinned reference. Surfaces at machine
+    /// build time (open/verify) or mid-run (a block fails its checksum
+    /// during streaming) — never as a panic.
+    Trace(psa_traces::TraceError),
+}
+
+impl From<psa_traces::TraceError> for SimError {
+    fn from(e: psa_traces::TraceError) -> Self {
+        SimError::Trace(e)
+    }
 }
 
 /// Why a checkpoint was rejected. Each cause names the *first* check that
@@ -139,6 +151,7 @@ impl fmt::Display for SimError {
                 "physical memory exhausted ({what}): enlarge PhysMemConfig for this workload set"
             ),
             SimError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
+            SimError::Trace(e) => write!(f, "trace replay failed: {e}"),
         }
     }
 }

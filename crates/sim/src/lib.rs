@@ -45,6 +45,7 @@ pub use error::{CheckpointError, CoreStall, SimError, StallSnapshot};
 pub use metrics::{MultiReport, RunReport, REPORT_CODEC_VERSION};
 pub use psa_common::obs::{ObsConfig, ObsReport};
 pub use psa_hier::PortDebug;
+pub use psa_traces::{TraceError, TraceRef, WorkloadRef, WorkloadSource};
 pub use report::Json;
 pub use snapshot::{Snapshot, SNAPSHOT_VERSION};
 pub use system::System;
@@ -65,4 +66,5 @@ pub mod prelude {
     pub use crate::system::System;
     pub use psa_common::obs::{ObsConfig, ObsReport};
     pub use psa_hier::PortDebug;
+    pub use psa_traces::{TraceRef, WorkloadRef};
 }

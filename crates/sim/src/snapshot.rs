@@ -49,7 +49,13 @@ use crate::system::System;
 /// Version 2: the hierarchy refactor changed the payload layout (per-level
 /// `CacheLevel` state, named `PortDebug` counters). Version-1 checkpoints
 /// are rejected and runs fall back to a cold warm-up.
-pub const SNAPSHOT_VERSION: u32 = 2;
+///
+/// Version 3: the workload-source layer replaced raw generator state
+/// with tagged source cursors (a kind byte, then generator state or a
+/// trace stream cursor — block offset, record index, owed fillers), so
+/// a warm-up checkpoint taken mid-trace-file resumes mid-file. Older
+/// checkpoints are rejected and runs fall back to a cold warm-up.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 const MAGIC: [u8; 8] = *b"PSACKPT\0";
 const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;

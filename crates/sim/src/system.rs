@@ -34,7 +34,7 @@ use psa_cpu::{Core, Instr};
 use psa_dram::Dram;
 use psa_hier::{CacheLevel, Feedback, LevelLat, LevelPolicy, PortDebug, WalkStats, PASS};
 use psa_prefetchers::{Ipcp, IpcpConfig, ModuleSpec, NextLineL1d, PrefetcherKind};
-use psa_traces::{TraceGenerator, WorkloadSpec};
+use psa_traces::{WorkloadRef, WorkloadSource, WorkloadSpec};
 use psa_vmem::{AddressSpace, AspaceConfig, Mmu, PhysMem};
 
 use crate::config::{L1dPrefKind, SimConfig};
@@ -131,7 +131,7 @@ pub struct System {
     cores: Vec<Core>,
     ctxs: Vec<CoreHier>,
     shared: SharedHier,
-    gens: Vec<TraceGenerator>,
+    sources: Vec<Box<dyn WorkloadSource>>,
     names: Vec<&'static str>,
     state: RunState,
     /// Sampled event timeline; purely observational and never part of the
@@ -265,10 +265,25 @@ impl System {
     /// Returns [`SimError::Config`] on a machine that cannot be built or
     /// an empty workload list.
     pub fn try_from_spec(config: SimConfig, workloads: &[&WorkloadSpec]) -> Result<Self, SimError> {
-        Self::try_build(config, workloads)
+        let refs: Vec<WorkloadRef> = workloads.iter().map(|&w| WorkloadRef::from(w)).collect();
+        Self::try_build(config, &refs)
     }
 
-    fn try_build(mut config: SimConfig, workloads: &[&WorkloadSpec]) -> Result<Self, SimError> {
+    /// Build the machine from typed [`WorkloadRef`]s — synthetic specs
+    /// and `.psatrace` replays mix freely; `refs[i]` drives core `i`.
+    /// This is the most general constructor: every other `try_*` is
+    /// sugar over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] on a machine that cannot be built or
+    /// an empty ref list, and [`SimError::Trace`] when a trace file
+    /// cannot be opened or its header no longer parses.
+    pub fn try_from_refs(config: SimConfig, refs: &[WorkloadRef]) -> Result<Self, SimError> {
+        Self::try_build(config, refs)
+    }
+
+    fn try_build(mut config: SimConfig, workloads: &[WorkloadRef]) -> Result<Self, SimError> {
         if workloads.is_empty() {
             return Err(SimError::Config {
                 what: "at least one workload is required".into(),
@@ -292,7 +307,7 @@ impl System {
         };
         let mut cores = Vec::new();
         let mut ctxs = Vec::new();
-        let mut gens = Vec::new();
+        let mut sources = Vec::new();
         let mut names = Vec::new();
         for (i, w) in workloads.iter().enumerate() {
             cores.push(Core::new(config.core));
@@ -333,7 +348,7 @@ impl System {
             ctxs.push(CoreHier {
                 id: i as u8,
                 aspace: AddressSpace::new(AspaceConfig {
-                    huge_fraction: w.huge_fraction,
+                    huge_fraction: w.huge_fraction(),
                     seed: config.seed ^ (i as u64).wrapping_mul(0x9e37),
                 }),
                 mmu: Mmu::new(config.mmu).map_err(|e| shape("MMU", &e))?,
@@ -343,11 +358,10 @@ impl System {
                 l1d_pref_buf: Vec::with_capacity(8),
                 stats: WalkStats::new(3),
             });
-            gens.push(TraceGenerator::new(
-                w,
-                config.seed.wrapping_add(7919 * i as u64),
-            ));
-            names.push(w.name);
+            // Same per-core seed derivation the concrete generator always
+            // used; trace replays ignore it (the file is the stream).
+            sources.push(w.build_source(config.seed.wrapping_add(7919 * i as u64))?);
+            names.push(w.name());
         }
         let ring = if obs_on {
             for core in &mut cores {
@@ -371,7 +385,7 @@ impl System {
             cores,
             ctxs,
             shared,
-            gens,
+            sources,
             names,
             state,
             ring,
@@ -628,13 +642,13 @@ impl System {
             if i == 0 {
                 cap = cap.min(self.next_thp_sample - exec);
             }
-            batch = self.gens[i].take_filler(cap);
+            batch = self.sources[i].take_filler(cap);
         }
         if batch > 0 {
             self.cores[i].execute_ops(batch);
         } else {
             batch = 1;
-            let instr: Instr = self.gens[i].next().expect("generator is infinite");
+            let instr: Instr = self.sources[i].next_instr()?;
             {
                 let mut port = CorePort {
                     ctx: &mut self.ctxs[i],
@@ -782,8 +796,8 @@ impl System {
             c.save(e);
         }
         self.shared.save(e);
-        for g in &self.gens {
-            g.save(e);
+        for s in &self.sources {
+            s.save_cursor(e);
         }
         self.state.save(e);
     }
@@ -804,8 +818,8 @@ impl System {
             c.load(d)?;
         }
         self.shared.load(d)?;
-        for g in &mut self.gens {
-            g.load(d)?;
+        for s in &mut self.sources {
+            s.load_cursor(d)?;
         }
         self.state.load(d)?;
         if d.remaining() != 0 {

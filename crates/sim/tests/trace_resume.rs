@@ -1,0 +1,169 @@
+//! Trace replay through the full machine: cold runs vs checkpoint
+//! resume are bit-identical, mixed synthetic+trace multi-core machines
+//! build and resume, and a file corrupted underneath a running replay
+//! surfaces as a typed `SimError::Trace` — never a panic.
+
+use std::path::PathBuf;
+
+use psa_sim::{SimConfig, SimError, System, TraceRef, WorkloadRef};
+use psa_traces::format::TraceWriter;
+use psa_traces::{catalog, TraceGenerator};
+
+struct TempTrace(PathBuf);
+
+impl TempTrace {
+    fn new(tag: &str) -> Self {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "psa_trace_resume_{}_{}.psatrace",
+            std::process::id(),
+            tag
+        ));
+        TempTrace(p)
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for TempTrace {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Record `n` instructions of a catalog workload into a trace file.
+fn record_workload(path: &str, workload: &str, seed: u64, n: u64) {
+    let spec = catalog::workload(workload).expect("in catalog");
+    let mut gen = TraceGenerator::new(spec, seed);
+    let mut w = TraceWriter::create(std::path::Path::new(path), spec.name, spec.huge_fraction)
+        .expect("create temp trace");
+    for _ in 0..n {
+        w.push_instr(&gen.next().expect("infinite")).expect("write");
+    }
+    w.finish().expect("finish");
+}
+
+fn small_config() -> SimConfig {
+    SimConfig::default()
+        .with_warmup(2_000)
+        .with_instructions(6_000)
+}
+
+#[test]
+fn trace_replay_cold_vs_checkpoint_resume_is_bit_identical() {
+    let tmp = TempTrace::new("resume");
+    // Shorter than warmup + instructions, so the replay wraps: the
+    // checkpoint cursor and the wrap path are both on the hot path.
+    record_workload(tmp.path(), "mcf", 11, 5_000);
+    let tref = TraceRef::open(tmp.path()).expect("verified trace");
+    let wref = WorkloadRef::TraceFile(tref);
+    let config = small_config();
+
+    let cold = System::try_from_refs(config, &[wref])
+        .expect("build")
+        .try_run()
+        .expect("cold run");
+
+    // Warm up, snapshot (mid-file cursor), restore into a fresh machine.
+    let key = 0xDEC0DE;
+    let mut warm = System::try_from_refs(config, &[wref]).expect("build");
+    warm.run_to_warm().expect("warm-up");
+    let snap = warm.snapshot(key);
+    let mut resumed = System::try_from_refs(config, &[wref]).expect("rebuild");
+    resumed.restore(&snap, key).expect("restore");
+    let resumed = resumed.try_run().expect("resumed run");
+
+    assert_eq!(
+        cold.to_store_bytes(),
+        resumed.to_store_bytes(),
+        "cold and checkpoint-resumed trace replays must be bit-identical"
+    );
+    // And the warm machine itself finishes identically too.
+    let warmed = warm.try_run().expect("continue after snapshot");
+    assert_eq!(cold.to_store_bytes(), warmed.to_store_bytes());
+}
+
+#[test]
+fn mixed_synthetic_and_trace_machine_resumes_identically() {
+    let tmp = TempTrace::new("mixed");
+    record_workload(tmp.path(), "lbm", 4, 4_000);
+    let tref = TraceRef::open(tmp.path()).expect("verified trace");
+    let spec = catalog::workload("milc").expect("in catalog");
+    let refs = [WorkloadRef::TraceFile(tref), WorkloadRef::from(spec)];
+    let config = SimConfig::for_cores(2)
+        .with_warmup(1_500)
+        .with_instructions(4_000);
+
+    let cold = System::try_from_refs(config, &refs)
+        .expect("build")
+        .try_run_multi()
+        .expect("cold run");
+
+    let key = 7;
+    let mut warm = System::try_from_refs(config, &refs).expect("build");
+    warm.run_to_warm().expect("warm-up");
+    let snap = warm.snapshot(key);
+    let mut resumed = System::try_from_refs(config, &refs).expect("rebuild");
+    resumed.restore(&snap, key).expect("restore");
+    let resumed = resumed.try_run_multi().expect("resumed run");
+    assert_eq!(
+        cold, resumed,
+        "mixed-source machines must resume bit-identically"
+    );
+}
+
+#[test]
+fn trace_names_thread_into_the_machine() {
+    let tmp = TempTrace::new("names");
+    record_workload(tmp.path(), "omnetpp", 2, 1_000);
+    let tref = TraceRef::open(tmp.path()).expect("verified trace");
+    let sys = System::try_from_refs(
+        SimConfig::default().with_warmup(10).with_instructions(100),
+        &[WorkloadRef::TraceFile(tref)],
+    )
+    .expect("build");
+    let name = sys.workload_names()[0];
+    assert!(name.starts_with("trace:omnetpp@"), "{name}");
+    assert!(
+        name.contains(&format!("{:016x}", tref.content_hash)),
+        "{name}"
+    );
+}
+
+#[test]
+fn corruption_mid_replay_is_a_typed_error() {
+    let tmp = TempTrace::new("corrupt_midrun");
+    record_workload(tmp.path(), "mcf", 11, 5_000);
+    let tref = TraceRef::open(tmp.path()).expect("verified trace");
+    // Flip a byte deep in the file *after* verification: the reader
+    // only revalidates blocks as it streams through them, so the run
+    // starts fine and the damage surfaces mid-replay.
+    let mut bytes = std::fs::read(&tmp.0).expect("read trace");
+    let at = bytes.len() - 40;
+    bytes[at] ^= 0x20;
+    std::fs::write(&tmp.0, &bytes).expect("rewrite trace");
+
+    let sys = System::try_from_refs(small_config(), &[WorkloadRef::TraceFile(tref)])
+        .expect("header still parses");
+    let err = sys.try_run().expect_err("damage must surface");
+    assert!(matches!(err, SimError::Trace(_)), "{err}");
+    assert!(err.to_string().contains("trace"), "{err}");
+}
+
+#[test]
+fn missing_file_is_a_typed_build_error() {
+    let tmp = TempTrace::new("vanish");
+    record_workload(tmp.path(), "lbm", 4, 500);
+    let tref = TraceRef::open(tmp.path()).expect("verified trace");
+    std::fs::remove_file(&tmp.0).expect("remove trace");
+    let err = match System::try_from_refs(small_config(), &[WorkloadRef::TraceFile(tref)]) {
+        Err(e) => e,
+        Ok(_) => panic!("building against a deleted trace must fail"),
+    };
+    assert!(
+        matches!(err, SimError::Trace(psa_sim::TraceError::Io { .. })),
+        "{err}"
+    );
+}

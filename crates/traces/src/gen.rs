@@ -287,6 +287,34 @@ impl TraceGenerator {
     }
 }
 
+impl crate::source::WorkloadSource for TraceGenerator {
+    fn name(&self) -> &'static str {
+        self.spec.name
+    }
+
+    fn next_instr(&mut self) -> Result<Instr, crate::source::TraceError> {
+        Ok(self.next().expect("generator stream is infinite"))
+    }
+
+    fn take_filler(&mut self, max: u64) -> u64 {
+        TraceGenerator::take_filler(self, max)
+    }
+
+    fn save_cursor(&self, e: &mut psa_common::Enc) {
+        e.put_u8(crate::source::SOURCE_KIND_SYNTHETIC);
+        psa_common::Persist::save(self, e);
+    }
+
+    fn load_cursor(&mut self, d: &mut psa_common::Dec) -> Result<(), psa_common::CodecError> {
+        if d.get_u8()? != crate::source::SOURCE_KIND_SYNTHETIC {
+            return Err(psa_common::CodecError::Corrupt(
+                "cursor is not a synthetic-generator cursor",
+            ));
+        }
+        psa_common::Persist::load(self, d)
+    }
+}
+
 impl Iterator for TraceGenerator {
     type Item = Instr;
 

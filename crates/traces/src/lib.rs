@@ -22,6 +22,17 @@
 //! set used in §VI-B1; [`mixes`] builds the random multi-core mixes of
 //! Figures 14/15.
 //!
+//! # The workload-source layer
+//!
+//! Both front ends sit behind the [`source::WorkloadSource`] trait: the
+//! synthetic generator and a streamed replay of on-disk
+//! ChampSim-style traces ([`format`] is the `.psatrace` codec,
+//! [`reader`] the buffered replay cursor). [`source::WorkloadRef`] is
+//! the typed configuration-layer name for either kind — the simulator
+//! turns a ref into a live source at machine-build time, and trace refs
+//! carry a content hash that threads into every downstream
+//! checkpoint/memo key.
+//!
 //! # Example
 //!
 //! ```
@@ -37,9 +48,14 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod format;
 pub mod gen;
 pub mod mixes;
+pub mod reader;
+pub mod source;
 pub mod spec;
 
 pub use gen::TraceGenerator;
+pub use reader::TraceReader;
+pub use source::{intern, TraceError, TraceRef, WorkloadRef, WorkloadSource};
 pub use spec::{PatternMix, Suite, SuiteGroup, WorkloadSpec};

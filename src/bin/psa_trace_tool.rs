@@ -1,0 +1,165 @@
+//! Inspect, generate and verify `.psatrace` workload recordings.
+//!
+//! ```text
+//! psa_trace_tool info   <file.psatrace>
+//! psa_trace_tool gen    <workload> <file.psatrace> [--seed N] [--instructions N]
+//! psa_trace_tool verify <file.psatrace> [--hash <16-hex-digit pin>]
+//! ```
+//!
+//! `gen` records a synthetic catalog workload's instruction stream — the
+//! exact stream a live machine would generate — so a recorded file
+//! replays bit-identically to the generator it came from (the codec
+//! suite pins this). Generation is deterministic: the same workload,
+//! seed and instruction count always produce byte-identical files,
+//! which is what lets CI regenerate the committed sample fixture and
+//! byte-compare it.
+//!
+//! `verify` runs the full streaming walk (header, every block checksum,
+//! record shapes, count reconciliation) and optionally pins the content
+//! hash; `info` is `verify` plus a human-readable summary.
+//!
+//! Exit codes: 0 valid, 1 trace rejected (typed reason on stderr),
+//! 2 usage error.
+
+use page_size_aware_prefetching::traces::format::{verify_file, TraceSummary, TraceWriter};
+use page_size_aware_prefetching::traces::{catalog, TraceGenerator};
+use std::path::Path;
+
+const USAGE: &str = "usage: psa_trace_tool <command>
+  info   <file.psatrace>
+  gen    <workload> <file.psatrace> [--seed N] [--instructions N]
+  verify <file.psatrace> [--hash <16-hex-digit pin>]";
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// Parse `--key value` pairs after the positional arguments.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| match args.get(i + 1) {
+            Some(v) => v.clone(),
+            None => fail_usage(&format!("{flag} needs a value")),
+        })
+}
+
+fn parse_u64(text: &str, what: &str) -> u64 {
+    match text.parse() {
+        Ok(v) => v,
+        Err(_) => fail_usage(&format!("{what} must be an unsigned integer, got {text:?}")),
+    }
+}
+
+fn verified(path: &str) -> TraceSummary {
+    match verify_file(path) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_info(path: &str) {
+    let s = verified(path);
+    println!("path:          {path}");
+    println!("name:          {}", s.header.name);
+    println!("content_hash:  {:016x}", s.content_hash);
+    println!("huge_fraction: {}", s.header.huge_fraction);
+    println!("instructions:  {}", s.header.instructions);
+    println!("records:       {}", s.header.records);
+    println!("blocks:        {}", s.blocks);
+    println!("file_bytes:    {}", s.file_bytes);
+}
+
+fn cmd_gen(args: &[String]) {
+    let [workload, out] = args
+        .first()
+        .zip(args.get(1))
+        .map(|(a, b)| [a, b])
+        .unwrap_or_else(|| {
+            fail_usage("gen needs a workload name and an output path");
+        });
+    let seed = flag_value(args, "--seed").map_or(1, |v| parse_u64(&v, "--seed"));
+    let instructions =
+        flag_value(args, "--instructions").map_or(50_000, |v| parse_u64(&v, "--instructions"));
+    if instructions == 0 {
+        fail_usage("--instructions must be at least 1");
+    }
+    let Some(spec) = catalog::workload(workload) else {
+        eprintln!("unknown workload {workload:?} (not in the trace catalog)");
+        std::process::exit(2);
+    };
+    let mut gen = TraceGenerator::new(spec, seed);
+    let mut writer = match TraceWriter::create(Path::new(out), spec.name, spec.huge_fraction) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{out}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let write = (|| {
+        for _ in 0..instructions {
+            let instr = gen.next().expect("generator stream is infinite");
+            writer.push_instr(&instr)?;
+        }
+        writer.finish()
+    })();
+    match write {
+        Ok(header) => {
+            let s = verified(out);
+            println!(
+                "wrote {out}: {} instructions, {} records, {} blocks, {} bytes, \
+                 content_hash {:016x}",
+                header.instructions, header.records, s.blocks, s.file_bytes, s.content_hash
+            );
+        }
+        Err(e) => {
+            eprintln!("{out}: {e}");
+            let _ = std::fs::remove_file(out);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_verify(path: &str, args: &[String]) {
+    let s = verified(path);
+    if let Some(pin) = flag_value(args, "--hash") {
+        let digits = pin.strip_prefix("0x").unwrap_or(&pin);
+        let expected = match u64::from_str_radix(digits, 16) {
+            Ok(v) => v,
+            Err(_) => fail_usage(&format!("--hash must be hex digits, got {pin:?}")),
+        };
+        if s.content_hash != expected {
+            eprintln!(
+                "{path}: content hash {:016x} does not match pinned {expected:016x}",
+                s.content_hash
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "{path}: valid ({} instructions, {} records, content_hash {:016x})",
+        s.header.instructions, s.header.records, s.content_hash
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("info") => match args.get(1) {
+            Some(path) => cmd_info(path),
+            None => fail_usage("info needs a file path"),
+        },
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("verify") => match args.get(1) {
+            Some(path) => cmd_verify(path, &args[2..]),
+            None => fail_usage("verify needs a file path"),
+        },
+        Some(other) => fail_usage(&format!("unknown command {other:?}")),
+        None => fail_usage("missing command"),
+    }
+}
